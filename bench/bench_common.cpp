@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Bench helper implementation.
+ */
+
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cctype>
+#include <fstream>
+
+namespace benchtool {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(const std::string &title) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::printf("\n=== %s ===\n", title.c_str());
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::printf("%-*s  ", static_cast<int>(width[c]),
+                        row[c].c_str());
+        std::printf("\n");
+    };
+    printRow(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+    for (std::size_t i = 0; i < total; ++i)
+        std::printf("-");
+    std::printf("\n");
+    for (const auto &row : rows_)
+        printRow(row);
+    std::fflush(stdout);
+
+    if (const char *dir = std::getenv("ISINGRBM_CSV_DIR")) {
+        std::string name;
+        for (char c : title)
+            name.push_back(std::isalnum(static_cast<unsigned char>(c))
+                               ? c
+                               : '_');
+        if (name.size() > 80)
+            name.resize(80);
+        std::ofstream os(std::string(dir) + "/" + name + ".csv");
+        if (os)
+            os << csv();
+    }
+}
+
+std::string
+Table::csv() const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                out += "\"\"";
+            else
+                out.push_back(c);
+        }
+        out.push_back('"');
+        return out;
+    };
+    std::string out;
+    auto append = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out.push_back(',');
+            out += escape(row[c]);
+        }
+        out.push_back('\n');
+    };
+    append(header_);
+    for (const auto &row : rows_)
+        append(row);
+    return out;
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtSci(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    return buf;
+}
+
+std::string
+fmtPercent(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, value * 100.0);
+    return buf;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+bool
+fullScale(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--full") == 0)
+            return true;
+    const char *env = std::getenv("ISINGRBM_FULL");
+    return env && std::strcmp(env, "1") == 0;
+}
+
+void
+stripFlag(int &argc, char **argv, const std::string &flag)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (flag != argv[i])
+            argv[out++] = argv[i];
+    }
+    argc = out;
+}
+
+} // namespace benchtool

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared table-printing and workload helpers for the bench binaries.
+ *
+ * Every bench binary regenerates one paper artifact: it first prints
+ * the table/figure series (absolute and normalized values), then runs
+ * google-benchmark timers over the kernels involved.
+ */
+
+#ifndef ISINGRBM_BENCH_COMMON_HPP
+#define ISINGRBM_BENCH_COMMON_HPP
+
+#include <string>
+#include <vector>
+
+namespace benchtool {
+
+/** Simple fixed-width console table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Render with a title banner to stdout.  When the ISINGRBM_CSV_DIR
+     * environment variable is set, the table is additionally written
+     * as <dir>/<sanitized-title>.csv for plotting scripts.
+     */
+    void print(const std::string &title) const;
+
+    /** RFC-4180-ish CSV rendering of header + rows. */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers. */
+std::string fmt(double value, int precision = 3);
+std::string fmtSci(double value, int precision = 2);
+std::string fmtPercent(double value, int precision = 1);
+
+/** Geometric mean of positive values. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * True when the binary should run at full paper scale (--full flag or
+ * ISINGRBM_FULL=1); default runs are scaled down to finish in seconds.
+ */
+bool fullScale(int argc, char **argv);
+
+/** Strip --full from argv so google-benchmark does not reject it. */
+void stripFlag(int &argc, char **argv, const std::string &flag);
+
+} // namespace benchtool
+
+#endif // ISINGRBM_BENCH_COMMON_HPP

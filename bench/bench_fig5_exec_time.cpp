@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 5: execution time of TPU (v1), GS and GPU (Tesla T4) normalized
+ * to BGF across the eleven benchmarks, batch size 500.
+ *
+ * The absolute seconds come from the analytical timing model in
+ * hw/timing.hpp (constants documented there and in EXPERIMENTS.md);
+ * the normalized columns are the Fig. 5 bars.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "hw/timing.hpp"
+
+using namespace ising::hw;
+using benchtool::fmt;
+using benchtool::fmtSci;
+
+namespace {
+
+void
+printFig5()
+{
+    const TimingModel timing;
+    const DeviceModel tpu = tpuV1();
+    const DeviceModel gpu = teslaT4();
+
+    benchtool::Table table({"Benchmark", "BGF (s)", "TPU/BGF", "GS/BGF",
+                            "GPU/BGF"});
+    std::vector<double> tpuRatios, gsRatios, gpuRatios;
+    for (const Workload &w : figure5Workloads()) {
+        const double tBgf = timing.bgfTime(w).total();
+        const double rTpu = timing.digitalTime(tpu, w).total() / tBgf;
+        const double rGs = timing.gsTime(tpu, w).total() / tBgf;
+        const double rGpu = timing.digitalTime(gpu, w).total() / tBgf;
+        tpuRatios.push_back(rTpu);
+        gsRatios.push_back(rGs);
+        gpuRatios.push_back(rGpu);
+        table.addRow({w.name, fmtSci(tBgf), fmt(rTpu, 1), fmt(rGs, 1),
+                      fmt(rGpu, 1)});
+    }
+    table.addRow({"GeoMean", "-", fmt(benchtool::geomean(tpuRatios), 1),
+                  fmt(benchtool::geomean(gsRatios), 1),
+                  fmt(benchtool::geomean(gpuRatios), 1)});
+    table.print("Fig. 5: execution time normalized to BGF "
+                "(paper geomeans: TPU 29x, GS 14.5x, GPU >> TPU)");
+
+    // GS host-wait decomposition backing the Sec. 4.2 claim.
+    benchtool::Table comm({"Benchmark", "fabric %", "host %", "comm %"});
+    for (const Workload &w : figure5Workloads()) {
+        const TimeBreakdown t = timing.gsTime(tpu, w);
+        const double total = t.total();
+        comm.addRow({w.name, fmt(100 * t.computeSec / total, 1),
+                     fmt(100 * t.hostSec / total, 1),
+                     fmt(100 * t.commSec / total, 1)});
+    }
+    comm.print("GS time decomposition (communication ~ a quarter of "
+               "host wait)");
+}
+
+void
+BM_TimingModelFullSweep(benchmark::State &state)
+{
+    const TimingModel timing;
+    const DeviceModel tpu = tpuV1();
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (const Workload &w : figure5Workloads()) {
+            acc += timing.bgfTime(w).total();
+            acc += timing.gsTime(tpu, w).total();
+            acc += timing.digitalTime(tpu, w).total();
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_TimingModelFullSweep);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig5();
+    benchtool::stripFlag(argc, argv, "--full");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

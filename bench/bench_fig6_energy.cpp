@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 6: energy of TPU and GS normalized to BGF across the eleven
+ * benchmarks, plus the Sec. 4.3 first-principles node-flip energy
+ * comparison.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "hw/energy.hpp"
+
+using namespace ising::hw;
+using benchtool::fmt;
+using benchtool::fmtSci;
+
+namespace {
+
+void
+printFig6()
+{
+    const TimingModel timing;
+    const EnergyModel energy(timing);
+    const DeviceModel tpu = tpuV1();
+    const DeviceModel gpu = teslaT4();
+
+    benchtool::Table table({"Benchmark", "BGF (J)", "TPU/BGF", "GS/BGF",
+                            "GPU/BGF"});
+    std::vector<double> tpuRatios, gsRatios, gpuRatios;
+    for (const Workload &w : figure5Workloads()) {
+        const double eBgf = energy.bgfEnergy(w).total();
+        const double rTpu = energy.digitalEnergy(tpu, w).total() / eBgf;
+        const double rGs = energy.gsEnergy(tpu, w).total() / eBgf;
+        const double rGpu = energy.digitalEnergy(gpu, w).total() / eBgf;
+        tpuRatios.push_back(rTpu);
+        gsRatios.push_back(rGs);
+        gpuRatios.push_back(rGpu);
+        table.addRow({w.name, fmtSci(eBgf), fmt(rTpu, 0), fmt(rGs, 0),
+                      fmt(rGpu, 0)});
+    }
+    table.addRow({"GeoMean", "-", fmt(benchtool::geomean(tpuRatios), 0),
+                  fmt(benchtool::geomean(gsRatios), 0),
+                  fmt(benchtool::geomean(gpuRatios), 0)});
+    table.print("Fig. 6: energy normalized to BGF "
+                "(paper: ~1000x geomean improvement for BGF over TPU)");
+
+    // Sec. 4.3 first-principles flip energies.
+    benchtool::Table flip({"Substrate", "energy per node flip"});
+    flip.addRow({"Digital (N=1000 MACs @ ~1 pJ)",
+                 fmtSci(EnergyModel::digitalFlipEnergyJ(1000)) + " J"});
+    flip.addRow({"BRIM (50 fF nodal cap @ ~1 V)",
+                 fmtSci(EnergyModel::brimFlipEnergyJ()) + " J"});
+    flip.addRow({"Ratio",
+                 fmt(EnergyModel::digitalFlipEnergyJ(1000) /
+                         EnergyModel::brimFlipEnergyJ(),
+                     0) + "x (paper: ~4 orders of magnitude)"});
+    flip.print("Sec. 4.3: first-principles node-flip energy");
+}
+
+void
+BM_EnergyModelFullSweep(benchmark::State &state)
+{
+    const TimingModel timing;
+    const EnergyModel energy(timing);
+    const DeviceModel tpu = tpuV1();
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (const Workload &w : figure5Workloads()) {
+            acc += energy.bgfEnergy(w).total();
+            acc += energy.gsEnergy(tpu, w).total();
+            acc += energy.digitalEnergy(tpu, w).total();
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_EnergyModelFullSweep);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig6();
+    benchtool::stripFlag(argc, argv, "--full");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

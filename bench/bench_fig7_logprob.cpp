@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fig. 7: average log probability (AIS-estimated) of training data
+ * over the course of training, for CD-1, CD-10 and BGF, on the image
+ * benchmarks.
+ *
+ * Default scale: two datasets, reduced hidden width and sample count
+ * (finishes in tens of seconds).  --full runs all four datasets at
+ * Table 1 widths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "data/registry.hpp"
+#include "eval/pipelines.hpp"
+#include "rbm/ais.hpp"
+
+using namespace ising;
+using benchtool::fmt;
+
+namespace {
+
+struct Scale
+{
+    std::vector<std::string> datasets;
+    std::size_t hidden;      ///< 0 = Table 1 width
+    std::size_t numSamples;
+    int epochs;
+    std::size_t aisChains;
+    std::size_t aisBetas;
+};
+
+std::vector<double>
+logProbTrajectory(const data::Dataset &train, std::size_t hidden,
+                  eval::Trainer trainer, int k, int epochs,
+                  std::uint64_t seed, const Scale &scale)
+{
+    std::vector<double> series;
+    util::Rng aisRng(seed * 17 + 3);
+    rbm::AisConfig aisCfg;
+    aisCfg.numChains = scale.aisChains;
+    aisCfg.numBetas = scale.aisBetas;
+    rbm::AisEstimator ais(aisCfg, aisRng);
+
+    eval::TrainSpec spec;
+    spec.trainer = trainer;
+    spec.k = k;
+    spec.epochs = epochs;
+    spec.learningRate = 0.1;
+    spec.batchSize = 50;
+    spec.seed = seed;
+    spec.onEpoch = [&](int, const rbm::Rbm &model) {
+        series.push_back(ais.averageLogProb(model, train, train));
+    };
+    eval::trainRbm(train, hidden, spec);
+    return series;
+}
+
+void
+printFig7(const Scale &scale)
+{
+    for (const std::string &name : scale.datasets) {
+        const auto cfg = data::configFor(name);
+        const std::size_t hidden =
+            scale.hidden ? scale.hidden : cfg.hidden;
+        data::Dataset raw =
+            data::makeBenchmarkData(name, scale.numSamples, 42);
+        const data::Dataset train = data::binarizeThreshold(raw);
+
+        benchtool::Table table([&] {
+            std::vector<std::string> header = {"algorithm"};
+            for (int e = 1; e <= scale.epochs; ++e)
+                header.push_back("epoch " + std::to_string(e));
+            return header;
+        }());
+
+        struct Algo
+        {
+            const char *label;
+            eval::Trainer trainer;
+            int k;
+        };
+        const Algo algos[] = {
+            {"cd1", eval::Trainer::CdK, 1},
+            {"cd10", eval::Trainer::CdK, 10},
+            {"BGF", eval::Trainer::Bgf, 5},
+        };
+        for (const Algo &algo : algos) {
+            const auto series = logProbTrajectory(
+                train, hidden, algo.trainer, algo.k, scale.epochs, 7,
+                scale);
+            std::vector<std::string> row = {algo.label};
+            for (double v : series)
+                row.push_back(fmt(v, 1));
+            table.addRow(row);
+        }
+        table.print("Fig. 7 (" + name + ", " +
+                     std::to_string(train.dim()) + "x" +
+                     std::to_string(hidden) +
+                     "): avg log probability, higher is better");
+    }
+}
+
+void
+BM_AisEstimate(benchmark::State &state)
+{
+    util::Rng rng(1);
+    data::Dataset raw = data::makeBenchmarkData("MNIST", 200, 5);
+    const data::Dataset train = data::binarizeThreshold(raw);
+    eval::TrainSpec spec;
+    spec.epochs = 1;
+    const rbm::Rbm model = eval::trainRbm(train, 32, spec);
+    rbm::AisConfig cfg;
+    cfg.numChains = 16;
+    cfg.numBetas = 40;
+    rbm::AisEstimator ais(cfg, rng);
+    for (auto _ : state) {
+        const double lp = ais.averageLogProb(model, train, train);
+        benchmark::DoNotOptimize(lp);
+    }
+}
+BENCHMARK(BM_AisEstimate)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Scale scale;
+    if (benchtool::fullScale(argc, argv)) {
+        scale = {{"MNIST", "KMNIST", "FMNIST", "EMNIST"}, 0, 10000, 10,
+                 64, 200};
+    } else {
+        scale = {{"MNIST", "KMNIST"}, 64, 800, 5, 24, 50};
+    }
+    printFig7(scale);
+    benchtool::stripFlag(argc, argv, "--full");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fig. 9: recommendation-system MAE of CF-RBM models trained in
+ * hardware (BGF) mode under the six noise/variation combinations.
+ * Paper: final MAE ranges between 0.709 and 0.7258.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "data/ratings.hpp"
+#include "rbm/cf_rbm.hpp"
+
+using namespace ising;
+using benchtool::fmt;
+
+namespace {
+
+void
+printFig9(const data::RatingStyle &style, int hidden, int epochs,
+          double lr)
+{
+    const data::RatingData corpus = data::makeRatings(style, 99);
+    double baseline = 0.0;
+    for (const auto &r : corpus.test)
+        baseline += std::abs(3.0 - r.stars);
+    baseline /= static_cast<double>(corpus.test.size());
+
+    benchtool::Table table({"(var, noise)", "final MAE", "vs baseline-3"});
+    std::vector<double> maes;
+    for (const machine::NoiseSpec &noise : machine::paperNoiseGrid()) {
+        util::Rng rng(5);
+        rbm::CfRbm model(corpus.numUsers, 5, hidden);
+        model.initFromData(corpus, rng);
+        rbm::CfConfig cfg;
+        cfg.epochs = epochs;
+        cfg.learningRate = lr;
+        if (!noise.isNoiseless()) {
+            rbm::CfHardwareMode hw;
+            hw.noise = noise;
+            cfg.hardware = hw;
+        }
+        model.train(corpus, cfg, rng);
+        const double mae = model.testMae(corpus);
+        maes.push_back(mae);
+        table.addRow({fmt(noise.rmsVariation, 2) + "_" +
+                          fmt(noise.rmsNoise, 2),
+                      fmt(mae, 4), fmt(baseline - mae, 4)});
+    }
+    double lo = maes[0], hi = maes[0];
+    for (double m : maes) {
+        lo = std::min(lo, m);
+        hi = std::max(hi, m);
+    }
+    table.addRow({"range", fmt(lo, 4) + " - " + fmt(hi, 4),
+                  "paper: 0.709 - 0.7258"});
+    table.print("Fig. 9: MAE under injected noise (baseline-3 MAE " +
+                fmt(baseline, 3) + ")");
+}
+
+void
+BM_CfRbmEpoch(benchmark::State &state)
+{
+    data::RatingStyle style;
+    style.numUsers = 200;
+    style.numItems = 40;
+    const auto corpus = data::makeRatings(style, 3);
+    for (auto _ : state) {
+        util::Rng rng(2);
+        rbm::CfRbm model(corpus.numUsers, 5, 24);
+        model.initFromData(corpus, rng);
+        rbm::CfConfig cfg;
+        cfg.epochs = 1;
+        model.train(corpus, cfg, rng);
+        benchmark::DoNotOptimize(model.numHidden());
+    }
+}
+BENCHMARK(BM_CfRbmEpoch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    data::RatingStyle style;  // paper shape: 943 users x 100 items
+    if (benchtool::fullScale(argc, argv)) {
+        printFig9(style, 100, 30, 0.005);
+    } else {
+        style.numUsers = 400;
+        style.numItems = 60;
+        style.density = 0.15;
+        printFig9(style, 50, 12, 0.005);
+    }
+    benchtool::stripFlag(argc, argv, "--full");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Scaling extensions beyond the paper's figures (Sec. 4.2 / 4.6
+ * directions): multi-chip capacity scaling (Sharma et al. [59]) and
+ * training-set parallelism over replica fabrics.
+ *
+ * Prints (a) the BGF slowdown of tiling oversized models across chips
+ * with inter-chip partial-sum exchange, and (b) quality vs replica
+ * count for data-parallel BGF at a fixed total sample budget.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/parallel_bgf.hpp"
+#include "bench_common.hpp"
+#include "data/registry.hpp"
+#include "hw/multichip.hpp"
+#include "rbm/ais.hpp"
+
+using namespace ising;
+using benchtool::fmt;
+using benchtool::fmtSci;
+
+namespace {
+
+void
+printMultiChip()
+{
+    const hw::TimingModel timing;
+    hw::MultiChipConfig cfg;
+    cfg.chipEdge = 1600;
+    const hw::MultiChipModel model(cfg, timing);
+
+    benchtool::Table table({"RBM shape", "chips", "BGF 1-chip (s)",
+                            "BGF tiled (s)", "overhead"});
+    const std::vector<hw::LayerShape> shapes = {
+        {784, 200},   {1600, 1600}, {3200, 1600},
+        {4096, 4096}, {8192, 2048},
+    };
+    for (const auto &shape : shapes) {
+        hw::Workload w{"sweep", {shape}, 10, 500, 60000};
+        const auto tiling = model.tilingFor(shape.visible, shape.hidden);
+        const double base = timing.bgfTime(w).total();
+        const double tiled = model.bgfTime(w).total();
+        table.addRow({std::to_string(shape.visible) + "x" +
+                          std::to_string(shape.hidden),
+                      std::to_string(tiling.numChips()), fmtSci(base),
+                      fmtSci(tiled),
+                      fmt((tiled / base - 1.0) * 100.0, 1) + "%"});
+    }
+    table.print("Multi-chip BGF scaling (1600-edge chips, 256 Gb/s "
+                "links)");
+}
+
+void
+printParallelBgf(std::size_t numSamples, int epochs)
+{
+    data::Dataset raw = data::makeBenchmarkData("MNIST", numSamples, 42);
+    const data::Dataset train = data::binarizeThreshold(raw);
+
+    benchtool::Table table({"replicas", "avg log prob",
+                            "samples/fabric"});
+    for (std::size_t replicas : {1u, 2u, 4u, 8u}) {
+        util::Rng rng(17);
+        accel::ParallelBgfConfig cfg;
+        cfg.numReplicas = replicas;
+        cfg.syncEveryEpochs = 1;
+        cfg.replica.learningRate = 0.1 / 50.0;
+        cfg.replica.annealSteps = 4;
+        accel::ParallelBgf fleet(train.dim(), 48, cfg, rng);
+        rbm::Rbm init(train.dim(), 48);
+        init.initRandom(rng);
+        fleet.initialize(init);
+        fleet.train(train, epochs);
+
+        util::Rng aisRng(23);
+        rbm::AisConfig aisCfg;
+        aisCfg.numChains = 24;
+        aisCfg.numBetas = 60;
+        rbm::AisEstimator ais(aisCfg, aisRng);
+        const double lp =
+            ais.averageLogProb(fleet.readOut(), train, train);
+        table.addRow({std::to_string(replicas), fmt(lp, 1),
+                      std::to_string(fleet.samplesProcessed() /
+                                     replicas)});
+    }
+    table.print("Data-parallel BGF: quality vs replica count at a "
+                "fixed total sample budget");
+}
+
+void
+BM_ParallelBgfEpoch(benchmark::State &state)
+{
+    data::Dataset raw = data::makeBenchmarkData("MNIST", 200, 5);
+    const data::Dataset train = data::binarizeThreshold(raw);
+    util::Rng rng(3);
+    accel::ParallelBgfConfig cfg;
+    cfg.numReplicas = state.range(0);
+    cfg.replica.learningRate = 1e-3;
+    accel::ParallelBgf fleet(train.dim(), 32, cfg, rng);
+    rbm::Rbm init(train.dim(), 32);
+    fleet.initialize(init);
+    for (auto _ : state)
+        fleet.train(train, 1);
+    state.SetItemsProcessed(state.iterations() * train.size());
+}
+BENCHMARK(BM_ParallelBgfEpoch)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printMultiChip();
+    if (benchtool::fullScale(argc, argv))
+        printParallelBgf(4000, 8);
+    else
+        printParallelBgf(600, 4);
+    benchtool::stripFlag(argc, argv, "--full");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

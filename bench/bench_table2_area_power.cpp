@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Table 2: area and power of GS / BGF sub-units at 400/800/1600 nodes,
+ * plus the bipartite budgets of the actual Table 1 workloads.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "data/registry.hpp"
+#include "hw/components.hpp"
+
+using namespace ising::hw;
+using benchtool::fmt;
+
+namespace {
+
+void
+printTable2()
+{
+    const std::vector<std::size_t> sizes = {400, 800, 1600};
+    benchtool::Table table({"Component", "400 area", "400 mW",
+                            "800 area", "800 mW", "1600 area",
+                            "1600 mW"});
+
+    // Gather the per-size budgets for both architectures.
+    std::vector<ChipBudget> gibbs, bgf;
+    for (std::size_t n : sizes) {
+        gibbs.push_back(squareArrayBudget(Arch::GibbsSampler, n));
+        bgf.push_back(squareArrayBudget(Arch::Bgf, n));
+    }
+    // Component rows: CU (Gibbs), CU (BGF), then node units (same for
+    // both architectures -- take them from the Gibbs budget).
+    auto row = [&](const std::string &name,
+                   const std::vector<const UnitBudget *> &units) {
+        std::vector<std::string> cells = {name};
+        for (const auto *u : units) {
+            cells.push_back(fmt(u->areaMm2, 4));
+            cells.push_back(fmt(u->powerMw, 2));
+        }
+        table.addRow(cells);
+    };
+    row("CU (Gibbs) (N^2)",
+        {&gibbs[0].units[0], &gibbs[1].units[0], &gibbs[2].units[0]});
+    row("CU (BGF) (N^2)",
+        {&bgf[0].units[0], &bgf[1].units[0], &bgf[2].units[0]});
+    for (std::size_t u = 1; u < gibbs[0].units.size(); ++u) {
+        row(gibbs[0].units[u].name + " (N)",
+            {&gibbs[0].units[u], &gibbs[1].units[u], &gibbs[2].units[u]});
+    }
+    auto totals = [&](const std::string &name,
+                      const std::vector<ChipBudget> &budgets) {
+        std::vector<std::string> cells = {name};
+        for (const auto &b : budgets) {
+            cells.push_back(fmt(b.totalAreaMm2, 3));
+            cells.push_back(fmt(b.totalPowerMw, 1));
+        }
+        table.addRow(cells);
+    };
+    totals("Total (Gibbs)", gibbs);
+    totals("Total (BGF)", bgf);
+    table.print("Table 2: area (mm^2) and power (mW) of sub-units");
+
+    // Bipartite budgets of the real workloads (our addition).
+    benchtool::Table wl({"Workload", "couplers", "nodes", "GS mm^2",
+                         "BGF mm^2", "BGF mW"});
+    for (const auto &cfg : ising::data::table1Configs()) {
+        const ChipBudget g =
+            bipartiteBudget(Arch::GibbsSampler, cfg.visible, cfg.hidden);
+        const ChipBudget b =
+            bipartiteBudget(Arch::Bgf, cfg.visible, cfg.hidden);
+        wl.addRow({cfg.name, std::to_string(b.numCouplers),
+                   std::to_string(b.numNodes), fmt(g.totalAreaMm2, 3),
+                   fmt(b.totalAreaMm2, 3), fmt(b.totalPowerMw, 1)});
+    }
+    wl.print("Bipartite chip budgets for the Table 1 workloads");
+}
+
+void
+BM_BudgetAggregation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto b = squareArrayBudget(Arch::Bgf, state.range(0));
+        benchmark::DoNotOptimize(b.totalAreaMm2);
+    }
+}
+BENCHMARK(BM_BudgetAggregation)->Arg(400)->Arg(1600);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable2();
+    benchtool::stripFlag(argc, argv, "--full");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 3: TOPS/mm^2 and TOPS/W across accelerators (TPU v1/v4,
+ * TIMELY, BGF), including a BGF array-size sweep (our addition).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "hw/devices.hpp"
+
+using namespace ising::hw;
+using benchtool::fmt;
+
+namespace {
+
+void
+printTable3()
+{
+    benchtool::Table table({"Accelerator", "TOPS/mm^2", "TOPS/W"});
+    for (const auto &row : table3Metrics(1600))
+        table.addRow({row.name, fmt(row.topsPerMm2, 2),
+                      fmt(row.topsPerW, 1)});
+    table.print("Table 3: comparison between accelerators "
+                "(paper: 1.16/2.30, 1.91/1.62, 38.3/21.0, 119/3657)");
+
+    benchtool::Table sweep({"BGF edge", "TOPS", "TOPS/mm^2", "TOPS/W"});
+    for (std::size_t edge : {400u, 800u, 1600u, 3200u}) {
+        const auto rows = table3Metrics(edge);
+        const auto &bgf = rows.back();
+        sweep.addRow({std::to_string(edge),
+                      fmt(bgfEffectiveTops(edge * edge), 0),
+                      fmt(bgf.topsPerMm2, 1), fmt(bgf.topsPerW, 0)});
+    }
+    sweep.print("BGF throughput density vs array size (extension)");
+}
+
+void
+BM_Table3Derivation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto rows = table3Metrics(1600);
+        benchmark::DoNotOptimize(rows.data());
+    }
+}
+BENCHMARK(BM_Table3Derivation);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable3();
+    benchtool::stripFlag(argc, argv, "--full");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

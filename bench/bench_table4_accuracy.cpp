@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Table 4: test quality of cd-10 vs BGF across all eight benchmarks --
+ * classification accuracy for the image workloads (RBM and DBN
+ * features + logistic head), MAE for recommendation, AUC for anomaly
+ * detection.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "data/fraud.hpp"
+#include "data/ratings.hpp"
+#include "data/registry.hpp"
+#include "eval/metrics.hpp"
+#include "eval/pipelines.hpp"
+#include "rbm/anomaly.hpp"
+#include "rbm/cf_rbm.hpp"
+
+using namespace ising;
+using benchtool::fmt;
+using benchtool::fmtPercent;
+
+namespace {
+
+struct Scale
+{
+    std::size_t numSamples;
+    std::size_t hiddenCap;   ///< 0 = Table 1 widths
+    int epochs;
+    std::vector<std::string> imageSets;
+    std::vector<std::string> dbnSets;
+    int cfEpochs;
+    std::size_t fraudSamples;
+};
+
+eval::TrainSpec
+specFor(eval::Trainer trainer, int epochs, std::uint64_t seed)
+{
+    eval::TrainSpec spec;
+    spec.trainer = trainer;
+    spec.k = trainer == eval::Trainer::Bgf ? 5 : 10;  // cd-10 baseline
+    // BGF's minibatch-1 stream needs more passes to match a batched
+    // CD budget; those passes are ~free at hardware speed (Fig. 5).
+    spec.epochs = trainer == eval::Trainer::Bgf ? 2 * epochs : epochs;
+    spec.learningRate = 0.1;
+    spec.batchSize = 50;
+    spec.seed = seed;
+    return spec;
+}
+
+std::size_t
+cappedHidden(const data::BenchmarkConfig &cfg, std::size_t cap)
+{
+    return cap ? std::min(cfg.hidden, cap) : cfg.hidden;
+}
+
+void
+printTable4(const Scale &scale)
+{
+    benchtool::Table table(
+        {"Benchmark", "metric", "cd-10", "BGF", "delta"});
+    eval::LogisticConfig head;
+    head.epochs = 30;
+
+    // --- Image RBM rows ---
+    for (const std::string &name : scale.imageSets) {
+        const auto cfg = data::configFor(name);
+        data::Dataset raw =
+            data::makeBenchmarkData(name, scale.numSamples, 42);
+        util::Rng splitRng(3);
+        const data::Split split = data::trainTestSplit(
+            data::binarizeThreshold(raw), 0.25, splitRng);
+        const std::size_t hidden = cappedHidden(cfg, scale.hiddenCap);
+
+        const double accCd = eval::rbmClassificationAccuracy(
+            split, hidden, specFor(eval::Trainer::CdK, scale.epochs, 7),
+            head);
+        const double accBgf = eval::rbmClassificationAccuracy(
+            split, hidden, specFor(eval::Trainer::Bgf, scale.epochs, 7),
+            head);
+        table.addRow({name + "_RBM", "accuracy", fmtPercent(accCd),
+                      fmtPercent(accBgf), fmt(accBgf - accCd, 3)});
+    }
+
+    // --- DBN rows ---
+    for (const std::string &name : scale.dbnSets) {
+        const auto cfg = data::configFor(name);
+        data::Dataset raw =
+            data::makeBenchmarkData(name, scale.numSamples, 43);
+        util::Rng splitRng(4);
+        const data::Split split = data::trainTestSplit(
+            data::binarizeThreshold(raw), 0.25, splitRng);
+        // Table 1 stack minus the classifier output layer, optionally
+        // capped for the scaled run.
+        std::vector<std::size_t> layers = {split.train.dim()};
+        for (std::size_t l = 1; l + 1 < cfg.dbnLayers.size(); ++l)
+            layers.push_back(scale.hiddenCap
+                                 ? std::min(cfg.dbnLayers[l],
+                                            scale.hiddenCap)
+                                 : cfg.dbnLayers[l]);
+
+        const double accCd = eval::dbnClassificationAccuracy(
+            split, layers, specFor(eval::Trainer::CdK, scale.epochs, 8),
+            head);
+        const double accBgf = eval::dbnClassificationAccuracy(
+            split, layers, specFor(eval::Trainer::Bgf, scale.epochs, 8),
+            head);
+        table.addRow({name + "_DBN", "accuracy", fmtPercent(accCd),
+                      fmtPercent(accBgf), fmt(accBgf - accCd, 3)});
+    }
+
+    // --- Recommendation row ---
+    {
+        data::RatingStyle style;
+        if (scale.hiddenCap) {  // scaled run
+            style.numUsers = 400;
+            style.numItems = 60;
+            style.density = 0.15;
+        }
+        const data::RatingData corpus = data::makeRatings(style, 99);
+        const int cfHidden = scale.hiddenCap ? 50 : 100;
+
+        auto trainCf = [&](bool hw) {
+            util::Rng rng(5);
+            rbm::CfRbm model(corpus.numUsers, 5, cfHidden);
+            model.initFromData(corpus, rng);
+            rbm::CfConfig cfg;
+            cfg.epochs = scale.cfEpochs;
+            cfg.learningRate = 0.005;
+            if (hw)
+                cfg.hardware = rbm::CfHardwareMode{};
+            model.train(corpus, cfg, rng);
+            return model.testMae(corpus);
+        };
+        const double maeCd = trainCf(false);
+        const double maeBgf = trainCf(true);
+        table.addRow({"RC_RBM", "MAE (lower better)", fmt(maeCd, 3),
+                      fmt(maeBgf, 3), fmt(maeBgf - maeCd, 3)});
+    }
+
+    // --- Anomaly row ---
+    {
+        data::FraudStyle style;
+        style.fraudRate = 0.02;
+        const data::Dataset raw =
+            data::makeFraud(style, scale.fraudSamples, 7);
+        const data::Dataset bin = data::binarizeThreshold(raw);
+
+        auto aucFor = [&](eval::Trainer trainer) {
+            const rbm::Rbm model = eval::trainRbm(
+                bin, 10, specFor(trainer, scale.epochs * 3, 9));
+            return eval::rocAuc(rbm::reconstructionScores(model, raw),
+                                raw.labels);
+        };
+        const double aucCd = aucFor(eval::Trainer::CdK);
+        const double aucBgf = aucFor(eval::Trainer::Bgf);
+        table.addRow({"Anomaly_RBM", "AUC", fmt(aucCd, 3),
+                      fmt(aucBgf, 3), fmt(aucBgf - aucCd, 3)});
+    }
+
+    table.print("Table 4: cd-10 vs BGF quality (paper: both methods "
+                "essentially equal on every benchmark)");
+}
+
+void
+BM_FeaturizeThroughput(benchmark::State &state)
+{
+    data::Dataset raw = data::makeBenchmarkData("MNIST", 200, 5);
+    eval::TrainSpec spec;
+    spec.epochs = 1;
+    const rbm::Rbm model =
+        eval::trainRbm(data::binarizeThreshold(raw), 64, spec);
+    for (auto _ : state) {
+        auto features = eval::featurize(model, raw);
+        benchmark::DoNotOptimize(features.samples.data());
+    }
+    state.SetItemsProcessed(state.iterations() * raw.size());
+}
+BENCHMARK(BM_FeaturizeThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Scale scale;
+    if (benchtool::fullScale(argc, argv)) {
+        scale = {12000, 0, 8,
+                 {"MNIST", "KMNIST", "FMNIST", "EMNIST", "CIFAR10",
+                  "SmallNorb"},
+                 {"MNIST", "KMNIST", "FMNIST", "EMNIST"},
+                 30, 20000};
+    } else {
+        scale = {1200, 64, 6,
+                 {"MNIST", "KMNIST", "FMNIST", "EMNIST", "CIFAR10",
+                  "SmallNorb"},
+                 {"MNIST"},
+                 12, 4000};
+    }
+    printTable4(scale);
+    benchtool::stripFlag(argc, argv, "--full");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

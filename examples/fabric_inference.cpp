@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Inference-side walkthrough (Sec. 2.3: "Ising machines can accelerate
+ * inference of Boltzmann machines in a straightforward manner"):
+ * train a classification RBM on bars-and-stripes, persist it to disk,
+ * reload, program it onto the analog fabric, and compare exact
+ * free-energy classification against substrate-sampled inference under
+ * increasing noise.
+ *
+ * Usage: fabric_inference [--side 4] [--samples 400] [--epochs 150]
+ *                         [--reads 30]
+ */
+
+#include <cstdio>
+
+#include "data/bars.hpp"
+#include "rbm/class_rbm.hpp"
+#include "rbm/serialize.hpp"
+#include "util/cli.hpp"
+
+using namespace ising;
+
+int
+main(int argc, char **argv)
+{
+    util::CliArgs args(argc, argv);
+    const std::size_t side = args.getInt("side", 4);
+    const std::size_t numSamples = args.getInt("samples", 400);
+    const int epochs = static_cast<int>(args.getInt("epochs", 150));
+    const int reads = static_cast<int>(args.getInt("reads", 30));
+
+    util::Rng rng(7);
+    const data::Dataset ds =
+        data::makeBarsAndStripes(side, numSamples, rng);
+    std::printf("bars-and-stripes: %zu images of %zux%zu\n", ds.size(),
+                side, side);
+
+    rbm::ClassRbm model(ds.dim(), 2, 24);
+    model.initRandom(rng);
+    rbm::ClassRbmConfig cfg;
+    cfg.learningRate = 0.1;
+    for (int e = 0; e < epochs; ++e)
+        model.trainEpoch(ds, cfg, rng);
+    std::printf("digital free-energy classification: %.1f%%\n",
+                model.accuracy(ds) * 100);
+
+    // Persist the joint model and reload it -- the deploy path.
+    const std::string path = "/tmp/isingrbm_classifier.txt";
+    rbm::saveRbm(model.joint(), path);
+    const rbm::Rbm reloaded = rbm::loadRbmFile(path);
+    std::printf("model saved to %s and reloaded (%zux%zu)\n",
+                path.c_str(), reloaded.numVisible(),
+                reloaded.numHidden());
+
+    // Substrate inference at increasing noise.
+    std::printf("\n%-16s %s\n", "(var, noise)", "fabric accuracy");
+    for (const machine::NoiseSpec &noise : machine::paperNoiseGrid()) {
+        machine::AnalogConfig fabricCfg;
+        fabricCfg.noise = noise;
+        machine::AnalogFabric fabric(reloaded.numVisible(),
+                                     reloaded.numHidden(), fabricCfg,
+                                     rng);
+        fabric.program(reloaded);
+        const double acc =
+            model.fabricAccuracy(fabric, ds, reads, rng);
+        std::printf("%.2f_%.2f        %.1f%%\n", noise.rmsVariation,
+                    noise.rmsNoise, acc * 100);
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Image-classification walkthrough: greedy DBN pre-training (the
+ * Table 1 DBN-DNN recipe) on the synthetic digit benchmark, trained
+ * either by software CD or fully in hardware by the Boltzmann
+ * gradient follower, followed by the logistic-regression head.
+ *
+ * Usage: image_classification [--trainer cd|gs|bgf] [--samples N]
+ *                             [--epochs E] [--layers 96,48]
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/registry.hpp"
+#include "eval/pipelines.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace ising;
+
+namespace {
+
+std::vector<std::size_t>
+parseLayers(const std::string &text, std::size_t inputDim)
+{
+    std::vector<std::size_t> layers = {inputDim};
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        layers.push_back(std::stoul(item));
+    return layers;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::CliArgs args(argc, argv);
+    const std::string trainerName = args.get("trainer", "bgf");
+    const std::size_t numSamples = args.getInt("samples", 1500);
+    const int epochs = static_cast<int>(args.getInt("epochs", 5));
+
+    eval::Trainer trainer = eval::Trainer::Bgf;
+    if (trainerName == "cd")
+        trainer = eval::Trainer::CdK;
+    else if (trainerName == "gs")
+        trainer = eval::Trainer::GibbsSampler;
+    else if (trainerName != "bgf")
+        util::fatal("unknown --trainer (use cd, gs or bgf)");
+
+    // Synthetic MNIST-stand-in, binarized, split 75/25.
+    data::Dataset raw = data::makeBenchmarkData("MNIST", numSamples, 42);
+    util::Rng rng(1);
+    const data::Split split =
+        data::trainTestSplit(data::binarizeThreshold(raw), 0.25, rng);
+    std::printf("train %zu / test %zu samples of dim %zu\n",
+                split.train.size(), split.test.size(),
+                split.train.dim());
+
+    const auto layers =
+        parseLayers(args.get("layers", "96,48"), split.train.dim());
+    std::printf("DBN stack:");
+    for (std::size_t l : layers)
+        std::printf(" %zu", l);
+    std::printf("  trainer: %s\n", trainerName.c_str());
+
+    eval::TrainSpec spec;
+    spec.trainer = trainer;
+    spec.k = trainer == eval::Trainer::Bgf ? 5 : 10;
+    spec.epochs = trainer == eval::Trainer::Bgf ? 2 * epochs : epochs;
+    spec.learningRate = 0.1;
+    spec.batchSize = 50;
+    spec.seed = 7;
+
+    util::Stopwatch sw;
+    const rbm::Dbn dbn = eval::trainDbn(split.train, layers, spec);
+    std::printf("greedy pre-training done in %.1fs\n", sw.seconds());
+
+    eval::LogisticConfig head;
+    head.epochs = 40;
+    util::Rng headRng(9);
+    const double acc = eval::classifierAccuracy(
+        dbn.transform(split.train), dbn.transform(split.test), head,
+        headRng);
+    std::printf("test accuracy with logistic head: %.1f%%\n", acc * 100);
+
+    // Raw-pixel baseline for context.  Note the synthetic glyphs are
+    // nearly linearly separable, so the baseline is strong; the DBN
+    // path demonstrates the hardware training pipeline end to end.
+    const double rawAcc = eval::classifierAccuracy(
+        split.train, split.test, head, headRng);
+    std::printf("raw-pixel logistic baseline:      %.1f%%\n",
+                rawAcc * 100);
+    return 0;
+}

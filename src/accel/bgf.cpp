@@ -1,0 +1,120 @@
+/**
+ * @file
+ * BGF implementation.
+ */
+
+#include "accel/bgf.hpp"
+
+#include <cassert>
+
+namespace ising::accel {
+
+namespace {
+
+machine::AnalogConfig
+withPumpStep(machine::AnalogConfig analog, double step)
+{
+    analog.pumpStep = step;
+    return analog;
+}
+
+} // namespace
+
+BoltzmannGradientFollower::BoltzmannGradientFollower(
+    std::size_t numVisible, std::size_t numHidden, const BgfConfig &config,
+    util::Rng &rng)
+    : config_(config), rng_(rng),
+      fabric_(numVisible, numHidden,
+              withPumpStep(config.analog, config.learningRate), rng)
+{
+    particles_.resize(std::max<std::size_t>(1, config_.numParticles));
+}
+
+void
+BoltzmannGradientFollower::initialize(const rbm::Rbm &initial)
+{
+    assert(initial.numVisible() == fabric_.numVisible());
+    assert(initial.numHidden() == fabric_.numHidden());
+    fabric_.program(initial);
+    particlesReady_ = false;
+    nextParticle_ = 0;
+}
+
+void
+BoltzmannGradientFollower::reprogram(const rbm::Rbm &weights)
+{
+    assert(weights.numVisible() == fabric_.numVisible());
+    assert(weights.numHidden() == fabric_.numHidden());
+    fabric_.program(weights);
+}
+
+void
+BoltzmannGradientFollower::trainSample(const float *data)
+{
+    const std::size_t n = fabric_.numHidden();
+
+    // Step 2: the host streams the sample to the visible latches.
+    linalg::Vector v;
+    fabric_.clampVisible(data, v);
+    counters_.bitsToDevice += fabric_.numVisible();
+
+    // Step 3: clamp, settle the hidden units; <v h>_{s+} increments W.
+    linalg::Vector hpos;
+    fabric_.sampleHidden(v, hpos, rng_);
+    ++counters_.fabricSweeps;
+    if (config_.midStepUpdates) {
+        fabric_.pumpUpdate(v, hpos, +1, rng_);
+        ++counters_.pumpPhases;
+    }
+
+    // Step 4: load a persistent particle and anneal.
+    if (!particlesReady_) {
+        // First sample: seed every particle from the current hidden
+        // sample perturbed by fresh sweeps.
+        for (auto &p : particles_)
+            p = hpos;
+        particlesReady_ = true;
+    }
+    linalg::Vector hneg = particles_[nextParticle_];
+    linalg::Vector vneg;
+    fabric_.anneal(config_.annealSteps, vneg, hneg, rng_);
+    counters_.fabricSweeps += 2 * static_cast<std::size_t>(
+        config_.annealSteps);
+
+    // Step 5: <v h>_{s-} decrements W.
+    if (!config_.midStepUpdates) {
+        // Synchronized ablation: both phases applied under W^t.
+        fabric_.pumpUpdate(v, hpos, +1, rng_);
+        ++counters_.pumpPhases;
+    }
+    fabric_.pumpUpdate(vneg, hneg, -1, rng_);
+    ++counters_.pumpPhases;
+
+    // Persist the particle [63].
+    particles_[nextParticle_] = hneg;
+    nextParticle_ = (nextParticle_ + 1) % particles_.size();
+
+    ++counters_.samplesProcessed;
+    (void)n;
+}
+
+void
+BoltzmannGradientFollower::trainEpoch(const data::Dataset &train)
+{
+    std::vector<std::size_t> order(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng_.shuffle(order.data(), order.size());
+    for (const std::size_t idx : order)
+        trainSample(train.sample(idx));
+}
+
+rbm::Rbm
+BoltzmannGradientFollower::readOut() const
+{
+    rbm::Rbm out;
+    fabric_.readOut(out);
+    return out;
+}
+
+} // namespace ising::accel

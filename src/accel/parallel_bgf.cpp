@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Data-parallel BGF implementation.
+ */
+
+#include "accel/parallel_bgf.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace ising::accel {
+
+ParallelBgf::ParallelBgf(std::size_t numVisible, std::size_t numHidden,
+                         const ParallelBgfConfig &config, util::Rng &rng)
+    : config_(config), rootRng_(rng)
+{
+    const std::size_t r = std::max<std::size_t>(1, config.numReplicas);
+    rngs_.reserve(r);
+    machines_.reserve(r);
+    for (std::size_t i = 0; i < r; ++i) {
+        rngs_.push_back(rng.split());
+        BgfConfig replicaCfg = config.replica;
+        // Each replica is a distinct die: its own fabrication lottery.
+        replicaCfg.analog.variationSeed =
+            config.replica.analog.variationSeed + i * 7919;
+        machines_.push_back(
+            std::make_unique<BoltzmannGradientFollower>(
+                numVisible, numHidden, replicaCfg, rngs_.back()));
+    }
+}
+
+void
+ParallelBgf::initialize(const rbm::Rbm &initial)
+{
+    for (auto &machine : machines_)
+        machine->initialize(initial);
+}
+
+void
+ParallelBgf::train(const data::Dataset &train, int epochs)
+{
+    const std::size_t r = machines_.size();
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        rootRng_.shuffle(order.data(), order.size());
+        // Deal samples round-robin into shards and stream each shard.
+        for (std::size_t i = 0; i < order.size(); ++i)
+            machines_[i % r]->trainSample(train.sample(order[i]));
+        const bool lastEpoch = epoch + 1 == epochs;
+        if (config_.syncEveryEpochs > 0 &&
+            ((epoch + 1) % config_.syncEveryEpochs == 0 || lastEpoch))
+            synchronize();
+        else if (lastEpoch)
+            synchronize();
+    }
+}
+
+void
+ParallelBgf::synchronize()
+{
+    if (machines_.size() == 1)
+        return;
+    rbm::Rbm mean = machines_[0]->readOut();
+    for (std::size_t i = 1; i < machines_.size(); ++i) {
+        const rbm::Rbm other = machines_[i]->readOut();
+        float *md = mean.weights().data();
+        const float *od = other.weights().data();
+        for (std::size_t k = 0; k < mean.weights().size(); ++k)
+            md[k] += od[k];
+        for (std::size_t v = 0; v < mean.numVisible(); ++v)
+            mean.visibleBias()[v] += other.visibleBias()[v];
+        for (std::size_t h = 0; h < mean.numHidden(); ++h)
+            mean.hiddenBias()[h] += other.hiddenBias()[h];
+    }
+    const float inv = 1.0f / static_cast<float>(machines_.size());
+    float *md = mean.weights().data();
+    for (std::size_t k = 0; k < mean.weights().size(); ++k)
+        md[k] *= inv;
+    for (std::size_t v = 0; v < mean.numVisible(); ++v)
+        mean.visibleBias()[v] *= inv;
+    for (std::size_t h = 0; h < mean.numHidden(); ++h)
+        mean.hiddenBias()[h] *= inv;
+    for (auto &machine : machines_)
+        machine->reprogram(mean);  // particles survive the sync
+}
+
+rbm::Rbm
+ParallelBgf::readOut() const
+{
+    // After the trailing synchronize() all replicas agree; read one.
+    return machines_[0]->readOut();
+}
+
+std::size_t
+ParallelBgf::samplesProcessed() const
+{
+    std::size_t acc = 0;
+    for (const auto &machine : machines_)
+        acc += machine->counters().samplesProcessed;
+    return acc;
+}
+
+} // namespace ising::accel

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Training-set parallelism over multiple BGF fabrics.
+ *
+ * Sec. 4.6 lists "support for exploiting training set parallelism" as
+ * a research direction that would improve the system's versatility.
+ * This module implements the straightforward data-parallel variant: R
+ * replica fabrics stream disjoint shards of the training set, and a
+ * lightweight synchronizer periodically averages their coupler states
+ * (read out through the ADCs, averaged, and reprogrammed), which is
+ * the standard model-averaging recipe for SGD-style learners.
+ */
+
+#ifndef ISINGRBM_ACCEL_PARALLEL_BGF_HPP
+#define ISINGRBM_ACCEL_PARALLEL_BGF_HPP
+
+#include <memory>
+#include <vector>
+
+#include "accel/bgf.hpp"
+
+namespace ising::accel {
+
+/** Data-parallel configuration. */
+struct ParallelBgfConfig
+{
+    std::size_t numReplicas = 4;
+    /** Average replica weights every this many epochs (0 = only at
+     *  the very end). */
+    int syncEveryEpochs = 1;
+    BgfConfig replica;  ///< per-fabric configuration
+};
+
+/** A fleet of BGF fabrics with periodic model averaging. */
+class ParallelBgf
+{
+  public:
+    ParallelBgf(std::size_t numVisible, std::size_t numHidden,
+                const ParallelBgfConfig &config, util::Rng &rng);
+
+    std::size_t numReplicas() const { return machines_.size(); }
+
+    /** Program every replica with the same initial model. */
+    void initialize(const rbm::Rbm &initial);
+
+    /**
+     * Train for @p epochs: each epoch shards the (shuffled) dataset
+     * across replicas, streams each shard into its fabric, and syncs
+     * per the configuration.
+     */
+    void train(const data::Dataset &train, int epochs);
+
+    /** Averaged model across replicas (ADC readout + mean). */
+    rbm::Rbm readOut() const;
+
+    /** Total samples processed across all replicas. */
+    std::size_t samplesProcessed() const;
+
+  private:
+    /** Read out all replicas, average, reprogram everywhere. */
+    void synchronize();
+
+    ParallelBgfConfig config_;
+    std::vector<util::Rng> rngs_;
+    std::vector<std::unique_ptr<BoltzmannGradientFollower>> machines_;
+    util::Rng &rootRng_;
+};
+
+} // namespace ising::accel
+
+#endif // ISINGRBM_ACCEL_PARALLEL_BGF_HPP

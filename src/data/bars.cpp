@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bars-and-stripes implementation.
+ */
+
+#include "data/bars.hpp"
+
+#include <cassert>
+
+namespace ising::data {
+
+namespace {
+
+/** Render one pattern: mask selects active rows (or columns). */
+void
+render(std::size_t side, std::size_t mask, bool columns, float *out)
+{
+    for (std::size_t y = 0; y < side; ++y)
+        for (std::size_t x = 0; x < side; ++x) {
+            const std::size_t line = columns ? x : y;
+            out[y * side + x] = (mask >> line) & 1 ? 1.0f : 0.0f;
+        }
+}
+
+} // namespace
+
+Dataset
+makeBarsAndStripes(std::size_t side, std::size_t numSamples,
+                   util::Rng &rng)
+{
+    Dataset ds;
+    ds.name = "bars-and-stripes";
+    ds.numClasses = 2;
+    ds.samples.reset(numSamples, side * side);
+    ds.labels.resize(numSamples);
+    for (std::size_t r = 0; r < numSamples; ++r) {
+        const bool columns = rng.bernoulli(0.5);
+        const std::size_t mask = rng.uniformInt(std::size_t{1} << side);
+        render(side, mask, columns, ds.samples.row(r));
+        ds.labels[r] = columns ? 1 : 0;
+    }
+    return ds;
+}
+
+std::vector<double>
+barsAndStripesDistribution(std::size_t side)
+{
+    const std::size_t dim = side * side;
+    assert(dim <= 24);
+    std::vector<double> p(std::size_t{1} << dim, 0.0);
+    // Generative process: coin for orientation, uniform mask.
+    const double perPattern =
+        0.5 / static_cast<double>(std::size_t{1} << side);
+    std::vector<float> img(dim);
+    for (int columns = 0; columns <= 1; ++columns) {
+        for (std::size_t mask = 0; mask < (std::size_t{1} << side);
+             ++mask) {
+            render(side, mask, columns, img.data());
+            std::size_t idx = 0;
+            for (std::size_t i = 0; i < dim; ++i)
+                if (img[i] > 0.5f)
+                    idx |= std::size_t{1} << i;
+            p[idx] += perPattern;
+        }
+    }
+    return p;
+}
+
+std::vector<double>
+featureMeans(const Dataset &ds)
+{
+    std::vector<double> mean(ds.dim(), 0.0);
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        const float *row = ds.sample(r);
+        for (std::size_t i = 0; i < ds.dim(); ++i)
+            mean[i] += row[i];
+    }
+    for (auto &m : mean)
+        m /= std::max<std::size_t>(1, ds.size());
+    return mean;
+}
+
+double
+onFraction(const Dataset &ds)
+{
+    std::size_t on = 0;
+    const float *d = ds.samples.data();
+    for (std::size_t i = 0; i < ds.samples.size(); ++i)
+        on += d[i] > 0.5f;
+    return ds.samples.size()
+        ? static_cast<double>(on) /
+              static_cast<double>(ds.samples.size())
+        : 0.0;
+}
+
+} // namespace ising::data

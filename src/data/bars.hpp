@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The canonical "bars and stripes" RBM benchmark distribution plus
+ * dataset summary statistics.
+ *
+ * Bars-and-stripes (MacKay, ITILA Ch. 43) is the standard enumerable
+ * distribution for validating energy-based learners: an s x s binary
+ * image is either a set of full rows or a set of full columns, each of
+ * the 2^(s+1)-2 distinct patterns equally likely.  Small instances are
+ * exactly tractable, making them ideal for bias studies and tests.
+ */
+
+#ifndef ISINGRBM_DATA_BARS_HPP
+#define ISINGRBM_DATA_BARS_HPP
+
+#include "data/dataset.hpp"
+
+namespace ising::data {
+
+/**
+ * Sample a bars-and-stripes dataset of s x s images (dim = s*s).
+ * labels: 0 = rows ("bars"), 1 = columns ("stripes").
+ */
+Dataset makeBarsAndStripes(std::size_t side, std::size_t numSamples,
+                           util::Rng &rng);
+
+/**
+ * The exact bars-and-stripes distribution over all 2^(s*s) visible
+ * states (indexed little-endian), for KL evaluation.  Requires
+ * side*side <= 24.  The all-zero and all-one images, reachable from
+ * both pattern families, carry the merged probability mass.
+ */
+std::vector<double> barsAndStripesDistribution(std::size_t side);
+
+/** Per-dimension mean of a dataset (the "mean image"). */
+std::vector<double> featureMeans(const Dataset &ds);
+
+/** Fraction of entries above 0.5 ("ink" for binary images). */
+double onFraction(const Dataset &ds);
+
+} // namespace ising::data
+
+#endif // ISINGRBM_DATA_BARS_HPP

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dataset container utilities.
+ */
+
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ising::data {
+
+Split
+trainTestSplit(const Dataset &ds, double testFrac, util::Rng &rng)
+{
+    assert(testFrac >= 0.0 && testFrac <= 1.0);
+    const std::size_t n = ds.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order.data(), n);
+
+    const auto nTest = static_cast<std::size_t>(testFrac * n);
+    const std::size_t nTrain = n - nTest;
+
+    Split out;
+    const bool labeled = !ds.labels.empty();
+    auto fill = [&](Dataset &dst, std::size_t begin, std::size_t count) {
+        dst.name = ds.name;
+        dst.numClasses = ds.numClasses;
+        dst.samples.reset(count, ds.dim());
+        if (labeled)
+            dst.labels.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::size_t src = order[begin + i];
+            std::copy_n(ds.sample(src), ds.dim(), dst.samples.row(i));
+            if (labeled)
+                dst.labels[i] = ds.labels[src];
+        }
+    };
+    fill(out.train, 0, nTrain);
+    fill(out.test, nTrain, nTest);
+    return out;
+}
+
+Dataset
+binarize(const Dataset &ds, util::Rng &rng)
+{
+    Dataset out = ds;
+    float *d = out.samples.data();
+    for (std::size_t i = 0; i < out.samples.size(); ++i)
+        d[i] = rng.bernoulli(d[i]) ? 1.0f : 0.0f;
+    return out;
+}
+
+Dataset
+binarizeThreshold(const Dataset &ds, float threshold)
+{
+    Dataset out = ds;
+    float *d = out.samples.data();
+    for (std::size_t i = 0; i < out.samples.size(); ++i)
+        d[i] = d[i] > threshold ? 1.0f : 0.0f;
+    return out;
+}
+
+MinibatchPlan::MinibatchPlan(std::size_t numSamples, std::size_t batchSize,
+                             util::Rng &rng)
+    : order_(numSamples), batchSize_(batchSize ? batchSize : 1)
+{
+    std::iota(order_.begin(), order_.end(), 0);
+    rng.shuffle(order_.data(), numSamples);
+}
+
+std::size_t
+MinibatchPlan::numBatches() const
+{
+    return (order_.size() + batchSize_ - 1) / batchSize_;
+}
+
+std::vector<std::size_t>
+MinibatchPlan::batch(std::size_t b) const
+{
+    const std::size_t begin = b * batchSize_;
+    const std::size_t end = std::min(order_.size(), begin + batchSize_);
+    assert(begin < order_.size());
+    return {order_.begin() + begin, order_.begin() + end};
+}
+
+} // namespace ising::data

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * In-memory dataset container shared by all workloads.
+ *
+ * Samples are stored as a dense row-major matrix (one sample per row)
+ * with values in [0, 1].  Classification datasets carry integer labels;
+ * unsupervised ones leave the label vector empty.
+ */
+
+#ifndef ISINGRBM_DATA_DATASET_HPP
+#define ISINGRBM_DATA_DATASET_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ising::data {
+
+/** A labeled (or unlabeled) dense dataset. */
+struct Dataset
+{
+    std::string name;
+    linalg::Matrix samples;   ///< (numSamples x dim), values in [0, 1]
+    std::vector<int> labels;  ///< empty for unsupervised data
+    int numClasses = 0;
+
+    std::size_t size() const { return samples.rows(); }
+    std::size_t dim() const { return samples.cols(); }
+
+    /** Row view of one sample. */
+    const float *sample(std::size_t i) const { return samples.row(i); }
+};
+
+/** Train/test split of a dataset. */
+struct Split
+{
+    Dataset train;
+    Dataset test;
+};
+
+/**
+ * Shuffle and split a dataset into train/test partitions.
+ *
+ * @param ds        source dataset (copied)
+ * @param testFrac  fraction of samples assigned to the test partition
+ * @param rng       randomness source for the shuffle
+ */
+Split trainTestSplit(const Dataset &ds, double testFrac, util::Rng &rng);
+
+/**
+ * Stochastic binarization: each pixel becomes 1 with probability equal
+ * to its intensity.  This is the standard RBM preprocessing for
+ * grayscale images.
+ */
+Dataset binarize(const Dataset &ds, util::Rng &rng);
+
+/** Deterministic threshold binarization (pixel > threshold). */
+Dataset binarizeThreshold(const Dataset &ds, float threshold = 0.5f);
+
+/**
+ * Minibatch index iterator: deals out shuffled index blocks of size
+ * batchSize covering the dataset once per epoch.
+ */
+class MinibatchPlan
+{
+  public:
+    MinibatchPlan(std::size_t numSamples, std::size_t batchSize,
+                  util::Rng &rng);
+
+    std::size_t numBatches() const;
+
+    /** Indices belonging to batch b (last batch may be short). */
+    std::vector<std::size_t> batch(std::size_t b) const;
+
+  private:
+    std::vector<std::size_t> order_;
+    std::size_t batchSize_;
+};
+
+} // namespace ising::data
+
+#endif // ISINGRBM_DATA_DATASET_HPP

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fraud dataset synthesis.
+ */
+
+#include "data/fraud.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace ising::data {
+
+Dataset
+makeFraud(const FraudStyle &style, std::size_t numSamples,
+          std::uint64_t seed)
+{
+    util::Rng modeRng(style.familySeed);
+    const std::size_t d = style.dim;
+
+    // Fixed mixture geometry from the family seed.
+    std::vector<std::vector<double>> normalMeans(
+        style.normalModes, std::vector<double>(d));
+    for (auto &mean : normalMeans)
+        for (auto &x : mean)
+            x = modeRng.gaussian(0.0, 0.8);
+    std::vector<double> fraudDir(d);
+    double norm = 0.0;
+    for (auto &x : fraudDir) {
+        x = modeRng.gaussian(0.0, 1.0);
+        norm += x * x;
+    }
+    norm = std::sqrt(norm);
+    for (auto &x : fraudDir)
+        x = x / norm * style.fraudShift;
+
+    Dataset ds;
+    ds.name = "fraud";
+    ds.numClasses = 2;
+    ds.samples.reset(numSamples, d);
+    ds.labels.resize(numSamples);
+
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < numSamples; ++i) {
+        const bool isFraud = rng.bernoulli(style.fraudRate);
+        ds.labels[i] = isFraud ? 1 : 0;
+        float *row = ds.samples.row(i);
+        const auto &mean = normalMeans[rng.uniformInt(style.normalModes)];
+        for (std::size_t f = 0; f < d; ++f) {
+            double x = mean[f] + rng.gaussian(0.0, 1.0);
+            if (isFraud)
+                x = mean[f] + fraudDir[f] +
+                    rng.gaussian(0.0, style.fraudScale);
+            row[f] = static_cast<float>(util::sigmoid(x));
+        }
+    }
+    return ds;
+}
+
+} // namespace ising::data

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Procedural glyph rendering.
+ *
+ * Each class glyph is a list of primitives (line strokes or filled
+ * ellipses/rectangles) in a normalized [-1, 1]^2 frame.  Samples apply
+ * an affine jitter, rasterize with anti-aliased distance falloff, and
+ * sprinkle salt/pepper noise.
+ */
+
+#include "data/glyphs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ising::data {
+
+namespace {
+
+/** One drawing primitive in the normalized glyph frame. */
+struct Primitive
+{
+    enum class Kind { Stroke, Ellipse, Rect } kind = Kind::Stroke;
+    // Stroke: (x0,y0)-(x1,y1) segment.  Ellipse/Rect: center (x0,y0),
+    // half-extents (x1,y1).
+    double x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+};
+
+using Glyph = std::vector<Primitive>;
+
+/** Distance from point p to segment a-b. */
+double
+segmentDistance(double px, double py, const Primitive &s)
+{
+    const double dx = s.x1 - s.x0, dy = s.y1 - s.y0;
+    const double len2 = dx * dx + dy * dy;
+    double t = 0.0;
+    if (len2 > 1e-12)
+        t = std::clamp(((px - s.x0) * dx + (py - s.y0) * dy) / len2, 0.0, 1.0);
+    const double cx = s.x0 + t * dx, cy = s.y0 + t * dy;
+    return std::hypot(px - cx, py - cy);
+}
+
+/** Build the fixed glyph for one class from the family seed. */
+Glyph
+buildGlyph(const GlyphStyle &style, int cls)
+{
+    util::Rng rng(style.familySeed * 0x1000193ull + cls * 0x9E3779B9ull + 7);
+    Glyph glyph;
+    if (style.filledShapes) {
+        // Silhouette families: one big body plus 1-2 attachments.
+        const int parts = 1 + static_cast<int>(rng.uniformInt(2));
+        for (int p = 0; p <= parts; ++p) {
+            Primitive prim;
+            prim.kind = rng.bernoulli(0.5) ? Primitive::Kind::Ellipse
+                                           : Primitive::Kind::Rect;
+            prim.x0 = rng.uniform(-0.35, 0.35);
+            prim.y0 = rng.uniform(-0.45, 0.45);
+            prim.x1 = rng.uniform(0.18, 0.55);  // half width
+            prim.y1 = rng.uniform(0.18, 0.60);  // half height
+            glyph.push_back(prim);
+        }
+        return glyph;
+    }
+    const int span = style.maxStrokes - style.minStrokes + 1;
+    const int strokes =
+        style.minStrokes + static_cast<int>(rng.uniformInt(span));
+    // Connected stroke chain: successive strokes share endpoints so the
+    // glyph looks like handwriting rather than scattered dashes.
+    double x = rng.uniform(-0.6, 0.6), y = rng.uniform(-0.7, 0.0);
+    for (int s = 0; s < strokes; ++s) {
+        Primitive prim;
+        prim.kind = Primitive::Kind::Stroke;
+        prim.x0 = x;
+        prim.y0 = y;
+        // Bias strokes downward/around so glyphs stay centered.
+        x = std::clamp(x + rng.uniform(-0.9, 0.9), -0.8, 0.8);
+        y = std::clamp(y + rng.uniform(-0.5, 0.9), -0.8, 0.8);
+        prim.x1 = x;
+        prim.y1 = y;
+        glyph.push_back(prim);
+    }
+    return glyph;
+}
+
+/** Rasterize one jittered glyph instance into a 784-float row. */
+void
+renderSample(const Glyph &glyph, const GlyphStyle &style, util::Rng &rng,
+             float *out)
+{
+    const double tx = rng.uniform(-style.jitterPos, style.jitterPos);
+    const double ty = rng.uniform(-style.jitterPos, style.jitterPos);
+    const double rot = rng.uniform(-style.jitterRot, style.jitterRot);
+    const double scale = 1.0 + rng.uniform(-style.jitterScale,
+                                           style.jitterScale);
+    const double cr = std::cos(rot), sr = std::sin(rot);
+    const double half = kGlyphSide / 2.0;
+    // Pixel footprint of one normalized unit.
+    const double unit = half * 0.82 * scale;
+    const double width = style.strokeWidth;
+
+    for (std::size_t py = 0; py < kGlyphSide; ++py) {
+        for (std::size_t px = 0; px < kGlyphSide; ++px) {
+            // Map pixel center back into the normalized glyph frame.
+            const double gx0 = (px + 0.5 - half - tx) / unit;
+            const double gy0 = (py + 0.5 - half - ty) / unit;
+            const double gx = cr * gx0 + sr * gy0;
+            const double gy = -sr * gx0 + cr * gy0;
+
+            double intensity = 0.0;
+            for (const Primitive &prim : glyph) {
+                double v = 0.0;
+                switch (prim.kind) {
+                  case Primitive::Kind::Stroke: {
+                    const double d = segmentDistance(gx, gy, prim) * unit;
+                    v = std::clamp(1.0 - (d - width * 0.5) / width, 0.0, 1.0);
+                    break;
+                  }
+                  case Primitive::Kind::Ellipse: {
+                    const double nx = (gx - prim.x0) / prim.x1;
+                    const double ny = (gy - prim.y0) / prim.y1;
+                    const double r = nx * nx + ny * ny;
+                    v = r <= 1.0 ? 1.0 : std::max(0.0, 1.4 - r * 0.4 - 1.0);
+                    break;
+                  }
+                  case Primitive::Kind::Rect: {
+                    const double ax = std::fabs(gx - prim.x0) / prim.x1;
+                    const double ay = std::fabs(gy - prim.y0) / prim.y1;
+                    v = (ax <= 1.0 && ay <= 1.0) ? 1.0 : 0.0;
+                    break;
+                  }
+                }
+                intensity = std::max(intensity, v);
+            }
+            if (style.pixelNoise > 0.0 && rng.bernoulli(style.pixelNoise))
+                intensity = 1.0 - intensity;
+            out[py * kGlyphSide + px] = static_cast<float>(intensity);
+        }
+    }
+}
+
+} // namespace
+
+GlyphStyle
+digitsStyle()
+{
+    GlyphStyle s;
+    s.numClasses = 10;
+    s.minStrokes = 2;
+    s.maxStrokes = 4;
+    s.familySeed = 101;
+    return s;
+}
+
+GlyphStyle
+kuzushijiStyle()
+{
+    GlyphStyle s;
+    s.numClasses = 10;
+    s.minStrokes = 4;
+    s.maxStrokes = 7;
+    s.jitterPos = 2.2;
+    s.jitterRot = 0.18;
+    s.pixelNoise = 0.03;
+    s.familySeed = 202;
+    return s;
+}
+
+GlyphStyle
+fashionStyle()
+{
+    GlyphStyle s;
+    s.numClasses = 10;
+    s.filledShapes = true;
+    s.jitterPos = 1.8;
+    s.jitterRot = 0.12;
+    s.pixelNoise = 0.025;
+    s.familySeed = 303;
+    return s;
+}
+
+GlyphStyle
+lettersStyle()
+{
+    GlyphStyle s;
+    s.numClasses = 26;
+    s.minStrokes = 2;
+    s.maxStrokes = 5;
+    s.jitterPos = 1.8;
+    s.jitterRot = 0.14;
+    s.familySeed = 404;
+    return s;
+}
+
+Dataset
+makeGlyphs(const GlyphStyle &style, std::size_t numSamples,
+           std::uint64_t seed)
+{
+    std::vector<Glyph> glyphs;
+    glyphs.reserve(style.numClasses);
+    for (int c = 0; c < style.numClasses; ++c)
+        glyphs.push_back(buildGlyph(style, c));
+
+    Dataset ds;
+    ds.name = style.filledShapes ? "fashion-glyphs" : "glyphs";
+    ds.numClasses = style.numClasses;
+    ds.samples.reset(numSamples, kGlyphPixels);
+    ds.labels.resize(numSamples);
+
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < numSamples; ++i) {
+        const int cls = static_cast<int>(i % style.numClasses);
+        ds.labels[i] = cls;
+        renderSample(glyphs[cls], style, rng, ds.samples.row(i));
+    }
+    return ds;
+}
+
+} // namespace ising::data

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Synthetic 28x28 glyph image generators.
+ *
+ * The paper trains on MNIST / KMNIST / FMNIST / EMNIST.  Those corpora
+ * are not redistributable inside this repository, so we substitute
+ * procedurally generated glyph datasets with the same tensor shapes
+ * (784 visible units), the same number of classes, and tunable
+ * intra-class variability.  Each class owns a fixed set of strokes (or
+ * filled silhouettes for the fashion variant) derived from a
+ * class-conditional seed; individual samples apply random affine jitter
+ * and pixel noise.  The RBM sees exactly the statistics that matter for
+ * the experiments: binary-ish pixel intensities with strong
+ * class-conditional structure and smooth local correlations.
+ */
+
+#ifndef ISINGRBM_DATA_GLYPHS_HPP
+#define ISINGRBM_DATA_GLYPHS_HPP
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace ising::data {
+
+/** Image side length used by all glyph datasets (28 -> 784 pixels). */
+constexpr std::size_t kGlyphSide = 28;
+constexpr std::size_t kGlyphPixels = kGlyphSide * kGlyphSide;
+
+/** Knobs controlling a glyph family's look and difficulty. */
+struct GlyphStyle
+{
+    int numClasses = 10;       ///< distinct glyph classes
+    int minStrokes = 2;        ///< strokes per class glyph, lower bound
+    int maxStrokes = 4;        ///< strokes per class glyph, upper bound
+    double jitterPos = 1.5;    ///< px of random translation per sample
+    double jitterRot = 0.10;   ///< radians of random rotation per sample
+    double jitterScale = 0.08; ///< relative scale jitter per sample
+    double strokeWidth = 1.6;  ///< stroke half-width in pixels
+    double pixelNoise = 0.02;  ///< probability of salt/pepper flip
+    bool filledShapes = false; ///< silhouettes instead of strokes (FMNIST)
+    std::uint64_t familySeed = 1; ///< distinguishes glyph families
+};
+
+/** Style presets approximating each benchmark's difficulty ordering. */
+GlyphStyle digitsStyle();    ///< MNIST-like: simple, clean strokes
+GlyphStyle kuzushijiStyle(); ///< KMNIST-like: more strokes, more jitter
+GlyphStyle fashionStyle();   ///< FMNIST-like: filled silhouettes
+GlyphStyle lettersStyle();   ///< EMNIST-like: 26 classes
+
+/**
+ * Generate a glyph dataset.
+ *
+ * @param style        family preset
+ * @param numSamples   total samples, spread uniformly over classes
+ * @param seed         sample-level randomness seed (the class glyph
+ *                     shapes depend only on style.familySeed)
+ */
+Dataset makeGlyphs(const GlyphStyle &style, std::size_t numSamples,
+                   std::uint64_t seed);
+
+} // namespace ising::data
+
+#endif // ISINGRBM_DATA_GLYPHS_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Patch-feature generation.
+ */
+
+#include "data/patches.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace ising::data {
+
+PatchStyle
+cifarPatchStyle()
+{
+    PatchStyle s;
+    s.dim = 108;
+    s.numClasses = 10;
+    s.familySeed = 515;
+    return s;
+}
+
+PatchStyle
+norbPatchStyle()
+{
+    PatchStyle s;
+    s.dim = 36;
+    s.numClasses = 5;
+    s.templatesPerClass = 3;
+    s.familySeed = 616;
+    return s;
+}
+
+Dataset
+makePatches(const PatchStyle &style, std::size_t numSamples,
+            std::uint64_t seed)
+{
+    // Fixed per-class template dictionary derived from the family seed.
+    util::Rng tmplRng(style.familySeed);
+    const std::size_t t = style.templatesPerClass;
+    std::vector<std::vector<float>> templates(
+        style.numClasses * t, std::vector<float>(style.dim));
+    for (auto &tmpl : templates)
+        for (auto &x : tmpl)
+            x = static_cast<float>(tmplRng.gaussian(0.0, 1.0));
+
+    Dataset ds;
+    ds.name = style.dim == 108 ? "cifar-patches" : "norb-patches";
+    ds.numClasses = style.numClasses;
+    ds.samples.reset(numSamples, style.dim);
+    ds.labels.resize(numSamples);
+
+    util::Rng rng(seed);
+    std::vector<double> coeff(t);
+    for (std::size_t i = 0; i < numSamples; ++i) {
+        const int cls = static_cast<int>(i % style.numClasses);
+        ds.labels[i] = cls;
+        // Sample mixing coefficients over the class dictionary; one
+        // template dominates so classes stay separable.
+        const std::size_t lead = rng.uniformInt(t);
+        for (std::size_t k = 0; k < t; ++k) {
+            coeff[k] = (k == lead ? 1.0 : 0.0) +
+                       rng.gaussian(0.0, style.withinClassStd);
+        }
+        float *row = ds.samples.row(i);
+        for (std::size_t d = 0; d < style.dim; ++d) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < t; ++k)
+                acc += coeff[k] * templates[cls * t + k][d];
+            acc += rng.gaussian(0.0, style.featureNoise);
+            // Squash whitened features into the [0, 1] visible range.
+            row[d] = static_cast<float>(util::sigmoid(1.5 * acc));
+        }
+    }
+    return ds;
+}
+
+} // namespace ising::data

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Synthetic patch-feature datasets substituting for CIFAR-10 and
+ * SmallNORB.
+ *
+ * The paper feeds CIFAR-10 / SmallNORB through a convolutional RBM
+ * front end (Coates et al. style) and attaches an RBM of input size
+ * 108 (6x6x3 color patch) or 36 (6x6 grayscale patch) to the extracted
+ * patch features (Table 1: CIFAR10 108-1024, SmallNorb 36-1024).  We
+ * generate class-conditional whitened patch features of exactly those
+ * dimensions: per class, a low-rank dictionary of patch "templates"
+ * mixed with within-class coefficients, squashed into [0, 1].
+ */
+
+#ifndef ISINGRBM_DATA_PATCHES_HPP
+#define ISINGRBM_DATA_PATCHES_HPP
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace ising::data {
+
+/** Configuration for a patch-feature dataset. */
+struct PatchStyle
+{
+    std::size_t dim = 108;   ///< patch feature dimension (108 / 36)
+    int numClasses = 10;     ///< CIFAR: 10; SmallNORB: 5
+    int templatesPerClass = 4;
+    double withinClassStd = 0.28; ///< coefficient spread within a class
+    double featureNoise = 0.08;   ///< additive feature noise
+    std::uint64_t familySeed = 11;
+};
+
+/** CIFAR-10-like: 108-dim color patch features, 10 classes. */
+PatchStyle cifarPatchStyle();
+
+/** SmallNORB-like: 36-dim grayscale patch features, 5 classes. */
+PatchStyle norbPatchStyle();
+
+/** Generate numSamples class-balanced patch-feature vectors. */
+Dataset makePatches(const PatchStyle &style, std::size_t numSamples,
+                    std::uint64_t seed);
+
+} // namespace ising::data
+
+#endif // ISINGRBM_DATA_PATCHES_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Latent-factor rating synthesis.
+ */
+
+#include "data/ratings.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ising::data {
+
+RatingData
+makeRatings(const RatingStyle &style, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    const int u = style.numUsers, m = style.numItems, k = style.latentDim;
+
+    std::vector<double> userF(u * k), itemF(m * k);
+    std::vector<double> userBias(u), itemBias(m);
+    for (auto &x : userF)
+        x = rng.gaussian(0.0, 1.0 / std::sqrt(k));
+    for (auto &x : itemF)
+        x = rng.gaussian(0.0, 1.0 / std::sqrt(k));
+    for (auto &x : userBias)
+        x = rng.gaussian(0.0, 0.45);
+    for (auto &x : itemBias)
+        x = rng.gaussian(0.0, 0.55);
+
+    RatingData out;
+    out.numUsers = u;
+    out.numItems = m;
+
+    std::vector<Rating> observed;
+    for (int ui = 0; ui < u; ++ui) {
+        for (int it = 0; it < m; ++it) {
+            if (!rng.bernoulli(style.density))
+                continue;
+            double score = 3.55 + userBias[ui] + itemBias[it];
+            for (int f = 0; f < k; ++f)
+                score += 1.8 * userF[ui * k + f] * itemF[it * k + f];
+            score += rng.gaussian(0.0, style.noiseStd);
+            const int stars =
+                std::clamp(static_cast<int>(std::lround(score)), 1, 5);
+            observed.push_back({ui, it, stars});
+        }
+    }
+    // Partition observed ratings into train/test.
+    std::vector<std::size_t> order(observed.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order.data(), order.size());
+    const auto nTest =
+        static_cast<std::size_t>(style.testFrac * observed.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i < nTest)
+            out.test.push_back(observed[order[i]]);
+        else
+            out.train.push_back(observed[order[i]]);
+    }
+    return out;
+}
+
+} // namespace ising::data

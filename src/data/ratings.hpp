@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Synthetic collaborative-filtering dataset substituting for
+ * MovieLens-100k.
+ *
+ * The paper's recommendation benchmark is a 943-user x 100-item RBM
+ * (Table 1: "Recommendation systems 943-100") trained per
+ * Salakhutdinov et al.'s CF-RBM.  We generate ratings from a
+ * latent-factor model: user and item factor vectors plus biases, with
+ * realistic sparsity (most user/item pairs unobserved) and 1..5 star
+ * quantization.  Held-out observed ratings form the test set for MAE.
+ */
+
+#ifndef ISINGRBM_DATA_RATINGS_HPP
+#define ISINGRBM_DATA_RATINGS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace ising::data {
+
+/** One observed (user, item, stars) triple. */
+struct Rating
+{
+    int user = 0;
+    int item = 0;
+    int stars = 0;  ///< 1..5
+};
+
+/** A sparse rating corpus with a train/test partition. */
+struct RatingData
+{
+    int numUsers = 0;
+    int numItems = 0;
+    int numStars = 5;
+    std::vector<Rating> train;
+    std::vector<Rating> test;
+};
+
+/** Generator configuration. */
+struct RatingStyle
+{
+    int numUsers = 943;
+    int numItems = 100;
+    int latentDim = 6;
+    double density = 0.11;   ///< fraction of (user,item) pairs observed
+    double testFrac = 0.15;  ///< held-out fraction of observed ratings
+    double noiseStd = 0.35;  ///< pre-quantization rating noise
+};
+
+/** Generate a synthetic rating corpus. */
+RatingData makeRatings(const RatingStyle &style, std::uint64_t seed);
+
+} // namespace ising::data
+
+#endif // ISINGRBM_DATA_RATINGS_HPP

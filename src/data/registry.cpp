@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 1 registry implementation.
+ */
+
+#include "data/registry.hpp"
+
+#include "data/fraud.hpp"
+#include "data/glyphs.hpp"
+#include "data/patches.hpp"
+#include "util/logging.hpp"
+
+namespace ising::data {
+
+std::vector<BenchmarkConfig>
+table1Configs()
+{
+    // Table 1 of the paper: "Dataset parameters of different types of
+    // Neural Networks used in evaluation."
+    return {
+        {"MNIST",     784, 200,  {784, 500, 500, 10},  true},
+        {"KMNIST",    784, 500,  {784, 500, 1000, 10}, true},
+        {"FMNIST",    784, 784,  {784, 784, 1000, 10}, true},
+        {"EMNIST",    784, 1024, {784, 784, 784, 26},  true},
+        {"CIFAR10",   108, 1024, {},                   true},
+        {"SmallNorb", 36,  1024, {},                   true},
+        {"RC",        943, 100,  {},                   false},
+        {"Anomaly",   28,  10,   {},                   false},
+    };
+}
+
+BenchmarkConfig
+configFor(const std::string &name)
+{
+    for (const auto &cfg : table1Configs())
+        if (cfg.name == name)
+            return cfg;
+    util::fatal("unknown benchmark config: " + name);
+}
+
+Dataset
+makeBenchmarkData(const std::string &name, std::size_t numSamples,
+                  std::uint64_t seed)
+{
+    if (name == "MNIST")
+        return makeGlyphs(digitsStyle(), numSamples, seed);
+    if (name == "KMNIST")
+        return makeGlyphs(kuzushijiStyle(), numSamples, seed);
+    if (name == "FMNIST")
+        return makeGlyphs(fashionStyle(), numSamples, seed);
+    if (name == "EMNIST")
+        return makeGlyphs(lettersStyle(), numSamples, seed);
+    if (name == "CIFAR10")
+        return makePatches(cifarPatchStyle(), numSamples, seed);
+    if (name == "SmallNorb")
+        return makePatches(norbPatchStyle(), numSamples, seed);
+    util::fatal("no image generator for benchmark: " + name);
+}
+
+} // namespace ising::data

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Benchmark registry: the paper's Table 1 model configurations mapped
+ * to our synthetic dataset generators.
+ *
+ * Every experiment harness resolves workloads through this registry so
+ * the dataset dimensions, RBM shapes and DBN stacks match the paper in
+ * one place.
+ */
+
+#ifndef ISINGRBM_DATA_REGISTRY_HPP
+#define ISINGRBM_DATA_REGISTRY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace ising::data {
+
+/** One row of the paper's Table 1. */
+struct BenchmarkConfig
+{
+    std::string name;            ///< e.g. "MNIST"
+    std::size_t visible = 0;     ///< RBM visible units
+    std::size_t hidden = 0;      ///< RBM hidden units
+    std::vector<std::size_t> dbnLayers; ///< DBN-DNN layer widths (empty
+                                        ///< if the paper lists none)
+    bool isImage = true;         ///< participates in Fig. 7/Table 4 image rows
+};
+
+/** All Table 1 rows, in paper order. */
+std::vector<BenchmarkConfig> table1Configs();
+
+/** Look up one row by (case-sensitive) name; fatal if unknown. */
+BenchmarkConfig configFor(const std::string &name);
+
+/**
+ * Generate the synthetic dataset standing in for a Table 1 image/patch
+ * benchmark (MNIST/KMNIST/FMNIST/EMNIST/CIFAR10/SmallNorb).
+ *
+ * Recommendation and anomaly workloads use their dedicated generators
+ * (data/ratings.hpp, data/fraud.hpp).
+ */
+Dataset makeBenchmarkData(const std::string &name, std::size_t numSamples,
+                          std::uint64_t seed);
+
+} // namespace ising::data
+
+#endif // ISINGRBM_DATA_REGISTRY_HPP

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Softmax regression implementation.
+ */
+
+#include "eval/classifier.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/ops.hpp"
+
+namespace ising::eval {
+
+LogisticRegression::LogisticRegression(std::size_t dim, int numClasses)
+    : dim_(dim), numClasses_(numClasses),
+      w_(numClasses, dim), b_(numClasses)
+{
+}
+
+void
+LogisticRegression::predictProbs(const float *x,
+                                 std::vector<double> &probs) const
+{
+    probs.resize(numClasses_);
+    double mx = -1e300;
+    for (int c = 0; c < numClasses_; ++c) {
+        const float *wrow = w_.row(c);
+        double act = b_[c];
+        for (std::size_t d = 0; d < dim_; ++d)
+            act += wrow[d] * x[d];
+        probs[c] = act;
+        mx = std::max(mx, act);
+    }
+    double z = 0.0;
+    for (int c = 0; c < numClasses_; ++c) {
+        probs[c] = std::exp(probs[c] - mx);
+        z += probs[c];
+    }
+    for (int c = 0; c < numClasses_; ++c)
+        probs[c] /= z;
+}
+
+int
+LogisticRegression::predict(const float *x) const
+{
+    std::vector<double> probs;
+    predictProbs(x, probs);
+    int best = 0;
+    for (int c = 1; c < numClasses_; ++c)
+        if (probs[c] > probs[best])
+            best = c;
+    return best;
+}
+
+void
+LogisticRegression::train(const data::Dataset &train,
+                          const LogisticConfig &config, util::Rng &rng)
+{
+    assert(train.dim() == dim_);
+    assert(!train.labels.empty());
+    std::vector<double> probs;
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        data::MinibatchPlan plan(train.size(), config.batchSize, rng);
+        for (std::size_t bidx = 0; bidx < plan.numBatches(); ++bidx) {
+            const auto batch = plan.batch(bidx);
+            const double scale =
+                config.learningRate / static_cast<double>(batch.size());
+            // Accumulate gradient over the batch and step.
+            linalg::Matrix gw(numClasses_, dim_);
+            linalg::Vector gb(numClasses_);
+            for (const std::size_t idx : batch) {
+                const float *x = train.sample(idx);
+                predictProbs(x, probs);
+                const int y = train.labels[idx];
+                for (int c = 0; c < numClasses_; ++c) {
+                    const double err =
+                        probs[c] - (c == y ? 1.0 : 0.0);
+                    float *grow = gw.row(c);
+                    const float errf = static_cast<float>(err);
+                    for (std::size_t d = 0; d < dim_; ++d)
+                        grow[d] += errf * x[d];
+                    gb[c] += errf;
+                }
+            }
+            const float lr = static_cast<float>(scale);
+            const float decay =
+                static_cast<float>(config.l2 * config.learningRate);
+            float *wd = w_.data();
+            const float *gd = gw.data();
+            for (std::size_t i = 0; i < w_.size(); ++i)
+                wd[i] -= lr * gd[i] + decay * wd[i];
+            for (int c = 0; c < numClasses_; ++c)
+                b_[c] -= lr * gb[c];
+        }
+    }
+}
+
+double
+LogisticRegression::accuracy(const data::Dataset &ds) const
+{
+    assert(!ds.labels.empty());
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < ds.size(); ++r)
+        if (predict(ds.sample(r)) == ds.labels[r])
+            ++correct;
+    return ds.size()
+        ? static_cast<double>(correct) / static_cast<double>(ds.size())
+        : 0.0;
+}
+
+double
+LogisticRegression::loss(const data::Dataset &ds) const
+{
+    std::vector<double> probs;
+    double acc = 0.0;
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        predictProbs(ds.sample(r), probs);
+        acc -= std::log(std::max(probs[ds.labels[r]], 1e-12));
+    }
+    return ds.size() ? acc / static_cast<double>(ds.size()) : 0.0;
+}
+
+double
+classifierAccuracy(const data::Dataset &trainFeatures,
+                   const data::Dataset &testFeatures,
+                   const LogisticConfig &config, util::Rng &rng)
+{
+    LogisticRegression head(trainFeatures.dim(),
+                            trainFeatures.numClasses);
+    head.train(trainFeatures, config, rng);
+    return head.accuracy(testFeatures);
+}
+
+} // namespace ising::eval

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Multinomial logistic-regression head.
+ *
+ * The paper reports "classification accuracy using logistic regression
+ * layer at the end" on top of RBM/DBN features (Table 4).  This is
+ * that layer: softmax regression trained by minibatch SGD with L2
+ * regularization on features produced by rbm::Rbm::hiddenProbs or
+ * rbm::Dbn::transform.
+ */
+
+#ifndef ISINGRBM_EVAL_CLASSIFIER_HPP
+#define ISINGRBM_EVAL_CLASSIFIER_HPP
+
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ising::eval {
+
+/** Softmax-regression hyper-parameters. */
+struct LogisticConfig
+{
+    double learningRate = 0.1;
+    std::size_t batchSize = 64;
+    int epochs = 30;
+    double l2 = 1e-4;
+};
+
+/** Softmax regression over dense features. */
+class LogisticRegression
+{
+  public:
+    LogisticRegression(std::size_t dim, int numClasses);
+
+    /** SGD training on a labeled dataset. */
+    void train(const data::Dataset &train, const LogisticConfig &config,
+               util::Rng &rng);
+
+    /** Class posteriors for one sample. */
+    void predictProbs(const float *x, std::vector<double> &probs) const;
+
+    /** Argmax class prediction. */
+    int predict(const float *x) const;
+
+    /** Fraction of correctly classified rows. */
+    double accuracy(const data::Dataset &ds) const;
+
+    /** Mean cross-entropy loss over a dataset. */
+    double loss(const data::Dataset &ds) const;
+
+  private:
+    std::size_t dim_;
+    int numClasses_;
+    linalg::Matrix w_;  ///< (numClasses x dim)
+    linalg::Vector b_;  ///< per-class bias
+};
+
+/**
+ * Convenience pipeline: train the head on @p trainFeatures and report
+ * accuracy on @p testFeatures (both must carry labels).
+ */
+double classifierAccuracy(const data::Dataset &trainFeatures,
+                          const data::Dataset &testFeatures,
+                          const LogisticConfig &config, util::Rng &rng);
+
+} // namespace ising::eval
+
+#endif // ISINGRBM_EVAL_CLASSIFIER_HPP

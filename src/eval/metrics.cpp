@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Metric implementations.
+ */
+
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ising::eval {
+
+std::vector<RocPoint>
+rocCurve(const std::vector<double> &scores, const std::vector<int> &labels)
+{
+    assert(scores.size() == labels.size());
+    std::vector<std::size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return scores[a] > scores[b];
+    });
+
+    std::size_t positives = 0;
+    for (int y : labels)
+        positives += y == 1;
+    const std::size_t negatives = labels.size() - positives;
+
+    std::vector<RocPoint> curve;
+    curve.push_back({0.0, 0.0});
+    std::size_t tp = 0, fp = 0, i = 0;
+    while (i < order.size()) {
+        // Process ties as one threshold step.
+        const double threshold = scores[order[i]];
+        while (i < order.size() && scores[order[i]] == threshold) {
+            if (labels[order[i]] == 1)
+                ++tp;
+            else
+                ++fp;
+            ++i;
+        }
+        curve.push_back({
+            negatives ? static_cast<double>(fp) / negatives : 0.0,
+            positives ? static_cast<double>(tp) / positives : 0.0,
+        });
+    }
+    return curve;
+}
+
+double
+rocAuc(const std::vector<double> &scores, const std::vector<int> &labels)
+{
+    const auto curve = rocCurve(scores, labels);
+    double auc = 0.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        const double dx = curve[i].fpr - curve[i - 1].fpr;
+        auc += dx * (curve[i].tpr + curve[i - 1].tpr) * 0.5;
+    }
+    return auc;
+}
+
+double
+klDivergence(const std::vector<double> &p, const std::vector<double> &q,
+             double eps)
+{
+    assert(p.size() == q.size());
+    double kl = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i] <= 0.0)
+            continue;
+        kl += p[i] * std::log(p[i] / std::max(q[i], eps));
+    }
+    return kl;
+}
+
+double
+meanAbsoluteError(const std::vector<double> &predicted,
+                  const std::vector<double> &actual)
+{
+    assert(predicted.size() == actual.size() && !predicted.empty());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        acc += std::fabs(predicted[i] - actual[i]);
+    return acc / static_cast<double>(predicted.size());
+}
+
+} // namespace ising::eval

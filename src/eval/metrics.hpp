@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Quality metrics used across the evaluation: ROC/AUC (Fig. 10), KL
+ * divergence (Fig. 11 / Appendix A), MAE helpers.
+ */
+
+#ifndef ISINGRBM_EVAL_METRICS_HPP
+#define ISINGRBM_EVAL_METRICS_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ising::eval {
+
+/** One (false-positive rate, true-positive rate) ROC point. */
+struct RocPoint
+{
+    double fpr = 0.0;
+    double tpr = 0.0;
+};
+
+/**
+ * Full ROC curve for scores where higher means "more positive".
+ * @p labels uses 1 for positive, 0 for negative.
+ */
+std::vector<RocPoint> rocCurve(const std::vector<double> &scores,
+                               const std::vector<int> &labels);
+
+/** Area under the ROC curve (trapezoidal over the exact curve). */
+double rocAuc(const std::vector<double> &scores,
+              const std::vector<int> &labels);
+
+/**
+ * KL(p || q) over a discrete support; q is floored at @p eps to keep
+ * the divergence finite, matching Carreira-Perpinan & Hinton's
+ * methodology for the Appendix A bias experiment.
+ */
+double klDivergence(const std::vector<double> &p,
+                    const std::vector<double> &q, double eps = 1e-12);
+
+/** Mean absolute error of paired predictions. */
+double meanAbsoluteError(const std::vector<double> &predicted,
+                         const std::vector<double> &actual);
+
+} // namespace ising::eval
+
+#endif // ISINGRBM_EVAL_METRICS_HPP

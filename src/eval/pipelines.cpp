@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Pipeline implementations.
+ */
+
+#include "eval/pipelines.hpp"
+
+#include "accel/gibbs_sampler.hpp"
+#include "rbm/cd_trainer.hpp"
+
+namespace ising::eval {
+
+namespace {
+
+machine::AnalogConfig
+analogFor(const TrainSpec &spec)
+{
+    machine::AnalogConfig cfg;
+    cfg.noise = spec.noise;
+    cfg.idealComponents = spec.idealComponents;
+    cfg.variationSeed = spec.seed * 7919 + 13;
+    return cfg;
+}
+
+} // namespace
+
+rbm::Rbm
+trainRbm(const data::Dataset &train, std::size_t numHidden,
+         const TrainSpec &spec)
+{
+    util::Rng rng(spec.seed);
+    rbm::Rbm init(train.dim(), numHidden);
+    init.initRandom(rng);
+
+    switch (spec.trainer) {
+      case Trainer::CdK: {
+        rbm::CdConfig cfg;
+        cfg.learningRate = spec.learningRate;
+        cfg.k = spec.k;
+        cfg.batchSize = spec.batchSize;
+        rbm::CdTrainer trainer(init, cfg, rng);
+        for (int e = 0; e < spec.epochs; ++e) {
+            trainer.trainEpoch(train);
+            if (spec.onEpoch)
+                spec.onEpoch(e, init);
+        }
+        return init;
+      }
+      case Trainer::GibbsSampler: {
+        accel::GsConfig cfg;
+        cfg.learningRate = spec.learningRate;
+        cfg.k = spec.k;
+        cfg.batchSize = spec.batchSize;
+        cfg.analog = analogFor(spec);
+        accel::GibbsSamplerAccel gs(init, cfg, rng);
+        for (int e = 0; e < spec.epochs; ++e) {
+            gs.trainEpoch(train);
+            if (spec.onEpoch)
+                spec.onEpoch(e, init);
+        }
+        return init;
+      }
+      case Trainer::Bgf: {
+        accel::BgfConfig cfg;
+        cfg.learningRate =
+            spec.learningRate / static_cast<double>(spec.batchSize);
+        cfg.annealSteps = spec.k;
+        cfg.numParticles = spec.bgfParticles;
+        cfg.analog = analogFor(spec);
+        accel::BoltzmannGradientFollower bgf(train.dim(), numHidden,
+                                             cfg, rng);
+        bgf.initialize(init);
+        for (int e = 0; e < spec.epochs; ++e) {
+            bgf.trainEpoch(train);
+            if (spec.onEpoch) {
+                const rbm::Rbm snapshot = bgf.readOut();
+                spec.onEpoch(e, snapshot);
+            }
+        }
+        return bgf.readOut();
+      }
+    }
+    return init;
+}
+
+rbm::Dbn
+trainDbn(const data::Dataset &train,
+         const std::vector<std::size_t> &layerSizes, const TrainSpec &spec)
+{
+    rbm::Dbn dbn(layerSizes);
+    util::Rng rng(spec.seed);
+    dbn.initRandom(rng);
+    TrainSpec layerSpec = spec;
+    layerSpec.onEpoch = nullptr;  // per-layer hooks not meaningful
+    dbn.trainGreedy(train, [&](rbm::Rbm &layer,
+                               const data::Dataset &layerData) {
+        // Binarize propagated probabilities so BGF/GS see binary data.
+        data::Dataset binary = layerData;
+        util::Rng brng(layerSpec.seed * 31 + 7);
+        binary = data::binarize(binary, brng);
+        layer = trainRbm(binary, layer.numHidden(), layerSpec);
+        layerSpec.seed += 101;
+    });
+    return dbn;
+}
+
+data::Dataset
+featurize(const rbm::Rbm &model, const data::Dataset &ds)
+{
+    data::Dataset out;
+    out.name = ds.name;
+    out.numClasses = ds.numClasses;
+    out.labels = ds.labels;
+    out.samples.reset(ds.size(), model.numHidden());
+    linalg::Vector ph;
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        model.hiddenProbs(ds.sample(r), ph);
+        std::copy(ph.begin(), ph.end(), out.samples.row(r));
+    }
+    return out;
+}
+
+double
+rbmClassificationAccuracy(const data::Split &split, std::size_t numHidden,
+                          const TrainSpec &spec,
+                          const LogisticConfig &headConfig)
+{
+    const rbm::Rbm model = trainRbm(split.train, numHidden, spec);
+    util::Rng rng(spec.seed + 5);
+    return classifierAccuracy(featurize(model, split.train),
+                              featurize(model, split.test), headConfig,
+                              rng);
+}
+
+double
+dbnClassificationAccuracy(const data::Split &split,
+                          const std::vector<std::size_t> &layers,
+                          const TrainSpec &spec,
+                          const LogisticConfig &headConfig)
+{
+    const rbm::Dbn dbn = trainDbn(split.train, layers, spec);
+    util::Rng rng(spec.seed + 5);
+    return classifierAccuracy(dbn.transform(split.train),
+                              dbn.transform(split.test), headConfig, rng);
+}
+
+} // namespace ising::eval

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * End-to-end experiment pipelines shared by the bench harnesses and
+ * example programs: train an RBM (or DBN) by software CD-k, by the GS
+ * accelerator, or by the BGF machine; extract features; and attach the
+ * logistic-regression head -- the full Table 4 / Fig. 7 recipe in
+ * reusable form.
+ */
+
+#ifndef ISINGRBM_EVAL_PIPELINES_HPP
+#define ISINGRBM_EVAL_PIPELINES_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "accel/bgf.hpp"
+#include "data/dataset.hpp"
+#include "eval/classifier.hpp"
+#include "ising/noise.hpp"
+#include "rbm/dbn.hpp"
+#include "rbm/rbm.hpp"
+
+namespace ising::eval {
+
+/** Which engine trains the model. */
+enum class Trainer { CdK, GibbsSampler, Bgf };
+
+/** One scaled experiment configuration. */
+struct TrainSpec
+{
+    Trainer trainer = Trainer::CdK;
+    int k = 1;                   ///< CD-k (CdK/GS) or anneal sweeps (BGF)
+    int epochs = 3;
+    double learningRate = 0.1;   ///< per-batch rate (CdK/GS)
+    std::size_t batchSize = 50;  ///< CdK/GS minibatch; sets the BGF
+                                 ///< per-event step = lr / batchSize
+    std::size_t bgfParticles = 8;
+    machine::NoiseSpec noise;    ///< analog noise (GS/BGF only)
+    bool idealComponents = false;///< bypass circuit non-idealities
+    std::uint64_t seed = 1;
+
+    /** Hook called after each epoch with the current model. */
+    std::function<void(int epoch, const rbm::Rbm &model)> onEpoch;
+};
+
+/** Train one RBM layer on a (binary) dataset per the spec. */
+rbm::Rbm trainRbm(const data::Dataset &train, std::size_t numHidden,
+                  const TrainSpec &spec);
+
+/** Greedy DBN training with the same engine per layer. */
+rbm::Dbn trainDbn(const data::Dataset &train,
+                  const std::vector<std::size_t> &layerSizes,
+                  const TrainSpec &spec);
+
+/** Hidden-mean features of a dataset under a trained model. */
+data::Dataset featurize(const rbm::Rbm &model, const data::Dataset &ds);
+
+/**
+ * Table 4 recipe: train on split.train, featurize both splits, fit the
+ * logistic head, return test accuracy.
+ */
+double rbmClassificationAccuracy(const data::Split &split,
+                                 std::size_t numHidden,
+                                 const TrainSpec &spec,
+                                 const LogisticConfig &headConfig);
+
+/** Same through a DBN stack. */
+double dbnClassificationAccuracy(const data::Split &split,
+                                 const std::vector<std::size_t> &layers,
+                                 const TrainSpec &spec,
+                                 const LogisticConfig &headConfig);
+
+} // namespace ising::eval
+
+#endif // ISINGRBM_EVAL_PIPELINES_HPP

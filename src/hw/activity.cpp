@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Counter-driven cost implementation.
+ */
+
+#include "hw/activity.hpp"
+
+namespace ising::hw {
+
+namespace {
+
+/** Seconds for one fabric half-sweep: the trajectory-equivalent of a
+ *  single settle over (m + n) nodes. */
+double
+sweepSeconds(const LayerShape &shape, const TimingConstants &c)
+{
+    // One half-sweep settles one side; the Fig. 5 model prices a
+    // k-step anneal as k * (m+n) trajectory points, i.e. each
+    // half-sweep is (m+n)/2 points.
+    const double nodes =
+        static_cast<double>(shape.visible + shape.hidden);
+    return 0.5 * nodes * c.trajectoryPointsPerStep * c.phasePointSec;
+}
+
+} // namespace
+
+ActivityCost
+gsActivityCost(const accel::GsCounters &counters, const LayerShape &shape,
+               const DeviceModel &host, const TimingConstants &constants)
+{
+    ActivityCost cost;
+    cost.fabricSec =
+        static_cast<double>(counters.fabricSweeps) *
+            sweepSeconds(shape, constants) +
+        static_cast<double>(counters.samplesProcessed) *
+            constants.settleSec;
+    cost.commSec =
+        static_cast<double>(counters.bitsToHost + counters.bitsToDevice) /
+        constants.hostLinkBitsPerSec;
+    const double mn = static_cast<double>(shape.visible * shape.hidden);
+    cost.hostSec = static_cast<double>(counters.samplesProcessed) *
+                   constants.hostGradOpsPerWeight * mn /
+                   host.effectiveOpsPerSec;
+
+    const ChipBudget chip =
+        bipartiteBudget(Arch::GibbsSampler, shape.visible, shape.hidden);
+    cost.energyJ = chip.totalPowerMw / 1e3 * cost.totalSec() +
+                   host.powerW * (cost.hostSec + cost.commSec);
+    return cost;
+}
+
+ActivityCost
+bgfActivityCost(const accel::BgfCounters &counters,
+                const LayerShape &shape,
+                const TimingConstants &constants)
+{
+    ActivityCost cost;
+    cost.fabricSec =
+        static_cast<double>(counters.fabricSweeps) *
+            sweepSeconds(shape, constants) +
+        static_cast<double>(counters.pumpPhases) * constants.pumpSec;
+    cost.commSec = static_cast<double>(counters.bitsToDevice) /
+                   constants.hostLinkBitsPerSec;
+
+    const ChipBudget chip =
+        bipartiteBudget(Arch::Bgf, shape.visible, shape.hidden);
+    cost.energyJ = chip.totalPowerMw / 1e3 * cost.totalSec();
+    return cost;
+}
+
+} // namespace ising::hw

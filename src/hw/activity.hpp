@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Counter-driven cost estimation: price an *actual* behavioral-model
+ * run (via the activity counters the accelerators record) instead of
+ * an analytic workload description.
+ *
+ * This closes the loop between the two halves of the repository: the
+ * Fig. 5/6 models predict cost from Table 1 workload shapes, while
+ * these routines take the sweep/pump/traffic counters measured during
+ * a real GibbsSamplerAccel / BoltzmannGradientFollower run and apply
+ * the same physical constants.  Tests assert the two agree on matched
+ * workloads.
+ */
+
+#ifndef ISINGRBM_HW_ACTIVITY_HPP
+#define ISINGRBM_HW_ACTIVITY_HPP
+
+#include "accel/bgf.hpp"
+#include "accel/gibbs_sampler.hpp"
+#include "hw/components.hpp"
+#include "hw/timing.hpp"
+
+namespace ising::hw {
+
+/** Cost estimate derived from measured activity. */
+struct ActivityCost
+{
+    double fabricSec = 0.0;  ///< settle/anneal/pump time
+    double hostSec = 0.0;    ///< host gradient work (GS only)
+    double commSec = 0.0;    ///< host-link traffic
+    double energyJ = 0.0;    ///< total energy at the chip's power
+
+    double totalSec() const { return fabricSec + hostSec + commSec; }
+};
+
+/**
+ * Price a GS run from its counters.
+ *
+ * @param counters activity recorded by GibbsSamplerAccel
+ * @param shape    the (visible, hidden) array the run used
+ * @param host     host device (TPU) for gradient work
+ * @param constants the same physical constants as the Fig. 5 model
+ */
+ActivityCost gsActivityCost(const accel::GsCounters &counters,
+                            const LayerShape &shape,
+                            const DeviceModel &host,
+                            const TimingConstants &constants = {});
+
+/** Price a BGF run from its counters. */
+ActivityCost bgfActivityCost(const accel::BgfCounters &counters,
+                             const LayerShape &shape,
+                             const TimingConstants &constants = {});
+
+} // namespace ising::hw
+
+#endif // ISINGRBM_HW_ACTIVITY_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Chip budget aggregation.
+ */
+
+#include "hw/components.hpp"
+
+namespace ising::hw {
+
+namespace {
+
+ChipBudget
+buildBudget(Arch arch, std::size_t couplers, std::size_t nodes,
+            const UnitCosts &c)
+{
+    ChipBudget b;
+    b.arch = arch;
+    b.numCouplers = couplers;
+    b.numNodes = nodes;
+
+    const double cuArea =
+        (arch == Arch::Bgf ? c.cuBgfAreaMm2 : c.cuGibbsAreaMm2) * couplers;
+    const double cuPower =
+        (arch == Arch::Bgf ? c.cuBgfPowerMw : c.cuGibbsPowerMw) * couplers;
+    const double nd = static_cast<double>(nodes);
+
+    b.units = {
+        {arch == Arch::Bgf ? "CU (BGF)" : "CU (Gibbs)", cuArea, cuPower},
+        {"SU", c.suAreaMm2 * nd, c.suPowerMw * nd},
+        {"Comparator", c.comparatorAreaMm2 * nd, c.comparatorPowerMw * nd},
+        {"DTC", c.dtcAreaMm2 * nd, c.dtcPowerMw * nd},
+        {"RNG", c.rngAreaMm2 * nd, c.rngPowerMw * nd},
+    };
+    for (const auto &u : b.units) {
+        b.totalAreaMm2 += u.areaMm2;
+        b.totalPowerMw += u.powerMw;
+    }
+    return b;
+}
+
+} // namespace
+
+ChipBudget
+squareArrayBudget(Arch arch, std::size_t n, const UnitCosts &costs)
+{
+    return buildBudget(arch, n * n, n, costs);
+}
+
+ChipBudget
+bipartiteBudget(Arch arch, std::size_t m, std::size_t n,
+                const UnitCosts &costs)
+{
+    return buildBudget(arch, m * n, m + n, costs);
+}
+
+} // namespace ising::hw

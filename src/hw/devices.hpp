@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Baseline device envelopes: TPU v1/v4, GPU (Tesla T4) and the TIMELY
+ * PIM accelerator, with the derived throughput-density metrics of
+ * Table 3.
+ *
+ * Numbers come from the sources the paper cites: Jouppi et al.
+ * ISCA'17 (TPU v1: 92 TOPS peak 8-bit, ~330 mm^2 at 28nm of which the
+ * MAC array is 24%, ~40 W busy power), Jouppi et al. ISCA'23 (TPU v4),
+ * and Li et al. ISCA'20 (TIMELY).  The *effective* rates used by the
+ * Fig. 5 timing model are far below peak -- the RBM training loop is a
+ * stream of skinny matrix products plus per-unit sampling that the MXU
+ * pipelines poorly -- and are calibrated once, globally, against the
+ * paper's published geomean design points (see EXPERIMENTS.md).
+ */
+
+#ifndef ISINGRBM_HW_DEVICES_HPP
+#define ISINGRBM_HW_DEVICES_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ising::hw {
+
+/** A digital baseline device. */
+struct DeviceModel
+{
+    std::string name;
+    double peakOpsPerSec = 0.0;     ///< peak MAC throughput (ops/s)
+    double effectiveOpsPerSec = 0.0;///< sustained rate on RBM training
+    double samplingOpsPerSec = 0.0; ///< rate for sigmoid/RNG/compare ops
+    double powerW = 0.0;            ///< busy power
+    double areaMm2 = 0.0;           ///< die (or array) area
+};
+
+/** TPU v1 per Jouppi et al. ISCA'17. */
+DeviceModel tpuV1();
+
+/** TPU v4 per Jouppi et al. ISCA'23 (Table 3 only). */
+DeviceModel tpuV4();
+
+/** NVIDIA Tesla T4 envelope. */
+DeviceModel teslaT4();
+
+/** One row of Table 3. */
+struct AcceleratorMetrics
+{
+    std::string name;
+    double topsPerMm2 = 0.0;
+    double topsPerW = 0.0;
+};
+
+/**
+ * Table 3 rows: TPU v1/v4 (peak ops over MAC-array area / busy
+ * power), TIMELY (as published), and the BGF array at the given edge
+ * size (effective ops = couplers x digital clock).
+ */
+std::vector<AcceleratorMetrics> table3Metrics(std::size_t bgfEdge = 1600);
+
+/** Effective TOPS of a BGF array: couplers x 1 GHz digital clock. */
+double bgfEffectiveTops(std::size_t couplers, double clockHz = 1e9);
+
+} // namespace ising::hw
+
+#endif // ISINGRBM_HW_DEVICES_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Energy model implementation.
+ */
+
+#include "hw/energy.hpp"
+
+namespace ising::hw {
+
+EnergyModel::EnergyModel(const TimingModel &timing,
+                         const EnergyConstants &constants)
+    : timing_(timing), constants_(constants)
+{
+}
+
+EnergyBreakdown
+EnergyModel::digitalEnergy(const DeviceModel &device,
+                           const Workload &w) const
+{
+    EnergyBreakdown e;
+    e.deviceJ = device.powerW * timing_.digitalTime(device, w).total();
+    return e;
+}
+
+EnergyBreakdown
+EnergyModel::gsEnergy(const DeviceModel &host, const Workload &w) const
+{
+    const TimeBreakdown t = timing_.gsTime(host, w);
+    const ChipBudget chip =
+        squareArrayBudget(Arch::GibbsSampler, constants_.provisionedEdge);
+    EnergyBreakdown e;
+    e.deviceJ = chip.totalPowerMw / 1e3 * t.total();
+    e.hostJ = host.powerW * (t.hostSec + t.commSec);
+    return e;
+}
+
+EnergyBreakdown
+EnergyModel::bgfEnergy(const Workload &w) const
+{
+    const TimeBreakdown t = timing_.bgfTime(w);
+    const ChipBudget chip =
+        squareArrayBudget(Arch::Bgf, constants_.provisionedEdge);
+    EnergyBreakdown e;
+    e.deviceJ = chip.totalPowerMw / 1e3 * t.total();
+    // Streaming energy: one 1-bit sample per visible unit per sample.
+    double bits = 0.0;
+    for (const LayerShape &l : w.layers)
+        bits += static_cast<double>(l.visible);
+    bits *= static_cast<double>(w.numSamples);
+    e.hostJ = bits * constants_.hostLinkPjPerBit * 1e-12;
+    return e;
+}
+
+double
+EnergyModel::digitalFlipEnergyJ(std::size_t n, double pjPerMac)
+{
+    return static_cast<double>(n) * pjPerMac * 1e-12;
+}
+
+double
+EnergyModel::brimFlipEnergyJ(double capF, double volts)
+{
+    // CV^2 for the charge/discharge round trip on the nodal capacitor.
+    return 2.0 * capF * volts * volts;
+}
+
+} // namespace ising::hw

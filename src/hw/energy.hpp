@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Energy model regenerating Fig. 6, plus the Sec. 4.3 first-principles
+ * node-flip energy comparison.
+ *
+ * Energy = power x time using the Fig. 5 timing breakdowns:
+ *  - TPU / GPU: busy power over the whole run;
+ *  - GS: the provisioned Ising array's power over the run plus the
+ *    host's busy power during the host/communication portions;
+ *  - BGF: the provisioned array's power over the run plus a small
+ *    host-interface streaming cost per bit.
+ *
+ * "Provisioned array" follows the paper's assumption that the system
+ * has enough nodes to fit the largest problem (a 1600-node edge), so
+ * idle couplers still burn their static power.
+ */
+
+#ifndef ISINGRBM_HW_ENERGY_HPP
+#define ISINGRBM_HW_ENERGY_HPP
+
+#include "hw/components.hpp"
+#include "hw/timing.hpp"
+
+namespace ising::hw {
+
+/** Energy model constants. */
+struct EnergyConstants
+{
+    std::size_t provisionedEdge = 1600; ///< array sized for the largest
+                                        ///< Table 1 problem
+    double hostLinkPjPerBit = 10.0;     ///< DMA/streaming energy
+};
+
+/** Energy accounting for one workload on one architecture (joules). */
+struct EnergyBreakdown
+{
+    double deviceJ = 0.0;  ///< accelerator / baseline silicon
+    double hostJ = 0.0;    ///< host busy energy (GS) or streaming (BGF)
+
+    double total() const { return deviceJ + hostJ; }
+};
+
+/** The Fig. 6 energy model, layered on the timing model. */
+class EnergyModel
+{
+  public:
+    EnergyModel(const TimingModel &timing,
+                const EnergyConstants &constants = {});
+
+    /** Digital baseline: busy power x run time. */
+    EnergyBreakdown digitalEnergy(const DeviceModel &device,
+                                  const Workload &w) const;
+
+    /** GS: array power x run time + host power x (host+comm) time. */
+    EnergyBreakdown gsEnergy(const DeviceModel &host,
+                             const Workload &w) const;
+
+    /** BGF: array power x run time + streaming energy. */
+    EnergyBreakdown bgfEnergy(const Workload &w) const;
+
+    /**
+     * Sec. 4.3 first-principles estimate: energy to flip one node.
+     *
+     * Digital: ~N MAC ops at ~1 pJ each (order nJ for N ~= 1000).
+     * BRIM: charging a ~50 fF nodal capacitor across ~1 V (~100 fJ,
+     * including the distributed coupler currents).
+     */
+    static double digitalFlipEnergyJ(std::size_t n, double pjPerMac = 1.0);
+    static double brimFlipEnergyJ(double capF = 50e-15, double volts = 1.0);
+
+  private:
+    const TimingModel &timing_;
+    EnergyConstants constants_;
+};
+
+} // namespace ising::hw
+
+#endif // ISINGRBM_HW_ENERGY_HPP

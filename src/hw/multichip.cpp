@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-chip model implementation.
+ */
+
+#include "hw/multichip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ising::hw {
+
+MultiChipModel::MultiChipModel(const MultiChipConfig &config,
+                               const TimingModel &timing)
+    : config_(config), timing_(timing)
+{
+}
+
+Tiling
+MultiChipModel::tilingFor(std::size_t visible, std::size_t hidden) const
+{
+    Tiling t;
+    t.tilesVisible =
+        (visible + config_.chipEdge - 1) / config_.chipEdge;
+    t.tilesHidden = (hidden + config_.chipEdge - 1) / config_.chipEdge;
+    t.tilesVisible = std::max<std::size_t>(1, t.tilesVisible);
+    t.tilesHidden = std::max<std::size_t>(1, t.tilesHidden);
+    return t;
+}
+
+double
+MultiChipModel::sweepOverheadSec(std::size_t visible,
+                                 std::size_t hidden) const
+{
+    const Tiling t = tilingFor(visible, hidden);
+    if (t.singleChip())
+        return 0.0;
+    // Hidden-settle sweep: every hidden column needs (tilesVisible - 1)
+    // partial sums from remote chips; transfers for all columns of a
+    // chip share one link and pipeline behind one hop latency.
+    const double sumsPerChip = static_cast<double>(
+        std::min<std::size_t>(hidden, config_.chipEdge));
+    const double hopsV = static_cast<double>(t.tilesVisible - 1);
+    const double hiddenExchange =
+        hopsV > 0.0
+            ? config_.linkLatencySec +
+                  hopsV * sumsPerChip * config_.analogBitsPerSum /
+                      config_.linkBitsPerSec
+            : 0.0;
+    // Visible-settle sweep is symmetric.
+    const double rowsPerChip = static_cast<double>(
+        std::min<std::size_t>(visible, config_.chipEdge));
+    const double hopsH = static_cast<double>(t.tilesHidden - 1);
+    const double visibleExchange =
+        hopsH > 0.0
+            ? config_.linkLatencySec +
+                  hopsH * rowsPerChip * config_.analogBitsPerSum /
+                      config_.linkBitsPerSec
+            : 0.0;
+    return hiddenExchange + visibleExchange;
+}
+
+TimeBreakdown
+MultiChipModel::bgfTime(const Workload &w) const
+{
+    TimeBreakdown t = timing_.bgfTime(w);
+    // One positive settle + 2k anneal half-sweeps per sample, each
+    // paying the partial-sum exchange when tiled.
+    double overheadPerSample = 0.0;
+    for (const LayerShape &l : w.layers) {
+        const double perSweep = sweepOverheadSec(l.visible, l.hidden);
+        overheadPerSample += (1.0 + 2.0 * w.k) * perSweep;
+    }
+    t.commSec += overheadPerSample * static_cast<double>(w.numSamples);
+    return t;
+}
+
+double
+MultiChipModel::interChipEnergyJ(const Workload &w) const
+{
+    double bits = 0.0;
+    for (const LayerShape &l : w.layers) {
+        const Tiling t = tilingFor(l.visible, l.hidden);
+        if (t.singleChip())
+            continue;
+        const double hiddenSums =
+            static_cast<double>(t.tilesVisible - 1) *
+            std::min<std::size_t>(l.hidden, config_.chipEdge);
+        const double visibleSums =
+            static_cast<double>(t.tilesHidden - 1) *
+            std::min<std::size_t>(l.visible, config_.chipEdge);
+        bits += (1.0 + 2.0 * w.k) * (hiddenSums + visibleSums) *
+                config_.analogBitsPerSum;
+    }
+    bits *= static_cast<double>(w.numSamples);
+    return bits * config_.linkPjPerBit * 1e-12;
+}
+
+} // namespace ising::hw

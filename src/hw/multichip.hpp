@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-chip capacity scaling model.
+ *
+ * Sec. 4.2 notes that "scaling beyond a single chip's capacity is
+ * feasible and part of the community's on-going research [59]"
+ * (Sharma et al., ISCA'22).  This module models the consequence for
+ * the timing/energy analysis: a bipartite (m x n) RBM larger than one
+ * chip's coupler array is tiled across several chips; each fabric
+ * sweep then requires the partial current sums of every tile sharing a
+ * hidden (or visible) column to be combined over the inter-chip links,
+ * adding per-sweep latency and energy.
+ */
+
+#ifndef ISINGRBM_HW_MULTICHIP_HPP
+#define ISINGRBM_HW_MULTICHIP_HPP
+
+#include <cstddef>
+
+#include "hw/components.hpp"
+#include "hw/timing.hpp"
+
+namespace ising::hw {
+
+/** Multi-chip system parameters. */
+struct MultiChipConfig
+{
+    std::size_t chipEdge = 1600;      ///< coupler array edge per chip
+    double linkBitsPerSec = 256e9;    ///< inter-chip SerDes bandwidth
+    double linkLatencySec = 5e-9;     ///< per-hop link latency
+    double linkPjPerBit = 2.0;        ///< inter-chip transfer energy
+    int analogBitsPerSum = 6;         ///< resolution of exchanged
+                                      ///< partial current sums
+};
+
+/** Tiling of one workload layer across chips. */
+struct Tiling
+{
+    std::size_t tilesVisible = 1;  ///< chips along the visible edge
+    std::size_t tilesHidden = 1;   ///< chips along the hidden edge
+    std::size_t numChips() const { return tilesVisible * tilesHidden; }
+    bool singleChip() const { return numChips() == 1; }
+};
+
+/** The multi-chip extension of the Fig. 5 timing model. */
+class MultiChipModel
+{
+  public:
+    MultiChipModel(const MultiChipConfig &config,
+                   const TimingModel &timing);
+
+    /** Tiling of an (m x n) layer over chipEdge x chipEdge arrays. */
+    Tiling tilingFor(std::size_t visible, std::size_t hidden) const;
+
+    /**
+     * Extra latency added to one fabric sweep by the inter-chip
+     * partial-sum exchange (0 when the layer fits on one chip).
+     * Each boundary column exchanges one analogBitsPerSum value per
+     * off-chip tile, pipelined over the link.
+     */
+    double sweepOverheadSec(std::size_t visible,
+                            std::size_t hidden) const;
+
+    /** Full-run BGF time including inter-chip overheads. */
+    TimeBreakdown bgfTime(const Workload &w) const;
+
+    /** Inter-chip communication energy for a full BGF run. */
+    double interChipEnergyJ(const Workload &w) const;
+
+    const MultiChipConfig &config() const { return config_; }
+
+  private:
+    MultiChipConfig config_;
+    const TimingModel &timing_;
+};
+
+} // namespace ising::hw
+
+#endif // ISINGRBM_HW_MULTICHIP_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Timing model implementation.
+ */
+
+#include "hw/timing.hpp"
+
+#include <algorithm>
+
+namespace ising::hw {
+
+TimingModel::TimingModel(const TimingConstants &constants)
+    : constants_(constants)
+{
+}
+
+TimeBreakdown
+TimingModel::digitalTime(const DeviceModel &device, const Workload &w) const
+{
+    TimeBreakdown t;
+    const double k = static_cast<double>(w.k);
+    for (const LayerShape &l : w.layers) {
+        const double mn = static_cast<double>(l.visible * l.hidden);
+        const double nodes = static_cast<double>(l.visible + l.hidden);
+        // (k+1) down/up projection pairs + pos/neg outer products and
+        // the (batch-amortized) weight update.
+        const double macOps = 2.0 * (k + 1.0) * mn + 3.0 * mn;
+        const double samplingOps =
+            (k + 1.0) * nodes * constants_.samplingOpsPerUnit;
+        t.computeSec += macOps / device.effectiveOpsPerSec +
+                        samplingOps / device.samplingOpsPerSec;
+    }
+    t.computeSec *= static_cast<double>(w.numSamples);
+    return t;
+}
+
+TimeBreakdown
+TimingModel::gsTime(const DeviceModel &host, const Workload &w) const
+{
+    TimeBreakdown t;
+    const double k = static_cast<double>(w.k);
+    const double bus = constants_.hostLinkBitsPerSec;
+    for (const LayerShape &l : w.layers) {
+        const double mn = static_cast<double>(l.visible * l.hidden);
+        const double nodes = static_cast<double>(l.visible + l.hidden);
+        // Fabric: positive settle + k-step equivalent trajectory.
+        t.computeSec += constants_.settleSec +
+                        k * nodes * constants_.trajectoryPointsPerStep *
+                            constants_.phasePointSec;
+        // Host link: 8-bit clamp values in, binary samples out, and
+        // the per-minibatch array reprogramming (8-bit weights).
+        const double clampBits = 8.0 * static_cast<double>(l.visible);
+        const double sampleBits = nodes;
+        const double programBits =
+            8.0 * mn / static_cast<double>(w.batchSize);
+        t.commSec += (clampBits + sampleBits + programBits) / bus;
+        // Host: gradient statistics + parameter update.
+        t.hostSec += constants_.hostGradOpsPerWeight * mn /
+                     host.effectiveOpsPerSec;
+    }
+    t.computeSec *= static_cast<double>(w.numSamples);
+    t.commSec *= static_cast<double>(w.numSamples);
+    t.hostSec *= static_cast<double>(w.numSamples);
+    return t;
+}
+
+TimeBreakdown
+TimingModel::bgfTime(const Workload &w) const
+{
+    TimeBreakdown t;
+    const double k = static_cast<double>(w.k);
+    const double bus = constants_.hostLinkBitsPerSec;
+    for (const LayerShape &l : w.layers) {
+        const double nodes = static_cast<double>(l.visible + l.hidden);
+        // Per sample: clamped settle, anneal trajectory, two pump
+        // phases -- overlapped with streaming the next 1-bit sample.
+        const double chain = constants_.settleSec +
+                             k * nodes * constants_.trajectoryPointsPerStep *
+                                 constants_.phasePointSec +
+                             2.0 * constants_.pumpSec;
+        const double feed = static_cast<double>(l.visible) / bus;
+        t.computeSec += std::max(chain, feed);
+    }
+    t.computeSec *= static_cast<double>(w.numSamples);
+    return t;
+}
+
+std::vector<Workload>
+figure5Workloads()
+{
+    // Shapes from Table 1; sample counts from the standard corpora.
+    const std::size_t nist = 60000;
+    return {
+        {"MNIST_RBM", {{784, 200}}, 10, 500, nist},
+        {"KMNIST_RBM", {{784, 500}}, 10, 500, nist},
+        {"FMNIST_RBM", {{784, 784}}, 10, 500, nist},
+        {"EMNIST_RBM", {{784, 1024}}, 10, 500, 124800},
+        {"Small_norb_RBM", {{36, 1024}}, 10, 500, 24300},
+        {"CIFAR10_RBM", {{108, 1024}}, 10, 500, 50000},
+        {"MNIST_DBN", {{784, 500}, {500, 500}, {500, 10}}, 10, 500, nist},
+        {"KMNIST_DBN", {{784, 500}, {500, 1000}, {1000, 10}}, 10, 500,
+         nist},
+        {"FMNIST_DBN", {{784, 784}, {784, 1000}, {1000, 10}}, 10, 500,
+         nist},
+        {"EMNIST_DBN", {{784, 784}, {784, 784}, {784, 26}}, 10, 500,
+         124800},
+        {"RC_RBM", {{943, 100}}, 10, 500, 100000},
+    };
+}
+
+} // namespace ising::hw

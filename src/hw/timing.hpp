@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Execution-time model regenerating Fig. 5.
+ *
+ * The model prices one training sample of CD-k on each architecture
+ * and scales by the sample count.  Structure:
+ *
+ *  - TPU / GPU: (k+1) up/down projection pairs plus gradient work at
+ *    the device's sustained MAC rate, plus per-unit sampling ops
+ *    (sigmoid, RNG, compare) on the vector units.
+ *  - GS: the fabric replaces the sampling inner loop (a k-step Gibbs
+ *    walk becomes a trajectory of ~k*(m+n) phase points at ~12 ps
+ *    each, Sec. 3.3), but the host still receives every sample,
+ *    computes gradients, and reprograms the array each minibatch.
+ *  - BGF: the fabric does everything; per-sample time is the anneal
+ *    trajectory overlapped with streaming the next (1-bit) sample.
+ *
+ * Constants are calibrated once against the paper's published design
+ * points (29x BGF and 2x GS geomean speedup over TPU; communication
+ * ~= a quarter of GS host-wait); per-benchmark variation then emerges
+ * from the Table 1 model shapes.
+ */
+
+#ifndef ISINGRBM_HW_TIMING_HPP
+#define ISINGRBM_HW_TIMING_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/devices.hpp"
+
+namespace ising::hw {
+
+/** One RBM layer shape. */
+struct LayerShape
+{
+    std::size_t visible = 0;
+    std::size_t hidden = 0;
+};
+
+/** A Fig. 5 benchmark: an RBM or stacked-RBM training run. */
+struct Workload
+{
+    std::string name;
+    std::vector<LayerShape> layers; ///< one entry per trained RBM
+    int k = 10;                     ///< CD-k steps
+    std::size_t batchSize = 500;
+    std::size_t numSamples = 60000; ///< samples per epoch
+};
+
+/** Physical/communication constants of the timing model. */
+struct TimingConstants
+{
+    double phasePointSec = 12e-12;  ///< fabric trajectory step (~12 ps)
+    double trajectoryPointsPerStep = 2.75; ///< phase points per
+                                   ///< Markov-chain-step equivalent
+                                   ///< (calibrated to the 29x geomean)
+    double settleSec = 1e-9;        ///< clamped settle (one sweep)
+    double pumpSec = 1e-9;          ///< one charge-pump phase
+    double hostLinkBitsPerSec = 16e9; ///< host <-> accelerator link
+    double samplingOpsPerUnit = 20.0; ///< digital cost of one
+                                      ///< sigmoid+RNG+compare
+    double hostGradOpsPerWeight = 18.0; ///< host gradient+update cost
+                                        ///< (ops per weight per sample,
+                                        ///< memory-bound accumulation)
+};
+
+/** Time breakdown for one architecture on one workload (seconds). */
+struct TimeBreakdown
+{
+    double computeSec = 0.0; ///< device MACs / fabric trajectories
+    double hostSec = 0.0;    ///< host-side gradient + update work
+    double commSec = 0.0;    ///< host link traffic
+
+    double total() const { return computeSec + hostSec + commSec; }
+};
+
+/** The Fig. 5 timing model. */
+class TimingModel
+{
+  public:
+    explicit TimingModel(const TimingConstants &constants = {});
+
+    /** Full-run execution time on a digital baseline (TPU/GPU). */
+    TimeBreakdown digitalTime(const DeviceModel &device,
+                              const Workload &w) const;
+
+    /** Full-run execution time on the GS accelerator (+TPU host). */
+    TimeBreakdown gsTime(const DeviceModel &host, const Workload &w) const;
+
+    /** Full-run execution time on the BGF accelerator. */
+    TimeBreakdown bgfTime(const Workload &w) const;
+
+    const TimingConstants &constants() const { return constants_; }
+
+  private:
+    TimingConstants constants_;
+};
+
+/** The eleven Fig. 5 benchmarks in paper order. */
+std::vector<Workload> figure5Workloads();
+
+} // namespace ising::hw
+
+#endif // ISINGRBM_HW_TIMING_HPP

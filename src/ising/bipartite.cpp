@@ -1,0 +1,110 @@
+/**
+ * @file
+ * RBM embedding implementation.
+ */
+
+#include "ising/bipartite.hpp"
+
+#include <cassert>
+
+namespace ising::machine {
+
+RbmEmbedding
+embedRbm(const rbm::Rbm &model)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+    RbmEmbedding out;
+    out.layout.numVisible = m;
+    out.layout.numHidden = n;
+    out.model = IsingModel(m + n);
+
+    const linalg::Matrix &w = model.weights();
+    double offset = 0.0;
+
+    // J = W/4 on visible-hidden pairs only (bipartite mesh).
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *wrow = w.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            out.model.setCoupling(out.layout.visibleNode(i),
+                                  out.layout.hiddenNode(j),
+                                  wrow[j] * 0.25f);
+        }
+    }
+    // Visible fields: bv/2 + row-sum(W)/4.
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *wrow = w.row(i);
+        double rowSum = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            rowSum += wrow[j];
+        out.model.setField(
+            out.layout.visibleNode(i),
+            static_cast<float>(model.visibleBias()[i] * 0.5 +
+                               rowSum * 0.25));
+        offset += model.visibleBias()[i] * 0.5;
+    }
+    // Hidden fields: bh/2 + col-sum(W)/4.
+    for (std::size_t j = 0; j < n; ++j) {
+        double colSum = 0.0;
+        for (std::size_t i = 0; i < m; ++i)
+            colSum += w(i, j);
+        out.model.setField(
+            out.layout.hiddenNode(j),
+            static_cast<float>(model.hiddenBias()[j] * 0.5 +
+                               colSum * 0.25));
+        offset += model.hiddenBias()[j] * 0.5;
+    }
+    // Constant: -sum_ij W/4 - sum bv/2 - sum bh/2 relative to spins...
+    // E_rbm(b) = H_ising(sigma) + offsetTotal with
+    // offsetTotal = -(1/4) sum_ij W_ij - (1/2) sum bv - (1/2) sum bh.
+    double wSum = 0.0;
+    const float *wd = w.data();
+    for (std::size_t i = 0; i < w.size(); ++i)
+        wSum += wd[i];
+    double bvSum = 0.0, bhSum = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+        bvSum += model.visibleBias()[i];
+    for (std::size_t j = 0; j < n; ++j)
+        bhSum += model.hiddenBias()[j];
+    out.energyOffset = -0.25 * wSum - 0.5 * bvSum - 0.5 * bhSum;
+    return out;
+}
+
+SpinState
+bitsToSpins(const linalg::Vector &v, const linalg::Vector &h)
+{
+    SpinState s;
+    s.reserve(v.size() + h.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        s.push_back(v[i] > 0.5f ? 1 : -1);
+    for (std::size_t j = 0; j < h.size(); ++j)
+        s.push_back(h[j] > 0.5f ? 1 : -1);
+    return s;
+}
+
+void
+spinsToBits(const SpinState &s, const BipartiteLayout &layout,
+            linalg::Vector &v, linalg::Vector &h)
+{
+    assert(s.size() == layout.totalNodes());
+    v.resize(layout.numVisible);
+    h.resize(layout.numHidden);
+    for (std::size_t i = 0; i < layout.numVisible; ++i)
+        v[i] = s[layout.visibleNode(i)] > 0 ? 1.0f : 0.0f;
+    for (std::size_t j = 0; j < layout.numHidden; ++j)
+        h[j] = s[layout.hiddenNode(j)] > 0 ? 1.0f : 0.0f;
+}
+
+std::size_t
+bipartiteCouplerCount(std::size_t m, std::size_t n)
+{
+    return m * n;
+}
+
+std::size_t
+allToAllCouplerCount(std::size_t m, std::size_t n)
+{
+    const std::size_t t = m + n;
+    return t * (t - 1) / 2;
+}
+
+} // namespace ising::machine

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * BRIM transient dynamics.
+ */
+
+#include "ising/brim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ising::machine {
+
+BrimSimulator::BrimSimulator(const IsingModel &model,
+                             const BrimConfig &config, util::Rng &rng)
+    : model_(model), config_(config), rng_(rng),
+      v_(model.numNodes()), dv_(model.numNodes()),
+      clamp_(model.numNodes())
+{
+    randomizeState();
+}
+
+void
+BrimSimulator::randomizeState()
+{
+    for (auto &x : v_)
+        x = rng_.uniform(-1.0, 1.0);
+    releaseClamps();
+}
+
+void
+BrimSimulator::setState(const std::vector<double> &v)
+{
+    assert(v.size() == v_.size());
+    v_ = v;
+}
+
+void
+BrimSimulator::clampNode(std::size_t i, double value)
+{
+    assert(i < v_.size());
+    clamp_[i] = value;
+    v_[i] = value;
+}
+
+void
+BrimSimulator::releaseClamps()
+{
+    std::fill(clamp_.begin(), clamp_.end(), std::nullopt);
+}
+
+void
+BrimSimulator::step(double flipProb)
+{
+    const std::size_t n = v_.size();
+    const double kappa = config_.coupling;
+    const double lambda = config_.bistability;
+    const double noiseAmp =
+        config_.temperature > 0.0
+            ? std::sqrt(2.0 * config_.temperature * config_.dt)
+            : 0.0;
+
+    // Coupling currents from the resistor mesh.
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *row = model_.couplings().row(i);
+        double acc = model_.fields()[i];
+        for (std::size_t j = 0; j < n; ++j)
+            acc += row[j] * v_[j];
+        dv_[i] = kappa * acc;
+    }
+    // Bistable feedback + integration, honoring clamps.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (clamp_[i]) {
+            v_[i] = *clamp_[i];
+            continue;
+        }
+        double next = v_[i] +
+            config_.dt * (dv_[i] + lambda * v_[i] * (1.0 - v_[i] * v_[i]));
+        if (noiseAmp > 0.0)
+            next += noiseAmp * rng_.gaussian();
+        // Annealing control: random spin flip injection.
+        if (flipProb > 0.0 && rng_.bernoulli(flipProb))
+            next = -next;
+        v_[i] = std::clamp(next, -1.0, 1.0);
+    }
+}
+
+void
+BrimSimulator::anneal(std::size_t steps)
+{
+    anneal(steps, AnnealSchedule(ScheduleKind::Linear,
+                                 config_.flipRateStart,
+                                 config_.flipRateEnd));
+}
+
+void
+BrimSimulator::anneal(std::size_t steps, const AnnealSchedule &schedule)
+{
+    for (std::size_t s = 0; s < steps; ++s)
+        step(schedule.at(s, steps));
+}
+
+std::size_t
+BrimSimulator::relax(double tol, std::size_t maxSteps)
+{
+    double prev = lyapunov();
+    for (std::size_t s = 0; s < maxSteps; ++s) {
+        step(0.0);
+        const double cur = lyapunov();
+        if (std::fabs(prev - cur) < tol)
+            return s + 1;
+        prev = cur;
+    }
+    return maxSteps;
+}
+
+SpinState
+BrimSimulator::spins() const
+{
+    SpinState s(v_.size());
+    for (std::size_t i = 0; i < v_.size(); ++i)
+        s[i] = v_[i] >= 0.0 ? 1 : -1;
+    return s;
+}
+
+double
+BrimSimulator::energy() const
+{
+    return model_.energy(spins());
+}
+
+double
+BrimSimulator::lyapunov() const
+{
+    const std::size_t n = v_.size();
+    double quad = 0.0, field = 0.0, well = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *row = model_.couplings().row(i);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            acc += row[j] * v_[j];
+        quad += v_[i] * acc;
+        field += model_.fields()[i] * v_[i];
+        const double v2 = v_[i] * v_[i];
+        well += v2 * v2 / 4.0 - v2 / 2.0;
+    }
+    return -config_.coupling * (0.5 * quad + field) +
+           config_.bistability * well;
+}
+
+} // namespace ising::machine

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Transient simulator of the BRIM substrate (Afoakwa et al., HPCA'21),
+ * the baseline machine of Sec. 3.1.
+ *
+ * Each node is a capacitor voltage v_i in [-1, 1] made bistable by a
+ * feedback circuit; programmable resistors implement couplings.  The
+ * nodal dynamics integrated here are
+ *
+ *   dv_i/dt = kappa * (sum_j J_ij v_j + h_i)      (coupling currents)
+ *           + lambda * v_i * (1 - v_i^2)          (bistable feedback)
+ *           + sqrt(2 T) * xi(t)                   (thermal noise)
+ *
+ * Without noise this is gradient flow on the Lyapunov function
+ *
+ *   L(v) = -kappa * (1/2 v^T J v + h.v) + lambda * sum(v^4/4 - v^2/2)
+ *
+ * whose minima at v in {-1,+1}^N coincide with local minima of the
+ * Ising energy (the paper's "local minima ... are all stable states"
+ * property).  Annealing control injects random spin flips whose rate
+ * decays over the run, mirroring the machine's escape mechanism.
+ *
+ * The behavioral accelerator models are validated against this
+ * simulator at 32x32 scale, exactly as the paper validates its Matlab
+ * models against a 32x32 Cadence design.
+ */
+
+#ifndef ISINGRBM_ISING_BRIM_HPP
+#define ISINGRBM_ISING_BRIM_HPP
+
+#include <optional>
+#include <vector>
+
+#include "ising/model.hpp"
+#include "ising/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace ising::machine {
+
+/** Integration and annealing parameters. */
+struct BrimConfig
+{
+    double dt = 0.02;          ///< Euler step (normalized time units)
+    double coupling = 1.0;     ///< kappa: coupling-current strength
+    double bistability = 1.0;  ///< lambda: feedback strength
+    double temperature = 0.0;  ///< Langevin noise temperature
+    double flipRateStart = 0.05; ///< per-node flip prob/step at t=0
+    double flipRateEnd = 0.0;    ///< per-node flip prob/step at t=end
+};
+
+/** Explicit-time simulation of one BRIM instance. */
+class BrimSimulator
+{
+  public:
+    /**
+     * @param model Ising instance to load into the coupler mesh
+     *              (borrowed; must outlive the simulator)
+     * @param config dynamics parameters
+     * @param rng    randomness for initial state, noise and flips
+     */
+    BrimSimulator(const IsingModel &model, const BrimConfig &config,
+                  util::Rng &rng);
+
+    std::size_t numNodes() const { return v_.size(); }
+
+    /** Uniform random voltages in [-1, 1]; clears clamps. */
+    void randomizeState();
+
+    /** Set all voltages explicitly (+-1 spin states work too). */
+    void setState(const std::vector<double> &v);
+
+    /** Pin node i at the given voltage (clamp unit, Sec. 3.1). */
+    void clampNode(std::size_t i, double value);
+
+    /** Release every clamp. */
+    void releaseClamps();
+
+    /** Advance one Euler step with the given flip probability. */
+    void step(double flipProb = 0.0);
+
+    /**
+     * Run a full anneal: @p steps Euler steps with the flip rate
+     * decaying linearly from flipRateStart to flipRateEnd.
+     */
+    void anneal(std::size_t steps);
+
+    /** Anneal under an explicit flip-rate schedule. */
+    void anneal(std::size_t steps, const AnnealSchedule &schedule);
+
+    /** Deterministic descent: run until the Lyapunov change per step
+     *  falls below @p tol or @p maxSteps elapse.  Returns steps run. */
+    std::size_t relax(double tol = 1e-9, std::size_t maxSteps = 20000);
+
+    /** Current voltages. */
+    const std::vector<double> &voltages() const { return v_; }
+
+    /** Sign-threshold spin readout. */
+    SpinState spins() const;
+
+    /** Ising energy of the thresholded state. */
+    double energy() const;
+
+    /** Lyapunov function of the continuous state (descends when
+     *  temperature == 0 and no flips are injected). */
+    double lyapunov() const;
+
+  private:
+    const IsingModel &model_;
+    BrimConfig config_;
+    util::Rng &rng_;
+    std::vector<double> v_;
+    std::vector<double> dv_;
+    std::vector<std::optional<double>> clamp_;
+};
+
+} // namespace ising::machine
+
+#endif // ISINGRBM_ISING_BRIM_HPP

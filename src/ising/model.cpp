@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ising model implementation.
+ */
+
+#include "ising/model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ising::machine {
+
+IsingModel::IsingModel(std::size_t n) : j_(n, n, 0.0f), h_(n, 0.0f)
+{
+}
+
+void
+IsingModel::setCoupling(std::size_t i, std::size_t j, float value)
+{
+    assert(i != j);
+    j_(i, j) = value;
+    j_(j, i) = value;
+}
+
+double
+IsingModel::energy(const SpinState &s) const
+{
+    const std::size_t n = numNodes();
+    assert(s.size() == n);
+    double e = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *row = j_.row(i);
+        double acc = 0.0;
+        for (std::size_t j = i + 1; j < n; ++j)
+            acc += row[j] * s[j];
+        e -= s[i] * acc;
+        e -= h_[i] * s[i];
+    }
+    return e;
+}
+
+double
+IsingModel::localField(const SpinState &s, std::size_t i) const
+{
+    const std::size_t n = numNodes();
+    const float *row = j_.row(i);
+    double acc = h_[i];
+    for (std::size_t j = 0; j < n; ++j)
+        acc += row[j] * s[j];
+    return acc;
+}
+
+double
+IsingModel::flipDelta(const SpinState &s, std::size_t i) const
+{
+    // dE = 2 s_i (sum_j J_ij s_j + h_i)
+    return 2.0 * s[i] * localField(s, i);
+}
+
+SpinState
+IsingModel::randomState(std::size_t n, util::Rng &rng)
+{
+    SpinState s(n);
+    for (auto &x : s)
+        x = rng.sign();
+    return s;
+}
+
+SpinState
+simulatedAnneal(const IsingModel &model, std::size_t sweeps, double tStart,
+                double tEnd, util::Rng &rng)
+{
+    const std::size_t n = model.numNodes();
+    SpinState s = IsingModel::randomState(n, rng);
+    if (sweeps == 0 || n == 0)
+        return s;
+    const double ratio =
+        sweeps > 1 ? std::pow(tEnd / tStart,
+                              1.0 / static_cast<double>(sweeps - 1))
+                   : 1.0;
+    double t = tStart;
+    for (std::size_t sweep = 0; sweep < sweeps; ++sweep, t *= ratio) {
+        for (std::size_t step = 0; step < n; ++step) {
+            const std::size_t i = rng.uniformInt(n);
+            const double dE = model.flipDelta(s, i);
+            if (dE <= 0.0 || rng.uniform() < std::exp(-dE / t))
+                s[i] = -s[i];
+        }
+    }
+    return s;
+}
+
+} // namespace ising::machine

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The Ising model: a system of coupled +-1 spins with Hamiltonian
+ *
+ *   H = - sum_{i<j} J_ij s_i s_j - sum_i h_i s_i          (Eq. 1)
+ *
+ * This is the optimization substrate the whole paper builds on.  The
+ * container stores the full symmetric coupling matrix (the machine's
+ * all-to-all programmable resistor mesh) plus per-node fields.
+ */
+
+#ifndef ISINGRBM_ISING_MODEL_HPP
+#define ISINGRBM_ISING_MODEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ising::machine {
+
+/** Spin configuration: +1 / -1 per node. */
+using SpinState = std::vector<int>;
+
+/** Dense Ising instance. */
+class IsingModel
+{
+  public:
+    IsingModel() = default;
+
+    /** Construct with n nodes, zero couplings and fields. */
+    explicit IsingModel(std::size_t n);
+
+    std::size_t numNodes() const { return h_.size(); }
+
+    /** Symmetric accessor: stores into both (i,j) and (j,i). */
+    void setCoupling(std::size_t i, std::size_t j, float value);
+    float coupling(std::size_t i, std::size_t j) const { return j_(i, j); }
+
+    void setField(std::size_t i, float value) { h_[i] = value; }
+    float field(std::size_t i) const { return h_[i]; }
+
+    const linalg::Matrix &couplings() const { return j_; }
+    linalg::Matrix &couplings() { return j_; }
+    const linalg::Vector &fields() const { return h_; }
+    linalg::Vector &fields() { return h_; }
+
+    /** Hamiltonian of a +-1 spin configuration (Eq. 1). */
+    double energy(const SpinState &s) const;
+
+    /** Energy change if spin i were flipped (O(n)). */
+    double flipDelta(const SpinState &s, std::size_t i) const;
+
+    /** Local field sum_j J_ij s_j + h_i seen by node i. */
+    double localField(const SpinState &s, std::size_t i) const;
+
+    /** Uniformly random spin state. */
+    static SpinState randomState(std::size_t n, util::Rng &rng);
+
+  private:
+    linalg::Matrix j_;  ///< symmetric couplings, zero diagonal
+    linalg::Vector h_;  ///< external fields
+};
+
+/**
+ * Reference software annealer (simulated annealing with Metropolis
+ * flips and a geometric temperature schedule).  Used as the
+ * software baseline when the substrate solves plain optimization
+ * problems, and for cross-checking BRIM ground states in tests.
+ */
+SpinState simulatedAnneal(const IsingModel &model, std::size_t sweeps,
+                          double tStart, double tEnd, util::Rng &rng);
+
+} // namespace ising::machine
+
+#endif // ISINGRBM_ISING_MODEL_HPP

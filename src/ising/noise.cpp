@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Noise model implementation.
+ */
+
+#include "ising/noise.hpp"
+
+#include <algorithm>
+
+namespace ising::machine {
+
+std::vector<NoiseSpec>
+paperNoiseGrid()
+{
+    return {
+        {0.00, 0.00}, {0.03, 0.03}, {0.05, 0.05},
+        {0.10, 0.10}, {0.20, 0.20}, {0.30, 0.30},
+    };
+}
+
+void
+VariationField::materialize(std::size_t rows, std::size_t cols, double rms,
+                            util::Rng &rng)
+{
+    if (rms <= 0.0) {
+        gain_.reset(0, 0);
+        return;
+    }
+    gain_.reset(rows, cols);
+    float *d = gain_.data();
+    for (std::size_t i = 0; i < gain_.size(); ++i)
+        d[i] = std::max(0.05f,
+                        static_cast<float>(1.0 + rng.gaussian(0.0, rms)));
+}
+
+} // namespace ising::machine

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Process-variation and circuit-noise model (Sec. 4.5).
+ *
+ * The paper injects "static variation on the resistance of the
+ * coupling units and dynamic noises at both nodes and coupling units",
+ * both Gaussian, with RMS values from 3% to 30%, characterized as a
+ * pair (RMS_variation, RMS_noise).
+ *
+ *  - Static variation: each coupler's conductance is off by a fixed
+ *    multiplicative factor drawn once at "fabrication" time.  It
+ *    scales both the coupler's contribution to the summed current and
+ *    the charge packet its training circuit delivers.
+ *  - Dynamic noise: every evaluation of a node's summed current picks
+ *    up fresh Gaussian noise; per-coupler current noise aggregates
+ *    into the node sum, so the behavioral model applies it at the
+ *    activation level with RMS proportional to the signal scale.
+ */
+
+#ifndef ISINGRBM_ISING_NOISE_HPP
+#define ISINGRBM_ISING_NOISE_HPP
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ising::machine {
+
+/** The (RMS_variation, RMS_noise) pair labeling Figs. 8-10. */
+struct NoiseSpec
+{
+    double rmsVariation = 0.0;  ///< static multiplicative mismatch
+    double rmsNoise = 0.0;      ///< dynamic noise, relative RMS
+
+    bool isNoiseless() const { return rmsVariation == 0 && rmsNoise == 0; }
+};
+
+/** The six (variation, noise) combinations plotted in Figs. 8-10. */
+std::vector<NoiseSpec> paperNoiseGrid();
+
+/** Frozen per-coupler static mismatch field. */
+class VariationField
+{
+  public:
+    VariationField() = default;
+
+    /**
+     * Draw gains 1 + N(0, rms) once for an (m x n) coupler array.
+     * Gains are clamped to [0.05, inf) so a coupler never inverts.
+     */
+    void materialize(std::size_t rows, std::size_t cols, double rms,
+                     util::Rng &rng);
+
+    bool enabled() const { return !gain_.empty(); }
+
+    /** Multiplicative gain of coupler (i, j); 1 when disabled. */
+    float
+    gain(std::size_t i, std::size_t j) const
+    {
+        return enabled() ? gain_(i, j) : 1.0f;
+    }
+
+    const linalg::Matrix &gains() const { return gain_; }
+
+  private:
+    linalg::Matrix gain_;
+};
+
+} // namespace ising::machine
+
+#endif // ISINGRBM_ISING_NOISE_HPP

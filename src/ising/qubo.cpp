@@ -1,0 +1,126 @@
+/**
+ * @file
+ * QUBO/max-cut implementations.
+ */
+
+#include "ising/qubo.hpp"
+
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace ising::machine {
+
+double
+Qubo::value(const std::vector<int> &bits) const
+{
+    const std::size_t n = size();
+    assert(bits.size() == n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!bits[i])
+            continue;
+        acc += q(i, i);
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (bits[j])
+                acc += q(i, j);
+    }
+    return acc;
+}
+
+QuboEmbedding
+quboToIsing(const Qubo &qubo)
+{
+    // b_i = (sigma_i + 1)/2.  Substituting into
+    //   sum_i Q_ii b_i + sum_{i<j} Q_ij b_i b_j
+    // gives H = -sum_{i<j} J_ij s_i s_j - sum_i h_i s_i + const with
+    //   J_ij = -Q_ij / 4
+    //   h_i  = -(Q_ii / 2 + sum_{j != i} Q_ij / 4)
+    //   const = sum_i Q_ii / 2 + sum_{i<j} Q_ij / 4.
+    const std::size_t n = qubo.size();
+    QuboEmbedding out;
+    out.model = IsingModel(n);
+    double offset = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double rowSum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            if (j > i) {
+                out.model.setCoupling(i, j, -qubo.q(i, j) / 4.0f);
+                offset += qubo.q(i, j) / 4.0;
+            }
+            rowSum += qubo.q(i, j);
+        }
+        out.model.setField(
+            i, static_cast<float>(-(qubo.q(i, i) / 2.0 + rowSum / 4.0)));
+        offset += qubo.q(i, i) / 2.0;
+    }
+    out.offset = offset;
+    return out;
+}
+
+std::vector<int>
+spinsToQuboBits(const SpinState &s)
+{
+    std::vector<int> bits(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i)
+        bits[i] = s[i] > 0 ? 1 : 0;
+    return bits;
+}
+
+WeightedGraph
+randomGraph(std::size_t vertices, double edgeProb, util::Rng &rng,
+            bool unitWeights)
+{
+    WeightedGraph g;
+    g.numVertices = vertices;
+    for (std::size_t a = 0; a < vertices; ++a)
+        for (std::size_t b = a + 1; b < vertices; ++b)
+            if (rng.bernoulli(edgeProb))
+                g.edges.push_back(
+                    {a, b, unitWeights ? 1.0 : rng.uniform(0.1, 1.0)});
+    return g;
+}
+
+IsingModel
+maxCutToIsing(const WeightedGraph &graph)
+{
+    IsingModel model(graph.numVertices);
+    for (const auto &e : graph.edges) {
+        // Accumulate in case of parallel edges.
+        const float j = model.coupling(e.a, e.b) -
+                        static_cast<float>(e.weight / 2.0);
+        model.setCoupling(e.a, e.b, j);
+    }
+    return model;
+}
+
+double
+cutValue(const WeightedGraph &graph, const SpinState &s)
+{
+    assert(s.size() == graph.numVertices);
+    double cut = 0.0;
+    for (const auto &e : graph.edges)
+        if (s[e.a] != s[e.b])
+            cut += e.weight;
+    return cut;
+}
+
+double
+bruteForceMaxCut(const WeightedGraph &graph)
+{
+    const std::size_t n = graph.numVertices;
+    if (n > 22)
+        util::fatal("bruteForceMaxCut: graph too large to enumerate");
+    double best = 0.0;
+    SpinState s(n);
+    for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+        for (std::size_t i = 0; i < n; ++i)
+            s[i] = (mask >> i) & 1 ? 1 : -1;
+        best = std::max(best, cutValue(graph, s));
+    }
+    return best;
+}
+
+} // namespace ising::machine

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * QUBO support and combinatorial problem helpers.
+ *
+ * Sec. 2.1: "if a problem already has a QUBO (quadratic unconstrained
+ * binary optimization) formulation, mapping to Ising formula is as
+ * easy as substituting bits for spins: sigma_i = 2 b_i - 1."  This
+ * module implements that mapping both ways, plus the max-cut
+ * formulation the paper uses as its canonical NP-complete example and
+ * random graph generators for exercising the substrate as a plain
+ * optimizer.
+ */
+
+#ifndef ISINGRBM_ISING_QUBO_HPP
+#define ISINGRBM_ISING_QUBO_HPP
+
+#include <vector>
+
+#include "ising/model.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ising::machine {
+
+/**
+ * A QUBO instance: minimize b^T Q b over b in {0,1}^n.  Q is stored
+ * dense and symmetric (off-diagonal terms count once per unordered
+ * pair, i.e. the objective is sum_i Q_ii b_i + sum_{i<j} Q_ij b_i b_j).
+ */
+struct Qubo
+{
+    linalg::Matrix q;  ///< symmetric (n x n); diagonal = linear terms
+
+    std::size_t size() const { return q.rows(); }
+
+    /** Objective value of a bit assignment. */
+    double value(const std::vector<int> &bits) const;
+};
+
+/** Result of mapping a QUBO onto spins. */
+struct QuboEmbedding
+{
+    IsingModel model;
+    double offset = 0.0;  ///< qubo.value(b) = H(sigma(b)) + offset
+};
+
+/** Map a QUBO onto the Ising substrate via sigma = 2b - 1. */
+QuboEmbedding quboToIsing(const Qubo &qubo);
+
+/** Convert spins back to bits. */
+std::vector<int> spinsToQuboBits(const SpinState &s);
+
+/** An undirected weighted graph as an edge list. */
+struct WeightedGraph
+{
+    std::size_t numVertices = 0;
+    struct Edge
+    {
+        std::size_t a = 0, b = 0;
+        double weight = 1.0;
+    };
+    std::vector<Edge> edges;
+};
+
+/** Erdos-Renyi random graph with the given edge probability. */
+WeightedGraph randomGraph(std::size_t vertices, double edgeProb,
+                          util::Rng &rng, bool unitWeights = true);
+
+/**
+ * Max-cut as an Ising instance: J_ab = -w_ab / 2 so that the ground
+ * state maximizes the cut; cutValue(s) recovers the cut weight.
+ */
+IsingModel maxCutToIsing(const WeightedGraph &graph);
+
+/** Total weight of edges crossing the spin partition. */
+double cutValue(const WeightedGraph &graph, const SpinState &s);
+
+/** Exhaustive max-cut for tiny graphs (<= ~20 vertices): ground truth. */
+double bruteForceMaxCut(const WeightedGraph &graph);
+
+} // namespace ising::machine
+
+#endif // ISINGRBM_ISING_QUBO_HPP

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Annealing schedule implementation.
+ */
+
+#include "ising/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ising::machine {
+
+AnnealSchedule::AnnealSchedule(ScheduleKind kind, double start, double end)
+    : kind_(kind), start_(start), end_(end)
+{
+}
+
+double
+AnnealSchedule::at(std::size_t step, std::size_t total) const
+{
+    if (kind_ == ScheduleKind::Constant || total <= 1)
+        return start_;
+    const double frac = std::min(
+        1.0, static_cast<double>(step) / static_cast<double>(total - 1));
+    switch (kind_) {
+      case ScheduleKind::Linear:
+        return start_ + frac * (end_ - start_);
+      case ScheduleKind::Geometric: {
+        // Interpolate in log space; a zero endpoint is floored so the
+        // ratio stays finite, then mapped back exactly at frac == 1.
+        const double lo = std::max(end_, 1e-12);
+        const double hi = std::max(start_, 1e-12);
+        const double v = hi * std::pow(lo / hi, frac);
+        return frac >= 1.0 ? end_ : v;
+      }
+      case ScheduleKind::Cosine:
+        return end_ + (start_ - end_) *
+                          0.5 * (1.0 + std::cos(M_PI * frac));
+      case ScheduleKind::Constant:
+        break;
+    }
+    return start_;
+}
+
+} // namespace ising::machine

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Annealing schedules for the flip-injection control.
+ *
+ * The baseline BRIM anneal uses a linear flip-rate decay; this module
+ * generalizes the "annealing control" knob (Sec. 3.1) with the
+ * schedule shapes commonly compared in the simulated-annealing
+ * literature, so the optimizer example and tests can study schedule
+ * sensitivity.
+ */
+
+#ifndef ISINGRBM_ISING_SCHEDULE_HPP
+#define ISINGRBM_ISING_SCHEDULE_HPP
+
+#include <cstddef>
+
+namespace ising::machine {
+
+/** Supported decay shapes. */
+enum class ScheduleKind { Linear, Geometric, Cosine, Constant };
+
+/** A flip-rate (or temperature) schedule over a fixed horizon. */
+class AnnealSchedule
+{
+  public:
+    /**
+     * @param kind  decay shape
+     * @param start value at step 0
+     * @param end   value at the final step (ignored for Constant)
+     */
+    AnnealSchedule(ScheduleKind kind, double start, double end);
+
+    /** Rate at step @p step of a horizon of @p total steps. */
+    double at(std::size_t step, std::size_t total) const;
+
+    ScheduleKind kind() const { return kind_; }
+    double start() const { return start_; }
+    double end() const { return end_; }
+
+  private:
+    ScheduleKind kind_;
+    double start_;
+    double end_;
+};
+
+} // namespace ising::machine
+
+#endif // ISINGRBM_ISING_SCHEDULE_HPP

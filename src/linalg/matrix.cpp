@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Out-of-line Matrix members.
+ */
+
+#include "linalg/matrix.hpp"
+
+namespace ising::linalg {
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    constexpr std::size_t kBlock = 32;
+    for (std::size_t rb = 0; rb < rows_; rb += kBlock) {
+        const std::size_t rEnd = std::min(rows_, rb + kBlock);
+        for (std::size_t cb = 0; cb < cols_; cb += kBlock) {
+            const std::size_t cEnd = std::min(cols_, cb + kBlock);
+            for (std::size_t r = rb; r < rEnd; ++r)
+                for (std::size_t c = cb; c < cEnd; ++c)
+                    t(c, r) = (*this)(r, c);
+        }
+    }
+    return t;
+}
+
+} // namespace ising::linalg

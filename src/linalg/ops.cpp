@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Kernel implementations.  The loops are written so GCC auto-vectorizes
+ * the inner dimension; profiling showed this is within ~2x of OpenBLAS
+ * for the matrix shapes RBM training uses (hundreds to ~1k per side),
+ * which is plenty for a behavioral simulator.
+ */
+
+#include "linalg/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ising::linalg {
+
+void
+gemvT(const Matrix &w, const Vector &x, const Vector &b, Vector &y)
+{
+    const std::size_t m = w.rows(), n = w.cols();
+    assert(x.size() == m && b.size() == n);
+    y.resize(n);
+    for (std::size_t j = 0; j < n; ++j)
+        y[j] = b[j];
+    // Traverse W row-wise (contiguous) and accumulate into y.
+    for (std::size_t i = 0; i < m; ++i) {
+        const float xi = x[i];
+        if (xi == 0.0f)
+            continue;
+        const float *wrow = w.row(i);
+        float *yd = y.data();
+        for (std::size_t j = 0; j < n; ++j)
+            yd[j] += xi * wrow[j];
+    }
+}
+
+void
+gemv(const Matrix &w, const Vector &h, const Vector &b, Vector &y)
+{
+    const std::size_t m = w.rows(), n = w.cols();
+    assert(h.size() == n && b.size() == m);
+    y.resize(m);
+    const float *hd = h.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *wrow = w.row(i);
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < n; ++j)
+            acc += wrow[j] * hd[j];
+        y[i] = acc + b[i];
+    }
+}
+
+void
+rank1Update(Matrix &w, float alpha, const Vector &v, const Vector &h)
+{
+    const std::size_t m = w.rows(), n = w.cols();
+    assert(v.size() == m && h.size() == n);
+    const float *hd = h.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float av = alpha * v[i];
+        if (av == 0.0f)
+            continue;
+        float *wrow = w.row(i);
+        for (std::size_t j = 0; j < n; ++j)
+            wrow[j] += av * hd[j];
+    }
+}
+
+void
+gemm(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    const std::size_t p = a.rows(), q = a.cols(), r = b.cols();
+    assert(b.rows() == q);
+    c.reset(p, r, 0.0f);
+    constexpr std::size_t kBlock = 64;
+    for (std::size_t kb = 0; kb < q; kb += kBlock) {
+        const std::size_t kEnd = std::min(q, kb + kBlock);
+        for (std::size_t i = 0; i < p; ++i) {
+            float *crow = c.row(i);
+            for (std::size_t k = kb; k < kEnd; ++k) {
+                const float aik = a(i, k);
+                if (aik == 0.0f)
+                    continue;
+                const float *brow = b.row(k);
+                for (std::size_t j = 0; j < r; ++j)
+                    crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+void
+axpy(float alpha, const Vector &x, Vector &y)
+{
+    assert(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    assert(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += static_cast<double>(a[i]) * b[i];
+    return acc;
+}
+
+double
+sum(const Vector &v)
+{
+    double acc = 0.0;
+    for (float x : v)
+        acc += x;
+    return acc;
+}
+
+double
+sum(const Matrix &m)
+{
+    double acc = 0.0;
+    const float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        acc += d[i];
+    return acc;
+}
+
+double
+normSquared(const Matrix &m)
+{
+    double acc = 0.0;
+    const float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        acc += static_cast<double>(d[i]) * d[i];
+    return acc;
+}
+
+double
+normSquared(const Vector &v)
+{
+    double acc = 0.0;
+    for (float x : v)
+        acc += static_cast<double>(x) * x;
+    return acc;
+}
+
+void
+apply(Vector &v, const std::function<float(float)> &fn)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = fn(v[i]);
+}
+
+void
+apply(Matrix &m, const std::function<float(float)> &fn)
+{
+    float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        d[i] = fn(d[i]);
+}
+
+void
+softmaxInPlace(float *v, std::size_t n)
+{
+    if (n == 0)
+        return;
+    float m = v[0];
+    for (std::size_t i = 1; i < n; ++i)
+        m = std::max(m, v[i]);
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = std::exp(v[i] - m);
+        acc += v[i];
+    }
+    const float inv = 1.0f / acc;
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] *= inv;
+}
+
+double
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    double worst = 0.0;
+    const float *ad = a.data(), *bd = b.data();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, static_cast<double>(std::fabs(ad[i] - bd[i])));
+    return worst;
+}
+
+} // namespace ising::linalg

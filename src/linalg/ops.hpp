@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dense kernels used by the RBM trainers and behavioral accelerator
+ * models: matrix-vector products in both orientations, rank-1 updates,
+ * reductions and elementwise maps.
+ *
+ * All kernels operate on the row-major containers from matrix.hpp.
+ */
+
+#ifndef ISINGRBM_LINALG_OPS_HPP
+#define ISINGRBM_LINALG_OPS_HPP
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace ising::linalg {
+
+/**
+ * y = W^T x + b where W is (m x n), x is length m, y/b length n.
+ *
+ * This is the visible->hidden projection of an RBM: column sums of
+ * current in the analog coupling fabric.
+ */
+void gemvT(const Matrix &w, const Vector &x, const Vector &b, Vector &y);
+
+/**
+ * y = W h + b where W is (m x n), h is length n, y/b length m.
+ *
+ * The hidden->visible projection (row sums of current).
+ */
+void gemv(const Matrix &w, const Vector &h, const Vector &b, Vector &y);
+
+/** W += alpha * v h^T (rank-1 update on an (m x n) matrix). */
+void rank1Update(Matrix &w, float alpha, const Vector &v, const Vector &h);
+
+/** C = A * B with (p x q) * (q x r) blocked triple loop. */
+void gemm(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** y += alpha * x elementwise. */
+void axpy(float alpha, const Vector &x, Vector &y);
+
+/** Dot product. */
+double dot(const Vector &a, const Vector &b);
+
+/** Sum of all entries. */
+double sum(const Vector &v);
+double sum(const Matrix &m);
+
+/** Squared Frobenius norm. */
+double normSquared(const Matrix &m);
+double normSquared(const Vector &v);
+
+/** Elementwise transform in place. */
+void apply(Vector &v, const std::function<float(float)> &fn);
+void apply(Matrix &m, const std::function<float(float)> &fn);
+
+/** Numerically stable in-place softmax over a buffer. */
+void softmaxInPlace(float *v, std::size_t n);
+
+/** Maximum absolute difference between two matrices (shape-checked). */
+double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+} // namespace ising::linalg
+
+#endif // ISINGRBM_LINALG_OPS_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Statistics implementations.
+ */
+
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ising::linalg {
+
+void
+RunningStats::push(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> sample, double p)
+{
+    assert(!sample.empty());
+    p = std::clamp(p, 0.0, 100.0);
+    std::sort(sample.begin(), sample.end());
+    if (sample.size() == 1)
+        return sample[0];
+    const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+std::vector<double>
+movingAverage(const std::vector<double> &series, std::size_t window)
+{
+    if (window == 0)
+        window = 1;
+    std::vector<double> out(series.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        acc += series[i];
+        if (i >= window)
+            acc -= series[i - window];
+        const std::size_t n = std::min(i + 1, window);
+        out[i] = acc / static_cast<double>(n);
+    }
+    return out;
+}
+
+std::vector<std::pair<double, double>>
+empiricalCdf(std::vector<double> sample)
+{
+    std::sort(sample.begin(), sample.end());
+    std::vector<std::pair<double, double>> cdf;
+    cdf.reserve(sample.size());
+    const double n = static_cast<double>(sample.size());
+    for (std::size_t i = 0; i < sample.size(); ++i)
+        cdf.emplace_back(sample[i], static_cast<double>(i + 1) / n);
+    return cdf;
+}
+
+double
+correlation(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size() && a.size() >= 2);
+    RunningStats sa, sb;
+    for (double x : a)
+        sa.push(x);
+    for (double x : b)
+        sb.push(x);
+    double cov = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+    cov /= static_cast<double>(a.size() - 1);
+    const double denom = sa.stddev() * sb.stddev();
+    return denom > 0.0 ? cov / denom : 0.0;
+}
+
+} // namespace ising::linalg

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Descriptive statistics used by the experiment harnesses: streaming
+ * mean/variance, percentiles, moving averages (Fig. 8 smoothing) and
+ * histogram/CDF construction (Fig. 11).
+ */
+
+#ifndef ISINGRBM_LINALG_STATS_HPP
+#define ISINGRBM_LINALG_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace ising::linalg {
+
+/** Welford streaming mean/variance accumulator. */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the stream. */
+    void push(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Linear-interpolated percentile of a sample (p in [0, 100]).
+ * The input is copied; the original order is preserved.
+ */
+double percentile(std::vector<double> sample, double p);
+
+/**
+ * Trailing moving average with the given window, matching the paper's
+ * "smoothed using a moving average of 10 points" (Fig. 8).
+ */
+std::vector<double> movingAverage(const std::vector<double> &series,
+                                  std::size_t window);
+
+/**
+ * Empirical CDF evaluation points: returns pairs (x_sorted[i],
+ * (i+1)/n).  Used to regenerate the Fig. 11 KL-divergence CDF.
+ */
+std::vector<std::pair<double, double>> empiricalCdf(
+    std::vector<double> sample);
+
+/** Pearson correlation of two equal-length series. */
+double correlation(const std::vector<double> &a,
+                   const std::vector<double> &b);
+
+} // namespace ising::linalg
+
+#endif // ISINGRBM_LINALG_STATS_HPP

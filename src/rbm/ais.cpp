@@ -1,0 +1,167 @@
+/**
+ * @file
+ * AIS implementation.
+ *
+ * Intermediate distributions follow the standard geometric path
+ *   p_beta(v) ~ exp((1-beta) bA.v) * exp(beta bv.v)
+ *               * prod_j (1 + exp(beta (bh_j + (vW)_j)))
+ * between the base-rate model A (weights 0, biases bA) at beta=0 and
+ * the target model B at beta=1.
+ */
+
+#include "rbm/ais.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace ising::rbm {
+
+namespace {
+
+/** log of the unnormalized intermediate marginal p*_beta(v). */
+double
+logPStar(const Rbm &model, const std::vector<float> &bA, const float *v,
+         double beta)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+        acc += ((1.0 - beta) * bA[i] +
+                beta * model.visibleBias()[i]) * v[i];
+    // Hidden contribution: sum_j softplus(beta * act_j).
+    std::vector<double> act(n);
+    for (std::size_t j = 0; j < n; ++j)
+        act[j] = model.hiddenBias()[j];
+    for (std::size_t i = 0; i < m; ++i) {
+        const float vi = v[i];
+        if (vi == 0.0f)
+            continue;
+        const float *wrow = model.weights().row(i);
+        for (std::size_t j = 0; j < n; ++j)
+            act[j] += vi * wrow[j];
+    }
+    for (std::size_t j = 0; j < n; ++j)
+        acc += util::softplus(beta * act[j]);
+    return acc;
+}
+
+/** One Gibbs transition targeting p_beta. */
+void
+gibbsAtBeta(const Rbm &model, const std::vector<float> &bA,
+            std::vector<float> &v, double beta, util::Rng &rng)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+    // h | v at inverse temperature beta.
+    std::vector<float> h(n);
+    std::vector<double> act(n);
+    for (std::size_t j = 0; j < n; ++j)
+        act[j] = model.hiddenBias()[j];
+    for (std::size_t i = 0; i < m; ++i) {
+        const float vi = v[i];
+        if (vi == 0.0f)
+            continue;
+        const float *wrow = model.weights().row(i);
+        for (std::size_t j = 0; j < n; ++j)
+            act[j] += vi * wrow[j];
+    }
+    for (std::size_t j = 0; j < n; ++j)
+        h[j] = rng.bernoulli(util::sigmoid(beta * act[j])) ? 1.0f : 0.0f;
+
+    // v | h mixing the base and target fields.
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *wrow = model.weights().row(i);
+        double field = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            field += wrow[j] * h[j];
+        const double a = (1.0 - beta) * bA[i] +
+                         beta * (model.visibleBias()[i] + field);
+        v[i] = rng.bernoulli(util::sigmoid(a)) ? 1.0f : 0.0f;
+    }
+}
+
+} // namespace
+
+AisEstimator::AisEstimator(const AisConfig &config, util::Rng &rng)
+    : config_(config), rng_(rng)
+{
+}
+
+AisResult
+AisEstimator::estimateLogZ(const Rbm &model, const data::Dataset &train)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+
+    // Base-rate visible biases bA from smoothed data marginals.
+    std::vector<float> bA(m, 0.0f);
+    if (config_.baseFromData && train.size() > 0) {
+        for (std::size_t i = 0; i < m; ++i) {
+            double p = 0.0;
+            for (std::size_t r = 0; r < train.size(); ++r)
+                p += train.sample(r)[i];
+            p = (p + 1.0) / (static_cast<double>(train.size()) + 2.0);
+            bA[i] = static_cast<float>(std::log(p / (1.0 - p)));
+        }
+    }
+
+    // log Z_A = n log 2 + sum_i softplus(bA_i).
+    double logZA = static_cast<double>(n) * std::log(2.0);
+    for (std::size_t i = 0; i < m; ++i)
+        logZA += util::softplus(bA[i]);
+
+    const std::size_t kBetas = std::max<std::size_t>(2, config_.numBetas);
+    std::vector<double> logW(config_.numChains, 0.0);
+    std::vector<float> v(m);
+
+    for (std::size_t c = 0; c < config_.numChains; ++c) {
+        // v ~ p_0 (independent Bernoulli under bA).
+        for (std::size_t i = 0; i < m; ++i)
+            v[i] = rng_.bernoulli(util::sigmoid(bA[i])) ? 1.0f : 0.0f;
+        double lw = 0.0;
+        for (std::size_t s = 1; s < kBetas; ++s) {
+            const double betaPrev =
+                static_cast<double>(s - 1) / (kBetas - 1);
+            const double beta = static_cast<double>(s) / (kBetas - 1);
+            lw += logPStar(model, bA, v.data(), beta) -
+                  logPStar(model, bA, v.data(), betaPrev);
+            gibbsAtBeta(model, bA, v, beta, rng_);
+        }
+        logW[c] = lw;
+    }
+
+    // log mean(w) = logsumexp(logW) - log(numChains).
+    const double logMeanW =
+        util::logSumExp(logW) - std::log(static_cast<double>(logW.size()));
+
+    // Delta-method standard error of log mean(w).
+    double meanW = 0.0, varW = 0.0;
+    for (double lw : logW)
+        meanW += std::exp(lw - logMeanW);
+    meanW /= static_cast<double>(logW.size());
+    for (double lw : logW) {
+        const double d = std::exp(lw - logMeanW) - meanW;
+        varW += d * d;
+    }
+    varW /= std::max<std::size_t>(1, logW.size() - 1);
+    const double se = std::sqrt(varW / static_cast<double>(logW.size())) /
+                      std::max(meanW, 1e-12);
+
+    AisResult out;
+    out.logZ = logMeanW + logZA;
+    out.logZStdErr = se;
+    return out;
+}
+
+double
+AisEstimator::averageLogProb(const Rbm &model, const data::Dataset &train,
+                             const data::Dataset &eval)
+{
+    const AisResult z = estimateLogZ(model, train);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < eval.size(); ++r)
+        acc += -model.freeEnergy(eval.sample(r)) - z.logZ;
+    return eval.size() ? acc / static_cast<double>(eval.size()) : 0.0;
+}
+
+} // namespace ising::rbm

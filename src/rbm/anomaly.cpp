@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Anomaly scoring implementation.
+ */
+
+#include "rbm/anomaly.hpp"
+
+namespace ising::rbm {
+
+std::vector<double>
+anomalyScores(const Rbm &model, const data::Dataset &ds)
+{
+    std::vector<double> scores(ds.size());
+    for (std::size_t r = 0; r < ds.size(); ++r)
+        scores[r] = model.freeEnergy(ds.sample(r));
+    return scores;
+}
+
+std::vector<double>
+reconstructionScores(const Rbm &model, const data::Dataset &ds)
+{
+    std::vector<double> scores(ds.size());
+    linalg::Vector ph, pv;
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        const float *v = ds.sample(r);
+        model.hiddenProbs(v, ph);
+        model.visibleProbs(ph.data(), pv);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < ds.dim(); ++i) {
+            const double d = pv[i] - v[i];
+            acc += d * d;
+        }
+        scores[r] = acc;
+    }
+    return scores;
+}
+
+} // namespace ising::rbm

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * RBM-based anomaly scoring for the credit-card-fraud benchmark.
+ *
+ * An RBM trained on (mostly legitimate) transactions assigns low free
+ * energy to inliers; the anomaly score of a sample is its free energy
+ * relative to the trained model (equivalently, negative unnormalized
+ * log-likelihood).  Fig. 10 reports the ROC of this score.
+ */
+
+#ifndef ISINGRBM_RBM_ANOMALY_HPP
+#define ISINGRBM_RBM_ANOMALY_HPP
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rbm/rbm.hpp"
+
+namespace ising::rbm {
+
+/**
+ * Free-energy anomaly scores for every row of @p ds (higher score =
+ * more anomalous).
+ */
+std::vector<double> anomalyScores(const Rbm &model,
+                                  const data::Dataset &ds);
+
+/**
+ * Reconstruction-error scores (mean-field v -> h -> v round trip);
+ * provided as an alternative scoring rule for comparison.
+ */
+std::vector<double> reconstructionScores(const Rbm &model,
+                                         const data::Dataset &ds);
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_ANOMALY_HPP

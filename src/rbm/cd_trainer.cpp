@@ -1,0 +1,160 @@
+/**
+ * @file
+ * CD-k / PCD trainer implementation (paper Algorithm 1).
+ */
+
+#include "rbm/cd_trainer.hpp"
+
+#include <cassert>
+
+#include "linalg/ops.hpp"
+
+namespace ising::rbm {
+
+CdTrainer::CdTrainer(Rbm &model, const CdConfig &config, util::Rng &rng)
+    : model_(model), config_(config), rng_(rng)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+    dw_.reset(m, n);
+    dbv_.resize(m);
+    dbh_.resize(n);
+    mw_.reset(m, n);
+    mbv_.resize(m);
+    mbh_.resize(n);
+}
+
+void
+CdTrainer::ensureParticles(const data::Dataset &train)
+{
+    if (!config_.persistent || !particles_.empty())
+        return;
+    particles_.reserve(config_.numParticles);
+    linalg::Vector ph, h;
+    for (std::size_t p = 0; p < config_.numParticles; ++p) {
+        const std::size_t idx = rng_.uniformInt(train.size());
+        model_.hiddenProbs(train.sample(idx), ph);
+        Rbm::sampleBinary(ph, h, rng_);
+        particles_.push_back(h);
+    }
+}
+
+void
+CdTrainer::trainBatch(const data::Dataset &train,
+                      const std::vector<std::size_t> &indices)
+{
+    assert(!indices.empty());
+    ensureParticles(train);
+
+    const std::size_t m = model_.numVisible(), n = model_.numHidden();
+    dw_.fill(0.0f);
+    dbv_.fill(0.0f);
+    dbh_.fill(0.0f);
+
+    linalg::Vector ph, hpos, vneg, hneg, pv;
+    for (const std::size_t idx : indices) {
+        // --- Positive phase (Algorithm 1 lines 9-10) ---
+        const float *vpos = train.sample(idx);
+        model_.hiddenProbs(vpos, ph);
+        Rbm::sampleBinary(ph, hpos, rng_);
+        const linalg::Vector &hstat =
+            config_.sampleHiddenMeans ? ph : hpos;
+        // Accumulate <v+ h+>
+        for (std::size_t i = 0; i < m; ++i) {
+            const float vi = vpos[i];
+            if (vi == 0.0f)
+                continue;
+            float *drow = dw_.row(i);
+            const float *hd = hstat.data();
+            for (std::size_t j = 0; j < n; ++j)
+                drow[j] += vi * hd[j];
+        }
+        for (std::size_t i = 0; i < m; ++i)
+            dbv_[i] += vpos[i];
+        for (std::size_t j = 0; j < n; ++j)
+            dbh_[j] += hstat[j];
+
+        // --- Negative phase (lines 11-15) ---
+        if (config_.persistent) {
+            hneg = particles_[nextParticle_];
+        } else {
+            hneg = hpos;
+        }
+        for (int s = 0; s < config_.k; ++s) {
+            model_.visibleProbs(hneg.data(), pv);
+            Rbm::sampleBinary(pv, vneg, rng_);
+            model_.hiddenProbs(vneg.data(), ph);
+            Rbm::sampleBinary(ph, hneg, rng_);
+        }
+        if (config_.persistent) {
+            particles_[nextParticle_] = hneg;
+            nextParticle_ = (nextParticle_ + 1) % particles_.size();
+        }
+        // Accumulate -<v- h->
+        for (std::size_t i = 0; i < m; ++i) {
+            const float vi = vneg[i];
+            if (vi == 0.0f)
+                continue;
+            float *drow = dw_.row(i);
+            const float *hd = hneg.data();
+            for (std::size_t j = 0; j < n; ++j)
+                drow[j] -= vi * hd[j];
+        }
+        for (std::size_t i = 0; i < m; ++i)
+            dbv_[i] -= vneg[i];
+        for (std::size_t j = 0; j < n; ++j)
+            dbh_[j] -= hneg[j];
+    }
+
+    // --- Parameter update (lines 17-19) ---
+    const float scale = static_cast<float>(
+        config_.learningRate / static_cast<double>(indices.size()));
+    const float mom = static_cast<float>(config_.momentum);
+    const float decay = static_cast<float>(
+        config_.weightDecay * config_.learningRate);
+
+    linalg::Matrix &w = model_.weights();
+    float *wd = w.data(), *dwd = dw_.data(), *mwd = mw_.data();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        mwd[i] = mom * mwd[i] + scale * dwd[i] - decay * wd[i];
+        wd[i] += mwd[i];
+    }
+    linalg::Vector &bv = model_.visibleBias();
+    for (std::size_t i = 0; i < m; ++i) {
+        mbv_[i] = mom * mbv_[i] + scale * dbv_[i];
+        bv[i] += mbv_[i];
+    }
+    linalg::Vector &bh = model_.hiddenBias();
+    for (std::size_t j = 0; j < n; ++j) {
+        mbh_[j] = mom * mbh_[j] + scale * dbh_[j];
+        bh[j] += mbh_[j];
+    }
+    ++updates_;
+}
+
+void
+CdTrainer::trainEpoch(const data::Dataset &train)
+{
+    data::MinibatchPlan plan(train.size(), config_.batchSize, rng_);
+    for (std::size_t b = 0; b < plan.numBatches(); ++b)
+        trainBatch(train, plan.batch(b));
+}
+
+double
+CdTrainer::reconstructionError(const data::Dataset &ds)
+{
+    linalg::Vector ph, h, pv;
+    double acc = 0.0;
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        const float *v = ds.sample(r);
+        model_.hiddenProbs(v, ph);
+        Rbm::sampleBinary(ph, h, rng_);
+        model_.visibleProbs(h.data(), pv);
+        for (std::size_t i = 0; i < ds.dim(); ++i) {
+            const double d = pv[i] - v[i];
+            acc += d * d;
+        }
+    }
+    return ds.size() ? acc / static_cast<double>(ds.size() * ds.dim()) : 0.0;
+}
+
+} // namespace ising::rbm

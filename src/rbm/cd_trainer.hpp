@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Contrastive-divergence training: the paper's Algorithm 1 plus the
+ * persistent-CD variant (Tieleman 2008) it cites.
+ *
+ * This is the reference von Neumann implementation the accelerator
+ * architectures are measured against.  The trainer exposes per-batch
+ * hooks so the experiment harnesses can record log-probability
+ * trajectories (Fig. 7/8) during training.
+ */
+
+#ifndef ISINGRBM_RBM_CD_TRAINER_HPP
+#define ISINGRBM_RBM_CD_TRAINER_HPP
+
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "rbm/gibbs.hpp"
+#include "rbm/rbm.hpp"
+
+namespace ising::rbm {
+
+/** Hyper-parameters of Algorithm 1. */
+struct CdConfig
+{
+    double learningRate = 0.1;  ///< alpha in Algorithm 1
+    int k = 1;                  ///< CD-k Gibbs steps (line 12)
+    std::size_t batchSize = 100;
+    double weightDecay = 0.0;   ///< L2 penalty on W
+    double momentum = 0.0;      ///< classical momentum on all params
+    bool persistent = false;    ///< PCD: keep chains across updates
+    std::size_t numParticles = 16; ///< persistent chain count (PCD)
+    bool sampleHiddenMeans = false; ///< use P(h|v) instead of samples in
+                                    ///< the positive statistics (common
+                                    ///< variance-reduction practice)
+};
+
+/** Minibatch CD-k / PCD trainer. */
+class CdTrainer
+{
+  public:
+    /**
+     * @param model model to train (borrowed; must outlive the trainer)
+     * @param config hyper-parameters
+     * @param rng randomness source (borrowed)
+     */
+    CdTrainer(Rbm &model, const CdConfig &config, util::Rng &rng);
+
+    /** One full pass over the training set in shuffled minibatches. */
+    void trainEpoch(const data::Dataset &train);
+
+    /**
+     * Process one minibatch given sample indices; exposed for harnesses
+     * that interleave evaluation with training.
+     */
+    void trainBatch(const data::Dataset &train,
+                    const std::vector<std::size_t> &indices);
+
+    /** Mean squared reconstruction error over a dataset (monitor). */
+    double reconstructionError(const data::Dataset &ds);
+
+    /** Number of parameter updates performed so far. */
+    std::size_t updatesDone() const { return updates_; }
+
+    const CdConfig &config() const { return config_; }
+
+  private:
+    void ensureParticles(const data::Dataset &train);
+
+    Rbm &model_;
+    CdConfig config_;
+    util::Rng &rng_;
+
+    // Gradient accumulators reused across batches.
+    linalg::Matrix dw_;
+    linalg::Vector dbv_, dbh_;
+    // Momentum buffers.
+    linalg::Matrix mw_;
+    linalg::Vector mbv_, mbh_;
+    // PCD particles: persistent hidden states.
+    std::vector<linalg::Vector> particles_;
+    std::size_t nextParticle_ = 0;
+    std::size_t updates_ = 0;
+};
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_CD_TRAINER_HPP

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * CF-RBM implementation.
+ */
+
+#include "rbm/cf_rbm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/ops.hpp"
+#include "util/math.hpp"
+
+namespace ising::rbm {
+
+CfRbm::CfRbm(int numUsers, int numStars, int numHidden)
+    : numUsers_(numUsers), numStars_(numStars), numHidden_(numHidden),
+      w_(static_cast<std::size_t>(numUsers) * numStars, numHidden),
+      bv_(static_cast<std::size_t>(numUsers) * numStars),
+      bh_(numHidden)
+{
+}
+
+std::size_t
+CfRbm::vRow(int user, int star) const
+{
+    return static_cast<std::size_t>(user) * numStars_ + star;
+}
+
+void
+CfRbm::initRandom(util::Rng &rng, float stddev)
+{
+    float *d = w_.data();
+    for (std::size_t i = 0; i < w_.size(); ++i)
+        d[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+    bv_.fill(0.0f);
+    bh_.fill(0.0f);
+}
+
+void
+CfRbm::initFromData(const data::RatingData &corpus, util::Rng &rng,
+                    float stddev, double smoothing)
+{
+    initRandom(rng, stddev);
+    // Global star distribution.
+    std::vector<double> global(numStars_, 1.0);  // Laplace floor
+    for (const auto &r : corpus.train)
+        global[r.stars - 1] += 1.0;
+    double total = 0.0;
+    for (double g : global)
+        total += g;
+    for (double &g : global)
+        g /= total;
+    // Per-user histograms shrunk toward the global distribution.
+    std::vector<std::vector<double>> hist(
+        numUsers_, std::vector<double>(numStars_, 0.0));
+    std::vector<double> counts(numUsers_, 0.0);
+    for (const auto &r : corpus.train) {
+        hist[r.user][r.stars - 1] += 1.0;
+        counts[r.user] += 1.0;
+    }
+    for (int u = 0; u < numUsers_; ++u) {
+        for (int s = 0; s < numStars_; ++s) {
+            const double p = (hist[u][s] + smoothing * global[s]) /
+                             (counts[u] + smoothing);
+            bv_[vRow(u, s)] = static_cast<float>(std::log(p));
+        }
+    }
+}
+
+std::vector<std::vector<data::Rating>>
+CfRbm::itemIndex(const data::RatingData &corpus) const
+{
+    std::vector<std::vector<data::Rating>> index(corpus.numItems);
+    for (const auto &r : corpus.train)
+        index[r.item].push_back(r);
+    return index;
+}
+
+void
+CfRbm::hiddenFromItem(const std::vector<data::Rating> &obs,
+                      std::vector<double> &ph) const
+{
+    ph.assign(numHidden_, 0.0);
+    for (int j = 0; j < numHidden_; ++j)
+        ph[j] = bh_[j];
+    for (const auto &r : obs) {
+        const float *wrow = w_.row(vRow(r.user, r.stars - 1));
+        for (int j = 0; j < numHidden_; ++j)
+            ph[j] += wrow[j];
+    }
+    for (int j = 0; j < numHidden_; ++j)
+        ph[j] = util::sigmoid(ph[j]);
+}
+
+void
+CfRbm::train(const data::RatingData &corpus, const CfConfig &config,
+             util::Rng &rng)
+{
+    const auto index = itemIndex(corpus);
+    const bool hw = config.hardware.has_value();
+    machine::ChargePump pump(config.learningRate,
+                             hw ? config.hardware->weightMax : 1e9,
+                             hw ? config.hardware->pumpNonlinearity : 0.0);
+    double rmsNoise = 0.0;
+    if (hw) {
+        util::Rng fab(config.hardware->variationSeed);
+        variation_.materialize(w_.rows(), w_.cols(),
+                               config.hardware->noise.rmsVariation, fab);
+        rmsNoise = config.hardware->noise.rmsNoise;
+    }
+
+    // Per-event weight adjustment: ideal additive step, or the
+    // charge-pump transfer with mismatch and noise in hardware mode.
+    auto adjust = [&](float &wref, int direction, std::size_t i,
+                      std::size_t j) {
+        double gain = hw ? variation_.gain(i, j) : 1.0;
+        if (rmsNoise > 0.0)
+            gain *= 1.0 + rng.gaussian(0.0, rmsNoise);
+        wref = static_cast<float>(pump.apply(wref, direction, gain));
+    };
+    auto adjustBias = [&](float &bref, int direction) {
+        double gain = 1.0;
+        if (rmsNoise > 0.0)
+            gain *= 1.0 + rng.gaussian(0.0, rmsNoise);
+        bref = static_cast<float>(pump.apply(bref, direction, gain));
+    };
+
+    std::vector<double> ph(numHidden_);
+    std::vector<float> hpos(numHidden_), hneg(numHidden_);
+    std::vector<double> soft(numStars_);
+    std::vector<data::Rating> recon;
+
+    std::vector<std::size_t> order(index.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        if (config.weightDecay > 0.0) {
+            const float keep =
+                static_cast<float>(1.0 - config.weightDecay);
+            float *wd = w_.data();
+            for (std::size_t i = 0; i < w_.size(); ++i)
+                wd[i] *= keep;
+        }
+        rng.shuffle(order.data(), order.size());
+        for (const std::size_t item : order) {
+            const auto &obs = index[item];
+            if (obs.empty())
+                continue;
+
+            // Positive phase.
+            hiddenFromItem(obs, ph);
+            std::vector<double> phPos = ph;
+            for (int j = 0; j < numHidden_; ++j) {
+                double p = ph[j];
+                if (rmsNoise > 0.0)
+                    p = std::clamp(p + rng.gaussian(0.0, rmsNoise * 0.25),
+                                   0.0, 1.0);
+                hpos[j] = rng.bernoulli(p) ? 1.0f : 0.0f;
+            }
+
+            // Negative phase: k CD steps of softmax reconstruction.
+            recon = obs;
+            const float *hcur = hpos.data();
+            for (int step = 0; step < config.k; ++step) {
+                for (auto &r : recon) {
+                    for (int s = 0; s < numStars_; ++s) {
+                        const std::size_t row = vRow(r.user, s);
+                        const float *wrow = w_.row(row);
+                        double act = bv_[row];
+                        for (int j = 0; j < numHidden_; ++j)
+                            act += wrow[j] * hcur[j];
+                        if (rmsNoise > 0.0)
+                            act += rng.gaussian(0.0, rmsNoise *
+                                                (std::fabs(act) + 0.1));
+                        soft[s] = act;
+                    }
+                    // Gumbel-free categorical draw via softmax CDF.
+                    double mx = soft[0];
+                    for (int s = 1; s < numStars_; ++s)
+                        mx = std::max(mx, soft[s]);
+                    double z = 0.0;
+                    for (int s = 0; s < numStars_; ++s) {
+                        soft[s] = std::exp(soft[s] - mx);
+                        z += soft[s];
+                    }
+                    double u = rng.uniform() * z, cum = 0.0;
+                    int pick = numStars_ - 1;
+                    for (int s = 0; s < numStars_; ++s) {
+                        cum += soft[s];
+                        if (u <= cum) {
+                            pick = s;
+                            break;
+                        }
+                    }
+                    r.stars = pick + 1;
+                }
+                hiddenFromItem(recon, ph);
+                for (int j = 0; j < numHidden_; ++j)
+                    hneg[j] = rng.bernoulli(ph[j]) ? 1.0f : 0.0f;
+                hcur = hneg.data();
+            }
+            const std::vector<double> &phNeg = ph;
+
+            if (hw) {
+                // Hardware mode: one charge-pump event per active
+                // (visible row, hidden unit) coupler, as in BGF.
+                for (std::size_t o = 0; o < obs.size(); ++o) {
+                    const std::size_t posRow =
+                        vRow(obs[o].user, obs[o].stars - 1);
+                    const std::size_t negRow =
+                        vRow(recon[o].user, recon[o].stars - 1);
+                    float *wpos = w_.row(posRow);
+                    float *wneg = w_.row(negRow);
+                    for (int j = 0; j < numHidden_; ++j) {
+                        if (hpos[j] > 0.5f)
+                            adjust(wpos[j], +1, posRow, j);
+                        if (hneg[j] > 0.5f)
+                            adjust(wneg[j], -1, negRow, j);
+                    }
+                    adjustBias(bv_[posRow], +1);
+                    adjustBias(bv_[negRow], -1);
+                }
+                for (int j = 0; j < numHidden_; ++j) {
+                    if (hpos[j] > 0.5f)
+                        adjustBias(bh_[j], +1);
+                    if (hneg[j] > 0.5f)
+                        adjustBias(bh_[j], -1);
+                }
+            } else {
+                // Software mode: classical mean-field statistics (much
+                // lower variance than sampled events).
+                const float lr = static_cast<float>(config.learningRate);
+                for (std::size_t o = 0; o < obs.size(); ++o) {
+                    const std::size_t posRow =
+                        vRow(obs[o].user, obs[o].stars - 1);
+                    const std::size_t negRow =
+                        vRow(recon[o].user, recon[o].stars - 1);
+                    float *wpos = w_.row(posRow);
+                    float *wneg = w_.row(negRow);
+                    for (int j = 0; j < numHidden_; ++j) {
+                        wpos[j] += lr * static_cast<float>(phPos[j]);
+                        wneg[j] -= lr * static_cast<float>(phNeg[j]);
+                    }
+                    bv_[posRow] += lr;
+                    bv_[negRow] -= lr;
+                }
+                for (int j = 0; j < numHidden_; ++j)
+                    bh_[j] += lr * static_cast<float>(phPos[j] - phNeg[j]);
+            }
+        }
+    }
+}
+
+double
+CfRbm::predict(const data::RatingData &corpus, int user, int item) const
+{
+    const auto index = itemIndex(corpus);
+    assert(item >= 0 && item < corpus.numItems);
+    std::vector<double> ph;
+    hiddenFromItem(index[item], ph);
+
+    std::vector<double> soft(numStars_);
+    double mx = -1e300;
+    for (int s = 0; s < numStars_; ++s) {
+        const std::size_t row = vRow(user, s);
+        const float *wrow = w_.row(row);
+        double act = bv_[row];
+        for (int j = 0; j < numHidden_; ++j)
+            act += wrow[j] * ph[j];
+        soft[s] = act;
+        mx = std::max(mx, act);
+    }
+    double z = 0.0, expect = 0.0;
+    for (int s = 0; s < numStars_; ++s) {
+        soft[s] = std::exp(soft[s] - mx);
+        z += soft[s];
+    }
+    for (int s = 0; s < numStars_; ++s)
+        expect += (s + 1) * soft[s] / z;
+    return expect;
+}
+
+double
+CfRbm::testMae(const data::RatingData &corpus) const
+{
+    if (corpus.test.empty())
+        return 0.0;
+    // Build the item index once for the whole evaluation.
+    const auto index = itemIndex(corpus);
+    std::vector<double> ph;
+    std::vector<double> soft(numStars_);
+    double acc = 0.0;
+    int lastItem = -1;
+    for (const auto &r : corpus.test) {
+        if (r.item != lastItem) {
+            hiddenFromItem(index[r.item], ph);
+            lastItem = r.item;
+        }
+        double mx = -1e300;
+        for (int s = 0; s < numStars_; ++s) {
+            const std::size_t row = vRow(r.user, s);
+            const float *wrow = w_.row(row);
+            double act = bv_[row];
+            for (int j = 0; j < numHidden_; ++j)
+                act += wrow[j] * ph[j];
+            soft[s] = act;
+            mx = std::max(mx, act);
+        }
+        double z = 0.0, expect = 0.0;
+        for (int s = 0; s < numStars_; ++s) {
+            soft[s] = std::exp(soft[s] - mx);
+            z += soft[s];
+        }
+        for (int s = 0; s < numStars_; ++s)
+            expect += (s + 1) * soft[s] / z;
+        acc += std::fabs(expect - r.stars);
+    }
+    return acc / static_cast<double>(corpus.test.size());
+}
+
+} // namespace ising::rbm

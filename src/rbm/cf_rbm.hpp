@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Collaborative-filtering RBM (Salakhutdinov, Mnih & Hinton 2007,
+ * cited as [57]/[64]) for the paper's recommendation benchmark.
+ *
+ * Table 1 lists the recommendation RBM as 943-100: 943 softmax visible
+ * groups (one per user, K=5 star levels each) and 100 hidden units,
+ * trained item-major -- each training vector is one item's observed
+ * ratings across users.  Unobserved entries are simply absent from
+ * both the conditionals and the updates.
+ *
+ * The trainer runs in two modes through the same code path:
+ *  - ideal software CD-k (the cd-10 baseline of Table 4), and
+ *  - hardware mode emulating BGF training on the analog substrate:
+ *    per-event charge-pump updates with static variation and dynamic
+ *    noise, exactly the component models from ising/ (Figs. 9).
+ */
+
+#ifndef ISINGRBM_RBM_CF_RBM_HPP
+#define ISINGRBM_RBM_CF_RBM_HPP
+
+#include <optional>
+#include <vector>
+
+#include "data/ratings.hpp"
+#include "ising/components.hpp"
+#include "ising/noise.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ising::rbm {
+
+/** Hardware-emulation knobs for BGF-mode CF training. */
+struct CfHardwareMode
+{
+    machine::NoiseSpec noise;    ///< (variation, noise) pair of Fig. 9
+    double pumpNonlinearity = 0.5;
+    double weightMax = 2.0;
+    std::uint64_t variationSeed = 0xFEEDull;
+};
+
+/** CF-RBM training hyper-parameters. */
+struct CfConfig
+{
+    double learningRate = 0.05;
+    int k = 1;                 ///< CD steps
+    int epochs = 20;
+    double weightDecay = 1e-3; ///< L2 shrinkage on W per epoch
+    /** When set, train through the emulated analog substrate. */
+    std::optional<CfHardwareMode> hardware;
+};
+
+/** Softmax-visible conditional RBM for ratings. */
+class CfRbm
+{
+  public:
+    /**
+     * @param numUsers  softmax visible groups (943 in the paper)
+     * @param numStars  rating levels per group (5)
+     * @param numHidden hidden units (100)
+     */
+    CfRbm(int numUsers, int numStars, int numHidden);
+
+    int numUsers() const { return numUsers_; }
+    int numStars() const { return numStars_; }
+    int numHidden() const { return numHidden_; }
+
+    /** Initialize weights ~ N(0, stddev^2), biases zero. */
+    void initRandom(util::Rng &rng, float stddev = 0.01f);
+
+    /**
+     * Standard CF-RBM bias initialization (Salakhutdinov et al.):
+     * visible biases set to the log of smoothed per-user star
+     * frequencies (shrunk toward the global distribution), so the
+     * untrained model already reproduces the rating base rates and CD
+     * only has to learn the interactions.
+     *
+     * @param smoothing pseudo-count of global-distribution mass mixed
+     *        into each user's empirical star histogram
+     */
+    void initFromData(const data::RatingData &corpus,
+                      util::Rng &rng, float stddev = 0.01f,
+                      double smoothing = 8.0);
+
+    /** Train on the corpus' train partition. */
+    void train(const data::RatingData &corpus, const CfConfig &config,
+               util::Rng &rng);
+
+    /**
+     * Expected star rating for (user, item): infers the item's hidden
+     * representation from its training ratings, then the softmax
+     * posterior over the user's star group.
+     */
+    double predict(const data::RatingData &corpus, int user,
+                   int item) const;
+
+    /** Mean absolute error over the corpus' test partition (Fig. 9). */
+    double testMae(const data::RatingData &corpus) const;
+
+  private:
+    /** Row index of (user, star) in the weight matrix. */
+    std::size_t vRow(int user, int star) const;
+
+    /** Build item -> observed (user, star) index over train ratings. */
+    std::vector<std::vector<data::Rating>> itemIndex(
+        const data::RatingData &corpus) const;
+
+    /** Hidden conditional means for one item's observed ratings. */
+    void hiddenFromItem(const std::vector<data::Rating> &obs,
+                        std::vector<double> &ph) const;
+
+    int numUsers_;
+    int numStars_;
+    int numHidden_;
+    linalg::Matrix w_;   ///< (numUsers*numStars) x numHidden
+    linalg::Vector bv_;  ///< per (user, star)
+    linalg::Vector bh_;  ///< per hidden unit
+
+    // Hardware-mode state (materialized at train() when enabled).
+    machine::VariationField variation_;
+};
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_CF_RBM_HPP

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Classification RBM implementation.
+ */
+
+#include "rbm/class_rbm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace ising::rbm {
+
+ClassRbm::ClassRbm(std::size_t numPixels, int numClasses,
+                   std::size_t numHidden)
+    : numPixels_(numPixels), numClasses_(numClasses),
+      model_(numPixels + numClasses, numHidden)
+{
+}
+
+void
+ClassRbm::initRandom(util::Rng &rng, float stddev)
+{
+    model_.initRandom(rng, stddev);
+}
+
+void
+ClassRbm::jointVisible(const float *pixels, int label,
+                       std::vector<float> &v) const
+{
+    v.assign(numPixels_ + numClasses_, 0.0f);
+    std::copy_n(pixels, numPixels_, v.begin());
+    if (label >= 0)
+        v[numPixels_ + label] = 1.0f;
+}
+
+void
+ClassRbm::trainEpoch(const data::Dataset &train,
+                     const ClassRbmConfig &config, util::Rng &rng)
+{
+    assert(train.dim() == numPixels_);
+    assert(!train.labels.empty());
+    const std::size_t m = model_.numVisible(), n = model_.numHidden();
+
+    data::MinibatchPlan plan(train.size(), config.batchSize, rng);
+    std::vector<float> v;
+    linalg::Vector ph, hpos, hneg, pv;
+    linalg::Matrix dw(m, n);
+    linalg::Vector dbv(m), dbh(n);
+
+    for (std::size_t b = 0; b < plan.numBatches(); ++b) {
+        const auto batch = plan.batch(b);
+        dw.fill(0.0f);
+        dbv.fill(0.0f);
+        dbh.fill(0.0f);
+
+        for (const std::size_t idx : batch) {
+            jointVisible(train.sample(idx), train.labels[idx], v);
+            // Positive phase.
+            model_.hiddenProbs(v.data(), ph);
+            Rbm::sampleBinary(ph, hpos, rng);
+            for (std::size_t i = 0; i < m; ++i) {
+                if (v[i] == 0.0f)
+                    continue;
+                float *drow = dw.row(i);
+                for (std::size_t j = 0; j < n; ++j)
+                    drow[j] += v[i] * ph[j];
+            }
+            for (std::size_t i = 0; i < m; ++i)
+                dbv[i] += v[i];
+            for (std::size_t j = 0; j < n; ++j)
+                dbh[j] += ph[j];
+
+            // Negative phase: k CD steps with the label block kept
+            // one-hot via softmax reconstruction.
+            hneg = hpos;
+            std::vector<float> vneg(m);
+            for (int step = 0; step < config.k; ++step) {
+                model_.visibleProbs(hneg.data(), pv);
+                // Pixels: Bernoulli.
+                for (std::size_t i = 0; i < numPixels_; ++i)
+                    vneg[i] = rng.uniformFloat() < pv[i] ? 1.0f : 0.0f;
+                // Label block: softmax over the class activations.
+                double mx = -1e300;
+                std::vector<double> act(numClasses_);
+                for (int c = 0; c < numClasses_; ++c) {
+                    // Recover the pre-sigmoid activation from pv.
+                    const double p = std::clamp(
+                        static_cast<double>(pv[numPixels_ + c]), 1e-7,
+                        1.0 - 1e-7);
+                    act[c] = std::log(p / (1.0 - p));
+                    mx = std::max(mx, act[c]);
+                }
+                double z = 0.0;
+                for (int c = 0; c < numClasses_; ++c) {
+                    act[c] = std::exp(act[c] - mx);
+                    z += act[c];
+                }
+                double u = rng.uniform() * z, cum = 0.0;
+                int pick = numClasses_ - 1;
+                for (int c = 0; c < numClasses_; ++c) {
+                    cum += act[c];
+                    if (u <= cum) {
+                        pick = c;
+                        break;
+                    }
+                }
+                for (int c = 0; c < numClasses_; ++c)
+                    vneg[numPixels_ + c] = c == pick ? 1.0f : 0.0f;
+                model_.hiddenProbs(vneg.data(), ph);
+                Rbm::sampleBinary(ph, hneg, rng);
+            }
+            for (std::size_t i = 0; i < m; ++i) {
+                if (vneg[i] == 0.0f)
+                    continue;
+                float *drow = dw.row(i);
+                for (std::size_t j = 0; j < n; ++j)
+                    drow[j] -= vneg[i] * ph[j];
+            }
+            for (std::size_t i = 0; i < m; ++i)
+                dbv[i] -= vneg[i];
+            for (std::size_t j = 0; j < n; ++j)
+                dbh[j] -= ph[j];
+        }
+
+        const float scale = static_cast<float>(
+            config.learningRate / static_cast<double>(batch.size()));
+        const float decay = static_cast<float>(
+            config.weightDecay * config.learningRate);
+        float *wd = model_.weights().data();
+        const float *dwd = dw.data();
+        for (std::size_t i = 0; i < model_.weights().size(); ++i)
+            wd[i] += scale * dwd[i] - decay * wd[i];
+        for (std::size_t i = 0; i < m; ++i)
+            model_.visibleBias()[i] += scale * dbv[i];
+        for (std::size_t j = 0; j < n; ++j)
+            model_.hiddenBias()[j] += scale * dbh[j];
+    }
+}
+
+void
+ClassRbm::classScores(const float *pixels,
+                      std::vector<double> &scores) const
+{
+    scores.resize(numClasses_);
+    std::vector<float> v;
+    for (int c = 0; c < numClasses_; ++c) {
+        jointVisible(pixels, c, v);
+        scores[c] = -model_.freeEnergy(v.data());
+    }
+}
+
+int
+ClassRbm::classify(const float *pixels) const
+{
+    std::vector<double> scores;
+    classScores(pixels, scores);
+    int best = 0;
+    for (int c = 1; c < numClasses_; ++c)
+        if (scores[c] > scores[best])
+            best = c;
+    return best;
+}
+
+double
+ClassRbm::accuracy(const data::Dataset &ds) const
+{
+    assert(ds.dim() == numPixels_);
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < ds.size(); ++r)
+        correct += classify(ds.sample(r)) == ds.labels[r];
+    return ds.size()
+        ? static_cast<double>(correct) / static_cast<double>(ds.size())
+        : 0.0;
+}
+
+int
+ClassRbm::classifyOnFabric(const machine::AnalogFabric &fabric,
+                           const float *pixels, int reads,
+                           util::Rng &rng) const
+{
+    assert(fabric.numVisible() == model_.numVisible());
+    // Clamp the pixel block; the label block floats and is read back
+    // after each anneal.  Voting over reads samples implements the
+    // expectation the host would otherwise compute.
+    std::vector<float> clamped(model_.numVisible(), 0.0f);
+    std::copy_n(pixels, numPixels_, clamped.begin());
+    linalg::Vector v, h;
+    fabric.clampVisible(clamped.data(), v);
+
+    std::vector<int> votes(numClasses_, 0);
+    fabric.sampleHidden(v, h, rng);
+    for (int r = 0; r < reads; ++r) {
+        // One anneal sweep with the pixel block re-clamped each time.
+        fabric.sampleVisible(h, v, rng);
+        for (std::size_t i = 0; i < numPixels_; ++i)
+            v[i] = clamped[i];
+        fabric.sampleHidden(v, h, rng);
+        // Read the label group.  Free evolution treats label units as
+        // ordinary Bernoulli nodes, so rounds where zero or several
+        // fire carry no class information and are discarded (the
+        // one-hot constraint holds only in the data distribution).
+        int pick = -1, active = 0;
+        for (int c = 0; c < numClasses_; ++c) {
+            if (v[numPixels_ + c] > 0.5f) {
+                pick = c;
+                ++active;
+            }
+        }
+        if (active == 1)
+            ++votes[pick];
+    }
+    int best = 0;
+    for (int c = 1; c < numClasses_; ++c)
+        if (votes[c] > votes[best])
+            best = c;
+    return best;
+}
+
+double
+ClassRbm::fabricAccuracy(const machine::AnalogFabric &fabric,
+                         const data::Dataset &ds, int reads,
+                         util::Rng &rng) const
+{
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < ds.size(); ++r)
+        correct +=
+            classifyOnFabric(fabric, ds.sample(r), reads, rng) ==
+            ds.labels[r];
+    return ds.size()
+        ? static_cast<double>(correct) / static_cast<double>(ds.size())
+        : 0.0;
+}
+
+} // namespace ising::rbm

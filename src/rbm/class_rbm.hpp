@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discriminative RBM with a softmax label group (Larochelle & Bengio
+ * style "classification RBM").
+ *
+ * Sec. 2.3 of the paper notes that "Ising machines can accelerate
+ * inference of Boltzmann machines in a straightforward manner": with
+ * labels represented as a one-hot visible group, classification is
+ * free-energy comparison -- clamp the image, evaluate F(v, y) for each
+ * label y, pick the minimum -- exactly the operation the clamped
+ * substrate performs.  This module provides that model as the
+ * inference-side counterpart of the training-focused accelerators,
+ * plus a substrate-sampled inference path through the AnalogFabric.
+ */
+
+#ifndef ISINGRBM_RBM_CLASS_RBM_HPP
+#define ISINGRBM_RBM_CLASS_RBM_HPP
+
+#include "data/dataset.hpp"
+#include "ising/analog.hpp"
+#include "rbm/rbm.hpp"
+
+namespace ising::rbm {
+
+/** Training hyper-parameters for the classification RBM. */
+struct ClassRbmConfig
+{
+    double learningRate = 0.05;
+    int k = 1;               ///< CD steps
+    std::size_t batchSize = 32;
+    double weightDecay = 2e-4;
+};
+
+/**
+ * RBM over [pixels | one-hot label] visible units.
+ *
+ * Internally stored as a plain Rbm of size (numPixels + numClasses) x
+ * numHidden; the label block participates in CD training like any
+ * other visible units, with the softmax constraint enforced during
+ * reconstruction.
+ */
+class ClassRbm
+{
+  public:
+    ClassRbm(std::size_t numPixels, int numClasses,
+             std::size_t numHidden);
+
+    std::size_t numPixels() const { return numPixels_; }
+    int numClasses() const { return numClasses_; }
+    std::size_t numHidden() const { return model_.numHidden(); }
+
+    /** Access the underlying joint RBM (e.g. to embed on a fabric). */
+    const Rbm &joint() const { return model_; }
+
+    void initRandom(util::Rng &rng, float stddev = 0.01f);
+
+    /** One CD-k epoch over a labeled dataset. */
+    void trainEpoch(const data::Dataset &train,
+                    const ClassRbmConfig &config, util::Rng &rng);
+
+    /**
+     * Exact free-energy classification: argmin_y F([v, onehot(y)]).
+     * This is the digital reference for the substrate inference below.
+     */
+    int classify(const float *pixels) const;
+
+    /** Per-class negative free energies (unnormalized log posteriors). */
+    void classScores(const float *pixels,
+                     std::vector<double> &scores) const;
+
+    /** Accuracy of exact free-energy classification over a dataset. */
+    double accuracy(const data::Dataset &ds) const;
+
+    /**
+     * Substrate-based inference (Sec. 2.3): program the joint model on
+     * an analog fabric, clamp the pixels, let the label+hidden block
+     * anneal, and vote over @p reads samples of the label group.
+     * Returns the majority label.
+     */
+    int classifyOnFabric(const machine::AnalogFabric &fabric,
+                         const float *pixels, int reads,
+                         util::Rng &rng) const;
+
+    /** Accuracy of fabric inference over a dataset. */
+    double fabricAccuracy(const machine::AnalogFabric &fabric,
+                          const data::Dataset &ds, int reads,
+                          util::Rng &rng) const;
+
+  private:
+    /** Build the joint visible vector [pixels | onehot(label)]. */
+    void jointVisible(const float *pixels, int label,
+                      std::vector<float> &v) const;
+
+    std::size_t numPixels_;
+    int numClasses_;
+    Rbm model_;
+};
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_CLASS_RBM_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Convolutional RBM front end.
+ *
+ * The paper attaches its CIFAR-10 / SmallNORB RBMs to features produced
+ * by a "Convolution RBM algorithm [13]" (Coates, Ng & Lee).  This module
+ * implements that front end: a single-layer convolutional RBM with K
+ * shared filters trained by CD-1 on image patches, followed by
+ * probabilistic feature maps pooled over a PxP grid.  With K filters
+ * and a PxP pooling grid the output feature vector has K*P*P entries:
+ * K=12, P=3 reproduces the paper's 108-dim CIFAR RBM input and K=4,
+ * P=3 the 36-dim SmallNORB input.
+ *
+ * Energy of an image v with hidden feature maps h^1..h^K:
+ *
+ *   E(v, h) = - sum_k sum_{xy} h^k_{xy} (W^k (*) v)_{xy}
+ *             - sum_k bh_k sum_{xy} h^k_{xy} - bv sum v
+ *
+ * where (*) is valid 2-D correlation with an f x f filter.
+ */
+
+#ifndef ISINGRBM_RBM_CONV_RBM_HPP
+#define ISINGRBM_RBM_CONV_RBM_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ising::rbm {
+
+/** Convolutional RBM hyper-parameters. */
+struct ConvRbmConfig
+{
+    std::size_t imageSide = 28;  ///< square input images
+    std::size_t filterSide = 7;  ///< f: filter size
+    std::size_t numFilters = 12; ///< K: shared filters
+    std::size_t poolGrid = 3;    ///< P: pooling grid per side
+    double learningRate = 0.05;
+    double weightDecay = 1e-4;
+    double sparsityTarget = 0.1; ///< hidden sparsity regularization
+    double sparsityCost = 0.5;
+};
+
+/** Single-layer convolutional RBM. */
+class ConvRbm
+{
+  public:
+    explicit ConvRbm(const ConvRbmConfig &config);
+
+    const ConvRbmConfig &config() const { return config_; }
+    std::size_t hiddenSide() const;
+    /** Output feature dimension: numFilters * poolGrid^2. */
+    std::size_t featureDim() const;
+
+    /** Initialize filters ~ N(0, stddev^2). */
+    void initRandom(util::Rng &rng, float stddev = 0.05f);
+
+    /**
+     * Hidden feature-map probabilities for one image (row-major
+     * numFilters x hiddenSide x hiddenSide into @p maps).
+     */
+    void hiddenMaps(const float *image, std::vector<float> &maps) const;
+
+    /** Mean-field reconstruction of the image from hidden maps. */
+    void reconstruct(const std::vector<float> &maps,
+                     std::vector<float> &image) const;
+
+    /** One CD-1 epoch over a dataset of images. */
+    void trainEpoch(const data::Dataset &images, util::Rng &rng);
+
+    /** Mean squared reconstruction error over the dataset (monitor). */
+    double reconstructionError(const data::Dataset &images) const;
+
+    /**
+     * Pooled feature vector for one image: average hidden probability
+     * of each filter over each pooling cell.
+     */
+    void features(const float *image, float *out) const;
+
+    /** Featurize a whole dataset (labels preserved). */
+    data::Dataset transform(const data::Dataset &images) const;
+
+    const linalg::Matrix &filters() const { return filters_; }
+
+  private:
+    ConvRbmConfig config_;
+    linalg::Matrix filters_;       ///< (numFilters x filterSide^2)
+    std::vector<float> hiddenBias_;///< per filter
+    float visibleBias_ = 0.0f;
+};
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_CONV_RBM_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DBN stacking implementation.
+ */
+
+#include "rbm/dbn.hpp"
+
+#include <cassert>
+
+namespace ising::rbm {
+
+Dbn::Dbn(const std::vector<std::size_t> &layerSizes)
+{
+    assert(layerSizes.size() >= 2);
+    for (std::size_t l = 0; l + 1 < layerSizes.size(); ++l)
+        layers_.emplace_back(layerSizes[l], layerSizes[l + 1]);
+}
+
+void
+Dbn::initRandom(util::Rng &rng, float stddev)
+{
+    for (auto &layer : layers_)
+        layer.initRandom(rng, stddev);
+}
+
+void
+Dbn::trainGreedy(const data::Dataset &train, const LayerTrainer &trainLayer)
+{
+    data::Dataset current = train;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        trainLayer(layers_[l], current);
+        if (l + 1 < layers_.size())
+            current = transform(current, l + 1);
+    }
+}
+
+data::Dataset
+Dbn::transform(const data::Dataset &ds) const
+{
+    return transform(ds, layers_.size());
+}
+
+data::Dataset
+Dbn::transform(const data::Dataset &ds, std::size_t upTo) const
+{
+    assert(upTo <= layers_.size());
+    data::Dataset out = ds;
+    linalg::Vector ph;
+    for (std::size_t l = 0; l < upTo; ++l) {
+        const Rbm &layer = layers_[l];
+        assert(out.dim() == layer.numVisible());
+        data::Dataset next;
+        next.name = out.name;
+        next.numClasses = out.numClasses;
+        next.labels = out.labels;
+        next.samples.reset(out.size(), layer.numHidden());
+        for (std::size_t r = 0; r < out.size(); ++r) {
+            layer.hiddenProbs(out.sample(r), ph);
+            std::copy_n(ph.data(), ph.size(), next.samples.row(r));
+        }
+        out = std::move(next);
+    }
+    return out;
+}
+
+} // namespace ising::rbm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deep Belief Network: greedily stacked RBMs (Table 1's DBN-DNN
+ * configurations, trained per Hinton et al. [30]).
+ *
+ * Following the paper ("we ... follow conventional approaches when
+ * stacking multiple layers together"), each layer is trained as an RBM
+ * on the hidden activations of the layer below; the final Table 1
+ * width (10 / 26) is the classifier output and is handled by the
+ * logistic-regression head in eval/, not by an RBM.
+ */
+
+#ifndef ISINGRBM_RBM_DBN_HPP
+#define ISINGRBM_RBM_DBN_HPP
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rbm/rbm.hpp"
+
+namespace ising::rbm {
+
+/**
+ * Callback that trains one RBM layer in place on the given dataset.
+ * The DBN is agnostic about *how* a layer is trained, so the same
+ * stack can be trained by software CD-k, the Gibbs-sampler accelerator
+ * or the Boltzmann gradient follower.
+ */
+using LayerTrainer =
+    std::function<void(Rbm &layer, const data::Dataset &layerData)>;
+
+/** A greedily trained stack of RBMs. */
+class Dbn
+{
+  public:
+    /**
+     * @param layerSizes visible size followed by each hidden width,
+     *        e.g. {784, 500, 500} builds two RBMs 784-500 and 500-500.
+     */
+    explicit Dbn(const std::vector<std::size_t> &layerSizes);
+
+    std::size_t numLayers() const { return layers_.size(); }
+    Rbm &layer(std::size_t l) { return layers_[l]; }
+    const Rbm &layer(std::size_t l) const { return layers_[l]; }
+
+    /** Randomly initialize every layer. */
+    void initRandom(util::Rng &rng, float stddev = 0.01f);
+
+    /**
+     * Greedy layerwise training: train layer 0 on @p train, propagate
+     * mean activations upward, train layer 1 on those, and so on.
+     */
+    void trainGreedy(const data::Dataset &train,
+                     const LayerTrainer &trainLayer);
+
+    /**
+     * Deterministic upward pass: returns the top-layer mean
+     * activations for every row of @p ds (features for the classifier
+     * head).
+     */
+    data::Dataset transform(const data::Dataset &ds) const;
+
+    /** Upward pass through the first @p upTo layers only. */
+    data::Dataset transform(const data::Dataset &ds, std::size_t upTo) const;
+
+  private:
+    std::vector<Rbm> layers_;
+};
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_DBN_HPP

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Enumeration-based exact RBM inference.
+ */
+
+#include "rbm/exact.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace ising::rbm::exact {
+
+namespace {
+
+constexpr std::size_t kMaxEnumBits = 24;
+
+/**
+ * Dual free energy G(h) = -bh.h - sum_i softplus(bv_i + (W h)_i),
+ * so Z = sum_h e^{-G(h)}.
+ */
+double
+dualFreeEnergy(const Rbm &model, const float *h)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+    double g = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+        g -= model.hiddenBias()[j] * h[j];
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *wrow = model.weights().row(i);
+        double act = model.visibleBias()[i];
+        for (std::size_t j = 0; j < n; ++j)
+            act += wrow[j] * h[j];
+        g -= util::softplus(act);
+    }
+    return g;
+}
+
+} // namespace
+
+void
+decodeState(std::size_t index, std::size_t m, float *v)
+{
+    for (std::size_t i = 0; i < m; ++i)
+        v[i] = (index >> i) & 1 ? 1.0f : 0.0f;
+}
+
+double
+logPartition(const Rbm &model)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+    const bool overVisible = m <= n;
+    const std::size_t bits = overVisible ? m : n;
+    if (bits > kMaxEnumBits)
+        util::fatal("exact::logPartition: layer too large to enumerate");
+
+    const std::size_t count = std::size_t{1} << bits;
+    std::vector<double> negF(count);
+    std::vector<float> state(bits);
+    for (std::size_t s = 0; s < count; ++s) {
+        decodeState(s, bits, state.data());
+        negF[s] = overVisible ? -model.freeEnergy(state.data())
+                              : -dualFreeEnergy(model, state.data());
+    }
+    return util::logSumExp(negF);
+}
+
+double
+logProb(const Rbm &model, const float *v, double logZ)
+{
+    return -model.freeEnergy(v) - logZ;
+}
+
+std::vector<double>
+visibleDistribution(const Rbm &model)
+{
+    const std::size_t m = model.numVisible();
+    if (m > kMaxEnumBits)
+        util::fatal("exact::visibleDistribution: visible layer too large");
+    const std::size_t count = std::size_t{1} << m;
+    const double logZ = logPartition(model);
+    std::vector<double> p(count);
+    std::vector<float> v(m);
+    for (std::size_t s = 0; s < count; ++s) {
+        decodeState(s, m, v.data());
+        p[s] = std::exp(-model.freeEnergy(v.data()) - logZ);
+    }
+    return p;
+}
+
+std::vector<double>
+empiricalDistribution(const data::Dataset &ds)
+{
+    const std::size_t m = ds.dim();
+    assert(m <= kMaxEnumBits);
+    std::vector<double> p(std::size_t{1} << m, 0.0);
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        const float *v = ds.sample(r);
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < m; ++i)
+            if (v[i] > 0.5f)
+                idx |= std::size_t{1} << i;
+        p[idx] += 1.0;
+    }
+    for (auto &x : p)
+        x /= static_cast<double>(ds.size());
+    return p;
+}
+
+void
+mlStep(Rbm &model, const data::Dataset &train, double learningRate)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+    linalg::Matrix grad(m, n);
+    linalg::Vector gbv(m), gbh(n);
+    linalg::Vector ph;
+
+    // Positive term: exact <v_i h_j>_data = mean over samples of
+    // v_i * P(h_j=1|v) (hidden units marginalized analytically).
+    for (std::size_t r = 0; r < train.size(); ++r) {
+        const float *v = train.sample(r);
+        model.hiddenProbs(v, ph);
+        for (std::size_t i = 0; i < m; ++i) {
+            if (v[i] == 0.0f)
+                continue;
+            float *grow = grad.row(i);
+            for (std::size_t j = 0; j < n; ++j)
+                grow[j] += v[i] * ph[j];
+        }
+        for (std::size_t i = 0; i < m; ++i)
+            gbv[i] += v[i];
+        for (std::size_t j = 0; j < n; ++j)
+            gbh[j] += ph[j];
+    }
+    const float invN = 1.0f / static_cast<float>(train.size());
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        grad.data()[i] *= invN;
+    for (std::size_t i = 0; i < m; ++i)
+        gbv[i] *= invN;
+    for (std::size_t j = 0; j < n; ++j)
+        gbh[j] *= invN;
+
+    // Negative term: exact model expectation via full visible marginal.
+    const std::vector<double> pv = visibleDistribution(model);
+    std::vector<float> v(m);
+    for (std::size_t s = 0; s < pv.size(); ++s) {
+        const double p = pv[s];
+        if (p < 1e-300)
+            continue;
+        decodeState(s, m, v.data());
+        model.hiddenProbs(v.data(), ph);
+        for (std::size_t i = 0; i < m; ++i) {
+            if (v[i] == 0.0f)
+                continue;
+            float *grow = grad.row(i);
+            const float pf = static_cast<float>(p);
+            for (std::size_t j = 0; j < n; ++j)
+                grow[j] -= pf * v[i] * ph[j];
+        }
+        for (std::size_t i = 0; i < m; ++i)
+            gbv[i] -= static_cast<float>(p) * v[i];
+        for (std::size_t j = 0; j < n; ++j)
+            gbh[j] -= static_cast<float>(p * ph[j]);
+    }
+
+    // Ascent step.
+    const float lr = static_cast<float>(learningRate);
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        model.weights().data()[i] += lr * grad.data()[i];
+    for (std::size_t i = 0; i < m; ++i)
+        model.visibleBias()[i] += lr * gbv[i];
+    for (std::size_t j = 0; j < n; ++j)
+        model.hiddenBias()[j] += lr * gbh[j];
+}
+
+double
+meanLogLikelihood(const Rbm &model, const data::Dataset &ds)
+{
+    const double logZ = logPartition(model);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < ds.size(); ++r)
+        acc += logProb(model, ds.sample(r), logZ);
+    return ds.size() ? acc / static_cast<double>(ds.size()) : 0.0;
+}
+
+} // namespace ising::rbm::exact

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Gibbs chain implementation.
+ */
+
+#include "rbm/gibbs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ising::rbm {
+
+GibbsChain::GibbsChain(const Rbm &model, util::Rng &rng)
+    : model_(model), rng_(rng)
+{
+    v_.resize(model.numVisible());
+    for (std::size_t i = 0; i < v_.size(); ++i)
+        v_[i] = rng_.bernoulli(0.5) ? 1.0f : 0.0f;
+    upSweep();
+}
+
+GibbsChain::GibbsChain(const Rbm &model, const float *v0, util::Rng &rng)
+    : model_(model), rng_(rng)
+{
+    v_.resize(model.numVisible());
+    std::copy_n(v0, v_.size(), v_.data());
+    upSweep();
+}
+
+void
+GibbsChain::upSweep()
+{
+    model_.hiddenProbs(v_.data(), ph_);
+    Rbm::sampleBinary(ph_, h_, rng_);
+}
+
+void
+GibbsChain::downSweep()
+{
+    model_.visibleProbs(h_.data(), pv_);
+    Rbm::sampleBinary(pv_, v_, rng_);
+}
+
+void
+GibbsChain::step(int k)
+{
+    for (int s = 0; s < k; ++s) {
+        downSweep();
+        upSweep();
+    }
+}
+
+void
+GibbsChain::reset(const float *v0)
+{
+    std::copy_n(v0, v_.size(), v_.data());
+    upSweep();
+}
+
+void
+GibbsChain::setHidden(const linalg::Vector &h)
+{
+    assert(h.size() == model_.numHidden());
+    h_ = h;
+}
+
+} // namespace ising::rbm

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Block Gibbs sampling chains over an RBM.
+ *
+ * One "step" alternates h|v and v|h exactly as lines 13-14 of the
+ * paper's Algorithm 1.  Chains are the software analogue of the Ising
+ * substrate's free-running anneal and are reused by CD-k, PCD, AIS and
+ * the ground-truth comparisons.
+ */
+
+#ifndef ISINGRBM_RBM_GIBBS_HPP
+#define ISINGRBM_RBM_GIBBS_HPP
+
+#include "rbm/rbm.hpp"
+
+namespace ising::rbm {
+
+/** A single persistent block-Gibbs chain. */
+class GibbsChain
+{
+  public:
+    /** Start from a random binary visible state. */
+    GibbsChain(const Rbm &model, util::Rng &rng);
+
+    /** Start from a given visible state. */
+    GibbsChain(const Rbm &model, const float *v0, util::Rng &rng);
+
+    /**
+     * Run k full v->h->v sweeps.  After the call, visible()/hidden()
+     * hold binary samples and visibleProbs()/hiddenProbs() the last
+     * conditional means.
+     */
+    void step(int k = 1);
+
+    /** Re-clamp the visible layer to new data and resample h. */
+    void reset(const float *v0);
+
+    const linalg::Vector &visible() const { return v_; }
+    const linalg::Vector &hidden() const { return h_; }
+    const linalg::Vector &visibleProbs() const { return pv_; }
+    const linalg::Vector &hiddenProbs() const { return ph_; }
+
+    /** Overwrite the hidden state (used for particle reload in BGF). */
+    void setHidden(const linalg::Vector &h);
+
+    /** Sample v from the current hidden state (one half-step). */
+    void downSweep();
+
+    /** Sample h from the current visible state (one half-step). */
+    void upSweep();
+
+  private:
+    const Rbm &model_;
+    util::Rng &rng_;
+    linalg::Vector v_, h_, pv_, ph_;
+};
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_GIBBS_HPP

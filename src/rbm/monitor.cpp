@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Training monitor implementation.
+ */
+
+#include "rbm/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ising::rbm {
+
+namespace {
+
+data::Dataset
+subsample(const data::Dataset &ds, std::size_t maxRows)
+{
+    if (ds.size() <= maxRows)
+        return ds;
+    data::Dataset out;
+    out.name = ds.name;
+    out.numClasses = ds.numClasses;
+    out.samples.reset(maxRows, ds.dim());
+    // Deterministic stride subsample keeps the monitor reproducible.
+    const std::size_t stride = ds.size() / maxRows;
+    for (std::size_t r = 0; r < maxRows; ++r)
+        std::copy_n(ds.sample(r * stride), ds.dim(),
+                    out.samples.row(r));
+    return out;
+}
+
+} // namespace
+
+TrainingMonitor::TrainingMonitor(const data::Dataset &train,
+                                 const data::Dataset &heldOut,
+                                 double satLevel, std::size_t maxRows)
+    : train_(subsample(train, maxRows)),
+      heldOut_(subsample(heldOut, maxRows)), satLevel_(satLevel)
+{
+}
+
+const MonitorRecord &
+TrainingMonitor::observe(int epoch, const Rbm &model, util::Rng &rng)
+{
+    MonitorRecord rec;
+    rec.epoch = epoch;
+    rec.trainFreeEnergy = model.meanFreeEnergy(train_.samples);
+    rec.heldOutFreeEnergy = model.meanFreeEnergy(heldOut_.samples);
+
+    // Stochastic one-step reconstruction error on the train sample.
+    linalg::Vector ph, h, pv;
+    double err = 0.0;
+    for (std::size_t r = 0; r < train_.size(); ++r) {
+        const float *v = train_.sample(r);
+        model.hiddenProbs(v, ph);
+        Rbm::sampleBinary(ph, h, rng);
+        model.visibleProbs(h.data(), pv);
+        for (std::size_t i = 0; i < train_.dim(); ++i) {
+            const double d = pv[i] - v[i];
+            err += d * d;
+        }
+    }
+    rec.reconstructionError =
+        train_.size()
+            ? err / static_cast<double>(train_.size() * train_.dim())
+            : 0.0;
+
+    // Weight statistics.
+    const float *w = model.weights().data();
+    double sq = 0.0, mx = 0.0;
+    std::size_t saturated = 0;
+    for (std::size_t i = 0; i < model.weights().size(); ++i) {
+        const double a = std::fabs(w[i]);
+        sq += a * a;
+        mx = std::max(mx, a);
+        saturated += a >= satLevel_;
+    }
+    const double count =
+        std::max<std::size_t>(1, model.weights().size());
+    rec.weightRms = std::sqrt(sq / count);
+    rec.weightMax = mx;
+    rec.saturationFrac = static_cast<double>(saturated) / count;
+
+    log_.push_back(rec);
+    return log_.back();
+}
+
+bool
+TrainingMonitor::overfittingDetected(int patience) const
+{
+    if (static_cast<int>(log_.size()) <= patience)
+        return false;
+    // Gap must have increased monotonically over the last `patience`
+    // observations.
+    for (std::size_t i = log_.size() - patience; i < log_.size(); ++i)
+        if (log_[i].freeEnergyGap() <= log_[i - 1].freeEnergyGap())
+            return false;
+    return true;
+}
+
+} // namespace ising::rbm

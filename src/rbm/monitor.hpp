@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Training monitor: records cheap per-epoch diagnostics (free-energy
+ * gap, reconstruction error, weight statistics) so long runs can be
+ * inspected without the cost of AIS at every step.
+ *
+ * The free-energy *gap* between training data and held-out data is
+ * Hinton's standard overfitting monitor; the weight-norm trajectory
+ * flags divergence and the pump-saturation fraction is specific to the
+ * BGF substrate (couplers pinned at the gate-voltage rails stop
+ * learning).
+ */
+
+#ifndef ISINGRBM_RBM_MONITOR_HPP
+#define ISINGRBM_RBM_MONITOR_HPP
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rbm/rbm.hpp"
+
+namespace ising::rbm {
+
+/** One row of the training log. */
+struct MonitorRecord
+{
+    int epoch = 0;
+    double trainFreeEnergy = 0.0;  ///< mean F over the train sample
+    double heldOutFreeEnergy = 0.0;///< mean F over the held-out sample
+    double reconstructionError = 0.0; ///< mean-field round-trip MSE
+    double weightRms = 0.0;        ///< RMS of W entries
+    double weightMax = 0.0;        ///< max |W|
+    double saturationFrac = 0.0;   ///< fraction of |W| >= satLevel
+
+    /** Overfitting indicator: heldOut - train (grows when memorizing). */
+    double freeEnergyGap() const
+    {
+        return heldOutFreeEnergy - trainFreeEnergy;
+    }
+};
+
+/** Collects MonitorRecords over a training run. */
+class TrainingMonitor
+{
+  public:
+    /**
+     * @param train, heldOut evaluation samples (subsampled internally
+     *        to at most @p maxRows rows each)
+     * @param satLevel |W| threshold counted as saturated
+     */
+    TrainingMonitor(const data::Dataset &train,
+                    const data::Dataset &heldOut,
+                    double satLevel = 1.99, std::size_t maxRows = 256);
+
+    /** Evaluate the model and append a record. */
+    const MonitorRecord &observe(int epoch, const Rbm &model,
+                                 util::Rng &rng);
+
+    const std::vector<MonitorRecord> &records() const { return log_; }
+
+    /** True when the free-energy gap grew for @p patience epochs. */
+    bool overfittingDetected(int patience = 3) const;
+
+  private:
+    data::Dataset train_;
+    data::Dataset heldOut_;
+    double satLevel_;
+    std::vector<MonitorRecord> log_;
+};
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_MONITOR_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bernoulli-Bernoulli Restricted Boltzmann Machine.
+ *
+ * The model of Eq. 3 in the paper:
+ *
+ *   E(v, h) = - sum_ij v_i W_ij h_j - sum_i bv_i v_i - sum_j bh_j h_j
+ *
+ * with conditional factorization P(h_j=1|v) = sigmoid(bh_j + (v W)_j)
+ * and P(v_i=1|h) = sigmoid(bv_i + (W h)_i).  This class is the shared
+ * parameter container used by the software trainers (CD-k, PCD, exact
+ * ML) and by the accelerator behavioral models, which read and write
+ * the same weights the way the hardware reads/programs the coupling
+ * array.
+ */
+
+#ifndef ISINGRBM_RBM_RBM_HPP
+#define ISINGRBM_RBM_RBM_HPP
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ising::rbm {
+
+/** RBM parameters plus the conditional/energy primitives. */
+class Rbm
+{
+  public:
+    Rbm() = default;
+
+    /** Construct with zero weights and biases. */
+    Rbm(std::size_t numVisible, std::size_t numHidden);
+
+    std::size_t numVisible() const { return w_.rows(); }
+    std::size_t numHidden() const { return w_.cols(); }
+
+    linalg::Matrix &weights() { return w_; }
+    const linalg::Matrix &weights() const { return w_; }
+    linalg::Vector &visibleBias() { return bv_; }
+    const linalg::Vector &visibleBias() const { return bv_; }
+    linalg::Vector &hiddenBias() { return bh_; }
+    const linalg::Vector &hiddenBias() const { return bh_; }
+
+    /**
+     * Standard initialization: weights ~ N(0, stddev^2), biases zero
+     * (Algorithm 1 lines 1-3).
+     */
+    void initRandom(util::Rng &rng, float stddev = 0.01f);
+
+    /**
+     * P(h_j = 1 | v) for all j (Eq. 4).  @p v has numVisible entries in
+     * [0, 1]; @p ph is resized to numHidden.
+     */
+    void hiddenProbs(const float *v, linalg::Vector &ph) const;
+
+    /** P(v_i = 1 | h) for all i (Eq. 5). */
+    void visibleProbs(const float *h, linalg::Vector &pv) const;
+
+    /** Bernoulli-sample a binary state from per-unit probabilities. */
+    static void sampleBinary(const linalg::Vector &p, linalg::Vector &s,
+                             util::Rng &rng);
+
+    /** Joint energy E(v, h) of a configuration (Eq. 3). */
+    double energy(const float *v, const float *h) const;
+
+    /**
+     * Free energy F(v) = -log sum_h e^{-E(v,h)}
+     *                  = -bv.v - sum_j softplus(bh_j + (v W)_j).
+     *
+     * P(v) = e^{-F(v)} / Z; lower free energy means higher probability.
+     */
+    double freeEnergy(const float *v) const;
+
+    /** Mean free energy over dataset rows (used as a training monitor). */
+    double meanFreeEnergy(const linalg::Matrix &samples) const;
+
+  private:
+    linalg::Matrix w_;   ///< (numVisible x numHidden)
+    linalg::Vector bv_;  ///< visible biases
+    linalg::Vector bh_;  ///< hidden biases
+};
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_RBM_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sampling utility implementations.
+ */
+
+#include "rbm/sampling.hpp"
+
+#include <cassert>
+
+#include "rbm/gibbs.hpp"
+
+namespace ising::rbm {
+
+data::Dataset
+fantasySamples(const Rbm &model, std::size_t count, int burnIn,
+               util::Rng &rng, const data::Dataset *init)
+{
+    data::Dataset out;
+    out.name = "fantasy";
+    out.samples.reset(count, model.numVisible());
+    for (std::size_t s = 0; s < count; ++s) {
+        GibbsChain chain =
+            init && init->size() > 0
+                ? GibbsChain(model,
+                             init->sample(rng.uniformInt(init->size())),
+                             rng)
+                : GibbsChain(model, rng);
+        chain.step(burnIn);
+        const linalg::Vector &pv = chain.visibleProbs();
+        std::copy(pv.begin(), pv.end(), out.samples.row(s));
+    }
+    return out;
+}
+
+data::Dataset
+conditionalSamples(const Rbm &model, const std::vector<float> &clampMask,
+                   std::size_t count, int burnIn, util::Rng &rng)
+{
+    assert(clampMask.size() == model.numVisible());
+    data::Dataset out;
+    out.name = "conditional";
+    out.samples.reset(count, model.numVisible());
+
+    linalg::Vector v(model.numVisible()), h, ph, pv;
+    for (std::size_t s = 0; s < count; ++s) {
+        // Initialize: clamped entries fixed, the rest random.
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v[i] = clampMask[i] >= 0.0f
+                ? clampMask[i]
+                : (rng.bernoulli(0.5) ? 1.0f : 0.0f);
+        for (int step = 0; step < burnIn; ++step) {
+            model.hiddenProbs(v.data(), ph);
+            Rbm::sampleBinary(ph, h, rng);
+            model.visibleProbs(h.data(), pv);
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                if (clampMask[i] >= 0.0f)
+                    v[i] = clampMask[i];
+                else
+                    v[i] = rng.uniformFloat() < pv[i] ? 1.0f : 0.0f;
+            }
+        }
+        // Report mean-field probabilities with clamps re-applied.
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out.samples(s, i) =
+                clampMask[i] >= 0.0f ? clampMask[i] : pv[i];
+    }
+    return out;
+}
+
+std::string
+asciiImage(const float *image, std::size_t side)
+{
+    static const char ramp[] = " .:*#";
+    std::string out;
+    out.reserve((side + 1) * side);
+    for (std::size_t y = 0; y < side; ++y) {
+        for (std::size_t x = 0; x < side; ++x) {
+            const float v = image[y * side + x];
+            const int level = std::min(
+                4, static_cast<int>(v * 5.0f));
+            out.push_back(ramp[std::max(0, level)]);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace ising::rbm

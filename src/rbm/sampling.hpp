@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Model-sampling utilities: fantasy particles from a trained RBM and
+ * a console renderer for glyph-shaped visible vectors.  Used by the
+ * generate_samples example and by diagnostics.
+ */
+
+#ifndef ISINGRBM_RBM_SAMPLING_HPP
+#define ISINGRBM_RBM_SAMPLING_HPP
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rbm/rbm.hpp"
+
+namespace ising::rbm {
+
+/**
+ * Draw @p count fantasy samples from the model: independent chains run
+ * for @p burnIn full Gibbs sweeps.  Chains start from rows of @p init
+ * when provided (the standard recipe -- random-noise starts tend to
+ * fall into the model's blank mode on sparse image data), otherwise
+ * from uniform noise.  Returns the final visible *probabilities*
+ * (mean-field last step), one row per sample.
+ */
+data::Dataset fantasySamples(const Rbm &model, std::size_t count,
+                             int burnIn, util::Rng &rng,
+                             const data::Dataset *init = nullptr);
+
+/**
+ * Draw samples conditioned on a clamp mask: entries of @p clampMask
+ * that are >= 0 are held at that value while the rest of the visible
+ * layer is resampled (in-painting).
+ */
+data::Dataset conditionalSamples(const Rbm &model,
+                                 const std::vector<float> &clampMask,
+                                 std::size_t count, int burnIn,
+                                 util::Rng &rng);
+
+/**
+ * Render a square image in [0, 1] as ASCII art with the given side
+ * length (uses a 5-level intensity ramp).
+ */
+std::string asciiImage(const float *image, std::size_t side);
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_SAMPLING_HPP

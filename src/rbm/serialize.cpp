@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Model persistence implementation.
+ */
+
+#include "rbm/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace ising::rbm {
+
+namespace {
+
+constexpr const char *kRbmMagic = "isingrbm-rbm";
+constexpr const char *kDbnMagic = "isingrbm-dbn";
+
+void
+expectMagic(std::istream &is, const char *magic)
+{
+    std::string word, version;
+    if (!(is >> word >> version) || word != magic || version != "v1")
+        util::fatal(std::string("serialize: expected '") + magic +
+                    " v1' header");
+}
+
+} // namespace
+
+void
+saveRbm(const Rbm &model, std::ostream &os)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+    os << kRbmMagic << " v1\n" << m << ' ' << n << '\n';
+    os << std::setprecision(std::numeric_limits<float>::max_digits10);
+    for (std::size_t i = 0; i < m; ++i)
+        os << model.visibleBias()[i] << (i + 1 == m ? '\n' : ' ');
+    for (std::size_t j = 0; j < n; ++j)
+        os << model.hiddenBias()[j] << (j + 1 == n ? '\n' : ' ');
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *row = model.weights().row(i);
+        for (std::size_t j = 0; j < n; ++j)
+            os << row[j] << (j + 1 == n ? '\n' : ' ');
+    }
+}
+
+Rbm
+loadRbm(std::istream &is)
+{
+    expectMagic(is, kRbmMagic);
+    std::size_t m = 0, n = 0;
+    if (!(is >> m >> n) || m == 0 || n == 0)
+        util::fatal("serialize: bad RBM dimensions");
+    Rbm model(m, n);
+    for (std::size_t i = 0; i < m; ++i)
+        if (!(is >> model.visibleBias()[i]))
+            util::fatal("serialize: truncated visible biases");
+    for (std::size_t j = 0; j < n; ++j)
+        if (!(is >> model.hiddenBias()[j]))
+            util::fatal("serialize: truncated hidden biases");
+    for (std::size_t i = 0; i < m; ++i) {
+        float *row = model.weights().row(i);
+        for (std::size_t j = 0; j < n; ++j)
+            if (!(is >> row[j]))
+                util::fatal("serialize: truncated weight matrix");
+    }
+    return model;
+}
+
+void
+saveRbm(const Rbm &model, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        util::fatal("serialize: cannot open for writing: " + path);
+    saveRbm(model, os);
+    if (!os)
+        util::fatal("serialize: write failed: " + path);
+}
+
+Rbm
+loadRbmFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        util::fatal("serialize: cannot open for reading: " + path);
+    return loadRbm(is);
+}
+
+void
+saveDbn(const Dbn &stack, std::ostream &os)
+{
+    os << kDbnMagic << " v1\n" << stack.numLayers() << '\n';
+    for (std::size_t l = 0; l < stack.numLayers(); ++l)
+        saveRbm(stack.layer(l), os);
+}
+
+Dbn
+loadDbn(std::istream &is)
+{
+    expectMagic(is, kDbnMagic);
+    std::size_t layers = 0;
+    if (!(is >> layers) || layers == 0)
+        util::fatal("serialize: bad DBN layer count");
+    std::vector<Rbm> loaded;
+    loaded.reserve(layers);
+    std::vector<std::size_t> sizes;
+    for (std::size_t l = 0; l < layers; ++l) {
+        loaded.push_back(loadRbm(is));
+        if (l == 0)
+            sizes.push_back(loaded[0].numVisible());
+        else if (loaded[l].numVisible() != loaded[l - 1].numHidden())
+            util::fatal("serialize: DBN layer dimensions inconsistent");
+        sizes.push_back(loaded[l].numHidden());
+    }
+    Dbn stack(sizes);
+    for (std::size_t l = 0; l < layers; ++l)
+        stack.layer(l) = loaded[l];
+    return stack;
+}
+
+void
+saveDbn(const Dbn &stack, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        util::fatal("serialize: cannot open for writing: " + path);
+    saveDbn(stack, os);
+}
+
+Dbn
+loadDbnFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        util::fatal("serialize: cannot open for reading: " + path);
+    return loadDbn(is);
+}
+
+} // namespace ising::rbm

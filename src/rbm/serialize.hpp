@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Model persistence: save and load trained RBMs (and DBN stacks) in a
+ * small self-describing text format, so models trained once (in
+ * software or read out of the substrate) can be shipped to inference.
+ *
+ * Format (line-oriented, locale-independent):
+ *
+ *   isingrbm-rbm v1
+ *   <numVisible> <numHidden>
+ *   <bv_0> ... <bv_{m-1}>
+ *   <bh_0> ... <bh_{n-1}>
+ *   <W_00> ... <W_0{n-1}>
+ *   ...
+ */
+
+#ifndef ISINGRBM_RBM_SERIALIZE_HPP
+#define ISINGRBM_RBM_SERIALIZE_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "rbm/dbn.hpp"
+#include "rbm/rbm.hpp"
+
+namespace ising::rbm {
+
+/** Write a model to a stream. */
+void saveRbm(const Rbm &model, std::ostream &os);
+
+/** Read a model from a stream; fatal on malformed input. */
+Rbm loadRbm(std::istream &is);
+
+/** File-path convenience wrappers (fatal on IO errors). */
+void saveRbm(const Rbm &model, const std::string &path);
+Rbm loadRbmFile(const std::string &path);
+
+/** DBN stack persistence (a layer count followed by each RBM). */
+void saveDbn(const Dbn &stack, std::ostream &os);
+Dbn loadDbn(std::istream &is);
+void saveDbn(const Dbn &stack, const std::string &path);
+Dbn loadDbnFile(const std::string &path);
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_SERIALIZE_HPP

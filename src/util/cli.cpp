@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Flag-parsing implementation.
+ */
+
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace ising::util {
+
+CliArgs::CliArgs(int argc, char **argv)
+{
+    if (argc > 0)
+        positional_.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            flags_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flags_[body] = argv[++i];
+        } else {
+            flags_[body] = "";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+CliArgs::get(const std::string &name, const std::string &dflt) const
+{
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? dflt : it->second;
+}
+
+long
+CliArgs::getInt(const std::string &name, long dflt) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return dflt;
+    char *end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    return (end && *end == '\0') ? v : dflt;
+}
+
+double
+CliArgs::getDouble(const std::string &name, double dflt) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return dflt;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    return (end && *end == '\0') ? v : dflt;
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool dflt) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return dflt;
+    const std::string &v = it->second;
+    if (v.empty() || v == "1" || v == "true" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "no")
+        return false;
+    return dflt;
+}
+
+} // namespace ising::util

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by examples and bench binaries.
+ *
+ * Supports "--name value", "--name=value" and boolean "--name" forms.
+ * Unknown flags are collected so google-benchmark can still consume its
+ * own arguments from the remainder.
+ */
+
+#ifndef ISINGRBM_UTIL_CLI_HPP
+#define ISINGRBM_UTIL_CLI_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ising::util {
+
+/** Parsed view of argv with typed accessors and defaults. */
+class CliArgs
+{
+  public:
+    CliArgs() = default;
+
+    /** Parse argv; never throws, malformed values fall back to defaults. */
+    CliArgs(int argc, char **argv);
+
+    /** True if --name was present in any form. */
+    bool has(const std::string &name) const;
+
+    /** String flag with default. */
+    std::string get(const std::string &name, const std::string &dflt) const;
+
+    /** Integer flag with default. */
+    long getInt(const std::string &name, long dflt) const;
+
+    /** Floating-point flag with default. */
+    double getDouble(const std::string &name, double dflt) const;
+
+    /** Boolean flag: present without value, or value in {0,1,true,false}. */
+    bool getBool(const std::string &name, bool dflt) const;
+
+    /** argv entries not consumed as --flags (argv[0] preserved first). */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace ising::util
+
+#endif // ISINGRBM_UTIL_CLI_HPP

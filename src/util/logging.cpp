@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Logging sink: stderr with a short level tag.
+ */
+
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ising::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+const char *
+tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+      default:              return "?";
+    }
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", tag(level), msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "[fatal] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace ising::util

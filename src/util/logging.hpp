@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal leveled logging used by trainers and benches.
+ *
+ * Modeled loosely on gem5's inform()/warn() family: these calls report
+ * status to the user and never abort the program; fatal() exits with an
+ * error code for user-level misconfiguration.
+ */
+
+#ifndef ISINGRBM_UTIL_LOGGING_HPP
+#define ISINGRBM_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace ising::util {
+
+/** Severity levels in increasing order of urgency. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Global threshold; messages below it are discarded. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Emit one line at the given level (no newline needed). */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Informative message users should know but not worry about. */
+inline void
+inform(const std::string &msg)
+{
+    logMessage(LogLevel::Info, msg);
+}
+
+/** Something may be off but execution can continue. */
+inline void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+/** Debug chatter, off by default. */
+inline void
+debug(const std::string &msg)
+{
+    logMessage(LogLevel::Debug, msg);
+}
+
+/** Unrecoverable user-level error: print and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** printf-style convenience built on ostringstream. */
+template <typename... Args>
+std::string
+strcat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace ising::util
+
+#endif // ISINGRBM_UTIL_LOGGING_HPP

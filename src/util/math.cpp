@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Implementations for the non-inline numeric helpers.
+ */
+
+#include "util/math.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace ising::util {
+
+double
+logSumExp(const double *v, std::size_t n)
+{
+    if (n == 0)
+        return -std::numeric_limits<double>::infinity();
+    double m = v[0];
+    for (std::size_t i = 1; i < n; ++i)
+        m = std::max(m, v[i]);
+    if (!std::isfinite(m))
+        return m;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += std::exp(v[i] - m);
+    return m + std::log(acc);
+}
+
+double
+geometricMean(const std::vector<double> &v)
+{
+    assert(!v.empty());
+    double acc = 0.0;
+    for (double x : v) {
+        assert(x > 0.0);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+} // namespace ising::util

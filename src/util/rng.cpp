@@ -1,0 +1,149 @@
+/**
+ * @file
+ * xoshiro256++ implementation (public-domain reference by Blackman &
+ * Vigna) plus the derived samplers.
+ */
+
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ising::util {
+
+namespace {
+
+/** splitmix64 step used for seeding and stream splitting. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+    hasSpare_ = false;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::uniformFloat()
+{
+    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    // Lemire's multiply-shift rejection method: unbiased and cheap.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+        const std::uint64_t threshold = (0 - n) % n;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * n;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double k = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * k;
+    hasSpare_ = true;
+    return u * k;
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+int
+Rng::sign()
+{
+    return (next() >> 63) ? 1 : -1;
+}
+
+Rng
+Rng::split()
+{
+    // Use two fresh draws to derive a decorrelated child seed.
+    std::uint64_t s = next() ^ rotl(next(), 31);
+    return Rng(s);
+}
+
+void
+Rng::shuffle(std::size_t *idx, std::size_t n)
+{
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = uniformInt(i);
+        std::swap(idx[i - 1], idx[j]);
+    }
+}
+
+} // namespace ising::util

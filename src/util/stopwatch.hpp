@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Wall-clock stopwatch for coarse benchmarking inside examples and
+ * integration tests (google-benchmark handles the fine-grained timing).
+ */
+
+#ifndef ISINGRBM_UTIL_STOPWATCH_HPP
+#define ISINGRBM_UTIL_STOPWATCH_HPP
+
+#include <chrono>
+
+namespace ising::util {
+
+/** Monotonic stopwatch measuring elapsed seconds. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart the measurement window. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto d = Clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace ising::util
+
+#endif // ISINGRBM_UTIL_STOPWATCH_HPP

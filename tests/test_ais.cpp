@@ -1,0 +1,136 @@
+/**
+ * @file
+ * AIS validation against exact enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rbm/ais.hpp"
+#include "rbm/exact.hpp"
+
+using namespace ising::rbm;
+using ising::util::Rng;
+
+namespace {
+
+Rbm
+randomModel(std::size_t m, std::size_t n, std::uint64_t seed, float scale)
+{
+    Rbm model(m, n);
+    Rng rng(seed);
+    model.initRandom(rng, scale);
+    for (std::size_t i = 0; i < m; ++i)
+        model.visibleBias()[i] = static_cast<float>(rng.gaussian(0, 0.3));
+    for (std::size_t j = 0; j < n; ++j)
+        model.hiddenBias()[j] = static_cast<float>(rng.gaussian(0, 0.3));
+    return model;
+}
+
+ising::data::Dataset
+bernoulliData(std::size_t rows, std::size_t dim, std::uint64_t seed)
+{
+    ising::data::Dataset ds;
+    ds.samples.reset(rows, dim);
+    Rng rng(seed);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t i = 0; i < dim; ++i)
+            ds.samples(r, i) = rng.bernoulli(0.4) ? 1.0f : 0.0f;
+    return ds;
+}
+
+} // namespace
+
+TEST(Ais, ExactOnZeroWeightModel)
+{
+    // With zero weights, AIS should be exact regardless of chain count:
+    // every intermediate distribution equals the base distribution.
+    Rbm model(10, 6);
+    AisConfig cfg;
+    cfg.numChains = 8;
+    cfg.numBetas = 20;
+    cfg.baseFromData = false;
+    Rng rng(1);
+    AisEstimator ais(cfg, rng);
+    const auto z = ais.estimateLogZ(model, {});
+    EXPECT_NEAR(z.logZ, 16.0 * std::log(2.0), 1e-6);
+}
+
+TEST(Ais, MatchesExactPartitionSmallModel)
+{
+    const Rbm model = randomModel(10, 5, 2, 0.5f);
+    const double exactZ = exact::logPartition(model);
+    AisConfig cfg;
+    cfg.numChains = 128;
+    cfg.numBetas = 300;
+    cfg.baseFromData = false;
+    Rng rng(3);
+    AisEstimator ais(cfg, rng);
+    const auto z = ais.estimateLogZ(model, {});
+    EXPECT_NEAR(z.logZ, exactZ, 0.15);
+}
+
+TEST(Ais, DataBaseRateAlsoMatches)
+{
+    const Rbm model = randomModel(8, 4, 4, 0.6f);
+    const double exactZ = exact::logPartition(model);
+    const auto train = bernoulliData(50, 8, 5);
+    AisConfig cfg;
+    cfg.numChains = 128;
+    cfg.numBetas = 300;
+    cfg.baseFromData = true;
+    Rng rng(6);
+    AisEstimator ais(cfg, rng);
+    const auto z = ais.estimateLogZ(model, train);
+    EXPECT_NEAR(z.logZ, exactZ, 0.15);
+}
+
+TEST(Ais, StdErrShrinksWithMoreChains)
+{
+    const Rbm model = randomModel(8, 4, 7, 0.8f);
+    Rng rng(8);
+    AisConfig small;
+    small.numChains = 16;
+    small.numBetas = 100;
+    AisConfig big = small;
+    big.numChains = 256;
+    AisEstimator aisSmall(small, rng), aisBig(big, rng);
+    const auto zs = aisSmall.estimateLogZ(model, {});
+    const auto zb = aisBig.estimateLogZ(model, {});
+    EXPECT_LT(zb.logZStdErr, zs.logZStdErr + 1e-9);
+}
+
+TEST(Ais, AverageLogProbMatchesExact)
+{
+    const Rbm model = randomModel(8, 4, 9, 0.5f);
+    const auto data = bernoulliData(30, 8, 10);
+    Rng rng(11);
+    AisConfig cfg;
+    cfg.numChains = 128;
+    cfg.numBetas = 250;
+    AisEstimator ais(cfg, rng);
+    const double approx = ais.averageLogProb(model, data, data);
+    const double exactLL = exact::meanLogLikelihood(model, data);
+    EXPECT_NEAR(approx, exactLL, 0.2);
+}
+
+TEST(Ais, MoreBetasReduceBias)
+{
+    // Coarse annealing overestimates variance; check that a finer path
+    // gets closer to the exact answer than a very coarse one on a
+    // strongly coupled model.
+    const Rbm model = randomModel(10, 5, 12, 1.2f);
+    const double exactZ = exact::logPartition(model);
+    Rng rng(13);
+    AisConfig coarse;
+    coarse.numChains = 64;
+    coarse.numBetas = 5;
+    AisConfig fine = coarse;
+    fine.numBetas = 500;
+    const double errCoarse = std::fabs(
+        AisEstimator(coarse, rng).estimateLogZ(model, {}).logZ - exactZ);
+    const double errFine = std::fabs(
+        AisEstimator(fine, rng).estimateLogZ(model, {}).logZ - exactZ);
+    EXPECT_LT(errFine, errCoarse + 0.05);
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the BRIM transient simulator: Lyapunov descent, ground
+ * states, clamping, annealing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ising/brim.hpp"
+
+using namespace ising::machine;
+using ising::util::Rng;
+
+namespace {
+
+IsingModel
+ferromagnet(std::size_t n, float j = 0.5f)
+{
+    IsingModel model(n);
+    for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = a + 1; b < n; ++b)
+            model.setCoupling(a, b, j);
+    return model;
+}
+
+} // namespace
+
+TEST(Brim, LyapunovDescendsWithoutNoise)
+{
+    Rng rng(1);
+    const IsingModel model = ferromagnet(12);
+    BrimConfig cfg;
+    cfg.dt = 0.01;
+    BrimSimulator sim(model, cfg, rng);
+    double prev = sim.lyapunov();
+    for (int s = 0; s < 400; ++s) {
+        sim.step(0.0);
+        const double cur = sim.lyapunov();
+        ASSERT_LE(cur, prev + 1e-6) << "step " << s;
+        prev = cur;
+    }
+}
+
+TEST(Brim, RelaxReachesFerromagnetGroundState)
+{
+    Rng rng(2);
+    const IsingModel model = ferromagnet(10);
+    BrimConfig cfg;
+    cfg.dt = 0.02;
+    BrimSimulator sim(model, cfg, rng);
+    sim.relax(1e-10, 50000);
+    // All spins aligned -> minimal energy -C(10,2)*0.5.
+    EXPECT_NEAR(sim.energy(), -22.5, 1e-9);
+}
+
+TEST(Brim, VoltagesSaturateNearRails)
+{
+    Rng rng(3);
+    const IsingModel model = ferromagnet(8);
+    BrimConfig cfg;
+    cfg.dt = 0.02;
+    BrimSimulator sim(model, cfg, rng);
+    sim.relax(1e-10, 50000);
+    for (double v : sim.voltages())
+        EXPECT_GT(std::fabs(v), 0.8);
+}
+
+TEST(Brim, ThresholdStateIsLocalMinimum)
+{
+    // After relaxation, no single flip may lower the Ising energy --
+    // the paper's stable-state property.
+    Rng rng(4);
+    IsingModel model(10);
+    Rng gen(99);
+    for (std::size_t a = 0; a < 10; ++a)
+        for (std::size_t b = a + 1; b < 10; ++b)
+            model.setCoupling(a, b,
+                              static_cast<float>(gen.gaussian(0, 0.4)));
+    BrimConfig cfg;
+    cfg.dt = 0.01;
+    BrimSimulator sim(model, cfg, rng);
+    sim.relax(1e-12, 100000);
+    const SpinState s = sim.spins();
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_GE(model.flipDelta(s, i), -1e-5) << "node " << i;
+}
+
+TEST(Brim, ClampHoldsNodeFixed)
+{
+    Rng rng(5);
+    const IsingModel model = ferromagnet(6, -0.8f);
+    BrimConfig cfg;
+    BrimSimulator sim(model, cfg, rng);
+    sim.clampNode(2, 1.0);
+    for (int s = 0; s < 500; ++s)
+        sim.step(0.02);
+    EXPECT_DOUBLE_EQ(sim.voltages()[2], 1.0);
+}
+
+TEST(Brim, ClampSteersNeighborsInFerromagnet)
+{
+    Rng rng(6);
+    const IsingModel model = ferromagnet(8, 0.8f);
+    BrimConfig cfg;
+    cfg.dt = 0.02;
+    BrimSimulator sim(model, cfg, rng);
+    sim.clampNode(0, 1.0);
+    sim.relax(1e-10, 50000);
+    // Strong ferromagnetic coupling: everything aligns with the clamp.
+    for (double v : sim.voltages())
+        EXPECT_GT(v, 0.5);
+}
+
+TEST(Brim, AnnealEscapesWorseStatesOnAverage)
+{
+    // With annealing flips the machine should end at-or-below the
+    // energy of a pure relaxation from a bad start.
+    IsingModel model(12);
+    Rng gen(55);
+    for (std::size_t a = 0; a < 12; ++a)
+        for (std::size_t b = a + 1; b < 12; ++b)
+            model.setCoupling(a, b,
+                              static_cast<float>(gen.gaussian(0, 0.5)));
+    double relaxEnergy = 0.0, annealEnergy = 0.0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+        Rng rngA(100 + t), rngB(100 + t);
+        BrimConfig cfg;
+        cfg.dt = 0.02;
+        cfg.flipRateStart = 0.02;
+        cfg.flipRateEnd = 0.0;
+        BrimSimulator relaxSim(model, cfg, rngA);
+        relaxSim.relax(1e-9, 3000);
+        relaxEnergy += relaxSim.energy();
+
+        BrimSimulator annealSim(model, cfg, rngB);
+        annealSim.anneal(2000);
+        annealSim.relax(1e-9, 3000);
+        annealEnergy += annealSim.energy();
+    }
+    EXPECT_LE(annealEnergy / trials, relaxEnergy / trials + 0.5);
+}
+
+TEST(Brim, SetStateAndSpinsReadout)
+{
+    Rng rng(7);
+    const IsingModel model = ferromagnet(4);
+    BrimConfig cfg;
+    BrimSimulator sim(model, cfg, rng);
+    sim.setState({0.9, -0.3, 0.1, -1.0});
+    const SpinState s = sim.spins();
+    EXPECT_EQ(s[0], 1);
+    EXPECT_EQ(s[1], -1);
+    EXPECT_EQ(s[2], 1);
+    EXPECT_EQ(s[3], -1);
+}
+
+TEST(Brim, TemperatureInjectsVariance)
+{
+    Rng rng(8);
+    const IsingModel model = ferromagnet(6, 0.1f);
+    BrimConfig hot;
+    hot.temperature = 0.5;
+    BrimSimulator sim(model, hot, rng);
+    sim.relax(1e-12, 500);
+    // With thermal noise the Lyapunov function fluctuates; successive
+    // steps should not be identical.
+    const auto v1 = sim.voltages();
+    sim.step(0.0);
+    const auto v2 = sim.voltages();
+    EXPECT_NE(v1, v2);
+}
+
+/** Sweep: ground-state recovery holds across sizes. */
+class BrimSizeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BrimSizeSweep, FerromagnetAligns)
+{
+    const std::size_t n = GetParam();
+    Rng rng(200 + n);
+    const IsingModel model = ferromagnet(n, 0.6f);
+    BrimConfig cfg;
+    cfg.dt = 0.02;
+    BrimSimulator sim(model, cfg, rng);
+    sim.relax(1e-10, 50000);
+    const SpinState s = sim.spins();
+    for (int x : s)
+        EXPECT_EQ(x, s[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BrimSizeSweep,
+                         ::testing::Values(4, 8, 16, 32));

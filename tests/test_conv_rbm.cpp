@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the convolutional RBM front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/glyphs.hpp"
+#include "eval/classifier.hpp"
+#include "rbm/conv_rbm.hpp"
+
+using namespace ising;
+using rbm::ConvRbm;
+using rbm::ConvRbmConfig;
+using util::Rng;
+
+TEST(ConvRbm, DimensionsFollowConfig)
+{
+    ConvRbmConfig cfg;
+    cfg.imageSide = 28;
+    cfg.filterSide = 7;
+    cfg.numFilters = 12;
+    cfg.poolGrid = 3;
+    const ConvRbm model(cfg);
+    EXPECT_EQ(model.hiddenSide(), 22u);
+    EXPECT_EQ(model.featureDim(), 108u);  // the paper's CIFAR input dim
+}
+
+TEST(ConvRbm, NorbShapeGivesThirtySix)
+{
+    ConvRbmConfig cfg;
+    cfg.numFilters = 4;
+    cfg.poolGrid = 3;
+    const ConvRbm model(cfg);
+    EXPECT_EQ(model.featureDim(), 36u);  // the paper's SmallNORB dim
+}
+
+TEST(ConvRbm, HiddenMapsAreProbabilities)
+{
+    ConvRbmConfig cfg;
+    cfg.numFilters = 4;
+    ConvRbm model(cfg);
+    Rng rng(1);
+    model.initRandom(rng, 0.5f);
+    const data::Dataset ds = data::makeGlyphs(data::digitsStyle(), 3, 2);
+    std::vector<float> maps;
+    model.hiddenMaps(ds.sample(0), maps);
+    ASSERT_EQ(maps.size(), 4u * 22 * 22);
+    for (float p : maps) {
+        ASSERT_GE(p, 0.0f);
+        ASSERT_LE(p, 1.0f);
+    }
+}
+
+TEST(ConvRbm, ReconstructionShapeAndRange)
+{
+    ConvRbmConfig cfg;
+    cfg.numFilters = 4;
+    ConvRbm model(cfg);
+    Rng rng(2);
+    model.initRandom(rng);
+    const data::Dataset ds = data::makeGlyphs(data::digitsStyle(), 2, 3);
+    std::vector<float> maps, recon;
+    model.hiddenMaps(ds.sample(0), maps);
+    model.reconstruct(maps, recon);
+    ASSERT_EQ(recon.size(), 28u * 28u);
+    for (float v : recon) {
+        ASSERT_GE(v, 0.0f);
+        ASSERT_LE(v, 1.0f);
+    }
+}
+
+TEST(ConvRbm, TrainingReducesReconstructionError)
+{
+    ConvRbmConfig cfg;
+    cfg.numFilters = 6;
+    cfg.learningRate = 0.05;
+    ConvRbm model(cfg);
+    Rng rng(3);
+    model.initRandom(rng);
+    const data::Dataset raw =
+        data::makeGlyphs(data::digitsStyle(), 120, 4);
+    const data::Dataset ds = data::binarizeThreshold(raw);
+    const double before = model.reconstructionError(ds);
+    for (int e = 0; e < 3; ++e)
+        model.trainEpoch(ds, rng);
+    const double after = model.reconstructionError(ds);
+    EXPECT_LT(after, before);
+}
+
+TEST(ConvRbm, FeaturesHaveExpectedShapeAndRange)
+{
+    ConvRbmConfig cfg;
+    cfg.numFilters = 12;
+    cfg.poolGrid = 3;
+    ConvRbm model(cfg);
+    Rng rng(4);
+    model.initRandom(rng);
+    const data::Dataset ds = data::makeGlyphs(data::digitsStyle(), 10, 5);
+    const data::Dataset feats = model.transform(ds);
+    EXPECT_EQ(feats.dim(), 108u);
+    EXPECT_EQ(feats.size(), 10u);
+    EXPECT_EQ(feats.labels, ds.labels);
+    const float *d = feats.samples.data();
+    for (std::size_t i = 0; i < feats.samples.size(); ++i) {
+        ASSERT_GE(d[i], 0.0f);
+        ASSERT_LE(d[i], 1.0f);
+    }
+}
+
+TEST(ConvRbm, FeaturesClassifyAboveChance)
+{
+    ConvRbmConfig cfg;
+    cfg.numFilters = 8;
+    cfg.poolGrid = 3;
+    ConvRbm model(cfg);
+    Rng rng(5);
+    model.initRandom(rng);
+    const data::Dataset raw =
+        data::makeGlyphs(data::digitsStyle(), 400, 6);
+    const data::Dataset ds = data::binarizeThreshold(raw);
+    for (int e = 0; e < 2; ++e)
+        model.trainEpoch(ds, rng);
+
+    util::Rng splitRng(7);
+    const data::Split split = data::trainTestSplit(ds, 0.25, splitRng);
+    eval::LogisticConfig head;
+    head.epochs = 40;
+    const double acc = eval::classifierAccuracy(
+        model.transform(split.train), model.transform(split.test), head,
+        splitRng);
+    EXPECT_GT(acc, 0.4);  // chance is 0.1
+}

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for the dataset container and synthetic generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.hpp"
+#include "data/fraud.hpp"
+#include "data/glyphs.hpp"
+#include "data/patches.hpp"
+#include "data/ratings.hpp"
+#include "data/registry.hpp"
+
+using namespace ising::data;
+using ising::util::Rng;
+
+TEST(Glyphs, ShapeAndLabels)
+{
+    const Dataset ds = makeGlyphs(digitsStyle(), 100, 1);
+    EXPECT_EQ(ds.size(), 100u);
+    EXPECT_EQ(ds.dim(), kGlyphPixels);
+    EXPECT_EQ(ds.numClasses, 10);
+    ASSERT_EQ(ds.labels.size(), 100u);
+    for (int label : ds.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 10);
+    }
+}
+
+TEST(Glyphs, ValuesInUnitInterval)
+{
+    const Dataset ds = makeGlyphs(kuzushijiStyle(), 50, 2);
+    const float *d = ds.samples.data();
+    for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+        ASSERT_GE(d[i], 0.0f);
+        ASSERT_LE(d[i], 1.0f);
+    }
+}
+
+TEST(Glyphs, DeterministicForSameSeed)
+{
+    const Dataset a = makeGlyphs(digitsStyle(), 30, 5);
+    const Dataset b = makeGlyphs(digitsStyle(), 30, 5);
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Glyphs, DifferentSeedsDiffer)
+{
+    const Dataset a = makeGlyphs(digitsStyle(), 30, 5);
+    const Dataset b = makeGlyphs(digitsStyle(), 30, 6);
+    EXPECT_NE(a.samples, b.samples);
+}
+
+TEST(Glyphs, ClassesAreBalanced)
+{
+    const Dataset ds = makeGlyphs(digitsStyle(), 200, 3);
+    std::vector<int> counts(10, 0);
+    for (int label : ds.labels)
+        ++counts[label];
+    for (int c : counts)
+        EXPECT_EQ(c, 20);
+}
+
+TEST(Glyphs, SameClassMoreSimilarThanCrossClass)
+{
+    // Intra-class pixel distance should be smaller than inter-class on
+    // average: the property that makes the data learnable.
+    const Dataset ds = makeGlyphs(digitsStyle(), 400, 4);
+    double intra = 0.0, inter = 0.0;
+    int intraN = 0, interN = 0;
+    for (std::size_t a = 0; a < 100; ++a) {
+        for (std::size_t b = a + 1; b < 100; ++b) {
+            double d = 0.0;
+            for (std::size_t p = 0; p < ds.dim(); ++p) {
+                const double diff = ds.sample(a)[p] - ds.sample(b)[p];
+                d += diff * diff;
+            }
+            if (ds.labels[a] == ds.labels[b]) {
+                intra += d;
+                ++intraN;
+            } else {
+                inter += d;
+                ++interN;
+            }
+        }
+    }
+    EXPECT_LT(intra / intraN, inter / interN);
+}
+
+TEST(Glyphs, FamiliesProduceDistinctData)
+{
+    const Dataset digits = makeGlyphs(digitsStyle(), 20, 9);
+    const Dataset kmn = makeGlyphs(kuzushijiStyle(), 20, 9);
+    EXPECT_NE(digits.samples, kmn.samples);
+}
+
+TEST(Glyphs, LettersHave26Classes)
+{
+    const Dataset ds = makeGlyphs(lettersStyle(), 52, 1);
+    EXPECT_EQ(ds.numClasses, 26);
+    std::set<int> seen(ds.labels.begin(), ds.labels.end());
+    EXPECT_EQ(seen.size(), 26u);
+}
+
+TEST(Glyphs, FashionUsesFilledShapes)
+{
+    // Filled silhouettes cover far more pixels than stroke glyphs.
+    const Dataset fashion = makeGlyphs(fashionStyle(), 50, 2);
+    const Dataset digits = makeGlyphs(digitsStyle(), 50, 2);
+    double fashionInk = 0.0, digitsInk = 0.0;
+    const float *f = fashion.samples.data();
+    const float *d = digits.samples.data();
+    for (std::size_t i = 0; i < fashion.samples.size(); ++i) {
+        fashionInk += f[i];
+        digitsInk += d[i];
+    }
+    EXPECT_GT(fashionInk, 1.4 * digitsInk);
+}
+
+TEST(Patches, CifarShape)
+{
+    const Dataset ds = makePatches(cifarPatchStyle(), 60, 3);
+    EXPECT_EQ(ds.dim(), 108u);
+    EXPECT_EQ(ds.numClasses, 10);
+}
+
+TEST(Patches, NorbShape)
+{
+    const Dataset ds = makePatches(norbPatchStyle(), 60, 3);
+    EXPECT_EQ(ds.dim(), 36u);
+    EXPECT_EQ(ds.numClasses, 5);
+}
+
+TEST(Patches, ValuesInUnitInterval)
+{
+    const Dataset ds = makePatches(cifarPatchStyle(), 40, 8);
+    const float *d = ds.samples.data();
+    for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+        ASSERT_GE(d[i], 0.0f);
+        ASSERT_LE(d[i], 1.0f);
+    }
+}
+
+TEST(Patches, Deterministic)
+{
+    const Dataset a = makePatches(norbPatchStyle(), 25, 4);
+    const Dataset b = makePatches(norbPatchStyle(), 25, 4);
+    EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(Ratings, CorpusShapeAndRanges)
+{
+    RatingStyle style;
+    style.numUsers = 100;
+    style.numItems = 40;
+    const RatingData rd = makeRatings(style, 11);
+    EXPECT_EQ(rd.numUsers, 100);
+    EXPECT_EQ(rd.numItems, 40);
+    EXPECT_FALSE(rd.train.empty());
+    EXPECT_FALSE(rd.test.empty());
+    for (const auto &r : rd.train) {
+        EXPECT_GE(r.stars, 1);
+        EXPECT_LE(r.stars, 5);
+        EXPECT_LT(r.user, 100);
+        EXPECT_LT(r.item, 40);
+    }
+}
+
+TEST(Ratings, DensityApproximatelyHonored)
+{
+    RatingStyle style;
+    style.numUsers = 200;
+    style.numItems = 50;
+    style.density = 0.2;
+    const RatingData rd = makeRatings(style, 21);
+    const double total = rd.train.size() + rd.test.size();
+    EXPECT_NEAR(total / (200.0 * 50.0), 0.2, 0.03);
+}
+
+TEST(Ratings, TestFractionHonored)
+{
+    RatingStyle style;
+    style.testFrac = 0.25;
+    const RatingData rd = makeRatings(style, 31);
+    const double total = rd.train.size() + rd.test.size();
+    EXPECT_NEAR(rd.test.size() / total, 0.25, 0.02);
+}
+
+TEST(Ratings, UsesAllStarLevels)
+{
+    const RatingData rd = makeRatings({}, 41);
+    std::set<int> stars;
+    for (const auto &r : rd.train)
+        stars.insert(r.stars);
+    EXPECT_EQ(stars.size(), 5u);
+}
+
+TEST(Fraud, PrevalenceAndLabels)
+{
+    FraudStyle style;
+    style.fraudRate = 0.05;
+    const Dataset ds = makeFraud(style, 4000, 5);
+    EXPECT_EQ(ds.dim(), 28u);
+    EXPECT_EQ(ds.numClasses, 2);
+    int positives = 0;
+    for (int y : ds.labels)
+        positives += y;
+    EXPECT_NEAR(positives / 4000.0, 0.05, 0.015);
+}
+
+TEST(Fraud, FraudLooksDifferent)
+{
+    FraudStyle style;
+    style.fraudRate = 0.5;  // balanced for the statistics
+    const Dataset ds = makeFraud(style, 2000, 6);
+    // Mean feature vectors of the classes should differ noticeably.
+    std::vector<double> mean0(ds.dim(), 0.0), mean1(ds.dim(), 0.0);
+    int n0 = 0, n1 = 0;
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        auto &mean = ds.labels[r] ? mean1 : mean0;
+        (ds.labels[r] ? n1 : n0)++;
+        for (std::size_t f = 0; f < ds.dim(); ++f)
+            mean[f] += ds.sample(r)[f];
+    }
+    double dist = 0.0;
+    for (std::size_t f = 0; f < ds.dim(); ++f) {
+        const double d = mean0[f] / n0 - mean1[f] / n1;
+        dist += d * d;
+    }
+    EXPECT_GT(std::sqrt(dist), 0.2);
+}
+
+TEST(Dataset, TrainTestSplitPartitions)
+{
+    Rng rng(1);
+    const Dataset ds = makeGlyphs(digitsStyle(), 100, 2);
+    const Split split = trainTestSplit(ds, 0.2, rng);
+    EXPECT_EQ(split.train.size(), 80u);
+    EXPECT_EQ(split.test.size(), 20u);
+    EXPECT_EQ(split.train.dim(), ds.dim());
+    EXPECT_EQ(split.train.numClasses, ds.numClasses);
+}
+
+TEST(Dataset, BinarizeThresholdProducesBits)
+{
+    const Dataset ds = makeGlyphs(digitsStyle(), 20, 3);
+    const Dataset bin = binarizeThreshold(ds, 0.5f);
+    const float *d = bin.samples.data();
+    for (std::size_t i = 0; i < bin.samples.size(); ++i)
+        ASSERT_TRUE(d[i] == 0.0f || d[i] == 1.0f);
+}
+
+TEST(Dataset, StochasticBinarizePreservesMean)
+{
+    Rng rng(7);
+    Dataset ds;
+    ds.samples.reset(2000, 1, 0.3f);
+    const Dataset bin = binarize(ds, rng);
+    double mean = 0.0;
+    for (std::size_t r = 0; r < bin.size(); ++r)
+        mean += bin.sample(r)[0];
+    EXPECT_NEAR(mean / bin.size(), 0.3, 0.03);
+}
+
+TEST(Dataset, MinibatchPlanCoversAllOnce)
+{
+    Rng rng(9);
+    MinibatchPlan plan(103, 10, rng);
+    EXPECT_EQ(plan.numBatches(), 11u);
+    std::set<std::size_t> seen;
+    for (std::size_t b = 0; b < plan.numBatches(); ++b)
+        for (std::size_t idx : plan.batch(b))
+            EXPECT_TRUE(seen.insert(idx).second) << "dup " << idx;
+    EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(Registry, Table1HasEightRows)
+{
+    const auto configs = table1Configs();
+    ASSERT_EQ(configs.size(), 8u);
+    EXPECT_EQ(configs[0].name, "MNIST");
+    EXPECT_EQ(configs[0].visible, 784u);
+    EXPECT_EQ(configs[0].hidden, 200u);
+    EXPECT_EQ(configs[3].hidden, 1024u);
+    EXPECT_EQ(configs[6].visible, 943u);
+    EXPECT_EQ(configs[7].hidden, 10u);
+}
+
+TEST(Registry, ConfigLookupWorks)
+{
+    const auto cfg = configFor("FMNIST");
+    EXPECT_EQ(cfg.visible, 784u);
+    EXPECT_EQ(cfg.hidden, 784u);
+    ASSERT_EQ(cfg.dbnLayers.size(), 4u);
+}
+
+TEST(Registry, ImageGeneratorsMatchConfigDims)
+{
+    for (const char *name :
+         {"MNIST", "KMNIST", "FMNIST", "EMNIST", "CIFAR10", "SmallNorb"}) {
+        const auto cfg = configFor(name);
+        const Dataset ds = makeBenchmarkData(name, 20, 1);
+        EXPECT_EQ(ds.dim(), cfg.visible) << name;
+    }
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the classifier head and quality metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/classifier.hpp"
+#include "eval/metrics.hpp"
+
+using namespace ising::eval;
+using ising::util::Rng;
+
+namespace {
+
+/** Linearly separable two-class blobs. */
+ising::data::Dataset
+blobs(std::size_t n, std::uint64_t seed)
+{
+    ising::data::Dataset ds;
+    ds.numClasses = 2;
+    ds.samples.reset(n, 2);
+    ds.labels.resize(n);
+    Rng rng(seed);
+    for (std::size_t r = 0; r < n; ++r) {
+        const int cls = static_cast<int>(r % 2);
+        ds.labels[r] = cls;
+        const double cx = cls ? 0.75 : 0.25;
+        ds.samples(r, 0) =
+            static_cast<float>(cx + rng.gaussian(0, 0.08));
+        ds.samples(r, 1) =
+            static_cast<float>(cx + rng.gaussian(0, 0.08));
+    }
+    return ds;
+}
+
+} // namespace
+
+TEST(LogisticRegression, LearnsSeparableBlobs)
+{
+    Rng rng(1);
+    const auto train = blobs(400, 2);
+    const auto test = blobs(200, 3);
+    LogisticRegression head(2, 2);
+    LogisticConfig cfg;
+    cfg.epochs = 50;
+    head.train(train, cfg, rng);
+    EXPECT_GT(head.accuracy(test), 0.95);
+}
+
+TEST(LogisticRegression, LossDecreasesDuringTraining)
+{
+    Rng rng(2);
+    const auto train = blobs(300, 4);
+    LogisticRegression head(2, 2);
+    const double before = head.loss(train);
+    LogisticConfig cfg;
+    cfg.epochs = 20;
+    head.train(train, cfg, rng);
+    EXPECT_LT(head.loss(train), before);
+}
+
+TEST(LogisticRegression, ProbabilitiesNormalize)
+{
+    Rng rng(3);
+    const auto train = blobs(100, 5);
+    LogisticRegression head(2, 2);
+    LogisticConfig cfg;
+    cfg.epochs = 5;
+    head.train(train, cfg, rng);
+    std::vector<double> probs;
+    head.predictProbs(train.sample(0), probs);
+    ASSERT_EQ(probs.size(), 2u);
+    EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+    EXPECT_GE(probs[0], 0.0);
+}
+
+TEST(LogisticRegression, MulticlassWorks)
+{
+    // Four Gaussian blobs at square corners.
+    Rng rng(4);
+    ising::data::Dataset ds;
+    ds.numClasses = 4;
+    ds.samples.reset(400, 2);
+    ds.labels.resize(400);
+    for (std::size_t r = 0; r < 400; ++r) {
+        const int cls = static_cast<int>(r % 4);
+        ds.labels[r] = cls;
+        ds.samples(r, 0) = static_cast<float>(
+            (cls & 1 ? 0.8 : 0.2) + rng.gaussian(0, 0.05));
+        ds.samples(r, 1) = static_cast<float>(
+            (cls & 2 ? 0.8 : 0.2) + rng.gaussian(0, 0.05));
+    }
+    LogisticRegression head(2, 4);
+    LogisticConfig cfg;
+    cfg.epochs = 60;
+    head.train(ds, cfg, rng);
+    EXPECT_GT(head.accuracy(ds), 0.97);
+}
+
+TEST(ClassifierAccuracyHelper, EndToEnd)
+{
+    Rng rng(5);
+    const auto train = blobs(300, 6);
+    const auto test = blobs(150, 7);
+    LogisticConfig cfg;
+    cfg.epochs = 40;
+    EXPECT_GT(classifierAccuracy(train, test, cfg, rng), 0.9);
+}
+
+TEST(Metrics, AucPerfectRanking)
+{
+    const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+    const std::vector<int> labels = {1, 1, 0, 0};
+    EXPECT_NEAR(rocAuc(scores, labels), 1.0, 1e-12);
+}
+
+TEST(Metrics, AucReversedRanking)
+{
+    const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+    const std::vector<int> labels = {1, 1, 0, 0};
+    EXPECT_NEAR(rocAuc(scores, labels), 0.0, 1e-12);
+}
+
+TEST(Metrics, AucRandomScoresNearHalf)
+{
+    Rng rng(8);
+    std::vector<double> scores(4000);
+    std::vector<int> labels(4000);
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        scores[i] = rng.uniform();
+        labels[i] = rng.bernoulli(0.3);
+    }
+    EXPECT_NEAR(rocAuc(scores, labels), 0.5, 0.03);
+}
+
+TEST(Metrics, AucHandlesTies)
+{
+    const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+    const std::vector<int> labels = {1, 0, 1, 0};
+    EXPECT_NEAR(rocAuc(scores, labels), 0.5, 1e-12);
+}
+
+TEST(Metrics, RocCurveEndpoints)
+{
+    const std::vector<double> scores = {0.9, 0.4, 0.6, 0.1};
+    const std::vector<int> labels = {1, 0, 1, 0};
+    const auto curve = rocCurve(scores, labels);
+    EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+    EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+    EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+    EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(Metrics, RocCurveMonotone)
+{
+    Rng rng(9);
+    std::vector<double> scores(500);
+    std::vector<int> labels(500);
+    for (std::size_t i = 0; i < 500; ++i) {
+        labels[i] = rng.bernoulli(0.2);
+        scores[i] = labels[i] + rng.gaussian(0, 1.0);
+    }
+    const auto curve = rocCurve(scores, labels);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        ASSERT_GE(curve[i].fpr, curve[i - 1].fpr);
+        ASSERT_GE(curve[i].tpr, curve[i - 1].tpr);
+    }
+}
+
+TEST(Metrics, KlZeroForIdenticalDistributions)
+{
+    const std::vector<double> p = {0.25, 0.25, 0.5};
+    EXPECT_NEAR(klDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Metrics, KlPositiveAndAsymmetric)
+{
+    const std::vector<double> p = {0.9, 0.1};
+    const std::vector<double> q = {0.5, 0.5};
+    const double pq = klDivergence(p, q);
+    const double qp = klDivergence(q, p);
+    EXPECT_GT(pq, 0.0);
+    EXPECT_GT(qp, 0.0);
+    EXPECT_NE(pq, qp);
+}
+
+TEST(Metrics, KlKnownValue)
+{
+    const std::vector<double> p = {1.0, 0.0};
+    const std::vector<double> q = {0.5, 0.5};
+    EXPECT_NEAR(klDivergence(p, q), std::log(2.0), 1e-12);
+}
+
+TEST(Metrics, KlHandlesZeroTargetMassViaFloor)
+{
+    const std::vector<double> p = {0.5, 0.5};
+    const std::vector<double> q = {1.0, 0.0};
+    const double kl = klDivergence(p, q, 1e-12);
+    EXPECT_TRUE(std::isfinite(kl));
+    EXPECT_GT(kl, 5.0);
+}
+
+TEST(Metrics, MaeBasics)
+{
+    EXPECT_NEAR(meanAbsoluteError({1, 2, 3}, {1, 2, 3}), 0.0, 1e-12);
+    EXPECT_NEAR(meanAbsoluteError({1, 2}, {2, 4}), 1.5, 1e-12);
+}

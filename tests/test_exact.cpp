@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for exact enumeration: partition function, marginals, ML
+ * training.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "rbm/exact.hpp"
+#include "rbm/rbm.hpp"
+
+using namespace ising::rbm;
+using ising::util::Rng;
+
+namespace {
+
+Rbm
+randomModel(std::size_t m, std::size_t n, std::uint64_t seed,
+            float scale = 0.6f)
+{
+    Rbm model(m, n);
+    Rng rng(seed);
+    model.initRandom(rng, scale);
+    for (std::size_t i = 0; i < m; ++i)
+        model.visibleBias()[i] = static_cast<float>(rng.gaussian(0, 0.2));
+    for (std::size_t j = 0; j < n; ++j)
+        model.hiddenBias()[j] = static_cast<float>(rng.gaussian(0, 0.2));
+    return model;
+}
+
+} // namespace
+
+TEST(Exact, ZeroModelPartition)
+{
+    // All-zero parameters: Z = 2^(m+n).
+    const Rbm model(5, 3);
+    EXPECT_NEAR(exact::logPartition(model), (5 + 3) * std::log(2.0), 1e-9);
+}
+
+TEST(Exact, PartitionAgreesOverBothEnumerationSides)
+{
+    // m < n enumerates visibles, m > n enumerates hiddens: transposing
+    // the model must give the same Z.
+    const Rbm model = randomModel(4, 9, 1);
+    Rbm transposed(9, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 9; ++j)
+            transposed.weights()(j, i) = model.weights()(i, j);
+    for (std::size_t i = 0; i < 4; ++i)
+        transposed.hiddenBias()[i] = model.visibleBias()[i];
+    for (std::size_t j = 0; j < 9; ++j)
+        transposed.visibleBias()[j] = model.hiddenBias()[j];
+    EXPECT_NEAR(exact::logPartition(model),
+                exact::logPartition(transposed), 1e-6);
+}
+
+TEST(Exact, VisibleDistributionSumsToOne)
+{
+    const Rbm model = randomModel(8, 4, 2);
+    const auto p = exact::visibleDistribution(model);
+    ASSERT_EQ(p.size(), 256u);
+    double total = 0.0;
+    for (double x : p) {
+        EXPECT_GE(x, 0.0);
+        total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Exact, LogProbConsistentWithDistribution)
+{
+    const Rbm model = randomModel(6, 3, 3);
+    const double logZ = exact::logPartition(model);
+    const auto p = exact::visibleDistribution(model);
+    float v[6];
+    for (std::size_t idx : {0u, 5u, 17u, 63u}) {
+        exact::decodeState(idx, 6, v);
+        EXPECT_NEAR(std::exp(exact::logProb(model, v, logZ)), p[idx],
+                    1e-9);
+    }
+}
+
+TEST(Exact, DecodeStateLittleEndian)
+{
+    float v[4];
+    exact::decodeState(0b1010, 4, v);
+    EXPECT_EQ(v[0], 0.0f);
+    EXPECT_EQ(v[1], 1.0f);
+    EXPECT_EQ(v[2], 0.0f);
+    EXPECT_EQ(v[3], 1.0f);
+}
+
+TEST(Exact, EmpiricalDistributionCounts)
+{
+    ising::data::Dataset ds;
+    ds.samples.reset(4, 2);
+    // Rows: 00, 01 (v0=1), 01, 11
+    ds.samples(1, 0) = 1;
+    ds.samples(2, 0) = 1;
+    ds.samples(3, 0) = 1;
+    ds.samples(3, 1) = 1;
+    const auto p = exact::empiricalDistribution(ds);
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_NEAR(p[0], 0.25, 1e-12);
+    EXPECT_NEAR(p[1], 0.50, 1e-12);
+    EXPECT_NEAR(p[2], 0.00, 1e-12);
+    EXPECT_NEAR(p[3], 0.25, 1e-12);
+}
+
+TEST(Exact, MlStepIncreasesLikelihood)
+{
+    Rng rng(4);
+    // A small dataset of structured patterns.
+    ising::data::Dataset ds;
+    ds.samples.reset(20, 8);
+    for (std::size_t r = 0; r < 20; ++r)
+        for (std::size_t i = 0; i < 8; ++i)
+            ds.samples(r, i) = (r % 2 == i % 2) ? 1.0f : 0.0f;
+
+    Rbm model(8, 3);
+    model.initRandom(rng, 0.01f);
+    double prev = exact::meanLogLikelihood(model, ds);
+    // Gradients are tiny near the symmetric zero init, so give the
+    // ascent enough steps to escape the plateau.
+    for (int step = 0; step < 120; ++step)
+        exact::mlStep(model, ds, 0.2);
+    const double after = exact::meanLogLikelihood(model, ds);
+    EXPECT_GT(after, prev + 0.5);
+}
+
+TEST(Exact, MlGradientVanishesAtFixedPoint)
+{
+    // After long ML training on an easy target, another step should
+    // barely move the parameters.
+    Rng rng(5);
+    ising::data::Dataset ds;
+    ds.samples.reset(4, 4);
+    ds.samples(0, 0) = ds.samples(0, 1) = 1;
+    ds.samples(1, 2) = ds.samples(1, 3) = 1;
+    ds.samples(2, 0) = ds.samples(2, 1) = 1;
+    ds.samples(3, 2) = ds.samples(3, 3) = 1;
+
+    Rbm model(4, 2);
+    model.initRandom(rng, 0.05f);
+    for (int step = 0; step < 3000; ++step)
+        exact::mlStep(model, ds, 0.5);
+    const double before = exact::meanLogLikelihood(model, ds);
+    exact::mlStep(model, ds, 0.5);
+    const double after = exact::meanLogLikelihood(model, ds);
+    EXPECT_NEAR(after, before, 1e-3);
+    EXPECT_GE(after, before - 1e-6);  // still non-decreasing
+}
+
+TEST(Exact, MeanLogLikelihoodBounded)
+{
+    const Rbm model = randomModel(6, 3, 6);
+    ising::data::Dataset ds;
+    ds.samples.reset(10, 6);
+    Rng rng(8);
+    for (std::size_t r = 0; r < 10; ++r)
+        for (std::size_t i = 0; i < 6; ++i)
+            ds.samples(r, i) = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    const double ll = exact::meanLogLikelihood(model, ds);
+    EXPECT_LT(ll, 0.0);
+    // Cannot be below log of uniform over 2^6 minus model skew bound.
+    EXPECT_GT(ll, -40.0);
+}

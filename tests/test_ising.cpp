@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the Ising model, simulated annealing and the bipartite
+ * RBM embedding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ising/bipartite.hpp"
+#include "ising/model.hpp"
+#include "rbm/exact.hpp"
+
+using namespace ising::machine;
+using ising::util::Rng;
+
+TEST(IsingModel, EnergyOfFerromagnetPair)
+{
+    IsingModel model(2);
+    model.setCoupling(0, 1, 1.0f);
+    EXPECT_DOUBLE_EQ(model.energy({1, 1}), -1.0);
+    EXPECT_DOUBLE_EQ(model.energy({1, -1}), 1.0);
+}
+
+TEST(IsingModel, FieldTerm)
+{
+    IsingModel model(1);
+    model.setField(0, 2.0f);
+    EXPECT_DOUBLE_EQ(model.energy({1}), -2.0);
+    EXPECT_DOUBLE_EQ(model.energy({-1}), 2.0);
+}
+
+TEST(IsingModel, CouplingIsSymmetric)
+{
+    IsingModel model(3);
+    model.setCoupling(0, 2, -1.5f);
+    EXPECT_FLOAT_EQ(model.coupling(0, 2), -1.5f);
+    EXPECT_FLOAT_EQ(model.coupling(2, 0), -1.5f);
+}
+
+TEST(IsingModel, FlipDeltaMatchesEnergyDifference)
+{
+    Rng rng(1);
+    IsingModel model(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = i + 1; j < 6; ++j)
+            model.setCoupling(i, j,
+                              static_cast<float>(rng.gaussian(0, 1)));
+        model.setField(i, static_cast<float>(rng.gaussian(0, 0.5)));
+    }
+    SpinState s = IsingModel::randomState(6, rng);
+    for (std::size_t i = 0; i < 6; ++i) {
+        const double before = model.energy(s);
+        const double predicted = model.flipDelta(s, i);
+        SpinState flipped = s;
+        flipped[i] = -flipped[i];
+        EXPECT_NEAR(model.energy(flipped) - before, predicted, 1e-6) << i;
+    }
+}
+
+TEST(IsingModel, RandomStateIsPlusMinusOne)
+{
+    Rng rng(2);
+    const SpinState s = IsingModel::randomState(50, rng);
+    for (int x : s)
+        EXPECT_TRUE(x == 1 || x == -1);
+}
+
+TEST(SimulatedAnneal, FindsFerromagnetGroundState)
+{
+    Rng rng(3);
+    IsingModel model(10);
+    for (std::size_t i = 0; i < 10; ++i)
+        for (std::size_t j = i + 1; j < 10; ++j)
+            model.setCoupling(i, j, 1.0f);
+    const SpinState s = simulatedAnneal(model, 300, 5.0, 0.01, rng);
+    // Ground state: all spins aligned, E = -C(10,2) = -45.
+    EXPECT_NEAR(model.energy(s), -45.0, 1e-9);
+}
+
+TEST(SimulatedAnneal, SolvesSmallMaxCut)
+{
+    // Antiferromagnetic square: ground state is the 2-coloring.
+    Rng rng(4);
+    IsingModel model(4);
+    model.setCoupling(0, 1, -1.0f);
+    model.setCoupling(1, 2, -1.0f);
+    model.setCoupling(2, 3, -1.0f);
+    model.setCoupling(3, 0, -1.0f);
+    const SpinState s = simulatedAnneal(model, 200, 3.0, 0.01, rng);
+    EXPECT_NEAR(model.energy(s), -4.0, 1e-9);
+    EXPECT_NE(s[0], s[1]);
+    EXPECT_NE(s[1], s[2]);
+}
+
+TEST(Bipartite, CouplerCounts)
+{
+    // The Sec. 3.1 example: 784x200 bipartite vs all-to-all.
+    EXPECT_EQ(bipartiteCouplerCount(784, 200), 156800u);
+    EXPECT_EQ(allToAllCouplerCount(784, 200), 984u * 983u / 2);
+    const double ratio =
+        static_cast<double>(allToAllCouplerCount(784, 200)) /
+        static_cast<double>(bipartiteCouplerCount(784, 200));
+    EXPECT_NEAR(ratio, 3.08, 0.1);  // ~6x counting bidirectional pairs
+}
+
+TEST(Bipartite, EmbeddingEnergyMatchesRbm)
+{
+    // Property: E_rbm(v, h) == H_ising(sigma(v, h)) + offset for every
+    // configuration of a small model.
+    Rng rng(5);
+    ising::rbm::Rbm model(4, 3);
+    model.initRandom(rng, 0.7f);
+    for (std::size_t i = 0; i < 4; ++i)
+        model.visibleBias()[i] = static_cast<float>(rng.gaussian(0, 0.4));
+    for (std::size_t j = 0; j < 3; ++j)
+        model.hiddenBias()[j] = static_cast<float>(rng.gaussian(0, 0.4));
+
+    const RbmEmbedding emb = embedRbm(model);
+    ASSERT_EQ(emb.model.numNodes(), 7u);
+
+    for (std::size_t vIdx = 0; vIdx < 16; ++vIdx) {
+        for (std::size_t hIdx = 0; hIdx < 8; ++hIdx) {
+            float v[4], h[3];
+            ising::rbm::exact::decodeState(vIdx, 4, v);
+            ising::rbm::exact::decodeState(hIdx, 3, h);
+            ising::linalg::Vector vv(4), hh(3);
+            for (int i = 0; i < 4; ++i)
+                vv[i] = v[i];
+            for (int j = 0; j < 3; ++j)
+                hh[j] = h[j];
+            const SpinState s = bitsToSpins(vv, hh);
+            ASSERT_NEAR(model.energy(v, h),
+                        emb.model.energy(s) + emb.energyOffset, 1e-4)
+                << "v=" << vIdx << " h=" << hIdx;
+        }
+    }
+}
+
+TEST(Bipartite, NoIntraLayerCouplings)
+{
+    Rng rng(6);
+    ising::rbm::Rbm model(5, 4);
+    model.initRandom(rng, 0.5f);
+    const RbmEmbedding emb = embedRbm(model);
+    // visible-visible and hidden-hidden couplings must be zero.
+    for (std::size_t a = 0; a < 5; ++a)
+        for (std::size_t b = a + 1; b < 5; ++b)
+            EXPECT_EQ(emb.model.coupling(a, b), 0.0f);
+    for (std::size_t a = 0; a < 4; ++a)
+        for (std::size_t b = a + 1; b < 4; ++b)
+            EXPECT_EQ(emb.model.coupling(5 + a, 5 + b), 0.0f);
+}
+
+TEST(Bipartite, SpinsRoundTrip)
+{
+    ising::linalg::Vector v(3), h(2);
+    v[0] = 1;
+    v[2] = 1;
+    h[1] = 1;
+    const SpinState s = bitsToSpins(v, h);
+    BipartiteLayout layout{3, 2};
+    ising::linalg::Vector v2, h2;
+    spinsToBits(s, layout, v2, h2);
+    EXPECT_EQ(v, v2);
+    EXPECT_EQ(h, h2);
+}
+
+TEST(Bipartite, CouplingIsQuarterWeight)
+{
+    Rng rng(7);
+    ising::rbm::Rbm model(3, 2);
+    model.initRandom(rng, 1.0f);
+    const RbmEmbedding emb = embedRbm(model);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            EXPECT_NEAR(emb.model.coupling(i, 3 + j),
+                        model.weights()(i, j) * 0.25f, 1e-6);
+}

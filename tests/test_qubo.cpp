@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the QUBO mapping and max-cut helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ising/brim.hpp"
+#include "ising/qubo.hpp"
+
+using namespace ising::machine;
+using ising::util::Rng;
+
+namespace {
+
+Qubo
+randomQubo(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Qubo qubo;
+    qubo.q.reset(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        qubo.q(i, i) = static_cast<float>(rng.gaussian(0, 1));
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const float v = static_cast<float>(rng.gaussian(0, 1));
+            qubo.q(i, j) = v;
+            qubo.q(j, i) = v;
+        }
+    }
+    return qubo;
+}
+
+} // namespace
+
+TEST(Qubo, ValueMatchesDefinition)
+{
+    Qubo qubo;
+    qubo.q.reset(3, 3);
+    qubo.q(0, 0) = 1.0f;
+    qubo.q(1, 1) = -2.0f;
+    qubo.q(0, 1) = qubo.q(1, 0) = 3.0f;
+    EXPECT_DOUBLE_EQ(qubo.value({0, 0, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(qubo.value({1, 0, 0}), 1.0);
+    EXPECT_DOUBLE_EQ(qubo.value({1, 1, 0}), 1.0 - 2.0 + 3.0);
+}
+
+TEST(Qubo, IsingMappingPreservesObjective)
+{
+    // Property: qubo.value(b) == H(sigma(b)) + offset for every b.
+    const Qubo qubo = randomQubo(6, 1);
+    const QuboEmbedding emb = quboToIsing(qubo);
+    for (std::size_t mask = 0; mask < 64; ++mask) {
+        std::vector<int> bits(6);
+        SpinState s(6);
+        for (std::size_t i = 0; i < 6; ++i) {
+            bits[i] = (mask >> i) & 1;
+            s[i] = bits[i] ? 1 : -1;
+        }
+        ASSERT_NEAR(qubo.value(bits), emb.model.energy(s) + emb.offset,
+                    1e-4)
+            << "mask " << mask;
+    }
+}
+
+TEST(Qubo, SpinsRoundTripToBits)
+{
+    const SpinState s = {1, -1, -1, 1};
+    const auto bits = spinsToQuboBits(s);
+    EXPECT_EQ(bits, (std::vector<int>{1, 0, 0, 1}));
+}
+
+TEST(MaxCut, CutValueCountsCrossingEdges)
+{
+    WeightedGraph g;
+    g.numVertices = 4;
+    g.edges = {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 1.5}, {3, 0, 0.5}};
+    const SpinState s = {1, -1, 1, -1};  // alternating: every edge cut
+    EXPECT_DOUBLE_EQ(cutValue(g, s), 5.0);
+    const SpinState same = {1, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(cutValue(g, same), 0.0);
+}
+
+TEST(MaxCut, IsingGroundStateMaximizesCut)
+{
+    // For every spin assignment: cut = const - H/1 relation; verify
+    // the max-cut spin state minimizes the Ising energy.
+    Rng rng(2);
+    const WeightedGraph g = randomGraph(10, 0.5, rng);
+    const IsingModel model = maxCutToIsing(g);
+    double bestCut = -1.0, bestCutEnergy = 0.0;
+    double minEnergy = 1e300, minEnergyCut = 0.0;
+    SpinState s(10);
+    for (std::size_t mask = 0; mask < 1024; ++mask) {
+        for (std::size_t i = 0; i < 10; ++i)
+            s[i] = (mask >> i) & 1 ? 1 : -1;
+        const double cut = cutValue(g, s);
+        const double e = model.energy(s);
+        if (cut > bestCut) {
+            bestCut = cut;
+            bestCutEnergy = e;
+        }
+        if (e < minEnergy) {
+            minEnergy = e;
+            minEnergyCut = cut;
+        }
+    }
+    EXPECT_DOUBLE_EQ(minEnergyCut, bestCut);
+    EXPECT_DOUBLE_EQ(bestCutEnergy, minEnergy);
+}
+
+TEST(MaxCut, BruteForceOnKnownGraph)
+{
+    // A 4-cycle: max cut = 4 (alternating partition).
+    WeightedGraph g;
+    g.numVertices = 4;
+    g.edges = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}};
+    EXPECT_DOUBLE_EQ(bruteForceMaxCut(g), 4.0);
+    // A triangle: max cut = 2.
+    WeightedGraph tri;
+    tri.numVertices = 3;
+    tri.edges = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
+    EXPECT_DOUBLE_EQ(bruteForceMaxCut(tri), 2.0);
+}
+
+TEST(MaxCut, BrimFindsNearOptimalCut)
+{
+    // End-to-end: random graph -> Ising -> BRIM anneal -> cut within
+    // 90% of the brute-force optimum.
+    Rng rng(3);
+    const WeightedGraph g = randomGraph(14, 0.4, rng);
+    const double optimum = bruteForceMaxCut(g);
+    const IsingModel model = maxCutToIsing(g);
+
+    BrimConfig cfg;
+    cfg.dt = 0.02;
+    cfg.flipRateStart = 0.02;
+    BrimSimulator sim(model, cfg, rng);
+    double best = 0.0;
+    for (int restart = 0; restart < 5; ++restart) {
+        sim.randomizeState();
+        sim.anneal(2000);
+        sim.relax(1e-9, 3000);
+        best = std::max(best, cutValue(g, sim.spins()));
+    }
+    EXPECT_GE(best, 0.9 * optimum);
+}
+
+TEST(RandomGraph, EdgeProbabilityHonored)
+{
+    Rng rng(4);
+    const WeightedGraph g = randomGraph(60, 0.3, rng);
+    const double possible = 60.0 * 59.0 / 2.0;
+    EXPECT_NEAR(g.edges.size() / possible, 0.3, 0.04);
+    for (const auto &e : g.edges) {
+        EXPECT_LT(e.a, 60u);
+        EXPECT_LT(e.b, 60u);
+        EXPECT_NE(e.a, e.b);
+        EXPECT_DOUBLE_EQ(e.weight, 1.0);
+    }
+}

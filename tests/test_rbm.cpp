@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the RBM model primitives: energies, conditionals, free
+ * energy, and their mutual consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rbm/exact.hpp"
+#include "rbm/rbm.hpp"
+#include "util/math.hpp"
+
+using namespace ising::rbm;
+using ising::util::Rng;
+
+namespace {
+
+Rbm
+randomModel(std::size_t m, std::size_t n, std::uint64_t seed,
+            float scale = 0.5f)
+{
+    Rbm model(m, n);
+    Rng rng(seed);
+    model.initRandom(rng, scale);
+    for (std::size_t i = 0; i < m; ++i)
+        model.visibleBias()[i] = static_cast<float>(rng.gaussian(0, 0.3));
+    for (std::size_t j = 0; j < n; ++j)
+        model.hiddenBias()[j] = static_cast<float>(rng.gaussian(0, 0.3));
+    return model;
+}
+
+} // namespace
+
+TEST(Rbm, InitRandomStatistics)
+{
+    Rbm model(50, 40);
+    Rng rng(1);
+    model.initRandom(rng, 0.01f);
+    double mean = 0.0, var = 0.0;
+    const float *w = model.weights().data();
+    for (std::size_t i = 0; i < model.weights().size(); ++i)
+        mean += w[i];
+    mean /= model.weights().size();
+    for (std::size_t i = 0; i < model.weights().size(); ++i)
+        var += (w[i] - mean) * (w[i] - mean);
+    var /= model.weights().size();
+    EXPECT_NEAR(mean, 0.0, 0.001);
+    EXPECT_NEAR(std::sqrt(var), 0.01, 0.002);
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_EQ(model.visibleBias()[i], 0.0f);
+}
+
+TEST(Rbm, EnergyMatchesDefinition)
+{
+    const Rbm model = randomModel(4, 3, 2);
+    const float v[4] = {1, 0, 1, 1};
+    const float h[3] = {0, 1, 1};
+    double expected = 0.0;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            expected -= v[i] * model.weights()(i, j) * h[j];
+    for (std::size_t i = 0; i < 4; ++i)
+        expected -= model.visibleBias()[i] * v[i];
+    for (std::size_t j = 0; j < 3; ++j)
+        expected -= model.hiddenBias()[j] * h[j];
+    EXPECT_NEAR(model.energy(v, h), expected, 1e-5);
+}
+
+TEST(Rbm, FreeEnergyMarginalizesHidden)
+{
+    // F(v) must equal -log sum_h exp(-E(v, h)) by direct enumeration.
+    const Rbm model = randomModel(5, 3, 3);
+    const float v[5] = {1, 1, 0, 1, 0};
+    std::vector<double> negE;
+    for (std::size_t hIdx = 0; hIdx < 8; ++hIdx) {
+        float h[3];
+        exact::decodeState(hIdx, 3, h);
+        negE.push_back(-model.energy(v, h));
+    }
+    const double direct = -ising::util::logSumExp(negE);
+    EXPECT_NEAR(model.freeEnergy(v), direct, 1e-5);
+}
+
+TEST(Rbm, HiddenProbsMatchConditionalDefinition)
+{
+    const Rbm model = randomModel(6, 4, 4);
+    const float v[6] = {1, 0, 1, 0, 1, 1};
+    ising::linalg::Vector ph;
+    model.hiddenProbs(v, ph);
+    for (std::size_t j = 0; j < 4; ++j) {
+        double act = model.hiddenBias()[j];
+        for (std::size_t i = 0; i < 6; ++i)
+            act += v[i] * model.weights()(i, j);
+        EXPECT_NEAR(ph[j], ising::util::sigmoid(act), 1e-5);
+    }
+}
+
+TEST(Rbm, VisibleProbsMatchConditionalDefinition)
+{
+    const Rbm model = randomModel(5, 3, 5);
+    const float h[3] = {1, 0, 1};
+    ising::linalg::Vector pv;
+    model.visibleProbs(h, pv);
+    for (std::size_t i = 0; i < 5; ++i) {
+        double act = model.visibleBias()[i];
+        for (std::size_t j = 0; j < 3; ++j)
+            act += model.weights()(i, j) * h[j];
+        EXPECT_NEAR(pv[i], ising::util::sigmoid(act), 1e-5);
+    }
+}
+
+TEST(Rbm, ConditionalConsistentWithEnergyDelta)
+{
+    // P(h_j=1 | v, h_-j) = sigmoid(-dE) where dE = E(h_j=1) - E(h_j=0);
+    // for an RBM this is independent of h_-j.
+    const Rbm model = randomModel(4, 3, 6);
+    const float v[4] = {1, 1, 0, 1};
+    float h0[3] = {1, 0, 0};
+    float h1[3] = {1, 1, 0};
+    const double dE = model.energy(v, h1) - model.energy(v, h0);
+    ising::linalg::Vector ph;
+    model.hiddenProbs(v, ph);
+    EXPECT_NEAR(ph[1], ising::util::sigmoid(-dE), 1e-5);
+}
+
+TEST(Rbm, SampleBinaryRespectsProbabilities)
+{
+    Rng rng(7);
+    ising::linalg::Vector p(3);
+    p[0] = 0.0f;
+    p[1] = 1.0f;
+    p[2] = 0.5f;
+    int ones2 = 0;
+    ising::linalg::Vector s;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+        Rbm::sampleBinary(p, s, rng);
+        EXPECT_EQ(s[0], 0.0f);
+        EXPECT_EQ(s[1], 1.0f);
+        ones2 += s[2] > 0.5f;
+    }
+    EXPECT_NEAR(static_cast<double>(ones2) / trials, 0.5, 0.02);
+}
+
+TEST(Rbm, MeanFreeEnergyAveragesRows)
+{
+    const Rbm model = randomModel(4, 3, 8);
+    ising::linalg::Matrix samples(2, 4);
+    samples(0, 0) = 1;
+    samples(1, 2) = 1;
+    const double f0 = model.freeEnergy(samples.row(0));
+    const double f1 = model.freeEnergy(samples.row(1));
+    EXPECT_NEAR(model.meanFreeEnergy(samples), (f0 + f1) / 2.0, 1e-9);
+}
+
+TEST(Rbm, LowerEnergyMeansHigherProbability)
+{
+    const Rbm model = randomModel(6, 4, 9, 1.0f);
+    const double logZ = exact::logPartition(model);
+    const float a[6] = {1, 1, 1, 0, 0, 0};
+    const float b[6] = {0, 0, 0, 1, 1, 1};
+    const double fa = model.freeEnergy(a), fb = model.freeEnergy(b);
+    const double pa = exact::logProb(model, a, logZ);
+    const double pb = exact::logProb(model, b, logZ);
+    EXPECT_EQ(fa < fb, pa > pb);
+}
+
+/** Property sweep: free energy equals hidden marginalization across
+ *  random models of several shapes. */
+class FreeEnergySweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(FreeEnergySweep, MatchesEnumeration)
+{
+    const auto [m, n] = GetParam();
+    const Rbm model = randomModel(m, n, 100 + m + n, 0.8f);
+    Rng rng(55);
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<float> v(m);
+        for (auto &x : v)
+            x = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+        std::vector<double> negE;
+        for (std::size_t hIdx = 0; hIdx < (1u << n); ++hIdx) {
+            std::vector<float> h(n);
+            exact::decodeState(hIdx, n, h.data());
+            negE.push_back(-model.energy(v.data(), h.data()));
+        }
+        ASSERT_NEAR(model.freeEnergy(v.data()),
+                    -ising::util::logSumExp(negE), 1e-4);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FreeEnergySweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{3, 2},
+                      std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{12, 6},
+                      std::pair<std::size_t, std::size_t>{5, 10}));

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for util::Rng: determinism, distribution moments, bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+using ising::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(77);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(77);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformFloatInUnitInterval)
+{
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i) {
+        const float u = rng.uniformFloat();
+        ASSERT_GE(u, 0.0f);
+        ASSERT_LT(u, 1.0f);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(7);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 2.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 2.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, UniformIntOneAlwaysZero)
+{
+    Rng rng(10);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    const int n = 200000;
+    double mean = 0.0, m2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        mean += g;
+        m2 += g * g;
+    }
+    mean /= n;
+    m2 /= n;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(m2 - mean * mean, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShiftScale)
+{
+    Rng rng(12);
+    const int n = 100000;
+    double mean = 0.0;
+    for (int i = 0; i < n; ++i)
+        mean += rng.gaussian(3.0, 0.5);
+    EXPECT_NEAR(mean / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(13);
+    const int n = 100000;
+    int ones = 0;
+    for (int i = 0; i < n; ++i)
+        ones += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(14);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, SignBalanced)
+{
+    Rng rng(15);
+    int sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.sign();
+    EXPECT_LT(std::abs(sum), n / 50);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream)
+{
+    Rng parent(16);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += parent.next() == child.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(17);
+    std::vector<std::size_t> idx(100);
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    rng.shuffle(idx.data(), idx.size());
+    std::set<std::size_t> unique(idx.begin(), idx.end());
+    EXPECT_EQ(unique.size(), idx.size());
+    EXPECT_EQ(*unique.begin(), 0u);
+    EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(Rng, ShuffleActuallyMoves)
+{
+    Rng rng(18);
+    std::vector<std::size_t> idx(100);
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    rng.shuffle(idx.data(), idx.size());
+    int fixed = 0;
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        fixed += idx[i] == i;
+    EXPECT_LT(fixed, 15);
+}
+
+/** Chi-squared style sweep: uniformInt is unbiased for several n. */
+class RngUniformIntSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngUniformIntSweep, Unbiased)
+{
+    const std::uint64_t n = GetParam();
+    Rng rng(100 + n);
+    std::vector<int> counts(n, 0);
+    const int draws = 20000 * static_cast<int>(n);
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.uniformInt(n)];
+    const double expected = static_cast<double>(draws) / n;
+    for (std::uint64_t b = 0; b < n; ++b)
+        EXPECT_NEAR(counts[b] / expected, 1.0, 0.05)
+            << "bucket " << b << " of " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, RngUniformIntSweep,
+                         ::testing::Values(2, 3, 5, 10, 17));

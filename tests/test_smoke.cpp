@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Build smoke test: the library links and basic construction works.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rbm/rbm.hpp"
+
+TEST(Smoke, RbmConstructs)
+{
+    ising::rbm::Rbm model(8, 4);
+    EXPECT_EQ(model.numVisible(), 8u);
+    EXPECT_EQ(model.numHidden(), 4u);
+}

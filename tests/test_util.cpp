@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the CLI parser, logging levels and stopwatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace ising::util;
+
+namespace {
+
+/** Build a mutable argv from string literals. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : storage_(std::move(args))
+    {
+        for (auto &s : storage_)
+            ptrs_.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> storage_;
+    std::vector<char *> ptrs_;
+};
+
+} // namespace
+
+TEST(Cli, ParsesSpaceSeparatedValues)
+{
+    Argv a({"prog", "--name", "value", "--count", "7"});
+    CliArgs args(a.argc(), a.argv());
+    EXPECT_TRUE(args.has("name"));
+    EXPECT_EQ(args.get("name", ""), "value");
+    EXPECT_EQ(args.getInt("count", 0), 7);
+}
+
+TEST(Cli, ParsesEqualsSyntax)
+{
+    Argv a({"prog", "--rate=0.25", "--label=xyz"});
+    CliArgs args(a.argc(), a.argv());
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), 0.25);
+    EXPECT_EQ(args.get("label", ""), "xyz");
+}
+
+TEST(Cli, BooleanFlags)
+{
+    Argv a({"prog", "--verbose", "--fast=false", "--slow=1"});
+    CliArgs args(a.argc(), a.argv());
+    EXPECT_TRUE(args.getBool("verbose", false));
+    EXPECT_FALSE(args.getBool("fast", true));
+    EXPECT_TRUE(args.getBool("slow", false));
+    EXPECT_TRUE(args.getBool("absent", true));
+    EXPECT_FALSE(args.getBool("absent", false));
+}
+
+TEST(Cli, DefaultsWhenMissingOrMalformed)
+{
+    Argv a({"prog", "--count", "notanumber"});
+    CliArgs args(a.argc(), a.argv());
+    EXPECT_EQ(args.getInt("count", 42), 42);
+    EXPECT_EQ(args.getInt("missing", -1), -1);
+    EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(Cli, PositionalArgumentsPreserved)
+{
+    Argv a({"prog", "input.txt", "--flag", "v", "more.txt"});
+    CliArgs args(a.argc(), a.argv());
+    ASSERT_EQ(args.positional().size(), 3u);
+    EXPECT_EQ(args.positional()[0], "prog");
+    EXPECT_EQ(args.positional()[1], "input.txt");
+    EXPECT_EQ(args.positional()[2], "more.txt");
+}
+
+TEST(Cli, NegativeNumbersAsValues)
+{
+    Argv a({"prog", "--offset=-3"});
+    CliArgs args(a.argc(), a.argv());
+    EXPECT_EQ(args.getInt("offset", 0), -3);
+}
+
+TEST(Logging, LevelThresholding)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    // Messages below the threshold are simply dropped (no crash).
+    debug("dropped");
+    inform("dropped");
+    warn("shown (stderr)");
+    setLogLevel(saved);
+}
+
+TEST(Logging, StrcatJoinsArbitraryTypes)
+{
+    EXPECT_EQ(strcat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(strcat(), "");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime)
+{
+    Stopwatch sw;
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    const double s = sw.seconds();
+    EXPECT_GE(s, 0.010);
+    EXPECT_LT(s, 3.0);
+    EXPECT_NEAR(sw.milliseconds(), sw.seconds() * 1e3,
+                sw.seconds() * 50);
+}
+
+TEST(Stopwatch, ResetRestartsWindow)
+{
+    Stopwatch sw;
+    std::this_thread::sleep_for(std::chrono::milliseconds(12));
+    sw.reset();
+    EXPECT_LT(sw.seconds(), 0.010);
+}
