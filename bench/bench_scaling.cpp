@@ -14,8 +14,11 @@
 #include "accel/parallel_bgf.hpp"
 #include "bench_common.hpp"
 #include "data/registry.hpp"
+#include "exec/parallel_for.hpp"
 #include "hw/multichip.hpp"
+#include "linalg/ops.hpp"
 #include "rbm/ais.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace ising;
 using benchtool::fmt;
@@ -89,6 +92,45 @@ printParallelBgf(std::size_t numSamples, int epochs)
 }
 
 void
+printThreadScaling(std::size_t numSamples, int epochs)
+{
+    data::Dataset raw = data::makeBenchmarkData("MNIST", numSamples, 42);
+    const data::Dataset train = data::binarizeThreshold(raw);
+
+    auto run = [&](exec::ThreadPool &pool, double &seconds) {
+        util::Rng rng(29);
+        accel::ParallelBgfConfig cfg;
+        cfg.numReplicas = 4;
+        cfg.replica.learningRate = 0.1 / 50.0;
+        cfg.replica.annealSteps = 4;
+        cfg.pool = &pool;
+        accel::ParallelBgf fleet(train.dim(), 48, cfg, rng);
+        rbm::Rbm init(train.dim(), 48);
+        init.initRandom(rng);
+        fleet.initialize(init);
+        util::Stopwatch sw;
+        fleet.train(train, epochs);
+        seconds = sw.seconds();
+        return fleet.readOut();
+    };
+
+    exec::ThreadPool serial(1);
+    exec::ThreadPool threaded(4);
+    double serialSec = 0.0, threadedSec = 0.0;
+    const rbm::Rbm a = run(serial, serialSec);
+    const rbm::Rbm b = run(threaded, threadedSec);
+
+    benchtool::Table table({"pool", "epoch wall (s)", "speedup",
+                            "max |dW| vs serial"});
+    table.addRow({"1 worker", fmt(serialSec, 2), "1.00", "-"});
+    table.addRow({"4 workers", fmt(threadedSec, 2),
+                  fmt(serialSec / threadedSec, 2),
+                  fmtSci(linalg::maxAbsDiff(a.weights(), b.weights()))});
+    table.print("ParallelBgf serial vs threaded (4 replicas; identical "
+                "streams, so dW must be exactly 0)");
+}
+
+void
 BM_ParallelBgfEpoch(benchmark::State &state)
 {
     data::Dataset raw = data::makeBenchmarkData("MNIST", 200, 5);
@@ -113,10 +155,13 @@ int
 main(int argc, char **argv)
 {
     printMultiChip();
-    if (benchtool::fullScale(argc, argv))
+    if (benchtool::fullScale(argc, argv)) {
         printParallelBgf(4000, 8);
-    else
+        printThreadScaling(2000, 4);
+    } else {
         printParallelBgf(600, 4);
+        printThreadScaling(600, 2);
+    }
     benchtool::stripFlag(argc, argv, "--full");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

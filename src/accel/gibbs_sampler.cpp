@@ -12,7 +12,8 @@ namespace ising::accel {
 GibbsSamplerAccel::GibbsSamplerAccel(rbm::Rbm &model, const GsConfig &config,
                                      util::Rng &rng)
     : model_(model), config_(config), rng_(rng),
-      fabric_(model.numVisible(), model.numHidden(), config.analog, rng)
+      fabric_(model.numVisible(), model.numHidden(), config.analog, rng),
+      backend_(fabric_)
 {
     const std::size_t m = model.numVisible(), n = model.numHidden();
     dw_.reset(m, n);
@@ -38,12 +39,12 @@ GibbsSamplerAccel::trainBatch(const data::Dataset &train,
     dbv_.fill(0.0f);
     dbh_.fill(0.0f);
 
-    linalg::Vector v, hpos, vneg, hneg;
+    linalg::Vector v, hpos, vneg, hneg, pv, ph;
     for (const std::size_t idx : indices) {
         // Step 3: clamp the training sample through the DTCs.
         fabric_.clampVisible(train.sample(idx), v);
-        // Step 4: positive-phase hidden sample.
-        fabric_.sampleHidden(v, hpos, rng_);
+        // Step 4: positive-phase hidden sample (unified settle path).
+        backend_.sampleHidden(v, hpos, ph, rng_);
         ++counters_.fabricSweeps;
         counters_.bitsToHost += n;
 
@@ -63,7 +64,7 @@ GibbsSamplerAccel::trainBatch(const data::Dataset &train,
 
         // Step 5: free-running negative phase, k anneal sweeps.
         hneg = hpos;
-        fabric_.anneal(config_.k, vneg, hneg, rng_);
+        backend_.anneal(config_.k, vneg, hneg, pv, ph, rng_);
         counters_.fabricSweeps += 2 * static_cast<std::size_t>(config_.k);
         // Step 6: read out both layers.
         counters_.bitsToHost += m + n;

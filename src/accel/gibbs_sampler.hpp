@@ -27,6 +27,7 @@
 #define ISINGRBM_ACCEL_GIBBS_SAMPLER_HPP
 
 #include "data/dataset.hpp"
+#include "accel/fabric_backend.hpp"
 #include "ising/analog.hpp"
 #include "rbm/rbm.hpp"
 
@@ -74,12 +75,15 @@ class GibbsSamplerAccel
 
     const GsCounters &counters() const { return counters_; }
     const machine::AnalogFabric &fabric() const { return fabric_; }
+    /** The unified sampling surface the settle loop runs on. */
+    const rbm::SamplingBackend &backend() const { return backend_; }
 
   private:
     rbm::Rbm &model_;
     GsConfig config_;
     util::Rng &rng_;
     machine::AnalogFabric fabric_;
+    AnalogFabricBackend backend_;
     GsCounters counters_;
 
     // Host-side gradient accumulators.

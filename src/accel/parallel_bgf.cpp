@@ -8,6 +8,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "exec/parallel_for.hpp"
+
 namespace ising::accel {
 
 ParallelBgf::ParallelBgf(std::size_t numVisible, std::size_t numHidden,
@@ -15,10 +17,14 @@ ParallelBgf::ParallelBgf(std::size_t numVisible, std::size_t numHidden,
     : config_(config), rootRng_(rng)
 {
     const std::size_t r = std::max<std::size_t>(1, config.numReplicas);
+    // One draw fixes the fleet's root seed; every replica stream is a
+    // pure function of (rootSeed, replica index), so concurrent
+    // training reproduces run-to-run for any worker count.
+    const std::uint64_t fleetSeed = rng.next();
     rngs_.reserve(r);
     machines_.reserve(r);
     for (std::size_t i = 0; i < r; ++i) {
-        rngs_.push_back(rng.split());
+        rngs_.push_back(util::Rng::stream(fleetSeed, i));
         BgfConfig replicaCfg = config.replica;
         // Each replica is a distinct die: its own fabrication lottery.
         replicaCfg.analog.variationSeed =
@@ -43,11 +49,18 @@ ParallelBgf::train(const data::Dataset &train, int epochs)
     std::vector<std::size_t> order(train.size());
     std::iota(order.begin(), order.end(), 0);
 
+    exec::ThreadPool &pool =
+        config_.pool ? *config_.pool : exec::globalPool();
     for (int epoch = 0; epoch < epochs; ++epoch) {
         rootRng_.shuffle(order.data(), order.size());
-        // Deal samples round-robin into shards and stream each shard.
-        for (std::size_t i = 0; i < order.size(); ++i)
-            machines_[i % r]->trainSample(train.sample(order[i]));
+        // Deal samples round-robin into shards and stream the shards
+        // concurrently.  Replica m only touches machines_[m] and its
+        // own rng, and consumes the same sample sequence the serial
+        // round-robin did, so the result is schedule-independent.
+        exec::parallelFor(pool, r, [&](std::size_t m) {
+            for (std::size_t i = m; i < order.size(); i += r)
+                machines_[m]->trainSample(train.sample(order[i]));
+        });
         const bool lastEpoch = epoch + 1 == epochs;
         if (config_.syncEveryEpochs > 0 &&
             ((epoch + 1) % config_.syncEveryEpochs == 0 || lastEpoch))

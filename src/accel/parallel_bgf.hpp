@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "accel/bgf.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace ising::accel {
 
@@ -29,6 +30,13 @@ struct ParallelBgfConfig
      *  the very end). */
     int syncEveryEpochs = 1;
     BgfConfig replica;  ///< per-fabric configuration
+    /**
+     * Pool running the replica fabrics (borrowed; nullptr selects
+     * exec::globalPool()).  Results are bit-identical for any worker
+     * count: each replica trains on its own shard with its own
+     * index-derived RNG stream.
+     */
+    exec::ThreadPool *pool = nullptr;
 };
 
 /** A fleet of BGF fabrics with periodic model averaging. */
@@ -45,8 +53,9 @@ class ParallelBgf
 
     /**
      * Train for @p epochs: each epoch shards the (shuffled) dataset
-     * across replicas, streams each shard into its fabric, and syncs
-     * per the configuration.
+     * across replicas, streams every shard into its fabric
+     * concurrently on the configured pool, and syncs
+     * (readout -> average -> reprogram) per the configuration.
      */
     void train(const data::Dataset &train, int epochs);
 

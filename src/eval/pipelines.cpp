@@ -6,6 +6,7 @@
 #include "eval/pipelines.hpp"
 
 #include "accel/gibbs_sampler.hpp"
+#include "exec/parallel_for.hpp"
 #include "rbm/cd_trainer.hpp"
 
 namespace ising::eval {
@@ -112,11 +113,16 @@ featurize(const rbm::Rbm &model, const data::Dataset &ds)
     out.numClasses = ds.numClasses;
     out.labels = ds.labels;
     out.samples.reset(ds.size(), model.numHidden());
-    linalg::Vector ph;
-    for (std::size_t r = 0; r < ds.size(); ++r) {
-        model.hiddenProbs(ds.sample(r), ph);
-        std::copy(ph.begin(), ph.end(), out.samples.row(r));
-    }
+    // Rows are independent and deterministic (no sampling): fan them
+    // out across the pool with per-chunk scratch.
+    exec::parallelForChunks(ds.size(), [&](std::size_t begin,
+                                           std::size_t end) {
+        linalg::Vector ph;
+        for (std::size_t r = begin; r < end; ++r) {
+            model.hiddenProbs(ds.sample(r), ph);
+            std::copy(ph.begin(), ph.end(), out.samples.row(r));
+        }
+    });
     return out;
 }
 

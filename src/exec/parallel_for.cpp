@@ -1,0 +1,106 @@
+/**
+ * @file
+ * parallel_for implementation: static chunking + join latch.
+ */
+
+#include "exec/parallel_for.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace ising::exec {
+
+namespace {
+
+/** Join point shared by the chunks of one parallelFor call. */
+struct ForJoin
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+
+    void
+    finishChunk(std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (e && !error)
+            error = e;
+        if (--remaining == 0)
+            cv.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return remaining == 0; });
+        if (error)
+            std::rethrow_exception(error);
+    }
+};
+
+} // namespace
+
+void
+parallelForChunks(ThreadPool &pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const std::size_t workers = pool.numWorkers();
+    // Serial fast path; also taken for nested sections, where queueing
+    // chunks and blocking a worker on them could deadlock the pool.
+    if (workers <= 1 || n == 1 || ThreadPool::onWorkerThread()) {
+        fn(0, n);
+        return;
+    }
+
+    const std::size_t chunks = std::min(workers, n);
+    const std::size_t base = n / chunks, extra = n % chunks;
+    ForJoin join;
+    join.remaining = chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t end = begin + base + (c < extra ? 1 : 0);
+        pool.submit([&fn, &join, begin, end] {
+            std::exception_ptr error;
+            try {
+                fn(begin, end);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            join.finishChunk(error);
+        });
+        begin = end;
+    }
+    join.wait();
+}
+
+void
+parallelForChunks(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    parallelForChunks(globalPool(), n, fn);
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    parallelForChunks(pool, n,
+                      [&fn](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i)
+                              fn(i);
+                      });
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    parallelFor(globalPool(), n, fn);
+}
+
+} // namespace ising::exec

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic data-parallel loops on top of the thread pool.
+ *
+ * parallelFor() is the one primitive every layer shares: it splits an
+ * index range into contiguous chunks, runs the chunks on the pool, and
+ * joins before returning.  Determinism rules:
+ *
+ *  - work is partitioned by *index*, never by which worker is free, so
+ *    a given index always receives the same slice of work;
+ *  - randomness must come from per-index streams
+ *    (util::Rng::stream(rootSeed, index)), never from a shared
+ *    generator, so results are bit-identical for any worker count --
+ *    including 1 (the serial path);
+ *  - the first exception thrown by any chunk is captured and rethrown
+ *    on the calling thread after the join.
+ *
+ * Nested calls (a parallel section inside a pool worker) execute
+ * inline on the caller, which keeps the pool deadlock-free without a
+ * work-stealing scheduler.
+ */
+
+#ifndef ISINGRBM_EXEC_PARALLEL_FOR_HPP
+#define ISINGRBM_EXEC_PARALLEL_FOR_HPP
+
+#include <functional>
+
+#include "exec/thread_pool.hpp"
+
+namespace ising::exec {
+
+/**
+ * Run fn(i) for every i in [0, n) across the pool; blocks until all
+ * iterations finish.  fn must not touch shared mutable state without
+ * its own synchronization.
+ */
+void parallelFor(ThreadPool &pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/** parallelFor over the process-wide globalPool(). */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Chunked variant: fn(begin, end) is called once per contiguous chunk
+ * (at most one chunk per worker).  Prefer this when per-iteration
+ * dispatch cost matters or when the body keeps per-chunk scratch.
+ */
+void parallelForChunks(ThreadPool &pool, std::size_t n,
+                       const std::function<void(std::size_t begin,
+                                                std::size_t end)> &fn);
+
+/** Chunked variant over globalPool(). */
+void parallelForChunks(std::size_t n,
+                       const std::function<void(std::size_t begin,
+                                                std::size_t end)> &fn);
+
+} // namespace ising::exec
+
+#endif // ISINGRBM_EXEC_PARALLEL_FOR_HPP

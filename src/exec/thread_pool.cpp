@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Thread-pool implementation.
+ */
+
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace ising::exec {
+
+namespace {
+
+thread_local bool tlsOnWorker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t numWorkers)
+{
+    const std::size_t n =
+        numWorkers > 0 ? numWorkers : defaultWorkerCount();
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tlsOnWorker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsOnWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+std::size_t
+defaultWorkerCount()
+{
+    if (const char *env = std::getenv("ISINGRBM_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<std::size_t>(parsed);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool &
+globalPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace ising::exec

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-size worker pool for the library's data-parallel loops.
+ *
+ * Sec. 4.6 of the paper names training-set parallelism as the route to
+ * versatility; this subsystem is the host-side runtime that makes the
+ * independent-work loops (replica fabrics, Gibbs chains, sweep points)
+ * actually run concurrently.  The pool is deliberately minimal: a FIFO
+ * task queue drained by a fixed set of std::threads.  All higher-level
+ * structure (chunking, joining, determinism) lives in parallel_for.hpp.
+ */
+
+#ifndef ISINGRBM_EXEC_THREAD_POOL_HPP
+#define ISINGRBM_EXEC_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ising::exec {
+
+/**
+ * A fixed-size pool of worker threads draining a shared FIFO queue.
+ *
+ * Construction spawns the workers; destruction drains outstanding work
+ * and joins them.  submit() never blocks (the queue is unbounded).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param numWorkers worker-thread count; 0 selects
+     *        defaultWorkerCount().
+     */
+    explicit ThreadPool(std::size_t numWorkers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t numWorkers() const { return workers_.size(); }
+
+    /** Enqueue a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /**
+     * True when the calling thread is a worker of *any* ThreadPool.
+     * Used by parallelFor to run nested parallel sections inline
+     * instead of deadlocking on a saturated queue.
+     */
+    static bool onWorkerThread();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * Worker count used by default-constructed pools: the ISINGRBM_THREADS
+ * environment variable when set (>= 1), otherwise the hardware thread
+ * count, never less than 1.
+ */
+std::size_t defaultWorkerCount();
+
+/**
+ * The process-wide pool shared by all library-internal parallel loops.
+ * Constructed lazily on first use with defaultWorkerCount() workers.
+ */
+ThreadPool &globalPool();
+
+} // namespace ising::exec
+
+#endif // ISINGRBM_EXEC_THREAD_POOL_HPP

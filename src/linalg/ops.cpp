@@ -12,6 +12,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/math.hpp"
+
 namespace ising::linalg {
 
 void
@@ -63,6 +65,50 @@ rank1Update(Matrix &w, float alpha, const Vector &v, const Vector &h)
         float *wrow = w.row(i);
         for (std::size_t j = 0; j < n; ++j)
             wrow[j] += av * hd[j];
+    }
+}
+
+void
+affineSigmoid(const Matrix &x, const float *in, const Vector &b,
+              Vector &out)
+{
+    const std::size_t p = x.rows(), q = x.cols();
+    assert(b.size() == q);
+    out.resize(q);
+    float *yd = out.data();
+    for (std::size_t j = 0; j < q; ++j)
+        yd[j] = b[j];
+    // Rows are accumulated contiguously into y (which stays cache
+    // resident); zero inputs -- roughly half of any binary state --
+    // skip their row entirely.
+    for (std::size_t i = 0; i < p; ++i) {
+        const float xi = in[i];
+        if (xi == 0.0f)
+            continue;
+        const float *xrow = x.row(i);
+        for (std::size_t j = 0; j < q; ++j)
+            yd[j] += xi * xrow[j];
+    }
+    for (std::size_t j = 0; j < q; ++j)
+        yd[j] = util::sigmoidf(yd[j]);
+}
+
+void
+transposeInto(const Matrix &src, Matrix &dst)
+{
+    const std::size_t m = src.rows(), n = src.cols();
+    dst.reset(n, m);
+    constexpr std::size_t kBlock = 32;
+    for (std::size_t ib = 0; ib < m; ib += kBlock) {
+        const std::size_t iEnd = std::min(m, ib + kBlock);
+        for (std::size_t jb = 0; jb < n; jb += kBlock) {
+            const std::size_t jEnd = std::min(n, jb + kBlock);
+            for (std::size_t i = ib; i < iEnd; ++i) {
+                const float *srow = src.row(i);
+                for (std::size_t j = jb; j < jEnd; ++j)
+                    dst(j, i) = srow[j];
+            }
+        }
     }
 }
 

@@ -35,6 +35,22 @@ void gemv(const Matrix &w, const Vector &h, const Vector &b, Vector &y);
 /** W += alpha * v h^T (rank-1 update on an (m x n) matrix). */
 void rank1Update(Matrix &w, float alpha, const Vector &v, const Vector &h);
 
+/**
+ * out = sigmoid(b + X^T x) where X is (p x q), x length p, out/b
+ * length q.
+ *
+ * The one conditional-mean product both Gibbs half-sweeps share: pass
+ * W with a visible state to get P(h|v), or the cached transpose W^T
+ * with a hidden state to get P(v|h).  Rows accumulate contiguously
+ * into the output and zero inputs are skipped, which on binary states
+ * removes roughly half the work.
+ */
+void affineSigmoid(const Matrix &x, const float *in, const Vector &b,
+                   Vector &out);
+
+/** dst = src^T with a cache-blocked traversal (reuses dst storage). */
+void transposeInto(const Matrix &src, Matrix &dst);
+
 /** C = A * B with (p x q) * (q x r) blocked triple loop. */
 void gemm(const Matrix &a, const Matrix &b, Matrix &c);
 

@@ -5,9 +5,12 @@
 
 #include "rbm/cd_trainer.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "exec/parallel_for.hpp"
 #include "linalg/ops.hpp"
+#include "rbm/sampling_backend.hpp"
 
 namespace ising::rbm {
 
@@ -46,64 +49,92 @@ CdTrainer::trainBatch(const data::Dataset &train,
     ensureParticles(train);
 
     const std::size_t m = model_.numVisible(), n = model_.numHidden();
+    const std::size_t batch = indices.size();
+    exec::ThreadPool &pool =
+        config_.pool ? *config_.pool : exec::globalPool();
+
+    // One serial draw roots every stream this batch uses; positions get
+    // streams [0, batch) and PCD particles [batch, batch + p), so the
+    // chains reproduce bit-for-bit regardless of worker count.
+    const std::uint64_t batchSeed = rng_.next();
+
+    hstat_.resize(batch);
+    vnegs_.resize(batch);
+    hnegs_.resize(batch);
+
+    // All chains this batch run on the unified sampling surface; the
+    // model is frozen until the update below, so one cached-transpose
+    // backend serves every worker.  CD-k is ill-defined below one
+    // sweep (the negative sample would not exist), hence the clamp.
+    const SoftwareGibbsBackend backend(model_);
+    const int k = std::max(1, config_.k);
+
+    // --- Positive phase (Algorithm 1 lines 9-10), one independent
+    // chain per batch position; CD-k also runs the sample-rooted
+    // negative chain (lines 11-15) right here.
+    exec::parallelFor(pool, batch, [&](std::size_t pos) {
+        util::Rng rng = util::Rng::stream(batchSeed, pos);
+        linalg::Vector ph, hpos, pv;
+        const float *vpos = train.sample(indices[pos]);
+        model_.hiddenProbs(vpos, ph);
+        Rbm::sampleBinary(ph, hpos, rng);
+        hstat_[pos] = config_.sampleHiddenMeans ? ph : hpos;
+        if (!config_.persistent) {
+            linalg::Vector hneg = hpos;
+            backend.anneal(k, vnegs_[pos], hneg, pv, ph, rng);
+            hnegs_[pos] = hneg;
+        }
+    });
+
+    // --- PCD negative phase: positions are dealt round-robin to the
+    // persistent particles and each particle advances its own chain
+    // over its positions in order, so chain continuity is preserved
+    // while distinct particles run concurrently.
+    if (config_.persistent) {
+        const std::size_t p = particles_.size();
+        const std::size_t base = nextParticle_;
+        exec::parallelFor(pool, std::min(p, batch), [&](std::size_t pi) {
+            util::Rng rng = util::Rng::stream(batchSeed, batch + pi);
+            const std::size_t particle = (base + pi) % p;
+            linalg::Vector ph, pv;
+            linalg::Vector hneg = particles_[particle];
+            for (std::size_t pos = pi; pos < batch; pos += p) {
+                backend.anneal(k, vnegs_[pos], hneg, pv, ph, rng);
+                hnegs_[pos] = hneg;
+            }
+            particles_[particle] = hneg;
+        });
+        nextParticle_ = (base + batch) % p;
+    }
+
+    // --- Reduce <v+ h+> - <v- h-> into the accumulators.  Rows of W
+    // (and dbv) are disjoint across chunks and each row sums positions
+    // in ascending order: deterministic for any worker count.
     dw_.fill(0.0f);
     dbv_.fill(0.0f);
     dbh_.fill(0.0f);
-
-    linalg::Vector ph, hpos, vneg, hneg, pv;
-    for (const std::size_t idx : indices) {
-        // --- Positive phase (Algorithm 1 lines 9-10) ---
-        const float *vpos = train.sample(idx);
-        model_.hiddenProbs(vpos, ph);
-        Rbm::sampleBinary(ph, hpos, rng_);
-        const linalg::Vector &hstat =
-            config_.sampleHiddenMeans ? ph : hpos;
-        // Accumulate <v+ h+>
-        for (std::size_t i = 0; i < m; ++i) {
-            const float vi = vpos[i];
-            if (vi == 0.0f)
-                continue;
-            float *drow = dw_.row(i);
-            const float *hd = hstat.data();
-            for (std::size_t j = 0; j < n; ++j)
-                drow[j] += vi * hd[j];
+    exec::parallelForChunks(pool, m, [&](std::size_t rowBegin,
+                                         std::size_t rowEnd) {
+        for (std::size_t pos = 0; pos < batch; ++pos) {
+            const float *vpos = train.sample(indices[pos]);
+            const float *hp = hstat_[pos].data();
+            const float *hn = hnegs_[pos].data();
+            const linalg::Vector &vneg = vnegs_[pos];
+            for (std::size_t i = rowBegin; i < rowEnd; ++i) {
+                dbv_[i] += vpos[i] - vneg[i];
+                float *drow = dw_.row(i);
+                if (vpos[i] != 0.0f)
+                    for (std::size_t j = 0; j < n; ++j)
+                        drow[j] += vpos[i] * hp[j];
+                if (vneg[i] != 0.0f)
+                    for (std::size_t j = 0; j < n; ++j)
+                        drow[j] -= vneg[i] * hn[j];
+            }
         }
-        for (std::size_t i = 0; i < m; ++i)
-            dbv_[i] += vpos[i];
+    });
+    for (std::size_t pos = 0; pos < batch; ++pos)
         for (std::size_t j = 0; j < n; ++j)
-            dbh_[j] += hstat[j];
-
-        // --- Negative phase (lines 11-15) ---
-        if (config_.persistent) {
-            hneg = particles_[nextParticle_];
-        } else {
-            hneg = hpos;
-        }
-        for (int s = 0; s < config_.k; ++s) {
-            model_.visibleProbs(hneg.data(), pv);
-            Rbm::sampleBinary(pv, vneg, rng_);
-            model_.hiddenProbs(vneg.data(), ph);
-            Rbm::sampleBinary(ph, hneg, rng_);
-        }
-        if (config_.persistent) {
-            particles_[nextParticle_] = hneg;
-            nextParticle_ = (nextParticle_ + 1) % particles_.size();
-        }
-        // Accumulate -<v- h->
-        for (std::size_t i = 0; i < m; ++i) {
-            const float vi = vneg[i];
-            if (vi == 0.0f)
-                continue;
-            float *drow = dw_.row(i);
-            const float *hd = hneg.data();
-            for (std::size_t j = 0; j < n; ++j)
-                drow[j] -= vi * hd[j];
-        }
-        for (std::size_t i = 0; i < m; ++i)
-            dbv_[i] -= vneg[i];
-        for (std::size_t j = 0; j < n; ++j)
-            dbh_[j] -= hneg[j];
-    }
+            dbh_[j] += hstat_[pos][j] - hnegs_[pos][j];
 
     // --- Parameter update (lines 17-19) ---
     const float scale = static_cast<float>(

@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "data/dataset.hpp"
+#include "exec/thread_pool.hpp"
 #include "rbm/gibbs.hpp"
 #include "rbm/rbm.hpp"
 
@@ -33,6 +34,12 @@ struct CdConfig
     bool sampleHiddenMeans = false; ///< use P(h|v) instead of samples in
                                     ///< the positive statistics (common
                                     ///< variance-reduction practice)
+    /**
+     * Pool running the batch's Gibbs chains (borrowed; nullptr selects
+     * exec::globalPool()).  Every chain draws from an index-derived
+     * stream, so training is reproducible for any worker count.
+     */
+    exec::ThreadPool *pool = nullptr;
 };
 
 /** Minibatch CD-k / PCD trainer. */
@@ -77,6 +84,8 @@ class CdTrainer
     // Momentum buffers.
     linalg::Matrix mw_;
     linalg::Vector mbv_, mbh_;
+    // Per-position batch scratch (chain outputs awaiting reduction).
+    std::vector<linalg::Vector> hstat_, vnegs_, hnegs_;
     // PCD particles: persistent hidden states.
     std::vector<linalg::Vector> particles_;
     std::size_t nextParticle_ = 0;

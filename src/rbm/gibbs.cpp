@@ -11,34 +11,56 @@
 namespace ising::rbm {
 
 GibbsChain::GibbsChain(const Rbm &model, util::Rng &rng)
-    : model_(model), rng_(rng)
+    : owned_(std::make_unique<SoftwareGibbsBackend>(model)),
+      backend_(owned_.get()), rng_(rng)
 {
-    v_.resize(model.numVisible());
-    for (std::size_t i = 0; i < v_.size(); ++i)
-        v_[i] = rng_.bernoulli(0.5) ? 1.0f : 0.0f;
+    initRandomVisible();
     upSweep();
 }
 
 GibbsChain::GibbsChain(const Rbm &model, const float *v0, util::Rng &rng)
-    : model_(model), rng_(rng)
+    : owned_(std::make_unique<SoftwareGibbsBackend>(model)),
+      backend_(owned_.get()), rng_(rng)
 {
-    v_.resize(model.numVisible());
+    v_.resize(backend_->numVisible());
+    std::copy_n(v0, v_.size(), v_.data());
+    upSweep();
+}
+
+GibbsChain::GibbsChain(const SamplingBackend &backend, util::Rng &rng)
+    : backend_(&backend), rng_(rng)
+{
+    initRandomVisible();
+    upSweep();
+}
+
+GibbsChain::GibbsChain(const SamplingBackend &backend, const float *v0,
+                       util::Rng &rng)
+    : backend_(&backend), rng_(rng)
+{
+    v_.resize(backend_->numVisible());
     std::copy_n(v0, v_.size(), v_.data());
     upSweep();
 }
 
 void
+GibbsChain::initRandomVisible()
+{
+    v_.resize(backend_->numVisible());
+    for (std::size_t i = 0; i < v_.size(); ++i)
+        v_[i] = rng_.bernoulli(0.5) ? 1.0f : 0.0f;
+}
+
+void
 GibbsChain::upSweep()
 {
-    model_.hiddenProbs(v_.data(), ph_);
-    Rbm::sampleBinary(ph_, h_, rng_);
+    backend_->sampleHidden(v_, h_, ph_, rng_);
 }
 
 void
 GibbsChain::downSweep()
 {
-    model_.visibleProbs(h_.data(), pv_);
-    Rbm::sampleBinary(pv_, v_, rng_);
+    backend_->sampleVisible(h_, v_, pv_, rng_);
 }
 
 void
@@ -60,7 +82,7 @@ GibbsChain::reset(const float *v0)
 void
 GibbsChain::setHidden(const linalg::Vector &h)
 {
-    assert(h.size() == model_.numHidden());
+    assert(h.size() == backend_->numHidden());
     h_ = h;
 }
 

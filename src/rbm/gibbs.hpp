@@ -5,13 +5,18 @@
  * One "step" alternates h|v and v|h exactly as lines 13-14 of the
  * paper's Algorithm 1.  Chains are the software analogue of the Ising
  * substrate's free-running anneal and are reused by CD-k, PCD, AIS and
- * the ground-truth comparisons.
+ * the ground-truth comparisons.  The conditionals are evaluated by a
+ * SamplingBackend, so the same chain can run on exact software math or
+ * on the noisy analog fabric.
  */
 
 #ifndef ISINGRBM_RBM_GIBBS_HPP
 #define ISINGRBM_RBM_GIBBS_HPP
 
+#include <memory>
+
 #include "rbm/rbm.hpp"
+#include "rbm/sampling_backend.hpp"
 
 namespace ising::rbm {
 
@@ -19,11 +24,21 @@ namespace ising::rbm {
 class GibbsChain
 {
   public:
-    /** Start from a random binary visible state. */
+    /** Start from a random binary visible state (software backend). */
     GibbsChain(const Rbm &model, util::Rng &rng);
 
-    /** Start from a given visible state. */
+    /** Start from a given visible state (software backend). */
     GibbsChain(const Rbm &model, const float *v0, util::Rng &rng);
+
+    /**
+     * Start from a random binary visible state on an explicit backend
+     * (borrowed; must outlive the chain).
+     */
+    GibbsChain(const SamplingBackend &backend, util::Rng &rng);
+
+    /** Start from a given visible state on an explicit backend. */
+    GibbsChain(const SamplingBackend &backend, const float *v0,
+               util::Rng &rng);
 
     /**
      * Run k full v->h->v sweeps.  After the call, visible()/hidden()
@@ -49,8 +64,13 @@ class GibbsChain
     /** Sample h from the current visible state (one half-step). */
     void upSweep();
 
+    const SamplingBackend &backend() const { return *backend_; }
+
   private:
-    const Rbm &model_;
+    void initRandomVisible();
+
+    std::unique_ptr<SoftwareGibbsBackend> owned_;  ///< model ctors only
+    const SamplingBackend *backend_;
     util::Rng &rng_;
     linalg::Vector v_, h_, pv_, ph_;
 };

@@ -30,21 +30,7 @@ Rbm::initRandom(util::Rng &rng, float stddev)
 void
 Rbm::hiddenProbs(const float *v, linalg::Vector &ph) const
 {
-    const std::size_t m = numVisible(), n = numHidden();
-    ph.resize(n);
-    for (std::size_t j = 0; j < n; ++j)
-        ph[j] = bh_[j];
-    for (std::size_t i = 0; i < m; ++i) {
-        const float vi = v[i];
-        if (vi == 0.0f)
-            continue;
-        const float *wrow = w_.row(i);
-        float *pd = ph.data();
-        for (std::size_t j = 0; j < n; ++j)
-            pd[j] += vi * wrow[j];
-    }
-    for (std::size_t j = 0; j < n; ++j)
-        ph[j] = util::sigmoidf(ph[j]);
+    linalg::affineSigmoid(w_, v, bh_, ph);
 }
 
 void

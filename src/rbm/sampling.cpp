@@ -7,28 +7,80 @@
 
 #include <cassert>
 
+#include "exec/parallel_for.hpp"
 #include "rbm/gibbs.hpp"
 
 namespace ising::rbm {
 
 data::Dataset
-fantasySamples(const Rbm &model, std::size_t count, int burnIn,
-               util::Rng &rng, const data::Dataset *init)
+fantasySamples(const SamplingBackend &backend, std::size_t count,
+               int burnIn, util::Rng &rng, const data::Dataset *init)
 {
     data::Dataset out;
     out.name = "fantasy";
-    out.samples.reset(count, model.numVisible());
-    for (std::size_t s = 0; s < count; ++s) {
+    out.samples.reset(count, backend.numVisible());
+    // One serial draw roots the per-chain streams (and the choice of
+    // starting rows), keeping results independent of worker count.
+    const std::uint64_t chainSeed = rng.next();
+    exec::parallelFor(count, [&](std::size_t s) {
+        util::Rng chainRng = util::Rng::stream(chainSeed, s);
         GibbsChain chain =
             init && init->size() > 0
-                ? GibbsChain(model,
-                             init->sample(rng.uniformInt(init->size())),
-                             rng)
-                : GibbsChain(model, rng);
+                ? GibbsChain(backend,
+                             init->sample(
+                                 chainRng.uniformInt(init->size())),
+                             chainRng)
+                : GibbsChain(backend, chainRng);
         chain.step(burnIn);
         const linalg::Vector &pv = chain.visibleProbs();
         std::copy(pv.begin(), pv.end(), out.samples.row(s));
-    }
+    });
+    return out;
+}
+
+data::Dataset
+fantasySamples(const Rbm &model, std::size_t count, int burnIn,
+               util::Rng &rng, const data::Dataset *init)
+{
+    const SoftwareGibbsBackend backend(model);
+    return fantasySamples(backend, count, burnIn, rng, init);
+}
+
+data::Dataset
+conditionalSamples(const SamplingBackend &backend,
+                   const std::vector<float> &clampMask, std::size_t count,
+                   int burnIn, util::Rng &rng)
+{
+    assert(clampMask.size() == backend.numVisible());
+    data::Dataset out;
+    out.name = "conditional";
+    out.samples.reset(count, backend.numVisible());
+
+    const std::uint64_t chainSeed = rng.next();
+    exec::parallelFor(count, [&](std::size_t s) {
+        util::Rng chainRng = util::Rng::stream(chainSeed, s);
+        linalg::Vector v(backend.numVisible()), h, ph, pv;
+        // Initialize: clamped entries fixed, the rest random.
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v[i] = clampMask[i] >= 0.0f
+                ? clampMask[i]
+                : (chainRng.bernoulli(0.5) ? 1.0f : 0.0f);
+        for (int step = 0; step < burnIn; ++step) {
+            backend.sampleHidden(v, h, ph, chainRng);
+            backend.sampleVisible(h, v, pv, chainRng);
+            // Re-apply the clamp after the free resample.
+            for (std::size_t i = 0; i < v.size(); ++i)
+                if (clampMask[i] >= 0.0f)
+                    v[i] = clampMask[i];
+        }
+        // Report mean-field probabilities with clamps re-applied.
+        // With burnIn <= 0 no sweep ran and pv is empty: report the
+        // initialized state instead.
+        const linalg::Vector &report = pv.empty() ? v : pv;
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out.samples(s, i) =
+                clampMask[i] >= 0.0f ? clampMask[i] : report[i];
+    });
     return out;
 }
 
@@ -36,35 +88,8 @@ data::Dataset
 conditionalSamples(const Rbm &model, const std::vector<float> &clampMask,
                    std::size_t count, int burnIn, util::Rng &rng)
 {
-    assert(clampMask.size() == model.numVisible());
-    data::Dataset out;
-    out.name = "conditional";
-    out.samples.reset(count, model.numVisible());
-
-    linalg::Vector v(model.numVisible()), h, ph, pv;
-    for (std::size_t s = 0; s < count; ++s) {
-        // Initialize: clamped entries fixed, the rest random.
-        for (std::size_t i = 0; i < v.size(); ++i)
-            v[i] = clampMask[i] >= 0.0f
-                ? clampMask[i]
-                : (rng.bernoulli(0.5) ? 1.0f : 0.0f);
-        for (int step = 0; step < burnIn; ++step) {
-            model.hiddenProbs(v.data(), ph);
-            Rbm::sampleBinary(ph, h, rng);
-            model.visibleProbs(h.data(), pv);
-            for (std::size_t i = 0; i < v.size(); ++i) {
-                if (clampMask[i] >= 0.0f)
-                    v[i] = clampMask[i];
-                else
-                    v[i] = rng.uniformFloat() < pv[i] ? 1.0f : 0.0f;
-            }
-        }
-        // Report mean-field probabilities with clamps re-applied.
-        for (std::size_t i = 0; i < v.size(); ++i)
-            out.samples(s, i) =
-                clampMask[i] >= 0.0f ? clampMask[i] : pv[i];
-    }
-    return out;
+    const SoftwareGibbsBackend backend(model);
+    return conditionalSamples(backend, clampMask, count, burnIn, rng);
 }
 
 std::string

@@ -3,6 +3,10 @@
  * Model-sampling utilities: fantasy particles from a trained RBM and
  * a console renderer for glyph-shaped visible vectors.  Used by the
  * generate_samples example and by diagnostics.
+ *
+ * Every sampler runs on a SamplingBackend, so the same call draws from
+ * exact software chains or from the noisy analog fabric; the Rbm
+ * overloads are software-backend conveniences.
  */
 
 #ifndef ISINGRBM_RBM_SAMPLING_HPP
@@ -13,17 +17,26 @@
 
 #include "data/dataset.hpp"
 #include "rbm/rbm.hpp"
+#include "rbm/sampling_backend.hpp"
 
 namespace ising::rbm {
 
 /**
- * Draw @p count fantasy samples from the model: independent chains run
- * for @p burnIn full Gibbs sweeps.  Chains start from rows of @p init
- * when provided (the standard recipe -- random-noise starts tend to
- * fall into the model's blank mode on sparse image data), otherwise
- * from uniform noise.  Returns the final visible *probabilities*
- * (mean-field last step), one row per sample.
+ * Draw @p count fantasy samples: independent chains run for @p burnIn
+ * full Gibbs sweeps on the given backend, fanned out across the worker
+ * pool with per-chain RNG streams (reproducible for any worker count).
+ * Chains start from rows of @p init when provided (the standard recipe
+ * -- random-noise starts tend to fall into the model's blank mode on
+ * sparse image data), otherwise from uniform noise.  Returns the final
+ * visible *probabilities* (mean-field last step; backends that only
+ * latch bits report the binary sample), one row per sample.
  */
+data::Dataset fantasySamples(const SamplingBackend &backend,
+                             std::size_t count, int burnIn,
+                             util::Rng &rng,
+                             const data::Dataset *init = nullptr);
+
+/** Software-backend convenience overload. */
 data::Dataset fantasySamples(const Rbm &model, std::size_t count,
                              int burnIn, util::Rng &rng,
                              const data::Dataset *init = nullptr);
@@ -31,8 +44,15 @@ data::Dataset fantasySamples(const Rbm &model, std::size_t count,
 /**
  * Draw samples conditioned on a clamp mask: entries of @p clampMask
  * that are >= 0 are held at that value while the rest of the visible
- * layer is resampled (in-painting).
+ * layer is resampled (in-painting).  Chains fan out like
+ * fantasySamples.
  */
+data::Dataset conditionalSamples(const SamplingBackend &backend,
+                                 const std::vector<float> &clampMask,
+                                 std::size_t count, int burnIn,
+                                 util::Rng &rng);
+
+/** Software-backend convenience overload. */
 data::Dataset conditionalSamples(const Rbm &model,
                                  const std::vector<float> &clampMask,
                                  std::size_t count, int burnIn,

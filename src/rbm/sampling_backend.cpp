@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SamplingBackend default behavior and the software backend.
+ */
+
+#include "rbm/sampling_backend.hpp"
+
+#include <cassert>
+
+#include "linalg/ops.hpp"
+
+namespace ising::rbm {
+
+void
+SamplingBackend::anneal(int steps, linalg::Vector &v, linalg::Vector &h,
+                        linalg::Vector &pv, linalg::Vector &ph,
+                        util::Rng &rng) const
+{
+    for (int s = 0; s < steps; ++s) {
+        sampleVisible(h, v, pv, rng);
+        sampleHidden(v, h, ph, rng);
+    }
+}
+
+SoftwareGibbsBackend::SoftwareGibbsBackend(const Rbm &model)
+    : model_(&model)
+{
+    linalg::transposeInto(model.weights(), wT_);
+}
+
+void
+SoftwareGibbsBackend::setModel(const Rbm &model)
+{
+    model_ = &model;
+    linalg::transposeInto(model.weights(), wT_);
+}
+
+void
+SoftwareGibbsBackend::sampleHidden(const linalg::Vector &v,
+                                   linalg::Vector &h, linalg::Vector &ph,
+                                   util::Rng &rng) const
+{
+    assert(v.size() == numVisible());
+    linalg::affineSigmoid(model_->weights(), v.data(),
+                          model_->hiddenBias(), ph);
+    Rbm::sampleBinary(ph, h, rng);
+}
+
+void
+SoftwareGibbsBackend::sampleVisible(const linalg::Vector &h,
+                                    linalg::Vector &v, linalg::Vector &pv,
+                                    util::Rng &rng) const
+{
+    assert(h.size() == numHidden());
+    linalg::affineSigmoid(wT_, h.data(), model_->visibleBias(), pv);
+    Rbm::sampleBinary(pv, v, rng);
+}
+
+} // namespace ising::rbm

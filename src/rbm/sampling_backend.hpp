@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unified conditional-sampling interface over an RBM energy landscape.
+ *
+ * The repo previously carried three divergent copies of the block-Gibbs
+ * half-sweeps: the software chain (rbm/gibbs.cpp), the clamped
+ * resampling loop (rbm/sampling.cpp) and the fabric settle loop inside
+ * the GS accelerator.  All of them are the same two operations --
+ * latch h given v, latch v given h -- differing only in *what*
+ * evaluates the conditional: exact sigmoid math or the noisy analog
+ * substrate.  SamplingBackend captures exactly that surface, so every
+ * chain, sampler and app can swap exact software sampling for
+ * noisy-fabric sampling via configuration instead of bespoke code
+ * (SoftwareGibbsBackend here; accel::AnalogFabricBackend for the
+ * substrate).
+ */
+
+#ifndef ISINGRBM_RBM_SAMPLING_BACKEND_HPP
+#define ISINGRBM_RBM_SAMPLING_BACKEND_HPP
+
+#include "rbm/rbm.hpp"
+
+namespace ising::rbm {
+
+/** One conditional-sampling engine: the two Gibbs half-sweeps. */
+class SamplingBackend
+{
+  public:
+    virtual ~SamplingBackend() = default;
+
+    virtual std::size_t numVisible() const = 0;
+    virtual std::size_t numHidden() const = 0;
+
+    /** Human-readable backend tag for logs and tables. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Latch a binary hidden sample h given visible levels v.  @p ph
+     * receives the per-unit means the backend sampled from; backends
+     * whose physics only expose latched bits (the analog fabric)
+     * report the sample itself.
+     */
+    virtual void sampleHidden(const linalg::Vector &v, linalg::Vector &h,
+                              linalg::Vector &ph,
+                              util::Rng &rng) const = 0;
+
+    /** Mirror half-sweep: latch visible sample v given hidden bits h. */
+    virtual void sampleVisible(const linalg::Vector &h, linalg::Vector &v,
+                               linalg::Vector &pv,
+                               util::Rng &rng) const = 0;
+
+    /**
+     * Free-running evolution: @p steps alternating v|h -> h|v sweeps
+     * from the current hidden state -- the negative-phase random walk
+     * of CD, PCD, GS and BGF alike.  The default implementation is the
+     * alternating loop every current backend uses.
+     */
+    virtual void anneal(int steps, linalg::Vector &v, linalg::Vector &h,
+                        linalg::Vector &pv, linalg::Vector &ph,
+                        util::Rng &rng) const;
+};
+
+/**
+ * Exact software sampling: conditionals evaluated in float math via
+ * the blocked linalg kernels.
+ *
+ * The visible half-sweep runs off a transpose of W cached at
+ * construction/setModel() time, so both directions traverse contiguous
+ * rows and skip zero entries of the (binary) input state.  Re-run
+ * setModel() after mutating the model's weights.
+ */
+class SoftwareGibbsBackend final : public SamplingBackend
+{
+  public:
+    /** @param model sampled model (borrowed; must outlive the backend) */
+    explicit SoftwareGibbsBackend(const Rbm &model);
+
+    /** Re-point at a model and refresh the cached transpose. */
+    void setModel(const Rbm &model);
+
+    std::size_t numVisible() const override { return model_->numVisible(); }
+    std::size_t numHidden() const override { return model_->numHidden(); }
+    const char *name() const override { return "software"; }
+
+    void sampleHidden(const linalg::Vector &v, linalg::Vector &h,
+                      linalg::Vector &ph, util::Rng &rng) const override;
+    void sampleVisible(const linalg::Vector &h, linalg::Vector &v,
+                       linalg::Vector &pv, util::Rng &rng) const override;
+
+  private:
+    const Rbm *model_;
+    linalg::Matrix wT_;  ///< cached transpose for the visible sweep
+};
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_SAMPLING_BACKEND_HPP

@@ -137,6 +137,17 @@ Rng::split()
     return Rng(s);
 }
 
+Rng
+Rng::stream(std::uint64_t rootSeed, std::uint64_t streamIndex)
+{
+    // Two chained splitmix64 finalizers decorrelate neighbouring
+    // stream indices; the child seed is then expanded the usual way.
+    std::uint64_t s = rootSeed;
+    std::uint64_t mixed = splitmix64(s) ^ rotl(streamIndex, 17);
+    std::uint64_t t = mixed + streamIndex;
+    return Rng(splitmix64(t));
+}
+
 void
 Rng::shuffle(std::size_t *idx, std::size_t n)
 {

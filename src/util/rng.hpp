@@ -73,9 +73,19 @@ class Rng
      * Derive an independent child generator.
      *
      * Used to hand each parallel chain / particle its own stream without
-     * correlation between streams.
+     * correlation between streams.  Consumes state, so the order of
+     * split() calls matters; for schedule-independent streams under
+     * concurrency use stream() instead.
      */
     Rng split();
+
+    /**
+     * Deterministic stream derivation: the generator for
+     * (rootSeed, streamIndex) is a pure function of its arguments.
+     * Parallel loops hand stream i to work item i, making results
+     * reproducible for any worker count or execution order.
+     */
+    static Rng stream(std::uint64_t rootSeed, std::uint64_t streamIndex);
 
     /** Fisher-Yates shuffle of an index buffer. */
     void shuffle(std::size_t *idx, std::size_t n);
