@@ -153,4 +153,61 @@ stripFlag(int &argc, char **argv, const std::string &flag)
     argc = out;
 }
 
+std::string
+flagValue(int &argc, char **argv, const std::string &flag)
+{
+    std::string value;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i]) {
+            // Only consume a value that is not itself a flag; a
+            // trailing or value-less occurrence is stripped with a
+            // warning instead of eating the next option.
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                value = argv[i + 1];
+                ++i;
+            } else {
+                std::fprintf(stderr, "warning: %s needs a value\n",
+                             flag.c_str());
+            }
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return value;
+}
+
+bool
+writeBenchJson(const std::string &path, const std::string &bench,
+               const std::vector<JsonRecord> &records)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return false;
+    }
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    };
+    os << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        char value[64];
+        std::snprintf(value, sizeof(value), "%.6g", records[i].value);
+        os << "    {\"name\": \"" << escape(records[i].name)
+           << "\", \"value\": " << value << ", \"unit\": \""
+           << escape(records[i].unit) << "\"}"
+           << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return true;
+}
+
 } // namespace benchtool

@@ -55,6 +55,29 @@ bool fullScale(int argc, char **argv);
 /** Strip --full from argv so google-benchmark does not reject it. */
 void stripFlag(int &argc, char **argv, const std::string &flag);
 
+/**
+ * Extract the value of a "--flag value" pair from argv, stripping
+ * both tokens (so google-benchmark does not reject them).  Returns
+ * the empty string when the flag is absent.
+ */
+std::string flagValue(int &argc, char **argv, const std::string &flag);
+
+/** One machine-readable measurement for the perf trajectory. */
+struct JsonRecord
+{
+    std::string name;  ///< e.g. "free_sampling/784x500/batched_packed"
+    double value;      ///< measured quantity
+    std::string unit;  ///< "ns/op", "s", "x", ...
+};
+
+/**
+ * Write records to @p path as {"bench": ..., "results": [{"name":
+ * ..., "value": ..., "unit": ...}, ...]}.  Returns false (after a
+ * warning on stderr) when the file cannot be written.
+ */
+bool writeBenchJson(const std::string &path, const std::string &bench,
+                    const std::vector<JsonRecord> &records);
+
 } // namespace benchtool
 
 #endif // ISINGRBM_BENCH_COMMON_HPP

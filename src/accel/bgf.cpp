@@ -25,7 +25,8 @@ BoltzmannGradientFollower::BoltzmannGradientFollower(
     util::Rng &rng)
     : config_(config), rng_(rng),
       fabric_(numVisible, numHidden,
-              withPumpStep(config.analog, config.learningRate), rng)
+              withPumpStep(config.analog, config.learningRate), rng),
+      backend_(fabric_)
 {
     particles_.resize(std::max<std::size_t>(1, config_.numParticles));
 }
@@ -59,8 +60,11 @@ BoltzmannGradientFollower::trainSample(const float *data)
     counters_.bitsToDevice += fabric_.numVisible();
 
     // Step 3: clamp, settle the hidden units; <v h>_{s+} increments W.
-    linalg::Vector hpos;
-    fabric_.sampleHidden(v, hpos, rng_);
+    // Sweeps run on the unified sampling surface (the same one chains
+    // and batched samplers drive), so the fabric path and the software
+    // path stay swappable all the way into the accelerators.
+    linalg::Vector hpos, phScratch;
+    backend_.sampleHidden(v, hpos, phScratch, rng_);
     ++counters_.fabricSweeps;
     if (config_.midStepUpdates) {
         fabric_.pumpUpdate(v, hpos, +1, rng_);
@@ -76,8 +80,9 @@ BoltzmannGradientFollower::trainSample(const float *data)
         particlesReady_ = true;
     }
     linalg::Vector hneg = particles_[nextParticle_];
-    linalg::Vector vneg;
-    fabric_.anneal(config_.annealSteps, vneg, hneg, rng_);
+    linalg::Vector vneg, pvScratch;
+    backend_.anneal(config_.annealSteps, vneg, hneg, pvScratch,
+                    phScratch, rng_);
     counters_.fabricSweeps += 2 * static_cast<std::size_t>(
         config_.annealSteps);
 

@@ -26,6 +26,7 @@
 #ifndef ISINGRBM_ACCEL_BGF_HPP
 #define ISINGRBM_ACCEL_BGF_HPP
 
+#include "accel/fabric_backend.hpp"
 #include "data/dataset.hpp"
 #include "ising/analog.hpp"
 #include "rbm/rbm.hpp"
@@ -98,11 +99,14 @@ class BoltzmannGradientFollower
     const BgfCounters &counters() const { return counters_; }
     const BgfConfig &config() const { return config_; }
     const machine::AnalogFabric &fabric() const { return fabric_; }
+    /** The unified sampling surface the settle sweeps run on. */
+    const rbm::SamplingBackend &backend() const { return backend_; }
 
   private:
     BgfConfig config_;
     util::Rng &rng_;
     machine::AnalogFabric fabric_;
+    AnalogFabricBackend backend_;  ///< borrows fabric_; declared after it
     BgfCounters counters_;
     std::vector<linalg::Vector> particles_; ///< persistent hidden states
     std::size_t nextParticle_ = 0;

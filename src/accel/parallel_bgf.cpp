@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "exec/parallel_for.hpp"
+#include "linalg/ops.hpp"
 
 namespace ising::accel {
 
@@ -78,23 +79,15 @@ ParallelBgf::synchronize()
     rbm::Rbm mean = machines_[0]->readOut();
     for (std::size_t i = 1; i < machines_.size(); ++i) {
         const rbm::Rbm other = machines_[i]->readOut();
-        float *md = mean.weights().data();
-        const float *od = other.weights().data();
-        for (std::size_t k = 0; k < mean.weights().size(); ++k)
-            md[k] += od[k];
-        for (std::size_t v = 0; v < mean.numVisible(); ++v)
-            mean.visibleBias()[v] += other.visibleBias()[v];
-        for (std::size_t h = 0; h < mean.numHidden(); ++h)
-            mean.hiddenBias()[h] += other.hiddenBias()[h];
+        linalg::axpy(1.0f, other.weights(), mean.weights());
+        linalg::axpy(1.0f, other.visibleBias(), mean.visibleBias());
+        linalg::axpy(1.0f, other.hiddenBias(), mean.hiddenBias());
     }
     const float inv = 1.0f / static_cast<float>(machines_.size());
-    float *md = mean.weights().data();
-    for (std::size_t k = 0; k < mean.weights().size(); ++k)
-        md[k] *= inv;
-    for (std::size_t v = 0; v < mean.numVisible(); ++v)
-        mean.visibleBias()[v] *= inv;
-    for (std::size_t h = 0; h < mean.numHidden(); ++h)
-        mean.hiddenBias()[h] *= inv;
+    const auto scale = [inv](float x) { return x * inv; };
+    linalg::apply(mean.weights(), scale);
+    linalg::apply(mean.visibleBias(), scale);
+    linalg::apply(mean.hiddenBias(), scale);
     for (auto &machine : machines_)
         machine->reprogram(mean);  // particles survive the sync
 }

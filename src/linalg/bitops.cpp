@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Packed kernel implementations.
+ *
+ * The inner loops add contiguous weight rows into a contiguous
+ * accumulator, which GCC vectorizes; set-bit iteration is branchless
+ * via countr_zero over the packed words.
+ */
+
+#include "linalg/bitops.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "util/math.hpp"
+
+namespace ising::linalg {
+
+namespace {
+
+/**
+ * Column block held in an on-stack accumulator across row adds.  The
+ * accumulate loops are latency-bound on the add chain per output
+ * lane, so the accumulator must live in vector registers rather than
+ * round-tripping through the output row every add; 128 floats rotate
+ * the chain across eight 512-bit registers (or spill to a hot stack
+ * slab on narrower ISAs, which measures as a wash).
+ */
+constexpr std::size_t kColBlock = 128;
+
+/**
+ * Input units per tile (whole words).  Together with kColBlock this
+ * sizes the W tile a batch sweep reuses across chains at ~32 KB, so
+ * the row adds stream from L1 instead of re-reading W per chain.
+ */
+constexpr std::size_t kWordBlock = 1;
+
+/**
+ * acc[0..colLen) += w rows of the set bits in words [wordBegin,
+ * wordEnd), ascending, over columns [colBegin, colBegin + colLen).
+ * Callers pass colLen == kColBlock for full blocks so the loop
+ * unrolls over the whole accumulator.
+ */
+inline void
+addMaskedRowsAcc(const Matrix &w, const std::uint64_t *words,
+                 std::size_t wordBegin, std::size_t wordEnd,
+                 float *__restrict acc, std::size_t colBegin,
+                 std::size_t colLen)
+{
+    for (std::size_t wi = wordBegin; wi < wordEnd; ++wi) {
+        std::uint64_t word = words[wi];
+        const std::size_t base = wi * 64;
+        while (word) {
+            const std::size_t i =
+                base + static_cast<std::size_t>(std::countr_zero(word));
+            word &= word - 1;  // clear lowest set bit: ascending order
+            const float *__restrict wrow = w.row(i) + colBegin;
+            for (std::size_t j = 0; j < colLen; ++j)
+                acc[j] += wrow[j];
+        }
+    }
+}
+
+/**
+ * act rows [rowBegin, rowEnd) x columns [colBegin, colEnd) += masked
+ * row sums of w, tiled (column block x word block x chains) so the W
+ * tile stays cache-hot across every chain and the accumulator slice
+ * stays in registers across every row add.  Addition order per
+ * (chain, column) is ascending input unit regardless of tile sizes.
+ */
+void
+addMaskedRowsTiled(const Matrix &w, const BitMatrix &in, Matrix &act,
+                   std::size_t rowBegin, std::size_t rowEnd,
+                   std::size_t colBegin, std::size_t colEnd)
+{
+    const std::size_t words = bitWords(w.rows());
+    for (std::size_t jb = colBegin; jb < colEnd; jb += kColBlock) {
+        const std::size_t jl = std::min(colEnd, jb + kColBlock) - jb;
+        for (std::size_t wb = 0; wb < words; wb += kWordBlock) {
+            const std::size_t we = std::min(words, wb + kWordBlock);
+            for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+                float acc[kColBlock];
+                std::copy_n(act.row(r) + jb, jl, acc);
+                if (jl == kColBlock)
+                    addMaskedRowsAcc(w, in.row(r), wb, we, acc, jb,
+                                     kColBlock);
+                else
+                    addMaskedRowsAcc(w, in.row(r), wb, we, acc, jb, jl);
+                std::copy_n(acc, jl, act.row(r) + jb);
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::size_t
+BitVector::countOnes() const
+{
+    std::size_t acc = 0;
+    for (const std::uint64_t word : words_)
+        acc += static_cast<std::size_t>(std::popcount(word));
+    return acc;
+}
+
+bool
+isBinary01(const float *x, std::size_t n)
+{
+    // Accumulate the predicate instead of early-exiting: the scan
+    // vectorizes and never mispredicts on the (usual) all-binary case.
+    int bad = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        bad |= static_cast<int>(x[i] != 0.0f) &
+               static_cast<int>(x[i] != 1.0f);
+    return bad == 0;
+}
+
+bool
+isBinary01(const Matrix &m)
+{
+    return isBinary01(m.data(), m.size());
+}
+
+void
+accumulateRowsMasked(const Matrix &w, const BitVector &bits,
+                     const Vector &b, Vector &act)
+{
+    const std::size_t p = w.rows(), q = w.cols();
+    assert(bits.size() == p && b.size() == q);
+    act.resize(q);
+    std::copy(b.data(), b.data() + q, act.data());
+    // Column-blocked so the accumulator slice lives in registers for
+    // the whole row walk (same latency argument as the batched tile).
+    const std::size_t words = bitWords(p);
+    for (std::size_t jb = 0; jb < q; jb += kColBlock) {
+        const std::size_t jl = std::min(q, jb + kColBlock) - jb;
+        float acc[kColBlock];
+        std::copy_n(act.data() + jb, jl, acc);
+        if (jl == kColBlock)
+            addMaskedRowsAcc(w, bits.data(), 0, words, acc, jb,
+                             kColBlock);
+        else
+            addMaskedRowsAcc(w, bits.data(), 0, words, acc, jb, jl);
+        std::copy_n(acc, jl, act.data() + jb);
+    }
+}
+
+void
+affineSigmoidBernoulli(const Matrix &w, const BitVector &in,
+                       const Vector &b, BitVector &out, Vector &means,
+                       util::Rng &rng)
+{
+    const std::size_t q = w.cols();
+    accumulateRowsMasked(w, in, b, means);
+    out.resize(q);
+    std::uint64_t *ow = out.data();
+    float *md = means.data();
+    for (std::size_t j = 0; j < q; ++j) {
+        const float pj = util::sigmoidf(md[j]);
+        md[j] = pj;
+        // Branchless latch: the comparison outcome is a coin flip, so
+        // a conditional store would mispredict half the time.
+        ow[j >> 6] |=
+            static_cast<std::uint64_t>(rng.uniformFloat() < pj)
+            << (j & 63);
+    }
+}
+
+void
+accumulateBatchTile(const Matrix &w, const BitMatrix &in, const Vector &b,
+                    Matrix &act, std::size_t rowBegin, std::size_t rowEnd,
+                    std::size_t colBegin, std::size_t colEnd)
+{
+    assert(in.cols() == w.rows() && b.size() == w.cols());
+    assert(act.rows() == in.rows() && act.cols() == w.cols());
+    assert(rowEnd <= in.rows() && colEnd <= w.cols());
+
+    for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+        float *arow = act.row(r);
+        for (std::size_t j = colBegin; j < colEnd; ++j)
+            arow[j] = b[j];
+    }
+    addMaskedRowsTiled(w, in, act, rowBegin, rowEnd, colBegin, colEnd);
+}
+
+void
+sampleBatchRow(Matrix &act, std::size_t r, BitMatrix &out, util::Rng &rng)
+{
+    const std::size_t q = act.cols();
+    assert(out.rows() == act.rows() && out.cols() == q);
+    float *arow = act.row(r);
+    std::uint64_t *ow = out.row(r);
+    std::fill(ow, ow + out.wordsPerRow(), 0);
+    for (std::size_t j = 0; j < q; ++j) {
+        const float pj = util::sigmoidf(arow[j]);
+        arow[j] = pj;
+        ow[j >> 6] |=
+            static_cast<std::uint64_t>(rng.uniformFloat() < pj)
+            << (j & 63);
+    }
+}
+
+void
+sampleBatch(const Matrix &w, const BitMatrix &in, const Vector &b,
+            BitMatrix &out, Matrix &means, util::Rng *rngs)
+{
+    const std::size_t batch = in.rows(), q = w.cols();
+    means.reset(batch, q);
+    out.reset(batch, q);
+    accumulateBatchTile(w, in, b, means, 0, batch, 0, q);
+    for (std::size_t r = 0; r < batch; ++r)
+        sampleBatchRow(means, r, out, rngs[r]);
+}
+
+void
+packTransposed(const Matrix &src, BitMatrix &dst)
+{
+    const std::size_t rows = src.rows(), cols = src.cols();
+    dst.reset(cols, rows);
+    for (std::size_t c = 0; c < cols; ++c) {
+        std::uint64_t *drow = dst.row(c);
+        for (std::size_t r = 0; r < rows; ++r)
+            drow[r >> 6] |=
+                static_cast<std::uint64_t>(src(r, c) != 0.0f)
+                << (r & 63);
+    }
+}
+
+namespace {
+
+/** outerCountDiff inner sweep with a compile-time word count. */
+template <std::size_t W>
+void
+outerCountDiffFixed(const BitMatrix &a, const BitMatrix &b,
+                    const BitMatrix &c, const BitMatrix &d, Matrix &out,
+                    std::size_t rowBegin, std::size_t rowEnd)
+{
+    const std::size_t n = out.cols();
+    for (std::size_t i = rowBegin; i < rowEnd; ++i) {
+        const std::uint64_t *ai = a.row(i);
+        const std::uint64_t *ci = c.row(i);
+        const std::uint64_t *bj = b.row(0);
+        const std::uint64_t *dj = d.row(0);
+        float *orow = out.row(i);
+        for (std::size_t j = 0; j < n; ++j, bj += W, dj += W) {
+            int count = 0;
+            for (std::size_t w = 0; w < W; ++w)
+                count += std::popcount(ai[w] & bj[w]) -
+                         std::popcount(ci[w] & dj[w]);
+            orow[j] = static_cast<float>(count);
+        }
+    }
+}
+
+/** Runtime-word-count fallback for outerCountDiff. */
+void
+outerCountDiffAny(const BitMatrix &a, const BitMatrix &b,
+                  const BitMatrix &c, const BitMatrix &d, Matrix &out,
+                  std::size_t rowBegin, std::size_t rowEnd,
+                  std::size_t words)
+{
+    const std::size_t n = out.cols();
+    for (std::size_t i = rowBegin; i < rowEnd; ++i) {
+        const std::uint64_t *ai = a.row(i);
+        const std::uint64_t *ci = c.row(i);
+        float *orow = out.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::uint64_t *bj = b.row(j);
+            const std::uint64_t *dj = d.row(j);
+            int count = 0;
+            for (std::size_t w = 0; w < words; ++w)
+                count += std::popcount(ai[w] & bj[w]) -
+                         std::popcount(ci[w] & dj[w]);
+            orow[j] = static_cast<float>(count);
+        }
+    }
+}
+
+} // namespace
+
+void
+outerCountDiff(const BitMatrix &a, const BitMatrix &b, const BitMatrix &c,
+               const BitMatrix &d, Matrix &out, std::size_t rowBegin,
+               std::size_t rowEnd)
+{
+    const std::size_t n = out.cols(), words = a.wordsPerRow();
+    assert(a.rows() == out.rows() && c.rows() == out.rows());
+    assert(b.rows() == n && d.rows() == n);
+    assert(b.wordsPerRow() == words && c.wordsPerRow() == words &&
+           d.wordsPerRow() == words);
+    assert(rowEnd <= out.rows());
+    (void)n;
+    // Common batch sizes resolve to fixed-trip inner loops (batch of
+    // up to 512 positions = 1..8 words).
+    switch (words) {
+    case 1:
+        return outerCountDiffFixed<1>(a, b, c, d, out, rowBegin, rowEnd);
+    case 2:
+        return outerCountDiffFixed<2>(a, b, c, d, out, rowBegin, rowEnd);
+    case 4:
+        return outerCountDiffFixed<4>(a, b, c, d, out, rowBegin, rowEnd);
+    case 8:
+        return outerCountDiffFixed<8>(a, b, c, d, out, rowBegin, rowEnd);
+    default:
+        return outerCountDiffAny(a, b, c, d, out, rowBegin, rowEnd,
+                                 words);
+    }
+}
+
+void
+rowCounts(const BitMatrix &m, float *counts)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const std::uint64_t *row = m.row(r);
+        std::size_t acc = 0;
+        for (std::size_t w = 0; w < m.wordsPerRow(); ++w)
+            acc += static_cast<std::size_t>(std::popcount(row[w]));
+        counts[r] = static_cast<float>(acc);
+    }
+}
+
+} // namespace ising::linalg

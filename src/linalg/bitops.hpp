@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Packed sampling kernels over bit-packed binary states.
+ *
+ * These are the Gibbs hot-path kernels: where the float kernels
+ * multiply-accumulate every weight entry (skipping zeros with a
+ * branch), the packed kernels iterate the *set* input units with
+ * count-trailing-zeros and add whole weight rows, and the batched
+ * variant walks W once per minibatch instead of once per chain.
+ *
+ * Reproducibility contract (bit-for-bit with the float path):
+ *
+ *  - the pre-activation for output unit j is bias[j] plus the weight
+ *    rows of the set input units added in ascending input-unit order
+ *    -- the exact float addition sequence linalg::affineSigmoid
+ *    performs on a binary input (1.0f * w == w exactly in IEEE);
+ *  - the conditional mean is util::sigmoidf of that pre-activation;
+ *  - sampling consumes exactly one rng.uniformFloat() per output unit
+ *    in ascending unit order and latches bit j iff the draw is below
+ *    the mean -- the exact sequence of Rbm::sampleBinary.
+ *
+ * Any chain built from these kernels therefore reproduces the float
+ * chain bit-for-bit when both run the same per-chain RNG stream.
+ */
+
+#ifndef ISINGRBM_LINALG_BITOPS_HPP
+#define ISINGRBM_LINALG_BITOPS_HPP
+
+#include "linalg/bits.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ising::linalg {
+
+/** True when every entry is exactly 0.0f or 1.0f (packable). */
+bool isBinary01(const float *x, std::size_t n);
+bool isBinary01(const Matrix &m);
+
+/**
+ * act = b + sum of w rows whose input bit is set, in ascending
+ * input-unit order.  w is (p x q), bits holds p packed inputs, b/act
+ * length q.  This replaces the float multiply-accumulate of
+ * affineSigmoid with conditional row adds over packed words.
+ */
+void accumulateRowsMasked(const Matrix &w, const BitVector &bits,
+                          const Vector &b, Vector &act);
+
+/**
+ * Fused packed half-sweep: act = b + masked row sum, means =
+ * sigmoid(act), out bit j = (uniformFloat() < means[j]).  Consumes one
+ * draw per output unit in ascending order (see the file contract).
+ */
+void affineSigmoidBernoulli(const Matrix &w, const BitVector &in,
+                            const Vector &b, BitVector &out,
+                            Vector &means, util::Rng &rng);
+
+/**
+ * Batched pre-activation tile: for every chain r in [rowBegin,
+ * rowEnd), act(r, j) = b[j] + masked row sum of w over columns
+ * [colBegin, colEnd).  The traversal is cache-tiled over blocks of
+ * input units so a W block is reused across all chains in the tile;
+ * per (chain, j) the addition order is still ascending input unit,
+ * preserving the reproducibility contract.  act must be pre-sized
+ * (in.rows() x w.cols()); only the addressed tile is written.
+ */
+void accumulateBatchTile(const Matrix &w, const BitMatrix &in,
+                         const Vector &b, Matrix &act,
+                         std::size_t rowBegin, std::size_t rowEnd,
+                         std::size_t colBegin, std::size_t colEnd);
+
+/**
+ * Sampling stage of a batched half-sweep for one chain row: replace
+ * act(r, .) in place with sigmoid means and latch packed bits using
+ * rng (one draw per unit, ascending).
+ */
+void sampleBatchRow(Matrix &act, std::size_t r, BitMatrix &out,
+                    util::Rng &rng);
+
+/**
+ * Whole-minibatch packed half-sweep: out/means row r is the sampled
+ * state / conditional means of chain r given input row r, with rngs[r]
+ * driving chain r.  Serial reference composition of the tile and
+ * row-sampling kernels; callers that want threading split the tiles
+ * across a pool themselves (see SoftwareGibbsBackend).
+ */
+void sampleBatch(const Matrix &w, const BitMatrix &in, const Vector &b,
+                 BitMatrix &out, Matrix &means, util::Rng *rngs);
+
+/**
+ * Pack src transposed: dst row c holds bit r iff src(r, c) != 0, so a
+ * (batch x units) float state matrix becomes per-unit bit columns
+ * along the batch axis.  Feeds the popcount gradient reduce.
+ */
+void packTransposed(const Matrix &src, BitMatrix &dst);
+
+/**
+ * Batched binary outer-product difference: out(i, j) = |{k : a_i[k] &
+ * b_j[k]}| - |{k : c_i[k] & d_j[k]}| for rows i in [rowBegin, rowEnd).
+ *
+ * This is the CD gradient reduce dW = V+^T H+ - V-^T H- when every
+ * state is binary: each entry is an AND-popcount over the batch axis,
+ * and because all partial sums are small integers the result is
+ * *exactly* the float-accumulated value, independent of any summation
+ * order.  a/c have out.rows() rows, b/d out.cols() rows, all with the
+ * same (batch) bit count.
+ */
+void outerCountDiff(const BitMatrix &a, const BitMatrix &b,
+                    const BitMatrix &c, const BitMatrix &d, Matrix &out,
+                    std::size_t rowBegin, std::size_t rowEnd);
+
+/** Set bits per row: counts[r] = popcount(m row r). */
+void rowCounts(const BitMatrix &m, float *counts);
+
+} // namespace ising::linalg
+
+#endif // ISINGRBM_LINALG_BITOPS_HPP

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Bit-packed binary state containers.
+ *
+ * Gibbs chains over Bernoulli RBMs only ever hold {0,1} states, yet
+ * the float containers spend 32 bits per unit and force the kernels to
+ * test every entry against zero.  BitVector/BitMatrix pack one unit
+ * per bit into uint64 words (32x smaller, cache-resident for every
+ * model size the paper uses) so the packed kernels in bitops.hpp can
+ * iterate set units with count-trailing-zeros instead of branching on
+ * floats.
+ *
+ * Packing convention: unit i lives in word i/64 at bit i%64; a float
+ * entry packs to 1 iff it is nonzero (binary states are exactly 0.0f
+ * or 1.0f, so this matches the float kernels' zero-skip test).  Rows
+ * of a BitMatrix are padded to a whole word, and the pad bits are kept
+ * zero so whole-word iteration needs no tail masking.
+ */
+
+#ifndef ISINGRBM_LINALG_BITS_HPP
+#define ISINGRBM_LINALG_BITS_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ising::linalg {
+
+/** Words needed to hold @p bits bits. */
+inline std::size_t
+bitWords(std::size_t bits)
+{
+    return (bits + 63) / 64;
+}
+
+/** One packed binary state vector. */
+class BitVector
+{
+  public:
+    BitVector() = default;
+    explicit BitVector(std::size_t n) { resize(n); }
+
+    std::size_t size() const { return bits_; }
+    std::size_t words() const { return words_.size(); }
+
+    std::uint64_t *data() { return words_.data(); }
+    const std::uint64_t *data() const { return words_.data(); }
+
+    /** Resize to n bits, clearing all of them. */
+    void
+    resize(std::size_t n)
+    {
+        bits_ = n;
+        words_.assign(bitWords(n), 0);
+    }
+
+    void
+    clear()
+    {
+        std::fill(words_.begin(), words_.end(), 0);
+    }
+
+    bool
+    test(std::size_t i) const
+    {
+        assert(i < bits_);
+        return (words_[i >> 6] >> (i & 63)) & 1u;
+    }
+
+    void
+    set(std::size_t i, bool value)
+    {
+        assert(i < bits_);
+        const std::uint64_t mask = 1ull << (i & 63);
+        if (value)
+            words_[i >> 6] |= mask;
+        else
+            words_[i >> 6] &= ~mask;
+    }
+
+    /**
+     * Pack n floats: bit i set iff src[i] != 0.  Pad bits stay zero.
+     * Branchless: a data-dependent store-if branch mispredicts on
+     * every other unit of a random binary state.
+     */
+    void
+    packFrom(const float *src, std::size_t n)
+    {
+        resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            words_[i >> 6] |=
+                static_cast<std::uint64_t>(src[i] != 0.0f) << (i & 63);
+    }
+
+    /** Unpack into dst[0..size) as 1.0f / 0.0f (branchless). */
+    void
+    unpackTo(float *dst) const
+    {
+        for (std::size_t i = 0; i < bits_; ++i)
+            dst[i] = static_cast<float>((words_[i >> 6] >> (i & 63)) & 1u);
+    }
+
+    /** Number of set bits. */
+    std::size_t countOnes() const;
+
+  private:
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/** A batch of packed binary states, one state per (padded) row. */
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+    BitMatrix(std::size_t rows, std::size_t cols) { reset(rows, cols); }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t wordsPerRow() const { return wordsPerRow_; }
+
+    /** Reshape to (rows x cols) bits, clearing everything. */
+    void
+    reset(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        wordsPerRow_ = bitWords(cols);
+        words_.assign(rows * wordsPerRow_, 0);
+    }
+
+    std::uint64_t *row(std::size_t r) { return words_.data() + r * wordsPerRow_; }
+    const std::uint64_t *
+    row(std::size_t r) const
+    {
+        return words_.data() + r * wordsPerRow_;
+    }
+
+    bool
+    test(std::size_t r, std::size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return (row(r)[c >> 6] >> (c & 63)) & 1u;
+    }
+
+    void
+    set(std::size_t r, std::size_t c, bool value)
+    {
+        assert(r < rows_ && c < cols_);
+        const std::uint64_t mask = 1ull << (c & 63);
+        if (value)
+            row(r)[c >> 6] |= mask;
+        else
+            row(r)[c >> 6] &= ~mask;
+    }
+
+    /** Pack cols() floats into row r (bit set iff nonzero; branchless). */
+    void
+    packRowFrom(std::size_t r, const float *src)
+    {
+        assert(r < rows_);
+        std::uint64_t *w = row(r);
+        std::fill(w, w + wordsPerRow_, 0);
+        for (std::size_t c = 0; c < cols_; ++c)
+            w[c >> 6] |=
+                static_cast<std::uint64_t>(src[c] != 0.0f) << (c & 63);
+    }
+
+    /** Unpack row r into dst[0..cols) as 1.0f / 0.0f (branchless). */
+    void
+    unpackRowTo(std::size_t r, float *dst) const
+    {
+        assert(r < rows_);
+        const std::uint64_t *w = row(r);
+        for (std::size_t c = 0; c < cols_; ++c)
+            dst[c] = static_cast<float>((w[c >> 6] >> (c & 63)) & 1u);
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t wordsPerRow_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace ising::linalg
+
+#endif // ISINGRBM_LINALG_BITS_HPP

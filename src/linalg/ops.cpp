@@ -118,6 +118,9 @@ gemm(const Matrix &a, const Matrix &b, Matrix &c)
     const std::size_t p = a.rows(), q = a.cols(), r = b.cols();
     assert(b.rows() == q);
     c.reset(p, r, 0.0f);
+    // Dense-float operands take every row: the zero-skip branch only
+    // pays off for binary inputs, which the packed kernels in
+    // bitops.hpp own outright.
     constexpr std::size_t kBlock = 64;
     for (std::size_t kb = 0; kb < q; kb += kBlock) {
         const std::size_t kEnd = std::min(q, kb + kBlock);
@@ -125,8 +128,6 @@ gemm(const Matrix &a, const Matrix &b, Matrix &c)
             float *crow = c.row(i);
             for (std::size_t k = kb; k < kEnd; ++k) {
                 const float aik = a(i, k);
-                if (aik == 0.0f)
-                    continue;
                 const float *brow = b.row(k);
                 for (std::size_t j = 0; j < r; ++j)
                     crow[j] += aik * brow[j];
@@ -141,6 +142,16 @@ axpy(float alpha, const Vector &x, Vector &y)
     assert(x.size() == y.size());
     for (std::size_t i = 0; i < x.size(); ++i)
         y[i] += alpha * x[i];
+}
+
+void
+axpy(float alpha, const Matrix &x, Matrix &y)
+{
+    assert(x.rows() == y.rows() && x.cols() == y.cols());
+    const float *xd = x.data();
+    float *yd = y.data();
+    for (std::size_t i = 0; i < x.size(); ++i)
+        yd[i] += alpha * xd[i];
 }
 
 double
@@ -189,21 +200,6 @@ normSquared(const Vector &v)
     for (float x : v)
         acc += static_cast<double>(x) * x;
     return acc;
-}
-
-void
-apply(Vector &v, const std::function<float(float)> &fn)
-{
-    for (std::size_t i = 0; i < v.size(); ++i)
-        v[i] = fn(v[i]);
-}
-
-void
-apply(Matrix &m, const std::function<float(float)> &fn)
-{
-    float *d = m.data();
-    for (std::size_t i = 0; i < m.size(); ++i)
-        d[i] = fn(d[i]);
 }
 
 void

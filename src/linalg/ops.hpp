@@ -11,7 +11,6 @@
 #define ISINGRBM_LINALG_OPS_HPP
 
 #include <cstddef>
-#include <functional>
 
 #include "linalg/matrix.hpp"
 
@@ -56,6 +55,7 @@ void gemm(const Matrix &a, const Matrix &b, Matrix &c);
 
 /** y += alpha * x elementwise. */
 void axpy(float alpha, const Vector &x, Vector &y);
+void axpy(float alpha, const Matrix &x, Matrix &y);
 
 /** Dot product. */
 double dot(const Vector &a, const Vector &b);
@@ -68,9 +68,29 @@ double sum(const Matrix &m);
 double normSquared(const Matrix &m);
 double normSquared(const Vector &v);
 
-/** Elementwise transform in place. */
-void apply(Vector &v, const std::function<float(float)> &fn);
-void apply(Matrix &m, const std::function<float(float)> &fn);
+/**
+ * Elementwise transform in place.  Header templates so the functor
+ * inlines into the loop -- the former std::function signature paid an
+ * indirect call per element, which defeated vectorization in the
+ * weight-decay/momentum update paths.
+ */
+template <typename Fn>
+void
+apply(Vector &v, Fn &&fn)
+{
+    float *d = v.data();
+    for (std::size_t i = 0; i < v.size(); ++i)
+        d[i] = fn(d[i]);
+}
+
+template <typename Fn>
+void
+apply(Matrix &m, Fn &&fn)
+{
+    float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        d[i] = fn(d[i]);
+}
 
 /** Numerically stable in-place softmax over a buffer. */
 void softmaxInPlace(float *v, std::size_t n);

@@ -9,6 +9,7 @@
 #include <cassert>
 
 #include "exec/parallel_for.hpp"
+#include "linalg/bitops.hpp"
 #include "linalg/ops.hpp"
 #include "rbm/sampling_backend.hpp"
 
@@ -31,9 +32,13 @@ CdTrainer::ensureParticles(const data::Dataset &train)
 {
     if (!config_.persistent || !particles_.empty())
         return;
-    particles_.reserve(config_.numParticles);
+    // At least one particle: numParticles == 0 would otherwise leave
+    // the round-robin negative phase with nothing to advance.
+    const std::size_t count =
+        std::max<std::size_t>(1, config_.numParticles);
+    particles_.reserve(count);
     linalg::Vector ph, h;
-    for (std::size_t p = 0; p < config_.numParticles; ++p) {
+    for (std::size_t p = 0; p < count; ++p) {
         const std::size_t idx = rng_.uniformInt(train.size());
         model_.hiddenProbs(train.sample(idx), ph);
         Rbm::sampleBinary(ph, h, rng_);
@@ -58,83 +63,171 @@ CdTrainer::trainBatch(const data::Dataset &train,
     // chains reproduce bit-for-bit regardless of worker count.
     const std::uint64_t batchSeed = rng_.next();
 
-    hstat_.resize(batch);
-    vnegs_.resize(batch);
-    hnegs_.resize(batch);
-
     // All chains this batch run on the unified sampling surface; the
     // model is frozen until the update below, so one cached-transpose
-    // backend serves every worker.  CD-k is ill-defined below one
-    // sweep (the negative sample would not exist), hence the clamp.
-    const SoftwareGibbsBackend backend(model_);
+    // backend serves every worker.  The whole minibatch moves through
+    // the *batched* surface -- on binary data that is the bit-packed
+    // tiled walk over W, one traversal per half-sweep instead of one
+    // per chain.  CD-k is ill-defined below one sweep (the negative
+    // sample would not exist), hence the clamp.
+    const SoftwareGibbsBackend backend(model_, &pool);
     const int k = std::max(1, config_.k);
 
-    // --- Positive phase (Algorithm 1 lines 9-10), one independent
-    // chain per batch position; CD-k also runs the sample-rooted
-    // negative chain (lines 11-15) right here.
-    exec::parallelFor(pool, batch, [&](std::size_t pos) {
-        util::Rng rng = util::Rng::stream(batchSeed, pos);
-        linalg::Vector ph, hpos, pv;
-        const float *vpos = train.sample(indices[pos]);
-        model_.hiddenProbs(vpos, ph);
-        Rbm::sampleBinary(ph, hpos, rng);
-        hstat_[pos] = config_.sampleHiddenMeans ? ph : hpos;
-        if (!config_.persistent) {
-            linalg::Vector hneg = hpos;
-            backend.anneal(k, vnegs_[pos], hneg, pv, ph, rng);
-            hnegs_[pos] = hneg;
-        }
-    });
+    // --- Positive phase (Algorithm 1 lines 9-10), one chain per batch
+    // position with its own stream; CD-k continues each stream through
+    // the sample-rooted negative chain (lines 11-15).
+    vpos_.reset(batch, m);
+    for (std::size_t pos = 0; pos < batch; ++pos)
+        std::copy_n(train.sample(indices[pos]), m, vpos_.row(pos));
+    std::vector<util::Rng> rngs;
+    rngs.reserve(batch);
+    for (std::size_t pos = 0; pos < batch; ++pos)
+        rngs.push_back(util::Rng::stream(batchSeed, pos));
+
+    // The positive hidden sample lands directly in hnegs_: it is both
+    // the h+ statistic source and the CD-k negative-chain start, and
+    // the member scratch (resized once by the backend) spares a
+    // per-batch allocation.
+    backend.sampleHiddenBatch(vpos_, hnegs_, phpos_, rngs.data());
+    hstat_ = config_.sampleHiddenMeans ? phpos_ : hnegs_;
+    if (!config_.persistent)
+        backend.annealBatch(k, vnegs_, hnegs_, pvScratch_, phScratch_,
+                            rngs.data());
 
     // --- PCD negative phase: positions are dealt round-robin to the
-    // persistent particles and each particle advances its own chain
-    // over its positions in order, so chain continuity is preserved
-    // while distinct particles run concurrently.
+    // persistent particles, and each round advances all active
+    // particles one batched anneal; per particle the positions run in
+    // ascending order on its own stream, so chain continuity and
+    // bit-reproducibility are preserved for any worker count.
     if (config_.persistent) {
         const std::size_t p = particles_.size();
+        const std::size_t chains = std::min(p, batch);
         const std::size_t base = nextParticle_;
-        exec::parallelFor(pool, std::min(p, batch), [&](std::size_t pi) {
-            util::Rng rng = util::Rng::stream(batchSeed, batch + pi);
-            const std::size_t particle = (base + pi) % p;
-            linalg::Vector ph, pv;
-            linalg::Vector hneg = particles_[particle];
-            for (std::size_t pos = pi; pos < batch; pos += p) {
-                backend.anneal(k, vnegs_[pos], hneg, pv, ph, rng);
-                hnegs_[pos] = hneg;
+        std::vector<util::Rng> prngs;
+        prngs.reserve(chains);
+        for (std::size_t pi = 0; pi < chains; ++pi)
+            prngs.push_back(util::Rng::stream(batchSeed, batch + pi));
+
+        vnegs_.reset(batch, m);
+        hnegs_.reset(batch, n);
+        linalg::Matrix hcur(chains, n);
+        for (std::size_t pi = 0; pi < chains; ++pi)
+            std::copy_n(particles_[(base + pi) % p].data(), n,
+                        hcur.row(pi));
+
+        linalg::Matrix vRound, pvRound, phRound;
+        for (std::size_t start = 0; start < batch; start += p) {
+            const std::size_t active = std::min(chains, batch - start);
+            linalg::Matrix hRound(active, n);
+            for (std::size_t pi = 0; pi < active; ++pi)
+                std::copy_n(hcur.row(pi), n, hRound.row(pi));
+            backend.annealBatch(k, vRound, hRound, pvRound, phRound,
+                                prngs.data());
+            for (std::size_t pi = 0; pi < active; ++pi) {
+                const std::size_t pos = start + pi;
+                std::copy_n(vRound.row(pi), m, vnegs_.row(pos));
+                std::copy_n(hRound.row(pi), n, hnegs_.row(pos));
+                std::copy_n(hRound.row(pi), n, hcur.row(pi));
             }
-            particles_[particle] = hneg;
-        });
+        }
+        for (std::size_t pi = 0; pi < chains; ++pi) {
+            linalg::Vector &particle = particles_[(base + pi) % p];
+            std::copy_n(hcur.row(pi), n, particle.data());
+        }
         nextParticle_ = (base + batch) % p;
     }
 
     // --- Reduce <v+ h+> - <v- h-> into the accumulators.  Rows of W
-    // (and dbv) are disjoint across chunks and each row sums positions
-    // in ascending order: deterministic for any worker count.
-    dw_.fill(0.0f);
-    dbv_.fill(0.0f);
-    dbh_.fill(0.0f);
-    exec::parallelForChunks(pool, m, [&](std::size_t rowBegin,
-                                         std::size_t rowEnd) {
-        for (std::size_t pos = 0; pos < batch; ++pos) {
-            const float *vpos = train.sample(indices[pos]);
-            const float *hp = hstat_[pos].data();
-            const float *hn = hnegs_[pos].data();
-            const linalg::Vector &vneg = vnegs_[pos];
-            for (std::size_t i = rowBegin; i < rowEnd; ++i) {
-                dbv_[i] += vpos[i] - vneg[i];
-                float *drow = dw_.row(i);
-                if (vpos[i] != 0.0f)
-                    for (std::size_t j = 0; j < n; ++j)
-                        drow[j] += vpos[i] * hp[j];
-                if (vneg[i] != 0.0f)
-                    for (std::size_t j = 0; j < n; ++j)
-                        drow[j] -= vneg[i] * hn[j];
-            }
-        }
-    });
-    for (std::size_t pos = 0; pos < batch; ++pos)
+    // (and dbv) are disjoint across chunks: deterministic for any
+    // worker count.  Three tiers, fastest applicable first.
+    const bool binaryV =
+        linalg::isBinary01(vpos_) && linalg::isBinary01(vnegs_);
+    if (binaryV && linalg::isBinary01(hstat_) &&
+        linalg::isBinary01(hnegs_)) {
+        // All states binary (the default): every dW entry is a count
+        // of batch positions where both units fired, so the reduce is
+        // AND+popcount over per-unit bit columns.  The counts are
+        // small integers, hence *exactly* the float-accumulated
+        // result under any summation order.
+        linalg::BitMatrix posT, negT, hposT, hnegT;
+        linalg::packTransposed(vpos_, posT);
+        linalg::packTransposed(vnegs_, negT);
+        linalg::packTransposed(hstat_, hposT);
+        linalg::packTransposed(hnegs_, hnegT);
+        exec::parallelForChunks(pool, m, [&](std::size_t rowBegin,
+                                             std::size_t rowEnd) {
+            linalg::outerCountDiff(posT, hposT, negT, hnegT, dw_,
+                                   rowBegin, rowEnd);
+        });
+        linalg::Vector tmp(std::max(m, n));
+        linalg::rowCounts(posT, dbv_.data());
+        linalg::rowCounts(negT, tmp.data());
+        for (std::size_t i = 0; i < m; ++i)
+            dbv_[i] -= tmp[i];
+        linalg::rowCounts(hposT, dbh_.data());
+        linalg::rowCounts(hnegT, tmp.data());
         for (std::size_t j = 0; j < n; ++j)
-            dbh_[j] += hstat_[pos][j] - hnegs_[pos][j];
+            dbh_[j] -= tmp[j];
+    } else {
+        dw_.fill(0.0f);
+        dbv_.fill(0.0f);
+        dbh_.fill(0.0f);
+        if (binaryV) {
+            // Binary visible, float hidden statistics (means): dW =
+            // Vpos^T Hstat - Vneg^T Hneg as two masked batched
+            // accumulations over the *transposed* visible bits -- the
+            // tiled kernel the sampling sweeps run on, with dW rows
+            // as the "chains" and batch positions as the input units.
+            linalg::BitMatrix posT, negT;
+            linalg::packTransposed(vpos_, posT);
+            linalg::packTransposed(vnegs_, negT);
+            const linalg::Vector zero(n);
+            dwNeg_.reset(m, n);
+            exec::parallelForChunks(pool, m, [&](std::size_t rowBegin,
+                                                 std::size_t rowEnd) {
+                linalg::accumulateBatchTile(hstat_, posT, zero, dw_,
+                                            rowBegin, rowEnd, 0, n);
+                linalg::accumulateBatchTile(hnegs_, negT, zero, dwNeg_,
+                                            rowBegin, rowEnd, 0, n);
+                for (std::size_t i = rowBegin; i < rowEnd; ++i) {
+                    float *drow = dw_.row(i);
+                    const float *nrow = dwNeg_.row(i);
+                    for (std::size_t j = 0; j < n; ++j)
+                        drow[j] -= nrow[j];
+                }
+            });
+        } else {
+            // Float fallback for non-binary visible data.
+            exec::parallelForChunks(pool, m, [&](std::size_t rowBegin,
+                                                 std::size_t rowEnd) {
+                for (std::size_t pos = 0; pos < batch; ++pos) {
+                    const float *vpos = vpos_.row(pos);
+                    const float *hp = hstat_.row(pos);
+                    const float *hn = hnegs_.row(pos);
+                    const float *vneg = vnegs_.row(pos);
+                    for (std::size_t i = rowBegin; i < rowEnd; ++i) {
+                        float *drow = dw_.row(i);
+                        if (vpos[i] != 0.0f)
+                            for (std::size_t j = 0; j < n; ++j)
+                                drow[j] += vpos[i] * hp[j];
+                        if (vneg[i] != 0.0f)
+                            for (std::size_t j = 0; j < n; ++j)
+                                drow[j] -= vneg[i] * hn[j];
+                    }
+                }
+            });
+        }
+        for (std::size_t pos = 0; pos < batch; ++pos) {
+            const float *vpos = vpos_.row(pos);
+            const float *vneg = vnegs_.row(pos);
+            for (std::size_t i = 0; i < m; ++i)
+                dbv_[i] += vpos[i] - vneg[i];
+            const float *hp = hstat_.row(pos);
+            const float *hn = hnegs_.row(pos);
+            for (std::size_t j = 0; j < n; ++j)
+                dbh_[j] += hp[j] - hn[j];
+        }
+    }
 
     // --- Parameter update (lines 17-19) ---
     const float scale = static_cast<float>(

@@ -78,14 +78,17 @@ class CdTrainer
     CdConfig config_;
     util::Rng &rng_;
 
-    // Gradient accumulators reused across batches.
-    linalg::Matrix dw_;
+    // Gradient accumulators reused across batches (dwNeg_ holds the
+    // negative-phase half of the batched reduce).
+    linalg::Matrix dw_, dwNeg_;
     linalg::Vector dbv_, dbh_;
     // Momentum buffers.
     linalg::Matrix mw_;
     linalg::Vector mbv_, mbh_;
-    // Per-position batch scratch (chain outputs awaiting reduction).
-    std::vector<linalg::Vector> hstat_, vnegs_, hnegs_;
+    // Per-position batch scratch, one chain per row (chain outputs
+    // awaiting reduction; filled through the batched sampling surface).
+    linalg::Matrix vpos_, hstat_, vnegs_, hnegs_;
+    linalg::Matrix phpos_, pvScratch_, phScratch_;
     // PCD particles: persistent hidden states.
     std::vector<linalg::Vector> particles_;
     std::size_t nextParticle_ = 0;

@@ -139,9 +139,7 @@ CfRbm::train(const data::RatingData &corpus, const CfConfig &config,
         if (config.weightDecay > 0.0) {
             const float keep =
                 static_cast<float>(1.0 - config.weightDecay);
-            float *wd = w_.data();
-            for (std::size_t i = 0; i < w_.size(); ++i)
-                wd[i] *= keep;
+            linalg::apply(w_, [keep](float x) { return x * keep; });
         }
         rng.shuffle(order.data(), order.size());
         for (const std::size_t item : order) {

@@ -66,10 +66,11 @@ GibbsChain::downSweep()
 void
 GibbsChain::step(int k)
 {
-    for (int s = 0; s < k; ++s) {
-        downSweep();
-        upSweep();
-    }
+    // One anneal() call instead of k down/up pairs: backends that keep
+    // the walk in a faster representation (the software backend's
+    // bit-packed states) only convert at the boundaries.  The sweep
+    // and RNG order is identical to the explicit loop.
+    backend_->anneal(k, v_, h_, pv_, ph_, rng_);
 }
 
 void

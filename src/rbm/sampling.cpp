@@ -1,13 +1,22 @@
 /**
  * @file
  * Sampling utility implementations.
+ *
+ * Both samplers run whole fan-outs through the backend's batched
+ * surface: every chain is a row of a (count x units) state matrix
+ * with its own RNG stream, so the software backend executes one
+ * bit-packed tiled walk over W instead of count independent gemv
+ * chains, and scalar-only backends (the analog fabric) transparently
+ * fan the rows over the worker pool.  Per-chain streams keep results
+ * bit-identical to the former chain-at-a-time loop for any worker
+ * count.
  */
 
 #include "rbm/sampling.hpp"
 
+#include <algorithm>
 #include <cassert>
 
-#include "exec/parallel_for.hpp"
 #include "rbm/gibbs.hpp"
 
 namespace ising::rbm {
@@ -16,25 +25,40 @@ data::Dataset
 fantasySamples(const SamplingBackend &backend, std::size_t count,
                int burnIn, util::Rng &rng, const data::Dataset *init)
 {
+    const std::size_t m = backend.numVisible();
     data::Dataset out;
     out.name = "fantasy";
-    out.samples.reset(count, backend.numVisible());
+    out.samples.reset(count, m);
     // One serial draw roots the per-chain streams (and the choice of
     // starting rows), keeping results independent of worker count.
     const std::uint64_t chainSeed = rng.next();
-    exec::parallelFor(count, [&](std::size_t s) {
-        util::Rng chainRng = util::Rng::stream(chainSeed, s);
-        GibbsChain chain =
-            init && init->size() > 0
-                ? GibbsChain(backend,
-                             init->sample(
-                                 chainRng.uniformInt(init->size())),
-                             chainRng)
-                : GibbsChain(backend, chainRng);
-        chain.step(burnIn);
-        const linalg::Vector &pv = chain.visibleProbs();
-        std::copy(pv.begin(), pv.end(), out.samples.row(s));
-    });
+    std::vector<util::Rng> rngs;
+    rngs.reserve(count);
+    for (std::size_t s = 0; s < count; ++s)
+        rngs.push_back(util::Rng::stream(chainSeed, s));
+
+    // Chain starts: rows of init when provided, else uniform noise.
+    // Stream draw order matches the chain-at-a-time recipe: the start
+    // row / noise bits first, then the initial up-sweep.
+    linalg::Matrix v(count, m), h, pv, ph;
+    for (std::size_t s = 0; s < count; ++s) {
+        float *vrow = v.row(s);
+        if (init && init->size() > 0) {
+            const float *src = init->sample(rngs[s].uniformInt(init->size()));
+            std::copy_n(src, m, vrow);
+        } else {
+            for (std::size_t i = 0; i < m; ++i)
+                vrow[i] = rngs[s].bernoulli(0.5) ? 1.0f : 0.0f;
+        }
+    }
+    backend.sampleHiddenBatch(v, h, ph, rngs.data());
+    backend.annealBatch(burnIn, v, h, pv, ph, rngs.data());
+    // Report mean-field probabilities from the final down-sweep; with
+    // burnIn <= 0 no sweep ran and the rows stay zero (the historical
+    // empty-probabilities behavior).
+    if (burnIn > 0)
+        for (std::size_t s = 0; s < count; ++s)
+            std::copy_n(pv.row(s), m, out.samples.row(s));
     return out;
 }
 
@@ -51,36 +75,49 @@ conditionalSamples(const SamplingBackend &backend,
                    const std::vector<float> &clampMask, std::size_t count,
                    int burnIn, util::Rng &rng)
 {
-    assert(clampMask.size() == backend.numVisible());
+    const std::size_t m = backend.numVisible();
+    assert(clampMask.size() == m);
     data::Dataset out;
     out.name = "conditional";
-    out.samples.reset(count, backend.numVisible());
+    out.samples.reset(count, m);
 
     const std::uint64_t chainSeed = rng.next();
-    exec::parallelFor(count, [&](std::size_t s) {
-        util::Rng chainRng = util::Rng::stream(chainSeed, s);
-        linalg::Vector v(backend.numVisible()), h, ph, pv;
-        // Initialize: clamped entries fixed, the rest random.
-        for (std::size_t i = 0; i < v.size(); ++i)
-            v[i] = clampMask[i] >= 0.0f
+    std::vector<util::Rng> rngs;
+    rngs.reserve(count);
+    for (std::size_t s = 0; s < count; ++s)
+        rngs.push_back(util::Rng::stream(chainSeed, s));
+
+    // Initialize: clamped entries fixed, the rest random.
+    linalg::Matrix v(count, m), h, pv, ph;
+    for (std::size_t s = 0; s < count; ++s) {
+        float *vrow = v.row(s);
+        for (std::size_t i = 0; i < m; ++i)
+            vrow[i] = clampMask[i] >= 0.0f
                 ? clampMask[i]
-                : (chainRng.bernoulli(0.5) ? 1.0f : 0.0f);
-        for (int step = 0; step < burnIn; ++step) {
-            backend.sampleHidden(v, h, ph, chainRng);
-            backend.sampleVisible(h, v, pv, chainRng);
-            // Re-apply the clamp after the free resample.
-            for (std::size_t i = 0; i < v.size(); ++i)
+                : (rngs[s].bernoulli(0.5) ? 1.0f : 0.0f);
+    }
+    // The clamp is re-applied between sweeps, so the walk runs as
+    // per-step batched half-sweeps rather than one annealBatch call.
+    for (int step = 0; step < burnIn; ++step) {
+        backend.sampleHiddenBatch(v, h, ph, rngs.data());
+        backend.sampleVisibleBatch(h, v, pv, rngs.data());
+        for (std::size_t s = 0; s < count; ++s) {
+            float *vrow = v.row(s);
+            for (std::size_t i = 0; i < m; ++i)
                 if (clampMask[i] >= 0.0f)
-                    v[i] = clampMask[i];
+                    vrow[i] = clampMask[i];
         }
-        // Report mean-field probabilities with clamps re-applied.
-        // With burnIn <= 0 no sweep ran and pv is empty: report the
-        // initialized state instead.
-        const linalg::Vector &report = pv.empty() ? v : pv;
-        for (std::size_t i = 0; i < v.size(); ++i)
+    }
+    // Report mean-field probabilities with clamps re-applied.  With
+    // burnIn <= 0 no sweep ran and pv is empty: report the
+    // initialized state instead.
+    const linalg::Matrix &report = pv.empty() ? v : pv;
+    for (std::size_t s = 0; s < count; ++s) {
+        const float *rrow = report.row(s);
+        for (std::size_t i = 0; i < m; ++i)
             out.samples(s, i) =
-                clampMask[i] >= 0.0f ? clampMask[i] : report[i];
-    });
+                clampMask[i] >= 0.0f ? clampMask[i] : rrow[i];
+    }
     return out;
 }
 

@@ -5,11 +5,38 @@
 
 #include "rbm/sampling_backend.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "exec/parallel_for.hpp"
+#include "linalg/bitops.hpp"
 #include "linalg/ops.hpp"
 
 namespace ising::rbm {
+
+namespace {
+
+/**
+ * reset() only on shape mismatch: every caller overwrites the full
+ * extent, so the zero-fill reset() performs is pure overhead on the
+ * (steady-state) reuse path -- e.g. the per-step means matrices of a
+ * long annealBatch walk.
+ */
+void
+ensureShape(linalg::Matrix &m, std::size_t rows, std::size_t cols)
+{
+    if (m.rows() != rows || m.cols() != cols)
+        m.reset(rows, cols);
+}
+
+void
+ensureShape(linalg::BitMatrix &m, std::size_t rows, std::size_t cols)
+{
+    if (m.rows() != rows || m.cols() != cols)
+        m.reset(rows, cols);
+}
+
+} // namespace
 
 void
 SamplingBackend::anneal(int steps, linalg::Vector &v, linalg::Vector &h,
@@ -22,8 +49,71 @@ SamplingBackend::anneal(int steps, linalg::Vector &v, linalg::Vector &h,
     }
 }
 
-SoftwareGibbsBackend::SoftwareGibbsBackend(const Rbm &model)
-    : model_(&model)
+void
+SamplingBackend::sampleHiddenBatch(const linalg::Matrix &v,
+                                   linalg::Matrix &h, linalg::Matrix &ph,
+                                   util::Rng *rngs) const
+{
+    const std::size_t batch = v.rows(), m = numVisible(), n = numHidden();
+    assert(v.cols() == m);
+    ensureShape(h, batch, n);
+    ensureShape(ph, batch, n);
+    exec::ThreadPool &pool = batchPool() ? *batchPool() : exec::globalPool();
+    exec::parallelFor(pool, batch, [&](std::size_t r) {
+        linalg::Vector vr(m), hr, pr;
+        std::copy_n(v.row(r), m, vr.data());
+        sampleHidden(vr, hr, pr, rngs[r]);
+        std::copy_n(hr.data(), n, h.row(r));
+        std::copy_n(pr.data(), n, ph.row(r));
+    });
+}
+
+void
+SamplingBackend::sampleVisibleBatch(const linalg::Matrix &h,
+                                    linalg::Matrix &v, linalg::Matrix &pv,
+                                    util::Rng *rngs) const
+{
+    const std::size_t batch = h.rows(), m = numVisible(), n = numHidden();
+    assert(h.cols() == n);
+    ensureShape(v, batch, m);
+    ensureShape(pv, batch, m);
+    exec::ThreadPool &pool = batchPool() ? *batchPool() : exec::globalPool();
+    exec::parallelFor(pool, batch, [&](std::size_t r) {
+        linalg::Vector hr(n), vr, pr;
+        std::copy_n(h.row(r), n, hr.data());
+        sampleVisible(hr, vr, pr, rngs[r]);
+        std::copy_n(vr.data(), m, v.row(r));
+        std::copy_n(pr.data(), m, pv.row(r));
+    });
+}
+
+void
+SamplingBackend::annealBatch(int steps, linalg::Matrix &v,
+                             linalg::Matrix &h, linalg::Matrix &pv,
+                             linalg::Matrix &ph, util::Rng *rngs) const
+{
+    if (steps <= 0)
+        return;
+    const std::size_t batch = h.rows(), m = numVisible(), n = numHidden();
+    assert(h.cols() == n);
+    ensureShape(v, batch, m);
+    ensureShape(pv, batch, m);
+    ensureShape(ph, batch, n);
+    exec::ThreadPool &pool = batchPool() ? *batchPool() : exec::globalPool();
+    exec::parallelFor(pool, batch, [&](std::size_t r) {
+        linalg::Vector vr, hr(n), pvr, phr;
+        std::copy_n(h.row(r), n, hr.data());
+        anneal(steps, vr, hr, pvr, phr, rngs[r]);
+        std::copy_n(vr.data(), m, v.row(r));
+        std::copy_n(hr.data(), n, h.row(r));
+        std::copy_n(pvr.data(), m, pv.row(r));
+        std::copy_n(phr.data(), n, ph.row(r));
+    });
+}
+
+SoftwareGibbsBackend::SoftwareGibbsBackend(const Rbm &model,
+                                           exec::ThreadPool *pool)
+    : model_(&model), pool_(pool)
 {
     linalg::transposeInto(model.weights(), wT_);
 }
@@ -54,6 +144,147 @@ SoftwareGibbsBackend::sampleVisible(const linalg::Vector &h,
     assert(h.size() == numHidden());
     linalg::affineSigmoid(wT_, h.data(), model_->visibleBias(), pv);
     Rbm::sampleBinary(pv, v, rng);
+}
+
+void
+SoftwareGibbsBackend::anneal(int steps, linalg::Vector &v,
+                             linalg::Vector &h, linalg::Vector &pv,
+                             linalg::Vector &ph, util::Rng &rng) const
+{
+    if (steps <= 0)
+        return;
+    assert(h.size() == numHidden());
+    if (!linalg::isBinary01(h.data(), h.size())) {
+        SamplingBackend::anneal(steps, v, h, pv, ph, rng);
+        return;
+    }
+    // The chain state stays packed across every sweep; only the means
+    // and the final samples are materialized as floats.
+    linalg::BitVector hb, vb;
+    hb.packFrom(h.data(), h.size());
+    for (int s = 0; s < steps; ++s) {
+        linalg::affineSigmoidBernoulli(wT_, hb, model_->visibleBias(), vb,
+                                       pv, rng);
+        linalg::affineSigmoidBernoulli(model_->weights(), vb,
+                                       model_->hiddenBias(), hb, ph, rng);
+    }
+    v.resize(numVisible());
+    vb.unpackTo(v.data());
+    h.resize(numHidden());
+    hb.unpackTo(h.data());
+}
+
+void
+SoftwareGibbsBackend::packedLayerBatch(const linalg::Matrix &w,
+                                       const linalg::Vector &b,
+                                       const linalg::BitMatrix &in,
+                                       linalg::BitMatrix &out,
+                                       linalg::Matrix &means,
+                                       util::Rng *rngs) const
+{
+    exec::ThreadPool &pool = pool_ ? *pool_ : exec::globalPool();
+    const std::size_t batch = in.rows(), q = w.cols();
+    ensureShape(means, batch, q);
+    ensureShape(out, batch, q);
+    // Deep batches: chains over threads (each chunk runs its own
+    // cache-tiled accumulate + sample).  Shallow batches: units over
+    // threads within the sweep -- the pre-activation dominates, and
+    // column tiles of W are independent -- then sample per chain.
+    // Both shapes produce identical results: per (chain, unit) the
+    // accumulation order is fixed and all randomness is per-chain.
+    if (batch >= pool.numWorkers()) {
+        exec::parallelForChunks(pool, batch, [&](std::size_t rowBegin,
+                                                 std::size_t rowEnd) {
+            linalg::accumulateBatchTile(w, in, b, means, rowBegin, rowEnd,
+                                        0, q);
+            for (std::size_t r = rowBegin; r < rowEnd; ++r)
+                linalg::sampleBatchRow(means, r, out, rngs[r]);
+        });
+    } else {
+        exec::parallelForChunks(pool, q, [&](std::size_t colBegin,
+                                             std::size_t colEnd) {
+            linalg::accumulateBatchTile(w, in, b, means, 0, batch,
+                                        colBegin, colEnd);
+        });
+        exec::parallelFor(pool, batch, [&](std::size_t r) {
+            linalg::sampleBatchRow(means, r, out, rngs[r]);
+        });
+    }
+}
+
+void
+SoftwareGibbsBackend::sampleHiddenBatch(const linalg::Matrix &v,
+                                        linalg::Matrix &h,
+                                        linalg::Matrix &ph,
+                                        util::Rng *rngs) const
+{
+    const std::size_t batch = v.rows(), m = numVisible(), n = numHidden();
+    assert(v.cols() == m);
+    if (!linalg::isBinary01(v)) {
+        SamplingBackend::sampleHiddenBatch(v, h, ph, rngs);
+        return;
+    }
+    linalg::BitMatrix vb(batch, m), hb;
+    for (std::size_t r = 0; r < batch; ++r)
+        vb.packRowFrom(r, v.row(r));
+    packedLayerBatch(model_->weights(), model_->hiddenBias(), vb, hb, ph,
+                     rngs);
+    ensureShape(h, batch, n);
+    for (std::size_t r = 0; r < batch; ++r)
+        hb.unpackRowTo(r, h.row(r));
+}
+
+void
+SoftwareGibbsBackend::sampleVisibleBatch(const linalg::Matrix &h,
+                                         linalg::Matrix &v,
+                                         linalg::Matrix &pv,
+                                         util::Rng *rngs) const
+{
+    const std::size_t batch = h.rows(), m = numVisible(), n = numHidden();
+    assert(h.cols() == n);
+    if (!linalg::isBinary01(h)) {
+        SamplingBackend::sampleVisibleBatch(h, v, pv, rngs);
+        return;
+    }
+    linalg::BitMatrix hb(batch, n), vb;
+    for (std::size_t r = 0; r < batch; ++r)
+        hb.packRowFrom(r, h.row(r));
+    packedLayerBatch(wT_, model_->visibleBias(), hb, vb, pv, rngs);
+    ensureShape(v, batch, m);
+    for (std::size_t r = 0; r < batch; ++r)
+        vb.unpackRowTo(r, v.row(r));
+}
+
+void
+SoftwareGibbsBackend::annealBatch(int steps, linalg::Matrix &v,
+                                  linalg::Matrix &h, linalg::Matrix &pv,
+                                  linalg::Matrix &ph,
+                                  util::Rng *rngs) const
+{
+    if (steps <= 0)
+        return;
+    const std::size_t batch = h.rows(), m = numVisible(), n = numHidden();
+    assert(h.cols() == n);
+    if (!linalg::isBinary01(h)) {
+        SamplingBackend::annealBatch(steps, v, h, pv, ph, rngs);
+        return;
+    }
+    // States stay packed for the whole walk: per step the minibatch
+    // does two tiled passes over W / W^T instead of 2 * batch gemv's.
+    linalg::BitMatrix hb(batch, n), vb;
+    for (std::size_t r = 0; r < batch; ++r)
+        hb.packRowFrom(r, h.row(r));
+    for (int s = 0; s < steps; ++s) {
+        packedLayerBatch(wT_, model_->visibleBias(), hb, vb, pv, rngs);
+        packedLayerBatch(model_->weights(), model_->hiddenBias(), vb, hb,
+                         ph, rngs);
+    }
+    ensureShape(v, batch, m);
+    ensureShape(h, batch, n);
+    for (std::size_t r = 0; r < batch; ++r) {
+        vb.unpackRowTo(r, v.row(r));
+        hb.unpackRowTo(r, h.row(r));
+    }
 }
 
 } // namespace ising::rbm

@@ -13,11 +13,23 @@
  * noisy-fabric sampling via configuration instead of bespoke code
  * (SoftwareGibbsBackend here; accel::AnalogFabricBackend for the
  * substrate).
+ *
+ * Batched surface: every workload that matters runs *many* chains at
+ * once (minibatch positions, PCD particles, fantasy fan-outs), so the
+ * interface also exposes whole-minibatch half-sweeps over (batch x
+ * units) matrices with one RNG stream per chain row.  The defaults
+ * fan the rows over the worker pool through the scalar methods, so
+ * backends whose physics sample one state at a time (the analog
+ * fabric) work unchanged; SoftwareGibbsBackend overrides them with
+ * bit-packed cache-tiled kernels that are bit-identical to the scalar
+ * path (see linalg/bitops.hpp for the reproducibility contract).
  */
 
 #ifndef ISINGRBM_RBM_SAMPLING_BACKEND_HPP
 #define ISINGRBM_RBM_SAMPLING_BACKEND_HPP
 
+#include "exec/thread_pool.hpp"
+#include "linalg/bits.hpp"
 #include "rbm/rbm.hpp"
 
 namespace ising::rbm {
@@ -58,22 +70,74 @@ class SamplingBackend
     virtual void anneal(int steps, linalg::Vector &v, linalg::Vector &h,
                         linalg::Vector &pv, linalg::Vector &ph,
                         util::Rng &rng) const;
+
+    /**
+     * Batched half-sweep: row r of @p h / @p ph is the hidden sample /
+     * conditional means for visible state row r of @p v, with rngs[r]
+     * driving chain r (one stream per row keeps results reproducible
+     * for any worker count).  Outputs are resized to (v.rows() x
+     * numHidden()).  Default: scalar sampleHidden per row, fanned over
+     * the worker pool.
+     */
+    virtual void sampleHiddenBatch(const linalg::Matrix &v,
+                                   linalg::Matrix &h, linalg::Matrix &ph,
+                                   util::Rng *rngs) const;
+
+    /** Mirror batched half-sweep: visible rows from hidden rows. */
+    virtual void sampleVisibleBatch(const linalg::Matrix &h,
+                                    linalg::Matrix &v, linalg::Matrix &pv,
+                                    util::Rng *rngs) const;
+
+    /**
+     * Batched free-running evolution: @p steps alternating sweeps of
+     * every chain row from its current hidden state, rngs[r] driving
+     * row r.  @p v / @p pv / @p ph are resized and overwritten with
+     * the final samples and last-sweep means; with steps <= 0 nothing
+     * runs and no output is touched.  Default: scalar anneal per row,
+     * fanned over the worker pool.
+     */
+    virtual void annealBatch(int steps, linalg::Matrix &v,
+                             linalg::Matrix &h, linalg::Matrix &pv,
+                             linalg::Matrix &ph, util::Rng *rngs) const;
+
+  protected:
+    /**
+     * Pool the batched default implementations fan rows over; nullptr
+     * selects exec::globalPool().  Backends with a configured pool
+     * override this so scalar fallbacks honor it too.
+     */
+    virtual exec::ThreadPool *batchPool() const { return nullptr; }
 };
 
 /**
  * Exact software sampling: conditionals evaluated in float math via
- * the blocked linalg kernels.
+ * the blocked linalg kernels, with bit-packed fast paths for binary
+ * states.
  *
  * The visible half-sweep runs off a transpose of W cached at
  * construction/setModel() time, so both directions traverse contiguous
  * rows and skip zero entries of the (binary) input state.  Re-run
  * setModel() after mutating the model's weights.
+ *
+ * The batched methods and anneal() pack binary states one unit per
+ * bit and run the linalg/bitops.hpp kernels: conditional row adds
+ * over packed words, cache-tiled over the minibatch, threaded over
+ * chains when the batch is deep and over units within the sweep when
+ * it is shallow.  Both layouts and both threading shapes produce
+ * bit-identical chains to the scalar float path (the kernels share
+ * its addition order and RNG consumption order); non-binary inputs
+ * fall back to the float path transparently.
  */
 class SoftwareGibbsBackend final : public SamplingBackend
 {
   public:
-    /** @param model sampled model (borrowed; must outlive the backend) */
-    explicit SoftwareGibbsBackend(const Rbm &model);
+    /**
+     * @param model sampled model (borrowed; must outlive the backend)
+     * @param pool pool for the batched kernels (borrowed; nullptr
+     *        selects exec::globalPool())
+     */
+    explicit SoftwareGibbsBackend(const Rbm &model,
+                                  exec::ThreadPool *pool = nullptr);
 
     /** Re-point at a model and refresh the cached transpose. */
     void setModel(const Rbm &model);
@@ -87,9 +151,38 @@ class SoftwareGibbsBackend final : public SamplingBackend
     void sampleVisible(const linalg::Vector &h, linalg::Vector &v,
                        linalg::Vector &pv, util::Rng &rng) const override;
 
+    /** Packed scalar chain: state stays bit-packed across all sweeps. */
+    void anneal(int steps, linalg::Vector &v, linalg::Vector &h,
+                linalg::Vector &pv, linalg::Vector &ph,
+                util::Rng &rng) const override;
+
+    void sampleHiddenBatch(const linalg::Matrix &v, linalg::Matrix &h,
+                           linalg::Matrix &ph,
+                           util::Rng *rngs) const override;
+    void sampleVisibleBatch(const linalg::Matrix &h, linalg::Matrix &v,
+                            linalg::Matrix &pv,
+                            util::Rng *rngs) const override;
+    void annealBatch(int steps, linalg::Matrix &v, linalg::Matrix &h,
+                     linalg::Matrix &pv, linalg::Matrix &ph,
+                     util::Rng *rngs) const override;
+
+  protected:
+    exec::ThreadPool *batchPool() const override { return pool_; }
+
   private:
+    /**
+     * One packed batched half-sweep in -> out over @p w (rows =
+     * input units): threads chains over workers for deep batches,
+     * units within the sweep for shallow ones.
+     */
+    void packedLayerBatch(const linalg::Matrix &w, const linalg::Vector &b,
+                          const linalg::BitMatrix &in,
+                          linalg::BitMatrix &out, linalg::Matrix &means,
+                          util::Rng *rngs) const;
+
     const Rbm *model_;
     linalg::Matrix wT_;  ///< cached transpose for the visible sweep
+    exec::ThreadPool *pool_;
 };
 
 } // namespace ising::rbm

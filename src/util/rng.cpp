@@ -23,12 +23,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 void
@@ -38,34 +32,6 @@ Rng::reseed(std::uint64_t seed)
     for (auto &w : state_)
         w = splitmix64(s);
     hasSpare_ = false;
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-    const std::uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high-quality bits -> double in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-float
-Rng::uniformFloat()
-{
-    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
 }
 
 double
@@ -115,12 +81,6 @@ double
 Rng::gaussian(double mean, double stddev)
 {
     return mean + stddev * gaussian();
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    return uniform() < p;
 }
 
 int

@@ -37,19 +37,47 @@ class Rng
     /** Re-initialize the state from a 64-bit seed. */
     void reseed(std::uint64_t seed);
 
-    /** Next raw 64-bit draw. */
-    std::uint64_t next();
+    /**
+     * Next raw 64-bit draw.  Defined inline (with the [0,1) float
+     * conversions below) because every unit latched by the sampling
+     * kernels costs one draw: keeping the xoshiro step visible to the
+     * caller's optimizer removes a cross-TU call from the innermost
+     * Gibbs loops.
+     */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result =
+            rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
 
     std::uint64_t operator()() { return next(); }
 
     static constexpr std::uint64_t min() { return 0; }
     static constexpr std::uint64_t max() { return ~0ull; }
 
-    /** Uniform double in [0, 1). */
-    double uniform();
+    /** Uniform double in [0, 1): 53 high-quality bits. */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform float in [0, 1). */
-    float uniformFloat();
+    float
+    uniformFloat()
+    {
+        return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+    }
 
     /** Uniform double in [lo, hi). */
     double uniform(double lo, double hi);
@@ -64,7 +92,7 @@ class Rng
     double gaussian(double mean, double stddev);
 
     /** Bernoulli draw: true with probability p. */
-    bool bernoulli(double p);
+    bool bernoulli(double p) { return uniform() < p; }
 
     /** Random sign: +1 with probability 1/2, otherwise -1. */
     int sign();
@@ -91,6 +119,12 @@ class Rng
     void shuffle(std::size_t *idx, std::size_t n);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state_{};
     double spare_ = 0.0;
     bool hasSpare_ = false;

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Equivalence suite for the bit-packed kernels: every packed path must
+ * agree *bit-for-bit* with the float path on binary states, including
+ * ragged sizes not divisible by the 64-bit word width, because the
+ * sampling backends select between the two representations freely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/bitops.hpp"
+#include "linalg/ops.hpp"
+#include "rbm/rbm.hpp"
+
+using namespace ising;
+using linalg::BitMatrix;
+using linalg::BitVector;
+using linalg::Matrix;
+using linalg::Vector;
+using util::Rng;
+
+namespace {
+
+/** Random weights and biases of the given shape. */
+struct Model
+{
+    Matrix w;
+    Vector b;
+
+    Model(std::size_t p, std::size_t q, Rng &rng)
+        : w(p, q), b(q)
+    {
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w.data()[i] = static_cast<float>(rng.gaussian(0.0, 0.8));
+        for (std::size_t j = 0; j < q; ++j)
+            b[j] = static_cast<float>(rng.gaussian(0.0, 0.5));
+    }
+};
+
+Vector
+randomBinary(std::size_t n, Rng &rng, double pOne = 0.5)
+{
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = rng.bernoulli(pOne) ? 1.0f : 0.0f;
+    return v;
+}
+
+/** Shapes chosen to exercise word-aligned and ragged bit counts. */
+const std::vector<std::pair<std::size_t, std::size_t>> kShapes = {
+    {1, 1}, {63, 17}, {64, 64}, {65, 128}, {100, 35}, {130, 70},
+};
+
+} // namespace
+
+TEST(BitVector, PackUnpackRoundTripsRaggedSizes)
+{
+    Rng rng(11);
+    for (const std::size_t n : {1u, 63u, 64u, 65u, 100u, 130u, 257u}) {
+        const Vector v = randomBinary(n, rng);
+        BitVector bits;
+        bits.packFrom(v.data(), n);
+        ASSERT_EQ(bits.size(), n);
+        Vector back(n);
+        bits.unpackTo(back.data());
+        EXPECT_TRUE(back == v) << "n=" << n;
+        std::size_t ones = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            ones += v[i] != 0.0f;
+        EXPECT_EQ(bits.countOnes(), ones) << "n=" << n;
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(bits.test(i), v[i] != 0.0f);
+    }
+}
+
+TEST(BitMatrix, RowPackingKeepsPadBitsZero)
+{
+    Rng rng(12);
+    BitMatrix bm(3, 70);
+    Vector row = randomBinary(70, rng);
+    bm.packRowFrom(1, row.data());
+    // Repack with a denser row: stale bits must not survive.
+    Vector dense(70, 1.0f);
+    bm.packRowFrom(1, dense.data());
+    bm.packRowFrom(1, row.data());
+    Vector back(70);
+    bm.unpackRowTo(1, back.data());
+    EXPECT_TRUE(back == row);
+    // Pad bits beyond column 70 stay zero (whole-word iteration relies
+    // on this).
+    EXPECT_EQ(bm.row(1)[1] >> 6, 0ull);
+}
+
+TEST(BitOps, AccumulateRowsMaskedMatchesFloatGemvT)
+{
+    Rng rng(21);
+    for (const auto &[p, q] : kShapes) {
+        const Model model(p, q, rng);
+        for (int trial = 0; trial < 8; ++trial) {
+            const Vector x = randomBinary(p, rng);
+            BitVector bits;
+            bits.packFrom(x.data(), p);
+
+            Vector want, got;
+            linalg::gemvT(model.w, x, model.b, want);
+            linalg::accumulateRowsMasked(model.w, bits, model.b, got);
+            ASSERT_EQ(got.size(), want.size());
+            for (std::size_t j = 0; j < q; ++j)
+                EXPECT_EQ(got[j], want[j])
+                    << p << "x" << q << " unit " << j;
+        }
+    }
+}
+
+TEST(BitOps, FusedKernelMatchesFloatSigmoidThenSample)
+{
+    Rng rng(22);
+    for (const auto &[p, q] : kShapes) {
+        const Model model(p, q, rng);
+        const Vector x = randomBinary(p, rng);
+        BitVector bits;
+        bits.packFrom(x.data(), p);
+
+        // Float pipeline: affineSigmoid then Rbm::sampleBinary.
+        Vector wantMeans, wantSample;
+        Rng floatRng(777);
+        linalg::affineSigmoid(model.w, x.data(), model.b, wantMeans);
+        rbm::Rbm::sampleBinary(wantMeans, wantSample, floatRng);
+
+        // Packed fused kernel on an identical stream.
+        BitVector outBits;
+        Vector gotMeans;
+        Rng packedRng(777);
+        linalg::affineSigmoidBernoulli(model.w, bits, model.b, outBits,
+                                       gotMeans, packedRng);
+
+        ASSERT_EQ(gotMeans.size(), q);
+        for (std::size_t j = 0; j < q; ++j) {
+            EXPECT_EQ(gotMeans[j], wantMeans[j])
+                << p << "x" << q << " mean " << j;
+            EXPECT_EQ(outBits.test(j), wantSample[j] != 0.0f)
+                << p << "x" << q << " bit " << j;
+        }
+        // Identical consumption: both generators must be in the same
+        // state afterwards.
+        EXPECT_EQ(floatRng.next(), packedRng.next());
+    }
+}
+
+TEST(BitOps, SampleBatchMatchesPerChainFusedKernel)
+{
+    Rng rng(23);
+    for (const auto &[p, q] : kShapes) {
+        const Model model(p, q, rng);
+        const std::size_t batch = 7;
+
+        BitMatrix in(batch, p);
+        std::vector<Vector> inRows;
+        for (std::size_t r = 0; r < batch; ++r) {
+            inRows.push_back(randomBinary(p, rng));
+            in.packRowFrom(r, inRows.back().data());
+        }
+
+        std::vector<Rng> batchRngs, chainRngs;
+        for (std::size_t r = 0; r < batch; ++r) {
+            batchRngs.push_back(Rng::stream(99, r));
+            chainRngs.push_back(Rng::stream(99, r));
+        }
+
+        BitMatrix out;
+        Matrix means;
+        linalg::sampleBatch(model.w, in, model.b, out, means,
+                            batchRngs.data());
+        ASSERT_EQ(means.rows(), batch);
+        ASSERT_EQ(means.cols(), q);
+
+        for (std::size_t r = 0; r < batch; ++r) {
+            BitVector bits, wantBits;
+            bits.packFrom(inRows[r].data(), p);
+            Vector wantMeans;
+            linalg::affineSigmoidBernoulli(model.w, bits, model.b,
+                                           wantBits, wantMeans,
+                                           chainRngs[r]);
+            for (std::size_t j = 0; j < q; ++j) {
+                EXPECT_EQ(means.row(r)[j], wantMeans[j])
+                    << p << "x" << q << " chain " << r << " mean " << j;
+                EXPECT_EQ(out.test(r, j), wantBits.test(j))
+                    << p << "x" << q << " chain " << r << " bit " << j;
+            }
+        }
+    }
+}
+
+TEST(BitOps, AccumulateBatchTileCoversArbitrarySplits)
+{
+    // Column/row tiles must compose to the same result as one full
+    // tile -- this is what lets the backend thread over units within
+    // a sweep without changing a single bit.
+    Rng rng(24);
+    const std::size_t p = 130, q = 70, batch = 5;
+    const Model model(p, q, rng);
+    BitMatrix in(batch, p);
+    for (std::size_t r = 0; r < batch; ++r) {
+        const Vector row = randomBinary(p, rng);
+        in.packRowFrom(r, row.data());
+    }
+
+    Matrix whole(batch, q), split(batch, q);
+    linalg::accumulateBatchTile(model.w, in, model.b, whole, 0, batch, 0,
+                                q);
+    for (const std::size_t cut : {1u, 33u, 64u, 69u}) {
+        split.fill(-1.0f);
+        linalg::accumulateBatchTile(model.w, in, model.b, split, 0, 2, 0,
+                                    cut);
+        linalg::accumulateBatchTile(model.w, in, model.b, split, 0, 2,
+                                    cut, q);
+        linalg::accumulateBatchTile(model.w, in, model.b, split, 2,
+                                    batch, 0, cut);
+        linalg::accumulateBatchTile(model.w, in, model.b, split, 2,
+                                    batch, cut, q);
+        for (std::size_t r = 0; r < batch; ++r)
+            for (std::size_t j = 0; j < q; ++j)
+                EXPECT_EQ(split(r, j), whole(r, j))
+                    << "cut " << cut << " at (" << r << ", " << j << ")";
+    }
+}
+
+TEST(BitOps, IsBinaryDetectsNonBinaryEntries)
+{
+    Matrix m(2, 3, 1.0f);
+    EXPECT_TRUE(linalg::isBinary01(m));
+    m(1, 2) = 0.0f;
+    EXPECT_TRUE(linalg::isBinary01(m));
+    m(0, 1) = 0.5f;
+    EXPECT_FALSE(linalg::isBinary01(m));
+}
+
+TEST(BitOps, PackTransposedMirrorsTheFloatMatrix)
+{
+    Rng rng(31);
+    Matrix src(5, 70);
+    for (std::size_t r = 0; r < src.rows(); ++r)
+        for (std::size_t c = 0; c < src.cols(); ++c)
+            src(r, c) = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    BitMatrix t;
+    linalg::packTransposed(src, t);
+    ASSERT_EQ(t.rows(), src.cols());
+    ASSERT_EQ(t.cols(), src.rows());
+    for (std::size_t r = 0; r < src.rows(); ++r)
+        for (std::size_t c = 0; c < src.cols(); ++c)
+            EXPECT_EQ(t.test(c, r), src(r, c) != 0.0f)
+                << "(" << r << ", " << c << ")";
+}
+
+TEST(BitOps, OuterCountDiffEqualsFloatGradientReduce)
+{
+    // The popcount reduce must agree exactly with the float-MAC
+    // gradient reduce on binary states for batch sizes across the
+    // word-specialization tiers (1, 2, 4, 8 words and the fallback).
+    Rng rng(32);
+    const std::size_t m = 37, n = 21;
+    for (const std::size_t batch : {5u, 64u, 100u, 250u, 500u, 600u}) {
+        Matrix vpos(batch, m), vneg(batch, m), hpos(batch, n),
+            hneg(batch, n);
+        auto fill = [&](Matrix &mat) {
+            for (std::size_t r = 0; r < mat.rows(); ++r)
+                for (std::size_t c = 0; c < mat.cols(); ++c)
+                    mat(r, c) = rng.bernoulli(0.4) ? 1.0f : 0.0f;
+        };
+        fill(vpos);
+        fill(vneg);
+        fill(hpos);
+        fill(hneg);
+
+        // Float reference: dW = Vpos^T Hpos - Vneg^T Hneg.
+        Matrix want(m, n, 0.0f);
+        for (std::size_t pos = 0; pos < batch; ++pos)
+            for (std::size_t i = 0; i < m; ++i)
+                for (std::size_t j = 0; j < n; ++j)
+                    want(i, j) += vpos(pos, i) * hpos(pos, j) -
+                                  vneg(pos, i) * hneg(pos, j);
+
+        BitMatrix posT, negT, hposT, hnegT;
+        linalg::packTransposed(vpos, posT);
+        linalg::packTransposed(vneg, negT);
+        linalg::packTransposed(hpos, hposT);
+        linalg::packTransposed(hneg, hnegT);
+        Matrix got(m, n);
+        linalg::outerCountDiff(posT, hposT, negT, hnegT, got, 0, m);
+        for (std::size_t i = 0; i < m; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                EXPECT_EQ(got(i, j), want(i, j))
+                    << "batch " << batch << " (" << i << ", " << j << ")";
+
+        // Bias rows: counts along the batch axis.
+        std::vector<float> counts(m);
+        linalg::rowCounts(posT, counts.data());
+        for (std::size_t i = 0; i < m; ++i) {
+            float want_i = 0.0f;
+            for (std::size_t pos = 0; pos < batch; ++pos)
+                want_i += vpos(pos, i);
+            EXPECT_EQ(counts[i], want_i) << "batch " << batch;
+        }
+    }
+}
