@@ -27,9 +27,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
 
 #include "accel/parallel_bgf.hpp"
 #include "bench_common.hpp"
+#include "engine/server.hpp"
 #include "data/registry.hpp"
 #include "exec/parallel_for.hpp"
 #include "hw/multichip.hpp"
@@ -404,6 +406,63 @@ printKernelScaling(bool full, std::vector<benchtool::JsonRecord> &json)
                     benchtool::geomean(sweepSpeedups), "x"});
 }
 
+/**
+ * Batched inference server throughput: many small requests coalesced
+ * into kernel-depth batches over a paper-scale (784x500) RBM -- the
+ * serving-side counterpart of the training numbers above.  Emits
+ * requests/sec and rows/sec per op into the BENCH JSON artifact.
+ */
+void
+printServeBench(bool full, std::vector<benchtool::JsonRecord> &json)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "isingrbm_bench_serve").string();
+    fs::remove_all(dir);
+    engine::ModelRegistry registry(dir);
+    rbm::Checkpoint ckpt;
+    ckpt.meta.backend = "bench";
+    ckpt.model = kernelModel(784, 500, 17);
+    registry.put("serve", std::move(ckpt));
+
+    const std::size_t requests = full ? 256 : 64;
+    const std::size_t rowsPer = 4;  // small requests: coalescing matters
+    benchtool::Table table({"op", "requests", "rows", "req/s", "rows/s",
+                            "kernel batches"});
+    struct OpSpec
+    {
+        engine::Op op;
+        int steps;
+    };
+    for (const OpSpec &spec :
+         {OpSpec{engine::Op::Featurize, 0},
+          OpSpec{engine::Op::Reconstruct, 0},
+          OpSpec{engine::Op::Sample, 10}}) {
+        engine::Server server(registry);
+        auto batch = engine::probeRequests(*registry.get("serve"),
+                                           "serve", spec.op, requests,
+                                           rowsPer, spec.steps, 100);
+        util::Stopwatch sw;
+        const auto responses = server.serve(std::move(batch));
+        const double sec = sw.seconds();
+        const engine::Server::Stats &stats = server.stats();
+        table.addRow({engine::opName(spec.op),
+                      std::to_string(responses.size()),
+                      std::to_string(stats.rows), fmt(requests / sec, 0),
+                      fmt(stats.rows / sec, 0),
+                      std::to_string(stats.kernelBatches)});
+        json.push_back({std::string("serve/") + engine::opName(spec.op) +
+                            "/requests_per_s",
+                        requests / sec, "req/s"});
+        json.push_back({std::string("serve/") + engine::opName(spec.op) +
+                            "/rows_per_s",
+                        stats.rows / sec, "rows/s"});
+    }
+    table.print("Batched inference server (784x500 RBM, " +
+                std::to_string(rowsPer) + "-row requests, coalesced)");
+    fs::remove_all(dir);
+}
+
 void
 printMultiChip()
 {
@@ -538,6 +597,7 @@ main(int argc, char **argv)
 
     std::vector<benchtool::JsonRecord> json;
     printKernelScaling(full, json);
+    printServeBench(full, json);
     if (!jsonPath.empty())
         benchtool::writeBenchJson(jsonPath, "bench_scaling", json);
 

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * The isingrbm multi-tool: one entry point over the whole stack.
+ *
+ *   isingrbm train       train a model and checkpoint it in a registry
+ *   isingrbm sample      draw fantasy samples from a checkpoint
+ *   isingrbm eval        featurize + classifier-head (or exact
+ *                        free-energy) accuracy of a checkpoint
+ *   isingrbm serve-bench drive the batched inference server and report
+ *                        throughput
+ *   isingrbm list        list a registry's checkpoints (--verify
+ *                        round-trips each archive)
+ *
+ * Every subcommand resolves datasets through data/registry, trains
+ * through eval/pipelines and serves through engine/ -- the example
+ * programs are demos of library APIs; this binary is the product
+ * surface (train once, read the model out, ship it to inference).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/registry.hpp"
+#include "engine/server.hpp"
+#include "eval/classifier.hpp"
+#include "eval/pipelines.hpp"
+#include "rbm/sampling.hpp"
+#include "rbm/serialize.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace ising;
+
+namespace {
+
+// ------------------------------------------------------------ helpers
+
+/** Warn about typo'd flags, print help when asked; true = proceed. */
+bool
+checkFlags(const util::CliArgs &args, const std::string &usage,
+           const std::vector<util::FlagHelp> &flags)
+{
+    if (args.helpRequested()) {
+        std::fputs(util::usageText(usage, flags).c_str(), stdout);
+        return false;
+    }
+    for (const std::string &name : args.unknown(util::knownFlagNames(flags)))
+        util::warn("isingrbm: unknown flag --" + name + " (see --help)");
+    return true;
+}
+
+std::string
+requireFlag(const util::CliArgs &args, const std::string &name)
+{
+    const std::string value = args.get(name, "");
+    if (value.empty())
+        util::fatal("isingrbm: missing required --" + name +
+                    " (see --help)");
+    return value;
+}
+
+/** Non-negative size flag: a negative long would wrap to ~1.8e19 when
+ *  assigned to std::size_t and blow up in the first allocation. */
+std::size_t
+sizeFlag(const util::CliArgs &args, const std::string &name,
+         std::size_t dflt)
+{
+    const long v = args.getInt(name, static_cast<long>(dflt));
+    if (v < 0)
+        util::fatal(util::strcat("isingrbm: --", name,
+                                 " must be non-negative, got ", v));
+    return static_cast<std::size_t>(v);
+}
+
+/** Binarized benchmark dataset shared by train/eval. */
+data::Dataset
+benchmarkData(const util::CliArgs &args)
+{
+    const std::string name = args.get("data", "MNIST");
+    const std::size_t samples = sizeFlag(args, "samples", 1500);
+    const std::uint64_t seed = args.getInt("data-seed", 42);
+    data::Dataset raw = data::makeBenchmarkData(name, samples, seed);
+    return data::binarizeThreshold(raw);
+}
+
+/** Fill spec fields from shared training flags. */
+void
+applyTrainFlags(const util::CliArgs &args, eval::TrainSpec &spec)
+{
+    spec.epochs = static_cast<int>(args.getInt("epochs", spec.epochs));
+    spec.k = static_cast<int>(args.getInt("k", spec.k));
+    spec.learningRate = args.getDouble("lr", spec.learningRate);
+    spec.batchSize = sizeFlag(args, "batch", spec.batchSize);
+    spec.seed = args.getInt("seed", spec.seed);
+    const double noise = args.getDouble("noise", 0.0);
+    spec.noise = {noise, noise};
+}
+
+const std::vector<util::FlagHelp> kTrainFlags = {
+    {"registry", "dir", "checkpoint directory (required)"},
+    {"name", "id", "checkpoint name (required)"},
+    {"data", "id", "Table 1 benchmark dataset (default MNIST)"},
+    {"samples", "N", "synthetic sample count (default 1500)"},
+    {"data-seed", "S", "dataset generator seed (default 42)"},
+    {"family", "rbm|dbn|class_rbm", "model family (default rbm)"},
+    {"hidden", "H", "hidden units for rbm/class_rbm (default 64)"},
+    {"layers", "a,b", "DBN hidden widths (default 96,48)"},
+    {"trainer", "cd|gs|bgf", "training engine (default cd)"},
+    {"epochs", "E", "training epochs (default per trainer)"},
+    {"k", "K", "CD steps / BGF anneal sweeps (default per trainer)"},
+    {"lr", "R", "learning rate (default 0.1)"},
+    {"batch", "B", "minibatch size (default 50)"},
+    {"noise", "X", "substrate (variation, noise) RMS for gs/bgf"},
+    {"seed", "S", "training seed (default 1)"},
+};
+
+int
+cmdTrain(const util::CliArgs &args)
+{
+    if (!checkFlags(args, "isingrbm train --registry DIR --name ID [flags]",
+                    kTrainFlags))
+        return 0;
+    engine::ModelRegistry registry(requireFlag(args, "registry"));
+    const std::string name = requireFlag(args, "name");
+    // Validate the name up front: failing here costs nothing, failing
+    // at put() would discard the whole training run.
+    const std::string outPath = registry.pathFor(name);
+    const std::string family = args.get("family", "rbm");
+    const eval::Trainer trainer =
+        eval::trainerFromName(args.get("trainer", "cd"));
+    if (family == "class_rbm" && trainer != eval::Trainer::CdK)
+        util::fatal("isingrbm: class_rbm trains by its own CD path; "
+                    "use --trainer cd");
+
+    const data::Dataset train = benchmarkData(args);
+    std::printf("training %s '%s' on %s: %zu samples of dim %zu\n",
+                family.c_str(), name.c_str(),
+                args.get("data", "MNIST").c_str(), train.size(),
+                train.dim());
+
+    eval::TrainSpec spec = eval::defaultTrainSpec(trainer);
+    applyTrainFlags(args, spec);
+
+    rbm::Checkpoint ckpt;
+    ckpt.meta.backend = eval::trainerName(trainer);
+    ckpt.meta.seed = spec.seed;
+    ckpt.meta.epoch = spec.epochs;
+
+    util::Stopwatch sw;
+    if (family == "rbm") {
+        const std::size_t hidden = sizeFlag(args, "hidden", 64);
+        ckpt.model = eval::trainRbm(train, hidden, spec);
+    } else if (family == "dbn") {
+        std::vector<std::size_t> layers = {train.dim()};
+        for (std::size_t width :
+             util::parseSizeList(args.get("layers", "96,48")))
+            layers.push_back(width);
+        ckpt.model = eval::trainDbn(train, layers, spec);
+    } else if (family == "class_rbm") {
+        if (train.numClasses <= 0)
+            util::fatal("isingrbm: dataset carries no labels");
+        const std::size_t hidden = sizeFlag(args, "hidden", 64);
+        rbm::ClassRbm model(train.dim(), train.numClasses, hidden);
+        util::Rng rng(spec.seed);
+        model.initRandom(rng);
+        rbm::ClassRbmConfig cfg;
+        cfg.learningRate = spec.learningRate;
+        cfg.k = spec.k;
+        cfg.batchSize = spec.batchSize;
+        for (int e = 0; e < spec.epochs; ++e)
+            model.trainEpoch(train, cfg, rng);
+        ckpt.model = std::move(model);
+    } else {
+        util::fatal("isingrbm: unknown --family '" + family +
+                    "' (use rbm, dbn or class_rbm)");
+    }
+
+    registry.put(name, std::move(ckpt));
+    std::printf("checkpointed %s (%.1fs) -> %s\n", name.c_str(),
+                sw.seconds(), outPath.c_str());
+    return 0;
+}
+
+const std::vector<util::FlagHelp> kSampleFlags = {
+    {"registry", "dir", "checkpoint directory (required)"},
+    {"model", "id", "checkpoint name (required)"},
+    {"count", "N", "chains to draw (default 4)"},
+    {"burnin", "K", "anneal sweeps per chain (default 50)"},
+    {"seed", "S", "request seed (default 7)"},
+    {"ascii", "", "render square samples as ASCII art"},
+    {"out", "path", "write samples as a text matrix"},
+};
+
+int
+cmdSample(const util::CliArgs &args)
+{
+    if (!checkFlags(args,
+                    "isingrbm sample --registry DIR --model ID [flags]",
+                    kSampleFlags))
+        return 0;
+    engine::ModelRegistry registry(requireFlag(args, "registry"));
+    engine::Server server(registry);
+    const std::string name = requireFlag(args, "model");
+
+    engine::Request req;
+    req.model = name;
+    req.op = engine::Op::Sample;
+    req.count = sizeFlag(args, "count", 4);
+    req.steps = static_cast<int>(args.getInt("burnin", 50));
+    req.seed = args.getInt("seed", 7);
+    const engine::Response res =
+        std::move(server.serve({std::move(req)}).front());
+
+    const auto model = registry.get(name);
+    std::printf("%zu samples of dim %zu from %s '%s' (backend %s, "
+                "seed %llu, epoch %d)\n",
+                res.output.rows(), res.output.cols(),
+                model->familyName(), model->meta().name.c_str(),
+                model->meta().backend.empty()
+                    ? "?" : model->meta().backend.c_str(),
+                static_cast<unsigned long long>(model->meta().seed),
+                model->meta().epoch);
+
+    const std::size_t side = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(res.output.cols()))));
+    for (std::size_t r = 0; r < res.output.rows(); ++r) {
+        double mean = 0.0;
+        for (std::size_t i = 0; i < res.output.cols(); ++i)
+            mean += res.output(r, i);
+        std::printf("sample %zu: mean activation %.3f\n", r,
+                    mean / static_cast<double>(res.output.cols()));
+        if (args.has("ascii") && side * side == res.output.cols())
+            std::printf("%s", rbm::asciiImage(res.output.row(r),
+                                              side).c_str());
+    }
+
+    const std::string outPath = args.get("out", "");
+    if (!outPath.empty()) {
+        std::ofstream os(outPath);
+        if (!os)
+            util::fatal("isingrbm: cannot write " + outPath);
+        for (std::size_t r = 0; r < res.output.rows(); ++r) {
+            for (std::size_t i = 0; i < res.output.cols(); ++i)
+                os << res.output(r, i)
+                   << (i + 1 == res.output.cols() ? '\n' : ' ');
+        }
+        std::printf("wrote %s\n", outPath.c_str());
+    }
+    return 0;
+}
+
+const std::vector<util::FlagHelp> kEvalFlags = {
+    {"registry", "dir", "checkpoint directory (required)"},
+    {"model", "id", "checkpoint name (required)"},
+    {"data", "id", "Table 1 benchmark dataset (default MNIST)"},
+    {"samples", "N", "synthetic sample count (default 1500)"},
+    {"data-seed", "S", "dataset generator seed (default 42)"},
+    {"test-frac", "F", "test split fraction (default 0.25)"},
+    {"seed", "S", "split/head seed (default 9)"},
+    {"head-epochs", "E", "logistic head epochs (default 30)"},
+};
+
+int
+cmdEval(const util::CliArgs &args)
+{
+    if (!checkFlags(args, "isingrbm eval --registry DIR --model ID [flags]",
+                    kEvalFlags))
+        return 0;
+    engine::ModelRegistry registry(requireFlag(args, "registry"));
+    engine::Server server(registry);
+    const std::string name = requireFlag(args, "model");
+    const auto model = registry.get(name);
+
+    const data::Dataset full = benchmarkData(args);
+    util::Rng splitRng(args.getInt("seed", 9));
+    const data::Split split = data::trainTestSplit(
+        full, args.getDouble("test-frac", 0.25), splitRng);
+    std::printf("eval %s '%s' on %s: train %zu / test %zu of dim %zu\n",
+                model->familyName(), name.c_str(),
+                args.get("data", "MNIST").c_str(), split.train.size(),
+                split.test.size(), split.train.dim());
+
+    if (model->family() == rbm::ModelFamily::ClassRbm) {
+        engine::Request req;
+        req.model = name;
+        req.op = engine::Op::Classify;
+        req.input = split.test.samples;
+        const engine::Response res =
+            std::move(server.serve({std::move(req)}).front());
+        std::size_t hits = 0;
+        for (std::size_t r = 0; r < res.labels.size(); ++r)
+            hits += res.labels[r] == split.test.labels[r];
+        std::printf("exact free-energy accuracy: %.1f%%\n",
+                    100.0 * hits /
+                        static_cast<double>(split.test.size()));
+        return 0;
+    }
+
+    auto featurize = [&](const data::Dataset &ds) {
+        engine::Request req;
+        req.model = name;
+        req.op = engine::Op::Featurize;
+        req.input = ds.samples;
+        data::Dataset out;
+        out.name = ds.name + "-features";
+        out.numClasses = ds.numClasses;
+        out.labels = ds.labels;
+        out.samples =
+            std::move(server.serve({std::move(req)}).front().output);
+        return out;
+    };
+    eval::LogisticConfig head;
+    head.epochs = static_cast<int>(args.getInt("head-epochs", 30));
+    util::Rng headRng(args.getInt("seed", 9));
+    const double acc = eval::classifierAccuracy(
+        featurize(split.train), featurize(split.test), head, headRng);
+    std::printf("feature dim %zu, logistic-head test accuracy: %.1f%%\n",
+                model->outputDim(engine::Op::Featurize), acc * 100);
+    return 0;
+}
+
+const std::vector<util::FlagHelp> kServeBenchFlags = {
+    {"registry", "dir", "checkpoint directory (required)"},
+    {"model", "id", "checkpoint name (required)"},
+    {"op", "sample|featurize|reconstruct|classify",
+     "request type (default featurize)"},
+    {"requests", "N", "request count (default 64)"},
+    {"rows", "R", "rows per request (default 4)"},
+    {"steps", "K", "anneal sweeps for sample requests (default 10)"},
+    {"max-batch", "B", "server kernel batch depth (default 256)"},
+    {"seed", "S", "request seed root (default 13)"},
+};
+
+int
+cmdServeBench(const util::CliArgs &args)
+{
+    if (!checkFlags(args,
+                    "isingrbm serve-bench --registry DIR --model ID "
+                    "[flags]",
+                    kServeBenchFlags))
+        return 0;
+    engine::ModelRegistry registry(requireFlag(args, "registry"));
+    engine::ServerConfig config;
+    config.maxBatchRows = sizeFlag(args, "max-batch", 256);
+    engine::Server server(registry, config);
+
+    const std::string name = requireFlag(args, "model");
+    const auto model = registry.get(name);
+    const engine::Op op =
+        engine::opFromName(args.get("op", "featurize"));
+    const std::size_t requests = sizeFlag(args, "requests", 64);
+    const std::size_t rows = sizeFlag(args, "rows", 4);
+    const int steps = static_cast<int>(args.getInt("steps", 10));
+    const std::uint64_t seed = args.getInt("seed", 13);
+
+    auto batch =
+        engine::probeRequests(*model, name, op, requests, rows, steps,
+                              seed);
+    util::Stopwatch sw;
+    const auto responses = server.serve(std::move(batch));
+    const double seconds = sw.seconds();
+    const engine::Server::Stats &stats = server.stats();
+    std::printf("served %zu %s requests (%zu rows) on %s '%s' in "
+                "%.3fs\n",
+                responses.size(), engine::opName(op), stats.rows,
+                model->familyName(), name.c_str(), seconds);
+    std::printf("  %.0f requests/s, %.0f rows/s, %zu coalesced "
+                "groups, %zu kernel batches (max depth %zu)\n",
+                requests / seconds, stats.rows / seconds, stats.groups,
+                stats.kernelBatches, config.maxBatchRows);
+    return 0;
+}
+
+const std::vector<util::FlagHelp> kListFlags = {
+    {"registry", "dir", "checkpoint directory (required)"},
+    {"verify", "", "re-serialize each archive and diff the round-trip"},
+};
+
+int
+cmdList(const util::CliArgs &args)
+{
+    if (!checkFlags(args, "isingrbm list --registry DIR [--verify]",
+                    kListFlags))
+        return 0;
+    engine::ModelRegistry registry(requireFlag(args, "registry"));
+    const bool verify = args.getBool("verify", false);
+
+    int failures = 0;
+    const auto names = registry.names();
+    std::printf("%-20s %-10s %-8s %-10s %s\n", "name", "family",
+                "backend", "seed", "epoch");
+    for (const std::string &name : names) {
+        const rbm::Checkpoint ckpt =
+            rbm::loadCheckpointFile(registry.pathFor(name));
+        std::printf("%-20s %-10s %-8s %-10llu %d", name.c_str(),
+                    rbm::familyTag(ckpt.family()),
+                    ckpt.meta.backend.empty() ? "-"
+                                              : ckpt.meta.backend.c_str(),
+                    static_cast<unsigned long long>(ckpt.meta.seed),
+                    ckpt.meta.epoch);
+        if (verify) {
+            // Round-trip diff: save(load(file)) must be byte-stable
+            // under a second load/save cycle (and v2 archives must
+            // reproduce themselves exactly).
+            std::ostringstream first;
+            rbm::saveCheckpoint(ckpt, first);
+            std::istringstream back(first.str());
+            std::ostringstream second;
+            rbm::saveCheckpoint(rbm::loadCheckpoint(back), second);
+            const bool ok = first.str() == second.str();
+            std::printf("  round-trip %s", ok ? "OK" : "FAIL");
+            failures += !ok;
+        }
+        std::printf("\n");
+    }
+    if (names.empty())
+        std::printf("(no checkpoints under %s)\n",
+                    registry.dir().c_str());
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmdHelp()
+{
+    std::printf(
+        "isingrbm -- train, persist and serve Ising-substrate RBM "
+        "models\n"
+        "usage: isingrbm <subcommand> [--flags]   (--help per "
+        "subcommand)\n\n"
+        "  train        train a model and checkpoint it in a registry\n"
+        "  sample       draw fantasy samples from a checkpoint\n"
+        "  eval         classifier-head / free-energy accuracy of a "
+        "checkpoint\n"
+        "  serve-bench  drive the batched inference server, report "
+        "throughput\n"
+        "  list         list a registry's checkpoints (--verify "
+        "round-trips)\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const util::CliArgs args(argc, argv);
+    const std::string sub = args.subcommand();
+    if (sub == "train")
+        return cmdTrain(args);
+    if (sub == "sample")
+        return cmdSample(args);
+    if (sub == "eval")
+        return cmdEval(args);
+    if (sub == "serve-bench")
+        return cmdServeBench(args);
+    if (sub == "list")
+        return cmdList(args);
+    if (sub.empty() || sub == "help" || args.helpRequested())
+        return cmdHelp();
+    util::fatal("isingrbm: unknown subcommand '" + sub +
+                "' (run isingrbm help)");
+}

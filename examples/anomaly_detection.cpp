@@ -35,13 +35,10 @@ main(int argc, char **argv)
     std::printf("%zu transactions, %d fraudulent (%.2f%%)\n", raw.size(),
                 positives, 100.0 * positives / raw.size());
 
-    eval::TrainSpec spec;
-    spec.trainer = trainerName == "cd" ? eval::Trainer::CdK
-                                       : eval::Trainer::Bgf;
-    spec.k = spec.trainer == eval::Trainer::Bgf ? 3 : 10;
+    eval::TrainSpec spec =
+        eval::defaultTrainSpec(eval::trainerFromName(trainerName));
     spec.epochs = 15;
     spec.learningRate = 0.05;
-    spec.batchSize = 50;
     spec.noise = {noise, noise};
     spec.seed = 9;
 

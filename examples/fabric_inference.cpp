@@ -44,13 +44,24 @@ main(int argc, char **argv)
     std::printf("digital free-energy classification: %.1f%%\n",
                 model.accuracy(ds) * 100);
 
-    // Persist the joint model and reload it -- the deploy path.
-    const std::string path = "/tmp/isingrbm_classifier.txt";
-    rbm::saveRbm(model.joint(), path);
-    const rbm::Rbm reloaded = rbm::loadRbmFile(path);
-    std::printf("model saved to %s and reloaded (%zux%zu)\n",
-                path.c_str(), reloaded.numVisible(),
-                reloaded.numHidden());
+    // Persist the classifier as a v2 checkpoint and reload it -- the
+    // deploy path (the same archive `isingrbm list/serve-bench` read).
+    const std::string path = "/tmp/isingrbm_classifier.ckpt";
+    rbm::Checkpoint ckpt;
+    ckpt.meta.name = "bars-classifier";
+    ckpt.meta.backend = "cd";
+    ckpt.meta.seed = 7;
+    ckpt.meta.epoch = epochs;
+    ckpt.model = model;
+    rbm::saveCheckpoint(ckpt, path);
+    const rbm::Checkpoint loaded = rbm::loadCheckpointFile(path);
+    const rbm::ClassRbm &served = std::get<rbm::ClassRbm>(loaded.model);
+    const rbm::Rbm &reloaded = served.joint();
+    std::printf("checkpointed to %s and reloaded (%s, %zu pixels, "
+                "%d classes, trained %d epochs)\n",
+                path.c_str(), rbm::familyTag(loaded.family()),
+                served.numPixels(), served.numClasses(),
+                loaded.meta.epoch);
 
     // Substrate inference at increasing noise.
     std::printf("\n%-16s %s\n", "(var, noise)", "fabric accuracy");

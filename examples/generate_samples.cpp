@@ -42,12 +42,8 @@ main(int argc, char **argv)
     std::printf("training BGF on %zu digit glyphs (%zux%zu RBM)...\n",
                 train.size(), train.dim(), hidden);
 
-    eval::TrainSpec spec;
-    spec.trainer = eval::Trainer::Bgf;
-    spec.k = 5;
+    eval::TrainSpec spec = eval::defaultTrainSpec(eval::Trainer::Bgf);
     spec.epochs = epochs;
-    spec.learningRate = 0.1;
-    spec.batchSize = 50;
     spec.seed = 3;
     const rbm::Rbm model = eval::trainRbm(train, hidden, spec);
 

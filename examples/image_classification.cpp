@@ -5,51 +5,31 @@
  * either by software CD or fully in hardware by the Boltzmann
  * gradient follower, followed by the logistic-regression head.
  *
+ * Equivalent multi-tool invocation:
+ *   isingrbm train --family dbn --trainer bgf --layers 96,48 ... &&
+ *   isingrbm eval --model <name> ...
+ *
  * Usage: image_classification [--trainer cd|gs|bgf] [--samples N]
  *                             [--epochs E] [--layers 96,48]
  */
 
 #include <cstdio>
-#include <sstream>
 
 #include "data/registry.hpp"
 #include "eval/pipelines.hpp"
 #include "util/cli.hpp"
-#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace ising;
-
-namespace {
-
-std::vector<std::size_t>
-parseLayers(const std::string &text, std::size_t inputDim)
-{
-    std::vector<std::size_t> layers = {inputDim};
-    std::stringstream ss(text);
-    std::string item;
-    while (std::getline(ss, item, ','))
-        layers.push_back(std::stoul(item));
-    return layers;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
     const std::string trainerName = args.get("trainer", "bgf");
+    const eval::Trainer trainer = eval::trainerFromName(trainerName);
     const std::size_t numSamples = args.getInt("samples", 1500);
     const int epochs = static_cast<int>(args.getInt("epochs", 5));
-
-    eval::Trainer trainer = eval::Trainer::Bgf;
-    if (trainerName == "cd")
-        trainer = eval::Trainer::CdK;
-    else if (trainerName == "gs")
-        trainer = eval::Trainer::GibbsSampler;
-    else if (trainerName != "bgf")
-        util::fatal("unknown --trainer (use cd, gs or bgf)");
 
     // Synthetic MNIST-stand-in, binarized, split 75/25.
     data::Dataset raw = data::makeBenchmarkData("MNIST", numSamples, 42);
@@ -60,19 +40,17 @@ main(int argc, char **argv)
                 split.train.size(), split.test.size(),
                 split.train.dim());
 
-    const auto layers =
-        parseLayers(args.get("layers", "96,48"), split.train.dim());
+    std::vector<std::size_t> layers = {split.train.dim()};
+    for (std::size_t width :
+         util::parseSizeList(args.get("layers", "96,48")))
+        layers.push_back(width);
     std::printf("DBN stack:");
     for (std::size_t l : layers)
         std::printf(" %zu", l);
     std::printf("  trainer: %s\n", trainerName.c_str());
 
-    eval::TrainSpec spec;
-    spec.trainer = trainer;
-    spec.k = trainer == eval::Trainer::Bgf ? 5 : 10;
+    eval::TrainSpec spec = eval::defaultTrainSpec(trainer);
     spec.epochs = trainer == eval::Trainer::Bgf ? 2 * epochs : epochs;
-    spec.learningRate = 0.1;
-    spec.batchSize = 50;
     spec.seed = 7;
 
     util::Stopwatch sw;

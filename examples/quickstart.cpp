@@ -1,50 +1,32 @@
 /**
  * @file
  * Quickstart: train a small RBM on synthetic digits three ways --
- * software CD-1, the Gibbs-sampler accelerator, and the Boltzmann
- * gradient follower -- and compare reconstruction quality.
+ * software CD, the Gibbs-sampler accelerator, and the Boltzmann
+ * gradient follower -- through the shared eval::TrainSpec pipeline,
+ * and compare reconstruction quality.
  *
  * A final section draws fantasy samples from the CD model through the
  * unified sampling interface; --backend fabric routes those chains
  * through the noisy analog substrate instead of software math.
  *
- * Usage: quickstart [--samples N] [--hidden H] [--epochs E]
+ * The production path over the same pipeline is the isingrbm
+ * multi-tool: `isingrbm train --trainer cd|gs|bgf ...` checkpoints the
+ * model and `isingrbm sample / eval / serve-bench` serve it.
+ *
+ * Usage: quickstart [--samples N] [--hidden H] [--epochs E] [--k K]
  *                   [--backend software|fabric] [--noise 0.05]
  */
 
 #include <cstdio>
 
-#include "accel/bgf.hpp"
 #include "accel/fabric_backend.hpp"
-#include "accel/gibbs_sampler.hpp"
 #include "data/glyphs.hpp"
-#include "rbm/cd_trainer.hpp"
+#include "eval/pipelines.hpp"
 #include "rbm/sampling.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace ising;
-
-namespace {
-
-double
-reconstructionError(const rbm::Rbm &model, const data::Dataset &ds)
-{
-    linalg::Vector ph, pv;
-    double acc = 0.0;
-    for (std::size_t r = 0; r < ds.size(); ++r) {
-        const float *v = ds.sample(r);
-        model.hiddenProbs(v, ph);
-        model.visibleProbs(ph.data(), pv);
-        for (std::size_t i = 0; i < ds.dim(); ++i) {
-            const double d = pv[i] - v[i];
-            acc += d * d;
-        }
-    }
-    return acc / static_cast<double>(ds.size() * ds.dim());
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -54,64 +36,38 @@ main(int argc, char **argv)
     const std::size_t hidden = args.getInt("hidden", 64);
     const int epochs = static_cast<int>(args.getInt("epochs", 3));
 
-    util::Rng rng(42);
     data::Dataset raw = data::makeGlyphs(data::digitsStyle(), numSamples, 7);
     data::Dataset train = data::binarizeThreshold(raw);
     std::printf("dataset: %zu samples of dim %zu (%d classes)\n",
                 train.size(), train.dim(), train.numClasses);
 
-    // --- Software CD-1 (Algorithm 1) ---
-    rbm::Rbm cdModel(train.dim(), hidden);
-    cdModel.initRandom(rng);
-    rbm::CdConfig cdCfg;
-    cdCfg.learningRate = 0.1;
-    cdCfg.k = 1;
-    cdCfg.batchSize = 50;
-    rbm::CdTrainer cd(cdModel, cdCfg, rng);
-    util::Stopwatch sw;
-    for (int e = 0; e < epochs; ++e)
-        cd.trainEpoch(train);
-    std::printf("software CD-1 : recon err %.4f  (%.2fs)\n",
-                reconstructionError(cdModel, train), sw.seconds());
-
-    // --- Gibbs-sampler accelerator (Sec 3.2) ---
-    rbm::Rbm gsModel(train.dim(), hidden);
-    gsModel.initRandom(rng);
-    accel::GsConfig gsCfg;
-    gsCfg.learningRate = 0.1;
-    gsCfg.k = 1;
-    gsCfg.batchSize = 50;
-    accel::GibbsSamplerAccel gs(gsModel, gsCfg, rng);
-    sw.reset();
-    for (int e = 0; e < epochs; ++e)
-        gs.trainEpoch(train);
-    std::printf("GS accelerator: recon err %.4f  (%.2fs, %zu fabric "
-                "sweeps, %zu reprograms)\n",
-                reconstructionError(gsModel, train), sw.seconds(),
-                gs.counters().fabricSweeps, gs.counters().reprograms);
-
-    // --- Boltzmann gradient follower (Sec 3.3) ---
-    accel::BgfConfig bgfCfg;
-    bgfCfg.learningRate = 0.1 / 50.0;  // minibatch-1 equivalent step
-    bgfCfg.annealSteps = 3;
-    accel::BoltzmannGradientFollower bgf(train.dim(), hidden, bgfCfg, rng);
-    rbm::Rbm init(train.dim(), hidden);
-    init.initRandom(rng);
-    bgf.initialize(init);
-    sw.reset();
-    for (int e = 0; e < epochs; ++e)
-        bgf.trainEpoch(train);
-    const rbm::Rbm bgfModel = bgf.readOut();
-    std::printf("BGF           : recon err %.4f  (%.2fs, %zu pump "
-                "phases)\n",
-                reconstructionError(bgfModel, train), sw.seconds(),
-                bgf.counters().pumpPhases);
+    // The same pipeline the isingrbm CLI trains through, once per
+    // engine; only the trainer (and its preset k) changes.
+    rbm::Rbm cdModel;
+    for (const eval::Trainer trainer :
+         {eval::Trainer::CdK, eval::Trainer::GibbsSampler,
+          eval::Trainer::Bgf}) {
+        eval::TrainSpec spec = eval::defaultTrainSpec(trainer);
+        if (args.has("k"))  // else keep the per-trainer preset
+            spec.k = static_cast<int>(args.getInt("k", spec.k));
+        spec.epochs = epochs;
+        spec.seed = 42;
+        util::Stopwatch sw;
+        rbm::Rbm model = eval::trainRbm(train, hidden, spec);
+        std::printf("%-3s trainer: recon err %.4f  (%.2fs)\n",
+                    eval::trainerName(trainer),
+                    eval::reconstructionError(model, train),
+                    sw.seconds());
+        if (trainer == eval::Trainer::CdK)
+            cdModel = model;
+    }
 
     // --- Fantasy sampling through the unified backend interface ---
     const std::string backendName = args.get("backend", "software");
     const double noise = args.getDouble("noise", 0.05);
     machine::AnalogConfig fabricCfg;
     fabricCfg.noise = {noise, noise};
+    util::Rng rng(42);
     const auto backend = accel::makeSamplingBackend(
         accel::samplingBackendKind(backendName), cdModel, fabricCfg, rng);
     const data::Dataset fantasies =

@@ -15,6 +15,7 @@
 
 #include "data/ratings.hpp"
 #include "rbm/cf_rbm.hpp"
+#include "rbm/serialize.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 
@@ -72,5 +73,17 @@ main(int argc, char **argv)
     for (int item = 0; item < 8; ++item)
         std::printf("  item %2d -> %.2f\n", item,
                     model.predict(corpus, 0, item));
+
+    // Ship the trained model to inference as a v2 checkpoint (the
+    // engine serves its softmax groups through the flat RBM view).
+    const std::string path = "/tmp/isingrbm_recommender.ckpt";
+    rbm::Checkpoint ckpt;
+    ckpt.meta.name = "recommender";
+    ckpt.meta.backend = hw ? "bgf" : "cd";
+    ckpt.meta.seed = 7;
+    ckpt.meta.epoch = epochs;
+    ckpt.model = std::move(model);
+    rbm::saveCheckpoint(ckpt, path);
+    std::printf("\ncheckpointed cf_rbm to %s\n", path.c_str());
     return 0;
 }

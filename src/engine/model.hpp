@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Type-erased serving view over any checkpointed model family.
+ *
+ * The checkpoint archive (rbm/serialize.hpp) can persist six model
+ * families with distinct native APIs; a scenario runtime cannot
+ * special-case all of them at every call site.  engine::Model closes
+ * that gap: it owns one loaded Checkpoint and exposes the serving
+ * operations (sample / featurize / classify / reconstruct) as batched,
+ * row-independent calls, routing every family through the batched
+ * `rbm::SamplingBackend` surface where a flat joint RBM exists (Rbm
+ * itself, ClassRbm's joint model, CfRbm's softmax-group weight matrix,
+ * each DBN layer) and through the family's own math elsewhere
+ * (ConvRbm feature pooling, DBM mean-field).
+ *
+ * Determinism contract (the server relies on it): every operation is
+ * row-independent -- row r of a batch reads only rngs[r] (stochastic
+ * ops) or no randomness at all (featurize/classify), and the batched
+ * kernels underneath guarantee a row's bits do not depend on batch
+ * depth or worker count.  Serving a row alone or coalesced with any
+ * other rows therefore produces identical bits.
+ */
+
+#ifndef ISINGRBM_ENGINE_MODEL_HPP
+#define ISINGRBM_ENGINE_MODEL_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "rbm/sampling_backend.hpp"
+#include "rbm/serialize.hpp"
+
+namespace ising::engine {
+
+/** Serving operations a model can support. */
+enum class Op { Sample, Featurize, Classify, Reconstruct };
+
+/** CLI/config spelling of an operation. */
+const char *opName(Op op);
+
+/** Inverse of opName; fatal on unknown names. */
+Op opFromName(const std::string &name);
+
+/**
+ * One loaded model: a checkpoint plus the backends that serve it.
+ * Immutable after construction; safe to share across threads.
+ */
+class Model
+{
+  public:
+    /**
+     * @param ckpt checkpoint to serve (taken by value and owned)
+     * @param pool worker pool for the batched kernels (borrowed;
+     *        nullptr selects exec::globalPool())
+     */
+    explicit Model(rbm::Checkpoint ckpt,
+                   exec::ThreadPool *pool = nullptr);
+
+    Model(const Model &) = delete;
+    Model &operator=(const Model &) = delete;
+
+    const rbm::Checkpoint &checkpoint() const { return ckpt_; }
+    const rbm::CheckpointMeta &meta() const { return ckpt_.meta; }
+    rbm::ModelFamily family() const { return ckpt_.family(); }
+    const char *familyName() const { return rbm::familyTag(family()); }
+
+    /** True when the family implements the operation. */
+    bool supports(Op op) const;
+
+    /** Input row width for data-bearing ops (pixels for ClassRbm). */
+    std::size_t inputDim() const;
+
+    /** Output row width of an operation (0 for Classify). */
+    std::size_t outputDim(Op op) const;
+
+    /**
+     * Batched sampling surface over the family's flat joint RBM
+     * (nullptr for ConvRbm/Dbm, which have none; for Dbn this is the
+     * visible-facing first layer).
+     */
+    const rbm::SamplingBackend *sampler() const;
+
+    // ----------------------------------------------------- serving ops
+    // All ops resize @p out to (rows x outputDim(op)).  Stochastic ops
+    // draw row r's randomness exclusively from rngs[r].
+
+    /**
+     * Fantasy sampling: @p rows independent chains, each started from
+     * rngs[r] noise and annealed @p burnIn full sweeps; out rows are
+     * the final visible mean-field probabilities.
+     */
+    void sampleRows(int burnIn, std::size_t rows, util::Rng *rngs,
+                    linalg::Matrix &out) const;
+
+    /** Deterministic feature extraction (hidden means / pooled maps). */
+    void featurizeRows(const linalg::Matrix &in,
+                       linalg::Matrix &out) const;
+
+    /**
+     * Stochastic reconstruction: latch hidden from rngs[r], report the
+     * visible mean-field of the down sweep (mean-field both ways for
+     * DBN/DBM/ConvRbm, which reconstruct deterministically).
+     */
+    void reconstructRows(const linalg::Matrix &in, util::Rng *rngs,
+                         linalg::Matrix &out) const;
+
+    /** Exact free-energy classification (ClassRbm only). */
+    void classifyRows(const linalg::Matrix &in,
+                      std::vector<int> &out) const;
+
+  private:
+    exec::ThreadPool &pool() const;
+
+    rbm::Checkpoint ckpt_;
+    exec::ThreadPool *pool_;
+    rbm::Rbm cfFlat_;  ///< CfRbm parameters re-hosted as a plain Rbm
+    std::unique_ptr<rbm::SoftwareGibbsBackend> flat_;
+    /** Per-layer backends for the DBN stack (flat_ aliases the first). */
+    std::vector<std::unique_ptr<rbm::SoftwareGibbsBackend>> layers_;
+};
+
+} // namespace ising::engine
+
+#endif // ISINGRBM_ENGINE_MODEL_HPP

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ModelRegistry implementation.
+ */
+
+#include "engine/registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/logging.hpp"
+
+namespace ising::engine {
+
+namespace fs = std::filesystem;
+
+ModelRegistry::ModelRegistry(std::string dir, exec::ThreadPool *pool)
+    : dir_(std::move(dir)), pool_(pool)
+{
+    if (dir_.empty())
+        util::fatal("registry: empty checkpoint directory");
+}
+
+std::string
+ModelRegistry::pathFor(const std::string &name) const
+{
+    // Names become file stems and single-token checkpoint meta values;
+    // reject anything else here so callers fail before doing work
+    // (e.g. the CLI validates the name before a long training run).
+    if (name.empty() || name.find('/') != std::string::npos ||
+        name.find_first_of(" \t\r\n") != std::string::npos)
+        util::fatal("registry: invalid model name '" + name +
+                    "' (no whitespace or '/')");
+    return (fs::path(dir_) / (name + rbm::kCheckpointExtension)).string();
+}
+
+bool
+ModelRegistry::contains(const std::string &name) const
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (cache_.count(name))
+            return true;
+    }
+    std::error_code ec;
+    return fs::exists(pathFor(name), ec);
+}
+
+std::shared_ptr<const Model>
+ModelRegistry::get(const std::string &name)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(name);
+        if (it != cache_.end())
+            return it->second;
+    }
+    // Load outside the lock (archives can be large); when two threads
+    // race on the same cold name, emplace keeps the first insertion
+    // and the loser's redundant load is discarded.
+    auto model = std::make_shared<const Model>(
+        rbm::loadCheckpointFile(pathFor(name)), pool_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cache_.emplace(name, std::move(model));
+    return it->second;
+}
+
+std::shared_ptr<const Model>
+ModelRegistry::put(const std::string &name, rbm::Checkpoint ckpt)
+{
+    ckpt.meta.name = name;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        util::fatal("registry: cannot create directory " + dir_ + ": " +
+                    ec.message());
+    rbm::saveCheckpoint(ckpt, pathFor(name));
+    auto model = std::make_shared<const Model>(std::move(ckpt), pool_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_[name] = model;
+    return model;
+}
+
+std::vector<std::string>
+ModelRegistry::names() const
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const fs::path path = entry.path();
+        if (path.extension() == rbm::kCheckpointExtension)
+            out.push_back(path.stem().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+ModelRegistry::evict(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.erase(name);
+}
+
+std::size_t
+ModelRegistry::cachedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+} // namespace ising::engine

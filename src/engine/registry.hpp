@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Named model registry over a checkpoint directory.
+ *
+ * The registry maps names to `<dir>/<name>.ckpt` archives, loading
+ * each at most once and handing out shared immutable engine::Model
+ * views -- the uniform, versioned access layer the serving stack and
+ * the isingrbm CLI resolve models through.
+ */
+
+#ifndef ISINGRBM_ENGINE_REGISTRY_HPP
+#define ISINGRBM_ENGINE_REGISTRY_HPP
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/model.hpp"
+
+namespace ising::engine {
+
+/** Thread-safe load-once cache of checkpoints in one directory. */
+class ModelRegistry
+{
+  public:
+    /**
+     * @param dir checkpoint directory (created lazily on first put())
+     * @param pool worker pool handed to loaded models (borrowed;
+     *        nullptr selects exec::globalPool())
+     */
+    explicit ModelRegistry(std::string dir,
+                           exec::ThreadPool *pool = nullptr);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Archive path of a name (whether or not it exists yet). */
+    std::string pathFor(const std::string &name) const;
+
+    /** True when the name is cached or present on disk. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Resolve a name: cached model, or load `<dir>/<name>.ckpt`.
+     * Fatal when the archive is missing or malformed.
+     */
+    std::shared_ptr<const Model> get(const std::string &name);
+
+    /**
+     * Persist a checkpoint under @p name (meta.name is stamped) and
+     * cache the loaded view.  Returns the cached model.
+     */
+    std::shared_ptr<const Model> put(const std::string &name,
+                                     rbm::Checkpoint ckpt);
+
+    /** Names of every archive on disk, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Drop a cached entry (the archive stays on disk). */
+    void evict(const std::string &name);
+
+    /** Number of models currently cached in memory. */
+    std::size_t cachedCount() const;
+
+  private:
+    std::string dir_;
+    exec::ThreadPool *pool_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const Model>> cache_;
+};
+
+} // namespace ising::engine
+
+#endif // ISINGRBM_ENGINE_REGISTRY_HPP

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * engine::Server implementation.
+ */
+
+#include "engine/server.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/logging.hpp"
+
+namespace ising::engine {
+
+Server::Server(ModelRegistry &registry, ServerConfig config)
+    : registry_(registry), config_(config)
+{
+    if (config_.maxBatchRows == 0)
+        util::fatal("server: maxBatchRows must be positive");
+}
+
+std::future<Response>
+Server::submit(Request req)
+{
+    const auto model = registry_.get(req.model);
+    if (!model->supports(req.op))
+        util::fatal(std::string("server: model '") + req.model + "' (" +
+                    model->familyName() + ") does not support op " +
+                    opName(req.op));
+
+    std::size_t rows = 0;
+    if (req.op == Op::Sample) {
+        if (req.count == 0)
+            util::fatal("server: sample request needs count > 0");
+        rows = req.count;
+    } else {
+        if (req.input.rows() == 0)
+            util::fatal("server: request carries no input rows");
+        if (req.input.cols() != model->inputDim())
+            util::fatal(util::strcat("server: input width ",
+                                     req.input.cols(), " != model '",
+                                     req.model, "' input dim ",
+                                     model->inputDim()));
+        rows = req.input.rows();
+    }
+
+    Pending pending;
+    pending.req = std::move(req);
+    pending.rows = rows;
+    auto future = pending.promise.get_future();
+    pending_.push_back(std::move(pending));
+    pendingRows_ += rows;
+    ++stats_.requests;
+
+    if (pendingRows_ >= config_.maxBatchRows)
+        flush();
+    return future;
+}
+
+void
+Server::flush()
+{
+    if (pending_.empty())
+        return;
+    ++stats_.flushes;
+
+    // Group by (model, op, steps); steps only shapes Sample walks, so
+    // other ops coalesce regardless of it.  Groups keep submit order.
+    using Key = std::tuple<std::string, Op, int>;
+    std::map<Key, std::vector<Pending *>> groups;
+    std::vector<Key> order;
+    for (Pending &p : pending_) {
+        const Key key{p.req.model, p.req.op,
+                      p.req.op == Op::Sample ? p.req.steps : 0};
+        auto [it, inserted] = groups.try_emplace(key);
+        if (inserted)
+            order.push_back(key);
+        it->second.push_back(&p);
+    }
+    for (const Key &key : order)
+        executeGroup(groups[key]);
+
+    pending_.clear();
+    pendingRows_ = 0;
+}
+
+void
+Server::executeGroup(const std::vector<Pending *> &group)
+{
+    const auto model = registry_.get(group.front()->req.model);
+    const Op op = group.front()->req.op;
+    ++stats_.groups;
+
+    // Map each coalesced row back to (request, in-request row); every
+    // row keeps the stream derived from *its own request's* seed and
+    // in-request index, so results cannot depend on what the row was
+    // coalesced with.
+    struct RowRef
+    {
+        std::size_t pending;  ///< index into group
+        std::size_t row;      ///< row within that request
+    };
+    std::size_t totalRows = 0;
+    for (const Pending *p : group)
+        totalRows += p->rows;
+    std::vector<RowRef> rowMap;
+    rowMap.reserve(totalRows);
+    std::vector<util::Rng> rngs;
+    rngs.reserve(totalRows);
+    for (std::size_t q = 0; q < group.size(); ++q)
+        for (std::size_t r = 0; r < group[q]->rows; ++r) {
+            rowMap.push_back({q, r});
+            rngs.push_back(util::Rng::stream(group[q]->req.seed, r));
+        }
+
+    // Per-request result storage, written as each kernel-sized chunk
+    // completes: one gather copy in, one scatter copy out.
+    const std::size_t width = model->outputDim(op);
+    std::vector<Response> responses(group.size());
+    for (std::size_t q = 0; q < group.size(); ++q) {
+        if (op == Op::Classify)
+            responses[q].labels.assign(group[q]->rows, -1);
+        else
+            responses[q].output.reset(group[q]->rows, width);
+    }
+
+    const std::size_t inDim = model->inputDim();
+    for (std::size_t begin = 0; begin < totalRows;
+         begin += config_.maxBatchRows) {
+        const std::size_t end =
+            std::min(totalRows, begin + config_.maxBatchRows);
+        ++stats_.kernelBatches;
+        linalg::Matrix in;
+        if (op != Op::Sample) {
+            in.reset(end - begin, inDim);
+            for (std::size_t g = begin; g < end; ++g) {
+                const RowRef &ref = rowMap[g];
+                std::copy_n(group[ref.pending]->req.input.row(ref.row),
+                            inDim, in.row(g - begin));
+            }
+        }
+        const auto scatter = [&](const linalg::Matrix &chunk) {
+            for (std::size_t g = 0; g < chunk.rows(); ++g) {
+                const RowRef &ref = rowMap[begin + g];
+                std::copy_n(chunk.row(g), chunk.cols(),
+                            responses[ref.pending].output.row(ref.row));
+            }
+        };
+        switch (op) {
+          case Op::Sample: {
+            linalg::Matrix chunk;
+            model->sampleRows(group.front()->req.steps, end - begin,
+                              rngs.data() + begin, chunk);
+            scatter(chunk);
+            break;
+          }
+          case Op::Featurize: {
+            linalg::Matrix chunk;
+            model->featurizeRows(in, chunk);
+            scatter(chunk);
+            break;
+          }
+          case Op::Reconstruct: {
+            linalg::Matrix chunk;
+            model->reconstructRows(in, rngs.data() + begin, chunk);
+            scatter(chunk);
+            break;
+          }
+          case Op::Classify: {
+            std::vector<int> chunk;
+            model->classifyRows(in, chunk);
+            for (std::size_t g = begin; g < end; ++g) {
+                const RowRef &ref = rowMap[g];
+                responses[ref.pending].labels[ref.row] =
+                    chunk[g - begin];
+            }
+            break;
+          }
+        }
+    }
+    stats_.rows += totalRows;
+
+    for (std::size_t q = 0; q < group.size(); ++q)
+        group[q]->promise.set_value(std::move(responses[q]));
+}
+
+std::vector<Request>
+probeRequests(const Model &model, const std::string &name, Op op,
+              std::size_t requests, std::size_t rows, int steps,
+              std::uint64_t seedBase)
+{
+    util::Rng rng(seedBase);
+    std::vector<Request> out;
+    out.reserve(requests);
+    for (std::size_t q = 0; q < requests; ++q) {
+        Request req;
+        req.model = name;
+        req.op = op;
+        req.steps = steps;
+        req.seed = seedBase + q;
+        if (op == Op::Sample) {
+            req.count = rows;
+        } else {
+            req.input.reset(rows, model.inputDim());
+            for (std::size_t r = 0; r < rows; ++r)
+                for (std::size_t i = 0; i < model.inputDim(); ++i)
+                    req.input(r, i) = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+        }
+        out.push_back(std::move(req));
+    }
+    return out;
+}
+
+std::vector<Response>
+Server::serve(std::vector<Request> requests)
+{
+    std::vector<std::future<Response>> futures;
+    futures.reserve(requests.size());
+    for (Request &req : requests)
+        futures.push_back(submit(std::move(req)));
+    flush();
+    std::vector<Response> out;
+    out.reserve(futures.size());
+    for (auto &f : futures)
+        out.push_back(f.get());
+    return out;
+}
+
+} // namespace ising::engine

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Batched inference server over the model registry.
+ *
+ * The serving problem: requests arrive one at a time (a handful of
+ * rows each), but the PR-2 packed kernels earn their speedup on deep
+ * (batch x units) state matrices.  engine::Server closes the gap by
+ * coalescing: submitted requests queue up, and flush() groups them by
+ * (model, op, anneal steps), concatenates their rows into one state
+ * matrix, and executes kernel batches of at most maxBatchRows rows
+ * through engine::Model's batched ops, which fan out over the worker
+ * pool underneath.
+ *
+ * Bit-reproducibility contract: a request's result is independent of
+ * what it was batched with.  Row r of request q draws randomness only
+ * from util::Rng::stream(q.seed, r), and the batched kernels guarantee
+ * a row's bits do not depend on batch depth, chunk boundaries or
+ * worker count -- so serving a request alone, coalesced, or under a
+ * different maxBatchRows produces identical bits (enforced by
+ * tests/test_engine.cpp).
+ *
+ * Threading model: submit()/flush()/serve() are called from one
+ * dispatcher thread (the server loop); parallelism happens inside the
+ * kernel batches.  Responses are delivered through std::future, so
+ * consumers may wait from other threads.
+ */
+
+#ifndef ISINGRBM_ENGINE_SERVER_HPP
+#define ISINGRBM_ENGINE_SERVER_HPP
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "engine/registry.hpp"
+
+namespace ising::engine {
+
+/** Server tuning knobs. */
+struct ServerConfig
+{
+    /**
+     * Kernel batch depth: coalesced rows are executed in chunks of at
+     * most this many rows (sized so a chunk's packed state tiles stay
+     * cache-resident), and submit() auto-flushes once this many rows
+     * are queued.
+     */
+    std::size_t maxBatchRows = 256;
+};
+
+/** One inference request. */
+struct Request
+{
+    std::string model;         ///< registry name
+    Op op = Op::Featurize;
+    linalg::Matrix input;      ///< data rows (unused for Sample)
+    std::size_t count = 0;     ///< chains to draw (Sample only)
+    int steps = 25;            ///< anneal sweeps (Sample only)
+    std::uint64_t seed = 0;    ///< roots this request's per-row streams
+};
+
+/** One inference response. */
+struct Response
+{
+    linalg::Matrix output;     ///< one row per requested row/chain
+    std::vector<int> labels;   ///< Classify results (empty otherwise)
+};
+
+/** Coalescing request broker over a ModelRegistry. */
+class Server
+{
+  public:
+    explicit Server(ModelRegistry &registry, ServerConfig config = {});
+
+    /**
+     * Queue a request; the future resolves at the flush that executes
+     * it.  Fatal on malformed requests (unknown model, unsupported
+     * op, wrong input width) -- request validity is the caller's
+     * contract, not a runtime condition.
+     */
+    std::future<Response> submit(Request req);
+
+    /** Execute everything queued. */
+    void flush();
+
+    /** Convenience: submit all, flush, return responses in order. */
+    std::vector<Response> serve(std::vector<Request> requests);
+
+    /** Rows currently queued. */
+    std::size_t pendingRows() const { return pendingRows_; }
+
+    /** Lifetime counters for benchmarks and logs. */
+    struct Stats
+    {
+        std::size_t requests = 0;      ///< submitted
+        std::size_t rows = 0;          ///< total rows served
+        std::size_t groups = 0;        ///< coalesced (model,op) groups
+        std::size_t kernelBatches = 0; ///< chunked kernel executions
+        std::size_t flushes = 0;
+    };
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Pending
+    {
+        Request req;
+        std::size_t rows = 0;
+        std::promise<Response> promise;
+    };
+
+    /** Execute one coalesced group of pending requests. */
+    void executeGroup(const std::vector<Pending *> &group);
+
+    ModelRegistry &registry_;
+    ServerConfig config_;
+    std::vector<Pending> pending_;
+    std::size_t pendingRows_ = 0;
+    Stats stats_;
+};
+
+/**
+ * Uniform probe workload for throughput measurement: @p requests
+ * requests of @p rows rows each (random binary input rows for the
+ * data-bearing ops, chain counts for Sample), request q seeded
+ * seedBase + q.  Shared by `isingrbm serve-bench` and bench_scaling's
+ * serve section so both surfaces measure the same workload shape.
+ */
+std::vector<Request> probeRequests(const Model &model,
+                                   const std::string &name, Op op,
+                                   std::size_t requests,
+                                   std::size_t rows, int steps,
+                                   std::uint64_t seedBase);
+
+} // namespace ising::engine
+
+#endif // ISINGRBM_ENGINE_SERVER_HPP

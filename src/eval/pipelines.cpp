@@ -8,8 +8,77 @@
 #include "accel/gibbs_sampler.hpp"
 #include "exec/parallel_for.hpp"
 #include "rbm/cd_trainer.hpp"
+#include "util/logging.hpp"
 
 namespace ising::eval {
+
+const char *
+trainerName(Trainer trainer)
+{
+    switch (trainer) {
+      case Trainer::CdK: return "cd";
+      case Trainer::GibbsSampler: return "gs";
+      case Trainer::Bgf: return "bgf";
+    }
+    util::fatal("eval: unknown trainer");
+}
+
+Trainer
+trainerFromName(const std::string &name)
+{
+    for (const Trainer trainer :
+         {Trainer::CdK, Trainer::GibbsSampler, Trainer::Bgf})
+        if (name == trainerName(trainer))
+            return trainer;
+    util::fatal("eval: unknown trainer '" + name +
+                "' (use cd, gs or bgf)");
+}
+
+TrainSpec
+defaultTrainSpec(Trainer trainer)
+{
+    TrainSpec spec;  // shared defaults live in the struct initializers
+    spec.trainer = trainer;
+    switch (trainer) {
+      case Trainer::CdK:
+        spec.k = 10;  // the Table 4 cd-10 software baseline
+        break;
+      case Trainer::GibbsSampler:
+        spec.k = 1;   // the substrate settles one sweep per latch
+        break;
+      case Trainer::Bgf:
+        spec.k = 5;   // anneal sweeps per event
+        break;
+    }
+    return spec;
+}
+
+double
+reconstructionError(const rbm::Rbm &model, const data::Dataset &ds)
+{
+    if (ds.size() == 0)
+        return 0.0;
+    std::vector<double> partial(ds.size());
+    exec::parallelForChunks(ds.size(), [&](std::size_t begin,
+                                           std::size_t end) {
+        linalg::Vector ph, pv;
+        for (std::size_t r = begin; r < end; ++r) {
+            const float *v = ds.sample(r);
+            model.hiddenProbs(v, ph);
+            model.visibleProbs(ph.data(), pv);
+            double acc = 0.0;
+            for (std::size_t i = 0; i < ds.dim(); ++i) {
+                const double d = pv[i] - v[i];
+                acc += d * d;
+            }
+            partial[r] = acc;
+        }
+    });
+    double acc = 0.0;
+    for (const double p : partial)
+        acc += p;
+    return acc / static_cast<double>(ds.size() * ds.dim());
+}
 
 namespace {
 

@@ -26,6 +26,12 @@ namespace ising::eval {
 /** Which engine trains the model. */
 enum class Trainer { CdK, GibbsSampler, Bgf };
 
+/** CLI/checkpoint-meta tag of a trainer ("cd", "gs", "bgf"). */
+const char *trainerName(Trainer trainer);
+
+/** Parse a trainer spelling ("cd" | "gs" | "bgf"); fatal on unknown. */
+Trainer trainerFromName(const std::string &name);
+
 /** One scaled experiment configuration. */
 struct TrainSpec
 {
@@ -43,6 +49,21 @@ struct TrainSpec
     /** Hook called after each epoch with the current model. */
     std::function<void(int epoch, const rbm::Rbm &model)> onEpoch;
 };
+
+/**
+ * Canonical per-trainer defaults, in one place (the examples and the
+ * isingrbm CLI used to re-declare these literals independently and
+ * had drifted): the cd-10 software baseline of Table 4, the k=1 GS
+ * sampler, and the BGF machine at 5 anneal sweeps per event.  Epoch
+ * budget is a workload choice, not a trainer default -- callers
+ * override fields as their flags dictate (BGF workloads typically
+ * give per-event updates extra passes, cf. image_classification).
+ */
+TrainSpec defaultTrainSpec(Trainer trainer);
+
+/** Mean-field v -> h -> v reconstruction MSE over a dataset. */
+double reconstructionError(const rbm::Rbm &model,
+                           const data::Dataset &ds);
 
 /** Train one RBM layer on a (binary) dataset per the spec. */
 rbm::Rbm trainRbm(const data::Dataset &train, std::size_t numHidden,

@@ -65,6 +65,14 @@ class CfRbm
     int numStars() const { return numStars_; }
     int numHidden() const { return numHidden_; }
 
+    /** Parameter access ((numUsers*numStars) x numHidden layout). */
+    linalg::Matrix &weights() { return w_; }
+    const linalg::Matrix &weights() const { return w_; }
+    linalg::Vector &visibleBias() { return bv_; }
+    const linalg::Vector &visibleBias() const { return bv_; }
+    linalg::Vector &hiddenBias() { return bh_; }
+    const linalg::Vector &hiddenBias() const { return bh_; }
+
     /** Initialize weights ~ N(0, stddev^2), biases zero. */
     void initRandom(util::Rng &rng, float stddev = 0.01f);
 

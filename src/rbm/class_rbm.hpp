@@ -51,6 +51,8 @@ class ClassRbm
 
     /** Access the underlying joint RBM (e.g. to embed on a fabric). */
     const Rbm &joint() const { return model_; }
+    /** Mutable joint access for deserialization / readout. */
+    Rbm &joint() { return model_; }
 
     void initRandom(util::Rng &rng, float stddev = 0.01f);
 

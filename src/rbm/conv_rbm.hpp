@@ -84,6 +84,11 @@ class ConvRbm
     data::Dataset transform(const data::Dataset &images) const;
 
     const linalg::Matrix &filters() const { return filters_; }
+    linalg::Matrix &filters() { return filters_; }
+    std::vector<float> &hiddenBias() { return hiddenBias_; }
+    const std::vector<float> &hiddenBias() const { return hiddenBias_; }
+    float visibleBias() const { return visibleBias_; }
+    void setVisibleBias(float b) { visibleBias_ = b; }
 
   private:
     ConvRbmConfig config_;

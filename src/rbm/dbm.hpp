@@ -54,6 +54,14 @@ class Dbm
 
     const linalg::Matrix &w1() const { return w1_; }
     const linalg::Matrix &w2() const { return w2_; }
+    linalg::Matrix &w1() { return w1_; }
+    linalg::Matrix &w2() { return w2_; }
+    linalg::Vector &visibleBias() { return bv_; }
+    const linalg::Vector &visibleBias() const { return bv_; }
+    linalg::Vector &hidden1Bias() { return b1_; }
+    const linalg::Vector &hidden1Bias() const { return b1_; }
+    linalg::Vector &hidden2Bias() { return b2_; }
+    const linalg::Vector &hidden2Bias() const { return b2_; }
 
     void initRandom(util::Rng &rng, float stddev = 0.01f);
 

@@ -1,14 +1,17 @@
 /**
  * @file
- * Model persistence implementation.
+ * Model persistence implementation (v1 dumps + v2 checkpoints).
  */
 
 #include "rbm/serialize.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "util/logging.hpp"
 
@@ -18,6 +21,7 @@ namespace {
 
 constexpr const char *kRbmMagic = "isingrbm-rbm";
 constexpr const char *kDbnMagic = "isingrbm-dbn";
+constexpr const char *kCheckpointMagic = "isingrbm-checkpoint";
 
 void
 expectMagic(std::istream &is, const char *magic)
@@ -28,46 +32,332 @@ expectMagic(std::istream &is, const char *magic)
                     " v1' header");
 }
 
+/** Read one whitespace-delimited token; fatal on truncation. */
+std::string
+expectToken(std::istream &is, const char *what)
+{
+    std::string token;
+    if (!(is >> token))
+        util::fatal(std::string("serialize: truncated archive (expected ") +
+                    what + ")");
+    return token;
+}
+
+/** Consume an exact literal token; fatal on mismatch. */
+void
+expectLiteral(std::istream &is, const std::string &literal,
+              const char *context)
+{
+    const std::string token = expectToken(is, context);
+    if (token != literal)
+        util::fatal("serialize: corrupt archive: expected '" + literal +
+                    "' (" + context + "), found '" + token + "'");
+}
+
+template <typename T>
+T
+expectValue(std::istream &is, const char *what)
+{
+    T value{};
+    if (!(is >> value))
+        util::fatal(std::string("serialize: corrupt archive: bad ") + what);
+    return value;
+}
+
+/**
+ * Sanity caps applied before any allocation, so hostile or corrupt
+ * archives are rejected with a clean fatal() instead of aborting in
+ * the allocator.  Generous for every paper-scale model.
+ */
+constexpr unsigned long long kMaxUnits = 1ull << 24;   ///< per dimension
+constexpr unsigned long long kMaxWeights = 1ull << 28; ///< per matrix
+constexpr unsigned long long kMaxLayers = 1024;        ///< DBN depth
+
+/** Read a positive dimension/count, capped.  Negative values wrap to
+ *  huge unsigned ones under istream extraction and are caught by the
+ *  cap. */
+std::size_t
+expectDim(std::istream &is, const char *what,
+          unsigned long long cap = kMaxUnits)
+{
+    unsigned long long v = 0;
+    if (!(is >> v) || v == 0 || v > cap)
+        util::fatal(std::string("serialize: bad ") + what);
+    return static_cast<std::size_t>(v);
+}
+
+void
+checkWeightCount(unsigned long long rows, unsigned long long cols,
+                 const char *what)
+{
+    if (rows * cols > kMaxWeights)
+        util::fatal(std::string("serialize: implausibly large ") + what);
+}
+
+void
+writeFloats(std::ostream &os, const float *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        os << data[i] << (i + 1 == n ? '\n' : ' ');
+}
+
+void
+readFloats(std::istream &is, float *data, std::size_t n, const char *what)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (!(is >> data[i]))
+            util::fatal(std::string("serialize: truncated ") + what);
+}
+
+/** Rbm parameters without a magic header (shared by v1 and v2). */
+void
+writeRbmBody(const Rbm &model, std::ostream &os)
+{
+    const std::size_t m = model.numVisible(), n = model.numHidden();
+    os << m << ' ' << n << '\n';
+    writeFloats(os, model.visibleBias().data(), m);
+    writeFloats(os, model.hiddenBias().data(), n);
+    for (std::size_t i = 0; i < m; ++i)
+        writeFloats(os, model.weights().row(i), n);
+}
+
+Rbm
+readRbmBody(std::istream &is)
+{
+    const std::size_t m = expectDim(is, "RBM dimensions");
+    const std::size_t n = expectDim(is, "RBM dimensions");
+    checkWeightCount(m, n, "RBM weight matrix");
+    Rbm model(m, n);
+    readFloats(is, model.visibleBias().data(), m, "visible biases");
+    readFloats(is, model.hiddenBias().data(), n, "hidden biases");
+    for (std::size_t i = 0; i < m; ++i)
+        readFloats(is, model.weights().row(i), n, "weight matrix");
+    return model;
+}
+
+/**
+ * Shared DBN reader: a layer count followed by one model per layer
+ * (@p readLayer is readRbmBody for v2 payloads, loadRbm for v1 files
+ * whose layers carry their own magic), with adjacent dimensions
+ * validated while stitching the stack.
+ */
+Dbn
+readDbnStack(std::istream &is, Rbm (*readLayer)(std::istream &))
+{
+    const std::size_t layers = expectDim(is, "DBN layer count",
+                                         kMaxLayers);
+    std::vector<Rbm> loaded;
+    loaded.reserve(layers);
+    std::vector<std::size_t> sizes;
+    for (std::size_t l = 0; l < layers; ++l) {
+        loaded.push_back(readLayer(is));
+        if (l == 0)
+            sizes.push_back(loaded[0].numVisible());
+        else if (loaded[l].numVisible() != loaded[l - 1].numHidden())
+            util::fatal("serialize: DBN layer dimensions inconsistent");
+        sizes.push_back(loaded[l].numHidden());
+    }
+    Dbn stack(sizes);
+    for (std::size_t l = 0; l < layers; ++l)
+        stack.layer(l) = std::move(loaded[l]);
+    return stack;
+}
+
+// ------------------------------------------------ v2 family payloads
+
+void
+writeFamilyPayload(const Checkpoint &ckpt, std::ostream &os)
+{
+    switch (ckpt.family()) {
+      case ModelFamily::Rbm:
+        writeRbmBody(std::get<Rbm>(ckpt.model), os);
+        return;
+      case ModelFamily::ClassRbm: {
+        const ClassRbm &model = std::get<ClassRbm>(ckpt.model);
+        os << model.numPixels() << ' ' << model.numClasses() << '\n';
+        writeRbmBody(model.joint(), os);
+        return;
+      }
+      case ModelFamily::CfRbm: {
+        const CfRbm &model = std::get<CfRbm>(ckpt.model);
+        os << model.numUsers() << ' ' << model.numStars() << ' '
+           << model.numHidden() << '\n';
+        const std::size_t rows = model.weights().rows();
+        const std::size_t cols = model.weights().cols();
+        writeFloats(os, model.visibleBias().data(), rows);
+        writeFloats(os, model.hiddenBias().data(), cols);
+        for (std::size_t i = 0; i < rows; ++i)
+            writeFloats(os, model.weights().row(i), cols);
+        return;
+      }
+      case ModelFamily::ConvRbm: {
+        const ConvRbm &model = std::get<ConvRbm>(ckpt.model);
+        const ConvRbmConfig &cfg = model.config();
+        os << cfg.imageSide << ' ' << cfg.filterSide << ' '
+           << cfg.numFilters << ' ' << cfg.poolGrid << '\n'
+           << cfg.learningRate << ' ' << cfg.weightDecay << ' '
+           << cfg.sparsityTarget << ' ' << cfg.sparsityCost << '\n';
+        os << model.visibleBias() << '\n';
+        writeFloats(os, model.hiddenBias().data(),
+                    model.hiddenBias().size());
+        for (std::size_t k = 0; k < model.filters().rows(); ++k)
+            writeFloats(os, model.filters().row(k),
+                        model.filters().cols());
+        return;
+      }
+      case ModelFamily::Dbn: {
+        const Dbn &stack = std::get<Dbn>(ckpt.model);
+        os << stack.numLayers() << '\n';
+        for (std::size_t l = 0; l < stack.numLayers(); ++l)
+            writeRbmBody(stack.layer(l), os);
+        return;
+      }
+      case ModelFamily::Dbm: {
+        const Dbm &model = std::get<Dbm>(ckpt.model);
+        const std::size_t m = model.numVisible();
+        const std::size_t n1 = model.hidden1(), n2 = model.hidden2();
+        os << m << ' ' << n1 << ' ' << n2 << '\n';
+        writeFloats(os, model.visibleBias().data(), m);
+        writeFloats(os, model.hidden1Bias().data(), n1);
+        writeFloats(os, model.hidden2Bias().data(), n2);
+        for (std::size_t i = 0; i < m; ++i)
+            writeFloats(os, model.w1().row(i), n1);
+        for (std::size_t j = 0; j < n1; ++j)
+            writeFloats(os, model.w2().row(j), n2);
+        return;
+      }
+    }
+    util::fatal("serialize: unknown checkpoint family");
+}
+
+Checkpoint::Payload
+readFamilyPayload(ModelFamily family, std::istream &is)
+{
+    switch (family) {
+      case ModelFamily::Rbm:
+        return readRbmBody(is);
+      case ModelFamily::ClassRbm: {
+        const std::size_t pixels = expectDim(is, "class_rbm pixel count");
+        const std::size_t classes =
+            expectDim(is, "class_rbm class count");
+        Rbm joint = readRbmBody(is);
+        if (joint.numVisible() != pixels + classes)
+            util::fatal("serialize: class_rbm dimensions inconsistent");
+        ClassRbm model(pixels, static_cast<int>(classes),
+                       joint.numHidden());
+        model.joint() = std::move(joint);
+        return model;
+      }
+      case ModelFamily::CfRbm: {
+        const std::size_t users = expectDim(is, "cf_rbm dimensions");
+        const std::size_t stars = expectDim(is, "cf_rbm dimensions");
+        const std::size_t hidden = expectDim(is, "cf_rbm dimensions");
+        checkWeightCount(users, stars, "cf_rbm softmax groups");
+        checkWeightCount(users * stars, hidden, "cf_rbm weight matrix");
+        CfRbm model(static_cast<int>(users), static_cast<int>(stars),
+                    static_cast<int>(hidden));
+        const std::size_t rows = model.weights().rows();
+        const std::size_t cols = model.weights().cols();
+        readFloats(is, model.visibleBias().data(), rows, "cf biases");
+        readFloats(is, model.hiddenBias().data(), cols, "cf biases");
+        for (std::size_t i = 0; i < rows; ++i)
+            readFloats(is, model.weights().row(i), cols, "cf weights");
+        return model;
+      }
+      case ModelFamily::ConvRbm: {
+        ConvRbmConfig cfg;
+        cfg.imageSide = expectDim(is, "conv_rbm image side");
+        cfg.filterSide = expectDim(is, "conv_rbm filter side");
+        cfg.numFilters = expectDim(is, "conv_rbm filter count");
+        cfg.poolGrid = expectDim(is, "conv_rbm pool grid");
+        cfg.learningRate = expectValue<double>(is, "conv config");
+        cfg.weightDecay = expectValue<double>(is, "conv config");
+        cfg.sparsityTarget = expectValue<double>(is, "conv config");
+        cfg.sparsityCost = expectValue<double>(is, "conv config");
+        if (cfg.filterSide > cfg.imageSide)
+            util::fatal("serialize: bad conv_rbm configuration");
+        checkWeightCount(cfg.numFilters,
+                         cfg.filterSide * cfg.filterSide,
+                         "conv_rbm filters");
+        ConvRbm model(cfg);
+        model.setVisibleBias(expectValue<float>(is, "conv visible bias"));
+        readFloats(is, model.hiddenBias().data(),
+                   model.hiddenBias().size(), "conv hidden biases");
+        for (std::size_t k = 0; k < model.filters().rows(); ++k)
+            readFloats(is, model.filters().row(k), model.filters().cols(),
+                       "conv filters");
+        return model;
+      }
+      case ModelFamily::Dbn:
+        return readDbnStack(is, readRbmBody);
+      case ModelFamily::Dbm: {
+        const std::size_t m = expectDim(is, "dbm dimensions");
+        const std::size_t n1 = expectDim(is, "dbm dimensions");
+        const std::size_t n2 = expectDim(is, "dbm dimensions");
+        checkWeightCount(m, n1, "dbm W1");
+        checkWeightCount(n1, n2, "dbm W2");
+        Dbm model(m, n1, n2);
+        readFloats(is, model.visibleBias().data(), m, "dbm biases");
+        readFloats(is, model.hidden1Bias().data(), n1, "dbm biases");
+        readFloats(is, model.hidden2Bias().data(), n2, "dbm biases");
+        for (std::size_t i = 0; i < m; ++i)
+            readFloats(is, model.w1().row(i), n1, "dbm W1");
+        for (std::size_t j = 0; j < n1; ++j)
+            readFloats(is, model.w2().row(j), n2, "dbm W2");
+        return model;
+      }
+    }
+    util::fatal("serialize: unknown checkpoint family");
+}
+
+bool
+hasWhitespace(const std::string &s)
+{
+    return s.find_first_of(" \t\r\n") != std::string::npos;
+}
+
 } // namespace
+
+const char *const kCheckpointExtension = ".ckpt";
+
+const char *
+familyTag(ModelFamily family)
+{
+    switch (family) {
+      case ModelFamily::Rbm: return "rbm";
+      case ModelFamily::ClassRbm: return "class_rbm";
+      case ModelFamily::CfRbm: return "cf_rbm";
+      case ModelFamily::ConvRbm: return "conv_rbm";
+      case ModelFamily::Dbn: return "dbn";
+      case ModelFamily::Dbm: return "dbm";
+    }
+    util::fatal("serialize: unknown model family");
+}
+
+ModelFamily
+familyFromTag(const std::string &tag)
+{
+    for (const ModelFamily family :
+         {ModelFamily::Rbm, ModelFamily::ClassRbm, ModelFamily::CfRbm,
+          ModelFamily::ConvRbm, ModelFamily::Dbn, ModelFamily::Dbm})
+        if (tag == familyTag(family))
+            return family;
+    util::fatal("serialize: unknown model family tag '" + tag + "'");
+}
 
 void
 saveRbm(const Rbm &model, std::ostream &os)
 {
-    const std::size_t m = model.numVisible(), n = model.numHidden();
-    os << kRbmMagic << " v1\n" << m << ' ' << n << '\n';
+    os << kRbmMagic << " v1\n";
     os << std::setprecision(std::numeric_limits<float>::max_digits10);
-    for (std::size_t i = 0; i < m; ++i)
-        os << model.visibleBias()[i] << (i + 1 == m ? '\n' : ' ');
-    for (std::size_t j = 0; j < n; ++j)
-        os << model.hiddenBias()[j] << (j + 1 == n ? '\n' : ' ');
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *row = model.weights().row(i);
-        for (std::size_t j = 0; j < n; ++j)
-            os << row[j] << (j + 1 == n ? '\n' : ' ');
-    }
+    writeRbmBody(model, os);
 }
 
 Rbm
 loadRbm(std::istream &is)
 {
     expectMagic(is, kRbmMagic);
-    std::size_t m = 0, n = 0;
-    if (!(is >> m >> n) || m == 0 || n == 0)
-        util::fatal("serialize: bad RBM dimensions");
-    Rbm model(m, n);
-    for (std::size_t i = 0; i < m; ++i)
-        if (!(is >> model.visibleBias()[i]))
-            util::fatal("serialize: truncated visible biases");
-    for (std::size_t j = 0; j < n; ++j)
-        if (!(is >> model.hiddenBias()[j]))
-            util::fatal("serialize: truncated hidden biases");
-    for (std::size_t i = 0; i < m; ++i) {
-        float *row = model.weights().row(i);
-        for (std::size_t j = 0; j < n; ++j)
-            if (!(is >> row[j]))
-                util::fatal("serialize: truncated weight matrix");
-    }
-    return model;
+    return readRbmBody(is);
 }
 
 void
@@ -102,24 +392,7 @@ Dbn
 loadDbn(std::istream &is)
 {
     expectMagic(is, kDbnMagic);
-    std::size_t layers = 0;
-    if (!(is >> layers) || layers == 0)
-        util::fatal("serialize: bad DBN layer count");
-    std::vector<Rbm> loaded;
-    loaded.reserve(layers);
-    std::vector<std::size_t> sizes;
-    for (std::size_t l = 0; l < layers; ++l) {
-        loaded.push_back(loadRbm(is));
-        if (l == 0)
-            sizes.push_back(loaded[0].numVisible());
-        else if (loaded[l].numVisible() != loaded[l - 1].numHidden())
-            util::fatal("serialize: DBN layer dimensions inconsistent");
-        sizes.push_back(loaded[l].numHidden());
-    }
-    Dbn stack(sizes);
-    for (std::size_t l = 0; l < layers; ++l)
-        stack.layer(l) = loaded[l];
-    return stack;
+    return readDbnStack(is, loadRbm);
 }
 
 void
@@ -138,6 +411,122 @@ loadDbnFile(const std::string &path)
     if (!is)
         util::fatal("serialize: cannot open for reading: " + path);
     return loadDbn(is);
+}
+
+void
+saveCheckpoint(const Checkpoint &ckpt, std::ostream &os)
+{
+    if (hasWhitespace(ckpt.meta.name) || hasWhitespace(ckpt.meta.backend))
+        util::fatal("serialize: checkpoint meta values must not contain "
+                    "whitespace");
+    // double precision covers the float payloads exactly too.
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << kCheckpointMagic << " v2\n";
+    os << "family " << familyTag(ckpt.family()) << '\n';
+
+    std::vector<std::pair<std::string, std::string>> meta;
+    if (!ckpt.meta.name.empty())
+        meta.emplace_back("name", ckpt.meta.name);
+    if (!ckpt.meta.backend.empty())
+        meta.emplace_back("backend", ckpt.meta.backend);
+    meta.emplace_back("seed", std::to_string(ckpt.meta.seed));
+    meta.emplace_back("epoch", std::to_string(ckpt.meta.epoch));
+    os << "section meta " << meta.size() << '\n';
+    for (const auto &[key, value] : meta)
+        os << key << ' ' << value << '\n';
+    os << "end meta\n";
+
+    os << "section model\n";
+    writeFamilyPayload(ckpt, os);
+    os << "end model\n";
+    os << "end checkpoint\n";
+}
+
+void
+saveCheckpoint(const Checkpoint &ckpt, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        util::fatal("serialize: cannot open for writing: " + path);
+    saveCheckpoint(ckpt, os);
+    if (!os)
+        util::fatal("serialize: write failed: " + path);
+}
+
+Checkpoint
+loadCheckpoint(std::istream &is)
+{
+    const std::string magic = expectToken(is, "archive magic");
+    const std::string version = expectToken(is, "archive version");
+
+    // Legacy v1 artifacts migrate to checkpoints with empty meta.
+    if (magic == kRbmMagic && version == "v1")
+        return Checkpoint{{}, readRbmBody(is)};
+    if (magic == kDbnMagic && version == "v1")
+        return Checkpoint{{}, readDbnStack(is, loadRbm)};
+
+    if (magic != kCheckpointMagic || version != "v2")
+        util::fatal("serialize: unrecognized archive header '" + magic +
+                    " " + version + "'");
+
+    expectLiteral(is, "family", "family tag");
+    const ModelFamily family =
+        familyFromTag(expectToken(is, "family name"));
+
+    Checkpoint ckpt;
+    expectLiteral(is, "section", "meta section");
+    expectLiteral(is, "meta", "meta section");
+    const auto metaCount = expectValue<std::size_t>(is, "meta entry count");
+    for (std::size_t i = 0; i < metaCount; ++i) {
+        const std::string key = expectToken(is, "meta key");
+        const std::string value = expectToken(is, "meta value");
+        if (key == "name")
+            ckpt.meta.name = value;
+        else if (key == "backend")
+            ckpt.meta.backend = value;
+        else if (key == "seed" || key == "epoch") {
+            // Digits only: strtoull would silently negate a leading
+            // '-' and saturate on overflow.
+            errno = 0;
+            char *end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(value.c_str(), &end, 10);
+            if (value.empty() ||
+                value.find_first_not_of("0123456789") !=
+                    std::string::npos ||
+                !end || *end != '\0' || errno == ERANGE ||
+                (key == "epoch" &&
+                 parsed > static_cast<unsigned long long>(
+                              std::numeric_limits<int>::max())))
+                util::fatal("serialize: corrupt meta value '" + value +
+                            "' for key '" + key + "'");
+            if (key == "seed")
+                ckpt.meta.seed = parsed;
+            else
+                ckpt.meta.epoch = static_cast<int>(parsed);
+        }
+        // Unknown keys are ignored for forward compatibility.
+    }
+    expectLiteral(is, "end", "meta trailer");
+    expectLiteral(is, "meta", "meta trailer");
+
+    expectLiteral(is, "section", "model section");
+    expectLiteral(is, "model", "model section");
+    ckpt.model = readFamilyPayload(family, is);
+    expectLiteral(is, "end", "model trailer");
+    expectLiteral(is, "model", "model trailer");
+    expectLiteral(is, "end", "checkpoint trailer");
+    expectLiteral(is, "checkpoint", "checkpoint trailer");
+    return ckpt;
+}
+
+Checkpoint
+loadCheckpointFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        util::fatal("serialize: cannot open for reading: " + path);
+    return loadCheckpoint(is);
 }
 
 } // namespace ising::rbm

@@ -1,34 +1,69 @@
 /**
  * @file
- * Model persistence: save and load trained RBMs (and DBN stacks) in a
- * small self-describing text format, so models trained once (in
- * software or read out of the substrate) can be shipped to inference.
+ * Model persistence.
  *
- * Format (line-oriented, locale-independent):
+ * Two formats live here:
  *
- *   isingrbm-rbm v1
- *   <numVisible> <numHidden>
- *   <bv_0> ... <bv_{m-1}>
- *   <bh_0> ... <bh_{n-1}>
- *   <W_00> ... <W_0{n-1}>
- *   ...
+ *  - **v1** (legacy): plain `Rbm`/`Dbn` parameter dumps, kept for
+ *    loading old artifacts and for callers that only need raw weights.
+ *
+ *      isingrbm-rbm v1
+ *      <numVisible> <numHidden>
+ *      <bv_0> ... <bv_{m-1}>
+ *      <bh_0> ... <bh_{n-1}>
+ *      <W_00> ... <W_0{n-1}>
+ *      ...
+ *
+ *  - **v2 checkpoint**: a versioned tagged-section archive that
+ *    round-trips *every* model family (`Rbm`, `ClassRbm`, `CfRbm`,
+ *    `ConvRbm`, `Dbn`, `Dbm`) bit-exactly, plus training provenance
+ *    (name, trainer backend, seed, epoch).  Sections are explicit and
+ *    self-describing so readers can verify structure and reject
+ *    corrupted archives:
+ *
+ *      isingrbm-checkpoint v2
+ *      family <tag>
+ *      section meta <numEntries>
+ *      <key> <value>
+ *      ...
+ *      end meta
+ *      section model
+ *      <family payload>
+ *      end model
+ *      end checkpoint
+ *
+ *    Unknown meta keys are ignored (forward compatibility); anything
+ *    structurally wrong (bad magic, unknown family, truncated payload,
+ *    missing trailers) is fatal.  `loadCheckpoint` also accepts v1
+ *    files, migrating them to `Rbm`/`Dbn` checkpoints with empty meta.
+ *
+ * All values are written with max_digits10 precision, so text
+ * round-trips reproduce the binary floats exactly (locale-independent).
  */
 
 #ifndef ISINGRBM_RBM_SERIALIZE_HPP
 #define ISINGRBM_RBM_SERIALIZE_HPP
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <variant>
 
+#include "rbm/cf_rbm.hpp"
+#include "rbm/class_rbm.hpp"
+#include "rbm/conv_rbm.hpp"
+#include "rbm/dbm.hpp"
 #include "rbm/dbn.hpp"
 #include "rbm/rbm.hpp"
 
 namespace ising::rbm {
 
-/** Write a model to a stream. */
+// ------------------------------------------------------------- v1 API
+
+/** Write a model to a stream (legacy v1 format). */
 void saveRbm(const Rbm &model, std::ostream &os);
 
-/** Read a model from a stream; fatal on malformed input. */
+/** Read a v1 model from a stream; fatal on malformed input. */
 Rbm loadRbm(std::istream &is);
 
 /** File-path convenience wrappers (fatal on IO errors). */
@@ -40,6 +75,59 @@ void saveDbn(const Dbn &stack, std::ostream &os);
 Dbn loadDbn(std::istream &is);
 void saveDbn(const Dbn &stack, const std::string &path);
 Dbn loadDbnFile(const std::string &path);
+
+// --------------------------------------------------- v2 checkpoint API
+
+/**
+ * Model families a checkpoint can carry.  The enumerator order is the
+ * `Checkpoint::Payload` variant order (family() relies on it).
+ */
+enum class ModelFamily { Rbm, ClassRbm, CfRbm, ConvRbm, Dbn, Dbm };
+
+/** Archive tag of a family ("rbm", "class_rbm", ...). */
+const char *familyTag(ModelFamily family);
+
+/** Inverse of familyTag; fatal on unknown tags. */
+ModelFamily familyFromTag(const std::string &tag);
+
+/** Training provenance carried inside a v2 checkpoint. */
+struct CheckpointMeta
+{
+    std::string name;     ///< registry name ("" when unnamed)
+    std::string backend;  ///< training engine tag ("cd", "gs", "bgf", ...)
+    std::uint64_t seed = 0;
+    int epoch = 0;        ///< epochs completed when the snapshot was taken
+};
+
+/** One self-describing model artifact: any family plus its metadata. */
+struct Checkpoint
+{
+    using Payload = std::variant<Rbm, ClassRbm, CfRbm, ConvRbm, Dbn, Dbm>;
+
+    CheckpointMeta meta;
+    Payload model;
+
+    ModelFamily
+    family() const
+    {
+        return static_cast<ModelFamily>(model.index());
+    }
+};
+
+/** Write a v2 checkpoint archive. */
+void saveCheckpoint(const Checkpoint &ckpt, std::ostream &os);
+void saveCheckpoint(const Checkpoint &ckpt, const std::string &path);
+
+/**
+ * Read a checkpoint: v2 archives of any family, or legacy v1
+ * `Rbm`/`Dbn` files (migrated with default meta).  Fatal on anything
+ * malformed.
+ */
+Checkpoint loadCheckpoint(std::istream &is);
+Checkpoint loadCheckpointFile(const std::string &path);
+
+/** Conventional checkpoint file extension (".ckpt"). */
+extern const char *const kCheckpointExtension;
 
 } // namespace ising::rbm
 

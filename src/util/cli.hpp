@@ -1,10 +1,15 @@
 /**
  * @file
- * Tiny command-line flag parser shared by examples and bench binaries.
+ * Tiny command-line flag parser shared by the isingrbm multi-tool,
+ * examples and bench binaries.
  *
- * Supports "--name value", "--name=value" and boolean "--name" forms.
- * Unknown flags are collected so google-benchmark can still consume its
- * own arguments from the remainder.
+ * Supports "--name value", "--name=value" and boolean "--name" forms,
+ * plus an optional leading subcommand word for multi-tool binaries
+ * ("isingrbm train --epochs 3").  Unknown flags are collected so
+ * google-benchmark can still consume its own arguments from the
+ * remainder; unknown() reports them for binaries that own their whole
+ * command line.  Malformed numeric values fall back to the default
+ * after a warning through util/logging (never silently).
  */
 
 #ifndef ISINGRBM_UTIL_CLI_HPP
@@ -22,7 +27,7 @@ class CliArgs
   public:
     CliArgs() = default;
 
-    /** Parse argv; never throws, malformed values fall back to defaults. */
+    /** Parse argv; never throws, malformed values warn and fall back. */
     CliArgs(int argc, char **argv);
 
     /** True if --name was present in any form. */
@@ -31,10 +36,10 @@ class CliArgs
     /** String flag with default. */
     std::string get(const std::string &name, const std::string &dflt) const;
 
-    /** Integer flag with default. */
+    /** Integer flag with default (warns on malformed values). */
     long getInt(const std::string &name, long dflt) const;
 
-    /** Floating-point flag with default. */
+    /** Floating-point flag with default (warns on malformed values). */
     double getDouble(const std::string &name, double dflt) const;
 
     /** Boolean flag: present without value, or value in {0,1,true,false}. */
@@ -43,10 +48,49 @@ class CliArgs
     /** argv entries not consumed as --flags (argv[0] preserved first). */
     const std::vector<std::string> &positional() const { return positional_; }
 
+    /**
+     * The first bare word after argv[0] ("" when none): the subcommand
+     * of a multi-tool binary ("isingrbm train ...").
+     */
+    std::string subcommand() const;
+
+    /** True when --help was passed (any value). */
+    bool helpRequested() const { return has("help"); }
+
+    /**
+     * Flags that were passed but are not in @p known, in command-line
+     * order.  Binaries that own their full command line use this to
+     * reject typos instead of silently ignoring them.
+     */
+    std::vector<std::string> unknown(
+        const std::vector<std::string> &known) const;
+
   private:
     std::map<std::string, std::string> flags_;
+    std::vector<std::string> flagOrder_;  ///< parse order for unknown()
     std::vector<std::string> positional_;
 };
+
+/** One flag's entry in generated --help text. */
+struct FlagHelp
+{
+    std::string name;   ///< flag name without the leading "--"
+    std::string value;  ///< value placeholder ("N", "cd|gs|bgf", ...)
+    std::string text;   ///< one-line description (include the default)
+};
+
+/**
+ * Render generated help: a usage banner followed by one aligned line
+ * per flag.  The FlagHelp names double as the unknown() allowlist.
+ */
+std::string usageText(const std::string &usage,
+                      const std::vector<FlagHelp> &flags);
+
+/** The FlagHelp names as an unknown() allowlist ("help" included). */
+std::vector<std::string> knownFlagNames(const std::vector<FlagHelp> &flags);
+
+/** Parse a comma-separated size list ("96,48"); fatal on malformed. */
+std::vector<std::size_t> parseSizeList(const std::string &text);
 
 } // namespace ising::util
 

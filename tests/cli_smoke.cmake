@@ -1,0 +1,49 @@
+# CLI smoke stage (registered as the cli_smoke ctest by CMakeLists):
+# exercise isingrbm train -> list --verify -> sample -> eval on a tiny
+# registry config, failing on any non-zero exit.  The list --verify
+# step re-serializes every checkpoint and diffs the round-trip.
+#
+#   cmake -DCLI=<isingrbm binary> -DWORK=<scratch dir> -P cli_smoke.cmake
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK)
+  message(FATAL_ERROR "cli_smoke: pass -DCLI=<binary> -DWORK=<dir>")
+endif()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+function(run_step)
+  execute_process(COMMAND ${ARGV}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  string(JOIN " " pretty ${ARGV})
+  message(STATUS "cli_smoke: ${pretty}")
+  if(out)
+    message(STATUS "${out}")
+  endif()
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cli_smoke: '${pretty}' failed (${code}): ${err}")
+  endif()
+endfunction()
+
+# Tiny but real: 120 synthetic MNIST-stand-in glyphs, a 12-hidden RBM,
+# one CD epoch -- seconds of work, every layer exercised.
+run_step(${CLI} train --registry ${WORK} --name smoke
+         --data MNIST --samples 120 --hidden 12 --trainer cd
+         --epochs 1 --k 1)
+run_step(${CLI} train --registry ${WORK} --name smoke-dbn
+         --data MNIST --samples 120 --family dbn --layers 12,8
+         --trainer cd --epochs 1 --k 1)
+
+# Checkpoint round-trip diff over everything just written.
+run_step(${CLI} list --registry ${WORK} --verify)
+
+run_step(${CLI} sample --registry ${WORK} --model smoke
+         --count 2 --burnin 5 --out ${WORK}/samples.txt)
+if(NOT EXISTS ${WORK}/samples.txt)
+  message(FATAL_ERROR "cli_smoke: sample --out wrote nothing")
+endif()
+
+run_step(${CLI} eval --registry ${WORK} --model smoke
+         --data MNIST --samples 120 --head-epochs 5)

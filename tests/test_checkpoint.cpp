@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Checkpoint v2 tests: bit-exact round-trips for every model family,
+ * v1 -> v2 migration, and corrupted-archive rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rbm/serialize.hpp"
+
+using namespace ising;
+using rbm::Checkpoint;
+using rbm::ModelFamily;
+using util::Rng;
+
+namespace {
+
+rbm::Rbm
+randomRbm(std::size_t m, std::size_t n, std::uint64_t seed)
+{
+    rbm::Rbm model(m, n);
+    Rng rng(seed);
+    model.initRandom(rng, 0.5f);
+    for (std::size_t i = 0; i < m; ++i)
+        model.visibleBias()[i] = static_cast<float>(rng.gaussian(0, 1));
+    for (std::size_t j = 0; j < n; ++j)
+        model.hiddenBias()[j] = static_cast<float>(rng.gaussian(0, 1));
+    return model;
+}
+
+Checkpoint
+roundTrip(const Checkpoint &ckpt)
+{
+    std::stringstream ss;
+    rbm::saveCheckpoint(ckpt, ss);
+    return rbm::loadCheckpoint(ss);
+}
+
+void
+expectRbmEq(const rbm::Rbm &a, const rbm::Rbm &b)
+{
+    EXPECT_EQ(a.weights(), b.weights());
+    EXPECT_EQ(a.visibleBias(), b.visibleBias());
+    EXPECT_EQ(a.hiddenBias(), b.hiddenBias());
+}
+
+} // namespace
+
+TEST(Checkpoint, RbmRoundTripIsExactWithMeta)
+{
+    Checkpoint ckpt;
+    ckpt.meta.name = "unit-rbm";
+    ckpt.meta.backend = "bgf";
+    ckpt.meta.seed = 0xDEADBEEFCAFEull;
+    ckpt.meta.epoch = 17;
+    ckpt.model = randomRbm(9, 5, 1);
+
+    const Checkpoint back = roundTrip(ckpt);
+    ASSERT_EQ(back.family(), ModelFamily::Rbm);
+    EXPECT_EQ(back.meta.name, "unit-rbm");
+    EXPECT_EQ(back.meta.backend, "bgf");
+    EXPECT_EQ(back.meta.seed, 0xDEADBEEFCAFEull);
+    EXPECT_EQ(back.meta.epoch, 17);
+    expectRbmEq(std::get<rbm::Rbm>(back.model),
+                std::get<rbm::Rbm>(ckpt.model));
+}
+
+TEST(Checkpoint, EmptyMetaRoundTrips)
+{
+    Checkpoint ckpt;
+    ckpt.model = randomRbm(3, 2, 2);
+    const Checkpoint back = roundTrip(ckpt);
+    EXPECT_EQ(back.meta.name, "");
+    EXPECT_EQ(back.meta.backend, "");
+    EXPECT_EQ(back.meta.seed, 0u);
+    EXPECT_EQ(back.meta.epoch, 0);
+}
+
+TEST(Checkpoint, PreservesExtremeValues)
+{
+    rbm::Rbm model(2, 2);
+    model.weights()(0, 0) = 1.0e-30f;
+    model.weights()(0, 1) = -3.4e37f;
+    model.weights()(1, 0) = 0.1f;  // not exactly representable
+    Checkpoint ckpt;
+    ckpt.model = model;
+    const Checkpoint back = roundTrip(ckpt);
+    EXPECT_EQ(std::get<rbm::Rbm>(back.model).weights(), model.weights());
+}
+
+TEST(Checkpoint, ClassRbmRoundTrip)
+{
+    Rng rng(3);
+    rbm::ClassRbm model(12, 4, 6);
+    model.initRandom(rng, 0.3f);
+    for (std::size_t i = 0; i < model.joint().numVisible(); ++i)
+        model.joint().visibleBias()[i] =
+            static_cast<float>(rng.gaussian(0, 1));
+
+    Checkpoint ckpt;
+    ckpt.meta.backend = "cd";
+    ckpt.model = model;
+    const Checkpoint back = roundTrip(ckpt);
+    ASSERT_EQ(back.family(), ModelFamily::ClassRbm);
+    const auto &restored = std::get<rbm::ClassRbm>(back.model);
+    EXPECT_EQ(restored.numPixels(), 12u);
+    EXPECT_EQ(restored.numClasses(), 4);
+    expectRbmEq(restored.joint(), model.joint());
+}
+
+TEST(Checkpoint, CfRbmRoundTrip)
+{
+    Rng rng(4);
+    rbm::CfRbm model(7, 5, 9);
+    model.initRandom(rng, 0.4f);
+    for (std::size_t i = 0; i < model.visibleBias().size(); ++i)
+        model.visibleBias()[i] = static_cast<float>(rng.gaussian(0, 1));
+    for (std::size_t j = 0; j < model.hiddenBias().size(); ++j)
+        model.hiddenBias()[j] = static_cast<float>(rng.gaussian(0, 1));
+
+    Checkpoint ckpt;
+    ckpt.model = model;
+    const Checkpoint back = roundTrip(ckpt);
+    ASSERT_EQ(back.family(), ModelFamily::CfRbm);
+    const auto &restored = std::get<rbm::CfRbm>(back.model);
+    EXPECT_EQ(restored.numUsers(), 7);
+    EXPECT_EQ(restored.numStars(), 5);
+    EXPECT_EQ(restored.numHidden(), 9);
+    EXPECT_EQ(restored.weights(), model.weights());
+    EXPECT_EQ(restored.visibleBias(), model.visibleBias());
+    EXPECT_EQ(restored.hiddenBias(), model.hiddenBias());
+}
+
+TEST(Checkpoint, ConvRbmRoundTrip)
+{
+    rbm::ConvRbmConfig cfg;
+    cfg.imageSide = 10;
+    cfg.filterSide = 3;
+    cfg.numFilters = 4;
+    cfg.poolGrid = 2;
+    cfg.learningRate = 0.034;
+    cfg.sparsityTarget = 0.125;
+    rbm::ConvRbm model(cfg);
+    Rng rng(5);
+    model.initRandom(rng, 0.2f);
+    for (std::size_t k = 0; k < model.hiddenBias().size(); ++k)
+        model.hiddenBias()[k] = static_cast<float>(rng.gaussian(0, 1));
+    model.setVisibleBias(-0.375f);
+
+    Checkpoint ckpt;
+    ckpt.model = model;
+    const Checkpoint back = roundTrip(ckpt);
+    ASSERT_EQ(back.family(), ModelFamily::ConvRbm);
+    const auto &restored = std::get<rbm::ConvRbm>(back.model);
+    EXPECT_EQ(restored.config().imageSide, cfg.imageSide);
+    EXPECT_EQ(restored.config().numFilters, cfg.numFilters);
+    EXPECT_DOUBLE_EQ(restored.config().learningRate, cfg.learningRate);
+    EXPECT_DOUBLE_EQ(restored.config().sparsityTarget,
+                     cfg.sparsityTarget);
+    EXPECT_EQ(restored.filters(), model.filters());
+    EXPECT_EQ(restored.hiddenBias(), model.hiddenBias());
+    EXPECT_EQ(restored.visibleBias(), model.visibleBias());
+
+    // Behavioral equality: identical pooled features on a probe image.
+    std::vector<float> image(cfg.imageSide * cfg.imageSide);
+    for (float &p : image)
+        p = rng.bernoulli(0.4) ? 1.0f : 0.0f;
+    std::vector<float> a(model.featureDim()), b(model.featureDim());
+    model.features(image.data(), a.data());
+    restored.features(image.data(), b.data());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Checkpoint, DbnRoundTripPreservesStack)
+{
+    Rng rng(6);
+    rbm::Dbn stack({10, 6, 3});
+    stack.initRandom(rng, 0.4f);
+    Checkpoint ckpt;
+    ckpt.model = stack;
+    const Checkpoint back = roundTrip(ckpt);
+    ASSERT_EQ(back.family(), ModelFamily::Dbn);
+    const auto &restored = std::get<rbm::Dbn>(back.model);
+    ASSERT_EQ(restored.numLayers(), 2u);
+    expectRbmEq(restored.layer(0), stack.layer(0));
+    expectRbmEq(restored.layer(1), stack.layer(1));
+}
+
+TEST(Checkpoint, DbmRoundTrip)
+{
+    Rng rng(7);
+    rbm::Dbm model(8, 5, 3);
+    model.initRandom(rng, 0.3f);
+    for (std::size_t i = 0; i < model.numVisible(); ++i)
+        model.visibleBias()[i] = static_cast<float>(rng.gaussian(0, 1));
+    for (std::size_t j = 0; j < model.hidden1(); ++j)
+        model.hidden1Bias()[j] = static_cast<float>(rng.gaussian(0, 1));
+    for (std::size_t k = 0; k < model.hidden2(); ++k)
+        model.hidden2Bias()[k] = static_cast<float>(rng.gaussian(0, 1));
+
+    Checkpoint ckpt;
+    ckpt.model = model;
+    const Checkpoint back = roundTrip(ckpt);
+    ASSERT_EQ(back.family(), ModelFamily::Dbm);
+    const auto &restored = std::get<rbm::Dbm>(back.model);
+    EXPECT_EQ(restored.w1(), model.w1());
+    EXPECT_EQ(restored.w2(), model.w2());
+    EXPECT_EQ(restored.visibleBias(), model.visibleBias());
+    EXPECT_EQ(restored.hidden1Bias(), model.hidden1Bias());
+    EXPECT_EQ(restored.hidden2Bias(), model.hidden2Bias());
+}
+
+TEST(Checkpoint, V1RbmFileStillLoads)
+{
+    const rbm::Rbm model = randomRbm(6, 4, 8);
+    std::stringstream ss;
+    rbm::saveRbm(model, ss);  // legacy writer
+    const Checkpoint back = rbm::loadCheckpoint(ss);
+    ASSERT_EQ(back.family(), ModelFamily::Rbm);
+    expectRbmEq(std::get<rbm::Rbm>(back.model), model);
+    EXPECT_EQ(back.meta.name, "");  // migrated with default meta
+}
+
+TEST(Checkpoint, V1DbnFileStillLoads)
+{
+    Rng rng(9);
+    rbm::Dbn stack({7, 4, 2});
+    stack.initRandom(rng, 0.4f);
+    std::stringstream ss;
+    rbm::saveDbn(stack, ss);  // legacy writer
+    const Checkpoint back = rbm::loadCheckpoint(ss);
+    ASSERT_EQ(back.family(), ModelFamily::Dbn);
+    const auto &restored = std::get<rbm::Dbn>(back.model);
+    ASSERT_EQ(restored.numLayers(), 2u);
+    expectRbmEq(restored.layer(0), stack.layer(0));
+    expectRbmEq(restored.layer(1), stack.layer(1));
+}
+
+TEST(CheckpointDeathTest, RejectsUnknownMagic)
+{
+    std::stringstream ss("not-a-checkpoint v9\n1 1\n0\n0\n0\n");
+    EXPECT_EXIT(rbm::loadCheckpoint(ss), testing::ExitedWithCode(1),
+                "serialize");
+}
+
+TEST(CheckpointDeathTest, RejectsUnknownFamily)
+{
+    std::stringstream ss("isingrbm-checkpoint v2\nfamily warp_core\n");
+    EXPECT_EXIT(rbm::loadCheckpoint(ss), testing::ExitedWithCode(1),
+                "unknown model family");
+}
+
+TEST(CheckpointDeathTest, RejectsTruncatedPayload)
+{
+    Checkpoint ckpt;
+    ckpt.model = randomRbm(5, 4, 11);
+    std::stringstream ss;
+    rbm::saveCheckpoint(ckpt, ss);
+    // Drop the last 40 characters: the payload tail and trailers.
+    const std::string text = ss.str();
+    std::stringstream cut(text.substr(0, text.size() - 40));
+    EXPECT_EXIT(rbm::loadCheckpoint(cut), testing::ExitedWithCode(1),
+                "serialize");
+}
+
+TEST(CheckpointDeathTest, RejectsHostileDimensions)
+{
+    // "-1" wraps to ~1.8e19 under unsigned extraction; the reader must
+    // reject it cleanly instead of dying in the allocator.
+    std::stringstream ss(
+        "isingrbm-checkpoint v2\nfamily rbm\nsection meta 0\nend meta\n"
+        "section model\n-1 5\n");
+    EXPECT_EXIT(rbm::loadCheckpoint(ss), testing::ExitedWithCode(1),
+                "bad RBM dimensions");
+}
+
+TEST(CheckpointDeathTest, RejectsImplausiblyLargeWeightMatrix)
+{
+    std::stringstream ss(
+        "isingrbm-checkpoint v2\nfamily rbm\nsection meta 0\nend meta\n"
+        "section model\n16000000 16000000\n");
+    EXPECT_EXIT(rbm::loadCheckpoint(ss), testing::ExitedWithCode(1),
+                "implausibly large");
+}
+
+TEST(CheckpointDeathTest, RejectsCorruptSectionStructure)
+{
+    Checkpoint ckpt;
+    ckpt.model = randomRbm(3, 3, 12);
+    std::stringstream ss;
+    rbm::saveCheckpoint(ckpt, ss);
+    std::string text = ss.str();
+    const auto at = text.find("section model");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 13, "sectoin model");  // corrupted tag
+    std::stringstream bad(text);
+    EXPECT_EXIT(rbm::loadCheckpoint(bad), testing::ExitedWithCode(1),
+                "corrupt");
+}

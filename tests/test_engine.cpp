@@ -1,0 +1,333 @@
+/**
+ * @file
+ * engine/ tests: registry caching, and the server's bit-reproducibility
+ * contract -- a request's result is identical whether it is served
+ * alone, coalesced with other requests, chunked under a smaller kernel
+ * batch depth, or executed on a different worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "engine/server.hpp"
+#include "rbm/serialize.hpp"
+
+using namespace ising;
+using engine::ModelRegistry;
+using engine::Op;
+using engine::Request;
+using engine::Response;
+using engine::Server;
+using engine::ServerConfig;
+using util::Rng;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+rbm::Rbm
+randomRbm(std::size_t m, std::size_t n, std::uint64_t seed)
+{
+    rbm::Rbm model(m, n);
+    Rng rng(seed);
+    model.initRandom(rng, 0.5f);
+    return model;
+}
+
+linalg::Matrix
+randomBinaryRows(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    linalg::Matrix out(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t i = 0; i < cols; ++i)
+            out(r, i) = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    return out;
+}
+
+/** Scratch registry directory, unique per fixture instance. */
+class EngineTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("isingrbm_test_engine_" +
+                 std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()->name()))
+                   .string();
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+/** Requests used across the coalescing tests.  Ragged model sizes
+ *  (not multiples of the 64-bit word) exercise the packed kernels'
+ *  tail paths. */
+Request
+sampleRequest()
+{
+    Request req;
+    req.model = "m";
+    req.op = Op::Sample;
+    req.count = 3;
+    req.steps = 4;
+    req.seed = 101;
+    return req;
+}
+
+Request
+featurizeRequest(std::size_t dim)
+{
+    Request req;
+    req.model = "m";
+    req.op = Op::Featurize;
+    req.input = randomBinaryRows(2, dim, 77);
+    req.seed = 202;
+    return req;
+}
+
+Request
+reconstructRequest(std::size_t dim)
+{
+    Request req;
+    req.model = "m";
+    req.op = Op::Reconstruct;
+    req.input = randomBinaryRows(5, dim, 88);
+    req.seed = 303;
+    return req;
+}
+
+} // namespace
+
+TEST_F(EngineTest, RegistryCachesAndReloads)
+{
+    ModelRegistry registry(dir_);
+    rbm::Checkpoint ckpt;
+    ckpt.meta.backend = "cd";
+    ckpt.model = randomRbm(9, 4, 1);
+    registry.put("alpha", std::move(ckpt));
+
+    EXPECT_TRUE(registry.contains("alpha"));
+    EXPECT_FALSE(registry.contains("beta"));
+    EXPECT_EQ(registry.names(), std::vector<std::string>({"alpha"}));
+
+    const auto first = registry.get("alpha");
+    const auto second = registry.get("alpha");
+    EXPECT_EQ(first.get(), second.get());  // load-once cache
+    EXPECT_EQ(registry.cachedCount(), 1u);
+    EXPECT_EQ(first->meta().name, "alpha");  // stamped by put()
+
+    registry.evict("alpha");
+    EXPECT_EQ(registry.cachedCount(), 0u);
+    const auto reloaded = registry.get("alpha");  // from disk
+    EXPECT_NE(first.get(), reloaded.get());
+    EXPECT_EQ(std::get<rbm::Rbm>(reloaded->checkpoint().model).weights(),
+              std::get<rbm::Rbm>(first->checkpoint().model).weights());
+}
+
+TEST_F(EngineTest, ServerResultIndependentOfCoalescing)
+{
+    ModelRegistry registry(dir_);
+    rbm::Checkpoint ckpt;
+    ckpt.model = randomRbm(33, 17, 2);  // ragged on purpose
+    registry.put("m", std::move(ckpt));
+
+    // Each request served alone.
+    Server solo(registry);
+    const Response sampleAlone =
+        std::move(solo.serve({sampleRequest()}).front());
+    const Response featAlone =
+        std::move(solo.serve({featurizeRequest(33)}).front());
+    const Response reconAlone =
+        std::move(solo.serve({reconstructRequest(33)}).front());
+
+    // The same requests coalesced into one flush, with extra traffic
+    // mixed in before and between them.
+    Server mixed(registry);
+    Request fillerA = sampleRequest();
+    fillerA.seed = 999;
+    fillerA.count = 7;
+    Request fillerB = featurizeRequest(33);
+    fillerB.seed = 888;
+    auto responses = mixed.serve(
+        {fillerA, sampleRequest(), featurizeRequest(33), fillerB,
+         reconstructRequest(33)});
+    EXPECT_GE(mixed.stats().groups, 2u);  // sampling + featurize groups
+
+    EXPECT_EQ(responses[1].output, sampleAlone.output);
+    EXPECT_EQ(responses[2].output, featAlone.output);
+    EXPECT_EQ(responses[4].output, reconAlone.output);
+}
+
+TEST_F(EngineTest, ServerResultIndependentOfKernelBatchDepth)
+{
+    ModelRegistry registry(dir_);
+    rbm::Checkpoint ckpt;
+    ckpt.model = randomRbm(33, 17, 2);
+    registry.put("m", std::move(ckpt));
+
+    Server wide(registry);  // default depth: everything in one batch
+    ServerConfig narrowCfg;
+    narrowCfg.maxBatchRows = 2;  // forces chunk splits mid-request
+    Server narrow(registry, narrowCfg);
+
+    auto wideRes = wide.serve({sampleRequest(), reconstructRequest(33)});
+    auto narrowRes =
+        narrow.serve({sampleRequest(), reconstructRequest(33)});
+    EXPECT_GT(narrow.stats().kernelBatches,
+              wide.stats().kernelBatches);
+    EXPECT_EQ(wideRes[0].output, narrowRes[0].output);
+    EXPECT_EQ(wideRes[1].output, narrowRes[1].output);
+}
+
+TEST_F(EngineTest, ServerResultIndependentOfWorkerCount)
+{
+    exec::ThreadPool serial(1), threaded(4);
+    ModelRegistry serialReg(dir_ + "_serial", &serial);
+    ModelRegistry threadedReg(dir_ + "_threaded", &threaded);
+    rbm::Checkpoint ckpt;
+    ckpt.model = randomRbm(33, 17, 2);
+    serialReg.put("m", ckpt);
+    threadedReg.put("m", std::move(ckpt));
+
+    Server a(serialReg), b(threadedReg);
+    auto ra = a.serve({sampleRequest(), featurizeRequest(33),
+                       reconstructRequest(33)});
+    auto rb = b.serve({sampleRequest(), featurizeRequest(33),
+                       reconstructRequest(33)});
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        EXPECT_EQ(ra[i].output, rb[i].output);
+    fs::remove_all(dir_ + "_serial");
+    fs::remove_all(dir_ + "_threaded");
+}
+
+TEST_F(EngineTest, ServerIsDeterministicAcrossRuns)
+{
+    ModelRegistry registry(dir_);
+    rbm::Checkpoint ckpt;
+    ckpt.model = randomRbm(20, 10, 3);
+    registry.put("m", std::move(ckpt));
+
+    Server server(registry);
+    Request req = sampleRequest();
+    req.count = 4;
+    const Response first = std::move(server.serve({req}).front());
+    const Response second = std::move(server.serve({req}).front());
+    EXPECT_EQ(first.output, second.output);
+    EXPECT_EQ(first.output.rows(), 4u);
+    EXPECT_EQ(first.output.cols(), 20u);
+}
+
+TEST_F(EngineTest, ServerAutoFlushesAtMaxRows)
+{
+    ModelRegistry registry(dir_);
+    rbm::Checkpoint ckpt;
+    ckpt.model = randomRbm(12, 6, 4);
+    registry.put("m", std::move(ckpt));
+
+    ServerConfig cfg;
+    cfg.maxBatchRows = 4;
+    Server server(registry, cfg);
+    Request req = featurizeRequest(12);  // 2 rows
+    auto f1 = server.submit(req);
+    EXPECT_EQ(server.pendingRows(), 2u);
+    auto f2 = server.submit(req);  // hits the 4-row window
+    EXPECT_EQ(server.pendingRows(), 0u);
+    EXPECT_EQ(server.stats().flushes, 1u);
+    EXPECT_EQ(f1.get().output, f2.get().output);  // same input + seed
+}
+
+TEST_F(EngineTest, ClassifyMatchesExactFreeEnergy)
+{
+    Rng rng(5);
+    rbm::ClassRbm model(15, 3, 8);
+    model.initRandom(rng, 0.4f);
+    rbm::Checkpoint ckpt;
+    ckpt.model = model;
+    ModelRegistry registry(dir_);
+    registry.put("clf", std::move(ckpt));
+
+    const linalg::Matrix probes = randomBinaryRows(9, 15, 44);
+    Request req;
+    req.model = "clf";
+    req.op = Op::Classify;
+    req.input = probes;
+    Server server(registry);
+    const Response res = std::move(server.serve({req}).front());
+    ASSERT_EQ(res.labels.size(), 9u);
+    for (std::size_t r = 0; r < probes.rows(); ++r)
+        EXPECT_EQ(res.labels[r], model.classify(probes.row(r)));
+}
+
+TEST_F(EngineTest, DbnFeaturizeMatchesTransform)
+{
+    Rng rng(6);
+    rbm::Dbn stack({18, 9, 5});
+    stack.initRandom(rng, 0.4f);
+    rbm::Checkpoint ckpt;
+    ckpt.model = stack;
+    ModelRegistry registry(dir_);
+    registry.put("deep", std::move(ckpt));
+
+    data::Dataset probe;
+    probe.samples = randomBinaryRows(6, 18, 55);
+    const data::Dataset expected = stack.transform(probe);
+
+    Request req;
+    req.model = "deep";
+    req.op = Op::Featurize;
+    req.input = probe.samples;
+    Server server(registry);
+    const Response res = std::move(server.serve({req}).front());
+    EXPECT_EQ(res.output, expected.samples);
+}
+
+TEST_F(EngineTest, SampleSupportedAcrossFlatFamilies)
+{
+    ModelRegistry registry(dir_);
+
+    rbm::Checkpoint plain;
+    plain.model = randomRbm(10, 6, 7);
+    registry.put("plain", std::move(plain));
+
+    Rng rng(8);
+    rbm::ClassRbm clf(8, 2, 5);
+    clf.initRandom(rng, 0.3f);
+    rbm::Checkpoint classCkpt;
+    classCkpt.model = clf;
+    registry.put("clf", std::move(classCkpt));
+
+    rbm::Dbn stack({10, 7, 4});
+    stack.initRandom(rng, 0.3f);
+    rbm::Checkpoint deep;
+    deep.model = stack;
+    registry.put("deep", std::move(deep));
+
+    Server server(registry);
+    for (const auto &[name, dim] :
+         std::vector<std::pair<std::string, std::size_t>>{
+             {"plain", 10}, {"clf", 10}, {"deep", 10}}) {
+        Request req;
+        req.model = name;
+        req.op = Op::Sample;
+        req.count = 2;
+        req.steps = 3;
+        req.seed = 60;
+        const Response res = std::move(server.serve({req}).front());
+        EXPECT_EQ(res.output.rows(), 2u) << name;
+        EXPECT_EQ(res.output.cols(), dim) << name;
+        for (std::size_t i = 0; i < res.output.cols(); ++i) {
+            EXPECT_GE(res.output(0, i), 0.0f) << name;
+            EXPECT_LE(res.output(0, i), 1.0f) << name;
+        }
+    }
+}
