@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <functional>
 
 #include "accel/parallel_bgf.hpp"
 #include "bench_common.hpp"
@@ -37,9 +38,11 @@
 #include "hw/multichip.hpp"
 #include "linalg/bitops.hpp"
 #include "linalg/ops.hpp"
+#include "data/ratings.hpp"
 #include "rbm/ais.hpp"
 #include "rbm/cd_trainer.hpp"
 #include "rbm/sampling_backend.hpp"
+#include "train/strategies.hpp"
 #include "util/math.hpp"
 #include "util/stopwatch.hpp"
 
@@ -463,6 +466,111 @@ printServeBench(bool full, std::vector<benchtool::JsonRecord> &json)
     fs::remove_all(dir);
 }
 
+/**
+ * Session-layer training throughput: epochs/sec per model family
+ * through the unified train::Session runtime (the `isingrbm train`
+ * path), on a small shared workload.  Emitted into the BENCH JSON so
+ * CI tracks the training trajectory next to the kernel tiers.
+ */
+void
+printTrainBench(bool full, std::vector<benchtool::JsonRecord> &json)
+{
+    const std::size_t samples = full ? 600 : 200;
+    const data::Dataset train = data::binarizeThreshold(
+        data::makeBenchmarkData("MNIST", samples, 42));
+    data::RatingStyle style;
+    style.numUsers = 100;
+    style.numItems = 40;
+    const data::RatingData corpus = data::makeRatings(style, 42);
+
+    const int epochs = full ? 4 : 2;
+    train::TrainOptions options;
+    options.batchSize = 50;
+    options.seed = 11;
+
+    struct FamilySpec
+    {
+        const char *tag;
+        std::function<std::unique_ptr<train::Strategy>()> make;
+    };
+    util::Rng rng(11);
+    const std::vector<FamilySpec> families = {
+        {"rbm",
+         [&] {
+             rbm::Rbm model(train.dim(), 64);
+             model.initRandom(rng);
+             return train::makeRbmStrategy(std::move(model), train,
+                                           options);
+         }},
+        {"class_rbm",
+         [&] {
+             rbm::ClassRbm model(train.dim(), train.numClasses, 64);
+             model.initRandom(rng);
+             return train::makeClassRbmStrategy(std::move(model), train,
+                                                options);
+         }},
+        {"cf_rbm",
+         [&] {
+             rbm::CfRbm model(corpus.numUsers, corpus.numStars, 32);
+             model.initFromData(corpus, rng);
+             return train::makeCfRbmStrategy(std::move(model), corpus,
+                                             options);
+         }},
+        {"conv_rbm",
+         [&] {
+             rbm::ConvRbmConfig cfg;
+             cfg.imageSide = 28;
+             cfg.filterSide = 7;
+             cfg.numFilters = 4;
+             rbm::ConvRbm model(cfg);
+             model.initRandom(rng);
+             return train::makeConvRbmStrategy(std::move(model), train,
+                                               options);
+         }},
+        {"dbn",
+         [&] {
+             rbm::Dbn model({train.dim(), 64, 32});
+             model.initRandom(rng);
+             return train::makeDbnStrategy(std::move(model), train,
+                                           options, epochs);
+         }},
+        {"dbm",
+         [&] {
+             rbm::DbmConfig cfg;
+             cfg.batchSize = 50;
+             cfg.pretrainEpochs = 1;
+             rbm::Dbm model(train.dim(), 48, 24);
+             model.initRandom(rng);
+             return train::makeDbmStrategy(std::move(model), train,
+                                           options, cfg);
+         }},
+    };
+
+    benchtool::Table table({"family", "epochs", "seconds", "epochs/s"});
+    for (const FamilySpec &family : families) {
+        train::SessionConfig cfg;
+        cfg.schedule.epochs = epochs;
+        // dbn sessions span epochs-per-layer x layers.
+        if (std::string(family.tag) == "dbn")
+            cfg.schedule.epochs = epochs * 2;
+        cfg.seed = 11;
+        cfg.backendTag = "cd";
+        train::Session session(family.make(), std::move(cfg));
+        util::Stopwatch sw;
+        session.run();
+        const double sec = sw.seconds();
+        const double perSec = session.epochsDone() / sec;
+        table.addRow({family.tag, std::to_string(session.epochsDone()),
+                      fmt(sec, 2), fmt(perSec, 2)});
+        json.push_back({std::string("train/") + family.tag +
+                            "/epochs_per_s",
+                        perSec, "epochs/s"});
+    }
+    table.print("Session training throughput (" +
+                std::to_string(samples) + "-sample MNIST stand-in, "
+                "cd trainer)");
+}
+
 void
 printMultiChip()
 {
@@ -598,6 +706,7 @@ main(int argc, char **argv)
     std::vector<benchtool::JsonRecord> json;
     printKernelScaling(full, json);
     printServeBench(full, json);
+    printTrainBench(full, json);
     if (!jsonPath.empty())
         benchtool::writeBenchJson(jsonPath, "bench_scaling", json);
 

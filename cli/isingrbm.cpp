@@ -20,14 +20,17 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
+#include "data/ratings.hpp"
 #include "data/registry.hpp"
 #include "engine/server.hpp"
 #include "eval/classifier.hpp"
 #include "eval/pipelines.hpp"
 #include "rbm/sampling.hpp"
 #include "rbm/serialize.hpp"
+#include "train/strategies.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -102,20 +105,52 @@ applyTrainFlags(const util::CliArgs &args, eval::TrainSpec &spec)
 const std::vector<util::FlagHelp> kTrainFlags = {
     {"registry", "dir", "checkpoint directory (required)"},
     {"name", "id", "checkpoint name (required)"},
+    {"resume", "", "continue the existing checkpoint (family, seed and"
+                   " epoch come from the archive)"},
     {"data", "id", "Table 1 benchmark dataset (default MNIST)"},
     {"samples", "N", "synthetic sample count (default 1500)"},
     {"data-seed", "S", "dataset generator seed (default 42)"},
-    {"family", "rbm|dbn|class_rbm", "model family (default rbm)"},
-    {"hidden", "H", "hidden units for rbm/class_rbm (default 64)"},
-    {"layers", "a,b", "DBN hidden widths (default 96,48)"},
-    {"trainer", "cd|gs|bgf", "training engine (default cd)"},
-    {"epochs", "E", "training epochs (default per trainer)"},
+    {"family", "fam", "rbm|class_rbm|cf_rbm|conv_rbm|dbn|dbm "
+                      "(default rbm)"},
+    {"hidden", "H", "hidden units for rbm/class_rbm/cf_rbm (default 64)"},
+    {"layers", "a,b", "DBN widths / DBM hidden pair (default 96,48)"},
+    {"filters", "K", "conv_rbm shared filters (default 12)"},
+    {"filter-side", "F", "conv_rbm filter size (default 7)"},
+    {"pool-grid", "P", "conv_rbm pooling grid per side (default 3)"},
+    {"users", "N", "cf_rbm softmax user groups (default 943)"},
+    {"items", "N", "cf_rbm items (default 100)"},
+    {"trainer", "cd|gs|bgf", "training engine (default cd; per-family "
+                             "support via the capability table)"},
+    {"epochs", "E", "training epochs (default per trainer; per layer "
+                    "for dbn)"},
     {"k", "K", "CD steps / BGF anneal sweeps (default per trainer)"},
     {"lr", "R", "learning rate (default 0.1)"},
+    {"lr-end", "R", "final learning rate (linear ramp; default --lr)"},
+    {"momentum", "M", "momentum for cd training (default 0)"},
+    {"weight-decay", "D", "L2 weight decay (default per family)"},
     {"batch", "B", "minibatch size (default 50)"},
+    {"pcd", "", "persistent-CD negative chains (cd trainer)"},
+    {"replicas", "R", "BGF fleet replicas (default 1)"},
+    {"pretrain-epochs", "E", "DBM greedy pre-training epochs "
+                             "(default 3)"},
     {"noise", "X", "substrate (variation, noise) RMS for gs/bgf"},
     {"seed", "S", "training seed (default 1)"},
+    {"checkpoint-every", "N", "periodic checkpoint cadence in epochs "
+                              "(default: final only)"},
+    {"monitor-out", "path", "write per-epoch monitor records as CSV"},
 };
+
+/** Square side of a dataset's images; fatal when not square. */
+std::size_t
+imageSideOf(const data::Dataset &ds)
+{
+    const auto side = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(ds.dim()))));
+    if (side * side != ds.dim())
+        util::fatal(util::strcat("isingrbm: conv_rbm needs square "
+                                 "images, got dim ", ds.dim()));
+    return side;
+}
 
 int
 cmdTrain(const util::CliArgs &args)
@@ -126,61 +161,245 @@ cmdTrain(const util::CliArgs &args)
     engine::ModelRegistry registry(requireFlag(args, "registry"));
     const std::string name = requireFlag(args, "name");
     // Validate the name up front: failing here costs nothing, failing
-    // at put() would discard the whole training run.
+    // after training would discard the whole run.
     const std::string outPath = registry.pathFor(name);
-    const std::string family = args.get("family", "rbm");
-    const eval::Trainer trainer =
-        eval::trainerFromName(args.get("trainer", "cd"));
-    if (family == "class_rbm" && trainer != eval::Trainer::CdK)
-        util::fatal("isingrbm: class_rbm trains by its own CD path; "
-                    "use --trainer cd");
 
-    const data::Dataset train = benchmarkData(args);
-    std::printf("training %s '%s' on %s: %zu samples of dim %zu\n",
-                family.c_str(), name.c_str(),
-                args.get("data", "MNIST").c_str(), train.size(),
-                train.dim());
+    // --resume: the archive is authoritative for family, trainer and
+    // seed (construction-time randomness already used them).
+    const bool resume = args.getBool("resume", false);
+    std::optional<rbm::Checkpoint> prior;
+    if (resume) {
+        if (!registry.contains(name))
+            util::fatal("isingrbm: --resume: no checkpoint '" + name +
+                        "' under " + registry.dir());
+        prior = rbm::loadCheckpointFile(outPath);
+    }
+
+    const rbm::ModelFamily family =
+        prior ? prior->family()
+              : rbm::familyFromTag(args.get("family", "rbm"));
+    if (prior && args.has("family") &&
+        rbm::familyFromTag(args.get("family", "rbm")) != family)
+        util::fatal(std::string("isingrbm: --resume checkpoint is "
+                                "family '") +
+                    rbm::familyTag(family) + "', not '" +
+                    args.get("family", "rbm") + "'");
+
+    const std::string priorBackend = prior ? prior->meta.backend : "";
+    const train::Trainer trainer = train::trainerFromName(
+        args.get("trainer", priorBackend.empty() ? "cd" : priorBackend));
+    // The capability table replaces the old per-family fatals: one
+    // generated diagnostic for every unsupported combination.
+    if (!train::supports(family, trainer))
+        util::fatal("isingrbm: " +
+                    train::unsupportedMessage(family, trainer));
+    if (prior && !priorBackend.empty() &&
+        priorBackend != train::trainerName(trainer))
+        util::fatal("isingrbm: --resume checkpoint was trained by '" +
+                    priorBackend + "', not '" +
+                    train::trainerName(trainer) + "'");
 
     eval::TrainSpec spec = eval::defaultTrainSpec(trainer);
     applyTrainFlags(args, spec);
-
-    rbm::Checkpoint ckpt;
-    ckpt.meta.backend = eval::trainerName(trainer);
-    ckpt.meta.seed = spec.seed;
-    ckpt.meta.epoch = spec.epochs;
-
-    util::Stopwatch sw;
-    if (family == "rbm") {
-        const std::size_t hidden = sizeFlag(args, "hidden", 64);
-        ckpt.model = eval::trainRbm(train, hidden, spec);
-    } else if (family == "dbn") {
-        std::vector<std::size_t> layers = {train.dim()};
-        for (std::size_t width :
-             util::parseSizeList(args.get("layers", "96,48")))
-            layers.push_back(width);
-        ckpt.model = eval::trainDbn(train, layers, spec);
-    } else if (family == "class_rbm") {
-        if (train.numClasses <= 0)
-            util::fatal("isingrbm: dataset carries no labels");
-        const std::size_t hidden = sizeFlag(args, "hidden", 64);
-        rbm::ClassRbm model(train.dim(), train.numClasses, hidden);
-        util::Rng rng(spec.seed);
-        model.initRandom(rng);
-        rbm::ClassRbmConfig cfg;
-        cfg.learningRate = spec.learningRate;
-        cfg.k = spec.k;
-        cfg.batchSize = spec.batchSize;
-        for (int e = 0; e < spec.epochs; ++e)
-            model.trainEpoch(train, cfg, rng);
-        ckpt.model = std::move(model);
-    } else {
-        util::fatal("isingrbm: unknown --family '" + family +
-                    "' (use rbm, dbn or class_rbm)");
+    if (prior) {
+        if (args.has("seed") &&
+            static_cast<std::uint64_t>(args.getInt("seed", 1)) !=
+                prior->meta.seed)
+            util::warn("isingrbm: --seed ignored on --resume (the "
+                       "archive's seed governs)");
+        spec.seed = prior->meta.seed;
     }
 
-    registry.put(name, std::move(ckpt));
-    std::printf("checkpointed %s (%.1fs) -> %s\n", name.c_str(),
-                sw.seconds(), outPath.c_str());
+    train::TrainOptions options = eval::trainOptions(spec);
+    options.persistentCd = args.getBool("pcd", false);
+    options.bgfReplicas = std::max<std::size_t>(
+        1, sizeFlag(args, "replicas", 1));
+
+    train::Schedule schedule = eval::trainSchedule(spec);
+    schedule.learningRate.end =
+        args.getDouble("lr-end", spec.learningRate);
+    schedule.momentum = train::Ramp(args.getDouble("momentum", 0.0));
+    schedule.weightDecay = train::Ramp(args.getDouble(
+        "weight-decay", train::defaultWeightDecay(family)));
+
+    // ---- data + strategy, per family -------------------------------
+    data::Dataset train;
+    data::RatingData corpus;
+    util::Rng initRng(spec.seed);
+    std::unique_ptr<train::Strategy> strategy;
+
+    if (family == rbm::ModelFamily::CfRbm) {
+        data::RatingStyle style;
+        style.numUsers = static_cast<int>(sizeFlag(args, "users", 943));
+        style.numItems = static_cast<int>(sizeFlag(args, "items", 100));
+        corpus = data::makeRatings(style, args.getInt("data-seed", 42));
+        std::printf("training cf_rbm '%s': %d users x %d items, %zu "
+                    "train / %zu test ratings\n",
+                    name.c_str(), corpus.numUsers, corpus.numItems,
+                    corpus.train.size(), corpus.test.size());
+        rbm::CfRbm model =
+            prior ? std::get<rbm::CfRbm>(prior->model)
+                  : rbm::CfRbm(corpus.numUsers, corpus.numStars,
+                               static_cast<int>(
+                                   sizeFlag(args, "hidden", 64)));
+        if (!prior)
+            model.initFromData(corpus, initRng);
+        strategy = train::makeCfRbmStrategy(std::move(model), corpus,
+                                            options);
+    } else {
+        train = benchmarkData(args);
+        std::printf("training %s '%s' on %s: %zu samples of dim %zu\n",
+                    rbm::familyTag(family), name.c_str(),
+                    args.get("data", "MNIST").c_str(), train.size(),
+                    train.dim());
+    }
+
+    switch (family) {
+      case rbm::ModelFamily::Rbm: {
+        rbm::Rbm model =
+            prior ? std::get<rbm::Rbm>(prior->model)
+                  : rbm::Rbm(train.dim(), sizeFlag(args, "hidden", 64));
+        if (!prior)
+            model.initRandom(initRng);
+        strategy = train::makeRbmStrategy(std::move(model), train,
+                                          options);
+        break;
+      }
+      case rbm::ModelFamily::ClassRbm: {
+        if (train.numClasses <= 0)
+            util::fatal("isingrbm: dataset carries no labels");
+        rbm::ClassRbm model =
+            prior ? std::get<rbm::ClassRbm>(prior->model)
+                  : rbm::ClassRbm(train.dim(), train.numClasses,
+                                  sizeFlag(args, "hidden", 64));
+        if (!prior)
+            model.initRandom(initRng);
+        strategy = train::makeClassRbmStrategy(std::move(model), train,
+                                               options);
+        break;
+      }
+      case rbm::ModelFamily::CfRbm:
+        break;  // built above
+      case rbm::ModelFamily::ConvRbm: {
+        rbm::ConvRbmConfig cfg;
+        cfg.imageSide = imageSideOf(train);
+        cfg.filterSide = sizeFlag(args, "filter-side", 7);
+        cfg.numFilters = sizeFlag(args, "filters", 12);
+        cfg.poolGrid = sizeFlag(args, "pool-grid", 3);
+        if (cfg.filterSide > cfg.imageSide)
+            util::fatal("isingrbm: --filter-side exceeds the image "
+                        "side");
+        rbm::ConvRbm model = prior
+            ? std::get<rbm::ConvRbm>(prior->model)
+            : rbm::ConvRbm(cfg);
+        if (!prior)
+            model.initRandom(initRng);
+        strategy = train::makeConvRbmStrategy(std::move(model), train,
+                                              options);
+        break;
+      }
+      case rbm::ModelFamily::Dbn: {
+        std::optional<rbm::Dbn> model;
+        if (prior) {
+            model = std::get<rbm::Dbn>(prior->model);
+        } else {
+            std::vector<std::size_t> layers = {train.dim()};
+            for (std::size_t width :
+                 util::parseSizeList(args.get("layers", "96,48")))
+                layers.push_back(width);
+            model = rbm::Dbn(layers);
+            model->initRandom(initRng);
+        }
+        // --epochs is per layer; the session spans the whole stack.
+        const int perLayer = spec.epochs;
+        schedule.epochs =
+            perLayer * static_cast<int>(model->numLayers());
+        strategy = train::makeDbnStrategy(std::move(*model), train,
+                                          options, perLayer);
+        break;
+      }
+      case rbm::ModelFamily::Dbm: {
+        rbm::DbmConfig cfg;
+        cfg.batchSize = spec.batchSize;
+        cfg.pretrainEpochs = static_cast<int>(
+            args.getInt("pretrain-epochs", cfg.pretrainEpochs));
+        std::optional<rbm::Dbm> model;
+        if (prior) {
+            model = std::get<rbm::Dbm>(prior->model);
+        } else {
+            const std::vector<std::size_t> layers =
+                util::parseSizeList(args.get("layers", "96,48"));
+            if (layers.size() != 2)
+                util::fatal("isingrbm: dbm needs exactly two hidden "
+                            "widths, e.g. --layers 96,48");
+            model = rbm::Dbm(train.dim(), layers[0], layers[1]);
+            model->initRandom(initRng);
+        }
+        strategy = train::makeDbmStrategy(std::move(*model), train,
+                                          options, cfg);
+        break;
+      }
+    }
+
+    // ---- monitor ---------------------------------------------------
+    const std::string monitorOut = args.get("monitor-out", "");
+    std::optional<rbm::TrainingMonitor> monitor;
+    if (!monitorOut.empty()) {
+        if (family == rbm::ModelFamily::CfRbm) {
+            // CF has no dense dataset; records carry weight stats +
+            // test MAE.
+            monitor.emplace(data::Dataset{}, data::Dataset{});
+        } else {
+            // Held-out data from the same generator, next seed over:
+            // monitoring must not carve rows out of the training set.
+            data::Dataset heldOut = data::binarizeThreshold(
+                data::makeBenchmarkData(args.get("data", "MNIST"),
+                                        sizeFlag(args, "samples", 1500),
+                                        args.getInt("data-seed", 42) +
+                                            1));
+            monitor.emplace(train, heldOut);
+        }
+    }
+
+    // ---- session ---------------------------------------------------
+    train::SessionConfig config;
+    config.schedule = schedule;
+    config.seed = spec.seed;
+    config.name = name;
+    config.backendTag = train::trainerName(trainer);
+    config.checkpointPath = outPath;
+    config.checkpointEvery =
+        static_cast<int>(args.getInt("checkpoint-every", 0));
+    config.monitor = monitor ? &*monitor : nullptr;
+    config.onEpoch = [](int epoch, train::Session &session) {
+        std::printf("  epoch %d/%d done\n", epoch + 1,
+                    session.config().schedule.epochs);
+        std::fflush(stdout);
+    };
+
+    registry.ensureDir();
+    train::Session session(std::move(strategy), std::move(config));
+    if (prior) {
+        session.resume(*prior);
+        std::printf("resuming '%s' at epoch %d/%d\n", name.c_str(),
+                    session.epochsDone(), schedule.epochs);
+    }
+
+    util::Stopwatch sw;
+    session.run();
+    std::printf("checkpointed %s at epoch %d (%.1fs, trainer %s) -> "
+                "%s\n",
+                name.c_str(), session.epochsDone(), sw.seconds(),
+                train::trainerName(trainer), outPath.c_str());
+
+    if (monitor) {
+        std::ofstream os(monitorOut);
+        if (!os)
+            util::fatal("isingrbm: cannot write " + monitorOut);
+        monitor->writeCsv(os);
+        std::printf("wrote %zu monitor records -> %s\n",
+                    monitor->records().size(), monitorOut.c_str());
+    }
     return 0;
 }
 
@@ -390,17 +609,18 @@ cmdList(const util::CliArgs &args)
 
     int failures = 0;
     const auto names = registry.names();
-    std::printf("%-20s %-10s %-8s %-10s %s\n", "name", "family",
-                "backend", "seed", "epoch");
+    std::printf("%-20s %-10s %-8s %-10s %-6s %s\n", "name", "family",
+                "backend", "seed", "epoch", "state");
     for (const std::string &name : names) {
         const rbm::Checkpoint ckpt =
             rbm::loadCheckpointFile(registry.pathFor(name));
-        std::printf("%-20s %-10s %-8s %-10llu %d", name.c_str(),
+        std::printf("%-20s %-10s %-8s %-10llu %-6d %s", name.c_str(),
                     rbm::familyTag(ckpt.family()),
                     ckpt.meta.backend.empty() ? "-"
                                               : ckpt.meta.backend.c_str(),
                     static_cast<unsigned long long>(ckpt.meta.seed),
-                    ckpt.meta.epoch);
+                    ckpt.meta.epoch,
+                    ckpt.train ? "chains" : "-");
         if (verify) {
             // Round-trip diff: save(load(file)) must be byte-stable
             // under a second load/save cycle (and v2 archives must

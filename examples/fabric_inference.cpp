@@ -16,6 +16,7 @@
 #include "data/bars.hpp"
 #include "rbm/class_rbm.hpp"
 #include "rbm/serialize.hpp"
+#include "train/strategies.hpp"
 #include "util/cli.hpp"
 
 using namespace ising;
@@ -35,25 +36,34 @@ main(int argc, char **argv)
     std::printf("bars-and-stripes: %zu images of %zux%zu\n", ds.size(),
                 side, side);
 
-    rbm::ClassRbm model(ds.dim(), 2, 24);
-    model.initRandom(rng);
-    rbm::ClassRbmConfig cfg;
-    cfg.learningRate = 0.1;
-    for (int e = 0; e < epochs; ++e)
-        model.trainEpoch(ds, cfg, rng);
+    // Train through the unified session runtime -- the same epoch
+    // loop, schedule and checkpointing path `isingrbm train` drives.
+    rbm::ClassRbm init(ds.dim(), 2, 24);
+    init.initRandom(rng);
+    train::TrainOptions options;
+    options.batchSize = 32;
+    options.seed = 7;
+    train::SessionConfig sessionConfig;
+    sessionConfig.schedule.epochs = epochs;
+    sessionConfig.schedule.learningRate = train::Ramp(0.1);
+    sessionConfig.schedule.weightDecay = train::Ramp(
+        train::defaultWeightDecay(rbm::ModelFamily::ClassRbm));
+    sessionConfig.seed = 7;
+    sessionConfig.name = "bars-classifier";
+    sessionConfig.backendTag = "cd";
+    train::Session session(
+        train::makeClassRbmStrategy(std::move(init), ds, options),
+        std::move(sessionConfig));
+    session.run();
+    const rbm::ClassRbm model =
+        std::get<rbm::ClassRbm>(session.strategy().snapshot());
     std::printf("digital free-energy classification: %.1f%%\n",
                 model.accuracy(ds) * 100);
 
     // Persist the classifier as a v2 checkpoint and reload it -- the
     // deploy path (the same archive `isingrbm list/serve-bench` read).
     const std::string path = "/tmp/isingrbm_classifier.ckpt";
-    rbm::Checkpoint ckpt;
-    ckpt.meta.name = "bars-classifier";
-    ckpt.meta.backend = "cd";
-    ckpt.meta.seed = 7;
-    ckpt.meta.epoch = epochs;
-    ckpt.model = model;
-    rbm::saveCheckpoint(ckpt, path);
+    rbm::saveCheckpoint(session.checkpoint(), path);
     const rbm::Checkpoint loaded = rbm::loadCheckpointFile(path);
     const rbm::ClassRbm &served = std::get<rbm::ClassRbm>(loaded.model);
     const rbm::Rbm &reloaded = served.joint();

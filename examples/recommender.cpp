@@ -16,6 +16,7 @@
 #include "data/ratings.hpp"
 #include "rbm/cf_rbm.hpp"
 #include "rbm/serialize.hpp"
+#include "train/strategies.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 
@@ -48,23 +49,42 @@ main(int argc, char **argv)
     std::printf("bias-only model MAE:     %.3f\n",
                 model.testMae(corpus));
 
-    rbm::CfConfig cfg;
-    cfg.epochs = epochs;
-    cfg.learningRate = args.getDouble("lr", 0.01);
+    // Train through the unified session runtime; --hw selects the
+    // capability table's bgf row (per-event charge-pump updates on the
+    // emulated substrate).
+    train::TrainOptions options;
+    options.seed = 7;
     if (hw) {
-        rbm::CfHardwareMode mode;
-        mode.noise.rmsVariation = args.getDouble("variation", 0.05);
-        mode.noise.rmsNoise = args.getDouble("noise", 0.05);
-        cfg.hardware = mode;
+        options.trainer = train::Trainer::Bgf;
+        options.noise.rmsVariation = args.getDouble("variation", 0.05);
+        options.noise.rmsNoise = args.getDouble("noise", 0.05);
         std::printf("training in BGF hardware mode (var %.2f, noise "
                     "%.2f)\n",
-                    mode.noise.rmsVariation, mode.noise.rmsNoise);
+                    options.noise.rmsVariation, options.noise.rmsNoise);
     } else {
         std::printf("training in software CD mode\n");
     }
+    train::SessionConfig sessionConfig;
+    sessionConfig.schedule.epochs = epochs;
+    sessionConfig.schedule.learningRate =
+        train::Ramp(args.getDouble("lr", 0.01));
+    sessionConfig.schedule.weightDecay = train::Ramp(
+        train::defaultWeightDecay(rbm::ModelFamily::CfRbm));
+    sessionConfig.seed = 7;
+    sessionConfig.name = "recommender";
+    sessionConfig.backendTag = hw ? "bgf" : "cd";
+    // Persist straight from the session: periodic checkpoints land in
+    // the same archive `isingrbm train --resume` would pick up.
+    const std::string path = "/tmp/isingrbm_recommender.ckpt";
+    sessionConfig.checkpointPath = path;
+    sessionConfig.checkpointEvery = std::max(1, epochs / 2);
+    train::Session session(
+        train::makeCfRbmStrategy(std::move(model), corpus, options),
+        std::move(sessionConfig));
 
     util::Stopwatch sw;
-    model.train(corpus, cfg, rng);
+    session.run();
+    model = std::get<rbm::CfRbm>(session.strategy().snapshot());
     std::printf("trained model MAE:       %.3f  (%.1fs)\n",
                 model.testMae(corpus), sw.seconds());
 
@@ -74,16 +94,9 @@ main(int argc, char **argv)
         std::printf("  item %2d -> %.2f\n", item,
                     model.predict(corpus, 0, item));
 
-    // Ship the trained model to inference as a v2 checkpoint (the
-    // engine serves its softmax groups through the flat RBM view).
-    const std::string path = "/tmp/isingrbm_recommender.ckpt";
-    rbm::Checkpoint ckpt;
-    ckpt.meta.name = "recommender";
-    ckpt.meta.backend = hw ? "bgf" : "cd";
-    ckpt.meta.seed = 7;
-    ckpt.meta.epoch = epochs;
-    ckpt.model = std::move(model);
-    rbm::saveCheckpoint(ckpt, path);
+    // The session already shipped the model to inference as a v2
+    // checkpoint (the engine serves its softmax groups through the
+    // flat RBM view).
     std::printf("\ncheckpointed cf_rbm to %s\n", path.c_str());
     return 0;
 }

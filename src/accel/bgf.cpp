@@ -5,6 +5,7 @@
 
 #include "accel/bgf.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ising::accel {
@@ -52,6 +53,12 @@ BoltzmannGradientFollower::reprogram(const rbm::Rbm &weights)
 void
 BoltzmannGradientFollower::trainSample(const float *data)
 {
+    trainSample(data, rng_);
+}
+
+void
+BoltzmannGradientFollower::trainSample(const float *data, util::Rng &rng)
+{
     const std::size_t n = fabric_.numHidden();
 
     // Step 2: the host streams the sample to the visible latches.
@@ -64,10 +71,10 @@ BoltzmannGradientFollower::trainSample(const float *data)
     // and batched samplers drive), so the fabric path and the software
     // path stay swappable all the way into the accelerators.
     linalg::Vector hpos, phScratch;
-    backend_.sampleHidden(v, hpos, phScratch, rng_);
+    backend_.sampleHidden(v, hpos, phScratch, rng);
     ++counters_.fabricSweeps;
     if (config_.midStepUpdates) {
-        fabric_.pumpUpdate(v, hpos, +1, rng_);
+        fabric_.pumpUpdate(v, hpos, +1, rng);
         ++counters_.pumpPhases;
     }
 
@@ -82,17 +89,17 @@ BoltzmannGradientFollower::trainSample(const float *data)
     linalg::Vector hneg = particles_[nextParticle_];
     linalg::Vector vneg, pvScratch;
     backend_.anneal(config_.annealSteps, vneg, hneg, pvScratch,
-                    phScratch, rng_);
+                    phScratch, rng);
     counters_.fabricSweeps += 2 * static_cast<std::size_t>(
         config_.annealSteps);
 
     // Step 5: <v h>_{s-} decrements W.
     if (!config_.midStepUpdates) {
         // Synchronized ablation: both phases applied under W^t.
-        fabric_.pumpUpdate(v, hpos, +1, rng_);
+        fabric_.pumpUpdate(v, hpos, +1, rng);
         ++counters_.pumpPhases;
     }
-    fabric_.pumpUpdate(vneg, hneg, -1, rng_);
+    fabric_.pumpUpdate(vneg, hneg, -1, rng);
     ++counters_.pumpPhases;
 
     // Persist the particle [63].
@@ -106,12 +113,19 @@ BoltzmannGradientFollower::trainSample(const float *data)
 void
 BoltzmannGradientFollower::trainEpoch(const data::Dataset &train)
 {
+    trainEpoch(train, rng_);
+}
+
+void
+BoltzmannGradientFollower::trainEpoch(const data::Dataset &train,
+                                      util::Rng &rng)
+{
     std::vector<std::size_t> order(train.size());
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
-    rng_.shuffle(order.data(), order.size());
+    rng.shuffle(order.data(), order.size());
     for (const std::size_t idx : order)
-        trainSample(train.sample(idx));
+        trainSample(train.sample(idx), rng);
 }
 
 rbm::Rbm
@@ -120,6 +134,59 @@ BoltzmannGradientFollower::readOut() const
     rbm::Rbm out;
     fabric_.readOut(out);
     return out;
+}
+
+void
+BoltzmannGradientFollower::captureState(rbm::TrainState &state,
+                                        const std::string &prefix) const
+{
+    const std::size_t m = fabric_.numVisible();
+    const std::size_t n = fabric_.numHidden();
+    state.setTensor(prefix + "fabric_w", fabric_.rawWeights());
+    linalg::Matrix bv(1, m), bh(1, n);
+    std::copy_n(fabric_.rawVisibleBias().data(), m, bv.row(0));
+    std::copy_n(fabric_.rawHiddenBias().data(), n, bh.row(0));
+    state.setTensor(prefix + "fabric_bv", std::move(bv));
+    state.setTensor(prefix + "fabric_bh", std::move(bh));
+
+    state.setCounter(prefix + "next_particle", nextParticle_);
+    state.setCounter(prefix + "particles_ready", particlesReady_ ? 1 : 0);
+    if (particlesReady_)
+        state.setTensor(prefix + "particles",
+                        rbm::packChainTensor(particles_, n));
+}
+
+bool
+BoltzmannGradientFollower::restoreState(const rbm::TrainState &state,
+                                        const std::string &prefix)
+{
+    const std::size_t m = fabric_.numVisible();
+    const std::size_t n = fabric_.numHidden();
+    const linalg::Matrix *w = state.tensor(prefix + "fabric_w");
+    const linalg::Matrix *bv = state.tensor(prefix + "fabric_bv");
+    const linalg::Matrix *bh = state.tensor(prefix + "fabric_bh");
+    if (!w || w->rows() != m || w->cols() != n || !bv ||
+        bv->cols() != m || !bh || bh->cols() != n)
+        return false;
+    linalg::Vector vbias(m), hbias(n);
+    std::copy_n(bv->row(0), m, vbias.data());
+    std::copy_n(bh->row(0), n, hbias.data());
+    fabric_.restoreRaw(*w, vbias, hbias);
+
+    nextParticle_ = 0;
+    particlesReady_ = false;
+    const std::uint64_t *ready = state.counter(prefix + "particles_ready");
+    if (ready && *ready) {
+        if (!rbm::unpackChainTensor(state.tensor(prefix + "particles"),
+                                    n, particles_))
+            return false;
+        particlesReady_ = true;
+        if (const std::uint64_t *next =
+                state.counter(prefix + "next_particle"))
+            nextParticle_ =
+                static_cast<std::size_t>(*next) % particles_.size();
+    }
+    return true;
 }
 
 } // namespace ising::accel

@@ -30,6 +30,7 @@
 #include "data/dataset.hpp"
 #include "ising/analog.hpp"
 #include "rbm/rbm.hpp"
+#include "rbm/train_state.hpp"
 
 namespace ising::accel {
 
@@ -89,12 +90,30 @@ class BoltzmannGradientFollower
 
     /** Steps 2-5 for one training sample (binary visible data). */
     void trainSample(const float *v);
+    void trainSample(const float *v, util::Rng &rng);
 
     /** Stream a full epoch of samples in shuffled order. */
     void trainEpoch(const data::Dataset &train);
+    void trainEpoch(const data::Dataset &train, util::Rng &rng);
 
     /** Step 6: ADC readout of the trained model. */
     rbm::Rbm readOut() const;
+
+    /**
+     * Persist the exact machine state under @p prefix: raw coupler
+     * voltages (the ADC readout in the checkpoint's model payload is
+     * quantized; resume must not be) plus the persistent particles.
+     */
+    void captureState(rbm::TrainState &state,
+                      const std::string &prefix) const;
+
+    /**
+     * Inverse of captureState.  Returns false when the tensors are
+     * absent or mis-dimensioned; the machine then continues from the
+     * programmed (quantized) weights with re-seeded particles.
+     */
+    bool restoreState(const rbm::TrainState &state,
+                      const std::string &prefix);
 
     const BgfCounters &counters() const { return counters_; }
     const BgfConfig &config() const { return config_; }

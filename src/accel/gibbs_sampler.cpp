@@ -22,8 +22,25 @@ GibbsSamplerAccel::GibbsSamplerAccel(rbm::Rbm &model, const GsConfig &config,
 }
 
 void
+GibbsSamplerAccel::setSchedule(double learningRate, int k,
+                               double weightDecay)
+{
+    config_.learningRate = learningRate;
+    config_.k = k;
+    config_.weightDecay = weightDecay;
+}
+
+void
 GibbsSamplerAccel::trainBatch(const data::Dataset &train,
                               const std::vector<std::size_t> &indices)
+{
+    trainBatch(train, indices, rng_);
+}
+
+void
+GibbsSamplerAccel::trainBatch(const data::Dataset &train,
+                              const std::vector<std::size_t> &indices,
+                              util::Rng &rng)
 {
     assert(!indices.empty());
     const std::size_t m = model_.numVisible(), n = model_.numHidden();
@@ -44,7 +61,7 @@ GibbsSamplerAccel::trainBatch(const data::Dataset &train,
         // Step 3: clamp the training sample through the DTCs.
         fabric_.clampVisible(train.sample(idx), v);
         // Step 4: positive-phase hidden sample (unified settle path).
-        backend_.sampleHidden(v, hpos, ph, rng_);
+        backend_.sampleHidden(v, hpos, ph, rng);
         ++counters_.fabricSweeps;
         counters_.bitsToHost += n;
 
@@ -64,7 +81,7 @@ GibbsSamplerAccel::trainBatch(const data::Dataset &train,
 
         // Step 5: free-running negative phase, k anneal sweeps.
         hneg = hpos;
-        backend_.anneal(config_.k, vneg, hneg, pv, ph, rng_);
+        backend_.anneal(config_.k, vneg, hneg, pv, ph, rng);
         counters_.fabricSweeps += 2 * static_cast<std::size_t>(config_.k);
         // Step 6: read out both layers.
         counters_.bitsToHost += m + n;
@@ -104,9 +121,15 @@ GibbsSamplerAccel::trainBatch(const data::Dataset &train,
 void
 GibbsSamplerAccel::trainEpoch(const data::Dataset &train)
 {
-    data::MinibatchPlan plan(train.size(), config_.batchSize, rng_);
+    trainEpoch(train, rng_);
+}
+
+void
+GibbsSamplerAccel::trainEpoch(const data::Dataset &train, util::Rng &rng)
+{
+    data::MinibatchPlan plan(train.size(), config_.batchSize, rng);
     for (std::size_t b = 0; b < plan.numBatches(); ++b)
-        trainBatch(train, plan.batch(b));
+        trainBatch(train, plan.batch(b), rng);
 }
 
 } // namespace ising::accel

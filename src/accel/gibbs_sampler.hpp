@@ -68,10 +68,20 @@ class GibbsSamplerAccel
 
     /** One pass over the training set in shuffled minibatches. */
     void trainEpoch(const data::Dataset &train);
+    void trainEpoch(const data::Dataset &train, util::Rng &rng);
 
     /** Process one minibatch (steps 2-8 above). */
     void trainBatch(const data::Dataset &train,
                     const std::vector<std::size_t> &indices);
+    void trainBatch(const data::Dataset &train,
+                    const std::vector<std::size_t> &indices,
+                    util::Rng &rng);
+
+    /**
+     * Re-point the scheduled hyper-parameters (per-epoch ramps); the
+     * substrate configuration stays as constructed.
+     */
+    void setSchedule(double learningRate, int k, double weightDecay);
 
     const GsCounters &counters() const { return counters_; }
     const machine::AnalogFabric &fabric() const { return fabric_; }

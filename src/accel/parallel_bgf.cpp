@@ -44,24 +44,31 @@ ParallelBgf::initialize(const rbm::Rbm &initial)
 }
 
 void
-ParallelBgf::train(const data::Dataset &train, int epochs)
+ParallelBgf::streamShards(const data::Dataset &train,
+                          std::vector<std::size_t> &order)
 {
     const std::size_t r = machines_.size();
+    exec::ThreadPool &pool =
+        config_.pool ? *config_.pool : exec::globalPool();
+    // Deal samples round-robin into shards and stream the shards
+    // concurrently.  Replica m only touches machines_[m] and its
+    // own rng, and consumes the same sample sequence the serial
+    // round-robin did, so the result is schedule-independent.
+    exec::parallelFor(pool, r, [&](std::size_t m) {
+        for (std::size_t i = m; i < order.size(); i += r)
+            machines_[m]->trainSample(train.sample(order[i]));
+    });
+}
+
+void
+ParallelBgf::train(const data::Dataset &train, int epochs)
+{
     std::vector<std::size_t> order(train.size());
     std::iota(order.begin(), order.end(), 0);
 
-    exec::ThreadPool &pool =
-        config_.pool ? *config_.pool : exec::globalPool();
     for (int epoch = 0; epoch < epochs; ++epoch) {
         rootRng_.shuffle(order.data(), order.size());
-        // Deal samples round-robin into shards and stream the shards
-        // concurrently.  Replica m only touches machines_[m] and its
-        // own rng, and consumes the same sample sequence the serial
-        // round-robin did, so the result is schedule-independent.
-        exec::parallelFor(pool, r, [&](std::size_t m) {
-            for (std::size_t i = m; i < order.size(); i += r)
-                machines_[m]->trainSample(train.sample(order[i]));
-        });
+        streamShards(train, order);
         const bool lastEpoch = epoch + 1 == epochs;
         if (config_.syncEveryEpochs > 0 &&
             ((epoch + 1) % config_.syncEveryEpochs == 0 || lastEpoch))
@@ -72,10 +79,51 @@ ParallelBgf::train(const data::Dataset &train, int epochs)
 }
 
 void
+ParallelBgf::trainEpoch(const data::Dataset &train,
+                        std::uint64_t rootSeed, int epoch)
+{
+    const std::size_t r = machines_.size();
+    // Every stream this epoch uses is a pure function of
+    // (rootSeed, epoch): replica i re-seeds to stream i and the shard
+    // shuffle draws from stream r, so neither call history nor worker
+    // count can change the bits.
+    util::Rng root = util::Rng::stream(
+        rootSeed, static_cast<std::uint64_t>(epoch));
+    const std::uint64_t epochSeed = root.next();
+    for (std::size_t i = 0; i < r; ++i)
+        rngs_[i] = util::Rng::stream(epochSeed, i);
+    util::Rng orderRng = util::Rng::stream(epochSeed, r);
+
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+    orderRng.shuffle(order.data(), order.size());
+    streamShards(train, order);
+
+    if (config_.syncEveryEpochs > 0 &&
+        (epoch + 1) % config_.syncEveryEpochs == 0)
+        synchronize();
+}
+
+void
 ParallelBgf::synchronize()
 {
     if (machines_.size() == 1)
         return;
+    const rbm::Rbm mean = meanModel();
+    for (auto &machine : machines_)
+        machine->reprogram(mean);  // particles survive the sync
+}
+
+rbm::Rbm
+ParallelBgf::readOut() const
+{
+    // After the trailing synchronize() all replicas agree; read one.
+    return machines_[0]->readOut();
+}
+
+rbm::Rbm
+ParallelBgf::meanModel() const
+{
     rbm::Rbm mean = machines_[0]->readOut();
     for (std::size_t i = 1; i < machines_.size(); ++i) {
         const rbm::Rbm other = machines_[i]->readOut();
@@ -88,15 +136,28 @@ ParallelBgf::synchronize()
     linalg::apply(mean.weights(), scale);
     linalg::apply(mean.visibleBias(), scale);
     linalg::apply(mean.hiddenBias(), scale);
-    for (auto &machine : machines_)
-        machine->reprogram(mean);  // particles survive the sync
+    return mean;
 }
 
-rbm::Rbm
-ParallelBgf::readOut() const
+void
+ParallelBgf::captureState(rbm::TrainState &state,
+                          const std::string &prefix) const
 {
-    // After the trailing synchronize() all replicas agree; read one.
-    return machines_[0]->readOut();
+    for (std::size_t i = 0; i < machines_.size(); ++i)
+        machines_[i]->captureState(
+            state, prefix + "r" + std::to_string(i) + ".");
+}
+
+bool
+ParallelBgf::restoreState(const rbm::TrainState &state,
+                          const std::string &prefix)
+{
+    bool ok = true;
+    for (std::size_t i = 0; i < machines_.size(); ++i)
+        ok = machines_[i]->restoreState(
+                 state, prefix + "r" + std::to_string(i) + ".") &&
+             ok;
+    return ok;
 }
 
 std::size_t

@@ -59,15 +59,46 @@ class ParallelBgf
      */
     void train(const data::Dataset &train, int epochs);
 
+    /**
+     * Session-driven single epoch: replica streams and the shard
+     * shuffle are pure functions of (rootSeed, epoch), so any epoch
+     * reproduces bit-for-bit whether reached in one run or after a
+     * checkpoint resume, at any worker count.  The model-averaging
+     * sync runs when (epoch + 1) is a syncEveryEpochs multiple --
+     * cadence is a function of the epoch index, never of call history.
+     */
+    void trainEpoch(const data::Dataset &train, std::uint64_t rootSeed,
+                    int epoch);
+
     /** Averaged model across replicas (ADC readout + mean). */
     rbm::Rbm readOut() const;
+
+    /**
+     * Readout-average across replicas *without* reprogramming: the
+     * pure snapshot a mid-training checkpoint stores (synchronize()
+     * mutates fabric state, so it must not run at snapshot points).
+     */
+    rbm::Rbm meanModel() const;
 
     /** Total samples processed across all replicas. */
     std::size_t samplesProcessed() const;
 
+    /**
+     * Persist every replica's exact machine state (prefix + "r<i>.").
+     * restoreState returns false unless all replicas restore.
+     */
+    void captureState(rbm::TrainState &state,
+                      const std::string &prefix) const;
+    bool restoreState(const rbm::TrainState &state,
+                      const std::string &prefix);
+
   private:
     /** Read out all replicas, average, reprogram everywhere. */
     void synchronize();
+
+    /** Shuffle-shard the dataset and stream shards concurrently. */
+    void streamShards(const data::Dataset &train,
+                      std::vector<std::size_t> &order);
 
     ParallelBgfConfig config_;
     std::vector<util::Rng> rngs_;

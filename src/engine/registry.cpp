@@ -46,39 +46,66 @@ ModelRegistry::contains(const std::string &name) const
     return fs::exists(pathFor(name), ec);
 }
 
+ModelRegistry::FileStamp
+ModelRegistry::stampFor(const std::string &path)
+{
+    FileStamp stamp;
+    std::error_code ec;
+    stamp.mtime = fs::last_write_time(path, ec);
+    stamp.size = fs::file_size(path, ec);
+    if (ec)
+        stamp.size = 0;
+    return stamp;
+}
+
 std::shared_ptr<const Model>
 ModelRegistry::get(const std::string &name)
 {
+    const std::string path = pathFor(name);
+    const FileStamp onDisk = stampFor(path);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = cache_.find(name);
-        if (it != cache_.end())
-            return it->second;
+        // Serve the cache only while the archive is unchanged: a
+        // checkpoint overwritten mid-training must not be served stale.
+        if (it != cache_.end() && it->second.stamp == onDisk)
+            return it->second.model;
     }
     // Load outside the lock (archives can be large); when two threads
-    // race on the same cold name, emplace keeps the first insertion
-    // and the loser's redundant load is discarded.
-    auto model = std::make_shared<const Model>(
-        rbm::loadCheckpointFile(pathFor(name)), pool_);
+    // race on the same cold name, the last insertion wins and the
+    // losers' redundant loads are discarded.
+    auto model =
+        std::make_shared<const Model>(rbm::loadCheckpointFile(path), pool_);
     std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = cache_.emplace(name, std::move(model));
-    return it->second;
+    auto &entry = cache_[name];
+    entry.model = std::move(model);
+    entry.stamp = onDisk;
+    return entry.model;
 }
 
 std::shared_ptr<const Model>
 ModelRegistry::put(const std::string &name, rbm::Checkpoint ckpt)
 {
     ckpt.meta.name = name;
+    ensureDir();
+    const std::string path = pathFor(name);
+    rbm::saveCheckpoint(ckpt, path);
+    auto model = std::make_shared<const Model>(std::move(ckpt), pool_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &entry = cache_[name];
+    entry.model = std::move(model);
+    entry.stamp = stampFor(path);
+    return entry.model;
+}
+
+void
+ModelRegistry::ensureDir()
+{
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec)
         util::fatal("registry: cannot create directory " + dir_ + ": " +
                     ec.message());
-    rbm::saveCheckpoint(ckpt, pathFor(name));
-    auto model = std::make_shared<const Model>(std::move(ckpt), pool_);
-    std::lock_guard<std::mutex> lock(mutex_);
-    cache_[name] = model;
-    return model;
 }
 
 std::vector<std::string>

@@ -11,6 +11,8 @@
 #ifndef ISINGRBM_ENGINE_REGISTRY_HPP
 #define ISINGRBM_ENGINE_REGISTRY_HPP
 
+#include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +46,11 @@ class ModelRegistry
     /**
      * Resolve a name: cached model, or load `<dir>/<name>.ckpt`.
      * Fatal when the archive is missing or malformed.
+     *
+     * Cached entries revalidate against the archive's (mtime, size)
+     * stamp, so a checkpoint overwritten on disk -- e.g. by a training
+     * session streaming periodic saves into the registry directory --
+     * is transparently reloaded instead of served stale.
      */
     std::shared_ptr<const Model> get(const std::string &name);
 
@@ -63,11 +70,34 @@ class ModelRegistry
     /** Number of models currently cached in memory. */
     std::size_t cachedCount() const;
 
+    /**
+     * Create the checkpoint directory.  put() does this lazily;
+     * training sessions that stream periodic checkpoints straight to
+     * pathFor() need it up front.
+     */
+    void ensureDir();
+
   private:
+    /** Freshness stamp of an archive on disk. */
+    struct FileStamp
+    {
+        std::filesystem::file_time_type mtime;
+        std::uintmax_t size = 0;
+        bool operator==(const FileStamp &) const = default;
+    };
+
+    struct Entry
+    {
+        std::shared_ptr<const Model> model;
+        FileStamp stamp;
+    };
+
+    static FileStamp stampFor(const std::string &path);
+
     std::string dir_;
     exec::ThreadPool *pool_;
     mutable std::mutex mutex_;
-    std::map<std::string, std::shared_ptr<const Model>> cache_;
+    std::map<std::string, Entry> cache_;
 };
 
 } // namespace ising::engine

@@ -5,34 +5,10 @@
 
 #include "eval/pipelines.hpp"
 
-#include "accel/gibbs_sampler.hpp"
 #include "exec/parallel_for.hpp"
-#include "rbm/cd_trainer.hpp"
 #include "util/logging.hpp"
 
 namespace ising::eval {
-
-const char *
-trainerName(Trainer trainer)
-{
-    switch (trainer) {
-      case Trainer::CdK: return "cd";
-      case Trainer::GibbsSampler: return "gs";
-      case Trainer::Bgf: return "bgf";
-    }
-    util::fatal("eval: unknown trainer");
-}
-
-Trainer
-trainerFromName(const std::string &name)
-{
-    for (const Trainer trainer :
-         {Trainer::CdK, Trainer::GibbsSampler, Trainer::Bgf})
-        if (name == trainerName(trainer))
-            return trainer;
-    util::fatal("eval: unknown trainer '" + name +
-                "' (use cd, gs or bgf)");
-}
 
 TrainSpec
 defaultTrainSpec(Trainer trainer)
@@ -80,16 +56,53 @@ reconstructionError(const rbm::Rbm &model, const data::Dataset &ds)
     return acc / static_cast<double>(ds.size() * ds.dim());
 }
 
+train::TrainOptions
+trainOptions(const TrainSpec &spec)
+{
+    train::TrainOptions options;
+    options.trainer = spec.trainer;
+    options.batchSize = spec.batchSize;
+    options.noise = spec.noise;
+    options.idealComponents = spec.idealComponents;
+    options.bgfParticles = spec.bgfParticles;
+    // The paper's BGF scaling: pump step = software alpha / batch size.
+    options.bgfPumpStep =
+        spec.learningRate / static_cast<double>(spec.batchSize);
+    options.bgfAnnealSteps = spec.k;
+    options.seed = spec.seed;
+    options.pool = spec.pool;
+    return options;
+}
+
+train::Schedule
+trainSchedule(const TrainSpec &spec)
+{
+    train::Schedule schedule;
+    schedule.epochs = spec.epochs;
+    schedule.learningRate = train::Ramp(spec.learningRate);
+    schedule.kStart = schedule.kEnd = spec.k;
+    return schedule;
+}
+
 namespace {
 
-machine::AnalogConfig
-analogFor(const TrainSpec &spec)
+/** Run a strategy to completion and return its final payload. */
+rbm::Checkpoint::Payload
+runSession(std::unique_ptr<train::Strategy> strategy,
+           const TrainSpec &spec)
 {
-    machine::AnalogConfig cfg;
-    cfg.noise = spec.noise;
-    cfg.idealComponents = spec.idealComponents;
-    cfg.variationSeed = spec.seed * 7919 + 13;
-    return cfg;
+    train::SessionConfig config;
+    config.schedule = trainSchedule(spec);
+    config.seed = spec.seed;
+    config.backendTag = trainerName(spec.trainer);
+    if (spec.onEpoch)
+        config.onEpoch = [&spec](int epoch, train::Session &session) {
+            spec.onEpoch(epoch, std::get<rbm::Rbm>(
+                                    session.strategy().snapshot()));
+        };
+    train::Session session(std::move(strategy), std::move(config));
+    session.run();
+    return session.strategy().snapshot();
 }
 
 } // namespace
@@ -101,56 +114,10 @@ trainRbm(const data::Dataset &train, std::size_t numHidden,
     util::Rng rng(spec.seed);
     rbm::Rbm init(train.dim(), numHidden);
     init.initRandom(rng);
-
-    switch (spec.trainer) {
-      case Trainer::CdK: {
-        rbm::CdConfig cfg;
-        cfg.learningRate = spec.learningRate;
-        cfg.k = spec.k;
-        cfg.batchSize = spec.batchSize;
-        rbm::CdTrainer trainer(init, cfg, rng);
-        for (int e = 0; e < spec.epochs; ++e) {
-            trainer.trainEpoch(train);
-            if (spec.onEpoch)
-                spec.onEpoch(e, init);
-        }
-        return init;
-      }
-      case Trainer::GibbsSampler: {
-        accel::GsConfig cfg;
-        cfg.learningRate = spec.learningRate;
-        cfg.k = spec.k;
-        cfg.batchSize = spec.batchSize;
-        cfg.analog = analogFor(spec);
-        accel::GibbsSamplerAccel gs(init, cfg, rng);
-        for (int e = 0; e < spec.epochs; ++e) {
-            gs.trainEpoch(train);
-            if (spec.onEpoch)
-                spec.onEpoch(e, init);
-        }
-        return init;
-      }
-      case Trainer::Bgf: {
-        accel::BgfConfig cfg;
-        cfg.learningRate =
-            spec.learningRate / static_cast<double>(spec.batchSize);
-        cfg.annealSteps = spec.k;
-        cfg.numParticles = spec.bgfParticles;
-        cfg.analog = analogFor(spec);
-        accel::BoltzmannGradientFollower bgf(train.dim(), numHidden,
-                                             cfg, rng);
-        bgf.initialize(init);
-        for (int e = 0; e < spec.epochs; ++e) {
-            bgf.trainEpoch(train);
-            if (spec.onEpoch) {
-                const rbm::Rbm snapshot = bgf.readOut();
-                spec.onEpoch(e, snapshot);
-            }
-        }
-        return bgf.readOut();
-      }
-    }
-    return init;
+    return std::get<rbm::Rbm>(runSession(
+        train::makeRbmStrategy(std::move(init), train,
+                               trainOptions(spec)),
+        spec));
 }
 
 rbm::Dbn
@@ -160,18 +127,14 @@ trainDbn(const data::Dataset &train,
     rbm::Dbn dbn(layerSizes);
     util::Rng rng(spec.seed);
     dbn.initRandom(rng);
-    TrainSpec layerSpec = spec;
-    layerSpec.onEpoch = nullptr;  // per-layer hooks not meaningful
-    dbn.trainGreedy(train, [&](rbm::Rbm &layer,
-                               const data::Dataset &layerData) {
-        // Binarize propagated probabilities so BGF/GS see binary data.
-        data::Dataset binary = layerData;
-        util::Rng brng(layerSpec.seed * 31 + 7);
-        binary = data::binarize(binary, brng);
-        layer = trainRbm(binary, layer.numHidden(), layerSpec);
-        layerSpec.seed += 101;
-    });
-    return dbn;
+    TrainSpec stackSpec = spec;
+    stackSpec.onEpoch = nullptr;  // per-layer hooks not meaningful
+    // One session drives the whole greedy stack: spec.epochs per layer.
+    stackSpec.epochs = spec.epochs * static_cast<int>(dbn.numLayers());
+    return std::get<rbm::Dbn>(runSession(
+        train::makeDbnStrategy(std::move(dbn), train,
+                               trainOptions(stackSpec), spec.epochs),
+        stackSpec));
 }
 
 data::Dataset

@@ -17,20 +17,21 @@
 #include "accel/bgf.hpp"
 #include "data/dataset.hpp"
 #include "eval/classifier.hpp"
+#include "exec/thread_pool.hpp"
 #include "ising/noise.hpp"
 #include "rbm/dbn.hpp"
 #include "rbm/rbm.hpp"
+#include "train/strategies.hpp"
 
 namespace ising::eval {
 
-/** Which engine trains the model. */
-enum class Trainer { CdK, GibbsSampler, Bgf };
-
-/** CLI/checkpoint-meta tag of a trainer ("cd", "gs", "bgf"). */
-const char *trainerName(Trainer trainer);
-
-/** Parse a trainer spelling ("cd" | "gs" | "bgf"); fatal on unknown. */
-Trainer trainerFromName(const std::string &name);
+/**
+ * The trainer taxonomy moved into the session layer (train/); these
+ * aliases keep the historical eval:: spellings working.
+ */
+using Trainer = train::Trainer;
+using train::trainerFromName;
+using train::trainerName;
 
 /** One scaled experiment configuration. */
 struct TrainSpec
@@ -45,10 +46,18 @@ struct TrainSpec
     machine::NoiseSpec noise;    ///< analog noise (GS/BGF only)
     bool idealComponents = false;///< bypass circuit non-idealities
     std::uint64_t seed = 1;
+    /** Worker pool for the session (borrowed; nullptr = global). */
+    exec::ThreadPool *pool = nullptr;
 
     /** Hook called after each epoch with the current model. */
     std::function<void(int epoch, const rbm::Rbm &model)> onEpoch;
 };
+
+/** The session-layer options equivalent to a TrainSpec. */
+train::TrainOptions trainOptions(const TrainSpec &spec);
+
+/** The session schedule equivalent to a TrainSpec (constant ramps). */
+train::Schedule trainSchedule(const TrainSpec &spec);
 
 /**
  * Canonical per-trainer defaults, in one place (the examples and the

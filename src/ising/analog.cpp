@@ -77,6 +77,17 @@ AnalogFabric::program(const rbm::Rbm &model)
 }
 
 void
+AnalogFabric::restoreRaw(const linalg::Matrix &w, const linalg::Vector &bv,
+                         const linalg::Vector &bh)
+{
+    assert(w.rows() == numVisible() && w.cols() == numHidden());
+    assert(bv.size() == numVisible() && bh.size() == numHidden());
+    w_ = w;
+    bv_ = bv;
+    bh_ = bh;
+}
+
+void
 AnalogFabric::clampVisible(const float *data, linalg::Vector &v) const
 {
     v.resize(numVisible());

@@ -118,6 +118,16 @@ class AnalogFabric
     const linalg::Vector &rawVisibleBias() const { return bv_; }
     const linalg::Vector &rawHiddenBias() const { return bh_; }
 
+    /**
+     * Restore the physical coupler state verbatim, bypassing the
+     * program() quantization path.  This is simulator state capture
+     * for checkpoint/resume (a resumed BGF run must continue from the
+     * *exact* gate voltages, which the ADC/DAC round trip would
+     * clip) -- not a modeled hardware operation.
+     */
+    void restoreRaw(const linalg::Matrix &w, const linalg::Vector &bv,
+                    const linalg::Vector &bh);
+
   private:
     /**
      * Shared current-summation + sampling sweep.  Computes, for each

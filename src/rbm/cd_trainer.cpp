@@ -12,11 +12,12 @@
 #include "linalg/bitops.hpp"
 #include "linalg/ops.hpp"
 #include "rbm/sampling_backend.hpp"
+#include "util/logging.hpp"
 
 namespace ising::rbm {
 
-CdTrainer::CdTrainer(Rbm &model, const CdConfig &config, util::Rng &rng)
-    : model_(model), config_(config), rng_(rng)
+CdTrainer::CdTrainer(Rbm &model, const CdConfig &config)
+    : model_(model), config_(config)
 {
     const std::size_t m = model.numVisible(), n = model.numHidden();
     dw_.reset(m, n);
@@ -27,8 +28,33 @@ CdTrainer::CdTrainer(Rbm &model, const CdConfig &config, util::Rng &rng)
     mbh_.resize(n);
 }
 
+CdTrainer::CdTrainer(Rbm &model, const CdConfig &config, util::Rng &rng)
+    : CdTrainer(model, config)
+{
+    rng_ = &rng;
+}
+
+util::Rng &
+CdTrainer::boundRng() const
+{
+    if (!rng_)
+        util::fatal("cd_trainer: no bound rng; use the per-call "
+                    "overloads with a session-constructed trainer");
+    return *rng_;
+}
+
 void
-CdTrainer::ensureParticles(const data::Dataset &train)
+CdTrainer::setSchedule(double learningRate, int k, double momentum,
+                       double weightDecay)
+{
+    config_.learningRate = learningRate;
+    config_.k = k;
+    config_.momentum = momentum;
+    config_.weightDecay = weightDecay;
+}
+
+void
+CdTrainer::ensureParticles(const data::Dataset &train, util::Rng &rng)
 {
     if (!config_.persistent || !particles_.empty())
         return;
@@ -39,9 +65,9 @@ CdTrainer::ensureParticles(const data::Dataset &train)
     particles_.reserve(count);
     linalg::Vector ph, h;
     for (std::size_t p = 0; p < count; ++p) {
-        const std::size_t idx = rng_.uniformInt(train.size());
+        const std::size_t idx = rng.uniformInt(train.size());
         model_.hiddenProbs(train.sample(idx), ph);
-        Rbm::sampleBinary(ph, h, rng_);
+        Rbm::sampleBinary(ph, h, rng);
         particles_.push_back(h);
     }
 }
@@ -50,8 +76,16 @@ void
 CdTrainer::trainBatch(const data::Dataset &train,
                       const std::vector<std::size_t> &indices)
 {
+    trainBatch(train, indices, boundRng());
+}
+
+void
+CdTrainer::trainBatch(const data::Dataset &train,
+                      const std::vector<std::size_t> &indices,
+                      util::Rng &rng)
+{
     assert(!indices.empty());
-    ensureParticles(train);
+    ensureParticles(train, rng);
 
     const std::size_t m = model_.numVisible(), n = model_.numHidden();
     const std::size_t batch = indices.size();
@@ -61,7 +95,7 @@ CdTrainer::trainBatch(const data::Dataset &train,
     // One serial draw roots every stream this batch uses; positions get
     // streams [0, batch) and PCD particles [batch, batch + p), so the
     // chains reproduce bit-for-bit regardless of worker count.
-    const std::uint64_t batchSeed = rng_.next();
+    const std::uint64_t batchSeed = rng.next();
 
     // All chains this batch run on the unified sampling surface; the
     // model is frozen until the update below, so one cached-transpose
@@ -258,20 +292,32 @@ CdTrainer::trainBatch(const data::Dataset &train,
 void
 CdTrainer::trainEpoch(const data::Dataset &train)
 {
-    data::MinibatchPlan plan(train.size(), config_.batchSize, rng_);
+    trainEpoch(train, boundRng());
+}
+
+void
+CdTrainer::trainEpoch(const data::Dataset &train, util::Rng &rng)
+{
+    data::MinibatchPlan plan(train.size(), config_.batchSize, rng);
     for (std::size_t b = 0; b < plan.numBatches(); ++b)
-        trainBatch(train, plan.batch(b));
+        trainBatch(train, plan.batch(b), rng);
 }
 
 double
 CdTrainer::reconstructionError(const data::Dataset &ds)
+{
+    return reconstructionError(ds, boundRng());
+}
+
+double
+CdTrainer::reconstructionError(const data::Dataset &ds, util::Rng &rng)
 {
     linalg::Vector ph, h, pv;
     double acc = 0.0;
     for (std::size_t r = 0; r < ds.size(); ++r) {
         const float *v = ds.sample(r);
         model_.hiddenProbs(v, ph);
-        Rbm::sampleBinary(ph, h, rng_);
+        Rbm::sampleBinary(ph, h, rng);
         model_.visibleProbs(h.data(), pv);
         for (std::size_t i = 0; i < ds.dim(); ++i) {
             const double d = pv[i] - v[i];
@@ -279,6 +325,69 @@ CdTrainer::reconstructionError(const data::Dataset &ds)
         }
     }
     return ds.size() ? acc / static_cast<double>(ds.size() * ds.dim()) : 0.0;
+}
+
+namespace {
+
+bool
+anyNonZero(const float *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (data[i] != 0.0f)
+            return true;
+    return false;
+}
+
+} // namespace
+
+void
+CdTrainer::captureState(TrainState &state, const std::string &prefix) const
+{
+    state.setCounter(prefix + "updates", updates_);
+    if (config_.persistent && !particles_.empty()) {
+        state.setCounter(prefix + "next_particle", nextParticle_);
+        state.setTensor(prefix + "particles",
+                        packChainTensor(particles_, model_.numHidden()));
+    }
+    // Momentum buffers matter only once momentum has pushed them off
+    // zero; the zero-state is what a fresh trainer starts from anyway.
+    if (anyNonZero(mw_.data(), mw_.size()) ||
+        anyNonZero(mbv_.data(), mbv_.size()) ||
+        anyNonZero(mbh_.data(), mbh_.size())) {
+        state.setTensor(prefix + "momentum_w", mw_);
+        linalg::Matrix bv(1, mbv_.size()), bh(1, mbh_.size());
+        std::copy_n(mbv_.data(), mbv_.size(), bv.row(0));
+        std::copy_n(mbh_.data(), mbh_.size(), bh.row(0));
+        state.setTensor(prefix + "momentum_bv", std::move(bv));
+        state.setTensor(prefix + "momentum_bh", std::move(bh));
+    }
+}
+
+bool
+CdTrainer::restoreState(const TrainState &state, const std::string &prefix)
+{
+    if (const std::uint64_t *updates = state.counter(prefix + "updates"))
+        updates_ = static_cast<std::size_t>(*updates);
+    if (const linalg::Matrix *mw = state.tensor(prefix + "momentum_w")) {
+        const linalg::Matrix *bv = state.tensor(prefix + "momentum_bv");
+        const linalg::Matrix *bh = state.tensor(prefix + "momentum_bh");
+        if (mw->rows() == mw_.rows() && mw->cols() == mw_.cols() && bv &&
+            bh && bv->cols() == mbv_.size() && bh->cols() == mbh_.size()) {
+            mw_ = *mw;
+            std::copy_n(bv->row(0), mbv_.size(), mbv_.data());
+            std::copy_n(bh->row(0), mbh_.size(), mbh_.data());
+        }
+    }
+    if (!config_.persistent)
+        return true;
+    if (!unpackChainTensor(state.tensor(prefix + "particles"),
+                           model_.numHidden(), particles_))
+        return false;
+    nextParticle_ = 0;
+    if (const std::uint64_t *next =
+            state.counter(prefix + "next_particle"))
+        nextParticle_ = static_cast<std::size_t>(*next);
+    return true;
 }
 
 } // namespace ising::rbm

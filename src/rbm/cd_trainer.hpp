@@ -18,6 +18,7 @@
 #include "exec/thread_pool.hpp"
 #include "rbm/gibbs.hpp"
 #include "rbm/rbm.hpp"
+#include "rbm/train_state.hpp"
 
 namespace ising::rbm {
 
@@ -47,14 +48,24 @@ class CdTrainer
 {
   public:
     /**
+     * Session-style construction: randomness is passed per call, so a
+     * driver can hand each epoch its own derived stream (the basis of
+     * deterministic checkpoint/resume).
+     *
      * @param model model to train (borrowed; must outlive the trainer)
      * @param config hyper-parameters
-     * @param rng randomness source (borrowed)
+     */
+    CdTrainer(Rbm &model, const CdConfig &config);
+
+    /**
+     * Legacy construction with a bound randomness source (borrowed);
+     * the rng-less method overloads below draw from it.
      */
     CdTrainer(Rbm &model, const CdConfig &config, util::Rng &rng);
 
     /** One full pass over the training set in shuffled minibatches. */
     void trainEpoch(const data::Dataset &train);
+    void trainEpoch(const data::Dataset &train, util::Rng &rng);
 
     /**
      * Process one minibatch given sample indices; exposed for harnesses
@@ -62,21 +73,49 @@ class CdTrainer
      */
     void trainBatch(const data::Dataset &train,
                     const std::vector<std::size_t> &indices);
+    void trainBatch(const data::Dataset &train,
+                    const std::vector<std::size_t> &indices,
+                    util::Rng &rng);
 
     /** Mean squared reconstruction error over a dataset (monitor). */
     double reconstructionError(const data::Dataset &ds);
+    double reconstructionError(const data::Dataset &ds, util::Rng &rng);
 
     /** Number of parameter updates performed so far. */
     std::size_t updatesDone() const { return updates_; }
 
     const CdConfig &config() const { return config_; }
 
+    /**
+     * Re-point the scheduled hyper-parameters (per-epoch ramps from
+     * train::Schedule); structural knobs (batch size, persistence,
+     * particle count, pool) stay as constructed.
+     */
+    void setSchedule(double learningRate, int k, double momentum,
+                     double weightDecay);
+
+    /**
+     * Persist the cross-epoch state (PCD particles, momentum buffers,
+     * update counter) under @p prefix -- what a checkpoint needs so a
+     * resumed run continues bit-for-bit.  Momentum buffers are written
+     * only when non-zero; particles only under PCD.
+     */
+    void captureState(TrainState &state, const std::string &prefix) const;
+
+    /**
+     * Inverse of captureState.  Returns false when PCD is configured
+     * but no particle tensor was found (caller should warn: chains
+     * will be re-initialized on the next batch).
+     */
+    bool restoreState(const TrainState &state, const std::string &prefix);
+
   private:
-    void ensureParticles(const data::Dataset &train);
+    void ensureParticles(const data::Dataset &train, util::Rng &rng);
+    util::Rng &boundRng() const;
 
     Rbm &model_;
     CdConfig config_;
-    util::Rng &rng_;
+    util::Rng *rng_ = nullptr;  ///< legacy bound source (may be null)
 
     // Gradient accumulators reused across batches (dwNeg_ holds the
     // negative-phase half of the batched reduce).

@@ -68,10 +68,10 @@ CfRbm::initFromData(const data::RatingData &corpus, util::Rng &rng,
     }
 }
 
-std::vector<std::vector<data::Rating>>
+CfRbm::ItemIndex
 CfRbm::itemIndex(const data::RatingData &corpus) const
 {
-    std::vector<std::vector<data::Rating>> index(corpus.numItems);
+    ItemIndex index(corpus.numItems);
     for (const auto &r : corpus.train)
         index[r.item].push_back(r);
     return index;
@@ -97,16 +97,35 @@ void
 CfRbm::train(const data::RatingData &corpus, const CfConfig &config,
              util::Rng &rng)
 {
-    const auto index = itemIndex(corpus);
+    for (int epoch = 0; epoch < config.epochs; ++epoch)
+        trainEpoch(corpus, config, rng);
+}
+
+void
+CfRbm::trainEpoch(const data::RatingData &corpus, const CfConfig &config,
+                  util::Rng &rng)
+{
+    trainEpoch(corpus, itemIndex(corpus), config, rng);
+}
+
+void
+CfRbm::trainEpoch(const data::RatingData &corpus, const ItemIndex &index,
+                  const CfConfig &config, util::Rng &rng)
+{
+    (void)corpus;
     const bool hw = config.hardware.has_value();
     machine::ChargePump pump(config.learningRate,
                              hw ? config.hardware->weightMax : 1e9,
                              hw ? config.hardware->pumpNonlinearity : 0.0);
     double rmsNoise = 0.0;
     if (hw) {
-        util::Rng fab(config.hardware->variationSeed);
-        variation_.materialize(w_.rows(), w_.cols(),
-                               config.hardware->noise.rmsVariation, fab);
+        if (!hardwareReady_) {
+            util::Rng fab(config.hardware->variationSeed);
+            variation_.materialize(w_.rows(), w_.cols(),
+                                   config.hardware->noise.rmsVariation,
+                                   fab);
+            hardwareReady_ = true;
+        }
         rmsNoise = config.hardware->noise.rmsNoise;
     }
 
@@ -135,118 +154,115 @@ CfRbm::train(const data::RatingData &corpus, const CfConfig &config,
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
 
-    for (int epoch = 0; epoch < config.epochs; ++epoch) {
-        if (config.weightDecay > 0.0) {
-            const float keep =
-                static_cast<float>(1.0 - config.weightDecay);
-            linalg::apply(w_, [keep](float x) { return x * keep; });
+    if (config.weightDecay > 0.0) {
+        const float keep = static_cast<float>(1.0 - config.weightDecay);
+        linalg::apply(w_, [keep](float x) { return x * keep; });
+    }
+    rng.shuffle(order.data(), order.size());
+    for (const std::size_t item : order) {
+        const auto &obs = index[item];
+        if (obs.empty())
+            continue;
+
+        // Positive phase.
+        hiddenFromItem(obs, ph);
+        std::vector<double> phPos = ph;
+        for (int j = 0; j < numHidden_; ++j) {
+            double p = ph[j];
+            if (rmsNoise > 0.0)
+                p = std::clamp(p + rng.gaussian(0.0, rmsNoise * 0.25),
+                               0.0, 1.0);
+            hpos[j] = rng.bernoulli(p) ? 1.0f : 0.0f;
         }
-        rng.shuffle(order.data(), order.size());
-        for (const std::size_t item : order) {
-            const auto &obs = index[item];
-            if (obs.empty())
-                continue;
 
-            // Positive phase.
-            hiddenFromItem(obs, ph);
-            std::vector<double> phPos = ph;
-            for (int j = 0; j < numHidden_; ++j) {
-                double p = ph[j];
-                if (rmsNoise > 0.0)
-                    p = std::clamp(p + rng.gaussian(0.0, rmsNoise * 0.25),
-                                   0.0, 1.0);
-                hpos[j] = rng.bernoulli(p) ? 1.0f : 0.0f;
-            }
-
-            // Negative phase: k CD steps of softmax reconstruction.
-            recon = obs;
-            const float *hcur = hpos.data();
-            for (int step = 0; step < config.k; ++step) {
-                for (auto &r : recon) {
-                    for (int s = 0; s < numStars_; ++s) {
-                        const std::size_t row = vRow(r.user, s);
-                        const float *wrow = w_.row(row);
-                        double act = bv_[row];
-                        for (int j = 0; j < numHidden_; ++j)
-                            act += wrow[j] * hcur[j];
-                        if (rmsNoise > 0.0)
-                            act += rng.gaussian(0.0, rmsNoise *
-                                                (std::fabs(act) + 0.1));
-                        soft[s] = act;
-                    }
-                    // Gumbel-free categorical draw via softmax CDF.
-                    double mx = soft[0];
-                    for (int s = 1; s < numStars_; ++s)
-                        mx = std::max(mx, soft[s]);
-                    double z = 0.0;
-                    for (int s = 0; s < numStars_; ++s) {
-                        soft[s] = std::exp(soft[s] - mx);
-                        z += soft[s];
-                    }
-                    double u = rng.uniform() * z, cum = 0.0;
-                    int pick = numStars_ - 1;
-                    for (int s = 0; s < numStars_; ++s) {
-                        cum += soft[s];
-                        if (u <= cum) {
-                            pick = s;
-                            break;
-                        }
-                    }
-                    r.stars = pick + 1;
+        // Negative phase: k CD steps of softmax reconstruction.
+        recon = obs;
+        const float *hcur = hpos.data();
+        for (int step = 0; step < config.k; ++step) {
+            for (auto &r : recon) {
+                for (int s = 0; s < numStars_; ++s) {
+                    const std::size_t row = vRow(r.user, s);
+                    const float *wrow = w_.row(row);
+                    double act = bv_[row];
+                    for (int j = 0; j < numHidden_; ++j)
+                        act += wrow[j] * hcur[j];
+                    if (rmsNoise > 0.0)
+                        act += rng.gaussian(0.0, rmsNoise *
+                                            (std::fabs(act) + 0.1));
+                    soft[s] = act;
                 }
-                hiddenFromItem(recon, ph);
-                for (int j = 0; j < numHidden_; ++j)
-                    hneg[j] = rng.bernoulli(ph[j]) ? 1.0f : 0.0f;
-                hcur = hneg.data();
-            }
-            const std::vector<double> &phNeg = ph;
-
-            if (hw) {
-                // Hardware mode: one charge-pump event per active
-                // (visible row, hidden unit) coupler, as in BGF.
-                for (std::size_t o = 0; o < obs.size(); ++o) {
-                    const std::size_t posRow =
-                        vRow(obs[o].user, obs[o].stars - 1);
-                    const std::size_t negRow =
-                        vRow(recon[o].user, recon[o].stars - 1);
-                    float *wpos = w_.row(posRow);
-                    float *wneg = w_.row(negRow);
-                    for (int j = 0; j < numHidden_; ++j) {
-                        if (hpos[j] > 0.5f)
-                            adjust(wpos[j], +1, posRow, j);
-                        if (hneg[j] > 0.5f)
-                            adjust(wneg[j], -1, negRow, j);
-                    }
-                    adjustBias(bv_[posRow], +1);
-                    adjustBias(bv_[negRow], -1);
+                // Gumbel-free categorical draw via softmax CDF.
+                double mx = soft[0];
+                for (int s = 1; s < numStars_; ++s)
+                    mx = std::max(mx, soft[s]);
+                double z = 0.0;
+                for (int s = 0; s < numStars_; ++s) {
+                    soft[s] = std::exp(soft[s] - mx);
+                    z += soft[s];
                 }
+                double u = rng.uniform() * z, cum = 0.0;
+                int pick = numStars_ - 1;
+                for (int s = 0; s < numStars_; ++s) {
+                    cum += soft[s];
+                    if (u <= cum) {
+                        pick = s;
+                        break;
+                    }
+                }
+                r.stars = pick + 1;
+            }
+            hiddenFromItem(recon, ph);
+            for (int j = 0; j < numHidden_; ++j)
+                hneg[j] = rng.bernoulli(ph[j]) ? 1.0f : 0.0f;
+            hcur = hneg.data();
+        }
+        const std::vector<double> &phNeg = ph;
+
+        if (hw) {
+            // Hardware mode: one charge-pump event per active
+            // (visible row, hidden unit) coupler, as in BGF.
+            for (std::size_t o = 0; o < obs.size(); ++o) {
+                const std::size_t posRow =
+                    vRow(obs[o].user, obs[o].stars - 1);
+                const std::size_t negRow =
+                    vRow(recon[o].user, recon[o].stars - 1);
+                float *wpos = w_.row(posRow);
+                float *wneg = w_.row(negRow);
                 for (int j = 0; j < numHidden_; ++j) {
                     if (hpos[j] > 0.5f)
-                        adjustBias(bh_[j], +1);
+                        adjust(wpos[j], +1, posRow, j);
                     if (hneg[j] > 0.5f)
-                        adjustBias(bh_[j], -1);
+                        adjust(wneg[j], -1, negRow, j);
                 }
-            } else {
-                // Software mode: classical mean-field statistics (much
-                // lower variance than sampled events).
-                const float lr = static_cast<float>(config.learningRate);
-                for (std::size_t o = 0; o < obs.size(); ++o) {
-                    const std::size_t posRow =
-                        vRow(obs[o].user, obs[o].stars - 1);
-                    const std::size_t negRow =
-                        vRow(recon[o].user, recon[o].stars - 1);
-                    float *wpos = w_.row(posRow);
-                    float *wneg = w_.row(negRow);
-                    for (int j = 0; j < numHidden_; ++j) {
-                        wpos[j] += lr * static_cast<float>(phPos[j]);
-                        wneg[j] -= lr * static_cast<float>(phNeg[j]);
-                    }
-                    bv_[posRow] += lr;
-                    bv_[negRow] -= lr;
-                }
-                for (int j = 0; j < numHidden_; ++j)
-                    bh_[j] += lr * static_cast<float>(phPos[j] - phNeg[j]);
+                adjustBias(bv_[posRow], +1);
+                adjustBias(bv_[negRow], -1);
             }
+            for (int j = 0; j < numHidden_; ++j) {
+                if (hpos[j] > 0.5f)
+                    adjustBias(bh_[j], +1);
+                if (hneg[j] > 0.5f)
+                    adjustBias(bh_[j], -1);
+            }
+        } else {
+            // Software mode: classical mean-field statistics (much
+            // lower variance than sampled events).
+            const float lr = static_cast<float>(config.learningRate);
+            for (std::size_t o = 0; o < obs.size(); ++o) {
+                const std::size_t posRow =
+                    vRow(obs[o].user, obs[o].stars - 1);
+                const std::size_t negRow =
+                    vRow(recon[o].user, recon[o].stars - 1);
+                float *wpos = w_.row(posRow);
+                float *wneg = w_.row(negRow);
+                for (int j = 0; j < numHidden_; ++j) {
+                    wpos[j] += lr * static_cast<float>(phPos[j]);
+                    wneg[j] -= lr * static_cast<float>(phNeg[j]);
+                }
+                bv_[posRow] += lr;
+                bv_[negRow] -= lr;
+            }
+            for (int j = 0; j < numHidden_; ++j)
+                bh_[j] += lr * static_cast<float>(phPos[j] - phNeg[j]);
         }
     }
 }

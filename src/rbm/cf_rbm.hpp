@@ -90,9 +90,28 @@ class CfRbm
                       util::Rng &rng, float stddev = 0.01f,
                       double smoothing = 8.0);
 
-    /** Train on the corpus' train partition. */
+    /** Train on the corpus' train partition (config.epochs passes). */
     void train(const data::RatingData &corpus, const CfConfig &config,
                util::Rng &rng);
+
+    /** Item -> observed (user, star) triples over the train ratings. */
+    using ItemIndex = std::vector<std::vector<data::Rating>>;
+
+    /** Build the per-item index once; reusable across epochs. */
+    ItemIndex itemIndex(const data::RatingData &corpus) const;
+
+    /**
+     * One pass over the corpus' train partition: applies the per-epoch
+     * weight decay, then streams the shuffled item list through CD.
+     * `config.epochs` is ignored -- this is the session-driven epoch
+     * primitive train() loops over.  The ItemIndex overload skips the
+     * per-epoch index rebuild (the corpus is immutable across a run).
+     */
+    void trainEpoch(const data::RatingData &corpus,
+                    const CfConfig &config, util::Rng &rng);
+    void trainEpoch(const data::RatingData &corpus,
+                    const ItemIndex &index, const CfConfig &config,
+                    util::Rng &rng);
 
     /**
      * Expected star rating for (user, item): infers the item's hidden
@@ -109,10 +128,6 @@ class CfRbm
     /** Row index of (user, star) in the weight matrix. */
     std::size_t vRow(int user, int star) const;
 
-    /** Build item -> observed (user, star) index over train ratings. */
-    std::vector<std::vector<data::Rating>> itemIndex(
-        const data::RatingData &corpus) const;
-
     /** Hidden conditional means for one item's observed ratings. */
     void hiddenFromItem(const std::vector<data::Rating> &obs,
                         std::vector<double> &ph) const;
@@ -124,8 +139,11 @@ class CfRbm
     linalg::Vector bv_;  ///< per (user, star)
     linalg::Vector bh_;  ///< per hidden unit
 
-    // Hardware-mode state (materialized at train() when enabled).
+    // Hardware-mode state (materialized on the first hardware-mode
+    // epoch; a pure function of the configured variation seed, so
+    // resumed runs regenerate the identical field).
     machine::VariationField variation_;
+    bool hardwareReady_ = false;
 };
 
 } // namespace ising::rbm

@@ -51,6 +51,15 @@ class ConvRbm
     explicit ConvRbm(const ConvRbmConfig &config);
 
     const ConvRbmConfig &config() const { return config_; }
+
+    /**
+     * Mutable config access for the scheduled hyper-parameters
+     * (learning rate / decay / sparsity ramps); the structural fields
+     * (imageSide, filterSide, numFilters, poolGrid) must not change
+     * after construction.
+     */
+    ConvRbmConfig &config() { return config_; }
+
     std::size_t hiddenSide() const;
     /** Output feature dimension: numFilters * poolGrid^2. */
     std::size_t featureDim() const;

@@ -341,6 +341,37 @@ Dbm::reconstructionError(const data::Dataset &ds,
         : 0.0;
 }
 
+void
+Dbm::captureChains(TrainState &state, const std::string &prefix) const
+{
+    if (!hasChains())
+        return;
+    state.setTensor(prefix + "chain_v",
+                    packChainTensor(chainV_, numVisible()));
+    state.setTensor(prefix + "chain_h1",
+                    packChainTensor(chainH1_, hidden1()));
+    state.setTensor(prefix + "chain_h2",
+                    packChainTensor(chainH2_, hidden2()));
+}
+
+bool
+Dbm::restoreChains(const TrainState &state, const std::string &prefix)
+{
+    std::vector<linalg::Vector> v, h1, h2;
+    if (!unpackChainTensor(state.tensor(prefix + "chain_v"),
+                           numVisible(), v) ||
+        !unpackChainTensor(state.tensor(prefix + "chain_h1"), hidden1(),
+                           h1) ||
+        !unpackChainTensor(state.tensor(prefix + "chain_h2"), hidden2(),
+                           h2) ||
+        v.size() != h1.size() || v.size() != h2.size())
+        return false;
+    chainV_ = std::move(v);
+    chainH1_ = std::move(h1);
+    chainH2_ = std::move(h2);
+    return true;
+}
+
 data::Dataset
 Dbm::transform(const data::Dataset &ds, int meanFieldIters) const
 {

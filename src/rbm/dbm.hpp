@@ -22,6 +22,7 @@
 
 #include "data/dataset.hpp"
 #include "rbm/rbm.hpp"
+#include "rbm/train_state.hpp"
 
 namespace ising::rbm {
 
@@ -97,6 +98,23 @@ class Dbm
      */
     data::Dataset transform(const data::Dataset &ds,
                             int meanFieldIters = 10) const;
+
+    /** True once trainEpoch has materialized the persistent chains. */
+    bool hasChains() const { return !chainV_.empty(); }
+
+    /**
+     * Persist the block-Gibbs chains ("dbm.chain_v/h1/h2" tensors) --
+     * the PCD state a checkpoint needs for bit-exact resume.  No-op
+     * before the first trainEpoch.
+     */
+    void captureChains(TrainState &state, const std::string &prefix) const;
+
+    /**
+     * Inverse of captureChains.  Returns false (leaving the lazy
+     * re-initialization path in place) when the tensors are absent or
+     * dimensioned for a different model.
+     */
+    bool restoreChains(const TrainState &state, const std::string &prefix);
 
   private:
     /** One persistent-chain block-Gibbs sweep. */

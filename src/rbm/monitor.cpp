@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 
 namespace ising::rbm {
 
@@ -21,11 +22,16 @@ subsample(const data::Dataset &ds, std::size_t maxRows)
     out.name = ds.name;
     out.numClasses = ds.numClasses;
     out.samples.reset(maxRows, ds.dim());
+    if (!ds.labels.empty())
+        out.labels.resize(maxRows);
     // Deterministic stride subsample keeps the monitor reproducible.
     const std::size_t stride = ds.size() / maxRows;
-    for (std::size_t r = 0; r < maxRows; ++r)
+    for (std::size_t r = 0; r < maxRows; ++r) {
         std::copy_n(ds.sample(r * stride), ds.dim(),
                     out.samples.row(r));
+        if (!ds.labels.empty())
+            out.labels[r] = ds.labels[r * stride];
+    }
     return out;
 }
 
@@ -39,11 +45,41 @@ TrainingMonitor::TrainingMonitor(const data::Dataset &train,
 {
 }
 
+MonitorRecord &
+TrainingMonitor::appendWeightStats(MonitorRecord rec,
+                                   const linalg::Matrix &weights)
+{
+    const float *w = weights.data();
+    double sq = 0.0, mx = 0.0;
+    std::size_t saturated = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double a = std::fabs(w[i]);
+        sq += a * a;
+        mx = std::max(mx, a);
+        saturated += a >= satLevel_;
+    }
+    const double count = std::max<std::size_t>(1, weights.size());
+    rec.weightRms = std::sqrt(sq / count);
+    rec.weightMax = mx;
+    rec.saturationFrac = static_cast<double>(saturated) / count;
+
+    log_.push_back(std::move(rec));
+    return log_.back();
+}
+
 const MonitorRecord &
 TrainingMonitor::observe(int epoch, const Rbm &model, util::Rng &rng)
 {
+    return observe(epoch, -1, model, rng);
+}
+
+const MonitorRecord &
+TrainingMonitor::observe(int epoch, int layer, const Rbm &model,
+                         util::Rng &rng)
+{
     MonitorRecord rec;
     rec.epoch = epoch;
+    rec.layer = layer;
     rec.trainFreeEnergy = model.meanFreeEnergy(train_.samples);
     rec.heldOutFreeEnergy = model.meanFreeEnergy(heldOut_.samples);
 
@@ -64,25 +100,19 @@ TrainingMonitor::observe(int epoch, const Rbm &model, util::Rng &rng)
         train_.size()
             ? err / static_cast<double>(train_.size() * train_.dim())
             : 0.0;
+    return appendWeightStats(std::move(rec), model.weights());
+}
 
-    // Weight statistics.
-    const float *w = model.weights().data();
-    double sq = 0.0, mx = 0.0;
-    std::size_t saturated = 0;
-    for (std::size_t i = 0; i < model.weights().size(); ++i) {
-        const double a = std::fabs(w[i]);
-        sq += a * a;
-        mx = std::max(mx, a);
-        saturated += a >= satLevel_;
-    }
-    const double count =
-        std::max<std::size_t>(1, model.weights().size());
-    rec.weightRms = std::sqrt(sq / count);
-    rec.weightMax = mx;
-    rec.saturationFrac = static_cast<double>(saturated) / count;
-
-    log_.push_back(rec);
-    return log_.back();
+const MonitorRecord &
+TrainingMonitor::observeWeights(int epoch, int layer,
+                                const linalg::Matrix &weights,
+                                double metric)
+{
+    MonitorRecord rec;
+    rec.epoch = epoch;
+    rec.layer = layer;
+    rec.reconstructionError = metric;
+    return appendWeightStats(std::move(rec), weights);
 }
 
 bool
@@ -96,6 +126,27 @@ TrainingMonitor::overfittingDetected(int patience) const
         if (log_[i].freeEnergyGap() <= log_[i - 1].freeEnergyGap())
             return false;
     return true;
+}
+
+const char *
+TrainingMonitor::csvHeader()
+{
+    return "epoch,layer,train_free_energy,heldout_free_energy,"
+           "free_energy_gap,recon_error,weight_rms,weight_max,"
+           "saturation_frac";
+}
+
+void
+TrainingMonitor::writeCsv(std::ostream &os) const
+{
+    os << csvHeader() << '\n';
+    for (const MonitorRecord &rec : log_) {
+        os << rec.epoch << ',' << rec.layer << ','
+           << rec.trainFreeEnergy << ',' << rec.heldOutFreeEnergy << ','
+           << rec.freeEnergyGap() << ',' << rec.reconstructionError
+           << ',' << rec.weightRms << ',' << rec.weightMax << ','
+           << rec.saturationFrac << '\n';
+    }
 }
 
 } // namespace ising::rbm

@@ -9,11 +9,19 @@
  * flags divergence and the pump-saturation fraction is specific to the
  * BGF substrate (couplers pinned at the gate-voltage rails stop
  * learning).
+ *
+ * Records are no longer tied to a bare `Rbm`: every record carries a
+ * layer index (-1 = whole model) and any family can contribute through
+ * `observeWeights`, which takes a weight matrix plus a caller-computed
+ * headline metric -- the hook Dbn/Dbm/ConvRbm/CfRbm sessions use for
+ * per-layer rows.  The full `observe` overloads remain the rich path
+ * for flat RBMs whose dimensions match the monitor's datasets.
  */
 
 #ifndef ISINGRBM_RBM_MONITOR_HPP
 #define ISINGRBM_RBM_MONITOR_HPP
 
+#include <iosfwd>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -25,9 +33,12 @@ namespace ising::rbm {
 struct MonitorRecord
 {
     int epoch = 0;
+    int layer = -1;                ///< -1 = whole model; else 0-based
     double trainFreeEnergy = 0.0;  ///< mean F over the train sample
     double heldOutFreeEnergy = 0.0;///< mean F over the held-out sample
-    double reconstructionError = 0.0; ///< mean-field round-trip MSE
+    double reconstructionError = 0.0; ///< family headline metric (MSE
+                                      ///< for RBMs, MAE for CF, error
+                                      ///< rate for ClassRbm)
     double weightRms = 0.0;        ///< RMS of W entries
     double weightMax = 0.0;        ///< max |W|
     double saturationFrac = 0.0;   ///< fraction of |W| >= satLevel
@@ -45,23 +56,49 @@ class TrainingMonitor
   public:
     /**
      * @param train, heldOut evaluation samples (subsampled internally
-     *        to at most @p maxRows rows each)
+     *        to at most @p maxRows rows each; either may be empty for
+     *        families without a dense dataset)
      * @param satLevel |W| threshold counted as saturated
      */
     TrainingMonitor(const data::Dataset &train,
                     const data::Dataset &heldOut,
                     double satLevel = 1.99, std::size_t maxRows = 256);
 
-    /** Evaluate the model and append a record. */
+    /** Evaluate a flat model against the datasets; append a record. */
     const MonitorRecord &observe(int epoch, const Rbm &model,
                                  util::Rng &rng);
 
+    /** Same, tagged with a layer index (DBN layer 0 and friends). */
+    const MonitorRecord &observe(int epoch, int layer, const Rbm &model,
+                                 util::Rng &rng);
+
+    /**
+     * Family-agnostic record: weight statistics of @p weights plus a
+     * caller-computed headline @p metric; free energies stay zero.
+     */
+    const MonitorRecord &observeWeights(int epoch, int layer,
+                                        const linalg::Matrix &weights,
+                                        double metric);
+
     const std::vector<MonitorRecord> &records() const { return log_; }
+
+    /** The subsampled evaluation sets (family metrics run on these). */
+    const data::Dataset &trainSample() const { return train_; }
+    const data::Dataset &heldOutSample() const { return heldOut_; }
 
     /** True when the free-energy gap grew for @p patience epochs. */
     bool overfittingDetected(int patience = 3) const;
 
+    /** Write every record as CSV (header + one line per record). */
+    void writeCsv(std::ostream &os) const;
+
+    /** The CSV column header line (no trailing newline). */
+    static const char *csvHeader();
+
   private:
+    MonitorRecord &appendWeightStats(MonitorRecord rec,
+                                     const linalg::Matrix &weights);
+
     data::Dataset train_;
     data::Dataset heldOut_;
     double satLevel_;

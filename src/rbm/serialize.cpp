@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -316,6 +317,85 @@ hasWhitespace(const std::string &s)
     return s.find_first_of(" \t\r\n") != std::string::npos;
 }
 
+// ------------------------------------------------ optional sections
+
+void
+writeTrainSection(const TrainState &state, std::ostream &os)
+{
+    os << "section train\n";
+    os << "counters " << state.counters.size() << '\n';
+    for (const auto &[name, value] : state.counters) {
+        if (name.empty() || hasWhitespace(name))
+            util::fatal("serialize: bad train-state counter name '" +
+                        name + "'");
+        os << name << ' ' << value << '\n';
+    }
+    os << "tensors " << state.tensors.size() << '\n';
+    for (const auto &[name, tensor] : state.tensors) {
+        if (name.empty() || hasWhitespace(name))
+            util::fatal("serialize: bad train-state tensor name '" +
+                        name + "'");
+        os << name << ' ' << tensor.rows() << ' ' << tensor.cols()
+           << '\n';
+        for (std::size_t r = 0; r < tensor.rows(); ++r)
+            writeFloats(os, tensor.row(r), tensor.cols());
+    }
+    os << "end train\n";
+}
+
+TrainState
+readTrainSection(std::istream &is)
+{
+    TrainState state;
+    expectLiteral(is, "counters", "train counters");
+    const auto numCounters =
+        expectValue<std::size_t>(is, "train counter count");
+    if (numCounters > kMaxUnits)
+        util::fatal("serialize: implausibly many train counters");
+    for (std::size_t i = 0; i < numCounters; ++i) {
+        const std::string name = expectToken(is, "train counter name");
+        state.setCounter(name,
+                         expectValue<std::uint64_t>(is, "train counter"));
+    }
+    expectLiteral(is, "tensors", "train tensors");
+    const auto numTensors =
+        expectValue<std::size_t>(is, "train tensor count");
+    if (numTensors > kMaxUnits)
+        util::fatal("serialize: implausibly many train tensors");
+    for (std::size_t i = 0; i < numTensors; ++i) {
+        const std::string name = expectToken(is, "train tensor name");
+        // Rows may legitimately be 0 (e.g. an empty particle set), so
+        // read raw and cap rather than using expectDim.
+        const auto rows = expectValue<std::size_t>(is, "train tensor rows");
+        const auto cols = expectValue<std::size_t>(is, "train tensor cols");
+        if (rows > kMaxUnits || cols > kMaxUnits)
+            util::fatal("serialize: bad train tensor dimensions");
+        checkWeightCount(rows, cols, "train tensor");
+        linalg::Matrix tensor(rows, cols);
+        for (std::size_t r = 0; r < rows; ++r)
+            readFloats(is, tensor.row(r), cols, "train tensor");
+        state.setTensor(name, std::move(tensor));
+    }
+    expectLiteral(is, "end", "train trailer");
+    expectLiteral(is, "train", "train trailer");
+    return state;
+}
+
+/** Consume an unrecognized section's tokens through `end <name>`. */
+void
+skipUnknownSection(std::istream &is, const std::string &name)
+{
+    std::string token;
+    while (is >> token) {
+        if (token != "end")
+            continue;
+        if (expectToken(is, "section trailer") == name)
+            return;
+    }
+    util::fatal("serialize: truncated archive (unterminated section '" +
+                name + "')");
+}
+
 } // namespace
 
 const char *const kCheckpointExtension = ".ckpt";
@@ -337,12 +417,15 @@ familyTag(ModelFamily family)
 ModelFamily
 familyFromTag(const std::string &tag)
 {
-    for (const ModelFamily family :
-         {ModelFamily::Rbm, ModelFamily::ClassRbm, ModelFamily::CfRbm,
-          ModelFamily::ConvRbm, ModelFamily::Dbn, ModelFamily::Dbm})
+    std::string known;
+    for (const ModelFamily family : kAllModelFamilies) {
         if (tag == familyTag(family))
             return family;
-    util::fatal("serialize: unknown model family tag '" + tag + "'");
+        known += known.empty() ? "" : ", ";
+        known += familyTag(family);
+    }
+    util::fatal("serialize: unknown model family tag '" + tag +
+                "' (use " + known + ")");
 }
 
 void
@@ -439,18 +522,31 @@ saveCheckpoint(const Checkpoint &ckpt, std::ostream &os)
     os << "section model\n";
     writeFamilyPayload(ckpt, os);
     os << "end model\n";
+    if (ckpt.train && !ckpt.train->empty())
+        writeTrainSection(*ckpt.train, os);
     os << "end checkpoint\n";
 }
 
 void
 saveCheckpoint(const Checkpoint &ckpt, const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os)
-        util::fatal("serialize: cannot open for writing: " + path);
-    saveCheckpoint(ckpt, os);
-    if (!os)
-        util::fatal("serialize: write failed: " + path);
+    // Write-temp-then-rename: training sessions overwrite live archives
+    // that a serving registry may revalidate-and-reload at any moment,
+    // so a reader must never observe a half-written file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            util::fatal("serialize: cannot open for writing: " + tmp);
+        saveCheckpoint(ckpt, os);
+        if (!os)
+            util::fatal("serialize: write failed: " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        util::fatal("serialize: cannot move " + tmp + " into place: " +
+                    ec.message());
 }
 
 Checkpoint
@@ -461,9 +557,9 @@ loadCheckpoint(std::istream &is)
 
     // Legacy v1 artifacts migrate to checkpoints with empty meta.
     if (magic == kRbmMagic && version == "v1")
-        return Checkpoint{{}, readRbmBody(is)};
+        return Checkpoint{{}, readRbmBody(is), {}};
     if (magic == kDbnMagic && version == "v1")
-        return Checkpoint{{}, readDbnStack(is, loadRbm)};
+        return Checkpoint{{}, readDbnStack(is, loadRbm), {}};
 
     if (magic != kCheckpointMagic || version != "v2")
         util::fatal("serialize: unrecognized archive header '" + magic +
@@ -515,8 +611,28 @@ loadCheckpoint(std::istream &is)
     ckpt.model = readFamilyPayload(family, is);
     expectLiteral(is, "end", "model trailer");
     expectLiteral(is, "model", "model trailer");
-    expectLiteral(is, "end", "checkpoint trailer");
-    expectLiteral(is, "checkpoint", "checkpoint trailer");
+
+    // Optional trailing sections, then the checkpoint trailer.  Unknown
+    // sections are skipped token-wise so newer writers stay loadable.
+    for (;;) {
+        const std::string token =
+            expectToken(is, "section or checkpoint trailer");
+        if (token == "end") {
+            expectLiteral(is, "checkpoint", "checkpoint trailer");
+            break;
+        }
+        if (token != "section")
+            util::fatal("serialize: corrupt archive: expected 'section' "
+                        "or 'end checkpoint', found '" + token + "'");
+        const std::string name = expectToken(is, "section name");
+        if (name == "train") {
+            if (ckpt.train)
+                util::fatal("serialize: duplicate train section");
+            ckpt.train = readTrainSection(is);
+        } else {
+            skipUnknownSection(is, name);
+        }
+    }
     return ckpt;
 }
 

@@ -30,12 +30,23 @@
  *      section model
  *      <family payload>
  *      end model
+ *      [section train ... end train]
  *      end checkpoint
  *
  *    Unknown meta keys are ignored (forward compatibility); anything
  *    structurally wrong (bad magic, unknown family, truncated payload,
  *    missing trailers) is fatal.  `loadCheckpoint` also accepts v1
  *    files, migrating them to `Rbm`/`Dbn` checkpoints with empty meta.
+ *
+ *    After the model section a checkpoint may carry *optional* trailing
+ *    sections.  The only one currently defined is `train`: the
+ *    persistent training state (PCD particles, DBM chains, momentum
+ *    buffers, fabric voltages) that `train::Session` needs for
+ *    bit-exact resume.  Readers skip sections they do not recognize
+ *    (tokens through the matching `end <name>`), so newer writers stay
+ *    loadable; a missing train section merely downgrades resume to
+ *    re-initialized chains.  Section payloads must never contain the
+ *    bare token `end` (ours are numbers and single-token names).
  *
  * All values are written with max_digits10 precision, so text
  * round-trips reproduce the binary floats exactly (locale-independent).
@@ -46,6 +57,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <variant>
 
@@ -55,6 +67,7 @@
 #include "rbm/dbm.hpp"
 #include "rbm/dbn.hpp"
 #include "rbm/rbm.hpp"
+#include "rbm/train_state.hpp"
 
 namespace ising::rbm {
 
@@ -84,6 +97,11 @@ Dbn loadDbnFile(const std::string &path);
  */
 enum class ModelFamily { Rbm, ClassRbm, CfRbm, ConvRbm, Dbn, Dbm };
 
+/** Every family, in enumerator order (capability tables, listings). */
+inline constexpr ModelFamily kAllModelFamilies[] = {
+    ModelFamily::Rbm, ModelFamily::ClassRbm, ModelFamily::CfRbm,
+    ModelFamily::ConvRbm, ModelFamily::Dbn, ModelFamily::Dbm};
+
 /** Archive tag of a family ("rbm", "class_rbm", ...). */
 const char *familyTag(ModelFamily family);
 
@@ -106,6 +124,13 @@ struct Checkpoint
 
     CheckpointMeta meta;
     Payload model;
+
+    /**
+     * Persistent training state for exact resume (optional "train"
+     * section).  Absent in archives written before the session layer,
+     * by inference-only exporters, and in migrated v1 files.
+     */
+    std::optional<TrainState> train;
 
     ModelFamily
     family() const

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Persistent training state carried by a checkpoint alongside the
+ * model parameters.
+ *
+ * Exact training resume needs more than weights: PCD particles, DBM
+ * block-Gibbs chains, momentum buffers and fabric coupler voltages all
+ * survive across epochs.  TrainState is the family-agnostic container
+ * those live in: named 64-bit counters plus named float tensors, written
+ * as an *optional* v2 checkpoint section ("section train") that readers
+ * which do not understand it skip and whose absence downgrades resume
+ * to re-initialized chains (with a warning) instead of failing.
+ *
+ * Names are namespaced by the producer ("cd.particles", "dbm.chain_v",
+ * "bgf0.fabric_w", ...) and must be single whitespace-free tokens.
+ */
+
+#ifndef ISINGRBM_RBM_TRAIN_STATE_HPP
+#define ISINGRBM_RBM_TRAIN_STATE_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ising::rbm {
+
+/** Named counters + tensors of one training run's persistent state. */
+struct TrainState
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, linalg::Matrix>> tensors;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && tensors.empty();
+    }
+
+    /** Look up a counter; nullptr when absent. */
+    const std::uint64_t *
+    counter(const std::string &name) const
+    {
+        for (const auto &[key, value] : counters)
+            if (key == name)
+                return &value;
+        return nullptr;
+    }
+
+    /** Look up a tensor; nullptr when absent. */
+    const linalg::Matrix *
+    tensor(const std::string &name) const
+    {
+        for (const auto &[key, value] : tensors)
+            if (key == name)
+                return &value;
+        return nullptr;
+    }
+
+    void
+    setCounter(const std::string &name, std::uint64_t value)
+    {
+        counters.emplace_back(name, value);
+    }
+
+    void
+    setTensor(const std::string &name, linalg::Matrix value)
+    {
+        tensors.emplace_back(name, std::move(value));
+    }
+};
+
+/**
+ * Pack a list of @p dim-wide chain/particle vectors into one tensor
+ * (one chain per row) -- the shared shape every producer stores its
+ * persistent chains in.
+ */
+inline linalg::Matrix
+packChainTensor(const std::vector<linalg::Vector> &chains,
+                std::size_t dim)
+{
+    linalg::Matrix out(chains.size(), dim);
+    for (std::size_t c = 0; c < chains.size(); ++c)
+        std::copy_n(chains[c].data(), dim, out.row(c));
+    return out;
+}
+
+/**
+ * Inverse of packChainTensor: validate the tensor and fill @p chains.
+ * Returns false (leaving @p chains untouched) when the tensor is
+ * absent, empty, or sized for a different @p dim.
+ */
+inline bool
+unpackChainTensor(const linalg::Matrix *tensor, std::size_t dim,
+                  std::vector<linalg::Vector> &chains)
+{
+    if (!tensor || tensor->cols() != dim || tensor->rows() == 0)
+        return false;
+    chains.assign(tensor->rows(), linalg::Vector(dim));
+    for (std::size_t c = 0; c < chains.size(); ++c)
+        std::copy_n(tensor->row(c), dim, chains[c].data());
+    return true;
+}
+
+} // namespace ising::rbm
+
+#endif // ISINGRBM_RBM_TRAIN_STATE_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared training schedule: the per-epoch hyper-parameter ramps every
+ * family used to hard-code (or not support at all).
+ *
+ * A Schedule is a pure function epoch -> EpochParams, which is what
+ * makes checkpoint/resume exact: epoch e's learning rate, momentum,
+ * weight decay and CD-k depth are identical whether the session
+ * reached e in one run or across a resume, because nothing about them
+ * is accumulated state.
+ */
+
+#ifndef ISINGRBM_TRAIN_SCHEDULE_HPP
+#define ISINGRBM_TRAIN_SCHEDULE_HPP
+
+namespace ising::train {
+
+/** Linear ramp from start to end across the epoch budget. */
+struct Ramp
+{
+    double start = 0.0;
+    double end = 0.0;
+
+    Ramp() = default;
+    Ramp(double constant) : start(constant), end(constant) {}
+    Ramp(double s, double e) : start(s), end(e) {}
+
+    double
+    at(int epoch, int totalEpochs) const
+    {
+        if (epoch <= 0 || totalEpochs <= 1)
+            return start;
+        if (epoch >= totalEpochs - 1)
+            return end;
+        const double t = static_cast<double>(epoch) /
+                         static_cast<double>(totalEpochs - 1);
+        return start + (end - start) * t;
+    }
+};
+
+/** Resolved hyper-parameters of one epoch. */
+struct EpochParams
+{
+    int epoch = 0;
+    double learningRate = 0.1;
+    double momentum = 0.0;
+    double weightDecay = 0.0;
+    int k = 1;  ///< CD steps / anneal sweeps this epoch
+};
+
+/** The session-wide training schedule. */
+struct Schedule
+{
+    int epochs = 3;
+    Ramp learningRate{0.1};
+    Ramp momentum{0.0};
+    Ramp weightDecay{0.0};
+    int kStart = 1;
+    int kEnd = 1;
+
+    EpochParams
+    at(int epoch) const
+    {
+        EpochParams p;
+        p.epoch = epoch;
+        p.learningRate = learningRate.at(epoch, epochs);
+        p.momentum = momentum.at(epoch, epochs);
+        p.weightDecay = weightDecay.at(epoch, epochs);
+        // Integer ramp: round the linear interpolation, never below 1.
+        const Ramp kRamp(static_cast<double>(kStart),
+                         static_cast<double>(kEnd));
+        const double k = kRamp.at(epoch, epochs);
+        p.k = k < 1.0 ? 1 : static_cast<int>(k + 0.5);
+        return p;
+    }
+};
+
+} // namespace ising::train
+
+#endif // ISINGRBM_TRAIN_SCHEDULE_HPP

@@ -36,7 +36,46 @@ run_step(${CLI} train --registry ${WORK} --name smoke-dbn
          --data MNIST --samples 120 --family dbn --layers 12,8
          --trainer cd --epochs 1 --k 1)
 
-# Checkpoint round-trip diff over everything just written.
+# Train -> interrupt -> resume across all six families: a short run
+# checkpoints, then --resume extends it.  The rbm leg also exercises
+# --pcd (persistent chains through the train-state section),
+# --checkpoint-every and the --monitor-out CSV.
+run_step(${CLI} train --registry ${WORK} --name res-rbm
+         --samples 120 --hidden 10 --epochs 2 --k 1 --pcd
+         --checkpoint-every 1 --monitor-out ${WORK}/monitor.csv)
+if(NOT EXISTS ${WORK}/monitor.csv)
+  message(FATAL_ERROR "cli_smoke: --monitor-out wrote nothing")
+endif()
+run_step(${CLI} train --registry ${WORK} --name res-rbm --resume
+         --samples 120 --epochs 3 --k 1 --pcd)
+run_step(${CLI} train --registry ${WORK} --name res-class
+         --family class_rbm --samples 120 --hidden 10 --epochs 1 --k 1)
+run_step(${CLI} train --registry ${WORK} --name res-class --resume
+         --samples 120 --epochs 2 --k 1)
+run_step(${CLI} train --registry ${WORK} --name res-cf
+         --family cf_rbm --users 30 --items 20 --hidden 8 --epochs 2)
+run_step(${CLI} train --registry ${WORK} --name res-cf --resume
+         --users 30 --items 20 --epochs 3)
+run_step(${CLI} train --registry ${WORK} --name res-conv
+         --family conv_rbm --samples 40 --filters 2 --filter-side 5
+         --pool-grid 2 --epochs 1)
+run_step(${CLI} train --registry ${WORK} --name res-conv --resume
+         --samples 40 --epochs 2)
+# DBN epochs are per layer and pinned by the archive (changing them
+# would remap epochs onto the wrong layers), so the resume repeats the
+# original --epochs; mid-stack resume is covered by test_train_session.
+run_step(${CLI} train --registry ${WORK} --name res-dbn
+         --family dbn --layers 10,6 --samples 120 --epochs 1 --k 1)
+run_step(${CLI} train --registry ${WORK} --name res-dbn --resume
+         --samples 120 --epochs 1 --k 1)
+run_step(${CLI} train --registry ${WORK} --name res-dbm
+         --family dbm --layers 10,6 --samples 80 --epochs 1
+         --pretrain-epochs 1)
+run_step(${CLI} train --registry ${WORK} --name res-dbm --resume
+         --samples 80 --epochs 2 --pretrain-epochs 1)
+
+# Checkpoint round-trip diff over everything just written -- including
+# the archives that now carry train-state sections.
 run_step(${CLI} list --registry ${WORK} --verify)
 
 run_step(${CLI} sample --registry ${WORK} --model smoke

@@ -238,6 +238,78 @@ TEST(Checkpoint, V1DbnFileStillLoads)
     expectRbmEq(restored.layer(1), stack.layer(1));
 }
 
+TEST(Checkpoint, TrainStateSectionRoundTripsExactly)
+{
+    Checkpoint ckpt;
+    ckpt.model = randomRbm(5, 4, 31);
+    rbm::TrainState state;
+    state.setCounter("cd.updates", 17);
+    state.setCounter("cd.next_particle", 3);
+    linalg::Matrix particles(6, 4);
+    Rng rng(5);
+    for (std::size_t i = 0; i < particles.size(); ++i)
+        particles.data()[i] = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    state.setTensor("cd.particles", particles);
+    ckpt.train = std::move(state);
+
+    const Checkpoint back = roundTrip(ckpt);
+    ASSERT_TRUE(back.train.has_value());
+    const std::uint64_t *updates = back.train->counter("cd.updates");
+    ASSERT_NE(updates, nullptr);
+    EXPECT_EQ(*updates, 17u);
+    const linalg::Matrix *tensor = back.train->tensor("cd.particles");
+    ASSERT_NE(tensor, nullptr);
+    ASSERT_EQ(tensor->rows(), 6u);
+    ASSERT_EQ(tensor->cols(), 4u);
+    for (std::size_t i = 0; i < tensor->size(); ++i)
+        EXPECT_EQ(tensor->data()[i], particles.data()[i]);
+    EXPECT_EQ(back.train->counter("missing"), nullptr);
+    EXPECT_EQ(back.train->tensor("missing"), nullptr);
+}
+
+TEST(Checkpoint, ArchiveWithoutTrainSectionLoadsWithEmptyState)
+{
+    Checkpoint ckpt;
+    ckpt.model = randomRbm(3, 3, 8);
+    const Checkpoint back = roundTrip(ckpt);
+    EXPECT_FALSE(back.train.has_value());
+}
+
+TEST(Checkpoint, UnknownTrailingSectionsAreSkipped)
+{
+    Checkpoint ckpt;
+    ckpt.model = randomRbm(3, 3, 9);
+    ckpt.meta.seed = 5;
+    std::stringstream ss;
+    rbm::saveCheckpoint(ckpt, ss);
+    std::string text = ss.str();
+    // A future writer appends a section this reader knows nothing
+    // about; the payload must be skipped, not fatal.
+    const auto at = text.find("end checkpoint");
+    ASSERT_NE(at, std::string::npos);
+    text.insert(at, "section telemetry\n1 2 3 some tokens\n"
+                    "end telemetry\n");
+    std::stringstream extended(text);
+    const Checkpoint back = rbm::loadCheckpoint(extended);
+    EXPECT_EQ(back.meta.seed, 5u);
+    EXPECT_FALSE(back.train.has_value());
+}
+
+TEST(CheckpointDeathTest, RejectsUnterminatedUnknownSection)
+{
+    Checkpoint ckpt;
+    ckpt.model = randomRbm(3, 3, 9);
+    std::stringstream ss;
+    rbm::saveCheckpoint(ckpt, ss);
+    std::string text = ss.str();
+    const auto at = text.find("end checkpoint");
+    ASSERT_NE(at, std::string::npos);
+    text = text.substr(0, at) + "section telemetry\n1 2 3\n";
+    std::stringstream bad(text);
+    EXPECT_EXIT(rbm::loadCheckpoint(bad), testing::ExitedWithCode(1),
+                "unterminated section");
+}
+
 TEST(CheckpointDeathTest, RejectsUnknownMagic)
 {
     std::stringstream ss("not-a-checkpoint v9\n1 1\n0\n0\n0\n");

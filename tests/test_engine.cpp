@@ -134,6 +134,32 @@ TEST_F(EngineTest, RegistryCachesAndReloads)
               std::get<rbm::Rbm>(first->checkpoint().model).weights());
 }
 
+TEST_F(EngineTest, RegistryReloadsOverwrittenCheckpoints)
+{
+    ModelRegistry registry(dir_);
+    rbm::Checkpoint first;
+    first.meta.epoch = 1;
+    first.model = randomRbm(9, 4, 1);
+    registry.put("alpha", std::move(first));
+    const auto cached = registry.get("alpha");
+    EXPECT_EQ(cached->meta().epoch, 1);
+
+    // A training session streams a newer snapshot straight to the
+    // archive path (no put(), so the cache never hears about it).
+    rbm::Checkpoint second;
+    second.meta.name = "alpha";
+    second.meta.epoch = 7;
+    second.model = randomRbm(9, 4, 2);
+    rbm::saveCheckpoint(second, registry.pathFor("alpha"));
+
+    // get() revalidates the (mtime, size) stamp and reloads.
+    const auto fresh = registry.get("alpha");
+    EXPECT_EQ(fresh->meta().epoch, 7);
+    EXPECT_NE(cached.get(), fresh.get());
+    // Unchanged on disk from here: the cache serves the same view.
+    EXPECT_EQ(registry.get("alpha").get(), fresh.get());
+}
+
 TEST_F(EngineTest, ServerResultIndependentOfCoalescing)
 {
     ModelRegistry registry(dir_);

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * train::Session tests: the resume-determinism contract (training N
+ * epochs in one run is bit-identical to training k, checkpointing and
+ * resuming for N-k) for every model family at worker counts 1 and 4,
+ * plus schedule ramps, the capability table and monitor integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "data/bars.hpp"
+#include "data/ratings.hpp"
+#include "exec/thread_pool.hpp"
+#include "rbm/monitor.hpp"
+#include "train/strategies.hpp"
+
+using namespace ising;
+
+namespace {
+
+constexpr int kTotalEpochs = 6;
+constexpr int kSplitEpochs = 4;
+
+data::Dataset
+barsData(std::size_t samples = 48)
+{
+    util::Rng rng(7);
+    return data::makeBarsAndStripes(4, samples, rng);
+}
+
+data::RatingData
+smallRatings()
+{
+    data::RatingStyle style;
+    style.numUsers = 20;
+    style.numItems = 12;
+    style.density = 0.4;
+    return data::makeRatings(style, 99);
+}
+
+train::Schedule
+schedule(int epochs)
+{
+    train::Schedule s;
+    s.epochs = epochs;
+    s.learningRate = train::Ramp(0.1, 0.05);  // exercise the ramp
+    s.momentum = train::Ramp(0.4);            // exercise momentum state
+    return s;
+}
+
+train::SessionConfig
+config(int epochs, rbm::TrainingMonitor *monitor = nullptr)
+{
+    train::SessionConfig cfg;
+    cfg.schedule = schedule(epochs);
+    cfg.seed = 21;
+    cfg.backendTag = "cd";
+    cfg.monitor = monitor;
+    return cfg;
+}
+
+std::string
+archiveOf(const train::Session &session)
+{
+    std::ostringstream os;
+    rbm::saveCheckpoint(session.checkpoint(), os);
+    return os.str();
+}
+
+using StrategyMaker =
+    std::function<std::unique_ptr<train::Strategy>(exec::ThreadPool *)>;
+
+/**
+ * The core contract: run kTotalEpochs straight; run kSplitEpochs,
+ * serialize, rebuild a fresh strategy, resume, finish; the two final
+ * archives must match byte for byte -- and must not depend on the
+ * worker count.
+ */
+std::string
+fullVsResumedArchive(const StrategyMaker &make, exec::ThreadPool *pool)
+{
+    train::Session full(make(pool), config(kTotalEpochs));
+    full.run();
+    const std::string fullArchive = archiveOf(full);
+
+    // Interrupt the same schedule after kSplitEpochs (ramps keep the
+    // full-schedule shape, exactly like a killed long run).
+    train::Session head(make(pool), config(kTotalEpochs));
+    head.run(kSplitEpochs);
+    std::istringstream saved(archiveOf(head));
+    const rbm::Checkpoint ckpt = rbm::loadCheckpoint(saved);
+    EXPECT_EQ(ckpt.meta.epoch, kSplitEpochs);
+
+    train::Session tail(make(pool), config(kTotalEpochs));
+    tail.resume(ckpt);
+    EXPECT_EQ(tail.epochsDone(), kSplitEpochs);
+    tail.run();
+    EXPECT_EQ(archiveOf(tail), fullArchive);
+    return fullArchive;
+}
+
+void
+expectResumeDeterminism(const StrategyMaker &make)
+{
+    exec::ThreadPool one(1), four(4);
+    const std::string serial = fullVsResumedArchive(make, &one);
+    const std::string threaded = fullVsResumedArchive(make, &four);
+    EXPECT_EQ(serial, threaded);
+}
+
+} // namespace
+
+// ------------------------------------------- per-family determinism
+
+TEST(SessionResume, RbmCdIsBitIdentical)
+{
+    const data::Dataset train = barsData();
+    expectResumeDeterminism([&](exec::ThreadPool *pool) {
+        train::TrainOptions options;
+        options.batchSize = 16;
+        options.seed = 21;
+        options.pool = pool;
+        util::Rng rng(21);
+        rbm::Rbm model(train.dim(), 8);
+        model.initRandom(rng);
+        return train::makeRbmStrategy(std::move(model), train, options);
+    });
+}
+
+TEST(SessionResume, RbmPcdCarriesParticles)
+{
+    const data::Dataset train = barsData();
+    expectResumeDeterminism([&](exec::ThreadPool *pool) {
+        train::TrainOptions options;
+        options.batchSize = 16;
+        options.persistentCd = true;
+        options.cdParticles = 6;
+        options.seed = 21;
+        options.pool = pool;
+        util::Rng rng(21);
+        rbm::Rbm model(train.dim(), 8);
+        model.initRandom(rng);
+        return train::makeRbmStrategy(std::move(model), train, options);
+    });
+}
+
+TEST(SessionResume, RbmGsIsBitIdentical)
+{
+    const data::Dataset train = barsData();
+    expectResumeDeterminism([&](exec::ThreadPool *pool) {
+        train::TrainOptions options;
+        options.trainer = train::Trainer::GibbsSampler;
+        options.batchSize = 16;
+        options.noise = {0.05, 0.05};
+        options.seed = 21;
+        options.pool = pool;
+        util::Rng rng(21);
+        rbm::Rbm model(train.dim(), 8);
+        model.initRandom(rng);
+        return train::makeRbmStrategy(std::move(model), train, options);
+    });
+}
+
+TEST(SessionResume, RbmBgfFleetIsBitIdentical)
+{
+    const data::Dataset train = barsData();
+    expectResumeDeterminism([&](exec::ThreadPool *pool) {
+        train::TrainOptions options;
+        options.trainer = train::Trainer::Bgf;
+        options.bgfReplicas = 2;
+        options.bgfParticles = 4;
+        options.bgfPumpStep = 0.01;
+        options.bgfAnnealSteps = 2;
+        options.seed = 21;
+        options.pool = pool;
+        util::Rng rng(21);
+        rbm::Rbm model(train.dim(), 8);
+        model.initRandom(rng);
+        return train::makeRbmStrategy(std::move(model), train, options);
+    });
+}
+
+TEST(SessionResume, ClassRbmIsBitIdentical)
+{
+    const data::Dataset train = barsData();
+    ASSERT_FALSE(train.labels.empty());
+    expectResumeDeterminism([&](exec::ThreadPool *pool) {
+        train::TrainOptions options;
+        options.batchSize = 16;
+        options.seed = 21;
+        options.pool = pool;
+        util::Rng rng(21);
+        rbm::ClassRbm model(train.dim(), train.numClasses, 6);
+        model.initRandom(rng);
+        return train::makeClassRbmStrategy(std::move(model), train,
+                                           options);
+    });
+}
+
+TEST(SessionResume, CfRbmIsBitIdentical)
+{
+    const data::RatingData corpus = smallRatings();
+    expectResumeDeterminism([&](exec::ThreadPool *pool) {
+        train::TrainOptions options;
+        options.seed = 21;
+        options.pool = pool;
+        util::Rng rng(21);
+        rbm::CfRbm model(corpus.numUsers, corpus.numStars, 6);
+        model.initFromData(corpus, rng);
+        return train::makeCfRbmStrategy(std::move(model), corpus,
+                                        options);
+    });
+}
+
+TEST(SessionResume, ConvRbmIsBitIdentical)
+{
+    const data::Dataset train = barsData();
+    expectResumeDeterminism([&](exec::ThreadPool *pool) {
+        train::TrainOptions options;
+        options.seed = 21;
+        options.pool = pool;
+        rbm::ConvRbmConfig cfg;
+        cfg.imageSide = 4;
+        cfg.filterSide = 3;
+        cfg.numFilters = 2;
+        cfg.poolGrid = 2;
+        rbm::ConvRbm model(cfg);
+        util::Rng rng(21);
+        model.initRandom(rng);
+        return train::makeConvRbmStrategy(std::move(model), train,
+                                          options);
+    });
+}
+
+TEST(SessionResume, DbnIsBitIdentical)
+{
+    const data::Dataset train = barsData();
+    // 6 total epochs over a 2-layer stack = 3 per layer; the split at
+    // epoch 4 lands mid-layer-1, exercising sub-engine state restore.
+    expectResumeDeterminism([&](exec::ThreadPool *pool) {
+        train::TrainOptions options;
+        options.batchSize = 16;
+        options.persistentCd = true;
+        options.cdParticles = 4;
+        options.seed = 21;
+        options.pool = pool;
+        rbm::Dbn model({train.dim(), 8, 6});
+        util::Rng rng(21);
+        model.initRandom(rng);
+        return train::makeDbnStrategy(std::move(model), train, options,
+                                      kTotalEpochs / 2);
+    });
+}
+
+TEST(SessionResume, DbmIsBitIdentical)
+{
+    const data::Dataset train = barsData();
+    expectResumeDeterminism([&](exec::ThreadPool *pool) {
+        train::TrainOptions options;
+        options.seed = 21;
+        options.pool = pool;
+        rbm::DbmConfig cfg;
+        cfg.batchSize = 16;
+        cfg.numChains = 6;
+        cfg.pretrainEpochs = 1;
+        rbm::Dbm model(train.dim(), 6, 4);
+        util::Rng rng(21);
+        model.initRandom(rng);
+        return train::makeDbmStrategy(std::move(model), train, options,
+                                      cfg);
+    });
+}
+
+// ------------------------------------------------- resume fallbacks
+
+TEST(SessionResume, MissingChainSectionWarnsAndContinues)
+{
+    const data::Dataset train = barsData();
+    train::TrainOptions options;
+    options.batchSize = 16;
+    options.persistentCd = true;
+    options.seed = 21;
+    util::Rng rng(21);
+    rbm::Rbm model(train.dim(), 8);
+    model.initRandom(rng);
+
+    train::Session head(
+        train::makeRbmStrategy(model, train, options),
+        config(kSplitEpochs));
+    head.run();
+    rbm::Checkpoint ckpt = head.checkpoint();
+    ckpt.train.reset();  // a pre-session archive without chain state
+
+    train::Session tail(
+        train::makeRbmStrategy(model, train, options),
+        config(kTotalEpochs));
+    tail.resume(ckpt);  // warns, does not die
+    tail.run();
+    EXPECT_EQ(tail.epochsDone(), kTotalEpochs);
+}
+
+TEST(SessionResumeDeathTest, SeedMismatchIsFatal)
+{
+    // Worker threads from earlier tests make fork()-style death tests
+    // unsafe; re-spawn the binary instead.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const data::Dataset train = barsData();
+    train::TrainOptions options;
+    options.seed = 21;
+    util::Rng rng(21);
+    rbm::Rbm model(train.dim(), 8);
+    model.initRandom(rng);
+
+    rbm::Checkpoint ckpt;
+    ckpt.meta.seed = 99;  // session seed is 21
+    ckpt.meta.epoch = kSplitEpochs;
+    ckpt.model = model;
+
+    train::Session tail(train::makeRbmStrategy(model, train, options),
+                        config(kTotalEpochs));
+    EXPECT_DEATH(tail.resume(ckpt), "seed mismatch");
+}
+
+TEST(SessionResumeDeathTest, FamilyMismatchIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const data::Dataset train = barsData();
+    train::TrainOptions options;
+    options.seed = 21;
+    util::Rng rng(21);
+    rbm::Rbm model(train.dim(), 8);
+    model.initRandom(rng);
+    train::Session session(
+        train::makeRbmStrategy(model, train, options),
+        config(kTotalEpochs));
+
+    rbm::Checkpoint ckpt;
+    ckpt.meta.seed = 21;
+    ckpt.model = rbm::Dbm(4, 3, 2);
+    EXPECT_DEATH(session.resume(ckpt), "cannot resume");
+}
+
+// -------------------------------------------------- capability table
+
+TEST(Capabilities, TableMatchesFamilies)
+{
+    using rbm::ModelFamily;
+    using train::Trainer;
+    EXPECT_TRUE(train::supports(ModelFamily::Rbm, Trainer::Bgf));
+    EXPECT_TRUE(train::supports(ModelFamily::Dbn, Trainer::GibbsSampler));
+    EXPECT_TRUE(train::supports(ModelFamily::CfRbm, Trainer::Bgf));
+    EXPECT_FALSE(train::supports(ModelFamily::ClassRbm, Trainer::Bgf));
+    EXPECT_FALSE(train::supports(ModelFamily::ConvRbm,
+                                 Trainer::GibbsSampler));
+    EXPECT_FALSE(train::supports(ModelFamily::Dbm, Trainer::Bgf));
+    EXPECT_EQ(train::supportedTrainerNames(ModelFamily::Rbm),
+              "cd, gs, bgf");
+    EXPECT_NE(train::unsupportedMessage(ModelFamily::Dbm, Trainer::Bgf)
+                  .find("supported: cd"),
+              std::string::npos);
+}
+
+TEST(CapabilitiesDeathTest, MakerRejectsUnsupportedCombo)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const data::Dataset train = barsData();
+    train::TrainOptions options;
+    options.trainer = train::Trainer::Bgf;
+    util::Rng rng(21);
+    rbm::ClassRbm model(train.dim(), train.numClasses, 6);
+    model.initRandom(rng);
+    EXPECT_DEATH(
+        train::makeClassRbmStrategy(std::move(model), train, options),
+        "does not support trainer");
+}
+
+// ------------------------------------------------ schedule + monitor
+
+TEST(Schedule, RampsLinearlyAndClampsK)
+{
+    train::Schedule s;
+    s.epochs = 5;
+    s.learningRate = train::Ramp(0.1, 0.02);
+    s.kStart = 1;
+    s.kEnd = 9;
+    EXPECT_DOUBLE_EQ(s.at(0).learningRate, 0.1);
+    EXPECT_DOUBLE_EQ(s.at(4).learningRate, 0.02);
+    EXPECT_NEAR(s.at(2).learningRate, 0.06, 1e-12);
+    EXPECT_EQ(s.at(0).k, 1);
+    EXPECT_EQ(s.at(2).k, 5);
+    EXPECT_EQ(s.at(4).k, 9);
+
+    train::Schedule single;
+    single.epochs = 1;
+    single.learningRate = train::Ramp(0.3, 0.1);
+    EXPECT_DOUBLE_EQ(single.at(0).learningRate, 0.3);
+}
+
+TEST(Monitor, SessionCollectsPerLayerRecordsAndCsv)
+{
+    const data::Dataset train = barsData();
+    rbm::TrainingMonitor monitor(train, train);
+
+    train::TrainOptions options;
+    options.batchSize = 16;
+    options.seed = 21;
+    rbm::Dbn model({train.dim(), 6, 4});
+    util::Rng rng(21);
+    model.initRandom(rng);
+
+    train::SessionConfig cfg = config(4, &monitor);
+    train::Session session(
+        train::makeDbnStrategy(std::move(model), train, options, 2),
+        std::move(cfg));
+    session.run();
+
+    // Epochs 2-3 train layer 1: those records include a layer-1 row.
+    ASSERT_FALSE(monitor.records().empty());
+    bool sawLayer1 = false;
+    for (const auto &rec : monitor.records())
+        sawLayer1 |= rec.layer == 1;
+    EXPECT_TRUE(sawLayer1);
+
+    std::ostringstream csv;
+    monitor.writeCsv(csv);
+    const std::string text = csv.str();
+    EXPECT_NE(text.find("epoch,layer"), std::string::npos);
+    // Header + one line per record.
+    const auto lines =
+        std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(lines,
+              static_cast<long>(monitor.records().size()) + 1);
+}
+
+TEST(Monitor, ObserveWeightsRecordsFamilyMetric)
+{
+    const data::Dataset train = barsData();
+    rbm::TrainingMonitor monitor(train, train);
+    linalg::Matrix w(3, 4);
+    w.fill(2.5f);
+    const auto &rec = monitor.observeWeights(3, 1, w, 0.75);
+    EXPECT_EQ(rec.epoch, 3);
+    EXPECT_EQ(rec.layer, 1);
+    EXPECT_DOUBLE_EQ(rec.reconstructionError, 0.75);
+    EXPECT_NEAR(rec.weightRms, 2.5, 1e-6);
+    EXPECT_DOUBLE_EQ(rec.saturationFrac, 1.0);  // all above 1.99
+}
