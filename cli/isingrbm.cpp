@@ -138,7 +138,23 @@ const std::vector<util::FlagHelp> kTrainFlags = {
     {"checkpoint-every", "N", "periodic checkpoint cadence in epochs "
                               "(default: final only)"},
     {"monitor-out", "path", "write per-epoch monitor records as CSV"},
+    {"early-stop", "P", "stop once the held-out free-energy gap grows "
+                        "for P epochs (implies monitoring; the stop "
+                        "epoch rides in the checkpoint meta, so "
+                        "--resume afterwards is a no-op)"},
+    {"sparse-threshold", "X", "sparse kernel crossover activity in "
+                              "[0,1] (default: auto-calibrated; 0 "
+                              "disables the sparse path, 1 forces it)"},
 };
+
+/** Sampling-kernel tuning shared by every registry-backed command. */
+rbm::SamplingOptions
+samplingFlags(const util::CliArgs &args)
+{
+    rbm::SamplingOptions opts;
+    opts.sparseThreshold = args.getDouble("sparse-threshold", -1.0);
+    return opts;
+}
 
 /** Square side of a dataset's images; fatal when not square. */
 std::size_t
@@ -214,6 +230,13 @@ cmdTrain(const util::CliArgs &args)
     options.persistentCd = args.getBool("pcd", false);
     options.bgfReplicas = std::max<std::size_t>(
         1, sizeFlag(args, "replicas", 1));
+    options.sparseThreshold = samplingFlags(args).sparseThreshold;
+    // Only the CD engine's kernels take the tuning; the GS/BGF
+    // substrate settle loops construct default-option backends.
+    if (args.has("sparse-threshold") && trainer != train::Trainer::CdK)
+        util::warn(std::string("isingrbm: --sparse-threshold only "
+                               "tunes the cd trainer's kernels; the ") +
+                   train::trainerName(trainer) + " path ignores it");
 
     train::Schedule schedule = eval::trainSchedule(spec);
     schedule.learningRate.end =
@@ -343,8 +366,20 @@ cmdTrain(const util::CliArgs &args)
 
     // ---- monitor ---------------------------------------------------
     const std::string monitorOut = args.get("monitor-out", "");
+    const int earlyStop =
+        static_cast<int>(args.getInt("early-stop", 0));
+    // The stop signal is the free-energy gap, which only the flat-RBM
+    // and DBN monitors record; elsewhere the flag would silently
+    // never fire, so say so up front.
+    if (earlyStop > 0 && family != rbm::ModelFamily::Rbm &&
+        family != rbm::ModelFamily::Dbn)
+        util::warn(std::string("isingrbm: --early-stop watches the "
+                               "held-out free-energy gap, which the ") +
+                   rbm::familyTag(family) +
+                   " monitor does not record; the stop will never "
+                   "trigger");
     std::optional<rbm::TrainingMonitor> monitor;
-    if (!monitorOut.empty()) {
+    if (!monitorOut.empty() || earlyStop > 0) {
         if (family == rbm::ModelFamily::CfRbm) {
             // CF has no dense dataset; records carry weight stats +
             // test MAE.
@@ -371,6 +406,7 @@ cmdTrain(const util::CliArgs &args)
     config.checkpointEvery =
         static_cast<int>(args.getInt("checkpoint-every", 0));
     config.monitor = monitor ? &*monitor : nullptr;
+    config.earlyStopPatience = earlyStop;
     config.onEpoch = [](int epoch, train::Session &session) {
         std::printf("  epoch %d/%d done\n", epoch + 1,
                     session.config().schedule.epochs);
@@ -391,8 +427,12 @@ cmdTrain(const util::CliArgs &args)
                 "%s\n",
                 name.c_str(), session.epochsDone(), sw.seconds(),
                 train::trainerName(trainer), outPath.c_str());
+    if (session.earlyStopEpoch() >= 0)
+        std::printf("early-stopped at epoch %d (recorded in the "
+                    "checkpoint meta; --resume will be a no-op)\n",
+                    session.earlyStopEpoch());
 
-    if (monitor) {
+    if (monitor && !monitorOut.empty()) {
         std::ofstream os(monitorOut);
         if (!os)
             util::fatal("isingrbm: cannot write " + monitorOut);
@@ -411,6 +451,8 @@ const std::vector<util::FlagHelp> kSampleFlags = {
     {"seed", "S", "request seed (default 7)"},
     {"ascii", "", "render square samples as ASCII art"},
     {"out", "path", "write samples as a text matrix"},
+    {"sparse-threshold", "X", "sparse kernel crossover activity "
+                              "(default: auto; 0 dense, 1 sparse)"},
 };
 
 int
@@ -420,7 +462,8 @@ cmdSample(const util::CliArgs &args)
                     "isingrbm sample --registry DIR --model ID [flags]",
                     kSampleFlags))
         return 0;
-    engine::ModelRegistry registry(requireFlag(args, "registry"));
+    engine::ModelRegistry registry(requireFlag(args, "registry"),
+                                   nullptr, samplingFlags(args));
     engine::Server server(registry);
     const std::string name = requireFlag(args, "model");
 
@@ -480,6 +523,8 @@ const std::vector<util::FlagHelp> kEvalFlags = {
     {"test-frac", "F", "test split fraction (default 0.25)"},
     {"seed", "S", "split/head seed (default 9)"},
     {"head-epochs", "E", "logistic head epochs (default 30)"},
+    {"sparse-threshold", "X", "sparse kernel crossover activity "
+                              "(default: auto; 0 dense, 1 sparse)"},
 };
 
 int
@@ -488,7 +533,8 @@ cmdEval(const util::CliArgs &args)
     if (!checkFlags(args, "isingrbm eval --registry DIR --model ID [flags]",
                     kEvalFlags))
         return 0;
-    engine::ModelRegistry registry(requireFlag(args, "registry"));
+    engine::ModelRegistry registry(requireFlag(args, "registry"),
+                                   nullptr, samplingFlags(args));
     engine::Server server(registry);
     const std::string name = requireFlag(args, "model");
     const auto model = registry.get(name);
@@ -551,6 +597,8 @@ const std::vector<util::FlagHelp> kServeBenchFlags = {
     {"steps", "K", "anneal sweeps for sample requests (default 10)"},
     {"max-batch", "B", "server kernel batch depth (default 256)"},
     {"seed", "S", "request seed root (default 13)"},
+    {"sparse-threshold", "X", "sparse kernel crossover activity "
+                              "(default: auto; 0 dense, 1 sparse)"},
 };
 
 int
@@ -561,7 +609,8 @@ cmdServeBench(const util::CliArgs &args)
                     "[flags]",
                     kServeBenchFlags))
         return 0;
-    engine::ModelRegistry registry(requireFlag(args, "registry"));
+    engine::ModelRegistry registry(requireFlag(args, "registry"),
+                                   nullptr, samplingFlags(args));
     engine::ServerConfig config;
     config.maxBatchRows = sizeFlag(args, "max-batch", 256);
     engine::Server server(registry, config);
@@ -587,9 +636,11 @@ cmdServeBench(const util::CliArgs &args)
                 responses.size(), engine::opName(op), stats.rows,
                 model->familyName(), name.c_str(), seconds);
     std::printf("  %.0f requests/s, %.0f rows/s, %zu coalesced "
-                "groups, %zu kernel batches (max depth %zu)\n",
+                "groups, %zu kernel batches (max depth %zu), "
+                "%zu scratch resizes\n",
                 requests / seconds, stats.rows / seconds, stats.groups,
-                stats.kernelBatches, config.maxBatchRows);
+                stats.kernelBatches, config.maxBatchRows,
+                stats.scratchResizes);
     return 0;
 }
 

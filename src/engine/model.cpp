@@ -23,14 +23,14 @@ constexpr int kMeanFieldIters = 10;
  *  backends (their means do not depend on the draws). */
 constexpr std::uint64_t kScratchSeed = 0x5EEDF00Dull;
 
-std::vector<util::Rng>
-scratchRngs(std::size_t rows)
+/** Refill the scratch stream vector in place (capacity is reused). */
+void
+fillScratchRngs(std::vector<util::Rng> &rngs, std::size_t rows)
 {
-    std::vector<util::Rng> rngs;
+    rngs.clear();
     rngs.reserve(rows);
     for (std::size_t r = 0; r < rows; ++r)
         rngs.push_back(util::Rng::stream(kScratchSeed, r));
-    return rngs;
 }
 
 void
@@ -65,17 +65,18 @@ opFromName(const std::string &name)
                 "' (use sample, featurize, classify or reconstruct)");
 }
 
-Model::Model(rbm::Checkpoint ckpt, exec::ThreadPool *pool)
+Model::Model(rbm::Checkpoint ckpt, exec::ThreadPool *pool,
+             rbm::SamplingOptions options)
     : ckpt_(std::move(ckpt)), pool_(pool)
 {
     switch (family()) {
       case rbm::ModelFamily::Rbm:
         flat_ = std::make_unique<rbm::SoftwareGibbsBackend>(
-            std::get<rbm::Rbm>(ckpt_.model), pool_);
+            std::get<rbm::Rbm>(ckpt_.model), pool_, options);
         break;
       case rbm::ModelFamily::ClassRbm:
         flat_ = std::make_unique<rbm::SoftwareGibbsBackend>(
-            std::get<rbm::ClassRbm>(ckpt_.model).joint(), pool_);
+            std::get<rbm::ClassRbm>(ckpt_.model).joint(), pool_, options);
         break;
       case rbm::ModelFamily::CfRbm: {
         // Re-host the softmax-group parameters as a plain RBM: the
@@ -87,7 +88,8 @@ Model::Model(rbm::Checkpoint ckpt, exec::ThreadPool *pool)
         cfFlat_.visibleBias() = cf.visibleBias();
         cfFlat_.hiddenBias() = cf.hiddenBias();
         flat_ = std::make_unique<rbm::SoftwareGibbsBackend>(cfFlat_,
-                                                            pool_);
+                                                            pool_,
+                                                            options);
         break;
       }
       case rbm::ModelFamily::Dbn: {
@@ -95,7 +97,7 @@ Model::Model(rbm::Checkpoint ckpt, exec::ThreadPool *pool)
         for (std::size_t l = 0; l < stack.numLayers(); ++l)
             layers_.push_back(
                 std::make_unique<rbm::SoftwareGibbsBackend>(
-                    stack.layer(l), pool_));
+                    stack.layer(l), pool_, options));
         break;
       }
       case rbm::ModelFamily::ConvRbm:
@@ -197,32 +199,45 @@ void
 Model::sampleRows(int burnIn, std::size_t rows, util::Rng *rngs,
                   linalg::Matrix &out) const
 {
+    BatchScratch scratch;
+    sampleRows(burnIn, rows, rngs, out, scratch);
+}
+
+void
+Model::sampleRows(int burnIn, std::size_t rows, util::Rng *rngs,
+                  linalg::Matrix &out, BatchScratch &scratch) const
+{
     if (!supports(Op::Sample))
         util::fatal(std::string("engine: family ") + familyName() +
                     " does not support sampling");
     burnIn = std::max(1, burnIn);
+    linalg::Matrix &h = scratch.a, &v = scratch.b, &pv = scratch.c,
+                   &ph = scratch.d;
 
     if (family() == rbm::ModelFamily::Dbn) {
         // Standard DBN generation: anneal in the top RBM, then one
         // deterministic mean-field pass down the directed stack.
         const rbm::SoftwareGibbsBackend &top = *layers_.back();
-        linalg::Matrix h(rows, top.numHidden()), v, pv, ph;
+        ensureShape(h, rows, top.numHidden());
         for (std::size_t r = 0; r < rows; ++r)
             for (std::size_t j = 0; j < top.numHidden(); ++j)
                 h(r, j) = rngs[r].bernoulli(0.5) ? 1.0f : 0.0f;
         top.annealBatch(burnIn, v, h, pv, ph, rngs);
-        linalg::Matrix cur = pv;
+        linalg::Matrix &cur = scratch.stage;
+        cur = pv;
         for (std::size_t l = layers_.size() - 1; l-- > 0;) {
-            linalg::Matrix vs, means;
-            layers_[l]->sampleVisibleBatch(cur, vs, means, rngs);
-            cur = means;
+            // ph receives the means; the swap makes them the next
+            // layer's input without copying (both buffers are fully
+            // overwritten by the following sweep).
+            layers_[l]->sampleVisibleBatch(cur, v, ph, rngs);
+            std::swap(cur, ph);
         }
         out = cur;
         return;
     }
 
     const rbm::SamplingBackend &backend = *sampler();
-    linalg::Matrix h(rows, backend.numHidden()), v, pv, ph;
+    ensureShape(h, rows, backend.numHidden());
     for (std::size_t r = 0; r < rows; ++r)
         for (std::size_t j = 0; j < backend.numHidden(); ++j)
             h(r, j) = rngs[r].bernoulli(0.5) ? 1.0f : 0.0f;
@@ -233,6 +248,14 @@ Model::sampleRows(int burnIn, std::size_t rows, util::Rng *rngs,
 void
 Model::featurizeRows(const linalg::Matrix &in, linalg::Matrix &out) const
 {
+    BatchScratch scratch;
+    featurizeRows(in, out, scratch);
+}
+
+void
+Model::featurizeRows(const linalg::Matrix &in, linalg::Matrix &out,
+                     BatchScratch &scratch) const
+{
     if (!supports(Op::Featurize))
         util::fatal(std::string("engine: family ") + familyName() +
                     " does not support featurize");
@@ -242,17 +265,19 @@ Model::featurizeRows(const linalg::Matrix &in, linalg::Matrix &out) const
     switch (family()) {
       case rbm::ModelFamily::Rbm:
       case rbm::ModelFamily::CfRbm: {
-        auto rngs = scratchRngs(rows);
-        linalg::Matrix h;
-        sampler()->sampleHiddenBatch(in, h, out, rngs.data());
+        fillScratchRngs(scratch.rngs, rows);
+        sampler()->sampleHiddenBatch(in, scratch.a, out,
+                                     scratch.rngs.data());
         return;
       }
       case rbm::ModelFamily::Dbn: {
-        auto rngs = scratchRngs(rows);
-        linalg::Matrix cur = in, h, ph;
+        fillScratchRngs(scratch.rngs, rows);
+        linalg::Matrix &cur = scratch.stage;
+        cur = in;
         for (const auto &layer : layers_) {
-            layer->sampleHiddenBatch(cur, h, ph, rngs.data());
-            cur = ph;
+            layer->sampleHiddenBatch(cur, scratch.a, scratch.b,
+                                     scratch.rngs.data());
+            std::swap(cur, scratch.b);
         }
         out = cur;
         return;
@@ -295,6 +320,14 @@ void
 Model::reconstructRows(const linalg::Matrix &in, util::Rng *rngs,
                        linalg::Matrix &out) const
 {
+    BatchScratch scratch;
+    reconstructRows(in, rngs, out, scratch);
+}
+
+void
+Model::reconstructRows(const linalg::Matrix &in, util::Rng *rngs,
+                       linalg::Matrix &out, BatchScratch &scratch) const
+{
     if (!supports(Op::Reconstruct))
         util::fatal(std::string("engine: family ") + familyName() +
                     " does not support reconstruct");
@@ -304,24 +337,24 @@ Model::reconstructRows(const linalg::Matrix &in, util::Rng *rngs,
     switch (family()) {
       case rbm::ModelFamily::Rbm:
       case rbm::ModelFamily::CfRbm: {
-        linalg::Matrix h, ph, v;
-        sampler()->sampleHiddenBatch(in, h, ph, rngs);
-        sampler()->sampleVisibleBatch(h, v, out, rngs);
+        sampler()->sampleHiddenBatch(in, scratch.a, scratch.b, rngs);
+        sampler()->sampleVisibleBatch(scratch.a, scratch.c, out, rngs);
         return;
       }
       case rbm::ModelFamily::Dbn: {
         // Mean-field both ways through the stack (deterministic).
-        auto scratch = scratchRngs(rows);
-        linalg::Matrix cur = in, h, means;
+        fillScratchRngs(scratch.rngs, rows);
+        linalg::Matrix &cur = scratch.stage;
+        cur = in;
         for (const auto &layer : layers_) {
-            layer->sampleHiddenBatch(cur, h, means, scratch.data());
-            cur = means;
+            layer->sampleHiddenBatch(cur, scratch.a, scratch.b,
+                                     scratch.rngs.data());
+            std::swap(cur, scratch.b);
         }
         for (std::size_t l = layers_.size(); l-- > 0;) {
-            linalg::Matrix vs;
-            layers_[l]->sampleVisibleBatch(cur, vs, means,
-                                           scratch.data());
-            cur = means;
+            layers_[l]->sampleVisibleBatch(cur, scratch.a, scratch.b,
+                                           scratch.rngs.data());
+            std::swap(cur, scratch.b);
         }
         out = cur;
         return;

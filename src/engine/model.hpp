@@ -44,6 +44,23 @@ const char *opName(Op op);
 Op opFromName(const std::string &name);
 
 /**
+ * Reusable buffers for the batched serving ops.  The ops need a
+ * handful of (batch x units) staging matrices per call; a serving
+ * loop that allocated them fresh per coalesced group would spend its
+ * small-request regime in the allocator.  One scratch instance per
+ * serving thread (engine::Server keeps one), handed into every op:
+ * buffers are resized only when the kernel-batch shape changes, so
+ * the steady state allocates nothing.  Models stay immutable and
+ * shareable across threads because the mutable state lives here.
+ */
+struct BatchScratch
+{
+    linalg::Matrix a, b, c, d;    ///< half-sweep state/means buffers
+    linalg::Matrix stage;         ///< layer-stack staging rows
+    std::vector<util::Rng> rngs;  ///< deterministic-op scratch streams
+};
+
+/**
  * One loaded model: a checkpoint plus the backends that serve it.
  * Immutable after construction; safe to share across threads.
  */
@@ -54,9 +71,13 @@ class Model
      * @param ckpt checkpoint to serve (taken by value and owned)
      * @param pool worker pool for the batched kernels (borrowed;
      *        nullptr selects exec::globalPool())
+     * @param options sampling-kernel tuning forwarded to every
+     *        software backend this model constructs (the sparse
+     *        dispatch crossover)
      */
     explicit Model(rbm::Checkpoint ckpt,
-                   exec::ThreadPool *pool = nullptr);
+                   exec::ThreadPool *pool = nullptr,
+                   rbm::SamplingOptions options = {});
 
     Model(const Model &) = delete;
     Model &operator=(const Model &) = delete;
@@ -84,7 +105,10 @@ class Model
 
     // ----------------------------------------------------- serving ops
     // All ops resize @p out to (rows x outputDim(op)).  Stochastic ops
-    // draw row r's randomness exclusively from rngs[r].
+    // draw row r's randomness exclusively from rngs[r].  The scratch
+    // overloads reuse the caller's staging buffers across calls; the
+    // scratch-less convenience overloads stage through a per-call
+    // local (same results, per-call allocations).
 
     /**
      * Fantasy sampling: @p rows independent chains, each started from
@@ -92,9 +116,13 @@ class Model
      * the final visible mean-field probabilities.
      */
     void sampleRows(int burnIn, std::size_t rows, util::Rng *rngs,
+                    linalg::Matrix &out, BatchScratch &scratch) const;
+    void sampleRows(int burnIn, std::size_t rows, util::Rng *rngs,
                     linalg::Matrix &out) const;
 
     /** Deterministic feature extraction (hidden means / pooled maps). */
+    void featurizeRows(const linalg::Matrix &in, linalg::Matrix &out,
+                       BatchScratch &scratch) const;
     void featurizeRows(const linalg::Matrix &in,
                        linalg::Matrix &out) const;
 
@@ -103,6 +131,8 @@ class Model
      * visible mean-field of the down sweep (mean-field both ways for
      * DBN/DBM/ConvRbm, which reconstruct deterministically).
      */
+    void reconstructRows(const linalg::Matrix &in, util::Rng *rngs,
+                         linalg::Matrix &out, BatchScratch &scratch) const;
     void reconstructRows(const linalg::Matrix &in, util::Rng *rngs,
                          linalg::Matrix &out) const;
 

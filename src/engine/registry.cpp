@@ -14,8 +14,9 @@ namespace ising::engine {
 
 namespace fs = std::filesystem;
 
-ModelRegistry::ModelRegistry(std::string dir, exec::ThreadPool *pool)
-    : dir_(std::move(dir)), pool_(pool)
+ModelRegistry::ModelRegistry(std::string dir, exec::ThreadPool *pool,
+                             rbm::SamplingOptions options)
+    : dir_(std::move(dir)), pool_(pool), options_(options)
 {
     if (dir_.empty())
         util::fatal("registry: empty checkpoint directory");
@@ -74,8 +75,8 @@ ModelRegistry::get(const std::string &name)
     // Load outside the lock (archives can be large); when two threads
     // race on the same cold name, the last insertion wins and the
     // losers' redundant loads are discarded.
-    auto model =
-        std::make_shared<const Model>(rbm::loadCheckpointFile(path), pool_);
+    auto model = std::make_shared<const Model>(
+        rbm::loadCheckpointFile(path), pool_, options_);
     std::lock_guard<std::mutex> lock(mutex_);
     auto &entry = cache_[name];
     entry.model = std::move(model);
@@ -90,7 +91,8 @@ ModelRegistry::put(const std::string &name, rbm::Checkpoint ckpt)
     ensureDir();
     const std::string path = pathFor(name);
     rbm::saveCheckpoint(ckpt, path);
-    auto model = std::make_shared<const Model>(std::move(ckpt), pool_);
+    auto model =
+        std::make_shared<const Model>(std::move(ckpt), pool_, options_);
     std::lock_guard<std::mutex> lock(mutex_);
     auto &entry = cache_[name];
     entry.model = std::move(model);

@@ -31,9 +31,12 @@ class ModelRegistry
      * @param dir checkpoint directory (created lazily on first put())
      * @param pool worker pool handed to loaded models (borrowed;
      *        nullptr selects exec::globalPool())
+     * @param options sampling-kernel tuning handed to loaded models
+     *        (the dense/sparse dispatch crossover)
      */
     explicit ModelRegistry(std::string dir,
-                           exec::ThreadPool *pool = nullptr);
+                           exec::ThreadPool *pool = nullptr,
+                           rbm::SamplingOptions options = {});
 
     const std::string &dir() const { return dir_; }
 
@@ -96,6 +99,7 @@ class ModelRegistry
 
     std::string dir_;
     exec::ThreadPool *pool_;
+    rbm::SamplingOptions options_;
     mutable std::mutex mutex_;
     std::map<std::string, Entry> cache_;
 };

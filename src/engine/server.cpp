@@ -95,23 +95,19 @@ Server::executeGroup(const std::vector<Pending *> &group)
     // Map each coalesced row back to (request, in-request row); every
     // row keeps the stream derived from *its own request's* seed and
     // in-request index, so results cannot depend on what the row was
-    // coalesced with.
-    struct RowRef
-    {
-        std::size_t pending;  ///< index into group
-        std::size_t row;      ///< row within that request
-    };
+    // coalesced with.  The map and stream vectors are members reused
+    // across flushes (capacity sticks at the high-water mark).
     std::size_t totalRows = 0;
     for (const Pending *p : group)
         totalRows += p->rows;
-    std::vector<RowRef> rowMap;
-    rowMap.reserve(totalRows);
-    std::vector<util::Rng> rngs;
-    rngs.reserve(totalRows);
+    rowMap_.clear();
+    rowMap_.reserve(totalRows);
+    rngs_.clear();
+    rngs_.reserve(totalRows);
     for (std::size_t q = 0; q < group.size(); ++q)
         for (std::size_t r = 0; r < group[q]->rows; ++r) {
-            rowMap.push_back({q, r});
-            rngs.push_back(util::Rng::stream(group[q]->req.seed, r));
+            rowMap_.push_back({q, r});
+            rngs_.push_back(util::Rng::stream(group[q]->req.seed, r));
         }
 
     // Per-request result storage, written as each kernel-sized chunk
@@ -131,52 +127,51 @@ Server::executeGroup(const std::vector<Pending *> &group)
         const std::size_t end =
             std::min(totalRows, begin + config_.maxBatchRows);
         ++stats_.kernelBatches;
-        linalg::Matrix in;
         if (op != Op::Sample) {
-            in.reset(end - begin, inDim);
+            // Reused gather buffer: reshaping (and thus reallocating)
+            // only when the chunk shape actually changes is what the
+            // scratchResizes stat counts.
+            if (in_.rows() != end - begin || in_.cols() != inDim) {
+                in_.reset(end - begin, inDim);
+                ++stats_.scratchResizes;
+            }
             for (std::size_t g = begin; g < end; ++g) {
-                const RowRef &ref = rowMap[g];
+                const RowRef &ref = rowMap_[g];
                 std::copy_n(group[ref.pending]->req.input.row(ref.row),
-                            inDim, in.row(g - begin));
+                            inDim, in_.row(g - begin));
             }
         }
         const auto scatter = [&](const linalg::Matrix &chunk) {
             for (std::size_t g = 0; g < chunk.rows(); ++g) {
-                const RowRef &ref = rowMap[begin + g];
+                const RowRef &ref = rowMap_[begin + g];
                 std::copy_n(chunk.row(g), chunk.cols(),
                             responses[ref.pending].output.row(ref.row));
             }
         };
         switch (op) {
-          case Op::Sample: {
-            linalg::Matrix chunk;
+          case Op::Sample:
             model->sampleRows(group.front()->req.steps, end - begin,
-                              rngs.data() + begin, chunk);
-            scatter(chunk);
+                              rngs_.data() + begin, chunk_,
+                              modelScratch_);
+            scatter(chunk_);
             break;
-          }
-          case Op::Featurize: {
-            linalg::Matrix chunk;
-            model->featurizeRows(in, chunk);
-            scatter(chunk);
+          case Op::Featurize:
+            model->featurizeRows(in_, chunk_, modelScratch_);
+            scatter(chunk_);
             break;
-          }
-          case Op::Reconstruct: {
-            linalg::Matrix chunk;
-            model->reconstructRows(in, rngs.data() + begin, chunk);
-            scatter(chunk);
+          case Op::Reconstruct:
+            model->reconstructRows(in_, rngs_.data() + begin, chunk_,
+                                   modelScratch_);
+            scatter(chunk_);
             break;
-          }
-          case Op::Classify: {
-            std::vector<int> chunk;
-            model->classifyRows(in, chunk);
+          case Op::Classify:
+            model->classifyRows(in_, labelChunk_);
             for (std::size_t g = begin; g < end; ++g) {
-                const RowRef &ref = rowMap[g];
+                const RowRef &ref = rowMap_[g];
                 responses[ref.pending].labels[ref.row] =
-                    chunk[g - begin];
+                    labelChunk_[g - begin];
             }
             break;
-          }
         }
     }
     stats_.rows += totalRows;

@@ -98,6 +98,14 @@ class Server
         std::size_t groups = 0;        ///< coalesced (model,op) groups
         std::size_t kernelBatches = 0; ///< chunked kernel executions
         std::size_t flushes = 0;
+        /**
+         * Times the reused gather buffer actually changed shape (and
+         * hence reallocated).  The serve loop reuses all per-request
+         * scratch across flushes, so in the steady state this stays
+         * flat while kernelBatches grows -- the allocation-count
+         * measure the serve-bench reports.
+         */
+        std::size_t scratchResizes = 0;
     };
     const Stats &stats() const { return stats_; }
 
@@ -109,6 +117,13 @@ class Server
         std::promise<Response> promise;
     };
 
+    /** Coalesced-row origin: (request, in-request row). */
+    struct RowRef
+    {
+        std::size_t pending;  ///< index into the group
+        std::size_t row;      ///< row within that request
+    };
+
     /** Execute one coalesced group of pending requests. */
     void executeGroup(const std::vector<Pending *> &group);
 
@@ -117,6 +132,15 @@ class Server
     std::vector<Pending> pending_;
     std::size_t pendingRows_ = 0;
     Stats stats_;
+
+    // Per-flush scratch, reused across groups and flushes (one
+    // dispatcher thread): row map, per-row streams, the gather/scatter
+    // chunk buffers and the model ops' staging matrices.
+    std::vector<RowRef> rowMap_;
+    std::vector<util::Rng> rngs_;
+    linalg::Matrix in_, chunk_;
+    std::vector<int> labelChunk_;
+    BatchScratch modelScratch_;
 };
 
 /**

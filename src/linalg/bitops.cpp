@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <iterator>
+#include <vector>
 
 #include "util/math.hpp"
 
@@ -93,6 +95,32 @@ addMaskedRowsTiled(const Matrix &w, const BitMatrix &in, Matrix &act,
     }
 }
 
+/**
+ * act[colBegin, colEnd) = b + the w rows listed in active[0..count)
+ * (ascending input-unit indices) over that column range, accumulated
+ * straight into the output row.  The sparse twin of the masked
+ * accumulate: the same float addition sequence per output lane, but
+ * set-bit discovery happened once at view-build time and the row is
+ * traversed in one full-width pass -- at the low activity levels this
+ * kernel is dispatched for, the handful of row adds fits the
+ * store-forwarded output row, and skipping the per-word accumulator
+ * round-trips of the tiled walk is the entire win.
+ */
+inline void
+addActiveRowsInto(const Matrix &w, const std::uint32_t *active,
+                  std::size_t count, const float *b,
+                  float *__restrict act, std::size_t colBegin,
+                  std::size_t colEnd)
+{
+    for (std::size_t j = colBegin; j < colEnd; ++j)
+        act[j] = b[j];
+    for (std::size_t k = 0; k < count; ++k) {
+        const float *__restrict wrow = w.row(active[k]);
+        for (std::size_t j = colBegin; j < colEnd; ++j)
+            act[j] += wrow[j];
+    }
+}
+
 } // namespace
 
 std::size_t
@@ -102,6 +130,76 @@ BitVector::countOnes() const
     for (const std::uint64_t word : words_)
         acc += static_cast<std::size_t>(std::popcount(word));
     return acc;
+}
+
+std::size_t
+countOnes(const BitMatrix &m)
+{
+    // Rows are padded to whole words with zero pad bits, so the whole
+    // storage popcounts flat.
+    std::size_t acc = 0;
+    const std::uint64_t *words = m.row(0);
+    const std::size_t total = m.rows() * m.wordsPerRow();
+    for (std::size_t w = 0; w < total; ++w)
+        acc += static_cast<std::size_t>(std::popcount(words[w]));
+    return acc;
+}
+
+std::size_t
+countNonZero(const Matrix &m, bool *binary01)
+{
+    // Accumulate both predicates branchlessly in one scan (the same
+    // vectorization argument as isBinary01).
+    std::size_t acc = 0;
+    int bad = 0;
+    const float *data = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        const int nonZero = static_cast<int>(data[i] != 0.0f);
+        acc += static_cast<std::size_t>(nonZero);
+        bad |= nonZero & static_cast<int>(data[i] != 1.0f);
+    }
+    if (binary01)
+        *binary01 = bad == 0;
+    return acc;
+}
+
+void
+SparseBitView::build(const BitMatrix &m)
+{
+    const std::size_t rows = m.rows(), wordsPerRow = m.wordsPerRow();
+    offsets_.resize(rows + 1);
+    indices_.clear();
+    offsets_[0] = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::uint64_t *row = m.row(r);
+        for (std::size_t wi = 0; wi < wordsPerRow; ++wi) {
+            std::uint64_t word = row[wi];
+            const std::uint32_t base = static_cast<std::uint32_t>(wi * 64);
+            while (word) {
+                indices_.push_back(
+                    base +
+                    static_cast<std::uint32_t>(std::countr_zero(word)));
+                word &= word - 1;  // ascending within the word
+            }
+        }
+        offsets_[r + 1] = indices_.size();
+    }
+}
+
+void
+SparseBitView::build(const Matrix &m)
+{
+    const std::size_t rows = m.rows(), cols = m.cols();
+    offsets_.resize(rows + 1);
+    indices_.clear();
+    offsets_[0] = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *row = m.row(r);
+        for (std::size_t c = 0; c < cols; ++c)
+            if (row[c] != 0.0f)
+                indices_.push_back(static_cast<std::uint32_t>(c));
+        offsets_[r + 1] = indices_.size();
+    }
 }
 
 bool
@@ -305,6 +403,131 @@ outerCountDiff(const BitMatrix &a, const BitMatrix &b, const BitMatrix &c,
     default:
         return outerCountDiffAny(a, b, c, d, out, rowBegin, rowEnd,
                                  words);
+    }
+}
+
+void
+accumulateActiveRows(const Matrix &w, const std::uint32_t *active,
+                     std::size_t count, const Vector &b, Vector &act)
+{
+    const std::size_t q = w.cols();
+    assert(b.size() == q);
+    act.resize(q);
+    addActiveRowsInto(w, active, count, b.data(), act.data(), 0, q);
+}
+
+void
+affineSigmoidBernoulliSparse(const Matrix &w, const BitVector &in,
+                             const Vector &b, BitVector &out,
+                             Vector &means, util::Rng &rng)
+{
+    assert(in.size() == w.rows());
+    // One pass over the words extracts the active list; the column
+    // blocks then stream it without re-scanning empty words.
+    std::uint32_t stackIdx[256];
+    std::vector<std::uint32_t> heapIdx;
+    std::size_t count = in.countOnes();
+    std::uint32_t *idx = stackIdx;
+    if (count > std::size(stackIdx)) {
+        heapIdx.resize(count);
+        idx = heapIdx.data();
+    }
+    std::size_t at = 0;
+    for (std::size_t wi = 0; wi < in.words(); ++wi) {
+        std::uint64_t word = in.data()[wi];
+        const std::uint32_t base = static_cast<std::uint32_t>(wi * 64);
+        while (word) {
+            idx[at++] =
+                base + static_cast<std::uint32_t>(std::countr_zero(word));
+            word &= word - 1;
+        }
+    }
+    accumulateActiveRows(w, idx, count, b, means);
+
+    const std::size_t q = w.cols();
+    out.resize(q);
+    std::uint64_t *ow = out.data();
+    float *md = means.data();
+    for (std::size_t j = 0; j < q; ++j) {
+        const float pj = util::sigmoidf(md[j]);
+        md[j] = pj;
+        ow[j >> 6] |=
+            static_cast<std::uint64_t>(rng.uniformFloat() < pj)
+            << (j & 63);
+    }
+}
+
+void
+accumulateActiveTile(const Matrix &w, const SparseBitView &in,
+                     const Vector &b, Matrix &act, std::size_t rowBegin,
+                     std::size_t rowEnd, std::size_t colBegin,
+                     std::size_t colEnd)
+{
+    assert(in.rows() == act.rows() && b.size() == w.cols());
+    assert(act.cols() == w.cols());
+    assert(rowEnd <= act.rows() && colEnd <= w.cols());
+    for (std::size_t r = rowBegin; r < rowEnd; ++r)
+        addActiveRowsInto(w, in.rowIndices(r), in.rowCount(r), b.data(),
+                          act.row(r), colBegin, colEnd);
+}
+
+void
+outerCountDiffSparse(const SparseBitView &vpos, const SparseBitView &hpos,
+                     const SparseBitView &vneg, const SparseBitView &hneg,
+                     Matrix &out, std::size_t rowBegin, std::size_t rowEnd)
+{
+    const std::size_t batch = vpos.rows();
+    assert(hpos.rows() == batch && vneg.rows() == batch &&
+           hneg.rows() == batch);
+    assert(rowEnd <= out.rows());
+    const std::size_t n = out.cols();
+    for (std::size_t i = rowBegin; i < rowEnd; ++i)
+        std::fill_n(out.row(i), n, 0.0f);
+    (void)n;
+
+    // Scatter +/-1 per (active visible in range, active hidden) pair.
+    // Visible indices are ascending, so each position's in-range slice
+    // is contiguous; rows of out are disjoint across [rowBegin,
+    // rowEnd) chunks, which keeps threaded reduces deterministic.
+    const auto scatter = [&](const SparseBitView &v,
+                             const SparseBitView &h, float delta) {
+        for (std::size_t k = 0; k < batch; ++k) {
+            const std::uint32_t *vi = v.rowIndices(k);
+            const std::uint32_t *vEnd = vi + v.rowCount(k);
+            const std::uint32_t *lo = std::lower_bound(
+                vi, vEnd, static_cast<std::uint32_t>(rowBegin));
+            const std::uint32_t *hi = std::lower_bound(
+                lo, vEnd, static_cast<std::uint32_t>(rowEnd));
+            if (lo == hi)
+                continue;
+            const std::uint32_t *hj = h.rowIndices(k);
+            const std::size_t hCount = h.rowCount(k);
+            for (const std::uint32_t *it = lo; it != hi; ++it) {
+                float *orow = out.row(*it);
+                for (std::size_t c = 0; c < hCount; ++c)
+                    orow[hj[c]] += delta;
+            }
+        }
+    };
+    scatter(vpos, hpos, 1.0f);
+    scatter(vneg, hneg, -1.0f);
+}
+
+void
+columnCountDiffSparse(const SparseBitView &pos, const SparseBitView &neg,
+                      float *out, std::size_t n)
+{
+    assert(pos.rows() == neg.rows());
+    std::fill_n(out, n, 0.0f);
+    for (std::size_t k = 0; k < pos.rows(); ++k) {
+        const std::uint32_t *idx = pos.rowIndices(k);
+        for (std::size_t c = 0; c < pos.rowCount(k); ++c)
+            out[idx[c]] += 1.0f;
+    }
+    for (std::size_t k = 0; k < neg.rows(); ++k) {
+        const std::uint32_t *idx = neg.rowIndices(k);
+        for (std::size_t c = 0; c < neg.rowCount(k); ++c)
+            out[idx[c]] -= 1.0f;
     }
 }
 

@@ -27,6 +27,8 @@
 
 namespace ising::linalg {
 
+class Matrix;
+
 /** Words needed to hold @p bits bits. */
 inline std::size_t
 bitWords(std::size_t bits)
@@ -182,6 +184,61 @@ class BitMatrix
     std::size_t cols_ = 0;
     std::size_t wordsPerRow_ = 0;
     std::vector<std::uint64_t> words_;
+};
+
+/**
+ * Per-row active-index lists over a BitMatrix: the sparse-streaming
+ * counterpart of the packed layout.  At low activity the packed
+ * kernels still walk (and copy accumulators across) every word of
+ * every row; a view extracts the set-bit indices once, so the sparse
+ * kernels in bitops.hpp touch only active units.  Indices are stored
+ * ascending per row -- the same traversal order as the set-bit
+ * iteration of the packed kernels, which is what keeps the sparse
+ * float paths bit-identical to the dense ones.
+ *
+ * Storage is CSR-like (one shared index pool plus row offsets) and is
+ * reused across build() calls, so steady-state rebuilds allocate
+ * nothing once the pool has grown to the working activity level.
+ */
+class SparseBitView
+{
+  public:
+    /** Extract every row's set-bit indices from @p m (ascending). */
+    void build(const BitMatrix &m);
+
+    /**
+     * Extract directly from a binary float matrix (index c listed iff
+     * row[c] != 0, ascending) -- one scan, no intermediate BitMatrix,
+     * which is what lets the sparse dispatch path skip the packing
+     * stage the dense path pays.
+     */
+    void build(const Matrix &m);
+
+    std::size_t rows() const
+    {
+        return offsets_.empty() ? 0 : offsets_.size() - 1;
+    }
+
+    /** Ascending active-unit indices of row r. */
+    const std::uint32_t *rowIndices(std::size_t r) const
+    {
+        assert(r + 1 < offsets_.size());
+        return indices_.data() + offsets_[r];
+    }
+
+    /** Active-unit count of row r. */
+    std::size_t rowCount(std::size_t r) const
+    {
+        assert(r + 1 < offsets_.size());
+        return offsets_[r + 1] - offsets_[r];
+    }
+
+    /** Set bits across all rows (the view's total work volume). */
+    std::size_t totalActive() const { return indices_.size(); }
+
+  private:
+    std::vector<std::uint32_t> indices_;
+    std::vector<std::size_t> offsets_;
 };
 
 } // namespace ising::linalg

@@ -18,6 +18,7 @@
 #include "exec/thread_pool.hpp"
 #include "rbm/gibbs.hpp"
 #include "rbm/rbm.hpp"
+#include "rbm/sampling_backend.hpp"
 #include "rbm/train_state.hpp"
 
 namespace ising::rbm {
@@ -41,6 +42,13 @@ struct CdConfig
      * stream, so training is reproducible for any worker count.
      */
     exec::ThreadPool *pool = nullptr;
+    /**
+     * Kernel tuning forwarded to the per-batch sampling backend and
+     * shared with the gradient-reduce dispatch: batches at or below
+     * the sparse threshold stream active-index lists instead of the
+     * dense packed kernels (bit-identical either way).
+     */
+    SamplingOptions sampling;
 };
 
 /** Minibatch CD-k / PCD trainer. */
@@ -128,6 +136,12 @@ class CdTrainer
     // awaiting reduction; filled through the batched sampling surface).
     linalg::Matrix vpos_, hstat_, vnegs_, hnegs_;
     linalg::Matrix phpos_, pvScratch_, phScratch_;
+    // Packed reduce scratch, reused across batches: transposed bit
+    // columns for the dense popcount reduce, active-index views
+    // (built straight from the float states) for the sparse scatter
+    // reduce.
+    linalg::BitMatrix posT_, negT_, hposT_, hnegT_;
+    linalg::SparseBitView vposView_, hposView_, vnegView_, hnegView_;
     // PCD particles: persistent hidden states.
     std::vector<linalg::Vector> particles_;
     std::size_t nextParticle_ = 0;

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 namespace ising::rbm {
 
@@ -118,12 +120,27 @@ TrainingMonitor::observeWeights(int epoch, int layer,
 bool
 TrainingMonitor::overfittingDetected(int patience) const
 {
-    if (static_cast<int>(log_.size()) <= patience)
+    if (patience <= 0)
         return false;
-    // Gap must have increased monotonically over the last `patience`
-    // observations.
-    for (std::size_t i = log_.size() - patience; i < log_.size(); ++i)
-        if (log_[i].freeEnergyGap() <= log_[i - 1].freeEnergyGap())
+    // The gap must have increased monotonically over the last
+    // `patience` *epochs*.  Only free-energy-bearing records count:
+    // observeWeights rows carry no free energies (gap 0) and would
+    // otherwise poison the window, and layer-tagged sessions may log
+    // several records per epoch, so gaps collapse to one per epoch
+    // (the epoch's last free-energy record governs).
+    std::vector<std::pair<int, double>> gaps;  // (epoch, gap)
+    for (const MonitorRecord &rec : log_) {
+        if (rec.trainFreeEnergy == 0.0 && rec.heldOutFreeEnergy == 0.0)
+            continue;
+        if (!gaps.empty() && gaps.back().first == rec.epoch)
+            gaps.back().second = rec.freeEnergyGap();
+        else
+            gaps.emplace_back(rec.epoch, rec.freeEnergyGap());
+    }
+    if (static_cast<int>(gaps.size()) <= patience)
+        return false;
+    for (std::size_t i = gaps.size() - patience; i < gaps.size(); ++i)
+        if (gaps[i].second <= gaps[i - 1].second)
             return false;
     return true;
 }

@@ -34,6 +34,37 @@
 
 namespace ising::rbm {
 
+/**
+ * Tuning knobs for the software sampling kernels.
+ *
+ * The batched software backend picks between two bit-identical kernel
+ * shapes per call: the dense packed tiled walk (every word of every
+ * row scanned, W tiles cache-reused across chains) and the
+ * sparse-streamed walk (per-row active-index lists, only active rows
+ * gathered).  The crossover depends on the host's relative cost of
+ * word scans vs gathered row adds, so the default threshold is
+ * calibrated once per process by a micro-probe at first backend
+ * construction; set @p sparseThreshold to override it.
+ */
+struct SamplingOptions
+{
+    /**
+     * Batch activity (set bits / total bits) at or below which the
+     * sparse-streamed kernels run.  Negative selects the calibrated
+     * default; 0 effectively disables the sparse path (only exactly
+     * empty batches qualify); 1 forces it for every binary batch.
+     */
+    double sparseThreshold = -1.0;
+};
+
+/**
+ * The activity threshold @p opts resolves to: the override when
+ * non-negative, else the process-wide micro-probe calibration (run
+ * once, cached).  Shared by the backend dispatcher and CdTrainer's
+ * gradient-reduce dispatch so both switch tiers at the same point.
+ */
+double resolveSparseThreshold(const SamplingOptions &opts);
+
 /** One conditional-sampling engine: the two Gibbs half-sweeps. */
 class SamplingBackend
 {
@@ -127,6 +158,15 @@ class SamplingBackend
  * bit-identical chains to the scalar float path (the kernels share
  * its addition order and RNG consumption order); non-binary inputs
  * fall back to the float path transparently.
+ *
+ * Sparsity dispatch: every packed half-sweep first probes the batch's
+ * activity (popcount over the already-packed words) and streams the
+ * sparse active-index kernels instead of the dense tiled walk when it
+ * falls at or below the SamplingOptions threshold -- per (batch,
+ * direction), so a sparse data sweep and a dense hidden sweep of the
+ * same chain each get the right kernel.  Sparse and dense paths are
+ * bit-identical (same addition order, same draws), so the dispatch
+ * decision never changes results, only speed.
  */
 class SoftwareGibbsBackend final : public SamplingBackend
 {
@@ -135,9 +175,11 @@ class SoftwareGibbsBackend final : public SamplingBackend
      * @param model sampled model (borrowed; must outlive the backend)
      * @param pool pool for the batched kernels (borrowed; nullptr
      *        selects exec::globalPool())
+     * @param options kernel tuning (sparse crossover threshold)
      */
     explicit SoftwareGibbsBackend(const Rbm &model,
-                                  exec::ThreadPool *pool = nullptr);
+                                  exec::ThreadPool *pool = nullptr,
+                                  SamplingOptions options = {});
 
     /** Re-point at a model and refresh the cached transpose. */
     void setModel(const Rbm &model);
@@ -145,6 +187,9 @@ class SoftwareGibbsBackend final : public SamplingBackend
     std::size_t numVisible() const override { return model_->numVisible(); }
     std::size_t numHidden() const override { return model_->numHidden(); }
     const char *name() const override { return "software"; }
+
+    /** The resolved dense/sparse crossover activity this backend uses. */
+    double sparseThreshold() const { return threshold_; }
 
     void sampleHidden(const linalg::Vector &v, linalg::Vector &h,
                       linalg::Vector &ph, util::Rng &rng) const override;
@@ -171,7 +216,7 @@ class SoftwareGibbsBackend final : public SamplingBackend
 
   private:
     /**
-     * One packed batched half-sweep in -> out over @p w (rows =
+     * One dense packed batched half-sweep in -> out over @p w (rows =
      * input units): threads chains over workers for deep batches,
      * units within the sweep for shallow ones.
      */
@@ -180,9 +225,31 @@ class SoftwareGibbsBackend final : public SamplingBackend
                           linalg::BitMatrix &out, linalg::Matrix &means,
                           util::Rng *rngs) const;
 
+    /**
+     * Sparse-streamed batched half-sweep: the same sweep driven by a
+     * pre-built active-index view instead of packed words, with the
+     * identical threading shapes and bit-identical results.
+     */
+    void sparseLayerBatch(const linalg::Matrix &w, const linalg::Vector &b,
+                          const linalg::SparseBitView &in,
+                          linalg::BitMatrix &out, linalg::Matrix &means,
+                          util::Rng *rngs) const;
+
+    /**
+     * Dispatch a half-sweep over an already-packed state: popcount
+     * probe, then the dense or sparse body.  @p view is caller-owned
+     * scratch for the sparse side, so a multi-step walk reuses its
+     * index storage instead of reallocating per half-sweep.
+     */
+    void layerBatch(const linalg::Matrix &w, const linalg::Vector &b,
+                    const linalg::BitMatrix &in, linalg::BitMatrix &out,
+                    linalg::Matrix &means, util::Rng *rngs,
+                    linalg::SparseBitView &view) const;
+
     const Rbm *model_;
     linalg::Matrix wT_;  ///< cached transpose for the visible sweep
     exec::ThreadPool *pool_;
+    double threshold_;   ///< resolved sparse crossover activity
 };
 
 } // namespace ising::rbm

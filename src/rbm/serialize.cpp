@@ -514,6 +514,11 @@ saveCheckpoint(const Checkpoint &ckpt, std::ostream &os)
         meta.emplace_back("backend", ckpt.meta.backend);
     meta.emplace_back("seed", std::to_string(ckpt.meta.seed));
     meta.emplace_back("epoch", std::to_string(ckpt.meta.epoch));
+    // Written only when set: archives from runs that never stopped
+    // early stay byte-identical to pre-early-stop writers.
+    if (ckpt.meta.earlyStopEpoch >= 0)
+        meta.emplace_back("early_stop",
+                          std::to_string(ckpt.meta.earlyStopEpoch));
     os << "section meta " << meta.size() << '\n';
     for (const auto &[key, value] : meta)
         os << key << ' ' << value << '\n';
@@ -580,7 +585,7 @@ loadCheckpoint(std::istream &is)
             ckpt.meta.name = value;
         else if (key == "backend")
             ckpt.meta.backend = value;
-        else if (key == "seed" || key == "epoch") {
+        else if (key == "seed" || key == "epoch" || key == "early_stop") {
             // Digits only: strtoull would silently negate a leading
             // '-' and saturate on overflow.
             errno = 0;
@@ -591,15 +596,17 @@ loadCheckpoint(std::istream &is)
                 value.find_first_not_of("0123456789") !=
                     std::string::npos ||
                 !end || *end != '\0' || errno == ERANGE ||
-                (key == "epoch" &&
+                (key != "seed" &&
                  parsed > static_cast<unsigned long long>(
                               std::numeric_limits<int>::max())))
                 util::fatal("serialize: corrupt meta value '" + value +
                             "' for key '" + key + "'");
             if (key == "seed")
                 ckpt.meta.seed = parsed;
-            else
+            else if (key == "epoch")
                 ckpt.meta.epoch = static_cast<int>(parsed);
+            else
+                ckpt.meta.earlyStopEpoch = static_cast<int>(parsed);
         }
         // Unknown keys are ignored for forward compatibility.
     }

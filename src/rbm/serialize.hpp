@@ -115,6 +115,13 @@ struct CheckpointMeta
     std::string backend;  ///< training engine tag ("cd", "gs", "bgf", ...)
     std::uint64_t seed = 0;
     int epoch = 0;        ///< epochs completed when the snapshot was taken
+    /**
+     * Epoch at which the session early-stopped (overfitting monitor),
+     * or -1 when the run was never stopped early.  A resumed session
+     * sees a non-negative value and treats the run as finished, so
+     * `--resume` after an early stop is a no-op instead of a restart.
+     */
+    int earlyStopEpoch = -1;
 };
 
 /** One self-describing model artifact: any family plus its metadata. */

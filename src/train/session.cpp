@@ -123,6 +123,7 @@ Session::checkpoint() const
     ckpt.meta.backend = config_.backendTag;
     ckpt.meta.seed = config_.seed;
     ckpt.meta.epoch = epochsDone_;
+    ckpt.meta.earlyStopEpoch = earlyStopEpoch_;
     ckpt.model = strategy_->snapshot();
     rbm::TrainState state;
     strategy_->captureState(state);
@@ -156,6 +157,7 @@ Session::resume(const rbm::Checkpoint &ckpt)
 
     strategy_->restoreModel(ckpt.model);
     epochsDone_ = ckpt.meta.epoch;
+    earlyStopEpoch_ = ckpt.meta.earlyStopEpoch;
 
     static const rbm::TrainState kEmpty;
     const rbm::TrainState &state = ckpt.train ? *ckpt.train : kEmpty;
@@ -174,6 +176,16 @@ Session::run()
 void
 Session::run(int upToEpoch)
 {
+    // An early-stopped archive is a finished run: resuming it must
+    // not restart the epoch loop (the stop epoch rode in the meta).
+    if (earlyStopEpoch_ >= 0) {
+        util::warn("session: checkpoint early-stopped at epoch " +
+                   std::to_string(earlyStopEpoch_) +
+                   "; resume is a no-op (start a fresh run to train "
+                   "further)");
+        return;
+    }
+
     const Schedule &schedule = config_.schedule;
     const int last = std::min(upToEpoch, schedule.epochs);
     bool saved = false;
@@ -191,6 +203,20 @@ Session::run(int upToEpoch)
         }
         if (config_.onEpoch)
             config_.onEpoch(e, *this);
+
+        if (config_.monitor && config_.earlyStopPatience > 0 &&
+            config_.monitor->overfittingDetected(
+                config_.earlyStopPatience)) {
+            earlyStopEpoch_ = epochsDone_;
+            util::warn("session: early stop at epoch " +
+                       std::to_string(epochsDone_) +
+                       " (held-out free-energy gap grew for " +
+                       std::to_string(config_.earlyStopPatience) +
+                       " epochs)");
+            if (!config_.checkpointPath.empty())
+                save();
+            return;
+        }
 
         saved = false;
         if (!config_.checkpointPath.empty()) {

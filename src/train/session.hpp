@@ -121,6 +121,15 @@ struct SessionConfig
     /** Observed after every epoch when set (borrowed). */
     rbm::TrainingMonitor *monitor = nullptr;
 
+    /**
+     * Early stopping: when positive and a monitor is set, the run
+     * stops (and checkpoints) as soon as the monitor's held-out
+     * free-energy gap has grown for this many consecutive epochs.
+     * The stop epoch is recorded in the checkpoint meta, so resuming
+     * an early-stopped archive is a no-op rather than a restart.
+     */
+    int earlyStopPatience = 0;
+
     /** Called after every completed epoch (0-based index). */
     std::function<void(int epoch, class Session &session)> onEpoch;
 };
@@ -137,6 +146,9 @@ class Session
 
     /** Epochs completed so far (resume sets this from the archive). */
     int epochsDone() const { return epochsDone_; }
+
+    /** Epoch the run early-stopped at; -1 while never stopped. */
+    int earlyStopEpoch() const { return earlyStopEpoch_; }
 
     /**
      * Adopt a checkpoint: model payload, completed-epoch count and
@@ -172,6 +184,7 @@ class Session
     std::unique_ptr<Strategy> strategy_;
     SessionConfig config_;
     int epochsDone_ = 0;
+    int earlyStopEpoch_ = -1;  ///< set once the monitor stops the run
 };
 
 } // namespace ising::train

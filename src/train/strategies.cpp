@@ -102,6 +102,7 @@ class CdEngine : public RbmEngine
         cfg.persistent = options.persistentCd;
         cfg.numParticles = options.cdParticles;
         cfg.pool = options.pool;
+        cfg.sampling.sparseThreshold = options.sparseThreshold;
         return cfg;
     }
 

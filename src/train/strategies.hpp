@@ -34,6 +34,11 @@ struct TrainOptions
     // CD-specific structure.
     bool persistentCd = false;    ///< PCD: keep negative chains
     std::size_t cdParticles = 16; ///< persistent chain count
+    /**
+     * Sparse kernel crossover forwarded to CdConfig::sampling
+     * (negative = the calibrated default; see rbm::SamplingOptions).
+     */
+    double sparseThreshold = -1.0;
 
     // Substrate trainers (GS/BGF and cf_rbm hardware mode).
     machine::NoiseSpec noise;     ///< analog (variation, noise) RMS

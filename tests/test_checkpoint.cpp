@@ -76,6 +76,26 @@ TEST(Checkpoint, EmptyMetaRoundTrips)
     EXPECT_EQ(back.meta.backend, "");
     EXPECT_EQ(back.meta.seed, 0u);
     EXPECT_EQ(back.meta.epoch, 0);
+    EXPECT_EQ(back.meta.earlyStopEpoch, -1);
+}
+
+TEST(Checkpoint, EarlyStopEpochRoundTrips)
+{
+    Checkpoint ckpt;
+    ckpt.model = randomRbm(3, 2, 2);
+    ckpt.meta.epoch = 4;
+    ckpt.meta.earlyStopEpoch = 4;
+    const Checkpoint back = roundTrip(ckpt);
+    EXPECT_EQ(back.meta.epoch, 4);
+    EXPECT_EQ(back.meta.earlyStopEpoch, 4);
+    // Never-stopped archives must not carry the key at all (readers
+    // predating it would still ignore it, but byte-stability matters
+    // for the list --verify round-trip diff).
+    Checkpoint plain;
+    plain.model = randomRbm(3, 2, 2);
+    std::stringstream ss;
+    rbm::saveCheckpoint(plain, ss);
+    EXPECT_EQ(ss.str().find("early_stop"), std::string::npos);
 }
 
 TEST(Checkpoint, PreservesExtremeValues)

@@ -164,3 +164,22 @@ TEST(Monitor, OverfittingDetectorNeedsMonotoneGrowth)
         monitor.observe(e, model, rng);
     EXPECT_FALSE(monitor.overfittingDetected(3));
 }
+
+TEST(Monitor, OverfittingDetectorIgnoresWeightOnlyRecords)
+{
+    // The stop signal must survive layer-tagged sessions that append
+    // free-energy-less observeWeights rows (gap 0) next to the real
+    // per-epoch gap trajectory, and must count epochs, not records.
+    rbm::TrainingMonitor monitor(data::Dataset{}, data::Dataset{});
+    linalg::Matrix w(2, 2);
+    for (int e = 0; e < 5; ++e) {
+        // Hand-build a strictly growing gap via the record list: a
+        // real free-energy record followed by a weight-only record.
+        rbm::MonitorRecord &rec = const_cast<rbm::MonitorRecord &>(
+            monitor.observeWeights(e, -1, w, 0.0));
+        rec.trainFreeEnergy = -10.0;
+        rec.heldOutFreeEnergy = -10.0 + e;  // gap grows every epoch
+        monitor.observeWeights(e, 1, w, 0.0);  // gap-0 noise row
+    }
+    EXPECT_TRUE(monitor.overfittingDetected(3));
+}

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Sparse-streamed kernel tier: bit-identity against the dense packed
+ * kernels and the dispatcher's invariance guarantees.
+ *
+ *  - SparseBitView extracts exactly the set bits, ascending;
+ *  - every sparse kernel (scalar gather, fused half-sweep, batched
+ *    tile, gradient reduces) reproduces its dense twin bit for bit,
+ *    across ragged shapes (widths not divisible by 64) and activity
+ *    levels 0%, a single bit, ~50% and 100%;
+ *  - the SoftwareGibbsBackend dispatcher produces identical chains
+ *    whichever path it picks (thresholds 0 / 1 / auto), at worker
+ *    counts 1 and 4 and across batch chunk boundaries;
+ *  - CdTrainer's gradient-reduce dispatch leaves trained weights
+ *    bit-identical between forced-sparse and forced-dense runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "linalg/bitops.hpp"
+#include "rbm/cd_trainer.hpp"
+#include "rbm/sampling_backend.hpp"
+
+using namespace ising;
+using util::Rng;
+
+namespace {
+
+/** Ragged-by-default model with strong structure. */
+rbm::Rbm
+testModel(std::size_t m, std::size_t n, std::uint64_t seed = 3)
+{
+    Rng rng(seed);
+    rbm::Rbm model(m, n);
+    model.initRandom(rng, 0.6f);
+    return model;
+}
+
+/** Binary batch at a target activity level. */
+linalg::Matrix
+activityBatch(std::size_t rows, std::size_t cols, double activity,
+              Rng &rng)
+{
+    linalg::Matrix out(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            out(r, c) = rng.bernoulli(activity) ? 1.0f : 0.0f;
+    return out;
+}
+
+linalg::BitMatrix
+packRows(const linalg::Matrix &m)
+{
+    linalg::BitMatrix out(m.rows(), m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        out.packRowFrom(r, m.row(r));
+    return out;
+}
+
+std::vector<Rng>
+streams(std::size_t rows, std::uint64_t seed)
+{
+    std::vector<Rng> rngs;
+    for (std::size_t r = 0; r < rows; ++r)
+        rngs.push_back(Rng::stream(seed, r));
+    return rngs;
+}
+
+/** The activity levels every identity test sweeps: empty, one bit,
+ *  half-dense, saturated. */
+const double kLevels[] = {0.0, -1.0, 0.5, 1.0};  // -1 = single bit
+
+linalg::Matrix
+levelBatch(std::size_t rows, std::size_t cols, double level, Rng &rng)
+{
+    if (level >= 0.0)
+        return activityBatch(rows, cols, level, rng);
+    linalg::Matrix out(rows, cols);  // exactly one set bit per batch
+    out(rows / 2, cols / 2) = 1.0f;
+    return out;
+}
+
+} // namespace
+
+TEST(SparseBitView, ExtractsSetBitsAscendingOnRaggedShapes)
+{
+    Rng rng(11);
+    for (const std::size_t cols : {1u, 37u, 64u, 70u, 129u}) {
+        const linalg::Matrix batch = activityBatch(5, cols, 0.3, rng);
+        const linalg::BitMatrix bits = packRows(batch);
+        linalg::SparseBitView view;
+        view.build(bits);
+        ASSERT_EQ(view.rows(), 5u);
+        std::size_t total = 0;
+        for (std::size_t r = 0; r < 5; ++r) {
+            const std::uint32_t *idx = view.rowIndices(r);
+            const std::size_t count = view.rowCount(r);
+            total += count;
+            std::size_t at = 0;
+            for (std::size_t c = 0; c < cols; ++c)
+                if (batch(r, c) != 0.0f) {
+                    ASSERT_LT(at, count);
+                    EXPECT_EQ(idx[at], c);
+                    ++at;
+                }
+            EXPECT_EQ(at, count);  // nothing extra extracted
+        }
+        EXPECT_EQ(total, view.totalActive());
+        EXPECT_EQ(total, linalg::countOnes(bits));
+        EXPECT_EQ(total, linalg::countNonZero(batch));
+    }
+}
+
+TEST(SparseKernels, ScalarAccumulateMatchesMaskedBitwise)
+{
+    const rbm::Rbm model = testModel(67, 35);
+    Rng rng(13);
+    for (const double level : kLevels) {
+        const linalg::Matrix batch = levelBatch(1, 67, level, rng);
+        linalg::BitVector bits;
+        bits.packFrom(batch.row(0), 67);
+        linalg::BitMatrix asMatrix = packRows(batch);
+        linalg::SparseBitView view;
+        view.build(asMatrix);
+
+        linalg::Vector dense, sparse;
+        linalg::accumulateRowsMasked(model.weights(), bits,
+                                     model.hiddenBias(), dense);
+        linalg::accumulateActiveRows(model.weights(), view.rowIndices(0),
+                                     view.rowCount(0),
+                                     model.hiddenBias(), sparse);
+        EXPECT_EQ(dense, sparse);
+    }
+}
+
+TEST(SparseKernels, FusedHalfSweepMatchesDenseBitwise)
+{
+    const rbm::Rbm model = testModel(70, 37);
+    Rng rng(17);
+    for (const double level : kLevels) {
+        const linalg::Matrix batch = levelBatch(1, 70, level, rng);
+        linalg::BitVector in;
+        in.packFrom(batch.row(0), 70);
+
+        Rng denseRng = Rng::stream(5, 0), sparseRng = Rng::stream(5, 0);
+        linalg::BitVector outDense, outSparse;
+        linalg::Vector meansDense, meansSparse;
+        linalg::affineSigmoidBernoulli(model.weights(), in,
+                                       model.hiddenBias(), outDense,
+                                       meansDense, denseRng);
+        linalg::affineSigmoidBernoulliSparse(model.weights(), in,
+                                             model.hiddenBias(),
+                                             outSparse, meansSparse,
+                                             sparseRng);
+        EXPECT_EQ(meansDense, meansSparse);
+        for (std::size_t j = 0; j < 37; ++j)
+            EXPECT_EQ(outDense.test(j), outSparse.test(j)) << j;
+    }
+}
+
+TEST(SparseKernels, BatchTileMatchesDenseAcrossColumnRanges)
+{
+    const rbm::Rbm model = testModel(130, 65);
+    Rng rng(19);
+    for (const double level : kLevels) {
+        const linalg::Matrix batch = levelBatch(7, 130, level, rng);
+        const linalg::BitMatrix bits = packRows(batch);
+        linalg::SparseBitView view;
+        view.build(bits);
+
+        linalg::Matrix dense(7, 65), sparse(7, 65);
+        // Split the column range unevenly to cross the 128-wide
+        // accumulator block boundary.
+        for (const auto &[cb, ce] :
+             std::vector<std::pair<std::size_t, std::size_t>>{
+                 {0, 65}, {0, 40}, {40, 65}}) {
+            linalg::accumulateBatchTile(model.weights(), bits,
+                                        model.hiddenBias(), dense, 0, 7,
+                                        cb, ce);
+            linalg::accumulateActiveTile(model.weights(), view,
+                                         model.hiddenBias(), sparse, 0,
+                                         7, cb, ce);
+            for (std::size_t r = 0; r < 7; ++r)
+                for (std::size_t c = cb; c < ce; ++c)
+                    ASSERT_EQ(dense(r, c), sparse(r, c))
+                        << r << "," << c;
+        }
+    }
+}
+
+TEST(SparseKernels, GradientReduceMatchesDenseExactly)
+{
+    const std::size_t m = 67, n = 35, batch = 9;
+    Rng rng(23);
+    for (const double level : kLevels) {
+        const linalg::Matrix vpos = levelBatch(batch, m, level, rng);
+        const linalg::Matrix hpos =
+            levelBatch(batch, n, level < 0 ? 0.4 : level, rng);
+        const linalg::Matrix vneg = levelBatch(batch, m, 0.3, rng);
+        const linalg::Matrix hneg = levelBatch(batch, n, 0.6, rng);
+
+        linalg::BitMatrix posT, negT, hposT, hnegT;
+        linalg::packTransposed(vpos, posT);
+        linalg::packTransposed(vneg, negT);
+        linalg::packTransposed(hpos, hposT);
+        linalg::packTransposed(hneg, hnegT);
+        linalg::Matrix dense(m, n);
+        linalg::outerCountDiff(posT, hposT, negT, hnegT, dense, 0, m);
+
+        linalg::SparseBitView vposV, hposV, vnegV, hnegV;
+        const linalg::BitMatrix vposB = packRows(vpos),
+                                hposB = packRows(hpos),
+                                vnegB = packRows(vneg),
+                                hnegB = packRows(hneg);
+        vposV.build(vposB);
+        hposV.build(hposB);
+        vnegV.build(vnegB);
+        hnegV.build(hnegB);
+        linalg::Matrix sparse(m, n);
+        // Two chunks, to cover the in-range index slicing.
+        linalg::outerCountDiffSparse(vposV, hposV, vnegV, hnegV, sparse,
+                                     0, m / 3);
+        linalg::outerCountDiffSparse(vposV, hposV, vnegV, hnegV, sparse,
+                                     m / 3, m);
+        EXPECT_EQ(dense, sparse);
+
+        linalg::Vector dbvDense(m), dbvSparse(m), tmp(m);
+        linalg::rowCounts(posT, dbvDense.data());
+        linalg::rowCounts(negT, tmp.data());
+        for (std::size_t i = 0; i < m; ++i)
+            dbvDense[i] -= tmp[i];
+        linalg::columnCountDiffSparse(vposV, vnegV, dbvSparse.data(), m);
+        EXPECT_EQ(dbvDense, dbvSparse);
+    }
+}
+
+TEST(SparseDispatch, BackendPathsProduceIdenticalChains)
+{
+    const rbm::Rbm model = testModel(70, 37);
+    exec::ThreadPool serial(1), threaded(4);
+    Rng rng(29);
+    for (const double level : kLevels) {
+        const linalg::Matrix v = levelBatch(6, 70, level, rng);
+        // Dispatcher boundary sweep: forced dense, forced sparse, the
+        // calibrated default, and a threshold pinned exactly at this
+        // batch's activity (<= comparisons make that the sparse side).
+        const double activity =
+            static_cast<double>(linalg::countNonZero(v)) /
+            static_cast<double>(v.size());
+        linalg::Matrix refH, refPh;
+        bool first = true;
+        for (const double threshold : {0.0, 1.0, -1.0, activity}) {
+            for (exec::ThreadPool *pool : {&serial, &threaded}) {
+                rbm::SamplingOptions opts;
+                opts.sparseThreshold = threshold;
+                const rbm::SoftwareGibbsBackend backend(model, pool,
+                                                        opts);
+                auto rngs = streams(6, 31);
+                linalg::Matrix h, ph;
+                backend.sampleHiddenBatch(v, h, ph, rngs.data());
+                if (first) {
+                    refH = h;
+                    refPh = ph;
+                    first = false;
+                } else {
+                    EXPECT_EQ(refH, h) << threshold;
+                    EXPECT_EQ(refPh, ph) << threshold;
+                }
+            }
+        }
+    }
+}
+
+TEST(SparseDispatch, AnnealAndChunkingInvariant)
+{
+    const rbm::Rbm model = testModel(67, 35);
+    exec::ThreadPool serial(1), threaded(4);
+    Rng rng(37);
+    const linalg::Matrix h0 = activityBatch(8, 35, 0.08, rng);
+
+    linalg::Matrix refV, refH;
+    bool first = true;
+    for (const double threshold : {0.0, 1.0, -1.0}) {
+        rbm::SamplingOptions opts;
+        opts.sparseThreshold = threshold;
+        for (exec::ThreadPool *pool : {&serial, &threaded}) {
+            const rbm::SoftwareGibbsBackend backend(model, pool, opts);
+            // Whole batch in one call...
+            linalg::Matrix h = h0, v, pv, ph;
+            auto rngs = streams(8, 41);
+            backend.annealBatch(5, v, h, pv, ph, rngs.data());
+            // ...must match the same chains annealed in two chunks
+            // (each chunk re-probes activity independently).
+            linalg::Matrix vChunks(8, 67), hChunks(8, 35);
+            for (const auto &[b, e] :
+                 std::vector<std::pair<std::size_t, std::size_t>>{
+                     {0, 3}, {3, 8}}) {
+                linalg::Matrix hc(e - b, 35), vc, pvc, phc;
+                for (std::size_t r = b; r < e; ++r)
+                    std::copy_n(h0.row(r), 35, hc.row(r - b));
+                auto chunkRngs = streams(8, 41);
+                // Row r's stream must travel with the row.
+                std::vector<Rng> sub(chunkRngs.begin() + b,
+                                     chunkRngs.begin() + e);
+                backend.annealBatch(5, vc, hc, pvc, phc, sub.data());
+                for (std::size_t r = b; r < e; ++r) {
+                    std::copy_n(vc.row(r - b), 67, vChunks.row(r));
+                    std::copy_n(hc.row(r - b), 35, hChunks.row(r));
+                }
+            }
+            EXPECT_EQ(v, vChunks) << threshold;
+            EXPECT_EQ(h, hChunks) << threshold;
+            if (first) {
+                refV = v;
+                refH = h;
+                first = false;
+            } else {
+                EXPECT_EQ(refV, v) << threshold;
+                EXPECT_EQ(refH, h) << threshold;
+            }
+        }
+    }
+}
+
+TEST(SparseDispatch, ScalarAnnealMatchesAcrossThresholds)
+{
+    const rbm::Rbm model = testModel(70, 37);
+    linalg::Vector refV, refH;
+    bool first = true;
+    for (const double threshold : {0.0, 1.0, -1.0}) {
+        rbm::SamplingOptions opts;
+        opts.sparseThreshold = threshold;
+        const rbm::SoftwareGibbsBackend backend(model, nullptr, opts);
+        Rng rng(43);
+        linalg::Vector v, h(37), pv, ph;
+        h[3] = 1.0f;  // near-empty start: the sparse side of the probe
+        backend.anneal(6, v, h, pv, ph, rng);
+        if (first) {
+            refV = v;
+            refH = h;
+            first = false;
+        } else {
+            EXPECT_EQ(refV, v) << threshold;
+            EXPECT_EQ(refH, h) << threshold;
+        }
+    }
+}
+
+TEST(SparseDispatch, CdTrainingBitIdenticalAcrossPathsAndWorkers)
+{
+    Rng dataRng(47);
+    data::Dataset train;
+    train.name = "sparse-cd";
+    train.samples = activityBatch(60, 67, 0.06, dataRng);
+
+    exec::ThreadPool serial(1), threaded(4);
+    rbm::Rbm reference;
+    bool first = true;
+    for (const double threshold : {0.0, 1.0, -1.0}) {
+        for (exec::ThreadPool *pool : {&serial, &threaded}) {
+            rbm::Rbm model = testModel(67, 35, 7);
+            rbm::CdConfig cfg;
+            cfg.batchSize = 20;
+            cfg.k = 2;
+            cfg.momentum = 0.5;
+            cfg.pool = pool;
+            cfg.sampling.sparseThreshold = threshold;
+            Rng rng(51);
+            rbm::CdTrainer trainer(model, cfg, rng);
+            trainer.trainEpoch(train);
+            trainer.trainEpoch(train);
+            if (first) {
+                reference = model;
+                first = false;
+            } else {
+                EXPECT_EQ(reference.weights(), model.weights())
+                    << threshold;
+                EXPECT_EQ(reference.visibleBias(), model.visibleBias())
+                    << threshold;
+                EXPECT_EQ(reference.hiddenBias(), model.hiddenBias())
+                    << threshold;
+            }
+        }
+    }
+}

@@ -303,6 +303,33 @@ TEST(SessionResume, MissingChainSectionWarnsAndContinues)
     EXPECT_EQ(tail.epochsDone(), kTotalEpochs);
 }
 
+TEST(SessionResume, EarlyStoppedArchiveResumesAsNoOp)
+{
+    const data::Dataset train = barsData();
+    train::TrainOptions options;
+    options.seed = 21;
+    util::Rng rng(21);
+    rbm::Rbm model(train.dim(), 8);
+    model.initRandom(rng);
+
+    train::Session head(train::makeRbmStrategy(model, train, options),
+                        config(kSplitEpochs));
+    head.run();
+    rbm::Checkpoint ckpt = head.checkpoint();
+    EXPECT_EQ(ckpt.meta.earlyStopEpoch, -1);
+    // Stamp the stop epoch the way the monitor-driven stop would have.
+    ckpt.meta.earlyStopEpoch = kSplitEpochs;
+
+    train::Session tail(train::makeRbmStrategy(model, train, options),
+                        config(kTotalEpochs));
+    tail.resume(ckpt);
+    EXPECT_EQ(tail.earlyStopEpoch(), kSplitEpochs);
+    const std::string before = archiveOf(tail);
+    tail.run();  // warns and returns without training
+    EXPECT_EQ(tail.epochsDone(), kSplitEpochs);
+    EXPECT_EQ(archiveOf(tail), before);
+}
+
 TEST(SessionResumeDeathTest, SeedMismatchIsFatal)
 {
     // Worker threads from earlier tests make fork()-style death tests
