@@ -178,26 +178,63 @@ flagValue(int &argc, char **argv, const std::string &flag)
     return value;
 }
 
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+cpuModelString()
+{
+    std::ifstream is("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("model name", 0) != 0)
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::size_t begin = colon + 1;
+        while (begin < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[begin])))
+            ++begin;
+        return line.substr(begin);
+    }
+    return "unknown";
+}
+
 bool
 writeBenchJson(const std::string &path, const std::string &bench,
-               const std::vector<JsonRecord> &records)
+               const std::vector<JsonRecord> &records,
+               const JsonMeta &meta)
 {
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
         return false;
     }
-    auto escape = [](const std::string &s) {
-        std::string out;
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out.push_back('\\');
-            out.push_back(c);
-        }
-        return out;
-    };
-    os << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
-       << "  \"results\": [\n";
+    const auto &escape = jsonEscape;
+    os << "{\n  \"bench\": \"" << escape(bench) << "\",\n";
+    if (!meta.empty()) {
+        os << "  \"meta\": {\n";
+        for (std::size_t i = 0; i < meta.size(); ++i)
+            os << "    \"" << escape(meta[i].first) << "\": \""
+               << escape(meta[i].second) << "\""
+               << (i + 1 < meta.size() ? "," : "") << "\n";
+        os << "  },\n";
+    }
+    os << "  \"results\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         char value[64];
         std::snprintf(value, sizeof(value), "%.6g", records[i].value);
@@ -208,6 +245,13 @@ writeBenchJson(const std::string &path, const std::string &bench,
     }
     os << "  ]\n}\n";
     return true;
+}
+
+bool
+writeBenchJson(const std::string &path, const std::string &bench,
+               const std::vector<JsonRecord> &records)
+{
+    return writeBenchJson(path, bench, records, {});
 }
 
 } // namespace benchtool

@@ -11,6 +11,7 @@
 #define ISINGRBM_BENCH_COMMON_HPP
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace benchtool {
@@ -71,12 +72,30 @@ struct JsonRecord
 };
 
 /**
- * Write records to @p path as {"bench": ..., "results": [{"name":
- * ..., "value": ..., "unit": ...}, ...]}.  Returns false (after a
+ * Host/build metadata rows for a BENCH artifact: the context a perf
+ * number is meaningless without (CPU model, selected SIMD tier,
+ * ISINGRBM_NATIVE state).  Serialized as a flat string-valued "meta"
+ * object ahead of "results".
+ */
+using JsonMeta = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Write records to @p path as {"bench": ..., "meta": {...},
+ * "results": [{"name": ..., "value": ..., "unit": ...}, ...]}.  The
+ * meta-less overload omits the "meta" object.  Returns false (after a
  * warning on stderr) when the file cannot be written.
  */
 bool writeBenchJson(const std::string &path, const std::string &bench,
+                    const std::vector<JsonRecord> &records,
+                    const JsonMeta &meta);
+bool writeBenchJson(const std::string &path, const std::string &bench,
                     const std::vector<JsonRecord> &records);
+
+/**
+ * The host CPU's marketing name ("model name" from /proc/cpuinfo), or
+ * "unknown" where that pseudo-file does not exist.
+ */
+std::string cpuModelString();
 
 } // namespace benchtool
 

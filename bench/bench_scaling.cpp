@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <functional>
 
@@ -427,6 +428,156 @@ printKernelScaling(bool full, std::vector<benchtool::JsonRecord> &json)
                     benchtool::geomean(cdSpeedups), "x"});
     json.push_back({"halfsweep/geomean_speedup",
                     benchtool::geomean(sweepSpeedups), "x"});
+}
+
+/**
+ * Host / dispatch metadata: which CPU ran the numbers, which SIMD
+ * kernel tier the CPUID dispatcher selected, what ISINGRBM_ISA and
+ * ISINGRBM_NATIVE contributed.  Printed as its own banner table and
+ * returned as the BENCH JSON "meta" block -- per-tier perf numbers
+ * are meaningless without it.
+ */
+benchtool::JsonMeta
+hostMetadata()
+{
+    namespace simd = linalg::simd;
+    const char *env = std::getenv("ISINGRBM_ISA");
+    benchtool::JsonMeta meta = {
+        {"cpu", benchtool::cpuModelString()},
+        {"detected_isa", simd::tierName(simd::detectedTier())},
+        {"dispatch_isa", simd::tierName(simd::defaultTier())},
+        {"isingrbm_isa_env", env && *env ? env : ""},
+#ifdef ISINGRBM_NATIVE_BUILD
+        {"native_build", ISINGRBM_NATIVE_BUILD ? "on" : "off"},
+#else
+        {"native_build", "off"},
+#endif
+    };
+    benchtool::Table table({"key", "value"});
+    for (const auto &kv : meta)
+        table.addRow({kv.first, kv.second.empty() ? "-" : kv.second});
+    table.print("Host / SIMD dispatch metadata");
+    return meta;
+}
+
+/**
+ * Per-ISA kernel-tier comparison: the same dense packed hot kernels
+ * timed through each compiled-in tier the host can run (generic
+ * std::popcount baseline, AVX2, AVX-512+VPOPCNTDQ), pinned via
+ * SamplingOptions::isa / the explicit KernelTable overloads.  All
+ * tiers produce byte-identical results (test_simd_kernels proves it),
+ * so the deltas here are pure time: the fused batched half-sweep
+ * (accumulate-bound) and the popcount gradient reduce
+ * (AND+popcount-bound, where VPOPCNTDQ is the headline win).  Also
+ * re-runs the PR-5 sparse-threshold micro-probe per tier: a faster
+ * dense kernel moves the dense/sparse crossover down.
+ */
+void
+printIsaScaling(bool full, std::vector<benchtool::JsonRecord> &json)
+{
+    namespace simd = linalg::simd;
+    struct Shape
+    {
+        std::size_t m, n;
+    };
+    const std::vector<Shape> shapes = {
+        {784, 500}, {1600, 1600}, {4096, 1024}};
+    const std::size_t batch = 100, cdBatch = 500;
+    const double minSec = full ? 0.6 : 0.2;
+
+    std::vector<const simd::KernelTable *> tiers;
+    for (const simd::IsaTier tier :
+         {simd::IsaTier::Generic, simd::IsaTier::Avx2,
+          simd::IsaTier::Avx512})
+        if (const simd::KernelTable *kt = simd::table(tier))
+            tiers.push_back(kt);
+
+    benchtool::Table sweeps({"shape", "tier", "half-sweep", "vs generic",
+                             "reduce", "vs generic"});
+    for (const Shape &shape : shapes) {
+        const std::size_t m = shape.m, n = shape.n;
+        const std::string tag =
+            std::to_string(m) + "x" + std::to_string(n);
+        const rbm::Rbm model = kernelModel(m, n, 17);
+
+        util::Rng init(23);
+        linalg::Matrix v(batch, m);
+        for (std::size_t r = 0; r < batch; ++r)
+            for (std::size_t i = 0; i < m; ++i)
+                v(r, i) = init.bernoulli(0.5) ? 1.0f : 0.0f;
+        std::vector<util::Rng> rngs;
+        for (std::size_t r = 0; r < batch; ++r)
+            rngs.push_back(util::Rng::stream(29, r));
+
+        // Reduce inputs: 50%-active binary states at the paper batch
+        // size, pre-transposed so the timing is the AND+popcount
+        // kernel alone (pack cost is tier-independent).
+        util::Rng stateRng(31);
+        linalg::Matrix vp(cdBatch, m), hp(cdBatch, n), vn(cdBatch, m),
+            hn(cdBatch, n);
+        for (linalg::Matrix *s : {&vp, &vn, &hp, &hn})
+            for (std::size_t i = 0; i < s->size(); ++i)
+                s->data()[i] = stateRng.bernoulli(0.5) ? 1.0f : 0.0f;
+        linalg::BitMatrix posT, negT, hposT, hnegT;
+        linalg::packTransposed(vp, posT);
+        linalg::packTransposed(vn, negT);
+        linalg::packTransposed(hp, hposT);
+        linalg::packTransposed(hn, hnegT);
+        linalg::Matrix dw(m, n);
+
+        double sweepGeneric = 0.0, reduceGeneric = 0.0;
+        for (const simd::KernelTable *kt : tiers) {
+            rbm::SamplingOptions opts;
+            opts.isa = kt->tier;
+            opts.sparseThreshold = 0.0;  // pin the dense packed path
+            const rbm::SoftwareGibbsBackend backend(model, nullptr,
+                                                    opts);
+            const double tSweep = timeIt(minSec, [&] {
+                linalg::Matrix h, ph;
+                backend.sampleHiddenBatch(v, h, ph, rngs.data());
+            }) / batch;
+            const double tReduce = timeIt(minSec, [&] {
+                linalg::outerCountDiff(*kt, posT, hposT, negT, hnegT,
+                                       dw, 0, m);
+            });
+            if (kt->tier == simd::IsaTier::Generic) {
+                sweepGeneric = tSweep;
+                reduceGeneric = tReduce;
+            }
+            sweeps.addRow({tag, kt->name,
+                           fmt(tSweep * 1e9, 0) + " ns",
+                           fmt(sweepGeneric / tSweep, 2) + "x",
+                           fmt(tReduce * 1e3, 2) + " ms",
+                           fmt(reduceGeneric / tReduce, 2) + "x"});
+            const std::string cell =
+                "isa/" + tag + "/" + std::string(kt->name);
+            json.push_back({cell + "/halfsweep", tSweep * 1e9, "ns/op"});
+            json.push_back({cell + "/reduce", tReduce, "s"});
+            json.push_back({cell + "/halfsweep_speedup",
+                            sweepGeneric / tSweep, "x"});
+            json.push_back({cell + "/reduce_speedup",
+                            reduceGeneric / tReduce, "x"});
+        }
+    }
+    sweeps.print("SIMD kernel tiers: dense half-sweep (ns per chain, "
+                 "batch " + std::to_string(batch) + ") and popcount "
+                 "gradient reduce (batch " + std::to_string(cdBatch) +
+                 "); all tiers byte-identical");
+
+    // PR-5 sparse-threshold micro-probe, re-run against each tier's
+    // dense kernels (the ISINGRBM_SPARSE_THRESHOLD env pin would
+    // override all of these).
+    benchtool::Table thresholds({"tier", "calibrated threshold"});
+    for (const simd::KernelTable *kt : tiers) {
+        rbm::SamplingOptions opts;
+        opts.isa = kt->tier;
+        const double threshold = rbm::resolveSparseThreshold(opts);
+        thresholds.addRow({kt->name, fmt(threshold, 3)});
+        json.push_back({"isa/" + std::string(kt->name) +
+                            "/sparse_threshold",
+                        threshold, "activity"});
+    }
+    thresholds.print("Sparse-crossover micro-probe per kernel tier");
 }
 
 /**
@@ -913,18 +1064,21 @@ main(int argc, char **argv)
         benchtool::flagValue(argc, argv, "--json-sparse");
     const bool full = benchtool::fullScale(argc, argv);
 
+    const benchtool::JsonMeta meta = hostMetadata();
+
     std::vector<benchtool::JsonRecord> json;
     printKernelScaling(full, json);
+    printIsaScaling(full, json);
     printServeBench(full, json);
     printTrainBench(full, json);
     if (!jsonPath.empty())
-        benchtool::writeBenchJson(jsonPath, "bench_scaling", json);
+        benchtool::writeBenchJson(jsonPath, "bench_scaling", json, meta);
 
     std::vector<benchtool::JsonRecord> sparseJson;
     printSparseScaling(full, sparseJson);
     if (!sparseJsonPath.empty())
         benchtool::writeBenchJson(sparseJsonPath, "bench_scaling_sparse",
-                                  sparseJson);
+                                  sparseJson, meta);
 
     printMultiChip();
     if (full) {

@@ -145,6 +145,9 @@ const std::vector<util::FlagHelp> kTrainFlags = {
     {"sparse-threshold", "X", "sparse kernel crossover activity in "
                               "[0,1] (default: auto-calibrated; 0 "
                               "disables the sparse path, 1 forces it)"},
+    {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
+                    "(default auto: ISINGRBM_ISA env, then CPUID; all "
+                    "tiers are bit-identical)"},
 };
 
 /** Sampling-kernel tuning shared by every registry-backed command. */
@@ -153,6 +156,11 @@ samplingFlags(const util::CliArgs &args)
 {
     rbm::SamplingOptions opts;
     opts.sparseThreshold = args.getDouble("sparse-threshold", -1.0);
+    const std::string isa = args.get("isa", "auto");
+    if (!linalg::simd::tierFromName(isa, opts.isa))
+        util::fatal(util::strcat("isingrbm: --isa '", isa,
+                                 "' is not a known tier "
+                                 "(auto|scalar|generic|avx2|avx512)"));
     return opts;
 }
 
@@ -230,12 +238,18 @@ cmdTrain(const util::CliArgs &args)
     options.persistentCd = args.getBool("pcd", false);
     options.bgfReplicas = std::max<std::size_t>(
         1, sizeFlag(args, "replicas", 1));
-    options.sparseThreshold = samplingFlags(args).sparseThreshold;
+    const rbm::SamplingOptions sampling = samplingFlags(args);
+    options.sparseThreshold = sampling.sparseThreshold;
+    options.isa = sampling.isa;
     // Only the CD engine's kernels take the tuning; the GS/BGF
     // substrate settle loops construct default-option backends.
     if (args.has("sparse-threshold") && trainer != train::Trainer::CdK)
         util::warn(std::string("isingrbm: --sparse-threshold only "
                                "tunes the cd trainer's kernels; the ") +
+                   train::trainerName(trainer) + " path ignores it");
+    if (args.has("isa") && trainer != train::Trainer::CdK)
+        util::warn(std::string("isingrbm: --isa only selects the cd "
+                               "trainer's kernels; the ") +
                    train::trainerName(trainer) + " path ignores it");
 
     train::Schedule schedule = eval::trainSchedule(spec);
@@ -453,6 +467,8 @@ const std::vector<util::FlagHelp> kSampleFlags = {
     {"out", "path", "write samples as a text matrix"},
     {"sparse-threshold", "X", "sparse kernel crossover activity "
                               "(default: auto; 0 dense, 1 sparse)"},
+    {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
+                    "(default auto; bit-identical)"},
 };
 
 int
@@ -525,6 +541,8 @@ const std::vector<util::FlagHelp> kEvalFlags = {
     {"head-epochs", "E", "logistic head epochs (default 30)"},
     {"sparse-threshold", "X", "sparse kernel crossover activity "
                               "(default: auto; 0 dense, 1 sparse)"},
+    {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
+                    "(default auto; bit-identical)"},
 };
 
 int
@@ -599,6 +617,8 @@ const std::vector<util::FlagHelp> kServeBenchFlags = {
     {"seed", "S", "request seed root (default 13)"},
     {"sparse-threshold", "X", "sparse kernel crossover activity "
                               "(default: auto; 0 dense, 1 sparse)"},
+    {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
+                    "(default auto; bit-identical)"},
 };
 
 int

@@ -2,9 +2,11 @@
  * @file
  * Packed kernel implementations.
  *
- * The inner loops add contiguous weight rows into a contiguous
- * accumulator, which GCC vectorizes; set-bit iteration is branchless
- * via countr_zero over the packed words.
+ * The tiling, probing and latch logic lives here at the baseline ISA;
+ * the per-row accumulate and popcount inner loops route through the
+ * simd::KernelTable so the CPUID-selected (or caller-pinned) tier
+ * runs them.  Set-bit iteration is branchless via countr_zero over
+ * the packed words in every tier.
  */
 
 #include "linalg/bitops.hpp"
@@ -39,32 +41,6 @@ constexpr std::size_t kColBlock = 128;
 constexpr std::size_t kWordBlock = 1;
 
 /**
- * acc[0..colLen) += w rows of the set bits in words [wordBegin,
- * wordEnd), ascending, over columns [colBegin, colBegin + colLen).
- * Callers pass colLen == kColBlock for full blocks so the loop
- * unrolls over the whole accumulator.
- */
-inline void
-addMaskedRowsAcc(const Matrix &w, const std::uint64_t *words,
-                 std::size_t wordBegin, std::size_t wordEnd,
-                 float *__restrict acc, std::size_t colBegin,
-                 std::size_t colLen)
-{
-    for (std::size_t wi = wordBegin; wi < wordEnd; ++wi) {
-        std::uint64_t word = words[wi];
-        const std::size_t base = wi * 64;
-        while (word) {
-            const std::size_t i =
-                base + static_cast<std::size_t>(std::countr_zero(word));
-            word &= word - 1;  // clear lowest set bit: ascending order
-            const float *__restrict wrow = w.row(i) + colBegin;
-            for (std::size_t j = 0; j < colLen; ++j)
-                acc[j] += wrow[j];
-        }
-    }
-}
-
-/**
  * act rows [rowBegin, rowEnd) x columns [colBegin, colEnd) += masked
  * row sums of w, tiled (column block x word block x chains) so the W
  * tile stays cache-hot across every chain and the accumulator slice
@@ -72,52 +48,26 @@ addMaskedRowsAcc(const Matrix &w, const std::uint64_t *words,
  * (chain, column) is ascending input unit regardless of tile sizes.
  */
 void
-addMaskedRowsTiled(const Matrix &w, const BitMatrix &in, Matrix &act,
-                   std::size_t rowBegin, std::size_t rowEnd,
-                   std::size_t colBegin, std::size_t colEnd)
+addMaskedRowsTiled(const simd::KernelTable &kt, const Matrix &w,
+                   const BitMatrix &in, Matrix &act, std::size_t rowBegin,
+                   std::size_t rowEnd, std::size_t colBegin,
+                   std::size_t colEnd)
 {
     const std::size_t words = bitWords(w.rows());
+    const std::size_t stride = w.cols();
     for (std::size_t jb = colBegin; jb < colEnd; jb += kColBlock) {
         const std::size_t jl = std::min(colEnd, jb + kColBlock) - jb;
+        const float *wBase = w.data() + jb;
         for (std::size_t wb = 0; wb < words; wb += kWordBlock) {
             const std::size_t we = std::min(words, wb + kWordBlock);
             for (std::size_t r = rowBegin; r < rowEnd; ++r) {
                 float acc[kColBlock];
                 std::copy_n(act.row(r) + jb, jl, acc);
-                if (jl == kColBlock)
-                    addMaskedRowsAcc(w, in.row(r), wb, we, acc, jb,
-                                     kColBlock);
-                else
-                    addMaskedRowsAcc(w, in.row(r), wb, we, acc, jb, jl);
+                kt.addMaskedRows(wBase, stride, in.row(r), wb, we, acc,
+                                 jl);
                 std::copy_n(acc, jl, act.row(r) + jb);
             }
         }
-    }
-}
-
-/**
- * act[colBegin, colEnd) = b + the w rows listed in active[0..count)
- * (ascending input-unit indices) over that column range, accumulated
- * straight into the output row.  The sparse twin of the masked
- * accumulate: the same float addition sequence per output lane, but
- * set-bit discovery happened once at view-build time and the row is
- * traversed in one full-width pass -- at the low activity levels this
- * kernel is dispatched for, the handful of row adds fits the
- * store-forwarded output row, and skipping the per-word accumulator
- * round-trips of the tiled walk is the entire win.
- */
-inline void
-addActiveRowsInto(const Matrix &w, const std::uint32_t *active,
-                  std::size_t count, const float *b,
-                  float *__restrict act, std::size_t colBegin,
-                  std::size_t colEnd)
-{
-    for (std::size_t j = colBegin; j < colEnd; ++j)
-        act[j] = b[j];
-    for (std::size_t k = 0; k < count; ++k) {
-        const float *__restrict wrow = w.row(active[k]);
-        for (std::size_t j = colBegin; j < colEnd; ++j)
-            act[j] += wrow[j];
     }
 }
 
@@ -133,16 +83,17 @@ BitVector::countOnes() const
 }
 
 std::size_t
-countOnes(const BitMatrix &m)
+countOnes(const simd::KernelTable &kt, const BitMatrix &m)
 {
     // Rows are padded to whole words with zero pad bits, so the whole
     // storage popcounts flat.
-    std::size_t acc = 0;
-    const std::uint64_t *words = m.row(0);
-    const std::size_t total = m.rows() * m.wordsPerRow();
-    for (std::size_t w = 0; w < total; ++w)
-        acc += static_cast<std::size_t>(std::popcount(words[w]));
-    return acc;
+    return kt.popcountWords(m.row(0), m.rows() * m.wordsPerRow());
+}
+
+std::size_t
+countOnes(const BitMatrix &m)
+{
+    return countOnes(simd::activeTable(), m);
 }
 
 std::size_t
@@ -221,8 +172,8 @@ isBinary01(const Matrix &m)
 }
 
 void
-accumulateRowsMasked(const Matrix &w, const BitVector &bits,
-                     const Vector &b, Vector &act)
+accumulateRowsMasked(const simd::KernelTable &kt, const Matrix &w,
+                     const BitVector &bits, const Vector &b, Vector &act)
 {
     const std::size_t p = w.rows(), q = w.cols();
     assert(bits.size() == p && b.size() == q);
@@ -235,12 +186,39 @@ accumulateRowsMasked(const Matrix &w, const BitVector &bits,
         const std::size_t jl = std::min(q, jb + kColBlock) - jb;
         float acc[kColBlock];
         std::copy_n(act.data() + jb, jl, acc);
-        if (jl == kColBlock)
-            addMaskedRowsAcc(w, bits.data(), 0, words, acc, jb,
-                             kColBlock);
-        else
-            addMaskedRowsAcc(w, bits.data(), 0, words, acc, jb, jl);
+        kt.addMaskedRows(w.data() + jb, q, bits.data(), 0, words, acc,
+                         jl);
         std::copy_n(acc, jl, act.data() + jb);
+    }
+}
+
+void
+accumulateRowsMasked(const Matrix &w, const BitVector &bits,
+                     const Vector &b, Vector &act)
+{
+    accumulateRowsMasked(simd::activeTable(), w, bits, b, act);
+}
+
+void
+affineSigmoidBernoulli(const simd::KernelTable &kt, const Matrix &w,
+                       const BitVector &in, const Vector &b,
+                       BitVector &out, Vector &means, util::Rng &rng)
+{
+    const std::size_t q = w.cols();
+    accumulateRowsMasked(kt, w, in, b, means);
+    out.resize(q);
+    std::uint64_t *ow = out.data();
+    float *md = means.data();
+    for (std::size_t j = 0; j < q; ++j) {
+        const float pj = util::sigmoidf(md[j]);
+        md[j] = pj;
+        // Branchless latch: the comparison outcome is a coin flip, so
+        // a conditional store would mispredict half the time.  The
+        // latch is contract-pinned scalar in every tier (one draw per
+        // unit, ascending).
+        ow[j >> 6] |=
+            static_cast<std::uint64_t>(rng.uniformFloat() < pj)
+            << (j & 63);
     }
 }
 
@@ -249,25 +227,14 @@ affineSigmoidBernoulli(const Matrix &w, const BitVector &in,
                        const Vector &b, BitVector &out, Vector &means,
                        util::Rng &rng)
 {
-    const std::size_t q = w.cols();
-    accumulateRowsMasked(w, in, b, means);
-    out.resize(q);
-    std::uint64_t *ow = out.data();
-    float *md = means.data();
-    for (std::size_t j = 0; j < q; ++j) {
-        const float pj = util::sigmoidf(md[j]);
-        md[j] = pj;
-        // Branchless latch: the comparison outcome is a coin flip, so
-        // a conditional store would mispredict half the time.
-        ow[j >> 6] |=
-            static_cast<std::uint64_t>(rng.uniformFloat() < pj)
-            << (j & 63);
-    }
+    affineSigmoidBernoulli(simd::activeTable(), w, in, b, out, means,
+                           rng);
 }
 
 void
-accumulateBatchTile(const Matrix &w, const BitMatrix &in, const Vector &b,
-                    Matrix &act, std::size_t rowBegin, std::size_t rowEnd,
+accumulateBatchTile(const simd::KernelTable &kt, const Matrix &w,
+                    const BitMatrix &in, const Vector &b, Matrix &act,
+                    std::size_t rowBegin, std::size_t rowEnd,
                     std::size_t colBegin, std::size_t colEnd)
 {
     assert(in.cols() == w.rows() && b.size() == w.cols());
@@ -279,7 +246,17 @@ accumulateBatchTile(const Matrix &w, const BitMatrix &in, const Vector &b,
         for (std::size_t j = colBegin; j < colEnd; ++j)
             arow[j] = b[j];
     }
-    addMaskedRowsTiled(w, in, act, rowBegin, rowEnd, colBegin, colEnd);
+    addMaskedRowsTiled(kt, w, in, act, rowBegin, rowEnd, colBegin,
+                       colEnd);
+}
+
+void
+accumulateBatchTile(const Matrix &w, const BitMatrix &in, const Vector &b,
+                    Matrix &act, std::size_t rowBegin, std::size_t rowEnd,
+                    std::size_t colBegin, std::size_t colEnd)
+{
+    accumulateBatchTile(simd::activeTable(), w, in, b, act, rowBegin,
+                        rowEnd, colBegin, colEnd);
 }
 
 void
@@ -300,15 +277,23 @@ sampleBatchRow(Matrix &act, std::size_t r, BitMatrix &out, util::Rng &rng)
 }
 
 void
-sampleBatch(const Matrix &w, const BitMatrix &in, const Vector &b,
-            BitMatrix &out, Matrix &means, util::Rng *rngs)
+sampleBatch(const simd::KernelTable &kt, const Matrix &w,
+            const BitMatrix &in, const Vector &b, BitMatrix &out,
+            Matrix &means, util::Rng *rngs)
 {
     const std::size_t batch = in.rows(), q = w.cols();
     means.reset(batch, q);
     out.reset(batch, q);
-    accumulateBatchTile(w, in, b, means, 0, batch, 0, q);
+    accumulateBatchTile(kt, w, in, b, means, 0, batch, 0, q);
     for (std::size_t r = 0; r < batch; ++r)
         sampleBatchRow(means, r, out, rngs[r]);
+}
+
+void
+sampleBatch(const Matrix &w, const BitMatrix &in, const Vector &b,
+            BitMatrix &out, Matrix &means, util::Rng *rngs)
+{
+    sampleBatch(simd::activeTable(), w, in, b, out, means, rngs);
 }
 
 void
@@ -325,62 +310,10 @@ packTransposed(const Matrix &src, BitMatrix &dst)
     }
 }
 
-namespace {
-
-/** outerCountDiff inner sweep with a compile-time word count. */
-template <std::size_t W>
 void
-outerCountDiffFixed(const BitMatrix &a, const BitMatrix &b,
-                    const BitMatrix &c, const BitMatrix &d, Matrix &out,
-                    std::size_t rowBegin, std::size_t rowEnd)
-{
-    const std::size_t n = out.cols();
-    for (std::size_t i = rowBegin; i < rowEnd; ++i) {
-        const std::uint64_t *ai = a.row(i);
-        const std::uint64_t *ci = c.row(i);
-        const std::uint64_t *bj = b.row(0);
-        const std::uint64_t *dj = d.row(0);
-        float *orow = out.row(i);
-        for (std::size_t j = 0; j < n; ++j, bj += W, dj += W) {
-            int count = 0;
-            for (std::size_t w = 0; w < W; ++w)
-                count += std::popcount(ai[w] & bj[w]) -
-                         std::popcount(ci[w] & dj[w]);
-            orow[j] = static_cast<float>(count);
-        }
-    }
-}
-
-/** Runtime-word-count fallback for outerCountDiff. */
-void
-outerCountDiffAny(const BitMatrix &a, const BitMatrix &b,
-                  const BitMatrix &c, const BitMatrix &d, Matrix &out,
-                  std::size_t rowBegin, std::size_t rowEnd,
-                  std::size_t words)
-{
-    const std::size_t n = out.cols();
-    for (std::size_t i = rowBegin; i < rowEnd; ++i) {
-        const std::uint64_t *ai = a.row(i);
-        const std::uint64_t *ci = c.row(i);
-        float *orow = out.row(i);
-        for (std::size_t j = 0; j < n; ++j) {
-            const std::uint64_t *bj = b.row(j);
-            const std::uint64_t *dj = d.row(j);
-            int count = 0;
-            for (std::size_t w = 0; w < words; ++w)
-                count += std::popcount(ai[w] & bj[w]) -
-                         std::popcount(ci[w] & dj[w]);
-            orow[j] = static_cast<float>(count);
-        }
-    }
-}
-
-} // namespace
-
-void
-outerCountDiff(const BitMatrix &a, const BitMatrix &b, const BitMatrix &c,
-               const BitMatrix &d, Matrix &out, std::size_t rowBegin,
-               std::size_t rowEnd)
+outerCountDiff(const simd::KernelTable &kt, const BitMatrix &a,
+               const BitMatrix &b, const BitMatrix &c, const BitMatrix &d,
+               Matrix &out, std::size_t rowBegin, std::size_t rowEnd)
 {
     const std::size_t n = out.cols(), words = a.wordsPerRow();
     assert(a.rows() == out.rows() && c.rows() == out.rows());
@@ -388,38 +321,42 @@ outerCountDiff(const BitMatrix &a, const BitMatrix &b, const BitMatrix &c,
     assert(b.wordsPerRow() == words && c.wordsPerRow() == words &&
            d.wordsPerRow() == words);
     assert(rowEnd <= out.rows());
-    (void)n;
-    // Common batch sizes resolve to fixed-trip inner loops (batch of
-    // up to 512 positions = 1..8 words).
-    switch (words) {
-    case 1:
-        return outerCountDiffFixed<1>(a, b, c, d, out, rowBegin, rowEnd);
-    case 2:
-        return outerCountDiffFixed<2>(a, b, c, d, out, rowBegin, rowEnd);
-    case 4:
-        return outerCountDiffFixed<4>(a, b, c, d, out, rowBegin, rowEnd);
-    case 8:
-        return outerCountDiffFixed<8>(a, b, c, d, out, rowBegin, rowEnd);
-    default:
-        return outerCountDiffAny(a, b, c, d, out, rowBegin, rowEnd,
-                                 words);
-    }
+    kt.outerCountDiff(a.row(0), b.row(0), c.row(0), d.row(0), words, n,
+                      out.data(), out.cols(), rowBegin, rowEnd);
+}
+
+void
+outerCountDiff(const BitMatrix &a, const BitMatrix &b, const BitMatrix &c,
+               const BitMatrix &d, Matrix &out, std::size_t rowBegin,
+               std::size_t rowEnd)
+{
+    outerCountDiff(simd::activeTable(), a, b, c, d, out, rowBegin,
+                   rowEnd);
+}
+
+void
+accumulateActiveRows(const simd::KernelTable &kt, const Matrix &w,
+                     const std::uint32_t *active, std::size_t count,
+                     const Vector &b, Vector &act)
+{
+    const std::size_t q = w.cols();
+    assert(b.size() == q);
+    act.resize(q);
+    std::copy(b.data(), b.data() + q, act.data());
+    kt.addActiveRows(w.data(), q, active, count, act.data(), q);
 }
 
 void
 accumulateActiveRows(const Matrix &w, const std::uint32_t *active,
                      std::size_t count, const Vector &b, Vector &act)
 {
-    const std::size_t q = w.cols();
-    assert(b.size() == q);
-    act.resize(q);
-    addActiveRowsInto(w, active, count, b.data(), act.data(), 0, q);
+    accumulateActiveRows(simd::activeTable(), w, active, count, b, act);
 }
 
 void
-affineSigmoidBernoulliSparse(const Matrix &w, const BitVector &in,
-                             const Vector &b, BitVector &out,
-                             Vector &means, util::Rng &rng)
+affineSigmoidBernoulliSparse(const simd::KernelTable &kt, const Matrix &w,
+                             const BitVector &in, const Vector &b,
+                             BitVector &out, Vector &means, util::Rng &rng)
 {
     assert(in.size() == w.rows());
     // One pass over the words extracts the active list; the column
@@ -442,7 +379,7 @@ affineSigmoidBernoulliSparse(const Matrix &w, const BitVector &in,
             word &= word - 1;
         }
     }
-    accumulateActiveRows(w, idx, count, b, means);
+    accumulateActiveRows(kt, w, idx, count, b, means);
 
     const std::size_t q = w.cols();
     out.resize(q);
@@ -458,17 +395,43 @@ affineSigmoidBernoulliSparse(const Matrix &w, const BitVector &in,
 }
 
 void
+affineSigmoidBernoulliSparse(const Matrix &w, const BitVector &in,
+                             const Vector &b, BitVector &out,
+                             Vector &means, util::Rng &rng)
+{
+    affineSigmoidBernoulliSparse(simd::activeTable(), w, in, b, out,
+                                 means, rng);
+}
+
+void
+accumulateActiveTile(const simd::KernelTable &kt, const Matrix &w,
+                     const SparseBitView &in, const Vector &b, Matrix &act,
+                     std::size_t rowBegin, std::size_t rowEnd,
+                     std::size_t colBegin, std::size_t colEnd)
+{
+    assert(in.rows() == act.rows() && b.size() == w.cols());
+    assert(act.cols() == w.cols());
+    assert(rowEnd <= act.rows() && colEnd <= w.cols());
+    const std::size_t stride = w.cols();
+    const std::size_t colLen = colEnd - colBegin;
+    for (std::size_t r = rowBegin; r < rowEnd; ++r) {
+        float *arow = act.row(r) + colBegin;
+        const float *bp = b.data() + colBegin;
+        for (std::size_t j = 0; j < colLen; ++j)
+            arow[j] = bp[j];
+        kt.addActiveRows(w.data() + colBegin, stride, in.rowIndices(r),
+                         in.rowCount(r), arow, colLen);
+    }
+}
+
+void
 accumulateActiveTile(const Matrix &w, const SparseBitView &in,
                      const Vector &b, Matrix &act, std::size_t rowBegin,
                      std::size_t rowEnd, std::size_t colBegin,
                      std::size_t colEnd)
 {
-    assert(in.rows() == act.rows() && b.size() == w.cols());
-    assert(act.cols() == w.cols());
-    assert(rowEnd <= act.rows() && colEnd <= w.cols());
-    for (std::size_t r = rowBegin; r < rowEnd; ++r)
-        addActiveRowsInto(w, in.rowIndices(r), in.rowCount(r), b.data(),
-                          act.row(r), colBegin, colEnd);
+    accumulateActiveTile(simd::activeTable(), w, in, b, act, rowBegin,
+                         rowEnd, colBegin, colEnd);
 }
 
 void
@@ -489,6 +452,9 @@ outerCountDiffSparse(const SparseBitView &vpos, const SparseBitView &hpos,
     // Visible indices are ascending, so each position's in-range slice
     // is contiguous; rows of out are disjoint across [rowBegin,
     // rowEnd) chunks, which keeps threaded reduces deterministic.
+    // Stays un-tiered: random-access scatter adds gain nothing from
+    // wider vectors (the win would be a hardware scatter, which the
+    // exact-integer semantics do not need).
     const auto scatter = [&](const SparseBitView &v,
                              const SparseBitView &h, float delta) {
         for (std::size_t k = 0; k < batch; ++k) {
@@ -532,15 +498,17 @@ columnCountDiffSparse(const SparseBitView &pos, const SparseBitView &neg,
 }
 
 void
+rowCounts(const simd::KernelTable &kt, const BitMatrix &m, float *counts)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        counts[r] = static_cast<float>(
+            kt.popcountWords(m.row(r), m.wordsPerRow()));
+}
+
+void
 rowCounts(const BitMatrix &m, float *counts)
 {
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-        const std::uint64_t *row = m.row(r);
-        std::size_t acc = 0;
-        for (std::size_t w = 0; w < m.wordsPerRow(); ++w)
-            acc += static_cast<std::size_t>(std::popcount(row[w]));
-        counts[r] = static_cast<float>(acc);
-    }
+    rowCounts(simd::activeTable(), m, counts);
 }
 
 } // namespace ising::linalg

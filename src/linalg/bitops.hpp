@@ -28,9 +28,18 @@
 
 #include "linalg/bits.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/simd_dispatch.hpp"
 #include "util/rng.hpp"
 
 namespace ising::linalg {
+
+// Every packed kernel below comes in two shapes: the plain overload
+// dispatches through simd::activeTable() (the CPUID/env-selected tier
+// of this process), the simd::KernelTable overload runs a specific
+// tier -- the handle SoftwareGibbsBackend and CdTrainer thread their
+// resolved SamplingOptions::isa through, and the one the tier
+// byte-identity tests compare with.  All tiers are bit-identical, so
+// the choice moves time, never results.
 
 /** True when every entry is exactly 0.0f or 1.0f (packable). */
 bool isBinary01(const float *x, std::size_t n);
@@ -39,6 +48,7 @@ bool isBinary01(const Matrix &m);
 /** Set bits across the whole matrix: the batch activity probe (one
  *  popcount per existing packed word; pad bits are kept zero). */
 std::size_t countOnes(const BitMatrix &m);
+std::size_t countOnes(const simd::KernelTable &kt, const BitMatrix &m);
 
 /** Nonzero entries of a float state matrix (activity probe for states
  *  that have not been packed yet; on binary data equals countOnes of
@@ -55,6 +65,9 @@ std::size_t countNonZero(const Matrix &m, bool *binary01 = nullptr);
  */
 void accumulateRowsMasked(const Matrix &w, const BitVector &bits,
                           const Vector &b, Vector &act);
+void accumulateRowsMasked(const simd::KernelTable &kt, const Matrix &w,
+                          const BitVector &bits, const Vector &b,
+                          Vector &act);
 
 /**
  * Fused packed half-sweep: act = b + masked row sum, means =
@@ -64,6 +77,9 @@ void accumulateRowsMasked(const Matrix &w, const BitVector &bits,
 void affineSigmoidBernoulli(const Matrix &w, const BitVector &in,
                             const Vector &b, BitVector &out,
                             Vector &means, util::Rng &rng);
+void affineSigmoidBernoulli(const simd::KernelTable &kt, const Matrix &w,
+                            const BitVector &in, const Vector &b,
+                            BitVector &out, Vector &means, util::Rng &rng);
 
 /**
  * Batched pre-activation tile: for every chain r in [rowBegin,
@@ -76,6 +92,10 @@ void affineSigmoidBernoulli(const Matrix &w, const BitVector &in,
  */
 void accumulateBatchTile(const Matrix &w, const BitMatrix &in,
                          const Vector &b, Matrix &act,
+                         std::size_t rowBegin, std::size_t rowEnd,
+                         std::size_t colBegin, std::size_t colEnd);
+void accumulateBatchTile(const simd::KernelTable &kt, const Matrix &w,
+                         const BitMatrix &in, const Vector &b, Matrix &act,
                          std::size_t rowBegin, std::size_t rowEnd,
                          std::size_t colBegin, std::size_t colEnd);
 
@@ -96,6 +116,9 @@ void sampleBatchRow(Matrix &act, std::size_t r, BitMatrix &out,
  */
 void sampleBatch(const Matrix &w, const BitMatrix &in, const Vector &b,
                  BitMatrix &out, Matrix &means, util::Rng *rngs);
+void sampleBatch(const simd::KernelTable &kt, const Matrix &w,
+                 const BitMatrix &in, const Vector &b, BitMatrix &out,
+                 Matrix &means, util::Rng *rngs);
 
 /**
  * Pack src transposed: dst row c holds bit r iff src(r, c) != 0, so a
@@ -118,9 +141,15 @@ void packTransposed(const Matrix &src, BitMatrix &dst);
 void outerCountDiff(const BitMatrix &a, const BitMatrix &b,
                     const BitMatrix &c, const BitMatrix &d, Matrix &out,
                     std::size_t rowBegin, std::size_t rowEnd);
+void outerCountDiff(const simd::KernelTable &kt, const BitMatrix &a,
+                    const BitMatrix &b, const BitMatrix &c,
+                    const BitMatrix &d, Matrix &out, std::size_t rowBegin,
+                    std::size_t rowEnd);
 
 /** Set bits per row: counts[r] = popcount(m row r). */
 void rowCounts(const BitMatrix &m, float *counts);
+void rowCounts(const simd::KernelTable &kt, const BitMatrix &m,
+               float *counts);
 
 // --------------------------------------------------------------------
 // Sparse-streamed kernels: the third tier of the hierarchy.  The
@@ -144,6 +173,9 @@ void rowCounts(const BitMatrix &m, float *counts);
 void accumulateActiveRows(const Matrix &w, const std::uint32_t *active,
                           std::size_t count, const Vector &b,
                           Vector &act);
+void accumulateActiveRows(const simd::KernelTable &kt, const Matrix &w,
+                          const std::uint32_t *active, std::size_t count,
+                          const Vector &b, Vector &act);
 
 /**
  * Fused sparse scalar half-sweep: extract the set bits of @p in once,
@@ -152,6 +184,10 @@ void accumulateActiveRows(const Matrix &w, const std::uint32_t *active,
  * and bits).
  */
 void affineSigmoidBernoulliSparse(const Matrix &w, const BitVector &in,
+                                  const Vector &b, BitVector &out,
+                                  Vector &means, util::Rng &rng);
+void affineSigmoidBernoulliSparse(const simd::KernelTable &kt,
+                                  const Matrix &w, const BitVector &in,
                                   const Vector &b, BitVector &out,
                                   Vector &means, util::Rng &rng);
 
@@ -165,6 +201,11 @@ void accumulateActiveTile(const Matrix &w, const SparseBitView &in,
                           const Vector &b, Matrix &act,
                           std::size_t rowBegin, std::size_t rowEnd,
                           std::size_t colBegin, std::size_t colEnd);
+void accumulateActiveTile(const simd::KernelTable &kt, const Matrix &w,
+                          const SparseBitView &in, const Vector &b,
+                          Matrix &act, std::size_t rowBegin,
+                          std::size_t rowEnd, std::size_t colBegin,
+                          std::size_t colEnd);
 
 /**
  * Sparse CD gradient reduce: out(i, j) = |{k : i in vpos[k], j in

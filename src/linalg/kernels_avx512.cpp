@@ -1,0 +1,225 @@
+/**
+ * @file
+ * AVX-512 kernel tier (F + BW + VPOPCNTDQ).
+ *
+ * Compiled with -mavx512f -mavx512bw -mavx512vpopcntdq only when the
+ * compiler supports those flags (CMake defines ISINGRBM_SIMD_AVX512);
+ * the dispatch table hands these entry points out only after the
+ * CPUID probe confirmed the host runs them.  Everything here operates
+ * on raw pointers so no inline header code is instantiated in this
+ * wider-ISA translation unit.
+ *
+ * Bit-identity with the generic tier: the accumulate kernels
+ * vectorize across output lanes only -- per lane the float additions
+ * run in the identical ascending set-bit order, one vector add per
+ * input row, no FMA, no horizontal reductions.  The popcount reduce
+ * is exact integer arithmetic (VPOPCNTDQ), order-independent by
+ * construction.
+ */
+
+#ifdef ISINGRBM_SIMD_AVX512
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <immintrin.h>
+
+#include "linalg/simd_dispatch.hpp"
+
+namespace ising::linalg::simd::detail {
+
+namespace {
+
+void
+addMaskedRowsAvx512(const float *w, std::size_t stride,
+                    const std::uint64_t *words, std::size_t wordBegin,
+                    std::size_t wordEnd, float *acc, std::size_t colLen)
+{
+    if (colLen == 128) {
+        // Full column block: the accumulator lives in eight zmm
+        // registers across the whole set-bit walk, so each input row
+        // costs eight loads + adds and the latency chain rotates
+        // across registers instead of round-tripping memory.
+        __m512 a0 = _mm512_loadu_ps(acc + 0);
+        __m512 a1 = _mm512_loadu_ps(acc + 16);
+        __m512 a2 = _mm512_loadu_ps(acc + 32);
+        __m512 a3 = _mm512_loadu_ps(acc + 48);
+        __m512 a4 = _mm512_loadu_ps(acc + 64);
+        __m512 a5 = _mm512_loadu_ps(acc + 80);
+        __m512 a6 = _mm512_loadu_ps(acc + 96);
+        __m512 a7 = _mm512_loadu_ps(acc + 112);
+        for (std::size_t wi = wordBegin; wi < wordEnd; ++wi) {
+            std::uint64_t word = words[wi];
+            const std::size_t base = wi * 64;
+            while (word) {
+                const std::size_t i =
+                    base +
+                    static_cast<std::size_t>(std::countr_zero(word));
+                word &= word - 1;  // ascending set-bit order
+                const float *row = w + i * stride;
+                a0 = _mm512_add_ps(a0, _mm512_loadu_ps(row + 0));
+                a1 = _mm512_add_ps(a1, _mm512_loadu_ps(row + 16));
+                a2 = _mm512_add_ps(a2, _mm512_loadu_ps(row + 32));
+                a3 = _mm512_add_ps(a3, _mm512_loadu_ps(row + 48));
+                a4 = _mm512_add_ps(a4, _mm512_loadu_ps(row + 64));
+                a5 = _mm512_add_ps(a5, _mm512_loadu_ps(row + 80));
+                a6 = _mm512_add_ps(a6, _mm512_loadu_ps(row + 96));
+                a7 = _mm512_add_ps(a7, _mm512_loadu_ps(row + 112));
+            }
+        }
+        _mm512_storeu_ps(acc + 0, a0);
+        _mm512_storeu_ps(acc + 16, a1);
+        _mm512_storeu_ps(acc + 32, a2);
+        _mm512_storeu_ps(acc + 48, a3);
+        _mm512_storeu_ps(acc + 64, a4);
+        _mm512_storeu_ps(acc + 80, a5);
+        _mm512_storeu_ps(acc + 96, a6);
+        _mm512_storeu_ps(acc + 112, a7);
+        return;
+    }
+    // Ragged tail block: lane-wise vector adds through the (L1-hot)
+    // accumulator plus a masked remainder; per lane still one add per
+    // set input row in ascending order.
+    const __mmask16 tail =
+        static_cast<__mmask16>((1u << (colLen & 15)) - 1);
+    for (std::size_t wi = wordBegin; wi < wordEnd; ++wi) {
+        std::uint64_t word = words[wi];
+        const std::size_t base = wi * 64;
+        while (word) {
+            const std::size_t i =
+                base + static_cast<std::size_t>(std::countr_zero(word));
+            word &= word - 1;
+            const float *row = w + i * stride;
+            std::size_t j = 0;
+            for (; j + 16 <= colLen; j += 16)
+                _mm512_storeu_ps(
+                    acc + j, _mm512_add_ps(_mm512_loadu_ps(acc + j),
+                                           _mm512_loadu_ps(row + j)));
+            if (tail)
+                _mm512_mask_storeu_ps(
+                    acc + j, tail,
+                    _mm512_add_ps(_mm512_maskz_loadu_ps(tail, acc + j),
+                                  _mm512_maskz_loadu_ps(tail, row + j)));
+        }
+    }
+}
+
+void
+addActiveRowsAvx512(const float *w, std::size_t stride,
+                    const std::uint32_t *active, std::size_t count,
+                    float *acc, std::size_t colLen)
+{
+    const __mmask16 tail =
+        static_cast<__mmask16>((1u << (colLen & 15)) - 1);
+    for (std::size_t k = 0; k < count; ++k) {
+        const float *row = w + active[k] * stride;
+        std::size_t j = 0;
+        for (; j + 16 <= colLen; j += 16)
+            _mm512_storeu_ps(acc + j,
+                             _mm512_add_ps(_mm512_loadu_ps(acc + j),
+                                           _mm512_loadu_ps(row + j)));
+        if (tail)
+            _mm512_mask_storeu_ps(
+                acc + j, tail,
+                _mm512_add_ps(_mm512_maskz_loadu_ps(tail, acc + j),
+                              _mm512_maskz_loadu_ps(tail, row + j)));
+    }
+}
+
+void
+outerCountDiffAvx512(const std::uint64_t *a, const std::uint64_t *b,
+                     const std::uint64_t *c, const std::uint64_t *d,
+                     std::size_t words, std::size_t n, float *out,
+                     std::size_t outStride, std::size_t rowBegin,
+                     std::size_t rowEnd)
+{
+    if (words <= 8) {
+        // Batches up to 512 positions: one masked zmm per row, so each
+        // dW entry is two AND+VPOPCNTQ vectors and a horizontal sum.
+        const __mmask8 mk = static_cast<__mmask8>((1u << words) - 1);
+        for (std::size_t i = rowBegin; i < rowEnd; ++i) {
+            const __m512i av = _mm512_maskz_loadu_epi64(mk, a + i * words);
+            const __m512i cv = _mm512_maskz_loadu_epi64(mk, c + i * words);
+            float *orow = out + i * outStride;
+            const std::uint64_t *bj = b;
+            const std::uint64_t *dj = d;
+            for (std::size_t j = 0; j < n; ++j, bj += words, dj += words) {
+                const __m512i pos = _mm512_popcnt_epi64(_mm512_and_si512(
+                    av, _mm512_maskz_loadu_epi64(mk, bj)));
+                const __m512i neg = _mm512_popcnt_epi64(_mm512_and_si512(
+                    cv, _mm512_maskz_loadu_epi64(mk, dj)));
+                orow[j] = static_cast<float>(_mm512_reduce_add_epi64(
+                    _mm512_sub_epi64(pos, neg)));
+            }
+        }
+        return;
+    }
+    // Wider batches: chunk the word axis eight at a time.
+    const std::size_t rem = words & 7;
+    const __mmask8 mk = static_cast<__mmask8>((1u << rem) - 1);
+    for (std::size_t i = rowBegin; i < rowEnd; ++i) {
+        const std::uint64_t *ai = a + i * words;
+        const std::uint64_t *ci = c + i * words;
+        float *orow = out + i * outStride;
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::uint64_t *bj = b + j * words;
+            const std::uint64_t *dj = d + j * words;
+            __m512i accv = _mm512_setzero_si512();
+            std::size_t w = 0;
+            for (; w + 8 <= words; w += 8) {
+                const __m512i pos = _mm512_popcnt_epi64(_mm512_and_si512(
+                    _mm512_loadu_si512(ai + w),
+                    _mm512_loadu_si512(bj + w)));
+                const __m512i neg = _mm512_popcnt_epi64(_mm512_and_si512(
+                    _mm512_loadu_si512(ci + w),
+                    _mm512_loadu_si512(dj + w)));
+                accv = _mm512_add_epi64(accv,
+                                        _mm512_sub_epi64(pos, neg));
+            }
+            if (rem) {
+                const __m512i pos = _mm512_popcnt_epi64(_mm512_and_si512(
+                    _mm512_maskz_loadu_epi64(mk, ai + w),
+                    _mm512_maskz_loadu_epi64(mk, bj + w)));
+                const __m512i neg = _mm512_popcnt_epi64(_mm512_and_si512(
+                    _mm512_maskz_loadu_epi64(mk, ci + w),
+                    _mm512_maskz_loadu_epi64(mk, dj + w)));
+                accv = _mm512_add_epi64(accv,
+                                        _mm512_sub_epi64(pos, neg));
+            }
+            orow[j] = static_cast<float>(_mm512_reduce_add_epi64(accv));
+        }
+    }
+}
+
+std::size_t
+popcountWordsAvx512(const std::uint64_t *words, std::size_t n)
+{
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_loadu_si512(words + i)));
+    const std::size_t rem = n - i;
+    if (rem) {
+        const __mmask8 mk = static_cast<__mmask8>((1u << rem) - 1);
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(
+                     _mm512_maskz_loadu_epi64(mk, words + i)));
+    }
+    return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+} // namespace
+
+// extern: namespace-scope const defaults to internal linkage, but the
+// dispatcher in simd_dispatch.cpp links against this definition.
+extern const KernelTable kAvx512Table;
+const KernelTable kAvx512Table = {
+    IsaTier::Avx512,     "avx512",
+    addMaskedRowsAvx512, addActiveRowsAvx512,
+    outerCountDiffAvx512, popcountWordsAvx512,
+};
+
+} // namespace ising::linalg::simd::detail
+
+#endif // ISINGRBM_SIMD_AVX512

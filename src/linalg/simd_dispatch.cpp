@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Generic reference kernels, CPUID probing and tier selection.
+ *
+ * The generic kernels here are the portable baseline every SIMD tier
+ * must match byte-for-byte; the AVX2/AVX-512 tables live in their own
+ * translation units (kernels_avx2.cpp / kernels_avx512.cpp) compiled
+ * with the matching -m flags and are linked in only when the compiler
+ * supports those flags (ISINGRBM_SIMD_AVX2 / ISINGRBM_SIMD_AVX512).
+ */
+
+#include "linalg/simd_dispatch.hpp"
+
+#include <bit>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define ISINGRBM_X86 1
+#endif
+
+namespace ising::linalg::simd {
+
+namespace {
+
+// ------------------------------------------------------------ generic tier
+
+void
+addMaskedRowsGeneric(const float *w, std::size_t stride,
+                     const std::uint64_t *words, std::size_t wordBegin,
+                     std::size_t wordEnd, float *__restrict acc,
+                     std::size_t colLen)
+{
+    for (std::size_t wi = wordBegin; wi < wordEnd; ++wi) {
+        std::uint64_t word = words[wi];
+        const std::size_t base = wi * 64;
+        while (word) {
+            const std::size_t i =
+                base + static_cast<std::size_t>(std::countr_zero(word));
+            word &= word - 1;  // clear lowest set bit: ascending order
+            const float *__restrict wrow = w + i * stride;
+            if (colLen == 128) {
+                // The hot full-block shape: a fixed trip count lets the
+                // compiler unroll over the whole accumulator.
+                for (std::size_t j = 0; j < 128; ++j)
+                    acc[j] += wrow[j];
+            } else {
+                for (std::size_t j = 0; j < colLen; ++j)
+                    acc[j] += wrow[j];
+            }
+        }
+    }
+}
+
+void
+addActiveRowsGeneric(const float *w, std::size_t stride,
+                     const std::uint32_t *active, std::size_t count,
+                     float *__restrict acc, std::size_t colLen)
+{
+    for (std::size_t k = 0; k < count; ++k) {
+        const float *__restrict wrow = w + active[k] * stride;
+        for (std::size_t j = 0; j < colLen; ++j)
+            acc[j] += wrow[j];
+    }
+}
+
+/** outerCountDiff inner sweep with a compile-time word count. */
+template <std::size_t W>
+void
+outerCountDiffFixed(const std::uint64_t *a, const std::uint64_t *b,
+                    const std::uint64_t *c, const std::uint64_t *d,
+                    std::size_t n, float *out, std::size_t outStride,
+                    std::size_t rowBegin, std::size_t rowEnd)
+{
+    for (std::size_t i = rowBegin; i < rowEnd; ++i) {
+        const std::uint64_t *ai = a + i * W;
+        const std::uint64_t *ci = c + i * W;
+        const std::uint64_t *bj = b;
+        const std::uint64_t *dj = d;
+        float *orow = out + i * outStride;
+        for (std::size_t j = 0; j < n; ++j, bj += W, dj += W) {
+            int count = 0;
+            for (std::size_t w = 0; w < W; ++w)
+                count += std::popcount(ai[w] & bj[w]) -
+                         std::popcount(ci[w] & dj[w]);
+            orow[j] = static_cast<float>(count);
+        }
+    }
+}
+
+void
+outerCountDiffGeneric(const std::uint64_t *a, const std::uint64_t *b,
+                      const std::uint64_t *c, const std::uint64_t *d,
+                      std::size_t words, std::size_t n, float *out,
+                      std::size_t outStride, std::size_t rowBegin,
+                      std::size_t rowEnd)
+{
+    // Common batch sizes resolve to fixed-trip inner loops (batch of
+    // up to 512 positions = 1..8 words).
+    switch (words) {
+    case 1:
+        return outerCountDiffFixed<1>(a, b, c, d, n, out, outStride,
+                                      rowBegin, rowEnd);
+    case 2:
+        return outerCountDiffFixed<2>(a, b, c, d, n, out, outStride,
+                                      rowBegin, rowEnd);
+    case 4:
+        return outerCountDiffFixed<4>(a, b, c, d, n, out, outStride,
+                                      rowBegin, rowEnd);
+    case 8:
+        return outerCountDiffFixed<8>(a, b, c, d, n, out, outStride,
+                                      rowBegin, rowEnd);
+    default:
+        break;
+    }
+    for (std::size_t i = rowBegin; i < rowEnd; ++i) {
+        const std::uint64_t *ai = a + i * words;
+        const std::uint64_t *ci = c + i * words;
+        float *orow = out + i * outStride;
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::uint64_t *bj = b + j * words;
+            const std::uint64_t *dj = d + j * words;
+            int count = 0;
+            for (std::size_t w = 0; w < words; ++w)
+                count += std::popcount(ai[w] & bj[w]) -
+                         std::popcount(ci[w] & dj[w]);
+            orow[j] = static_cast<float>(count);
+        }
+    }
+}
+
+std::size_t
+popcountWordsGeneric(const std::uint64_t *words, std::size_t n)
+{
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<std::size_t>(std::popcount(words[i]));
+    return acc;
+}
+
+const KernelTable kGenericTable = {
+    IsaTier::Generic,     "generic",
+    addMaskedRowsGeneric, addActiveRowsGeneric,
+    outerCountDiffGeneric, popcountWordsGeneric,
+};
+
+// ------------------------------------------------------------- CPUID probe
+
+struct CpuFeatures
+{
+    bool avx2 = false;
+    bool avx512 = false;  ///< F + BW + VPOPCNTDQ + OS zmm state
+};
+
+CpuFeatures
+probeCpu()
+{
+#ifdef ISINGRBM_X86
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        return {};
+    const bool osxsave = (ecx & (1u << 27)) != 0;
+    const bool avx = (ecx & (1u << 28)) != 0;
+    if (!osxsave || !avx)
+        return {};
+    // XCR0: the OS must save the state the wider registers live in, or
+    // executing the instructions faults regardless of CPUID bits.
+    unsigned lo = 0, hi = 0;
+    __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+    const std::uint64_t xcr0 =
+        (static_cast<std::uint64_t>(hi) << 32) | lo;
+    if ((xcr0 & 0x6) != 0x6)  // XMM + YMM state
+        return {};
+    if (__get_cpuid_max(0, nullptr) < 7)
+        return {};
+    __cpuid_count(7, 0, eax, ebx, ecx, edx);
+    CpuFeatures f;
+    f.avx2 = (ebx & (1u << 5)) != 0;
+    const bool zmmState = (xcr0 & 0xE6) == 0xE6;  // + opmask/zmm state
+    f.avx512 = zmmState && (ebx & (1u << 16)) != 0 &&  // AVX512F
+               (ebx & (1u << 30)) != 0 &&              // AVX512BW
+               (ecx & (1u << 14)) != 0;                // VPOPCNTDQ
+    return f;
+#else
+    return {};
+#endif
+}
+
+const CpuFeatures &
+cpu()
+{
+    static const CpuFeatures features = probeCpu();
+    return features;
+}
+
+} // namespace
+
+#ifdef ISINGRBM_SIMD_AVX2
+namespace detail { extern const KernelTable kAvx2Table; }
+#endif
+#ifdef ISINGRBM_SIMD_AVX512
+namespace detail { extern const KernelTable kAvx512Table; }
+#endif
+
+const char *
+tierName(IsaTier tier)
+{
+    switch (tier) {
+    case IsaTier::Auto: return "auto";
+    case IsaTier::Scalar: return "scalar";
+    case IsaTier::Generic: return "generic";
+    case IsaTier::Avx2: return "avx2";
+    case IsaTier::Avx512: return "avx512";
+    }
+    return "unknown";
+}
+
+bool
+tierFromName(const std::string &name, IsaTier &out)
+{
+    for (const IsaTier tier :
+         {IsaTier::Auto, IsaTier::Scalar, IsaTier::Generic, IsaTier::Avx2,
+          IsaTier::Avx512}) {
+        if (name == tierName(tier)) {
+            out = tier;
+            return true;
+        }
+    }
+    return false;
+}
+
+const KernelTable *
+table(IsaTier tier)
+{
+    switch (tier) {
+    case IsaTier::Generic:
+        return &kGenericTable;
+    case IsaTier::Avx2:
+#ifdef ISINGRBM_SIMD_AVX2
+        return cpu().avx2 ? &detail::kAvx2Table : nullptr;
+#else
+        return nullptr;
+#endif
+    case IsaTier::Avx512:
+#ifdef ISINGRBM_SIMD_AVX512
+        return cpu().avx512 ? &detail::kAvx512Table : nullptr;
+#else
+        return nullptr;
+#endif
+    default:
+        return nullptr;  // Auto and Scalar name no table
+    }
+}
+
+IsaTier
+detectedTier()
+{
+    if (table(IsaTier::Avx512))
+        return IsaTier::Avx512;
+    if (table(IsaTier::Avx2))
+        return IsaTier::Avx2;
+    return IsaTier::Generic;
+}
+
+IsaTier
+envTier()
+{
+    const char *env = std::getenv("ISINGRBM_ISA");
+    if (!env || !*env)
+        return IsaTier::Auto;
+    IsaTier tier = IsaTier::Auto;
+    if (!tierFromName(env, tier)) {
+        static bool warnedUnknown = false;
+        if (!warnedUnknown) {
+            warnedUnknown = true;
+            util::warn(util::strcat("isingrbm: ISINGRBM_ISA='", env,
+                                    "' is not a known tier "
+                                    "(auto|scalar|generic|avx2|avx512); "
+                                    "using auto-detection"));
+        }
+        return IsaTier::Auto;
+    }
+    if (tier == IsaTier::Auto || tier == IsaTier::Scalar)
+        return tier;
+    if (!table(tier)) {
+        static bool warnedUnavailable = false;
+        if (!warnedUnavailable) {
+            warnedUnavailable = true;
+            util::warn(util::strcat("isingrbm: ISINGRBM_ISA='", env,
+                                    "' is not available on this "
+                                    "host/build; using auto-detection"));
+        }
+        return IsaTier::Auto;
+    }
+    return tier;
+}
+
+IsaTier
+defaultTier()
+{
+    const IsaTier tier = envTier();
+    return tier == IsaTier::Auto ? detectedTier() : tier;
+}
+
+const KernelTable &
+activeTable()
+{
+    const KernelTable *kt = table(defaultTier());
+    return kt ? *kt : kGenericTable;  // Scalar env: generic kernels here
+}
+
+} // namespace ising::linalg::simd

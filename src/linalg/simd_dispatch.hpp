@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Runtime ISA dispatch for the packed Gibbs hot kernels.
+ *
+ * The library ships one portable binary: the generic kernels compile
+ * at the baseline ISA, explicit AVX2 and AVX-512 variants compile in
+ * their own translation units behind -mavx2 / -mavx512f -mavx512bw
+ * -mavx512vpopcntdq, and a CPUID probe picks the highest tier the
+ * host can actually run the first time a kernel is needed.  This is
+ * the PR 5 dense/sparse dispatcher pattern one tier down: the
+ * function-pointer table moves time, never results.
+ *
+ * Bit-reproducibility bounds what the SIMD variants may do (see
+ * linalg/bitops.hpp for the full contract): per output lane the float
+ * additions must run in ascending input-unit order, so the accumulate
+ * kernels vectorize *across* output lanes only -- each lane performs
+ * the exact scalar addition sequence -- and never use FMA, horizontal
+ * adds or any cross-input reassociation.  The AND-popcount gradient
+ * reduce is exact integer arithmetic, order-independent by
+ * construction, so it vectorizes freely (VPOPCNTDQ on AVX-512).  The
+ * sigmoid + Bernoulli latch consumes one RNG draw per unit in
+ * ascending order and therefore stays scalar common code outside this
+ * table.  Every tier is byte-identical to the generic reference.
+ *
+ * Tier selection precedence (lowest to highest): CPUID probe <
+ * ISINGRBM_ISA env < SamplingOptions::isa < CLI --isa (the flag
+ * writes the options field).  "scalar" is not a kernel table: it
+ * routes the callers (SoftwareGibbsBackend, CdTrainer) onto the float
+ * pipeline and is never auto-selected.
+ */
+
+#ifndef ISINGRBM_LINALG_SIMD_DISPATCH_HPP
+#define ISINGRBM_LINALG_SIMD_DISPATCH_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ising::linalg::simd {
+
+/**
+ * Kernel ISA tiers, in dispatch-preference order.  Auto defers to the
+ * env override / CPUID probe; Scalar forces the float pipeline (no
+ * packed kernels at all); the rest name concrete kernel tables.
+ */
+enum class IsaTier { Auto = 0, Scalar, Generic, Avx2, Avx512 };
+
+/** Number of IsaTier values (bounds per-tier caches). */
+constexpr int kNumIsaTiers = 5;
+
+/** Lower-case tag: auto|scalar|generic|avx2|avx512. */
+const char *tierName(IsaTier tier);
+
+/** Parse a tier tag; false (and @p out untouched) on unknown names. */
+bool tierFromName(const std::string &name, IsaTier &out);
+
+/**
+ * One tier's kernel entry points.  All kernels take raw pointers and
+ * strides so the per-ISA translation units never instantiate inline
+ * header code (whose comdat copies could otherwise leak wider ISA
+ * instructions into portable functions at link time).
+ */
+struct KernelTable
+{
+    IsaTier tier;
+    const char *name;
+
+    /**
+     * acc[0..colLen) += the w rows of the set bits in words
+     * [wordBegin, wordEnd), ascending.  Row i of w starts at
+     * w + i * stride (callers pre-offset w by the column base).  The
+     * additions per lane run in ascending set-bit order -- the
+     * reproducibility-contract sequence.
+     */
+    void (*addMaskedRows)(const float *w, std::size_t stride,
+                          const std::uint64_t *words,
+                          std::size_t wordBegin, std::size_t wordEnd,
+                          float *acc, std::size_t colLen);
+
+    /**
+     * acc[0..colLen) += the w rows listed in active[0..count)
+     * (ascending input-unit indices; callers seed acc with the bias).
+     */
+    void (*addActiveRows)(const float *w, std::size_t stride,
+                          const std::uint32_t *active, std::size_t count,
+                          float *acc, std::size_t colLen);
+
+    /**
+     * out(i, j) = popcount(a_i & b_j) - popcount(c_i & d_j) for rows
+     * i in [rowBegin, rowEnd), j in [0, n); every row of a/b/c/d is
+     * @p words consecutive uint64s, row i of out starts at
+     * out + i * outStride.  Exact integer counts, any summation order.
+     */
+    void (*outerCountDiff)(const std::uint64_t *a, const std::uint64_t *b,
+                           const std::uint64_t *c, const std::uint64_t *d,
+                           std::size_t words, std::size_t n, float *out,
+                           std::size_t outStride, std::size_t rowBegin,
+                           std::size_t rowEnd);
+
+    /** Total set bits over n words. */
+    std::size_t (*popcountWords)(const std::uint64_t *words,
+                                 std::size_t n);
+};
+
+/**
+ * The kernel table for a concrete SIMD tier, or nullptr when that
+ * tier was compiled out of this binary or this CPU cannot run it.
+ * Generic never returns nullptr; Auto and Scalar always do (neither
+ * names a table).  Tests compare tiers kernel-by-kernel through this.
+ */
+const KernelTable *table(IsaTier tier);
+
+/** Highest tier this binary + CPU can run (CPUID probe; >= Generic). */
+IsaTier detectedTier();
+
+/**
+ * The ISINGRBM_ISA env override: Auto when unset, empty, unknown or
+ * naming a tier this host cannot run (the latter two warn once).
+ * Re-read per call so tests can manipulate the environment.
+ */
+IsaTier envTier();
+
+/** envTier() when set, else detectedTier().  May be Scalar via env. */
+IsaTier defaultTier();
+
+/**
+ * The table process-wide default callers dispatch through: the table
+ * of defaultTier(), with Scalar mapped to Generic (packed kernels
+ * have no scalar shape; the float pipeline is the callers' concern).
+ */
+const KernelTable &activeTable();
+
+} // namespace ising::linalg::simd
+
+#endif // ISINGRBM_LINALG_SIMD_DISPATCH_HPP

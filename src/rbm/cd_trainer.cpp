@@ -182,7 +182,11 @@ CdTrainer::trainBatch(const data::Dataset &train,
     const std::size_t nnzHp = linalg::countNonZero(hstat_, &hstatB);
     const std::size_t nnzHn = linalg::countNonZero(hnegs_, &hnegB);
     const bool binaryV = vposB && vnegB;
-    if (binaryV && hstatB && hnegB) {
+    // The reduce runs the same resolved kernel tier as the sweeps;
+    // null (Scalar) forces the float fallback branch, exercising the
+    // exact pipeline the packed tiers must match byte-for-byte.
+    const linalg::simd::KernelTable *kt = backend.kernelTable();
+    if (kt && binaryV && hstatB && hnegB) {
         // All states binary (the default): every dW entry is a count
         // of batch positions where both units fired.  Two exact
         // integer reduces exist: sparse batches scatter +/-1 over
@@ -244,16 +248,16 @@ CdTrainer::trainBatch(const data::Dataset &train,
             linalg::packTransposed(hnegs_, hnegT_);
             exec::parallelForChunks(pool, m, [&](std::size_t rowBegin,
                                                  std::size_t rowEnd) {
-                linalg::outerCountDiff(posT_, hposT_, negT_, hnegT_, dw_,
-                                       rowBegin, rowEnd);
+                linalg::outerCountDiff(*kt, posT_, hposT_, negT_, hnegT_,
+                                       dw_, rowBegin, rowEnd);
             });
             linalg::Vector tmp(std::max(m, n));
-            linalg::rowCounts(posT_, dbv_.data());
-            linalg::rowCounts(negT_, tmp.data());
+            linalg::rowCounts(*kt, posT_, dbv_.data());
+            linalg::rowCounts(*kt, negT_, tmp.data());
             for (std::size_t i = 0; i < m; ++i)
                 dbv_[i] -= tmp[i];
-            linalg::rowCounts(hposT_, dbh_.data());
-            linalg::rowCounts(hnegT_, tmp.data());
+            linalg::rowCounts(*kt, hposT_, dbh_.data());
+            linalg::rowCounts(*kt, hnegT_, tmp.data());
             for (std::size_t j = 0; j < n; ++j)
                 dbh_[j] -= tmp[j];
         }
@@ -261,7 +265,7 @@ CdTrainer::trainBatch(const data::Dataset &train,
         dw_.fill(0.0f);
         dbv_.fill(0.0f);
         dbh_.fill(0.0f);
-        if (binaryV) {
+        if (kt && binaryV) {
             // Binary visible, float hidden statistics (means): dW =
             // Vpos^T Hstat - Vneg^T Hneg as two masked batched
             // accumulations over the *transposed* visible bits -- the
@@ -274,10 +278,11 @@ CdTrainer::trainBatch(const data::Dataset &train,
             dwNeg_.reset(m, n);
             exec::parallelForChunks(pool, m, [&](std::size_t rowBegin,
                                                  std::size_t rowEnd) {
-                linalg::accumulateBatchTile(hstat_, posT, zero, dw_,
+                linalg::accumulateBatchTile(*kt, hstat_, posT, zero, dw_,
                                             rowBegin, rowEnd, 0, n);
-                linalg::accumulateBatchTile(hnegs_, negT, zero, dwNeg_,
-                                            rowBegin, rowEnd, 0, n);
+                linalg::accumulateBatchTile(*kt, hnegs_, negT, zero,
+                                            dwNeg_, rowBegin, rowEnd, 0,
+                                            n);
                 for (std::size_t i = rowBegin; i < rowEnd; ++i) {
                     float *drow = dw_.row(i);
                     const float *nrow = dwNeg_.row(i);

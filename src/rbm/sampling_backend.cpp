@@ -6,11 +6,15 @@
 #include "rbm/sampling_backend.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <cstdlib>
+#include <mutex>
 
 #include "exec/parallel_for.hpp"
 #include "linalg/bitops.hpp"
 #include "linalg/ops.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace ising::rbm {
@@ -35,7 +39,7 @@ namespace {
  * streamed path even on a noisy host.
  */
 double
-measureSparseCrossover()
+measureSparseCrossover(const linalg::simd::KernelTable &kt)
 {
     constexpr std::size_t p = 1024, q = 512, batch = 32;
     constexpr int kernelReps = 4;
@@ -66,11 +70,13 @@ measureSparseCrossover()
             for (std::size_t i = 0; i < p; ++i)
                 in.set(r, i, rng.bernoulli(level));
         const double dense = timeBest([&] {
-            linalg::accumulateBatchTile(w, in, b, act, 0, batch, 0, q);
+            linalg::accumulateBatchTile(kt, w, in, b, act, 0, batch, 0,
+                                        q);
         });
         const double sparse = timeBest([&] {
             view.build(in);
-            linalg::accumulateActiveTile(w, view, b, act, 0, batch, 0, q);
+            linalg::accumulateActiveTile(kt, w, view, b, act, 0, batch, 0,
+                                         q);
         });
         if (sparse <= dense) {
             crossover = level;
@@ -81,21 +87,91 @@ measureSparseCrossover()
 }
 
 double
-calibratedSparseThreshold()
+calibratedSparseThreshold(const linalg::simd::KernelTable &kt)
 {
-    // Magic static: the probe runs once per process, at the first
-    // backend construction that needs the default.
-    static const double value = measureSparseCrossover();
-    return value;
+    // One probe per kernel tier, at the first backend construction
+    // that needs that tier's default: the crossover moves with the
+    // dense kernels' speed, so a faster tier gets a lower threshold.
+    static std::mutex mutex;
+    static std::array<double, linalg::simd::kNumIsaTiers> cache;
+    static std::array<bool, linalg::simd::kNumIsaTiers> probed;
+    const std::size_t slot = static_cast<std::size_t>(kt.tier);
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!probed[slot]) {
+        cache[slot] = measureSparseCrossover(kt);
+        probed[slot] = true;
+    }
+    return cache[slot];
+}
+
+/**
+ * ISINGRBM_SPARSE_THRESHOLD pin, re-read per call: a parseable value
+ * in [0, 1] replaces the micro-probe (but not an explicit option /
+ * --sparse-threshold flag).  Pinning makes runs reproducible in
+ * *timing decisions* across hosts -- results never depend on the
+ * threshold -- which is what the CI canaries and the bench harness
+ * want.
+ */
+bool
+envSparseThreshold(double &out)
+{
+    const char *env = std::getenv("ISINGRBM_SPARSE_THRESHOLD");
+    if (!env || !*env)
+        return false;
+    char *end = nullptr;
+    const double value = std::strtod(env, &end);
+    if (end == env || *end != '\0' || value < 0.0 || value > 1.0) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            util::warn(util::strcat(
+                "isingrbm: ISINGRBM_SPARSE_THRESHOLD='", env,
+                "' is not a number in [0, 1]; using the calibrated "
+                "default"));
+        }
+        return false;
+    }
+    out = value;
+    return true;
 }
 
 } // namespace
 
+linalg::simd::IsaTier
+resolveIsaTier(const SamplingOptions &opts)
+{
+    using linalg::simd::IsaTier;
+    const IsaTier requested = opts.isa;
+    if (requested == IsaTier::Scalar)
+        return requested;
+    if (requested != IsaTier::Auto) {
+        if (linalg::simd::table(requested))
+            return requested;
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            util::warn(util::strcat(
+                "isingrbm: requested kernel tier '",
+                linalg::simd::tierName(requested),
+                "' is not available on this host/build; using "
+                "auto-detection"));
+        }
+    }
+    return linalg::simd::defaultTier();
+}
+
 double
 resolveSparseThreshold(const SamplingOptions &opts)
 {
-    return opts.sparseThreshold >= 0.0 ? opts.sparseThreshold
-                                       : calibratedSparseThreshold();
+    if (opts.sparseThreshold >= 0.0)
+        return opts.sparseThreshold;
+    double pinned = 0.0;
+    if (envSparseThreshold(pinned))
+        return pinned;
+    const linalg::simd::IsaTier tier = resolveIsaTier(opts);
+    if (tier == linalg::simd::IsaTier::Scalar)
+        return 0.0;  // float pipeline: the packed dispatch never runs
+    return calibratedSparseThreshold(*linalg::simd::table(tier));
 }
 
 namespace {
@@ -199,7 +275,9 @@ SoftwareGibbsBackend::SoftwareGibbsBackend(const Rbm &model,
                                            exec::ThreadPool *pool,
                                            SamplingOptions options)
     : model_(&model), pool_(pool),
-      threshold_(resolveSparseThreshold(options))
+      threshold_(resolveSparseThreshold(options)),
+      isa_(resolveIsaTier(options)),
+      kt_(linalg::simd::table(isa_))  // null iff Scalar
 {
     linalg::transposeInto(model.weights(), wT_);
 }
@@ -240,7 +318,10 @@ SoftwareGibbsBackend::anneal(int steps, linalg::Vector &v,
     if (steps <= 0)
         return;
     assert(h.size() == numHidden());
-    if (!linalg::isBinary01(h.data(), h.size())) {
+    if (!kt_ || !linalg::isBinary01(h.data(), h.size())) {
+        // Scalar tier or non-binary state: the float pipeline --
+        // bit-identical to the packed walk below by the bitops
+        // contract, just slower.
         SamplingBackend::anneal(steps, v, h, pv, ph, rng);
         return;
     }
@@ -256,10 +337,11 @@ SoftwareGibbsBackend::anneal(int steps, linalg::Vector &v,
                                linalg::Vector &means) {
         if (static_cast<double>(in.countOnes()) <=
             threshold_ * static_cast<double>(in.size()))
-            linalg::affineSigmoidBernoulliSparse(w, in, b, out, means,
-                                                 rng);
+            linalg::affineSigmoidBernoulliSparse(*kt_, w, in, b, out,
+                                                 means, rng);
         else
-            linalg::affineSigmoidBernoulli(w, in, b, out, means, rng);
+            linalg::affineSigmoidBernoulli(*kt_, w, in, b, out, means,
+                                           rng);
     };
     linalg::BitVector hb, vb;
     hb.packFrom(h.data(), h.size());
@@ -294,15 +376,15 @@ SoftwareGibbsBackend::packedLayerBatch(const linalg::Matrix &w,
     if (batch >= pool.numWorkers()) {
         exec::parallelForChunks(pool, batch, [&](std::size_t rowBegin,
                                                  std::size_t rowEnd) {
-            linalg::accumulateBatchTile(w, in, b, means, rowBegin, rowEnd,
-                                        0, q);
+            linalg::accumulateBatchTile(*kt_, w, in, b, means, rowBegin,
+                                        rowEnd, 0, q);
             for (std::size_t r = rowBegin; r < rowEnd; ++r)
                 linalg::sampleBatchRow(means, r, out, rngs[r]);
         });
     } else {
         exec::parallelForChunks(pool, q, [&](std::size_t colBegin,
                                              std::size_t colEnd) {
-            linalg::accumulateBatchTile(w, in, b, means, 0, batch,
+            linalg::accumulateBatchTile(*kt_, w, in, b, means, 0, batch,
                                         colBegin, colEnd);
         });
         exec::parallelFor(pool, batch, [&](std::size_t r) {
@@ -328,7 +410,7 @@ SoftwareGibbsBackend::sparseLayerBatch(const linalg::Matrix &w,
     if (batch >= pool.numWorkers()) {
         exec::parallelForChunks(pool, batch, [&](std::size_t rowBegin,
                                                  std::size_t rowEnd) {
-            linalg::accumulateActiveTile(w, in, b, means, rowBegin,
+            linalg::accumulateActiveTile(*kt_, w, in, b, means, rowBegin,
                                          rowEnd, 0, q);
             for (std::size_t r = rowBegin; r < rowEnd; ++r)
                 linalg::sampleBatchRow(means, r, out, rngs[r]);
@@ -336,7 +418,7 @@ SoftwareGibbsBackend::sparseLayerBatch(const linalg::Matrix &w,
     } else {
         exec::parallelForChunks(pool, q, [&](std::size_t colBegin,
                                              std::size_t colEnd) {
-            linalg::accumulateActiveTile(w, in, b, means, 0, batch,
+            linalg::accumulateActiveTile(*kt_, w, in, b, means, 0, batch,
                                          colBegin, colEnd);
         });
         exec::parallelFor(pool, batch, [&](std::size_t r) {
@@ -359,7 +441,7 @@ SoftwareGibbsBackend::layerBatch(const linalg::Matrix &w,
     // moves time.
     const std::size_t totalBits = in.rows() * in.cols();
     if (totalBits == 0 ||
-        static_cast<double>(linalg::countOnes(in)) <=
+        static_cast<double>(linalg::countOnes(*kt_, in)) <=
             threshold_ * static_cast<double>(totalBits)) {
         view.build(in);
         sparseLayerBatch(w, b, view, out, means, rngs);
@@ -381,7 +463,7 @@ SoftwareGibbsBackend::sampleHiddenBatch(const linalg::Matrix &v,
     // float rows, skipping the packing pass the dense path needs.
     bool binary = false;
     const std::size_t nnz = linalg::countNonZero(v, &binary);
-    if (!binary) {
+    if (!kt_ || !binary) {
         SamplingBackend::sampleHiddenBatch(v, h, ph, rngs);
         return;
     }
@@ -414,7 +496,7 @@ SoftwareGibbsBackend::sampleVisibleBatch(const linalg::Matrix &h,
     assert(h.cols() == n);
     bool binary = false;
     const std::size_t nnz = linalg::countNonZero(h, &binary);
-    if (!binary) {
+    if (!kt_ || !binary) {
         SamplingBackend::sampleVisibleBatch(h, v, pv, rngs);
         return;
     }
@@ -445,7 +527,7 @@ SoftwareGibbsBackend::annealBatch(int steps, linalg::Matrix &v,
         return;
     const std::size_t batch = h.rows(), m = numVisible(), n = numHidden();
     assert(h.cols() == n);
-    if (!linalg::isBinary01(h)) {
+    if (!kt_ || !linalg::isBinary01(h)) {
         SamplingBackend::annealBatch(steps, v, h, pv, ph, rngs);
         return;
     }

@@ -30,6 +30,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "linalg/bits.hpp"
+#include "linalg/simd_dispatch.hpp"
 #include "rbm/rbm.hpp"
 
 namespace ising::rbm {
@@ -51,17 +52,39 @@ struct SamplingOptions
     /**
      * Batch activity (set bits / total bits) at or below which the
      * sparse-streamed kernels run.  Negative selects the calibrated
-     * default; 0 effectively disables the sparse path (only exactly
-     * empty batches qualify); 1 forces it for every binary batch.
+     * default (overridable by ISINGRBM_SPARSE_THRESHOLD); 0 effectively
+     * disables the sparse path (only exactly empty batches qualify); 1
+     * forces it for every binary batch.
      */
     double sparseThreshold = -1.0;
+
+    /**
+     * SIMD kernel tier for the packed hot path.  Auto defers to the
+     * ISINGRBM_ISA environment variable and then the CPUID probe
+     * (precedence: env < this field < the CLI --isa flag, which writes
+     * this field); Scalar forces the float pipeline (no packed
+     * kernels at all); Generic/Avx2/Avx512 pin a kernel table.  Every
+     * tier is bit-identical, so this knob moves time, never results.
+     */
+    linalg::simd::IsaTier isa = linalg::simd::IsaTier::Auto;
 };
 
 /**
+ * The kernel tier @p opts resolves to: the field when it names a tier
+ * this build/host can run (warns and falls back otherwise), else the
+ * simd::defaultTier() chain (ISINGRBM_ISA env, then CPUID).  Never
+ * returns Auto.
+ */
+linalg::simd::IsaTier resolveIsaTier(const SamplingOptions &opts);
+
+/**
  * The activity threshold @p opts resolves to: the override when
- * non-negative, else the process-wide micro-probe calibration (run
- * once, cached).  Shared by the backend dispatcher and CdTrainer's
- * gradient-reduce dispatch so both switch tiers at the same point.
+ * non-negative, else the ISINGRBM_SPARSE_THRESHOLD environment pin,
+ * else the micro-probe calibration for the resolved kernel tier (run
+ * once per tier, cached; the crossover moves with the dense kernels'
+ * speed, so each tier gets its own probe).  Shared by the backend
+ * dispatcher and CdTrainer's gradient-reduce dispatch so both switch
+ * tiers at the same point.
  */
 double resolveSparseThreshold(const SamplingOptions &opts);
 
@@ -191,6 +214,16 @@ class SoftwareGibbsBackend final : public SamplingBackend
     /** The resolved dense/sparse crossover activity this backend uses. */
     double sparseThreshold() const { return threshold_; }
 
+    /** The resolved kernel tier (never Auto). */
+    linalg::simd::IsaTier isaTier() const { return isa_; }
+
+    /**
+     * The kernel table the packed paths run, or nullptr when the
+     * resolved tier is Scalar (every batched call then takes the
+     * float fallback route through the base class).
+     */
+    const linalg::simd::KernelTable *kernelTable() const { return kt_; }
+
     void sampleHidden(const linalg::Vector &v, linalg::Vector &h,
                       linalg::Vector &ph, util::Rng &rng) const override;
     void sampleVisible(const linalg::Vector &h, linalg::Vector &v,
@@ -250,6 +283,8 @@ class SoftwareGibbsBackend final : public SamplingBackend
     linalg::Matrix wT_;  ///< cached transpose for the visible sweep
     exec::ThreadPool *pool_;
     double threshold_;   ///< resolved sparse crossover activity
+    linalg::simd::IsaTier isa_;            ///< resolved tier (never Auto)
+    const linalg::simd::KernelTable *kt_;  ///< null iff isa_ == Scalar
 };
 
 } // namespace ising::rbm

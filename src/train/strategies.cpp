@@ -103,6 +103,7 @@ class CdEngine : public RbmEngine
         cfg.numParticles = options.cdParticles;
         cfg.pool = options.pool;
         cfg.sampling.sparseThreshold = options.sparseThreshold;
+        cfg.sampling.isa = options.isa;
         return cfg;
     }
 

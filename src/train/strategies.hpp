@@ -21,6 +21,7 @@
 #include "data/ratings.hpp"
 #include "exec/thread_pool.hpp"
 #include "ising/noise.hpp"
+#include "linalg/simd_dispatch.hpp"
 #include "train/session.hpp"
 
 namespace ising::train {
@@ -39,6 +40,11 @@ struct TrainOptions
      * (negative = the calibrated default; see rbm::SamplingOptions).
      */
     double sparseThreshold = -1.0;
+    /**
+     * SIMD kernel tier forwarded to CdConfig::sampling (Auto = the
+     * ISINGRBM_ISA env, then CPUID; see rbm::SamplingOptions::isa).
+     */
+    linalg::simd::IsaTier isa = linalg::simd::IsaTier::Auto;
 
     // Substrate trainers (GS/BGF and cf_rbm hardware mode).
     machine::NoiseSpec noise;     ///< analog (variation, noise) RMS

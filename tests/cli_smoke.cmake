@@ -103,6 +103,39 @@ if(NOT dense_bits STREQUAL sparse_bits)
                       "contract broken)")
 endif()
 
+# SIMD-tier determinism canary: the same train + sample run with the
+# kernel tier forced to generic and with auto dispatch (AVX2/AVX-512
+# where the host has it) must be byte-identical end to end -- the
+# tiers move time, never results.  The scalar float pipeline rides the
+# same contract, so a third sampling leg pins --isa scalar against the
+# auto-dispatched model.
+run_step(${CLI} train --registry ${WORK} --name smoke-isa-auto
+         --samples 120 --hidden 12 --epochs 1 --k 1 --isa auto)
+run_step(${CLI} train --registry ${WORK} --name smoke-isa-generic
+         --samples 120 --hidden 12 --epochs 1 --k 1 --isa generic)
+run_step(${CLI} sample --registry ${WORK} --model smoke-isa-auto
+         --count 2 --burnin 5 --seed 99 --isa auto
+         --out ${WORK}/samples-isa-auto.txt)
+run_step(${CLI} sample --registry ${WORK} --model smoke-isa-generic
+         --count 2 --burnin 5 --seed 99 --isa generic
+         --out ${WORK}/samples-isa-generic.txt)
+run_step(${CLI} sample --registry ${WORK} --model smoke-isa-auto
+         --count 2 --burnin 5 --seed 99 --isa scalar
+         --out ${WORK}/samples-isa-scalar.txt)
+file(READ ${WORK}/samples-isa-auto.txt isa_auto_bits)
+file(READ ${WORK}/samples-isa-generic.txt isa_generic_bits)
+file(READ ${WORK}/samples-isa-scalar.txt isa_scalar_bits)
+if(NOT isa_auto_bits STREQUAL isa_generic_bits)
+  message(FATAL_ERROR "cli_smoke: forced-generic train+sample differs "
+                      "from auto-dispatched SIMD tier (bit-identity "
+                      "contract broken)")
+endif()
+if(NOT isa_auto_bits STREQUAL isa_scalar_bits)
+  message(FATAL_ERROR "cli_smoke: scalar float pipeline differs from "
+                      "the packed SIMD tiers (bit-identity contract "
+                      "broken)")
+endif()
+
 # --early-stop plumbing: the flag trains with a monitor attached and
 # must at minimum complete and checkpoint (whether it triggers depends
 # on the gap trajectory).

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * SIMD kernel tiers: byte-identity of every explicit tier against the
+ * generic reference kernels, and the CPUID/env/options dispatch rules.
+ *
+ *  - each compiled-in tier the host can run (AVX2, AVX-512) reproduces
+ *    the generic kernel bit for bit, kernel by kernel, on ragged
+ *    shapes (column widths 1..129 crossing the 128-wide accumulator
+ *    block and the 8/16-lane vector tails, word counts 1..9 crossing
+ *    the fixed-trip and masked-remainder reduce paths);
+ *  - the dispatcher's table() / detectedTier() / envTier() /
+ *    defaultTier() invariants hold, including the ISINGRBM_ISA env
+ *    override and its precedence below SamplingOptions::isa;
+ *  - the ISINGRBM_SPARSE_THRESHOLD env pin sits between an explicit
+ *    option and the per-tier probe, and rejects out-of-range values;
+ *  - SoftwareGibbsBackend chains and CdTrainer weights are
+ *    byte-identical across every tier (including the Scalar float
+ *    route) at worker counts 1 and 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "linalg/bitops.hpp"
+#include "rbm/cd_trainer.hpp"
+#include "rbm/sampling_backend.hpp"
+
+using namespace ising;
+using util::Rng;
+namespace simd = linalg::simd;
+
+namespace {
+
+/** Ragged-by-default model with strong structure. */
+rbm::Rbm
+testModel(std::size_t m, std::size_t n, std::uint64_t seed = 3)
+{
+    Rng rng(seed);
+    rbm::Rbm model(m, n);
+    model.initRandom(rng, 0.6f);
+    return model;
+}
+
+/** Binary batch at a target activity level. */
+linalg::Matrix
+activityBatch(std::size_t rows, std::size_t cols, double activity,
+              Rng &rng)
+{
+    linalg::Matrix out(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            out(r, c) = rng.bernoulli(activity) ? 1.0f : 0.0f;
+    return out;
+}
+
+linalg::BitMatrix
+packRows(const linalg::Matrix &m)
+{
+    linalg::BitMatrix out(m.rows(), m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        out.packRowFrom(r, m.row(r));
+    return out;
+}
+
+std::vector<Rng>
+streams(std::size_t rows, std::uint64_t seed)
+{
+    std::vector<Rng> rngs;
+    for (std::size_t r = 0; r < rows; ++r)
+        rngs.push_back(Rng::stream(seed, r));
+    return rngs;
+}
+
+/** The SIMD tiers this host/build can actually run (never Generic). */
+std::vector<const simd::KernelTable *>
+simdTiers()
+{
+    std::vector<const simd::KernelTable *> tiers;
+    for (const simd::IsaTier tier :
+         {simd::IsaTier::Avx2, simd::IsaTier::Avx512})
+        if (const simd::KernelTable *kt = simd::table(tier))
+            tiers.push_back(kt);
+    return tiers;
+}
+
+/** Every backend-selectable tier: Scalar, Generic, plus the SIMD
+ *  tiers available here.  Scalar routes through the float kernels --
+ *  the reproducibility contract says those match too. */
+std::vector<simd::IsaTier>
+backendTiers()
+{
+    std::vector<simd::IsaTier> tiers = {simd::IsaTier::Scalar,
+                                        simd::IsaTier::Generic};
+    for (const simd::KernelTable *kt : simdTiers())
+        tiers.push_back(kt->tier);
+    return tiers;
+}
+
+/** Save/restore one environment variable around a test body. */
+class EnvGuard
+{
+  public:
+    explicit EnvGuard(const char *name) : name_(name)
+    {
+        const char *cur = std::getenv(name);
+        had_ = cur != nullptr;
+        if (had_)
+            saved_ = cur;
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_, saved_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_;
+    std::string saved_;
+};
+
+/** Column widths crossing every vector-tail case: sub-lane, one ymm
+ *  lane, one zmm lane, odd tails on both, and the 128-wide fixed
+ *  accumulator block with a one-column overhang. */
+const std::size_t kWidths[] = {1, 7, 8, 16, 37, 64, 70, 127, 128, 129};
+
+} // namespace
+
+TEST(SimdKernels, AccumulateRowsMaskedMatchesGenericOnRaggedShapes)
+{
+    const simd::KernelTable &gen = *simd::table(simd::IsaTier::Generic);
+    Rng rng(11);
+    for (const simd::KernelTable *kt : simdTiers()) {
+        for (const std::size_t n : kWidths) {
+            for (const std::size_t m : {1u, 67u, 129u}) {
+                const rbm::Rbm model = testModel(m, n, 3 + m + n);
+                const linalg::Matrix batch =
+                    activityBatch(1, m, 0.4, rng);
+                linalg::BitVector bits;
+                bits.packFrom(batch.row(0), m);
+
+                linalg::Vector ref, got;
+                linalg::accumulateRowsMasked(gen, model.weights(), bits,
+                                             model.hiddenBias(), ref);
+                linalg::accumulateRowsMasked(*kt, model.weights(), bits,
+                                             model.hiddenBias(), got);
+                ASSERT_EQ(ref, got) << kt->name << " " << m << "x" << n;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, BatchAndActiveTilesMatchGenericAcrossColumnRanges)
+{
+    const simd::KernelTable &gen = *simd::table(simd::IsaTier::Generic);
+    Rng rng(13);
+    const std::size_t m = 70, batch = 5;
+    for (const simd::KernelTable *kt : simdTiers()) {
+        for (const std::size_t n : kWidths) {
+            const rbm::Rbm model = testModel(m, n, 5 + n);
+            const linalg::Matrix v = activityBatch(batch, m, 0.3, rng);
+            const linalg::BitMatrix bits = packRows(v);
+            linalg::SparseBitView view;
+            view.build(bits);
+
+            // Column splits crossing the 128-wide accumulator block
+            // boundary and sub-block ranges.
+            std::vector<std::pair<std::size_t, std::size_t>> ranges = {
+                {0, n}};
+            if (n > 2)
+                ranges.push_back({n / 3, n - 1});
+            if (n > 128)
+                ranges.push_back({100, n});
+            for (const auto &[cb, ce] : ranges) {
+                linalg::Matrix ref(batch, n), got(batch, n);
+                linalg::accumulateBatchTile(gen, model.weights(), bits,
+                                            model.hiddenBias(), ref, 0,
+                                            batch, cb, ce);
+                linalg::accumulateBatchTile(*kt, model.weights(), bits,
+                                            model.hiddenBias(), got, 0,
+                                            batch, cb, ce);
+                for (std::size_t r = 0; r < batch; ++r)
+                    for (std::size_t c = cb; c < ce; ++c)
+                        ASSERT_EQ(ref(r, c), got(r, c))
+                            << kt->name << " " << n << " [" << cb << ","
+                            << ce << ") @" << r << "," << c;
+
+                linalg::accumulateActiveTile(gen, model.weights(), view,
+                                             model.hiddenBias(), ref, 0,
+                                             batch, cb, ce);
+                linalg::accumulateActiveTile(*kt, model.weights(), view,
+                                             model.hiddenBias(), got, 0,
+                                             batch, cb, ce);
+                for (std::size_t r = 0; r < batch; ++r)
+                    for (std::size_t c = cb; c < ce; ++c)
+                        ASSERT_EQ(ref(r, c), got(r, c))
+                            << kt->name << " sparse " << n;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, FusedHalfSweepsMatchGenericWithIdenticalDraws)
+{
+    const simd::KernelTable &gen = *simd::table(simd::IsaTier::Generic);
+    Rng rng(17);
+    for (const simd::KernelTable *kt : simdTiers()) {
+        for (const std::size_t n : {37u, 129u}) {
+            const rbm::Rbm model = testModel(70, n, 7 + n);
+            const linalg::Matrix v = activityBatch(1, 70, 0.4, rng);
+            linalg::BitVector in;
+            in.packFrom(v.row(0), 70);
+
+            Rng refRng = Rng::stream(5, 0), gotRng = Rng::stream(5, 0);
+            linalg::BitVector refOut, gotOut;
+            linalg::Vector refMeans, gotMeans;
+            linalg::affineSigmoidBernoulli(gen, model.weights(), in,
+                                           model.hiddenBias(), refOut,
+                                           refMeans, refRng);
+            linalg::affineSigmoidBernoulli(*kt, model.weights(), in,
+                                           model.hiddenBias(), gotOut,
+                                           gotMeans, gotRng);
+            ASSERT_EQ(refMeans, gotMeans) << kt->name;
+            for (std::size_t j = 0; j < n; ++j)
+                ASSERT_EQ(refOut.test(j), gotOut.test(j))
+                    << kt->name << " bit " << j;
+
+            Rng sparseRng = Rng::stream(5, 0);
+            linalg::BitVector sparseOut;
+            linalg::Vector sparseMeans;
+            linalg::affineSigmoidBernoulliSparse(
+                *kt, model.weights(), in, model.hiddenBias(), sparseOut,
+                sparseMeans, sparseRng);
+            ASSERT_EQ(refMeans, sparseMeans) << kt->name << " sparse";
+            for (std::size_t j = 0; j < n; ++j)
+                ASSERT_EQ(refOut.test(j), sparseOut.test(j))
+                    << kt->name << " sparse bit " << j;
+        }
+    }
+}
+
+TEST(SimdKernels, GradientReduceMatchesGenericAcrossWordCounts)
+{
+    const simd::KernelTable &gen = *simd::table(simd::IsaTier::Generic);
+    const std::size_t m = 67, n = 35;
+    Rng rng(19);
+    // Batch sizes resolving to 1..9 packed words: the fixed-trip
+    // specializations (1/2/4/8), odd in-between counts, and the >8
+    // chunked-plus-masked-remainder path of the AVX-512 kernel.
+    for (const std::size_t batch :
+         {1u, 63u, 65u, 128u, 129u, 255u, 256u, 512u, 520u}) {
+        const linalg::Matrix vpos = activityBatch(batch, m, 0.5, rng);
+        const linalg::Matrix hpos = activityBatch(batch, n, 0.4, rng);
+        const linalg::Matrix vneg = activityBatch(batch, m, 0.3, rng);
+        const linalg::Matrix hneg = activityBatch(batch, n, 0.6, rng);
+        linalg::BitMatrix posT, negT, hposT, hnegT;
+        linalg::packTransposed(vpos, posT);
+        linalg::packTransposed(vneg, negT);
+        linalg::packTransposed(hpos, hposT);
+        linalg::packTransposed(hneg, hnegT);
+
+        linalg::Matrix ref(m, n);
+        linalg::outerCountDiff(gen, posT, hposT, negT, hnegT, ref, 0, m);
+        linalg::Vector refCounts(m);
+        linalg::rowCounts(gen, posT, refCounts.data());
+        const std::size_t refOnes = linalg::countOnes(gen, posT);
+
+        for (const simd::KernelTable *kt : simdTiers()) {
+            linalg::Matrix got(m, n);
+            // Two row chunks, exercising rowBegin/rowEnd slicing.
+            linalg::outerCountDiff(*kt, posT, hposT, negT, hnegT, got, 0,
+                                   m / 3);
+            linalg::outerCountDiff(*kt, posT, hposT, negT, hnegT, got,
+                                   m / 3, m);
+            ASSERT_EQ(ref, got) << kt->name << " batch " << batch;
+
+            linalg::Vector counts(m);
+            linalg::rowCounts(*kt, posT, counts.data());
+            ASSERT_EQ(refCounts, counts) << kt->name;
+            ASSERT_EQ(refOnes, linalg::countOnes(*kt, posT)) << kt->name;
+        }
+    }
+}
+
+TEST(SimdDispatch, TableAvailabilityInvariants)
+{
+    // Auto and Scalar never name a kernel table; Generic always does.
+    EXPECT_EQ(simd::table(simd::IsaTier::Auto), nullptr);
+    EXPECT_EQ(simd::table(simd::IsaTier::Scalar), nullptr);
+    const simd::KernelTable *gen = simd::table(simd::IsaTier::Generic);
+    ASSERT_NE(gen, nullptr);
+    EXPECT_EQ(gen->tier, simd::IsaTier::Generic);
+    EXPECT_STREQ(gen->name, "generic");
+
+    // Whatever CPUID detects must be runnable and self-describing.
+    const simd::IsaTier detected = simd::detectedTier();
+    EXPECT_TRUE(detected == simd::IsaTier::Generic ||
+                detected == simd::IsaTier::Avx2 ||
+                detected == simd::IsaTier::Avx512);
+    const simd::KernelTable *kt = simd::table(detected);
+    ASSERT_NE(kt, nullptr);
+    EXPECT_EQ(kt->tier, detected);
+    EXPECT_STREQ(kt->name, simd::tierName(detected));
+
+    // Round-trip every tier name through the parser.
+    for (const simd::IsaTier tier :
+         {simd::IsaTier::Auto, simd::IsaTier::Scalar,
+          simd::IsaTier::Generic, simd::IsaTier::Avx2,
+          simd::IsaTier::Avx512}) {
+        simd::IsaTier parsed;
+        ASSERT_TRUE(simd::tierFromName(simd::tierName(tier), parsed));
+        EXPECT_EQ(parsed, tier);
+    }
+    simd::IsaTier parsed;
+    EXPECT_FALSE(simd::tierFromName("sse9", parsed));
+}
+
+TEST(SimdDispatch, EnvOverridePrecedence)
+{
+    EnvGuard guard("ISINGRBM_ISA");
+
+    ::unsetenv("ISINGRBM_ISA");
+    EXPECT_EQ(simd::envTier(), simd::IsaTier::Auto);
+    EXPECT_EQ(simd::defaultTier(), simd::detectedTier());
+
+    // Empty string means unset (the CI matrix passes ISINGRBM_ISA=""
+    // on the auto leg).
+    ::setenv("ISINGRBM_ISA", "", 1);
+    EXPECT_EQ(simd::envTier(), simd::IsaTier::Auto);
+
+    ::setenv("ISINGRBM_ISA", "generic", 1);
+    EXPECT_EQ(simd::envTier(), simd::IsaTier::Generic);
+    EXPECT_EQ(simd::defaultTier(), simd::IsaTier::Generic);
+    EXPECT_EQ(simd::activeTable().tier, simd::IsaTier::Generic);
+
+    // Scalar names the float pipeline: no packed table, so callers of
+    // the plain kernel overloads fall back to the generic kernels.
+    ::setenv("ISINGRBM_ISA", "scalar", 1);
+    EXPECT_EQ(simd::envTier(), simd::IsaTier::Scalar);
+    EXPECT_EQ(simd::defaultTier(), simd::IsaTier::Scalar);
+    EXPECT_EQ(simd::activeTable().tier, simd::IsaTier::Generic);
+
+    // Unknown names warn (once) and fall back to auto-detection.
+    ::setenv("ISINGRBM_ISA", "sse9", 1);
+    EXPECT_EQ(simd::envTier(), simd::IsaTier::Auto);
+    EXPECT_EQ(simd::defaultTier(), simd::detectedTier());
+}
+
+TEST(SimdDispatch, OptionsBeatEnvAndScalarIsHonored)
+{
+    EnvGuard guard("ISINGRBM_ISA");
+
+    // Auto option defers to the env override...
+    ::setenv("ISINGRBM_ISA", "generic", 1);
+    rbm::SamplingOptions opts;
+    EXPECT_EQ(rbm::resolveIsaTier(opts), simd::IsaTier::Generic);
+
+    // ...but an explicit option outranks the env.
+    opts.isa = simd::detectedTier();
+    EXPECT_EQ(rbm::resolveIsaTier(opts), simd::detectedTier());
+
+    opts.isa = simd::IsaTier::Scalar;
+    EXPECT_EQ(rbm::resolveIsaTier(opts), simd::IsaTier::Scalar);
+
+    ::unsetenv("ISINGRBM_ISA");
+    opts.isa = simd::IsaTier::Auto;
+    EXPECT_EQ(rbm::resolveIsaTier(opts), simd::detectedTier());
+
+    // A Scalar backend carries no kernel table; any other tier does.
+    const rbm::Rbm model = testModel(16, 8);
+    rbm::SamplingOptions scalarOpts;
+    scalarOpts.isa = simd::IsaTier::Scalar;
+    scalarOpts.sparseThreshold = 0.0;
+    const rbm::SoftwareGibbsBackend scalarBackend(model, nullptr,
+                                                  scalarOpts);
+    EXPECT_EQ(scalarBackend.isaTier(), simd::IsaTier::Scalar);
+    EXPECT_EQ(scalarBackend.kernelTable(), nullptr);
+
+    rbm::SamplingOptions genOpts;
+    genOpts.isa = simd::IsaTier::Generic;
+    genOpts.sparseThreshold = 0.0;
+    const rbm::SoftwareGibbsBackend genBackend(model, nullptr, genOpts);
+    EXPECT_EQ(genBackend.isaTier(), simd::IsaTier::Generic);
+    ASSERT_NE(genBackend.kernelTable(), nullptr);
+    EXPECT_EQ(genBackend.kernelTable()->tier, simd::IsaTier::Generic);
+}
+
+TEST(SimdDispatch, SparseThresholdEnvPin)
+{
+    EnvGuard guard("ISINGRBM_SPARSE_THRESHOLD");
+
+    // The env pin replaces the per-tier probe...
+    ::setenv("ISINGRBM_SPARSE_THRESHOLD", "0.25", 1);
+    rbm::SamplingOptions opts;
+    EXPECT_EQ(rbm::resolveSparseThreshold(opts), 0.25);
+
+    // ...but an explicit option outranks the pin.
+    opts.sparseThreshold = 0.75;
+    EXPECT_EQ(rbm::resolveSparseThreshold(opts), 0.75);
+
+    // Out-of-range or trailing-garbage values are rejected (warn once,
+    // fall through).  Resolving with the Scalar tier avoids invoking
+    // the timing probe inside a unit test: its fall-through is 0.
+    opts.sparseThreshold = -1.0;
+    opts.isa = simd::IsaTier::Scalar;
+    for (const char *bad : {"1.5", "-0.1", "0.2x", "nope"}) {
+        ::setenv("ISINGRBM_SPARSE_THRESHOLD", bad, 1);
+        EXPECT_EQ(rbm::resolveSparseThreshold(opts), 0.0) << bad;
+    }
+
+    ::unsetenv("ISINGRBM_SPARSE_THRESHOLD");
+    EXPECT_EQ(rbm::resolveSparseThreshold(opts), 0.0);
+}
+
+TEST(SimdBackend, ChainsByteIdenticalAcrossTiersAndWorkers)
+{
+    const rbm::Rbm model = testModel(70, 37);
+    exec::ThreadPool serial(1), threaded(4);
+    Rng rng(29);
+    for (const double activity : {0.06, 0.5}) {
+        const linalg::Matrix v = activityBatch(6, 70, activity, rng);
+        const linalg::Matrix h0 = activityBatch(8, 37, activity, rng);
+        linalg::Matrix refH, refPh, refAv, refAh;
+        bool first = true;
+        // Thresholds 0 and 1 pin the dense and sparse paths per tier
+        // (the calibrated probe is covered by test_sparse_kernels).
+        for (const simd::IsaTier tier : backendTiers()) {
+            for (const double threshold : {0.0, 1.0}) {
+                for (exec::ThreadPool *pool : {&serial, &threaded}) {
+                    rbm::SamplingOptions opts;
+                    opts.isa = tier;
+                    opts.sparseThreshold = threshold;
+                    const rbm::SoftwareGibbsBackend backend(model, pool,
+                                                            opts);
+                    auto rngs = streams(6, 31);
+                    linalg::Matrix h, ph;
+                    backend.sampleHiddenBatch(v, h, ph, rngs.data());
+
+                    linalg::Matrix ah = h0, av, pav, pah;
+                    auto annealRngs = streams(8, 41);
+                    backend.annealBatch(5, av, ah, pav, pah,
+                                        annealRngs.data());
+                    if (first) {
+                        refH = h;
+                        refPh = ph;
+                        refAv = av;
+                        refAh = ah;
+                        first = false;
+                    } else {
+                        const char *name = simd::tierName(tier);
+                        EXPECT_EQ(refH, h) << name << " " << threshold;
+                        EXPECT_EQ(refPh, ph) << name << " " << threshold;
+                        EXPECT_EQ(refAv, av) << name << " " << threshold;
+                        EXPECT_EQ(refAh, ah) << name << " " << threshold;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdTrainer, CdTrainingBitIdenticalAcrossTiersAndWorkers)
+{
+    Rng dataRng(47);
+    data::Dataset train;
+    train.name = "simd-cd";
+    train.samples = activityBatch(60, 67, 0.3, dataRng);
+
+    exec::ThreadPool serial(1), threaded(4);
+    rbm::Rbm reference;
+    bool first = true;
+    for (const simd::IsaTier tier : backendTiers()) {
+        for (exec::ThreadPool *pool : {&serial, &threaded}) {
+            rbm::Rbm model = testModel(67, 35, 7);
+            rbm::CdConfig cfg;
+            cfg.batchSize = 20;
+            cfg.k = 2;
+            cfg.momentum = 0.5;
+            cfg.pool = pool;
+            cfg.sampling.isa = tier;
+            cfg.sampling.sparseThreshold = 0.0;  // dense reduce path
+            Rng rng(51);
+            rbm::CdTrainer trainer(model, cfg, rng);
+            trainer.trainEpoch(train);
+            trainer.trainEpoch(train);
+            if (first) {
+                reference = model;
+                first = false;
+            } else {
+                const char *name = simd::tierName(tier);
+                EXPECT_EQ(reference.weights(), model.weights()) << name;
+                EXPECT_EQ(reference.visibleBias(), model.visibleBias())
+                    << name;
+                EXPECT_EQ(reference.hiddenBias(), model.hiddenBias())
+                    << name;
+            }
+        }
+    }
+}
