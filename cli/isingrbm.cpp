@@ -8,6 +8,11 @@
  *                        free-energy) accuracy of a checkpoint
  *   isingrbm serve-bench drive the batched inference server and report
  *                        throughput
+ *   isingrbm serve-loop  continuously probe a registry model while it
+ *                        is being retrained/promoted underneath,
+ *                        proving online bit-reproducibility
+ *   isingrbm promote     canary-gate a candidate checkpoint and
+ *                        hot-swap it into a registry on pass
  *   isingrbm list        list a registry's checkpoints (--verify
  *                        round-trips each archive)
  *
@@ -17,14 +22,19 @@
  * surface (train once, read the model out, ship it to inference).
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "data/ratings.hpp"
 #include "data/registry.hpp"
+#include "engine/promote.hpp"
 #include "engine/server.hpp"
 #include "eval/classifier.hpp"
 #include "eval/pipelines.hpp"
@@ -137,6 +147,9 @@ const std::vector<util::FlagHelp> kTrainFlags = {
     {"seed", "S", "training seed (default 1)"},
     {"checkpoint-every", "N", "periodic checkpoint cadence in epochs "
                               "(default: final only)"},
+    {"epoch-sleep-ms", "M", "pause after each epoch (paces a "
+                            "continuous-training publisher so serving "
+                            "processes can observe every checkpoint)"},
     {"monitor-out", "path", "write per-epoch monitor records as CSV"},
     {"early-stop", "P", "stop once the held-out free-energy gap grows "
                         "for P epochs (implies monitoring; the stop "
@@ -421,10 +434,15 @@ cmdTrain(const util::CliArgs &args)
         static_cast<int>(args.getInt("checkpoint-every", 0));
     config.monitor = monitor ? &*monitor : nullptr;
     config.earlyStopPatience = earlyStop;
-    config.onEpoch = [](int epoch, train::Session &session) {
+    const int epochSleepMs =
+        static_cast<int>(args.getInt("epoch-sleep-ms", 0));
+    config.onEpoch = [epochSleepMs](int epoch, train::Session &session) {
         std::printf("  epoch %d/%d done\n", epoch + 1,
                     session.config().schedule.epochs);
         std::fflush(stdout);
+        if (epochSleepMs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(epochSleepMs));
     };
 
     registry.ensureDir();
@@ -491,6 +509,9 @@ cmdSample(const util::CliArgs &args)
     req.seed = args.getInt("seed", 7);
     const engine::Response res =
         std::move(server.serve({std::move(req)}).front());
+    if (!res.status.ok())
+        util::fatal("isingrbm: sample request failed: " +
+                    res.status.toString());
 
     const auto model = registry.get(name);
     std::printf("%zu samples of dim %zu from %s '%s' (backend %s, "
@@ -573,6 +594,9 @@ cmdEval(const util::CliArgs &args)
         req.input = split.test.samples;
         const engine::Response res =
             std::move(server.serve({std::move(req)}).front());
+        if (!res.status.ok())
+            util::fatal("isingrbm: classify request failed: " +
+                        res.status.toString());
         std::size_t hits = 0;
         for (std::size_t r = 0; r < res.labels.size(); ++r)
             hits += res.labels[r] == split.test.labels[r];
@@ -591,8 +615,12 @@ cmdEval(const util::CliArgs &args)
         out.name = ds.name + "-features";
         out.numClasses = ds.numClasses;
         out.labels = ds.labels;
-        out.samples =
-            std::move(server.serve({std::move(req)}).front().output);
+        engine::Response res =
+            std::move(server.serve({std::move(req)}).front());
+        if (!res.status.ok())
+            util::fatal("isingrbm: featurize request failed: " +
+                        res.status.toString());
+        out.samples = std::move(res.output);
         return out;
     };
     eval::LogisticConfig head;
@@ -650,7 +678,7 @@ cmdServeBench(const util::CliArgs &args)
     util::Stopwatch sw;
     const auto responses = server.serve(std::move(batch));
     const double seconds = sw.seconds();
-    const engine::Server::Stats &stats = server.stats();
+    const engine::Server::Stats stats = server.stats();
     std::printf("served %zu %s requests (%zu rows) on %s '%s' in "
                 "%.3fs\n",
                 responses.size(), engine::opName(op), stats.rows,
@@ -661,7 +689,203 @@ cmdServeBench(const util::CliArgs &args)
                 requests / seconds, stats.rows / seconds, stats.groups,
                 stats.kernelBatches, config.maxBatchRows,
                 stats.scratchResizes);
+    std::printf("  faults: %zu rejected, %zu reload fallbacks, "
+                "%zu promotions, %zu rollbacks\n",
+                stats.rejected, stats.reloadFallbacks, stats.promotions,
+                stats.rollbacks);
     return 0;
+}
+
+const std::vector<util::FlagHelp> kPromoteFlags = {
+    {"registry", "dir", "checkpoint directory (required)"},
+    {"name", "id", "serving name to promote into (required)"},
+    {"candidate", "path", "candidate checkpoint archive (required)"},
+    {"canary-rows", "N", "canary probe batch rows (default 64)"},
+    {"canary-seed", "S", "canary probe/reconstruction seed"},
+    {"tolerance", "X", "relative canary slack (default 0.05)"},
+    {"sparse-threshold", "X", "sparse kernel crossover activity "
+                              "(default: auto; 0 dense, 1 sparse)"},
+    {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
+                    "(default auto; bit-identical)"},
+};
+
+int
+cmdPromote(const util::CliArgs &args)
+{
+    if (!checkFlags(args,
+                    "isingrbm promote --registry DIR --name ID "
+                    "--candidate PATH [flags]",
+                    kPromoteFlags))
+        return 0;
+    engine::ModelRegistry registry(requireFlag(args, "registry"),
+                                   nullptr, samplingFlags(args));
+    const std::string name = requireFlag(args, "name");
+    const std::string candidate = requireFlag(args, "candidate");
+
+    engine::CanaryConfig canary;
+    canary.rows = sizeFlag(args, "canary-rows", canary.rows);
+    canary.seed = args.getInt("canary-seed",
+                              static_cast<long>(canary.seed));
+    canary.tolerance = args.getDouble("tolerance", canary.tolerance);
+
+    const auto result = registry.promote(name, candidate, canary);
+    if (!result.ok())
+        util::fatal("isingrbm: promote failed: " +
+                    result.status().toString());
+    const engine::PromoteReport &report = result.value();
+    if (report.canaryRan)
+        std::printf("canary: candidate error %.6f vs incumbent %.6f "
+                    "(tolerance %.2f)\n",
+                    report.candidateError, report.incumbentError,
+                    canary.tolerance);
+    std::printf("%s\n", report.detail.c_str());
+    // Rollback is a successful gate decision, but scripts driving a
+    // promote pipeline need to see it didn't ship.
+    return report.promoted ? 0 : 2;
+}
+
+const std::vector<util::FlagHelp> kServeLoopFlags = {
+    {"registry", "dir", "checkpoint directory (required)"},
+    {"model", "id", "checkpoint name to probe (required)"},
+    {"passes", "N", "maximum probe passes (default 50)"},
+    {"interval-ms", "M", "pause between passes (default 25)"},
+    {"rows", "R", "probe rows per pass (default 4)"},
+    {"seed", "S", "probe/request seed (default 7; fixed across passes)"},
+    {"until-epoch", "E", "stop successfully once a pass is served by a "
+                         "model at epoch >= E (default: run all "
+                         "passes)"},
+    {"out-dir", "dir", "write each epoch's response bytes to "
+                       "<dir>/epoch-<E>.txt for cross-run comparison"},
+    {"sparse-threshold", "X", "sparse kernel crossover activity "
+                              "(default: auto; 0 dense, 1 sparse)"},
+    {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
+                    "(default auto; bit-identical)"},
+};
+
+/**
+ * The fault-tolerance proof harness: keep issuing one fixed seeded
+ * reconstruction request against a registry that another process is
+ * concurrently retraining (possibly tearing archives mid-publish) or
+ * promoting.  The loop tolerates failed passes -- the point is that
+ * the *server process* never dies -- and holds the bit-reproducibility
+ * line: two successful passes served by the same model epoch must
+ * produce byte-identical output, whatever reloads, fallbacks or swaps
+ * happened in between.  Exit 0 needs >= 1 successful pass and zero
+ * mismatches (and the target epoch, when --until-epoch is given).
+ */
+int
+cmdServeLoop(const util::CliArgs &args)
+{
+    if (!checkFlags(args,
+                    "isingrbm serve-loop --registry DIR --model ID "
+                    "[flags]",
+                    kServeLoopFlags))
+        return 0;
+    // Short reload backoff: the loop's whole job is to watch archives
+    // churn, so a quarantined name should re-probe quickly.
+    engine::ModelRegistry registry(requireFlag(args, "registry"),
+                                   nullptr, samplingFlags(args),
+                                   engine::RegistryConfig{10, 200});
+    engine::Server server(registry);
+    const std::string name = requireFlag(args, "model");
+    const std::size_t passes = sizeFlag(args, "passes", 50);
+    const int intervalMs =
+        static_cast<int>(args.getInt("interval-ms", 25));
+    const std::size_t rows = sizeFlag(args, "rows", 4);
+    const std::uint64_t seed = args.getInt("seed", 7);
+    const int untilEpoch =
+        static_cast<int>(args.getInt("until-epoch", 0));
+    const std::string outDir = args.get("out-dir", "");
+    if (!outDir.empty())
+        std::filesystem::create_directories(outDir);
+
+    std::map<int, std::string> byEpoch;
+    std::size_t okPasses = 0, failedPasses = 0, mismatches = 0;
+    bool reachedEpoch = untilEpoch <= 0;
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+        if (pass > 0 && intervalMs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(intervalMs));
+
+        auto before = registry.tryGet(name);
+        if (!before.ok()) {
+            ++failedPasses;
+            continue;
+        }
+        const auto model = std::move(before).value();
+        const int epoch = model->meta().epoch;
+
+        engine::Request req;
+        req.model = name;
+        req.op = engine::Op::Reconstruct;
+        req.input = engine::canaryProbe(rows, model->inputDim(), seed);
+        req.seed = seed;
+        engine::Response res =
+            std::move(server.serve({std::move(req)}).front());
+        if (!res.status.ok()) {
+            ++failedPasses;
+            continue;
+        }
+        // Attribute the output to a model epoch only when the serving
+        // entry did not swap underneath the request; an unattributable
+        // pass still counts as served.
+        auto after = registry.tryGet(name);
+        if (!after.ok() || after.value().get() != model.get()) {
+            ++okPasses;
+            continue;
+        }
+
+        // Hex floats: the byte dump is exact, so files compare the
+        // actual bits, not a rounding of them.
+        std::ostringstream os;
+        os << std::hexfloat;
+        for (std::size_t r = 0; r < res.output.rows(); ++r)
+            for (std::size_t c = 0; c < res.output.cols(); ++c)
+                os << res.output(r, c)
+                   << (c + 1 == res.output.cols() ? '\n' : ' ');
+        const std::string bytes = os.str();
+
+        const auto [it, fresh] = byEpoch.try_emplace(epoch, bytes);
+        if (!fresh && it->second != bytes) {
+            ++mismatches;
+            util::warn(util::strcat("serve-loop: pass ", pass,
+                                    ": epoch ", epoch,
+                                    " output differs from the earlier "
+                                    "pass served at the same epoch"));
+        } else if (fresh && !outDir.empty()) {
+            const std::string path =
+                (std::filesystem::path(outDir) /
+                 ("epoch-" + std::to_string(epoch) + ".txt"))
+                    .string();
+            std::ofstream file(path, std::ios::binary);
+            if (!file)
+                util::fatal("isingrbm: cannot write " + path);
+            file << bytes;
+        }
+        ++okPasses;
+        std::printf("pass %zu: epoch %d ok\n", pass, epoch);
+        std::fflush(stdout);
+        if (untilEpoch > 0 && epoch >= untilEpoch) {
+            reachedEpoch = true;
+            break;
+        }
+    }
+
+    const engine::Server::Stats stats = server.stats();
+    std::printf("serve-loop '%s': %zu ok / %zu failed passes, %zu "
+                "distinct epochs, %zu mismatches\n",
+                name.c_str(), okPasses, failedPasses, byEpoch.size(),
+                mismatches);
+    std::printf("  faults: %zu rejected, %zu reload fallbacks, "
+                "%zu promotions, %zu rollbacks\n",
+                stats.rejected, stats.reloadFallbacks, stats.promotions,
+                stats.rollbacks);
+    if (untilEpoch > 0 && !reachedEpoch) {
+        std::printf("serve-loop: never observed epoch >= %d\n",
+                    untilEpoch);
+        return 1;
+    }
+    return okPasses >= 1 && mismatches == 0 ? 0 : 1;
 }
 
 const std::vector<util::FlagHelp> kListFlags = {
@@ -727,6 +951,10 @@ cmdHelp()
         "checkpoint\n"
         "  serve-bench  drive the batched inference server, report "
         "throughput\n"
+        "  serve-loop   probe a model continuously while it is "
+        "retrained/promoted\n"
+        "  promote      canary-gate a candidate checkpoint, hot-swap "
+        "on pass\n"
         "  list         list a registry's checkpoints (--verify "
         "round-trips)\n");
     return 0;
@@ -747,6 +975,10 @@ main(int argc, char **argv)
         return cmdEval(args);
     if (sub == "serve-bench")
         return cmdServeBench(args);
+    if (sub == "serve-loop")
+        return cmdServeLoop(args);
+    if (sub == "promote")
+        return cmdPromote(args);
     if (sub == "list")
         return cmdList(args);
     if (sub.empty() || sub == "help" || args.helpRequested())

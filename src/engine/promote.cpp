@@ -1,0 +1,213 @@
+/**
+ * @file
+ * ModelRegistry::promote and the canary gate (see engine/promote.hpp).
+ */
+
+#include "engine/promote.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "engine/model.hpp"
+#include "engine/registry.hpp"
+#include "eval/metrics.hpp"
+#include "util/fault.hpp"
+#include "util/io.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace ising::engine {
+
+namespace fs = std::filesystem;
+
+linalg::Matrix
+canaryProbe(std::size_t rows, std::size_t dim, std::uint64_t seed)
+{
+    // A dedicated stream index far above any per-row reconstruction
+    // stream, so the probe draws never collide with the scoring draws.
+    util::Rng rng = util::Rng::stream(seed, ~std::uint64_t{0});
+    linalg::Matrix probe(rows, dim);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            probe(r, c) = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    return probe;
+}
+
+double
+canaryReconstructionError(const Model &model, const linalg::Matrix &probe,
+                          std::uint64_t seed)
+{
+    std::vector<util::Rng> rngs;
+    rngs.reserve(probe.rows());
+    for (std::size_t r = 0; r < probe.rows(); ++r)
+        rngs.push_back(util::Rng::stream(seed, r));
+    linalg::Matrix recon;
+    model.reconstructRows(probe, rngs.data(), recon);
+
+    std::vector<double> predicted(recon.data(),
+                                  recon.data() + recon.size());
+    std::vector<double> actual(probe.data(), probe.data() + probe.size());
+    return eval::meanAbsoluteError(predicted, actual);
+}
+
+namespace {
+
+/**
+ * Copy an archive byte-exactly into place with the same durability
+ * discipline as the checkpoint writer: stage, fsync, rename, fsync
+ * directory.  The candidate's integrity trailer is preserved, so the
+ * published file revalidates against the same checksum.
+ */
+Status
+publishArchive(const std::string &sourcePath, const std::string &destPath)
+{
+    std::string bytes, error;
+    if (!util::slurpFile(sourcePath, bytes, &error))
+        return Status(StatusCode::DataLoss, "promote: " + error);
+
+    util::FaultInjector &faults = util::FaultInjector::instance();
+    faults.onCrashPoint("promote.before-publish");
+
+    const std::string tmpPath = destPath + ".tmp";
+    {
+        std::ofstream os(tmpPath, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return Status(StatusCode::Internal,
+                          "promote: cannot open " + tmpPath);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        if (!os || faults.shouldFailWrite(destPath))
+            return Status(StatusCode::Internal,
+                          "promote: write failed: " + tmpPath);
+    }
+    if (!util::fsyncFile(tmpPath, &error))
+        return Status(StatusCode::Internal, "promote: " + error);
+
+    std::error_code ec;
+    fs::rename(tmpPath, destPath, ec);
+    if (ec)
+        return Status(StatusCode::Internal,
+                      "promote: cannot rename " + tmpPath + " -> " +
+                          destPath + ": " + ec.message());
+    if (!util::fsyncParentDir(destPath, &error))
+        util::warn("promote: " + error);
+    faults.onCrashPoint("promote.after-publish");
+    return Status::okStatus();
+}
+
+} // namespace
+
+Result<PromoteReport>
+ModelRegistry::promote(const std::string &name,
+                       const std::string &candidatePath,
+                       const CanaryConfig &config)
+{
+    const Status valid = validateName(name);
+    if (!valid.ok())
+        return valid;
+
+    auto noteRollback = [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.rollbacks;
+    };
+
+    // Load the candidate aside -- never into the serving cache.  An
+    // unloadable candidate (torn publish, truncated copy) is the most
+    // common rollback, caught before the incumbent is even touched.
+    auto candidate = loadModelFile(candidatePath);
+    if (!candidate.ok()) {
+        noteRollback();
+        util::warn("promote: candidate " + candidatePath +
+                   " rejected: " + candidate.status().toString());
+        return Status(candidate.status().code(),
+                      "promote: candidate " + candidatePath + ": " +
+                          candidate.status().message());
+    }
+    std::shared_ptr<const Model> candidateModel =
+        std::move(candidate).value();
+
+    PromoteReport report;
+
+    // The incumbent is whatever tryGet would serve.  A name with no
+    // usable incumbent (cold, or quarantined with nothing cached) has
+    // nothing to regress against: first publish, no gate.
+    std::shared_ptr<const Model> incumbent;
+    if (auto current = tryGet(name); current.ok())
+        incumbent = std::move(current).value();
+
+    if (incumbent) {
+        const std::size_t dim = incumbent->inputDim();
+        if (candidateModel->inputDim() != dim) {
+            noteRollback();
+            report.detail = "rollback: candidate input dim " +
+                            std::to_string(candidateModel->inputDim()) +
+                            " != incumbent " + std::to_string(dim);
+            util::warn("promote: '" + name + "' " + report.detail);
+            return Status(StatusCode::FailedPrecondition,
+                          "promote: " + report.detail);
+        }
+        if (incumbent->supports(Op::Reconstruct) &&
+            candidateModel->supports(Op::Reconstruct)) {
+            const linalg::Matrix probe =
+                canaryProbe(config.rows, dim, config.seed);
+            report.canaryRan = true;
+            report.incumbentError =
+                canaryReconstructionError(*incumbent, probe, config.seed);
+            report.candidateError = canaryReconstructionError(
+                *candidateModel, probe, config.seed);
+            // Tiny absolute slack keeps a 0-vs-0 comparison from
+            // failing on rounding.
+            const double gate =
+                report.incumbentError * (1.0 + config.tolerance) + 1e-9;
+            if (report.candidateError > gate) {
+                noteRollback();
+                report.promoted = false;
+                report.detail =
+                    "rollback: canary error " +
+                    std::to_string(report.candidateError) +
+                    " exceeds gate " + std::to_string(gate) +
+                    " (incumbent " +
+                    std::to_string(report.incumbentError) + ")";
+                util::warn("promote: '" + name + "' " + report.detail);
+                // A canary fail is a *successful* gate decision, not an
+                // error: report it through the value channel.
+                return report;
+            }
+        }
+    }
+
+    ensureDir();
+    const std::string destPath = pathFor(name);
+    std::error_code ec;
+    const bool samePath = fs::equivalent(candidatePath, destPath, ec);
+    if (!samePath) {
+        const Status published = publishArchive(candidatePath, destPath);
+        if (!published.ok()) {
+            noteRollback();
+            util::warn(published.toString());
+            return published;
+        }
+    }
+
+    // Serve the exact model we just gated: install the aside-loaded
+    // candidate against the published file's stamp.
+    install(name, std::move(candidateModel), stampFor(destPath));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.promotions;
+    }
+    report.promoted = true;
+    if (report.detail.empty())
+        report.detail =
+            report.canaryRan
+                ? "promoted: canary error " +
+                      std::to_string(report.candidateError) +
+                      " vs incumbent " +
+                      std::to_string(report.incumbentError)
+                : "promoted: no incumbent, canary skipped";
+    return report;
+}
+
+} // namespace ising::engine

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Canary-gated model promotion (the hot-swap gate).
+ *
+ * Continuous training publishes candidate checkpoints; a serving
+ * registry must not start serving one just because it exists.
+ * ModelRegistry::promote() (declared in registry.hpp, implemented in
+ * promote.cpp) loads the candidate *aside*, scores it against the
+ * incumbent on a fixed seeded probe batch, and only then atomically
+ * publishes it into the registry directory.  A candidate that fails to
+ * load, has incompatible shapes, or regresses the canary metric is
+ * rolled back: the incumbent keeps serving, untouched.
+ *
+ * The canary metric is the mean absolute reconstruction error
+ * (eval::meanAbsoluteError) of Model::reconstructRows over a seeded
+ * Bernoulli(1/2) probe batch, with both models drawing identical
+ * per-row RNG streams -- a deterministic score, so the gate itself is
+ * reproducible.  The gate moves *when* a model starts serving, never
+ * what bits any request produces.
+ */
+
+#ifndef ISINGRBM_ENGINE_PROMOTE_HPP
+#define ISINGRBM_ENGINE_PROMOTE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace ising::engine {
+
+class Model;
+
+/** Canary-gate knobs. */
+struct CanaryConfig
+{
+    std::size_t rows = 64;        ///< probe batch rows
+    std::uint64_t seed = 0x43414e41;  ///< probe + reconstruction seed
+    /**
+     * Relative slack: the candidate passes when its probe
+     * reconstruction error is <= incumbent * (1 + tolerance).  A
+     * freshly trained snapshot of the same run scores near the
+     * incumbent; a torn or divergent model does not.
+     */
+    double tolerance = 0.05;
+};
+
+/** What a promote attempt did (returned even for rollbacks). */
+struct PromoteReport
+{
+    bool promoted = false;
+    /** False when there was no incumbent (first publish: no gate). */
+    bool canaryRan = false;
+    double incumbentError = 0.0;
+    double candidateError = 0.0;
+    std::string detail;  ///< one-line human-readable outcome
+};
+
+/** Seeded Bernoulli(1/2) probe batch (rows x dim in {0,1}). */
+linalg::Matrix canaryProbe(std::size_t rows, std::size_t dim,
+                           std::uint64_t seed);
+
+/**
+ * Mean absolute reconstruction error of @p model over @p probe, with
+ * row r's randomness drawn from util::Rng::stream(seed, r).  Two
+ * models scored with the same probe and seed see identical RNG
+ * streams, so the comparison isolates the parameters.
+ */
+double canaryReconstructionError(const Model &model,
+                                 const linalg::Matrix &probe,
+                                 std::uint64_t seed);
+
+} // namespace ising::engine
+
+#endif // ISINGRBM_ENGINE_PROMOTE_HPP

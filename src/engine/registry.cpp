@@ -1,6 +1,7 @@
 /**
  * @file
- * ModelRegistry implementation.
+ * ModelRegistry implementation: load-once cache, stamp revalidation,
+ * and the last-known-good degradation path.
  */
 
 #include "engine/registry.hpp"
@@ -15,23 +16,38 @@ namespace ising::engine {
 namespace fs = std::filesystem;
 
 ModelRegistry::ModelRegistry(std::string dir, exec::ThreadPool *pool,
-                             rbm::SamplingOptions options)
-    : dir_(std::move(dir)), pool_(pool), options_(options)
+                             rbm::SamplingOptions options,
+                             RegistryConfig config)
+    : dir_(std::move(dir)), pool_(pool), options_(options), config_(config)
 {
     if (dir_.empty())
         util::fatal("registry: empty checkpoint directory");
+    if (config_.reloadBackoffMinMs < 1)
+        config_.reloadBackoffMinMs = 1;
+    if (config_.reloadBackoffMaxMs < config_.reloadBackoffMinMs)
+        config_.reloadBackoffMaxMs = config_.reloadBackoffMinMs;
 }
 
-std::string
-ModelRegistry::pathFor(const std::string &name) const
+Status
+ModelRegistry::validateName(const std::string &name)
 {
     // Names become file stems and single-token checkpoint meta values;
     // reject anything else here so callers fail before doing work
     // (e.g. the CLI validates the name before a long training run).
     if (name.empty() || name.find('/') != std::string::npos ||
         name.find_first_of(" \t\r\n") != std::string::npos)
-        util::fatal("registry: invalid model name '" + name +
-                    "' (no whitespace or '/')");
+        return Status(StatusCode::InvalidArgument,
+                      "registry: invalid model name '" + name +
+                          "' (no whitespace or '/')");
+    return Status::okStatus();
+}
+
+std::string
+ModelRegistry::pathFor(const std::string &name) const
+{
+    const Status valid = validateName(name);
+    if (!valid.ok())
+        util::fatal(valid.message());
     return (fs::path(dir_) / (name + rbm::kCheckpointExtension)).string();
 }
 
@@ -40,7 +56,8 @@ ModelRegistry::contains(const std::string &name) const
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (cache_.count(name))
+        const auto it = cache_.find(name);
+        if (it != cache_.end() && it->second.model)
             return true;
     }
     std::error_code ec;
@@ -56,32 +73,141 @@ ModelRegistry::stampFor(const std::string &path)
     stamp.size = fs::file_size(path, ec);
     if (ec)
         stamp.size = 0;
+    // Fold the integrity trailer in: an overwrite that lands within
+    // mtime granularity and preserves the byte size still changes the
+    // body checksum, so the stale-serve race is closed for any archive
+    // that carries a trailer.
+    if (const auto trailer = rbm::readArchiveTrailer(path)) {
+        stamp.trailer = *trailer;
+        stamp.hasTrailer = true;
+    }
     return stamp;
+}
+
+Result<std::shared_ptr<const Model>>
+ModelRegistry::loadModelFile(const std::string &path) const
+{
+    std::string error;
+    auto ckpt = rbm::tryLoadCheckpointFile(path, &error);
+    if (!ckpt)
+        return Status(StatusCode::DataLoss, error);
+    try {
+        // Model construction validates shapes and can reject archives
+        // that parsed but cannot be served; contain that too.
+        util::FatalThrowScope scope;
+        return std::make_shared<const Model>(std::move(*ckpt), pool_,
+                                             options_);
+    } catch (const util::FatalError &e) {
+        return Status(StatusCode::DataLoss, e.what());
+    }
+}
+
+std::shared_ptr<const Model>
+ModelRegistry::install(const std::string &name,
+                       std::shared_ptr<const Model> model,
+                       const FileStamp &stamp)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &entry = cache_[name];
+    entry.model = std::move(model);
+    entry.stamp = stamp;
+    entry.failedReloads = 0;
+    entry.retryAfter = {};
+    entry.lastError.clear();
+    return entry.model;
+}
+
+Result<std::shared_ptr<const Model>>
+ModelRegistry::tryGet(const std::string &name)
+{
+    const Status valid = validateName(name);
+    if (!valid.ok())
+        return valid;
+    const std::string path =
+        (fs::path(dir_) / (name + rbm::kCheckpointExtension)).string();
+
+    std::error_code ec;
+    const bool onDiskExists = fs::exists(path, ec);
+    const FileStamp onDisk = onDiskExists ? stampFor(path) : FileStamp{};
+    const auto now = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(name);
+        if (it != cache_.end()) {
+            Entry &entry = it->second;
+            // Serve the cache while the archive is unchanged: a
+            // checkpoint overwritten mid-training must not be served
+            // stale.
+            if (entry.model && entry.failedReloads == 0 &&
+                onDiskExists && entry.stamp == onDisk)
+                return entry.model;
+            // Quarantined and still inside the backoff window: serve
+            // the last-good model without touching the bad archive.
+            if (entry.failedReloads > 0 && now < entry.retryAfter) {
+                if (entry.model) {
+                    ++stats_.reloadFallbacks;
+                    return entry.model;
+                }
+                return Status(StatusCode::DataLoss, entry.lastError);
+            }
+        }
+    }
+
+    if (!onDiskExists) {
+        // A cached model whose archive vanished is handled below as a
+        // failed reload; a cold miss is a plain NotFound.
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(name);
+        if (it == cache_.end() || !it->second.model)
+            return Status(StatusCode::NotFound,
+                          "registry: no model named '" + name + "' (" +
+                              path + " does not exist)");
+    }
+
+    // Load outside the lock (archives can be large); when two threads
+    // race on the same cold name, the last insertion wins and the
+    // losers' redundant loads are discarded.
+    auto loaded =
+        onDiskExists
+            ? loadModelFile(path)
+            : Result<std::shared_ptr<const Model>>(Status(
+                  StatusCode::NotFound,
+                  "registry: archive " + path + " disappeared"));
+    if (loaded.ok())
+        return install(name, std::move(loaded).value(), onDisk);
+
+    // Reload failed: quarantine the path with capped exponential
+    // backoff and degrade to the last-known-good model if we have one.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &entry = cache_[name];
+    ++entry.failedReloads;
+    long backoffMs = config_.reloadBackoffMinMs;
+    for (int i = 1; i < entry.failedReloads && backoffMs > 0 &&
+                    backoffMs < config_.reloadBackoffMaxMs;
+         ++i)
+        backoffMs *= 2;
+    backoffMs = std::min<long>(backoffMs, config_.reloadBackoffMaxMs);
+    entry.retryAfter = now + std::chrono::milliseconds(backoffMs);
+    entry.lastError = loaded.status().toString();
+    if (entry.model) {
+        ++stats_.reloadFallbacks;
+        util::warn("registry: reload of '" + name +
+                   "' failed; serving last-known-good model (retry in " +
+                   std::to_string(backoffMs) +
+                   " ms): " + entry.lastError);
+        return entry.model;
+    }
+    ++stats_.loadFailures;
+    return loaded.status();
 }
 
 std::shared_ptr<const Model>
 ModelRegistry::get(const std::string &name)
 {
-    const std::string path = pathFor(name);
-    const FileStamp onDisk = stampFor(path);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = cache_.find(name);
-        // Serve the cache only while the archive is unchanged: a
-        // checkpoint overwritten mid-training must not be served stale.
-        if (it != cache_.end() && it->second.stamp == onDisk)
-            return it->second.model;
-    }
-    // Load outside the lock (archives can be large); when two threads
-    // race on the same cold name, the last insertion wins and the
-    // losers' redundant loads are discarded.
-    auto model = std::make_shared<const Model>(
-        rbm::loadCheckpointFile(path), pool_, options_);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto &entry = cache_[name];
-    entry.model = std::move(model);
-    entry.stamp = onDisk;
-    return entry.model;
+    auto result = tryGet(name);
+    if (!result.ok())
+        util::fatal(result.status().message());
+    return std::move(result).value();
 }
 
 std::shared_ptr<const Model>
@@ -93,11 +219,7 @@ ModelRegistry::put(const std::string &name, rbm::Checkpoint ckpt)
     rbm::saveCheckpoint(ckpt, path);
     auto model =
         std::make_shared<const Model>(std::move(ckpt), pool_, options_);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto &entry = cache_[name];
-    entry.model = std::move(model);
-    entry.stamp = stampFor(path);
-    return entry.model;
+    return install(name, std::move(model), stampFor(path));
 }
 
 void
@@ -137,7 +259,23 @@ std::size_t
 ModelRegistry::cachedCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return cache_.size();
+    std::size_t count = 0;
+    for (const auto &[name, entry] : cache_)
+        if (entry.model)
+            ++count;
+    return count;
+}
+
+ModelRegistry::Stats
+ModelRegistry::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = stats_;
+    out.quarantined = 0;
+    for (const auto &[name, entry] : cache_)
+        if (entry.failedReloads > 0)
+            ++out.quarantined;
+    return out;
 }
 
 } // namespace ising::engine

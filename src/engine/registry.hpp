@@ -6,11 +6,21 @@
  * each at most once and handing out shared immutable engine::Model
  * views -- the uniform, versioned access layer the serving stack and
  * the isingrbm CLI resolve models through.
+ *
+ * Fault tolerance: a registry backing a serving process degrades, it
+ * does not die.  tryGet() reports failures as engine::Status; when an
+ * archive that was previously served is overwritten with something
+ * unloadable (truncated, torn, mid-write), the cached last-known-good
+ * model keeps being served while the bad path is quarantined and
+ * reload is retried with capped exponential backoff.  Cached entries
+ * revalidate against an (mtime, size, crc64-trailer) stamp, so even a
+ * same-size overwrite within mtime granularity is detected.
  */
 
 #ifndef ISINGRBM_ENGINE_REGISTRY_HPP
 #define ISINGRBM_ENGINE_REGISTRY_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -20,8 +30,24 @@
 #include <vector>
 
 #include "engine/model.hpp"
+#include "engine/promote.hpp"
+#include "engine/status.hpp"
 
 namespace ising::engine {
+
+/** Registry fault-handling knobs. */
+struct RegistryConfig
+{
+    /**
+     * Quarantine backoff for a name whose on-disk archive stopped
+     * loading: the first failed reload waits this long before the next
+     * attempt, doubling per failure up to the cap.  Gets inside the
+     * window serve the cached last-good model without touching the
+     * bad archive.
+     */
+    int reloadBackoffMinMs = 100;
+    int reloadBackoffMaxMs = 5000;
+};
 
 /** Thread-safe load-once cache of checkpoints in one directory. */
 class ModelRegistry
@@ -33,12 +59,17 @@ class ModelRegistry
      *        nullptr selects exec::globalPool())
      * @param options sampling-kernel tuning handed to loaded models
      *        (the dense/sparse dispatch crossover)
+     * @param config fault-handling knobs
      */
     explicit ModelRegistry(std::string dir,
                            exec::ThreadPool *pool = nullptr,
-                           rbm::SamplingOptions options = {});
+                           rbm::SamplingOptions options = {},
+                           RegistryConfig config = {});
 
     const std::string &dir() const { return dir_; }
+
+    /** Status-returning model-name validation (tryGet's gate). */
+    static Status validateName(const std::string &name);
 
     /** Archive path of a name (whether or not it exists yet). */
     std::string pathFor(const std::string &name) const;
@@ -48,14 +79,35 @@ class ModelRegistry
 
     /**
      * Resolve a name: cached model, or load `<dir>/<name>.ckpt`.
-     * Fatal when the archive is missing or malformed.
      *
-     * Cached entries revalidate against the archive's (mtime, size)
-     * stamp, so a checkpoint overwritten on disk -- e.g. by a training
-     * session streaming periodic saves into the registry directory --
-     * is transparently reloaded instead of served stale.
+     * Cached entries revalidate against the archive's (mtime, size,
+     * trailer-checksum) stamp, so a checkpoint overwritten on disk --
+     * e.g. by a training session streaming periodic saves into the
+     * registry directory -- is transparently reloaded instead of
+     * served stale.  When that reload *fails* (truncated/corrupt
+     * archive, or one mid-overwrite) the last-good cached model is
+     * served instead and the name enters quarantine: subsequent gets
+     * keep serving the cached model and only re-attempt the load after
+     * a capped exponential backoff, recovering automatically once a
+     * loadable archive reappears.  Errors (no cached fallback) are
+     * returned as Status, never exiting the process.
      */
+    Result<std::shared_ptr<const Model>> tryGet(const std::string &name);
+
+    /** Fatal-on-error convenience over tryGet (CLI one-shot paths). */
     std::shared_ptr<const Model> get(const std::string &name);
+
+    /**
+     * Hot-swap: canary-gate @p candidatePath against the incumbent
+     * `<dir>/<name>.ckpt` and atomically publish it on pass (see
+     * engine/promote.hpp for the gate).  On any failure -- unloadable
+     * candidate, incompatible shapes, canary regression -- the
+     * incumbent keeps serving untouched and the rollback is counted.
+     * Defined in promote.cpp.
+     */
+    Result<PromoteReport> promote(const std::string &name,
+                                  const std::string &candidatePath,
+                                  const CanaryConfig &config = {});
 
     /**
      * Persist a checkpoint under @p name (meta.name is stamped) and
@@ -80,12 +132,34 @@ class ModelRegistry
      */
     void ensureDir();
 
+    /** Degradation counters (engine::Server folds them into its own). */
+    struct Stats
+    {
+        /** Gets served by the last-good cache after a failed reload. */
+        std::size_t reloadFallbacks = 0;
+        /** Loads that failed with no cached model to fall back on. */
+        std::size_t loadFailures = 0;
+        /** Names currently quarantined (point-in-time, not lifetime). */
+        std::size_t quarantined = 0;
+        std::size_t promotions = 0;
+        std::size_t rollbacks = 0;
+    };
+    Stats stats() const;
+
   private:
     /** Freshness stamp of an archive on disk. */
     struct FileStamp
     {
         std::filesystem::file_time_type mtime;
         std::uintmax_t size = 0;
+        /**
+         * The archive's crc64 trailer (0 / false for legacy
+         * un-checksummed files).  Folding it into the stamp closes the
+         * revalidation race where an overwrite lands within mtime
+         * granularity and happens to preserve the byte size.
+         */
+        std::uint64_t trailer = 0;
+        bool hasTrailer = false;
         bool operator==(const FileStamp &) const = default;
     };
 
@@ -93,15 +167,31 @@ class ModelRegistry
     {
         std::shared_ptr<const Model> model;
         FileStamp stamp;
+        // Quarantine state: set while the on-disk archive is
+        // unloadable and the cached model is serving in its place.
+        int failedReloads = 0;
+        std::chrono::steady_clock::time_point retryAfter{};
+        std::string lastError;
     };
 
     static FileStamp stampFor(const std::string &path);
 
+    /** Load + wrap an archive with this registry's pool/options. */
+    Result<std::shared_ptr<const Model>>
+    loadModelFile(const std::string &path) const;
+
+    /** Install a freshly loaded model (resets quarantine). */
+    std::shared_ptr<const Model>
+    install(const std::string &name, std::shared_ptr<const Model> model,
+            const FileStamp &stamp);
+
     std::string dir_;
     exec::ThreadPool *pool_;
     rbm::SamplingOptions options_;
+    RegistryConfig config_;
     mutable std::mutex mutex_;
     std::map<std::string, Entry> cache_;
+    Stats stats_;
 };
 
 } // namespace ising::engine

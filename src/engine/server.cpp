@@ -23,25 +23,50 @@ Server::Server(ModelRegistry &registry, ServerConfig config)
 std::future<Response>
 Server::submit(Request req)
 {
-    const auto model = registry_.get(req.model);
+    ++stats_.requests;
+    // Validation failures resolve the future immediately: the bad
+    // request never reaches the queue, so it cannot poison the
+    // requests it would have been coalesced with.
+    const auto reject = [this](Status status) {
+        ++stats_.rejected;
+        util::warn("server: rejected request: " + status.toString());
+        std::promise<Response> promise;
+        auto future = promise.get_future();
+        Response response;
+        response.status = std::move(status);
+        promise.set_value(std::move(response));
+        return future;
+    };
+
+    auto resolved = registry_.tryGet(req.model);
+    if (!resolved.ok())
+        return reject(resolved.status());
+    const auto model = std::move(resolved).value();
     if (!model->supports(req.op))
-        util::fatal(std::string("server: model '") + req.model + "' (" +
-                    model->familyName() + ") does not support op " +
-                    opName(req.op));
+        return reject(Status(
+            StatusCode::InvalidArgument,
+            std::string("server: model '") + req.model + "' (" +
+                model->familyName() + ") does not support op " +
+                opName(req.op)));
 
     std::size_t rows = 0;
     if (req.op == Op::Sample) {
         if (req.count == 0)
-            util::fatal("server: sample request needs count > 0");
+            return reject(
+                Status(StatusCode::InvalidArgument,
+                       "server: sample request needs count > 0"));
         rows = req.count;
     } else {
         if (req.input.rows() == 0)
-            util::fatal("server: request carries no input rows");
+            return reject(
+                Status(StatusCode::InvalidArgument,
+                       "server: request carries no input rows"));
         if (req.input.cols() != model->inputDim())
-            util::fatal(util::strcat("server: input width ",
-                                     req.input.cols(), " != model '",
-                                     req.model, "' input dim ",
-                                     model->inputDim()));
+            return reject(Status(
+                StatusCode::InvalidArgument,
+                util::strcat("server: input width ", req.input.cols(),
+                             " != model '", req.model, "' input dim ",
+                             model->inputDim())));
         rows = req.input.rows();
     }
 
@@ -51,7 +76,6 @@ Server::submit(Request req)
     auto future = pending.promise.get_future();
     pending_.push_back(std::move(pending));
     pendingRows_ += rows;
-    ++stats_.requests;
 
     if (pendingRows_ >= config_.maxBatchRows)
         flush();
@@ -88,7 +112,28 @@ Server::flush()
 void
 Server::executeGroup(const std::vector<Pending *> &group)
 {
-    const auto model = registry_.get(group.front()->req.model);
+    // Fail every request of the group with one status.  The group is
+    // the blast radius: other groups in the same flush still execute.
+    const auto failGroup = [&](Status status) {
+        util::warn("server: group of " + std::to_string(group.size()) +
+                   " request(s) failed: " + status.toString());
+        stats_.rejected += group.size();
+        for (Pending *p : group) {
+            Response response;
+            response.status = status;
+            p->promise.set_value(std::move(response));
+        }
+    };
+
+    // Re-resolve at execution time (the registry may have reloaded or
+    // hot-swapped since submit); an unresolvable model fails the
+    // group, never the process.
+    auto resolved = registry_.tryGet(group.front()->req.model);
+    if (!resolved.ok()) {
+        failGroup(resolved.status());
+        return;
+    }
+    const auto model = std::move(resolved).value();
     const Op op = group.front()->req.op;
     ++stats_.groups;
 
@@ -121,63 +166,89 @@ Server::executeGroup(const std::vector<Pending *> &group)
             responses[q].output.reset(group[q]->rows, width);
     }
 
-    const std::size_t inDim = model->inputDim();
-    for (std::size_t begin = 0; begin < totalRows;
-         begin += config_.maxBatchRows) {
-        const std::size_t end =
-            std::min(totalRows, begin + config_.maxBatchRows);
-        ++stats_.kernelBatches;
-        if (op != Op::Sample) {
-            // Reused gather buffer: reshaping (and thus reallocating)
-            // only when the chunk shape actually changes is what the
-            // scratchResizes stat counts.
-            if (in_.rows() != end - begin || in_.cols() != inDim) {
-                in_.reset(end - begin, inDim);
-                ++stats_.scratchResizes;
+    const auto runBatches = [&] {
+        const std::size_t inDim = model->inputDim();
+        for (std::size_t begin = 0; begin < totalRows;
+             begin += config_.maxBatchRows) {
+            const std::size_t end =
+                std::min(totalRows, begin + config_.maxBatchRows);
+            ++stats_.kernelBatches;
+            if (op != Op::Sample) {
+                // Reused gather buffer: reshaping (and thus
+                // reallocating) only when the chunk shape actually
+                // changes is what the scratchResizes stat counts.
+                if (in_.rows() != end - begin || in_.cols() != inDim) {
+                    in_.reset(end - begin, inDim);
+                    ++stats_.scratchResizes;
+                }
+                for (std::size_t g = begin; g < end; ++g) {
+                    const RowRef &ref = rowMap_[g];
+                    std::copy_n(
+                        group[ref.pending]->req.input.row(ref.row),
+                        inDim, in_.row(g - begin));
+                }
             }
-            for (std::size_t g = begin; g < end; ++g) {
-                const RowRef &ref = rowMap_[g];
-                std::copy_n(group[ref.pending]->req.input.row(ref.row),
-                            inDim, in_.row(g - begin));
+            const auto scatter = [&](const linalg::Matrix &chunk) {
+                for (std::size_t g = 0; g < chunk.rows(); ++g) {
+                    const RowRef &ref = rowMap_[begin + g];
+                    std::copy_n(
+                        chunk.row(g), chunk.cols(),
+                        responses[ref.pending].output.row(ref.row));
+                }
+            };
+            switch (op) {
+              case Op::Sample:
+                model->sampleRows(group.front()->req.steps, end - begin,
+                                  rngs_.data() + begin, chunk_,
+                                  modelScratch_);
+                scatter(chunk_);
+                break;
+              case Op::Featurize:
+                model->featurizeRows(in_, chunk_, modelScratch_);
+                scatter(chunk_);
+                break;
+              case Op::Reconstruct:
+                model->reconstructRows(in_, rngs_.data() + begin,
+                                       chunk_, modelScratch_);
+                scatter(chunk_);
+                break;
+              case Op::Classify:
+                model->classifyRows(in_, labelChunk_);
+                for (std::size_t g = begin; g < end; ++g) {
+                    const RowRef &ref = rowMap_[g];
+                    responses[ref.pending].labels[ref.row] =
+                        labelChunk_[g - begin];
+                }
+                break;
             }
         }
-        const auto scatter = [&](const linalg::Matrix &chunk) {
-            for (std::size_t g = 0; g < chunk.rows(); ++g) {
-                const RowRef &ref = rowMap_[begin + g];
-                std::copy_n(chunk.row(g), chunk.cols(),
-                            responses[ref.pending].output.row(ref.row));
-            }
-        };
-        switch (op) {
-          case Op::Sample:
-            model->sampleRows(group.front()->req.steps, end - begin,
-                              rngs_.data() + begin, chunk_,
-                              modelScratch_);
-            scatter(chunk_);
-            break;
-          case Op::Featurize:
-            model->featurizeRows(in_, chunk_, modelScratch_);
-            scatter(chunk_);
-            break;
-          case Op::Reconstruct:
-            model->reconstructRows(in_, rngs_.data() + begin, chunk_,
-                                   modelScratch_);
-            scatter(chunk_);
-            break;
-          case Op::Classify:
-            model->classifyRows(in_, labelChunk_);
-            for (std::size_t g = begin; g < end; ++g) {
-                const RowRef &ref = rowMap_[g];
-                responses[ref.pending].labels[ref.row] =
-                    labelChunk_[g - begin];
-            }
-            break;
-        }
+    };
+
+    // Contain execution: anything fatal inside the batched kernels
+    // (impossible-shape archive that slipped past validation, scratch
+    // exhaustion) fails this group's requests instead of the process.
+    try {
+        util::FatalThrowScope scope;
+        runBatches();
+    } catch (const util::FatalError &e) {
+        failGroup(Status(StatusCode::Internal, e.what()));
+        return;
     }
     stats_.rows += totalRows;
 
     for (std::size_t q = 0; q < group.size(); ++q)
         group[q]->promise.set_value(std::move(responses[q]));
+}
+
+Server::Stats
+Server::stats() const
+{
+    Stats out = stats_;
+    const ModelRegistry::Stats registry = registry_.stats();
+    out.reloadFallbacks = registry.reloadFallbacks;
+    out.promotions = registry.promotions;
+    out.rollbacks = registry.rollbacks;
+    return out;
 }
 
 std::vector<Request>

@@ -63,6 +63,13 @@ struct Request
 /** One inference response. */
 struct Response
 {
+    /**
+     * Outcome of the request.  A serving process outlives any single
+     * request, so malformed requests, missing models, and contained
+     * execution failures resolve the future with a non-ok status
+     * (output/labels empty) instead of killing the process.
+     */
+    Status status;
     linalg::Matrix output;     ///< one row per requested row/chain
     std::vector<int> labels;   ///< Classify results (empty otherwise)
 };
@@ -75,9 +82,11 @@ class Server
 
     /**
      * Queue a request; the future resolves at the flush that executes
-     * it.  Fatal on malformed requests (unknown model, unsupported
-     * op, wrong input width) -- request validity is the caller's
-     * contract, not a runtime condition.
+     * it.  A malformed request (unknown model, unsupported op, wrong
+     * input width) resolves its future *immediately* with a non-ok
+     * Response::status -- a bad request fails that request, never the
+     * process, and never poisons the requests it would have been
+     * coalesced with.
      */
     std::future<Response> submit(Request req);
 
@@ -106,8 +115,22 @@ class Server
          * measure the serve-bench reports.
          */
         std::size_t scratchResizes = 0;
+        // ---- failure counters (the degradation ledger) ----
+        /** Requests resolved with a non-ok status (bad submit or a
+         *  group whose model could not be resolved/executed). */
+        std::size_t rejected = 0;
+        /** Registry gets served by the last-good cache after a failed
+         *  reload (merged from ModelRegistry::Stats). */
+        std::size_t reloadFallbacks = 0;
+        std::size_t promotions = 0;    ///< canary-gated hot-swaps
+        std::size_t rollbacks = 0;     ///< promotes that kept the incumbent
     };
-    const Stats &stats() const { return stats_; }
+
+    /**
+     * Counter snapshot; the registry-owned counters (reloadFallbacks,
+     * promotions, rollbacks) are merged in at call time.
+     */
+    Stats stats() const;
 
   private:
     struct Pending

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Recoverable error values for the serving path.
+ *
+ * The rest of the stack treats misconfiguration as fatal (a CLI run
+ * with a bad flag should exit), but a serving process outlives any
+ * single request: a malformed request, a missing model, or a corrupt
+ * archive must fail *that request*, never the process.  Status/Result
+ * are the carriers: registry lookups return Result<Model>, and every
+ * engine::Response delivers a Status through the request's future.
+ */
+
+#ifndef ISINGRBM_ENGINE_STATUS_HPP
+#define ISINGRBM_ENGINE_STATUS_HPP
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ising::engine {
+
+/** Coarse failure classes (what a caller can act on). */
+enum class StatusCode {
+    Ok,
+    InvalidArgument,     ///< malformed request; retrying cannot help
+    NotFound,            ///< no such model in the registry
+    DataLoss,            ///< archive torn/corrupt and no fallback
+    FailedPrecondition,  ///< incompatible models (canary dim mismatch)
+    Internal,            ///< unexpected failure contained to a request
+};
+
+/** Spelling used in logs and CLI diagnostics. */
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid-argument";
+      case StatusCode::NotFound: return "not-found";
+      case StatusCode::DataLoss: return "data-loss";
+      case StatusCode::FailedPrecondition: return "failed-precondition";
+      case StatusCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+/** Success, or a failure class plus a human-readable reason. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status okStatus() { return Status(); }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "[data-loss] serialize: ..." (empty string when ok). */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "";
+        return std::string("[") + statusCodeName(code_) + "] " + message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/** A value or the Status explaining its absence. */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Status status) : status_(std::move(status)) {}
+
+    bool ok() const { return status_.ok() && value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    const T &value() const & { return *value_; }
+    T &value() & { return *value_; }
+    T &&value() && { return std::move(*value_); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace ising::engine
+
+#endif // ISINGRBM_ENGINE_STATUS_HPP

@@ -14,6 +14,9 @@
 #include <sstream>
 #include <utility>
 
+#include "util/checksum.hpp"
+#include "util/fault.hpp"
+#include "util/io.hpp"
 #include "util/logging.hpp"
 
 namespace ising::rbm {
@@ -23,6 +26,13 @@ namespace {
 constexpr const char *kRbmMagic = "isingrbm-rbm";
 constexpr const char *kDbnMagic = "isingrbm-dbn";
 constexpr const char *kCheckpointMagic = "isingrbm-checkpoint";
+
+/** Integrity-trailer line prefix ("checksum crc64 <16 hex>\n"). */
+constexpr const char *kTrailerPrefix = "checksum crc64 ";
+constexpr std::size_t kTrailerPrefixLen = 15;
+constexpr std::size_t kTrailerHexLen = 16;
+/** The trailer algorithm declared in the meta section. */
+constexpr const char *kTrailerAlgo = "crc64";
 
 void
 expectMagic(std::istream &is, const char *magic)
@@ -496,8 +506,11 @@ loadDbnFile(const std::string &path)
     return loadDbn(is);
 }
 
+namespace {
+
+/** The archive body: everything up to and including `end checkpoint`. */
 void
-saveCheckpoint(const Checkpoint &ckpt, std::ostream &os)
+writeCheckpointBody(const Checkpoint &ckpt, std::ostream &os)
 {
     if (hasWhitespace(ckpt.meta.name) || hasWhitespace(ckpt.meta.backend))
         util::fatal("serialize: checkpoint meta values must not contain "
@@ -519,6 +532,10 @@ saveCheckpoint(const Checkpoint &ckpt, std::ostream &os)
     if (ckpt.meta.earlyStopEpoch >= 0)
         meta.emplace_back("early_stop",
                           std::to_string(ckpt.meta.earlyStopEpoch));
+    // Declare the integrity trailer inside the checksummed body, so a
+    // file truncated exactly at the trailer boundary (structurally
+    // complete, trailer gone) is still rejected by file loads.
+    meta.emplace_back("trailer", kTrailerAlgo);
     os << "section meta " << meta.size() << '\n';
     for (const auto &[key, value] : meta)
         os << key << ' ' << value << '\n';
@@ -532,26 +549,85 @@ saveCheckpoint(const Checkpoint &ckpt, std::ostream &os)
     os << "end checkpoint\n";
 }
 
+/**
+ * Locate the trailer's line start in a slurped archive, or npos.  The
+ * trailer is by construction the final line of the file.
+ */
+std::size_t
+findTrailer(const std::string &content, std::uint64_t &value)
+{
+    const std::size_t lineLen =
+        kTrailerPrefixLen + kTrailerHexLen + 1;  // + '\n'
+    if (content.size() < lineLen || content.back() != '\n')
+        return std::string::npos;
+    const std::size_t start = content.size() - lineLen;
+    if (content.compare(start, kTrailerPrefixLen, kTrailerPrefix) != 0)
+        return std::string::npos;
+    const std::string hex =
+        content.substr(start + kTrailerPrefixLen, kTrailerHexLen);
+    if (!util::parseCrc64Hex(hex, value))
+        return std::string::npos;
+    return start;
+}
+
+} // namespace
+
+void
+saveCheckpoint(const Checkpoint &ckpt, std::ostream &os)
+{
+    // Stage the body to compute the CRC-64 trailer over its exact
+    // bytes; archives are small relative to the models they carry.
+    std::ostringstream body;
+    writeCheckpointBody(ckpt, body);
+    const std::string text = body.str();
+    os << text << kTrailerPrefix << util::crc64Hex(util::crc64(text))
+       << '\n';
+}
+
 void
 saveCheckpoint(const Checkpoint &ckpt, const std::string &path)
 {
     // Write-temp-then-rename: training sessions overwrite live archives
     // that a serving registry may revalidate-and-reload at any moment,
-    // so a reader must never observe a half-written file.
+    // so a reader must never observe a half-written file.  Crash points
+    // and write/truncate faults (util::FaultInjector) let the tests
+    // kill or corrupt this sequence at every interesting instant.
+    util::FaultInjector &faults = util::FaultInjector::instance();
+    faults.onCrashPoint("checkpoint.before-write");
     const std::string tmp = path + ".tmp";
     {
-        std::ofstream os(tmp);
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)
             util::fatal("serialize: cannot open for writing: " + tmp);
         saveCheckpoint(ckpt, os);
-        if (!os)
+        os.flush();
+        if (!os || faults.shouldFailWrite(path))
             util::fatal("serialize: write failed: " + tmp);
     }
+    faults.onCrashPoint("checkpoint.after-temp-write");
+    if (const auto bytes = faults.truncateBytes(path)) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(tmp, ec);
+        if (!ec && *bytes < size)
+            std::filesystem::resize_file(tmp, *bytes, ec);
+    }
+    // fsync before the rename: without it, a crash shortly after the
+    // rename can publish a directory entry whose data blocks never
+    // reached the disk -- a torn archive under a valid name.
+    std::string syncError;
+    if (!util::fsyncFile(tmp, &syncError))
+        util::fatal("serialize: cannot sync " + tmp + ": " + syncError);
+    faults.onCrashPoint("checkpoint.before-rename");
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec)
         util::fatal("serialize: cannot move " + tmp + " into place: " +
                     ec.message());
+    // Directory-entry durability is best-effort (not every filesystem
+    // supports directory fsync); the data itself is already synced.
+    if (!util::fsyncParentDir(path, &syncError))
+        util::warn("serialize: directory sync failed: " + syncError);
+    faults.onCrashPoint("checkpoint.after-rename");
 }
 
 Checkpoint
@@ -585,6 +661,8 @@ loadCheckpoint(std::istream &is)
             ckpt.meta.name = value;
         else if (key == "backend")
             ckpt.meta.backend = value;
+        else if (key == "trailer")
+            ckpt.meta.trailer = value;
         else if (key == "seed" || key == "epoch" || key == "early_stop") {
             // Digits only: strtoull would silently negate a leading
             // '-' and saturate on overflow.
@@ -646,10 +724,76 @@ loadCheckpoint(std::istream &is)
 Checkpoint
 loadCheckpointFile(const std::string &path)
 {
-    std::ifstream is(path);
+    std::string content, error;
+    if (!util::slurpFile(path, content, &error))
+        util::fatal("serialize: " + error);
+
+    // Verify the integrity trailer before trusting any byte of the
+    // structure: a torn or corrupted archive must be rejected whether
+    // or not it happens to still parse.
+    std::uint64_t declared = 0;
+    const std::size_t trailerAt = findTrailer(content, declared);
+    const bool hasTrailer = trailerAt != std::string::npos;
+    if (hasTrailer) {
+        const std::uint64_t actual =
+            util::crc64(std::string_view(content).substr(0, trailerAt));
+        if (actual != declared)
+            util::fatal("serialize: checksum mismatch in " + path +
+                        " (expected crc64 " + util::crc64Hex(declared) +
+                        ", archive hashes to " + util::crc64Hex(actual) +
+                        "): torn or corrupt archive");
+    }
+
+    std::istringstream is(hasTrailer ? content.substr(0, trailerAt)
+                                     : content);
+    Checkpoint ckpt = loadCheckpoint(is);
+
+    if (!hasTrailer) {
+        if (ckpt.meta.trailer == kTrailerAlgo)
+            util::fatal("serialize: " + path + " declares a " +
+                        std::string(kTrailerAlgo) +
+                        " trailer but carries none (archive truncated "
+                        "at the trailer boundary?)");
+        if (content.rfind(kCheckpointMagic, 0) == 0)
+            util::warn("serialize: " + path +
+                       " carries no integrity trailer (written before "
+                       "checksummed checkpoints); re-save to upgrade");
+    }
+    return ckpt;
+}
+
+std::optional<Checkpoint>
+tryLoadCheckpointFile(const std::string &path, std::string *error)
+{
+    try {
+        util::FatalThrowScope scope;
+        return loadCheckpointFile(path);
+    } catch (const util::FatalError &e) {
+        if (error)
+            *error = e.what();
+        return std::nullopt;
+    }
+}
+
+std::optional<std::uint64_t>
+readArchiveTrailer(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
     if (!is)
-        util::fatal("serialize: cannot open for reading: " + path);
-    return loadCheckpoint(is);
+        return std::nullopt;
+    const auto size = static_cast<std::uint64_t>(is.tellg());
+    const std::size_t lineLen =
+        kTrailerPrefixLen + kTrailerHexLen + 1;
+    if (size < lineLen)
+        return std::nullopt;
+    is.seekg(static_cast<std::streamoff>(size - lineLen));
+    std::string tail(lineLen, '\0');
+    if (!is.read(tail.data(), static_cast<std::streamsize>(lineLen)))
+        return std::nullopt;
+    std::uint64_t value = 0;
+    if (findTrailer(tail, value) != 0)
+        return std::nullopt;
+    return value;
 }
 
 } // namespace ising::rbm

@@ -38,6 +38,28 @@
  *    missing trailers) is fatal.  `loadCheckpoint` also accepts v1
  *    files, migrating them to `Rbm`/`Dbn` checkpoints with empty meta.
  *
+ *    **Integrity trailer**: after `end checkpoint` the writer appends
+ *    one final line,
+ *
+ *      checksum crc64 <16 hex digits>
+ *
+ *    a CRC-64/XZ over every archive byte up to and including the
+ *    `end checkpoint` line.  The meta section declares it
+ *    (`trailer crc64`) so a file truncated exactly at the trailer
+ *    boundary is still detected.  File-based loads verify the trailer
+ *    and reject mismatches (torn or corrupted archives); archives from
+ *    pre-trailer writers carry neither the declaration nor the trailer
+ *    and still load, with a warning.  Stream-based `loadCheckpoint`
+ *    parses structure only (the bytes seen by a stream are whatever
+ *    the caller staged; integrity is a property of files).
+ *
+ *    **Durability**: the file writer stages into `<path>.tmp`, fsyncs
+ *    the temp file, renames it into place and fsyncs the directory, so
+ *    a crash at any instant leaves either the old complete archive or
+ *    the new complete archive -- never a torn one.  The publish path
+ *    is threaded with util::FaultInjector crash points and write/
+ *    truncate faults so the tests can prove exactly that.
+ *
  *    After the model section a checkpoint may carry *optional* trailing
  *    sections.  The only one currently defined is `train`: the
  *    persistent training state (PCD particles, DBM chains, momentum
@@ -122,6 +144,13 @@ struct CheckpointMeta
      * `--resume` after an early stop is a no-op instead of a restart.
      */
     int earlyStopEpoch = -1;
+    /**
+     * Integrity-trailer algorithm the archive declared ("crc64"; empty
+     * for archives from pre-trailer writers).  Read-only provenance:
+     * the writer always emits the current algorithm regardless of this
+     * field.
+     */
+    std::string trailer;
 };
 
 /** One self-describing model artifact: any family plus its metadata. */
@@ -153,10 +182,31 @@ void saveCheckpoint(const Checkpoint &ckpt, const std::string &path);
 /**
  * Read a checkpoint: v2 archives of any family, or legacy v1
  * `Rbm`/`Dbn` files (migrated with default meta).  Fatal on anything
- * malformed.
+ * malformed.  The file overload additionally verifies the integrity
+ * trailer (see the file comment); the stream overload checks structure
+ * only.
  */
 Checkpoint loadCheckpoint(std::istream &is);
 Checkpoint loadCheckpointFile(const std::string &path);
+
+/**
+ * Non-fatal file load for supervising layers (the serving registry,
+ * retry loops): returns the checkpoint, or std::nullopt with the
+ * fatal diagnostic copied into @p error (when non-null).  The process
+ * never exits through this call.
+ */
+std::optional<Checkpoint>
+tryLoadCheckpointFile(const std::string &path,
+                      std::string *error = nullptr);
+
+/**
+ * Read just the integrity trailer from an archive's tail (one small
+ * read; no parse).  std::nullopt for legacy un-checksummed archives,
+ * unreadable files, or anything that is not a checkpoint.  The
+ * registry folds this into its revalidation stamp so an overwrite
+ * that preserves (mtime, size) is still detected.
+ */
+std::optional<std::uint64_t> readArchiveTrailer(const std::string &path);
 
 /** Conventional checkpoint file extension (".ckpt"). */
 extern const char *const kCheckpointExtension;

@@ -7,6 +7,8 @@
 #include "train/session.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "util/logging.hpp"
 
@@ -135,7 +137,32 @@ Session::checkpoint() const
 void
 Session::save() const
 {
-    rbm::saveCheckpoint(checkpoint(), config_.checkpointPath);
+    // A continuously training session should survive a transient write
+    // failure (full disk clearing up, a hiccuping network filesystem):
+    // retry with a capped growing backoff, and only the *final*
+    // attempt's failure is allowed to take the process down.  The
+    // publish is atomic underneath (tmp + fsync + rename), so a failed
+    // attempt never leaves a torn archive behind.
+    const int attempts = std::max(1, config_.saveAttempts);
+    const rbm::Checkpoint ckpt = checkpoint();
+    for (int attempt = 1; attempt < attempts; ++attempt) {
+        try {
+            util::FatalThrowScope scope;
+            rbm::saveCheckpoint(ckpt, config_.checkpointPath);
+            return;
+        } catch (const util::FatalError &e) {
+            const int backoffMs =
+                std::min(attempt * config_.saveRetryBackoffMs,
+                         config_.saveRetryBackoffMaxMs);
+            util::warn(util::strcat("session: checkpoint save attempt ",
+                                    attempt, "/", attempts,
+                                    " failed (retrying in ", backoffMs,
+                                    " ms): ", e.what()));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoffMs));
+        }
+    }
+    rbm::saveCheckpoint(ckpt, config_.checkpointPath);
 }
 
 void

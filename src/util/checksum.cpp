@@ -1,0 +1,93 @@
+/**
+ * @file
+ * CRC-64/XZ implementation (table-driven, one table built at startup).
+ */
+
+#include "util/checksum.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace ising::util {
+
+namespace {
+
+/** ECMA-182 polynomial, reflected form. */
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;
+
+std::array<std::uint64_t, 256>
+buildTable()
+{
+    std::array<std::uint64_t, 256> table{};
+    for (std::uint64_t byte = 0; byte < 256; ++byte) {
+        std::uint64_t crc = byte;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ (kPoly & (~(crc & 1) + 1));
+        table[static_cast<std::size_t>(byte)] = crc;
+    }
+    return table;
+}
+
+const std::array<std::uint64_t, 256> &
+table()
+{
+    static const std::array<std::uint64_t, 256> kTable = buildTable();
+    return kTable;
+}
+
+} // namespace
+
+void
+Crc64::update(const void *data, std::size_t n)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    const auto &t = table();
+    std::uint64_t crc = state_;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = t[static_cast<unsigned char>(crc) ^ bytes[i]] ^ (crc >> 8);
+    state_ = crc;
+}
+
+std::uint64_t
+crc64(std::string_view data)
+{
+    Crc64 crc;
+    crc.update(data.data(), data.size());
+    return crc.value();
+}
+
+std::string
+crc64Hex(std::uint64_t value)
+{
+    static const char *kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+        value >>= 4;
+    }
+    return out;
+}
+
+bool
+parseCrc64Hex(const std::string &text, std::uint64_t &out)
+{
+    if (text.size() != 16)
+        return false;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return false;
+        value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    out = value;
+    return true;
+}
+
+} // namespace ising::util

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * FaultInjector implementation: rule parsing and the hook logic.
+ */
+
+#include "util/fault.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace ising::util {
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+FaultInjector::FaultInjector()
+{
+    if (const char *env = std::getenv("ISINGRBM_FAULTS"))
+        if (*env)
+            configure(env);
+}
+
+bool
+FaultInjector::armed() const
+{
+    return any_.load(std::memory_order_relaxed);
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_.clear();
+    any_.store(false, std::memory_order_relaxed);
+}
+
+namespace {
+
+/** Strict non-negative integer parse; fatal on anything else. */
+std::uint64_t
+parseNumber(const std::string &text, const std::string &rule)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        fatal("fault: bad number '" + text + "' in rule '" + rule + "'");
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+void
+FaultInjector::configure(const std::string &spec)
+{
+    std::vector<Rule> parsed;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t end = spec.find_first_of(",;", begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string text = spec.substr(begin, end - begin);
+        begin = end + 1;
+        if (text.empty())
+            continue;
+
+        const std::size_t colon = text.find(':');
+        if (colon == std::string::npos)
+            fatal("fault: rule '" + text +
+                  "' needs a kind (crash:, failwrite:, truncate:)");
+        const std::string kindName = text.substr(0, colon);
+        std::string rest = text.substr(colon + 1);
+
+        Rule rule;
+        if (kindName == "crash")
+            rule.kind = Kind::Crash;
+        else if (kindName == "failwrite")
+            rule.kind = Kind::FailWrite;
+        else if (kindName == "truncate")
+            rule.kind = Kind::Truncate;
+        else
+            fatal("fault: unknown rule kind '" + kindName + "' in '" +
+                  text + "'");
+
+        // Optional @N / @everyK trailer.
+        const std::size_t at = rest.rfind('@');
+        if (at != std::string::npos) {
+            const std::string when = rest.substr(at + 1);
+            rest = rest.substr(0, at);
+            if (when.rfind("every", 0) == 0) {
+                rule.every = static_cast<int>(
+                    parseNumber(when.substr(5), text));
+                if (rule.every <= 0)
+                    fatal("fault: @every needs a positive period in '" +
+                          text + "'");
+            } else {
+                rule.at = static_cast<int>(parseNumber(when, text));
+                if (rule.at <= 0)
+                    fatal("fault: @N must be positive in '" + text + "'");
+            }
+        }
+
+        // truncate carries a =<bytes> payload.
+        if (rule.kind == Kind::Truncate) {
+            const std::size_t eq = rest.find('=');
+            if (eq == std::string::npos)
+                fatal("fault: truncate rule '" + text +
+                      "' needs =<bytes>");
+            rule.bytes = parseNumber(rest.substr(eq + 1), text);
+            rest = rest.substr(0, eq);
+        }
+
+        if (rest.empty())
+            fatal("fault: rule '" + text + "' has an empty key");
+        rule.key = rest;
+        parsed.push_back(std::move(rule));
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Rule &rule : parsed)
+        rules_.push_back(std::move(rule));
+    any_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+FaultInjector::Rule *
+FaultInjector::match(Kind kind, const std::string &key)
+{
+    // Caller holds no lock; all rule traffic is serialized here.
+    for (Rule &rule : rules_) {
+        if (rule.kind != kind)
+            continue;
+        const bool matches = kind == Kind::Crash
+                                 ? key == rule.key
+                                 : key.find(rule.key) != std::string::npos;
+        if (!matches)
+            continue;
+        ++rule.hits;
+        const bool fires = rule.every > 0 ? rule.hits % rule.every == 0
+                                          : rule.hits == rule.at;
+        if (fires)
+            return &rule;
+    }
+    return nullptr;
+}
+
+void
+FaultInjector::onCrashPoint(const std::string &point)
+{
+    if (!armed())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (match(Kind::Crash, point)) {
+        // No flushing, no atexit handlers: behave like a kill -9 as
+        // closely as a library can.
+        std::_Exit(kCrashExitCode);
+    }
+}
+
+bool
+FaultInjector::shouldFailWrite(const std::string &path)
+{
+    if (!armed())
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (match(Kind::FailWrite, path)) {
+        warn("fault: injected write failure for " + path);
+        return true;
+    }
+    return false;
+}
+
+std::optional<std::uint64_t>
+FaultInjector::truncateBytes(const std::string &path)
+{
+    if (!armed())
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const Rule *rule = match(Kind::Truncate, path)) {
+        warn(strcat("fault: truncating archive for ", path, " to ",
+                    rule->bytes, " bytes"));
+        return rule->bytes;
+    }
+    return std::nullopt;
+}
+
+} // namespace ising::util

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic fault injection for the durability tests.
+ *
+ * The crash/corruption guarantees (a kill mid-checkpoint never loses
+ * the previous archive, a torn write is rejected by the trailer
+ * checksum, the registry degrades to its last-good model) are only
+ * real if they can be produced on demand.  The FaultInjector threads a
+ * handful of hooks through the checkpoint publish path so tests -- and
+ * whole child processes in the CLI smoke stage -- can deterministically
+ * fail the Nth write, truncate a published archive at byte K, or kill
+ * the process at a named crash point.
+ *
+ * Faults are armed programmatically (tests) or through the
+ * `ISINGRBM_FAULTS` environment variable (processes), a comma/
+ * semicolon-separated rule list:
+ *
+ *   crash:<point>[@N|@everyK]        _Exit(42) at the named crash point
+ *   failwrite:<substr>[@N|@everyK]   fail a checkpoint write whose
+ *                                    destination path contains substr
+ *   truncate:<substr>=<bytes>[@N|@everyK]
+ *                                    truncate the temp archive to
+ *                                    <bytes> before it is published
+ *                                    (a torn-write simulator)
+ *
+ * `@N` fires on the Nth matching hit only (default @1); `@everyK`
+ * fires on every Kth.  Crash points currently wired:
+ * checkpoint.before-write, checkpoint.after-temp-write,
+ * checkpoint.before-rename, checkpoint.after-rename,
+ * promote.before-publish, promote.after-publish.
+ *
+ * Everything is a no-op (one relaxed atomic load) when no faults are
+ * armed, so production binaries pay nothing.
+ */
+
+#ifndef ISINGRBM_UTIL_FAULT_HPP
+#define ISINGRBM_UTIL_FAULT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ising::util {
+
+/** Process-wide fault-rule table; see the file comment for the DSL. */
+class FaultInjector
+{
+  public:
+    /** Exit code of an injected crash (distinct from fatal()'s 1). */
+    static constexpr int kCrashExitCode = 42;
+
+    /** The process singleton; arms ISINGRBM_FAULTS on first use. */
+    static FaultInjector &instance();
+
+    /** Parse and arm a rule list; fatal on malformed specs. */
+    void configure(const std::string &spec);
+
+    /** Disarm everything and reset hit counters (tests). */
+    void reset();
+
+    /** True when any rule is armed (the fast path's only check). */
+    bool armed() const;
+
+    // ------------------------------------------------------------ hooks
+
+    /** Kill the process (_Exit(42)) when a crash rule matches. */
+    void onCrashPoint(const std::string &point);
+
+    /** True when a write to @p path should fail this time. */
+    bool shouldFailWrite(const std::string &path);
+
+    /** Bytes to truncate @p path's archive to, when a rule matches. */
+    std::optional<std::uint64_t> truncateBytes(const std::string &path);
+
+  private:
+    FaultInjector();
+
+    enum class Kind { Crash, FailWrite, Truncate };
+
+    struct Rule
+    {
+        Kind kind;
+        std::string key;          ///< crash-point name or path substring
+        std::uint64_t bytes = 0;  ///< truncate target
+        int at = 1;               ///< fire on the at-th hit...
+        int every = 0;            ///< ...or on every every-th hit
+        int hits = 0;
+    };
+
+    /** Find a matching armed rule and advance its hit counter. */
+    Rule *match(Kind kind, const std::string &key);
+
+    mutable std::mutex mutex_;
+    std::vector<Rule> rules_;
+    std::atomic<bool> any_{false};
+};
+
+} // namespace ising::util
+
+#endif // ISINGRBM_UTIL_FAULT_HPP

@@ -49,9 +49,33 @@ logMessage(LogLevel level, const std::string &msg)
     std::fprintf(stderr, "[%s] %s\n", tag(level), msg.c_str());
 }
 
+namespace {
+
+thread_local bool g_fatalThrows = false;
+
+} // namespace
+
+FatalThrowScope::FatalThrowScope() : prev_(g_fatalThrows)
+{
+    g_fatalThrows = true;
+}
+
+FatalThrowScope::~FatalThrowScope()
+{
+    g_fatalThrows = prev_;
+}
+
+bool
+fatalThrows()
+{
+    return g_fatalThrows;
+}
+
 void
 fatal(const std::string &msg)
 {
+    if (g_fatalThrows)
+        throw FatalError(msg);
     std::fprintf(stderr, "[fatal] %s\n", msg.c_str());
     std::exit(1);
 }

@@ -11,6 +11,7 @@
 #define ISINGRBM_UTIL_LOGGING_HPP
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace ising::util {
@@ -46,8 +47,43 @@ debug(const std::string &msg)
     logMessage(LogLevel::Debug, msg);
 }
 
-/** Unrecoverable user-level error: print and exit(1). */
+/**
+ * Unrecoverable user-level error: print and exit(1).
+ *
+ * Inside a FatalThrowScope (same thread), it throws FatalError instead
+ * of exiting, so a supervising layer -- the serving path, a
+ * checkpoint-write retry loop -- can contain the failure to one
+ * request or one attempt rather than the whole process.
+ */
 [[noreturn]] void fatal(const std::string &msg);
+
+/** What fatal() throws while a FatalThrowScope is active. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard: while alive, fatal() on this thread throws FatalError.
+ * Scopes nest (the outermost restores exit-on-fatal), and the flag is
+ * thread-local -- a scope on the serving thread does not change what
+ * fatal() does on worker threads.
+ */
+class FatalThrowScope
+{
+  public:
+    FatalThrowScope();
+    ~FatalThrowScope();
+    FatalThrowScope(const FatalThrowScope &) = delete;
+    FatalThrowScope &operator=(const FatalThrowScope &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/** True when fatal() on this thread would throw instead of exit. */
+bool fatalThrows();
 
 /** printf-style convenience built on ostringstream. */
 template <typename... Args>

@@ -144,3 +144,153 @@ run_step(${CLI} train --registry ${WORK} --name smoke-es
 
 run_step(${CLI} eval --registry ${WORK} --model smoke
          --data MNIST --samples 120 --head-epochs 5)
+
+# ---------------------------------------------------------------------
+# Fault-tolerance legs: the robustness layer under real process
+# boundaries, driven by the ISINGRBM_FAULTS environment DSL.
+
+# Variant of run_step for steps that are *supposed* to exit non-zero
+# (rolled-back promotes exit 2, rejected candidates exit 1).
+function(run_step_expect expected)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  string(JOIN " " pretty ${ARGN})
+  message(STATUS "cli_smoke (expect exit ${expected}): ${pretty}")
+  if(out)
+    message(STATUS "${out}")
+  endif()
+  if(NOT code EQUAL expected)
+    message(FATAL_ERROR "cli_smoke: '${pretty}' exited ${code}, "
+                        "expected ${expected}: ${err}")
+  endif()
+endfunction()
+
+# Transient-write retry: the first write of the archive fails
+# (injected), and the session's save retry must still land the run.
+run_step(${CMAKE_COMMAND} -E env ISINGRBM_FAULTS=failwrite:retry-smoke@1
+         ${CLI} train --registry ${WORK} --name retry-smoke
+         --samples 120 --hidden 10 --epochs 1 --k 1)
+run_step(${CLI} list --registry ${WORK} --verify)
+
+# Continuous training under torn writes: a trainer publishes four
+# per-epoch checkpoints of 'live' with the epoch-2 publish truncated
+# mid-archive (a simulated torn write), while a concurrently running
+# serve-loop probes the same registry with a fixed seeded request.
+# The serve-loop must never die, must never serve the torn archive
+# (the trailer checksum rejects it and the registry degrades to the
+# epoch-1 model), and must eventually observe epoch 4.  The two
+# COMMANDs below run concurrently (execute_process pipelines them);
+# the trainer is upstream so the serve-loop is the last reader
+# standing.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env ISINGRBM_FAULTS=truncate:live.ckpt=200@2
+          ${CLI} train --registry ${WORK}/live-reg --name live
+          --samples 120 --hidden 10 --epochs 4 --k 1
+          --checkpoint-every 1 --epoch-sleep-ms 120
+  COMMAND ${CLI} serve-loop --registry ${WORK}/live-reg --model live
+          --passes 400 --interval-ms 15 --rows 4 --seed 7
+          --until-epoch 4 --out-dir ${WORK}/live-A
+  RESULTS_VARIABLE live_codes
+  OUTPUT_VARIABLE live_out
+  ERROR_VARIABLE live_err)
+message(STATUS "cli_smoke: concurrent torn-write train + serve-loop")
+if(live_out)
+  message(STATUS "${live_out}")
+endif()
+foreach(code IN LISTS live_codes)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cli_smoke: concurrent train/serve-loop leg "
+                        "failed (exit codes: ${live_codes}): "
+                        "${live_err}")
+  endif()
+endforeach()
+
+# Bit-identity across the churn: the same request against the settled
+# registry must produce the same bytes the live run recorded for
+# epoch 4.  Hot-swapping moves *when* a model serves, never what bits
+# a request produces.
+run_step(${CLI} serve-loop --registry ${WORK}/live-reg --model live
+         --passes 3 --interval-ms 5 --rows 4 --seed 7
+         --out-dir ${WORK}/live-B)
+run_step(${CMAKE_COMMAND} -E compare_files
+         ${WORK}/live-A/epoch-4.txt ${WORK}/live-B/epoch-4.txt)
+
+# Hot-swap promote with a mid-stream swap: candidate archives at epoch
+# 1 and epoch 2, a first promote with no incumbent (canary skipped),
+# then a serve-loop watching 'hot' while a delayed concurrent promote
+# swaps the epoch-2 candidate in underneath it.
+run_step(${CLI} train --registry ${WORK}/cands --name cand-a
+         --samples 120 --hidden 10 --epochs 1 --k 1)
+run_step(${CLI} train --registry ${WORK}/cands --name cand-b
+         --samples 120 --hidden 10 --epochs 2 --k 1)
+run_step(${CLI} promote --registry ${WORK}/prom-reg --name hot
+         --candidate ${WORK}/cands/cand-a.ckpt)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -DCLI=${CLI} -DDELAY=1
+          -DREGISTRY=${WORK}/prom-reg -DNAME=hot
+          -DCANDIDATE=${WORK}/cands/cand-b.ckpt -DTOLERANCE=1000
+          -P ${CMAKE_CURRENT_LIST_DIR}/cli_smoke_promote.cmake
+  COMMAND ${CLI} serve-loop --registry ${WORK}/prom-reg --model hot
+          --passes 400 --interval-ms 10 --rows 4 --seed 7
+          --until-epoch 2 --out-dir ${WORK}/prom-A
+  RESULTS_VARIABLE prom_codes
+  OUTPUT_VARIABLE prom_out
+  ERROR_VARIABLE prom_err)
+message(STATUS "cli_smoke: mid-stream promote under a live serve-loop")
+if(prom_out)
+  message(STATUS "${prom_out}")
+endif()
+foreach(code IN LISTS prom_codes)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cli_smoke: mid-stream promote leg failed "
+                        "(exit codes: ${prom_codes}): ${prom_err}")
+  endif()
+endforeach()
+run_step(${CLI} serve-loop --registry ${WORK}/prom-reg --model hot
+         --passes 3 --interval-ms 5 --rows 4 --seed 7
+         --out-dir ${WORK}/prom-B)
+run_step(${CMAKE_COMMAND} -E compare_files
+         ${WORK}/prom-A/epoch-2.txt ${WORK}/prom-B/epoch-2.txt)
+
+# Canary rollback under a live serve-loop: a negative tolerance makes
+# the gate unpassable, so the mid-stream promote must refuse to ship
+# (exit 2) while the serve-loop keeps serving cand-b undisturbed.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -DCLI=${CLI} -DDELAY=0.2 -DEXPECT=2
+          -DREGISTRY=${WORK}/prom-reg -DNAME=hot
+          -DCANDIDATE=${WORK}/cands/cand-a.ckpt -DTOLERANCE=-1
+          -P ${CMAKE_CURRENT_LIST_DIR}/cli_smoke_promote.cmake
+  COMMAND ${CLI} serve-loop --registry ${WORK}/prom-reg --model hot
+          --passes 60 --interval-ms 10 --rows 4 --seed 7
+          --out-dir ${WORK}/prom-roll
+  RESULTS_VARIABLE roll_codes
+  OUTPUT_VARIABLE roll_out
+  ERROR_VARIABLE roll_err)
+message(STATUS "cli_smoke: mid-stream canary rollback")
+if(roll_out)
+  message(STATUS "${roll_out}")
+endif()
+foreach(code IN LISTS roll_codes)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cli_smoke: mid-stream rollback leg failed "
+                        "(exit codes: ${roll_codes}): ${roll_err}")
+  endif()
+endforeach()
+run_step(${CMAKE_COMMAND} -E compare_files
+         ${WORK}/prom-A/epoch-2.txt ${WORK}/prom-roll/epoch-2.txt)
+
+# A torn candidate is rejected outright (exit 1) and never published.
+file(READ ${WORK}/cands/cand-a.ckpt torn_head LIMIT 150)
+file(WRITE ${WORK}/cands/torn.ckpt "${torn_head}")
+run_step_expect(1 ${CLI} promote --registry ${WORK}/prom-reg --name hot
+                --candidate ${WORK}/cands/torn.ckpt)
+
+# After the rollback and the rejected candidate, 'hot' still serves
+# the promoted epoch-2 model bit-for-bit.
+run_step(${CLI} serve-loop --registry ${WORK}/prom-reg --model hot
+         --passes 3 --interval-ms 5 --rows 4 --seed 7
+         --out-dir ${WORK}/prom-C)
+run_step(${CMAKE_COMMAND} -E compare_files
+         ${WORK}/prom-B/epoch-2.txt ${WORK}/prom-C/epoch-2.txt)

@@ -1,0 +1,36 @@
+# Delayed-promote helper for the cli_smoke mid-stream hot-swap leg:
+# sleep DELAY seconds, then run `isingrbm promote` and propagate its
+# exit status.  Runs as one COMMAND of a concurrent execute_process
+# pipeline next to a live serve-loop, so everything here writes to
+# stderr only (plain message()) -- the pipeline's downstream reader may
+# exit first, and a write to its closed stdin would kill this script
+# with SIGPIPE.
+#
+#   cmake -DCLI=<binary> -DDELAY=<seconds> -DREGISTRY=<dir> -DNAME=<id>
+#         -DCANDIDATE=<archive> -DTOLERANCE=<slack> [-DEXPECT=<code>]
+#         -P cli_smoke_promote.cmake
+#
+# EXPECT (default 0) is the promote exit code this run requires: 0 for
+# a gated swap, 2 for a canary rollback.
+
+foreach(var CLI DELAY REGISTRY NAME CANDIDATE TOLERANCE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_smoke_promote: pass -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED EXPECT)
+  set(EXPECT 0)
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E sleep ${DELAY})
+execute_process(COMMAND ${CLI} promote --registry ${REGISTRY}
+                        --name ${NAME} --candidate ${CANDIDATE}
+                        --tolerance ${TOLERANCE}
+                RESULT_VARIABLE code
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+message("cli_smoke_promote: promote exited ${code}\n${out}")
+if(NOT code EQUAL EXPECT)
+  message(FATAL_ERROR "cli_smoke_promote: promote exited ${code}, "
+                      "expected ${EXPECT}: ${err}")
+endif()

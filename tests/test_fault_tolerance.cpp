@@ -1,0 +1,598 @@
+/**
+ * @file
+ * Fault-tolerance tests: checkpoint integrity trailers, crash-safe
+ * publish (via util::FaultInjector), registry last-known-good
+ * degradation, canary-gated promote/rollback, and the serving path's
+ * error containment.
+ *
+ * The overarching claims under test:
+ *  - a crash at any publish instant leaves the old complete archive
+ *    (or the new complete one), never a torn file that loads;
+ *  - truncation anywhere in an archive is rejected by the trailer;
+ *  - a serving registry degrades to its cached last-good model when
+ *    the on-disk archive goes bad, and recovers once it is good again;
+ *  - promote gates on the canary and rolls back without touching the
+ *    incumbent;
+ *  - none of this moves a single served bit: a request's output
+ *    depends only on the model parameters and its own seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "engine/promote.hpp"
+#include "engine/server.hpp"
+#include "rbm/serialize.hpp"
+#include "util/checksum.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+
+using namespace ising;
+using engine::ModelRegistry;
+using engine::Op;
+using engine::Request;
+using engine::Response;
+using engine::Server;
+using engine::StatusCode;
+using rbm::Checkpoint;
+using util::Rng;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/**
+ * An RBM that copies its input: strong diagonal weights latch each
+ * hidden unit to its visible partner, so reconstruction error on any
+ * binary probe is near zero.  The canary can tell it apart from a
+ * model that ignores its input.
+ */
+rbm::Rbm
+copyRbm(std::size_t dim, float w = 16.0f)
+{
+    rbm::Rbm model(dim, dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+        model.weights()(i, i) = w;
+        model.visibleBias()[i] = -w / 2;
+        model.hiddenBias()[i] = -w / 2;
+    }
+    return model;
+}
+
+/** Zero-weight model: reconstructs 0.5 regardless of input. */
+rbm::Rbm
+blankRbm(std::size_t dim)
+{
+    return rbm::Rbm(dim, dim);
+}
+
+Checkpoint
+makeCkpt(rbm::Rbm model, int epoch)
+{
+    Checkpoint ckpt;
+    ckpt.meta.name = "ft";
+    ckpt.meta.backend = "cd";
+    ckpt.meta.seed = 5;
+    ckpt.meta.epoch = epoch;
+    ckpt.model = std::move(model);
+    return ckpt;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class FaultToleranceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        util::FaultInjector::instance().reset();
+        dir_ = (fs::temp_directory_path() /
+                ("isingrbm_test_fault_" + std::to_string(::getpid()) +
+                 "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()->name()))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        util::FaultInjector::instance().reset();
+        fs::remove_all(dir_);
+    }
+
+    std::string
+    path(const std::string &file) const
+    {
+        return (fs::path(dir_) / file).string();
+    }
+
+    std::string dir_;
+};
+
+// ------------------------------------------------------ CRC-64 basics
+
+TEST(Crc64, MatchesKnownVector)
+{
+    // CRC-64/XZ check value for "123456789".
+    EXPECT_EQ(util::crc64("123456789"), 0x995DC9BBDF1939FAull);
+    EXPECT_EQ(util::crc64Hex(0x995DC9BBDF1939FAull),
+              "995dc9bbdf1939fa");
+    std::uint64_t value = 0;
+    ASSERT_TRUE(util::parseCrc64Hex("995dc9bbdf1939fa", value));
+    EXPECT_EQ(value, 0x995DC9BBDF1939FAull);
+    EXPECT_FALSE(util::parseCrc64Hex("995dc9bbdf1939f", value));
+    EXPECT_FALSE(util::parseCrc64Hex("995dc9bbdf1939fax", value));
+}
+
+TEST(Crc64, IncrementalMatchesOneShot)
+{
+    const std::string text = "incremental checksum equivalence";
+    util::Crc64 crc;
+    for (char c : text)
+        crc.update(&c, 1);
+    EXPECT_EQ(crc.value(), util::crc64(text));
+}
+
+// --------------------------------------------- trailer write + verify
+
+TEST_F(FaultToleranceTest, FileRoundTripCarriesVerifiedTrailer)
+{
+    const std::string file = path("m.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(6), 3), file);
+
+    const std::string bytes = slurp(file);
+    ASSERT_NE(bytes.find("trailer crc64\n"), std::string::npos);
+    ASSERT_NE(bytes.find("checksum crc64 "), std::string::npos);
+
+    const auto trailer = rbm::readArchiveTrailer(file);
+    ASSERT_TRUE(trailer.has_value());
+    const std::size_t at = bytes.rfind("checksum crc64 ");
+    EXPECT_EQ(*trailer, util::crc64(
+                            std::string_view(bytes).substr(0, at)));
+
+    const Checkpoint back = rbm::loadCheckpointFile(file);
+    EXPECT_EQ(back.meta.epoch, 3);
+    EXPECT_EQ(back.meta.trailer, "crc64");
+}
+
+TEST_F(FaultToleranceTest, TruncationAtEveryLineBoundaryIsRejected)
+{
+    const std::string file = path("m.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(4), 1), file);
+    const std::string bytes = slurp(file);
+
+    // Every prefix ending at a line boundary -- including the one cut
+    // exactly before the trailer line, which is structurally a
+    // complete archive -- must fail to load.
+    const std::string cut = path("cut.ckpt");
+    std::size_t boundaries = 0;
+    for (std::size_t at = bytes.find('\n'); at != std::string::npos;
+         at = bytes.find('\n', at + 1)) {
+        if (at + 1 == bytes.size())
+            break;  // the full file, which does load
+        spit(cut, bytes.substr(0, at + 1));
+        std::string error;
+        EXPECT_FALSE(rbm::tryLoadCheckpointFile(cut, &error).has_value())
+            << "prefix of " << at + 1 << " bytes loaded";
+        ++boundaries;
+    }
+    EXPECT_GT(boundaries, 5u);
+}
+
+TEST_F(FaultToleranceTest, CorruptedByteFailsTheChecksum)
+{
+    const std::string file = path("m.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(4), 1), file);
+    std::string bytes = slurp(file);
+
+    // Flip one digit inside the model payload: structure stays valid,
+    // only the checksum can catch it.
+    const std::size_t at = bytes.find("8\n");  // a weight digit: 16 -> 18
+    ASSERT_NE(at, std::string::npos);
+    std::string corrupt = bytes;
+    corrupt[at] = '9';
+    spit(file, corrupt);
+    std::string error;
+    EXPECT_FALSE(rbm::tryLoadCheckpointFile(file, &error).has_value());
+    EXPECT_NE(error.find("checksum mismatch"), std::string::npos);
+}
+
+TEST_F(FaultToleranceTest, LegacyUncheksummedArchiveStillLoads)
+{
+    const std::string file = path("m.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(4), 7), file);
+    std::string bytes = slurp(file);
+
+    // Reconstruct what a pre-trailer writer produced: drop the
+    // checksum line and the "trailer crc64" meta entry, and decrement
+    // the declared meta count.
+    const std::size_t tail = bytes.rfind("checksum crc64 ");
+    ASSERT_NE(tail, std::string::npos);
+    bytes.resize(tail);
+    const std::size_t decl = bytes.find("trailer crc64\n");
+    ASSERT_NE(decl, std::string::npos);
+    bytes.erase(decl, std::string("trailer crc64\n").size());
+    const std::size_t meta = bytes.find("section meta ");
+    ASSERT_NE(meta, std::string::npos);
+    const std::size_t countAt = meta + std::string("section meta ").size();
+    const std::size_t countEnd = bytes.find('\n', countAt);
+    const int count =
+        std::stoi(bytes.substr(countAt, countEnd - countAt));
+    bytes = bytes.substr(0, countAt) + std::to_string(count - 1) +
+            bytes.substr(countEnd);
+
+    spit(file, bytes);
+    const auto back = rbm::tryLoadCheckpointFile(file);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->meta.epoch, 7);
+    EXPECT_EQ(back->meta.trailer, "");
+    EXPECT_FALSE(rbm::readArchiveTrailer(file).has_value());
+}
+
+// ------------------------------------------------- crash-safe publish
+
+TEST_F(FaultToleranceTest, CrashBeforeRenameLeavesOldArchiveIntact)
+{
+    // Default (fork) death-test style: the forked child inherits the
+    // written archive and the injector configuration stays in the
+    // child.  This test runs before any test that spawns pool threads.
+    const std::string file = path("m.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(4), 1), file);
+    const std::string before = slurp(file);
+
+    for (const char *point :
+         {"checkpoint.before-write", "checkpoint.after-temp-write",
+          "checkpoint.before-rename"}) {
+        EXPECT_EXIT(
+            {
+                util::FaultInjector::instance().reset();
+                util::FaultInjector::instance().configure(
+                    std::string("crash:") + point);
+                rbm::saveCheckpoint(makeCkpt(copyRbm(4), 2), file);
+            },
+            ::testing::ExitedWithCode(util::FaultInjector::kCrashExitCode),
+            "")
+            << point;
+        // The old archive is untouched and still resumable.
+        EXPECT_EQ(slurp(file), before) << point;
+        const auto back = rbm::tryLoadCheckpointFile(file);
+        ASSERT_TRUE(back.has_value()) << point;
+        EXPECT_EQ(back->meta.epoch, 1) << point;
+    }
+
+    // A crash *after* the rename leaves the new complete archive.
+    EXPECT_EXIT(
+        {
+            util::FaultInjector::instance().reset();
+            util::FaultInjector::instance().configure(
+                "crash:checkpoint.after-rename");
+            rbm::saveCheckpoint(makeCkpt(copyRbm(4), 2), file);
+        },
+        ::testing::ExitedWithCode(util::FaultInjector::kCrashExitCode),
+        "");
+    const auto back = rbm::tryLoadCheckpointFile(file);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->meta.epoch, 2);
+}
+
+TEST_F(FaultToleranceTest, InjectedTruncationProducesARejectedArchive)
+{
+    const std::string file = path("torn.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(4), 1), file);
+    const std::uintmax_t full = fs::file_size(file);
+
+    util::FaultInjector::instance().configure(
+        "truncate:torn.ckpt=" + std::to_string(full / 2));
+    rbm::saveCheckpoint(makeCkpt(copyRbm(4), 2), file);
+    util::FaultInjector::instance().reset();
+
+    EXPECT_EQ(fs::file_size(file), full / 2);
+    std::string error;
+    EXPECT_FALSE(rbm::tryLoadCheckpointFile(file, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+// --------------------------------- registry degradation and recovery
+
+TEST_F(FaultToleranceTest, RegistryFallsBackToLastGoodAndRecovers)
+{
+    // 1 ms backoff so the test can cross the retry window instantly.
+    ModelRegistry registry(dir_, nullptr, {},
+                           engine::RegistryConfig{1, 4});
+    registry.put("m", makeCkpt(copyRbm(5), 1));
+    const std::string file = registry.pathFor("m");
+
+    auto first = registry.tryGet("m");
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value()->meta().epoch, 1);
+
+    // The archive goes bad on disk (torn overwrite).
+    spit(file, slurp(file).substr(0, 40));
+    for (int i = 0; i < 3; ++i) {
+        auto degraded = registry.tryGet("m");
+        ASSERT_TRUE(degraded.ok()) << "fallback get " << i;
+        EXPECT_EQ(degraded.value()->meta().epoch, 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GE(registry.stats().reloadFallbacks, 1u);
+    EXPECT_EQ(registry.stats().quarantined, 1u);
+
+    // A good archive reappears: the registry recovers by itself once
+    // the backoff window lets it retry.
+    rbm::saveCheckpoint(makeCkpt(copyRbm(5), 9), file);
+    std::shared_ptr<const engine::Model> recovered;
+    for (int i = 0; i < 100 && !recovered; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        auto result = registry.tryGet("m");
+        ASSERT_TRUE(result.ok());
+        if (result.value()->meta().epoch == 9)
+            recovered = result.value();
+    }
+    ASSERT_TRUE(recovered != nullptr);
+    EXPECT_EQ(registry.stats().quarantined, 0u);
+}
+
+TEST_F(FaultToleranceTest, ColdLoadOfCorruptArchiveIsAnError)
+{
+    ModelRegistry registry(dir_, nullptr, {},
+                           engine::RegistryConfig{1, 4});
+    spit(path("bad.ckpt"), "isingrbm-checkpoint v2\ngarbage");
+    auto result = registry.tryGet("bad");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::DataLoss);
+    EXPECT_GE(registry.stats().loadFailures, 1u);
+
+    auto missing = registry.tryGet("nope");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), StatusCode::NotFound);
+}
+
+TEST_F(FaultToleranceTest, SameSizeSameMtimeOverwriteIsStillDetected)
+{
+    // The stamp race: overwrite the served archive with a different
+    // model of identical byte size, then force the mtime back, so
+    // (mtime, size) cannot tell them apart -- only the trailer can.
+    ModelRegistry registry(dir_);
+    rbm::Rbm a(3, 3), b(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j) {
+            a.weights()(i, j) = 0.25f;
+            b.weights()(i, j) = 0.75f;
+        }
+    registry.put("m", makeCkpt(a, 1));
+    const std::string file = registry.pathFor("m");
+    const auto mtime = fs::last_write_time(file);
+    ASSERT_TRUE(registry.tryGet("m").ok());
+
+    const std::string other = path("other.ckpt");
+    Checkpoint overwrite = makeCkpt(b, 1);
+    overwrite.meta.name = "m";  // match put()'s stamped name byte-for-byte
+    rbm::saveCheckpoint(overwrite, other);
+    ASSERT_EQ(fs::file_size(other), fs::file_size(file))
+        << "test premise: archives must be byte-size-identical";
+    fs::rename(other, file);
+    fs::last_write_time(file, mtime);
+
+    auto swapped = registry.tryGet("m");
+    ASSERT_TRUE(swapped.ok());
+    const auto &model =
+        std::get<rbm::Rbm>(swapped.value()->checkpoint().model);
+    EXPECT_FLOAT_EQ(model.weights()(0, 0), 0.75f);
+}
+
+// --------------------------------------------- server error delivery
+
+TEST_F(FaultToleranceTest, BadRequestsFailTheirFutureNotTheProcess)
+{
+    ModelRegistry registry(dir_);
+    registry.put("m", makeCkpt(copyRbm(4), 1));
+    Server server(registry);
+
+    Request missing;
+    missing.model = "ghost";
+    missing.op = Op::Featurize;
+    missing.input = linalg::Matrix(1, 4);
+    Response r1 = server.serve({std::move(missing)}).front();
+    EXPECT_EQ(r1.status.code(), StatusCode::NotFound);
+
+    Request badWidth;
+    badWidth.model = "m";
+    badWidth.op = Op::Featurize;
+    badWidth.input = linalg::Matrix(1, 7);
+    Response r2 = server.serve({std::move(badWidth)}).front();
+    EXPECT_EQ(r2.status.code(), StatusCode::InvalidArgument);
+
+    Request badCount;
+    badCount.model = "m";
+    badCount.op = Op::Sample;
+    badCount.count = 0;
+    Response r3 = server.serve({std::move(badCount)}).front();
+    EXPECT_EQ(r3.status.code(), StatusCode::InvalidArgument);
+
+    // The server is still alive and serving.
+    Request good;
+    good.model = "m";
+    good.op = Op::Featurize;
+    good.input = engine::canaryProbe(2, 4, 11);
+    Response r4 = server.serve({std::move(good)}).front();
+    EXPECT_TRUE(r4.status.ok());
+    EXPECT_EQ(r4.output.rows(), 2u);
+    EXPECT_EQ(server.stats().rejected, 3u);
+    EXPECT_EQ(server.stats().rows, 2u);
+}
+
+TEST_F(FaultToleranceTest, RejectedRequestDoesNotPerturbCoalescedBits)
+{
+    ModelRegistry registry(dir_);
+    registry.put("m", makeCkpt(copyRbm(6), 1));
+
+    auto reconstruct = [](std::uint64_t seed) {
+        Request req;
+        req.model = "m";
+        req.op = Op::Reconstruct;
+        req.input = engine::canaryProbe(3, 6, 21);
+        req.seed = seed;
+        return req;
+    };
+
+    Server clean(registry);
+    const Response alone = clean.serve({reconstruct(77)}).front();
+    ASSERT_TRUE(alone.status.ok());
+
+    Server noisy(registry);
+    Request bad;
+    bad.model = "m";
+    bad.op = Op::Featurize;
+    bad.input = linalg::Matrix(2, 9);
+    auto mixed = noisy.serve({reconstruct(77), std::move(bad)});
+    ASSERT_TRUE(mixed[0].status.ok());
+    EXPECT_FALSE(mixed[1].status.ok());
+    EXPECT_EQ(alone.output, mixed[0].output);
+}
+
+// -------------------------------------------------- promote/rollback
+
+TEST_F(FaultToleranceTest, PromoteGatesOnTheCanary)
+{
+    ModelRegistry registry(dir_);
+    registry.put("m", makeCkpt(copyRbm(6), 1));
+
+    // A worse candidate (ignores its input) is rolled back.
+    const std::string bad = path("bad-candidate.ckpt");
+    rbm::saveCheckpoint(makeCkpt(blankRbm(6), 2), bad);
+    auto rolled = registry.promote("m", bad);
+    ASSERT_TRUE(rolled.ok());
+    EXPECT_FALSE(rolled.value().promoted);
+    EXPECT_TRUE(rolled.value().canaryRan);
+    EXPECT_GT(rolled.value().candidateError,
+              rolled.value().incumbentError);
+    // The incumbent keeps serving, untouched.
+    auto still = registry.tryGet("m");
+    ASSERT_TRUE(still.ok());
+    EXPECT_EQ(still.value()->meta().epoch, 1);
+
+    // An equivalent candidate passes and swaps in atomically.
+    const std::string good = path("good-candidate.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(6), 2), good);
+    auto promoted = registry.promote("m", good);
+    ASSERT_TRUE(promoted.ok());
+    EXPECT_TRUE(promoted.value().promoted);
+    auto now = registry.tryGet("m");
+    ASSERT_TRUE(now.ok());
+    EXPECT_EQ(now.value()->meta().epoch, 2);
+    // The published archive verifies end to end.
+    EXPECT_TRUE(
+        rbm::tryLoadCheckpointFile(registry.pathFor("m")).has_value());
+
+    const auto stats = registry.stats();
+    EXPECT_EQ(stats.promotions, 1u);
+    EXPECT_EQ(stats.rollbacks, 1u);
+}
+
+TEST_F(FaultToleranceTest, PromoteRejectsTornCandidate)
+{
+    ModelRegistry registry(dir_);
+    registry.put("m", makeCkpt(copyRbm(6), 1));
+
+    const std::string torn = path("torn-candidate.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(6), 2), torn);
+    spit(torn, slurp(torn).substr(0, 60));
+
+    auto result = registry.promote("m", torn);
+    EXPECT_FALSE(result.ok());
+    auto still = registry.tryGet("m");
+    ASSERT_TRUE(still.ok());
+    EXPECT_EQ(still.value()->meta().epoch, 1);
+    EXPECT_EQ(registry.stats().rollbacks, 1u);
+}
+
+TEST_F(FaultToleranceTest, PromoteWithNoIncumbentSkipsTheCanary)
+{
+    ModelRegistry registry(dir_);
+    const std::string cand = path("cand.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(5), 3), cand);
+    auto result = registry.promote("fresh", cand);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().promoted);
+    EXPECT_FALSE(result.value().canaryRan);
+    auto model = registry.tryGet("fresh");
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ(model.value()->meta().epoch, 3);
+}
+
+TEST_F(FaultToleranceTest, MidStreamPromoteKeepsServedBitsIdentical)
+{
+    // Requests served before a promote must match a never-swapped run
+    // bit for bit, and requests served after must match a run that
+    // always had the new model: the swap moves *when* a model serves,
+    // never what bits a request produces.
+    const auto probe = engine::canaryProbe(3, 6, 33);
+    auto reconstruct = [&](std::uint64_t seed) {
+        Request req;
+        req.model = "m";
+        req.op = Op::Reconstruct;
+        req.input = probe;
+        req.seed = seed;
+        return req;
+    };
+
+    // Static baselines: one registry pinned to each model.
+    ModelRegistry oldOnly(dir_ + "_old");
+    oldOnly.put("m", makeCkpt(copyRbm(6, 16.0f), 1));
+    Server oldServer(oldOnly);
+    const Response oldBits = oldServer.serve({reconstruct(91)}).front();
+
+    ModelRegistry newOnly(dir_ + "_new");
+    newOnly.put("m", makeCkpt(copyRbm(6, 24.0f), 2));
+    Server newServer(newOnly);
+    const Response newBits = newServer.serve({reconstruct(91)}).front();
+
+    // The hot-swapped run.
+    ModelRegistry registry(dir_);
+    registry.put("m", makeCkpt(copyRbm(6, 16.0f), 1));
+    Server server(registry);
+    const Response before = server.serve({reconstruct(91)}).front();
+
+    const std::string cand = path("cand.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(6, 24.0f), 2), cand);
+    auto promoted = registry.promote("m", cand);
+    ASSERT_TRUE(promoted.ok());
+    ASSERT_TRUE(promoted.value().promoted);
+
+    const Response after = server.serve({reconstruct(91)}).front();
+
+    ASSERT_TRUE(before.status.ok());
+    ASSERT_TRUE(after.status.ok());
+    EXPECT_EQ(before.output, oldBits.output);
+    EXPECT_EQ(after.output, newBits.output);
+
+    fs::remove_all(dir_ + "_old");
+    fs::remove_all(dir_ + "_new");
+}
+
+} // namespace
