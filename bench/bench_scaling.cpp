@@ -826,6 +826,112 @@ printServeBench(bool full, std::vector<benchtool::JsonRecord> &json)
 }
 
 /**
+ * Response-cache hit-ratio sweep: reconstruct traffic with 0/50/90/99%
+ * repeat requests per batch shape, compared against the cache-off
+ * packed miss path and the float-gather baseline (the pre-cache
+ * serving stack).  Emitted separately (BENCH_serve.json via
+ * --json-serve) so CI tracks the serving trajectory next to the
+ * kernel and sparse artifacts.
+ */
+void
+printServeCacheBench(bool full, std::vector<benchtool::JsonRecord> &json)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "isingrbm_bench_serve_cache")
+            .string();
+    fs::remove_all(dir);
+    engine::ModelRegistry registry(dir);
+    rbm::Checkpoint ckpt;
+    ckpt.meta.backend = "bench";
+    ckpt.model = kernelModel(784, 500, 17);
+    registry.put("serve", std::move(ckpt));
+    const auto model = registry.get("serve");
+
+    const std::size_t trafficN = full ? 512 : 128;
+    const std::size_t warmN = 16;  // the repeatable working set
+    const int hitPcts[] = {0, 50, 90, 99};
+
+    benchtool::Table table({"shape", "leg", "req/s", "ns/row", "hits",
+                            "misses"});
+    for (const std::size_t rowsPer : {std::size_t{4}, std::size_t{64}}) {
+        // Unique and warm request pools with disjoint seed ranges; a
+        // "repeat" is a byte-exact copy of a warm request, so it keys
+        // identically and hits.
+        const auto unique = engine::probeRequests(
+            *model, "serve", engine::Op::Reconstruct, trafficN, rowsPer,
+            0, 1000);
+        const auto warm = engine::probeRequests(
+            *model, "serve", engine::Op::Reconstruct, warmN, rowsPer, 0,
+            900000);
+        // Budget sized to the warm set plus churn headroom: hit
+        // traffic keeps warm entries at the LRU front while one-shot
+        // unique responses cycle through the tail.
+        const std::size_t budget =
+            4 * warmN * (rowsPer * 784 * sizeof(float) + 512);
+
+        const auto runLeg = [&](const char *leg, bool cacheOn,
+                                bool packed, int hitPct) {
+            engine::ServerConfig config;
+            config.cacheBytes = cacheOn ? budget : 0;
+            config.packedGather = packed;
+            engine::Server server(registry, config);
+            if (cacheOn)
+                server.serve({warm.begin(), warm.end()});
+            std::vector<engine::Request> traffic;
+            traffic.reserve(trafficN);
+            std::size_t nextWarm = 0;
+            for (std::size_t i = 0; i < trafficN; ++i)
+                traffic.push_back(
+                    static_cast<int>(i % 100) < hitPct
+                        ? warm[nextWarm++ % warmN]
+                        : unique[i]);
+            util::Stopwatch sw;
+            server.serve(std::move(traffic));
+            const double sec = sw.seconds();
+            const engine::Server::Stats stats = server.stats();
+            const double rows =
+                static_cast<double>(trafficN) *
+                static_cast<double>(rowsPer);
+            const std::string shape =
+                std::to_string(rowsPer) + "-row";
+            table.addRow({shape, leg, fmt(trafficN / sec, 0),
+                          fmt(sec / rows * 1e9, 0),
+                          std::to_string(stats.cacheHits),
+                          std::to_string(stats.cacheMisses)});
+            const std::string cell =
+                "serve_cache/rows" + std::to_string(rowsPer) + "/" + leg;
+            json.push_back({cell + "/requests_per_s", trafficN / sec,
+                            "req/s"});
+            json.push_back({cell + "/ns_per_row", sec / rows * 1e9,
+                            "ns/row"});
+            return sec;
+        };
+
+        const double tBaseline =
+            runLeg("baseline_float", false, false, 0);
+        const double tMiss = runLeg("miss_packed", false, true, 0);
+        double tHit99 = 0.0;
+        for (const int pct : hitPcts) {
+            const std::string leg = "hit" + std::to_string(pct);
+            const double t = runLeg(leg.c_str(), true, true, pct);
+            if (pct == 99)
+                tHit99 = t;
+        }
+        const std::string prefix =
+            "serve_cache/rows" + std::to_string(rowsPer);
+        json.push_back({prefix + "/packed_speedup", tBaseline / tMiss,
+                        "x"});
+        json.push_back({prefix + "/hit99_speedup", tMiss / tHit99, "x"});
+    }
+    table.print("Serving cache sweep (784x500 RBM reconstruct, " +
+                std::to_string(trafficN) + " requests; repeats drawn "
+                "from a " + std::to_string(warmN) + "-request warm "
+                "set)");
+    fs::remove_all(dir);
+}
+
+/**
  * Session-layer training throughput: epochs/sec per model family
  * through the unified train::Session runtime (the `isingrbm train`
  * path), on a small shared workload.  Emitted into the BENCH JSON so
@@ -1062,6 +1168,8 @@ main(int argc, char **argv)
         benchtool::flagValue(argc, argv, "--json");
     const std::string sparseJsonPath =
         benchtool::flagValue(argc, argv, "--json-sparse");
+    const std::string serveJsonPath =
+        benchtool::flagValue(argc, argv, "--json-serve");
     const bool full = benchtool::fullScale(argc, argv);
 
     const benchtool::JsonMeta meta = hostMetadata();
@@ -1079,6 +1187,12 @@ main(int argc, char **argv)
     if (!sparseJsonPath.empty())
         benchtool::writeBenchJson(sparseJsonPath, "bench_scaling_sparse",
                                   sparseJson, meta);
+
+    std::vector<benchtool::JsonRecord> serveJson;
+    printServeCacheBench(full, serveJson);
+    if (!serveJsonPath.empty())
+        benchtool::writeBenchJson(serveJsonPath, "bench_scaling_serve",
+                                  serveJson, meta);
 
     printMultiChip();
     if (full) {

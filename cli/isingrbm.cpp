@@ -643,6 +643,14 @@ const std::vector<util::FlagHelp> kServeBenchFlags = {
     {"steps", "K", "anneal sweeps for sample requests (default 10)"},
     {"max-batch", "B", "server kernel batch depth (default 256)"},
     {"seed", "S", "request seed root (default 13)"},
+    {"reps", "N", "serve the same workload N times in-process "
+                  "(default 1; with --cache-bytes, rep 2+ hits)"},
+    {"cache-bytes", "B", "response-cache budget in bytes (default 0 = "
+                         "cache off)"},
+    {"legacy-gather", "", "float gather instead of the packed bit "
+                          "plane (bit-identical; for comparison)"},
+    {"out", "file", "write the final rep's response bytes (hex floats) "
+                    "for cross-run comparison"},
     {"sparse-threshold", "X", "sparse kernel crossover activity "
                               "(default: auto; 0 dense, 1 sparse)"},
     {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
@@ -661,6 +669,8 @@ cmdServeBench(const util::CliArgs &args)
                                    nullptr, samplingFlags(args));
     engine::ServerConfig config;
     config.maxBatchRows = sizeFlag(args, "max-batch", 256);
+    config.cacheBytes = sizeFlag(args, "cache-bytes", 0);
+    config.packedGather = !args.has("legacy-gather");
     engine::Server server(registry, config);
 
     const std::string name = requireFlag(args, "model");
@@ -671,28 +681,59 @@ cmdServeBench(const util::CliArgs &args)
     const std::size_t rows = sizeFlag(args, "rows", 4);
     const int steps = static_cast<int>(args.getInt("steps", 10));
     const std::uint64_t seed = args.getInt("seed", 13);
+    const std::size_t reps = std::max<std::size_t>(
+        1, sizeFlag(args, "reps", 1));
 
-    auto batch =
-        engine::probeRequests(*model, name, op, requests, rows, steps,
-                              seed);
+    // probeRequests is deterministic, so each rep serves byte-identical
+    // requests: with a cache, rep 1 warms it and later reps replay.
+    std::vector<engine::Response> responses;
     util::Stopwatch sw;
-    const auto responses = server.serve(std::move(batch));
+    for (std::size_t rep = 0; rep < reps; ++rep)
+        responses = server.serve(engine::probeRequests(
+            *model, name, op, requests, rows, steps, seed));
     const double seconds = sw.seconds();
     const engine::Server::Stats stats = server.stats();
-    std::printf("served %zu %s requests (%zu rows) on %s '%s' in "
-                "%.3fs\n",
-                responses.size(), engine::opName(op), stats.rows,
+    std::printf("served %zu x %zu %s requests (%zu kernel rows) on "
+                "%s '%s' in %.3fs\n",
+                reps, responses.size(), engine::opName(op), stats.rows,
                 model->familyName(), name.c_str(), seconds);
     std::printf("  %.0f requests/s, %.0f rows/s, %zu coalesced "
                 "groups, %zu kernel batches (max depth %zu), "
-                "%zu scratch resizes\n",
-                requests / seconds, stats.rows / seconds, stats.groups,
+                "%zu scratch resizes, %zu group resizes\n",
+                reps * requests / seconds,
+                reps * requests * rows / seconds, stats.groups,
                 stats.kernelBatches, config.maxBatchRows,
-                stats.scratchResizes);
+                stats.scratchResizes, stats.groupResizes);
+    std::printf("  cache: %zu hits, %zu misses, %zu evictions, "
+                "%zu bytes (budget %zu, %s gather)\n",
+                stats.cacheHits, stats.cacheMisses, stats.cacheEvictions,
+                stats.cacheBytes, config.cacheBytes,
+                config.packedGather ? "packed" : "legacy");
     std::printf("  faults: %zu rejected, %zu reload fallbacks, "
                 "%zu promotions, %zu rollbacks\n",
                 stats.rejected, stats.reloadFallbacks, stats.promotions,
                 stats.rollbacks);
+
+    // Exact byte dump of the final rep: the cli_smoke canaries diff
+    // these across cache on/off and packed/legacy gather.
+    const std::string outPath = args.get("out", "");
+    if (!outPath.empty()) {
+        std::ofstream file(outPath, std::ios::binary);
+        if (!file)
+            util::fatal("isingrbm: cannot write " + outPath);
+        file << std::hexfloat;
+        for (const engine::Response &res : responses) {
+            if (!res.status.ok())
+                util::fatal("isingrbm: serve-bench response failed: " +
+                            res.status.toString());
+            for (std::size_t r = 0; r < res.output.rows(); ++r)
+                for (std::size_t c = 0; c < res.output.cols(); ++c)
+                    file << res.output(r, c)
+                         << (c + 1 == res.output.cols() ? '\n' : ' ');
+            for (const int label : res.labels)
+                file << label << '\n';
+        }
+    }
     return 0;
 }
 
@@ -751,6 +792,9 @@ const std::vector<util::FlagHelp> kServeLoopFlags = {
     {"interval-ms", "M", "pause between passes (default 25)"},
     {"rows", "R", "probe rows per pass (default 4)"},
     {"seed", "S", "probe/request seed (default 7; fixed across passes)"},
+    {"cache-bytes", "B", "response-cache budget in bytes (default 0 = "
+                         "cache off; stamp keying keeps hits exact "
+                         "across hot-swaps)"},
     {"until-epoch", "E", "stop successfully once a pass is served by a "
                          "model at epoch >= E (default: run all "
                          "passes)"},
@@ -786,7 +830,9 @@ cmdServeLoop(const util::CliArgs &args)
     engine::ModelRegistry registry(requireFlag(args, "registry"),
                                    nullptr, samplingFlags(args),
                                    engine::RegistryConfig{10, 200});
-    engine::Server server(registry);
+    engine::ServerConfig serverConfig;
+    serverConfig.cacheBytes = sizeFlag(args, "cache-bytes", 0);
+    engine::Server server(registry, serverConfig);
     const std::string name = requireFlag(args, "model");
     const std::size_t passes = sizeFlag(args, "passes", 50);
     const int intervalMs =
@@ -876,6 +922,11 @@ cmdServeLoop(const util::CliArgs &args)
                 "distinct epochs, %zu mismatches\n",
                 name.c_str(), okPasses, failedPasses, byEpoch.size(),
                 mismatches);
+    if (serverConfig.cacheBytes > 0)
+        std::printf("  cache: %zu hits, %zu misses, %zu evictions, "
+                    "%zu bytes\n",
+                    stats.cacheHits, stats.cacheMisses,
+                    stats.cacheEvictions, stats.cacheBytes);
     std::printf("  faults: %zu rejected, %zu reload fallbacks, "
                 "%zu promotions, %zu rollbacks\n",
                 stats.rejected, stats.reloadFallbacks, stats.promotions,

@@ -137,6 +137,24 @@ Model::supports(Op op) const
     return false;
 }
 
+bool
+Model::supportsPackedInput(Op op) const
+{
+    if (op != Op::Featurize && op != Op::Reconstruct)
+        return false;
+    switch (family()) {
+      case rbm::ModelFamily::Rbm:
+      case rbm::ModelFamily::CfRbm:
+      case rbm::ModelFamily::Dbn:
+        return supports(op);
+      case rbm::ModelFamily::ClassRbm:
+      case rbm::ModelFamily::ConvRbm:
+      case rbm::ModelFamily::Dbm:
+        return false;
+    }
+    return false;
+}
+
 std::size_t
 Model::inputDim() const
 {
@@ -317,6 +335,37 @@ Model::featurizeRows(const linalg::Matrix &in, linalg::Matrix &out,
 }
 
 void
+Model::featurizeRowsPacked(const linalg::BitMatrix &in,
+                           linalg::Matrix &out,
+                           BatchScratch &scratch) const
+{
+    if (!supportsPackedInput(Op::Featurize))
+        util::fatal(std::string("engine: family ") + familyName() +
+                    " does not support packed featurize");
+    assert(in.cols() == inputDim());
+    fillScratchRngs(scratch.rngs, in.rows());
+    if (family() == rbm::ModelFamily::Dbn) {
+        // Only the first layer sees binary rows; the upper layers
+        // consume the means below them and stay on the float path,
+        // exactly as featurizeRows dispatches them.
+        layers_.front()->sampleHiddenBatchPacked(in, scratch.pa,
+                                                 scratch.b,
+                                                 scratch.rngs.data());
+        linalg::Matrix &cur = scratch.stage;
+        std::swap(cur, scratch.b);
+        for (std::size_t l = 1; l < layers_.size(); ++l) {
+            layers_[l]->sampleHiddenBatch(cur, scratch.a, scratch.b,
+                                          scratch.rngs.data());
+            std::swap(cur, scratch.b);
+        }
+        out = cur;
+        return;
+    }
+    sampler()->sampleHiddenBatchPacked(in, scratch.pa, out,
+                                       scratch.rngs.data());
+}
+
+void
 Model::reconstructRows(const linalg::Matrix &in, util::Rng *rngs,
                        linalg::Matrix &out) const
 {
@@ -398,6 +447,48 @@ Model::reconstructRows(const linalg::Matrix &in, util::Rng *rngs,
         break;
     }
     util::fatal("engine: reconstruct unreachable");
+}
+
+void
+Model::reconstructRowsPacked(const linalg::BitMatrix &in, util::Rng *rngs,
+                             linalg::Matrix &out,
+                             BatchScratch &scratch) const
+{
+    if (!supportsPackedInput(Op::Reconstruct))
+        util::fatal(std::string("engine: family ") + familyName() +
+                    " does not support packed reconstruct");
+    assert(in.cols() == inputDim());
+
+    if (family() == rbm::ModelFamily::Dbn) {
+        // Mean-field both ways: after the packed first up-sweep the
+        // staging rows are means, so the rest of the stack walks the
+        // float path exactly as reconstructRows does.
+        fillScratchRngs(scratch.rngs, in.rows());
+        layers_.front()->sampleHiddenBatchPacked(in, scratch.pa,
+                                                 scratch.b,
+                                                 scratch.rngs.data());
+        linalg::Matrix &cur = scratch.stage;
+        std::swap(cur, scratch.b);
+        for (std::size_t l = 1; l < layers_.size(); ++l) {
+            layers_[l]->sampleHiddenBatch(cur, scratch.a, scratch.b,
+                                          scratch.rngs.data());
+            std::swap(cur, scratch.b);
+        }
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+            layers_[l]->sampleVisibleBatch(cur, scratch.a, scratch.b,
+                                           scratch.rngs.data());
+            std::swap(cur, scratch.b);
+        }
+        out = cur;
+        return;
+    }
+
+    // Latch hidden from the packed rows, then the down half-sweep: the
+    // intermediate hidden sample never leaves the bit domain, and only
+    // the reported visible means materialize as floats.
+    sampler()->sampleHiddenBatchPacked(in, scratch.pa, scratch.b, rngs);
+    sampler()->sampleVisibleBatchPacked(scratch.pa, scratch.pb, out,
+                                        rngs);
 }
 
 void

@@ -24,6 +24,7 @@
 #ifndef ISINGRBM_ENGINE_MODEL_HPP
 #define ISINGRBM_ENGINE_MODEL_HPP
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,6 +58,7 @@ struct BatchScratch
 {
     linalg::Matrix a, b, c, d;    ///< half-sweep state/means buffers
     linalg::Matrix stage;         ///< layer-stack staging rows
+    linalg::BitMatrix pa, pb;     ///< packed half-sweep states
     std::vector<util::Rng> rngs;  ///< deterministic-op scratch streams
 };
 
@@ -89,6 +91,36 @@ class Model
 
     /** True when the family implements the operation. */
     bool supports(Op op) const;
+
+    /**
+     * True when the operation can consume a bit-packed input plane
+     * (the *RowsPacked overloads): data-bearing ops of the families
+     * served through a flat joint RBM.  ConvRbm/Dbm family math and
+     * exact classification read float rows directly, so packing would
+     * only add a round-trip there.
+     */
+    bool supportsPackedInput(Op op) const;
+
+    // ------------------------------------------------ identity stamp
+    // The CRC-64 trailer of the checkpoint archive this model was
+    // loaded from, recorded by the registry at install time.  It
+    // uniquely identifies the serving parameter bytes, which is what
+    // lets the server key its deterministic response cache on it:
+    // promote/reload/overwrite publishes a different trailer, so stale
+    // cache entries stop matching with no explicit invalidation hook.
+    // Absent for legacy un-checksummed archives (their responses are
+    // simply uncacheable).
+
+    bool hasStamp() const { return hasStamp_; }
+    std::uint64_t stamp() const { return stamp_; }
+
+    /** Registry-only: record the serving archive's trailer checksum
+     *  (before the model is shared as const). */
+    void setStamp(std::uint64_t stamp)
+    {
+        stamp_ = stamp;
+        hasStamp_ = true;
+    }
 
     /** Input row width for data-bearing ops (pixels for ClassRbm). */
     std::size_t inputDim() const;
@@ -127,6 +159,16 @@ class Model
                        linalg::Matrix &out) const;
 
     /**
+     * featurizeRows over an already-packed input plane (requires
+     * supportsPackedInput(Op::Featurize)): the rows go straight into
+     * the packed batched kernels with no float materialization on the
+     * way in.  Bit-identical to featurizeRows of the unpacked rows.
+     */
+    void featurizeRowsPacked(const linalg::BitMatrix &in,
+                             linalg::Matrix &out,
+                             BatchScratch &scratch) const;
+
+    /**
      * Stochastic reconstruction: latch hidden from rngs[r], report the
      * visible mean-field of the down sweep (mean-field both ways for
      * DBN/DBM/ConvRbm, which reconstruct deterministically).
@@ -135,6 +177,16 @@ class Model
                          linalg::Matrix &out, BatchScratch &scratch) const;
     void reconstructRows(const linalg::Matrix &in, util::Rng *rngs,
                          linalg::Matrix &out) const;
+
+    /**
+     * reconstructRows over a packed input plane: the up half-sweep
+     * consumes the packed rows and its sampled hidden state stays
+     * packed into the down half-sweep, so only the reported visible
+     * means ever exist as floats.  Bit-identical to reconstructRows.
+     */
+    void reconstructRowsPacked(const linalg::BitMatrix &in,
+                               util::Rng *rngs, linalg::Matrix &out,
+                               BatchScratch &scratch) const;
 
     /** Exact free-energy classification (ClassRbm only). */
     void classifyRows(const linalg::Matrix &in,
@@ -145,6 +197,8 @@ class Model
 
     rbm::Checkpoint ckpt_;
     exec::ThreadPool *pool_;
+    std::uint64_t stamp_ = 0;  ///< archive CRC-64 trailer (see above)
+    bool hasStamp_ = false;
     rbm::Rbm cfFlat_;  ///< CfRbm parameters re-hosted as a plain Rbm
     std::unique_ptr<rbm::SoftwareGibbsBackend> flat_;
     /** Per-layer backends for the DBN stack (flat_ aliases the first). */

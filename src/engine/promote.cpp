@@ -116,7 +116,7 @@ ModelRegistry::promote(const std::string &name,
     // Load the candidate aside -- never into the serving cache.  An
     // unloadable candidate (torn publish, truncated copy) is the most
     // common rollback, caught before the incumbent is even touched.
-    auto candidate = loadModelFile(candidatePath);
+    auto candidate = loadModelFile(candidatePath, stampFor(candidatePath));
     if (!candidate.ok()) {
         noteRollback();
         util::warn("promote: candidate " + candidatePath +

@@ -85,7 +85,8 @@ ModelRegistry::stampFor(const std::string &path)
 }
 
 Result<std::shared_ptr<const Model>>
-ModelRegistry::loadModelFile(const std::string &path) const
+ModelRegistry::loadModelFile(const std::string &path,
+                             const FileStamp &stamp) const
 {
     std::string error;
     auto ckpt = rbm::tryLoadCheckpointFile(path, &error);
@@ -95,8 +96,11 @@ ModelRegistry::loadModelFile(const std::string &path) const
         // Model construction validates shapes and can reject archives
         // that parsed but cannot be served; contain that too.
         util::FatalThrowScope scope;
-        return std::make_shared<const Model>(std::move(*ckpt), pool_,
+        auto model = std::make_shared<Model>(std::move(*ckpt), pool_,
                                              options_);
+        if (stamp.hasTrailer)
+            model->setStamp(stamp.trailer);
+        return std::shared_ptr<const Model>(std::move(model));
     } catch (const util::FatalError &e) {
         return Status(StatusCode::DataLoss, e.what());
     }
@@ -169,7 +173,7 @@ ModelRegistry::tryGet(const std::string &name)
     // losers' redundant loads are discarded.
     auto loaded =
         onDiskExists
-            ? loadModelFile(path)
+            ? loadModelFile(path, onDisk)
             : Result<std::shared_ptr<const Model>>(Status(
                   StatusCode::NotFound,
                   "registry: archive " + path + " disappeared"));
@@ -217,9 +221,12 @@ ModelRegistry::put(const std::string &name, rbm::Checkpoint ckpt)
     ensureDir();
     const std::string path = pathFor(name);
     rbm::saveCheckpoint(ckpt, path);
+    const FileStamp stamp = stampFor(path);
     auto model =
-        std::make_shared<const Model>(std::move(ckpt), pool_, options_);
-    return install(name, std::move(model), stampFor(path));
+        std::make_shared<Model>(std::move(ckpt), pool_, options_);
+    if (stamp.hasTrailer)
+        model->setStamp(stamp.trailer);
+    return install(name, std::move(model), stamp);
 }
 
 void

@@ -176,9 +176,14 @@ class ModelRegistry
 
     static FileStamp stampFor(const std::string &path);
 
-    /** Load + wrap an archive with this registry's pool/options. */
+    /**
+     * Load + wrap an archive with this registry's pool/options.  The
+     * caller-provided stamp (taken before the read, so it can never be
+     * *newer* than the loaded bytes) supplies the model's CRC-64
+     * identity stamp for the server's response-cache keying.
+     */
     Result<std::shared_ptr<const Model>>
-    loadModelFile(const std::string &path) const;
+    loadModelFile(const std::string &path, const FileStamp &stamp) const;
 
     /** Install a freshly loaded model (resets quarantine). */
     std::shared_ptr<const Model>

@@ -6,12 +6,44 @@
 #include "engine/server.hpp"
 
 #include <algorithm>
-#include <map>
-#include <tuple>
 
+#include "linalg/bitops.hpp"
+#include "util/checksum.hpp"
 #include "util/logging.hpp"
 
 namespace ising::engine {
+
+namespace {
+
+/** FNV-1a 64: the second, CRC-independent input digest. */
+std::uint64_t
+fnv1a64(const void *data, std::size_t n, std::uint64_t hash)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace
+
+std::size_t
+Server::CacheKeyHash::operator()(const CacheKey &key) const
+{
+    std::uint64_t h = key.stamp;
+    const auto mix = [&h](std::uint64_t value) {
+        h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(key.inputHash);
+    mix(key.inputMix);
+    mix(key.seed);
+    mix(key.rows);
+    mix(static_cast<std::uint64_t>(key.op));
+    mix(static_cast<std::uint64_t>(key.steps));
+    return static_cast<std::size_t>(h);
+}
 
 Server::Server(ModelRegistry &registry, ServerConfig config)
     : registry_(registry), config_(config)
@@ -38,10 +70,10 @@ Server::submit(Request req)
         return future;
     };
 
-    auto resolved = registry_.tryGet(req.model);
-    if (!resolved.ok())
-        return reject(resolved.status());
-    const auto model = std::move(resolved).value();
+    Status resolveStatus;
+    const Model *model = resolveForFlush(req.model, &resolveStatus);
+    if (!model)
+        return reject(std::move(resolveStatus));
     if (!model->supports(req.op))
         return reject(Status(
             StatusCode::InvalidArgument,
@@ -82,6 +114,137 @@ Server::submit(Request req)
     return future;
 }
 
+Server::CacheKey
+Server::makeKey(const Model &model, const Pending &pending) const
+{
+    CacheKey key;
+    key.stamp = model.stamp();
+    key.op = pending.req.op;
+    key.seed = pending.req.seed;
+    key.rows = pending.rows;
+    key.steps = pending.req.op == Op::Sample ? pending.req.steps : 0;
+    if (pending.req.op == Op::Sample)
+        return key;  // no input plane: the seed is the whole walk
+    // Binary inputs hash their canonical packed words (rows are padded
+    // with zero bits, so equal bit patterns digest equally and the hit
+    // path never re-reads the floats); non-binary inputs hash the raw
+    // float bytes.  The FNV seed separates the two domains.
+    const void *bytes = nullptr;
+    std::size_t size = 0;
+    std::uint64_t domain = 0x62697473ull;  // "bits"
+    if (pending.binaryInput) {
+        bytes = pending.packedInput.row(0);
+        size = pending.packedInput.rows() *
+               pending.packedInput.wordsPerRow() * sizeof(std::uint64_t);
+    } else {
+        bytes = pending.req.input.data();
+        size = pending.req.input.size() * sizeof(float);
+        domain = 0x666c6f6174ull;  // "float"
+    }
+    util::Crc64 crc;
+    crc.update(bytes, size);
+    key.inputHash = crc.value();
+    key.inputMix = fnv1a64(bytes, size, 0xcbf29ce484222325ull ^ domain);
+    return key;
+}
+
+const Server::CacheEntry *
+Server::cacheFind(const CacheKey &key)
+{
+    const auto it = cacheIndex_.find(key);
+    if (it == cacheIndex_.end())
+        return nullptr;
+    cacheLru_.splice(cacheLru_.begin(), cacheLru_, it->second);
+    return &*it->second;
+}
+
+void
+Server::cacheInsert(const CacheKey &key, const Response &response)
+{
+    const std::size_t bytes = sizeof(CacheEntry) +
+                              response.output.size() * sizeof(float) +
+                              response.labels.size() * sizeof(int);
+    // An over-budget response can never fit; a key already present
+    // means the same request appeared twice in one flush (both missed
+    // and executed together) -- keep the first insertion.
+    if (bytes > config_.cacheBytes ||
+        cacheIndex_.find(key) != cacheIndex_.end())
+        return;
+    cacheLru_.push_front(
+        CacheEntry{key, response.output, response.labels, bytes});
+    cacheIndex_.emplace(key, cacheLru_.begin());
+    cacheBytesUsed_ += bytes;
+    while (cacheBytesUsed_ > config_.cacheBytes) {
+        const CacheEntry &victim = cacheLru_.back();
+        cacheBytesUsed_ -= victim.bytes;
+        cacheIndex_.erase(victim.key);
+        cacheLru_.pop_back();
+        ++stats_.cacheEvictions;
+    }
+}
+
+const Model *
+Server::resolveForFlush(const std::string &name, Status *status)
+{
+    for (const FlushModel &entry : flushModels_)
+        if (entry.name == name)
+            return entry.model.get();
+    auto resolved = registry_.tryGet(name);
+    if (!resolved.ok()) {
+        if (status)
+            *status = resolved.status();
+        return nullptr;
+    }
+    FlushModel entry;
+    entry.name = name;
+    entry.model = std::move(resolved).value();
+    flushModels_.push_back(std::move(entry));
+    return flushModels_.back().model.get();
+}
+
+void
+Server::prepare(Pending &pending)
+{
+    const Request &req = pending.req;
+    const bool caching = config_.cacheBytes > 0;
+    if (req.op != Op::Sample && (caching || config_.packedGather)) {
+        // One fused scan classifies the input; binary rows then pack
+        // exactly once, feeding both the key hash and the packed
+        // gather.
+        bool binary = false;
+        linalg::countNonZero(req.input, &binary);
+        pending.binaryInput = binary;
+        if (binary) {
+            pending.packedInput.reset(req.input.rows(), req.input.cols());
+            for (std::size_t r = 0; r < req.input.rows(); ++r)
+                pending.packedInput.packRowFrom(r, req.input.row(r));
+        }
+    }
+    if (!caching)
+        return;
+    const Model *model = resolveForFlush(req.model);
+    if (!model)
+        return;  // the group execution path owns failure reporting
+    if (!model->hasStamp()) {
+        // Legacy un-checksummed archive: no identity stamp means no
+        // sound cache key, so the request always takes the miss path.
+        ++stats_.cacheMisses;
+        return;
+    }
+    pending.key = makeKey(*model, pending);
+    if (const CacheEntry *entry = cacheFind(pending.key)) {
+        ++stats_.cacheHits;
+        Response response;
+        response.output = entry->output;
+        response.labels = entry->labels;
+        pending.promise.set_value(std::move(response));
+        pending.done = true;
+    } else {
+        ++stats_.cacheMisses;
+        pending.cacheable = true;
+    }
+}
+
 void
 Server::flush()
 {
@@ -89,24 +252,52 @@ Server::flush()
         return;
     ++stats_.flushes;
 
-    // Group by (model, op, steps); steps only shapes Sample walks, so
-    // other ops coalesce regardless of it.  Groups keep submit order.
-    using Key = std::tuple<std::string, Op, int>;
-    std::map<Key, std::vector<Pending *>> groups;
-    std::vector<Key> order;
+    // Stage 0: pack binary inputs and probe the response cache.  Hits
+    // resolve their futures right here -- no gather, no group, no
+    // kernel -- and whatever survives forms (possibly partial-hit)
+    // groups below.  flushModels_ already holds the batch's
+    // submit-time resolutions; prepare() reuses them.
+    for (Pending &p : pending_)
+        prepare(p);
+
+    // Stage 1: group by (model, op, steps) into reused flat slots;
+    // steps only shapes Sample walks, so other ops coalesce regardless
+    // of it.  Groups keep submit order.  A flush carries a handful of
+    // groups, so a linear key match beats a keyed map -- and unlike
+    // the map, slots and their member vectors keep their capacity, so
+    // steady-state grouping allocates nothing (groupResizes counts the
+    // slot pool's high-water growth).
+    std::size_t active = 0;
     for (Pending &p : pending_) {
-        const Key key{p.req.model, p.req.op,
-                      p.req.op == Op::Sample ? p.req.steps : 0};
-        auto [it, inserted] = groups.try_emplace(key);
-        if (inserted)
-            order.push_back(key);
-        it->second.push_back(&p);
+        if (p.done)
+            continue;
+        Group *slot = nullptr;
+        for (std::size_t g = 0; g < active; ++g) {
+            const Request &lead = groups_[g].members.front()->req;
+            if (lead.op == p.req.op && lead.model == p.req.model &&
+                (p.req.op != Op::Sample || lead.steps == p.req.steps)) {
+                slot = &groups_[g];
+                break;
+            }
+        }
+        if (!slot) {
+            if (active == groups_.size()) {
+                groups_.emplace_back();
+                ++stats_.groupResizes;
+            }
+            slot = &groups_[active++];
+            slot->members.clear();
+        }
+        slot->members.push_back(&p);
     }
-    for (const Key &key : order)
-        executeGroup(groups[key]);
+    for (std::size_t g = 0; g < active; ++g)
+        executeGroup(groups_[g].members);
 
     pending_.clear();
     pendingRows_ = 0;
+    // Memoized resolutions do not outlive their batch: the next
+    // batch's first submit revalidates against the archive again.
+    flushModels_.clear();
 }
 
 void
@@ -166,6 +357,17 @@ Server::executeGroup(const std::vector<Pending *> &group)
             responses[q].output.reset(group[q]->rows, width);
     }
 
+    // The packed plane serves this group when every member packed its
+    // input (all-binary) and the model family takes a packed layer-0
+    // plane for this op.  Gathering is then a word-level row copy per
+    // row instead of a float copy plus a per-row repack inside the
+    // kernels -- binary inputs pack exactly once, at prepare().
+    const bool packedPlane =
+        op != Op::Sample && op != Op::Classify && config_.packedGather &&
+        model->supportsPackedInput(op) &&
+        std::all_of(group.begin(), group.end(),
+                    [](const Pending *p) { return p->binaryInput; });
+
     const auto runBatches = [&] {
         const std::size_t inDim = model->inputDim();
         for (std::size_t begin = 0; begin < totalRows;
@@ -173,7 +375,7 @@ Server::executeGroup(const std::vector<Pending *> &group)
             const std::size_t end =
                 std::min(totalRows, begin + config_.maxBatchRows);
             ++stats_.kernelBatches;
-            if (op != Op::Sample) {
+            if (op != Op::Sample && !packedPlane) {
                 // Reused gather buffer: reshaping (and thus
                 // reallocating) only when the chunk shape actually
                 // changes is what the scratchResizes stat counts.
@@ -186,6 +388,18 @@ Server::executeGroup(const std::vector<Pending *> &group)
                     std::copy_n(
                         group[ref.pending]->req.input.row(ref.row),
                         inDim, in_.row(g - begin));
+                }
+            } else if (packedPlane) {
+                if (packedIn_.rows() != end - begin ||
+                    packedIn_.cols() != inDim) {
+                    packedIn_.reset(end - begin, inDim);
+                    ++stats_.scratchResizes;
+                }
+                for (std::size_t g = begin; g < end; ++g) {
+                    const RowRef &ref = rowMap_[g];
+                    packedIn_.copyRowFrom(
+                        g - begin, group[ref.pending]->packedInput,
+                        ref.row);
                 }
             }
             const auto scatter = [&](const linalg::Matrix &chunk) {
@@ -204,12 +418,21 @@ Server::executeGroup(const std::vector<Pending *> &group)
                 scatter(chunk_);
                 break;
               case Op::Featurize:
-                model->featurizeRows(in_, chunk_, modelScratch_);
+                if (packedPlane)
+                    model->featurizeRowsPacked(packedIn_, chunk_,
+                                               modelScratch_);
+                else
+                    model->featurizeRows(in_, chunk_, modelScratch_);
                 scatter(chunk_);
                 break;
               case Op::Reconstruct:
-                model->reconstructRows(in_, rngs_.data() + begin,
-                                       chunk_, modelScratch_);
+                if (packedPlane)
+                    model->reconstructRowsPacked(packedIn_,
+                                                 rngs_.data() + begin,
+                                                 chunk_, modelScratch_);
+                else
+                    model->reconstructRows(in_, rngs_.data() + begin,
+                                           chunk_, modelScratch_);
                 scatter(chunk_);
                 break;
               case Op::Classify:
@@ -236,14 +459,23 @@ Server::executeGroup(const std::vector<Pending *> &group)
     }
     stats_.rows += totalRows;
 
-    for (std::size_t q = 0; q < group.size(); ++q)
+    // Cache the executed responses, unless the model hot-swapped
+    // between the cache probe and this execution (the key would claim
+    // the old stamp for the new model's bytes).
+    const std::uint64_t modelStamp =
+        model->hasStamp() ? model->stamp() : 0;
+    for (std::size_t q = 0; q < group.size(); ++q) {
+        if (group[q]->cacheable && group[q]->key.stamp == modelStamp)
+            cacheInsert(group[q]->key, responses[q]);
         group[q]->promise.set_value(std::move(responses[q]));
+    }
 }
 
 Server::Stats
 Server::stats() const
 {
     Stats out = stats_;
+    out.cacheBytes = cacheBytesUsed_;
     const ModelRegistry::Stats registry = registry_.stats();
     out.reloadFallbacks = registry.reloadFallbacks;
     out.promotions = registry.promotions;

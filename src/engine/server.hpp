@@ -30,7 +30,9 @@
 
 #include <cstdint>
 #include <future>
+#include <list>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/registry.hpp"
@@ -47,6 +49,28 @@ struct ServerConfig
      * are queued.
      */
     std::size_t maxBatchRows = 256;
+
+    /**
+     * Deterministic response-cache budget in bytes (0 disables the
+     * cache).  A served response is a pure function of (model bytes,
+     * op, steps, seed, input bits) -- the bit-reproducibility contract
+     * -- so the server may replay it from an LRU keyed by exactly that
+     * tuple, with the model bytes represented by the checkpoint
+     * archive's CRC-64 trailer stamp.  Hits bypass gather, grouping
+     * and the kernels entirely; and because a promoted, reloaded or
+     * overwritten checkpoint publishes a different stamp, stale
+     * entries stop matching and age out with no invalidation hook.
+     */
+    std::size_t cacheBytes = 0;
+
+    /**
+     * Gather binary request rows into the packed bit plane (word-level
+     * row copies) and feed the packed-input model ops, so a miss packs
+     * its input exactly once at group assembly.  Disabling falls back
+     * to the float gather -- bit-identical by contract, kept for the
+     * byte-diff canaries and non-binary inputs.
+     */
+    bool packedGather = true;
 };
 
 /** One inference request. */
@@ -115,6 +139,19 @@ class Server
          * measure the serve-bench reports.
          */
         std::size_t scratchResizes = 0;
+        /**
+         * Coalescing group slots grown (the grouping analogue of
+         * scratchResizes): flush() groups into reused flat slots, so
+         * once every (model, op) combination in flight has claimed a
+         * slot this stays flat while flushes grow -- steady-state
+         * grouping allocates nothing.
+         */
+        std::size_t groupResizes = 0;
+        // ---- response cache (all zero while cacheBytes == 0) ----
+        std::size_t cacheHits = 0;       ///< futures resolved from cache
+        std::size_t cacheMisses = 0;     ///< probed but executed
+        std::size_t cacheEvictions = 0;  ///< entries aged out of budget
+        std::size_t cacheBytes = 0;      ///< bytes currently cached
         // ---- failure counters (the degradation ledger) ----
         /** Requests resolved with a non-ok status (bad submit or a
          *  group whose model could not be resolved/executed). */
@@ -133,11 +170,53 @@ class Server
     Stats stats() const;
 
   private:
+    /**
+     * Response-cache key: the complete functional input of a request.
+     * The stamp stands in for the model parameter bytes; the two
+     * independent 64-bit input digests (plus the exact row count) make
+     * an accidental collision -- which would serve wrong bytes --
+     * cryptographically negligible.
+     */
+    struct CacheKey
+    {
+        std::uint64_t stamp = 0;      ///< archive CRC-64 trailer
+        std::uint64_t inputHash = 0;  ///< CRC-64 of the input plane
+        std::uint64_t inputMix = 0;   ///< independent FNV-1a digest
+        std::uint64_t seed = 0;
+        std::uint64_t rows = 0;       ///< input rows / sample count
+        Op op = Op::Sample;
+        int steps = 0;                ///< Sample only (0 otherwise)
+        bool operator==(const CacheKey &) const = default;
+    };
+
+    struct CacheKeyHash
+    {
+        std::size_t operator()(const CacheKey &key) const;
+    };
+
+    struct CacheEntry
+    {
+        CacheKey key;
+        linalg::Matrix output;
+        std::vector<int> labels;
+        std::size_t bytes = 0;
+    };
+
     struct Pending
     {
         Request req;
         std::size_t rows = 0;
         std::promise<Response> promise;
+        /**
+         * Input rows packed one unit per bit, filled at flush for
+         * binary inputs: the single packing pass both the cache key
+         * hash and the packed group gather read from.
+         */
+        linalg::BitMatrix packedInput;
+        bool binaryInput = false;  ///< every input entry is 0.0f/1.0f
+        bool cacheable = false;    ///< missed with a valid key: insert
+        bool done = false;         ///< future resolved by a cache hit
+        CacheKey key;
     };
 
     /** Coalesced-row origin: (request, in-request row). */
@@ -146,6 +225,47 @@ class Server
         std::size_t pending;  ///< index into the group
         std::size_t row;      ///< row within that request
     };
+
+    /** One coalescing slot; the slot pool and each slot's member
+     *  vector are reused across flushes (capacity sticks). */
+    struct Group
+    {
+        std::vector<Pending *> members;
+    };
+
+    /** One model resolution shared by every request of a flush. */
+    struct FlushModel
+    {
+        std::string name;
+        std::shared_ptr<const Model> model;  ///< null when tryGet failed
+    };
+
+    /** Flush stage 0: pack binary inputs and probe the response
+     *  cache (hits resolve their future immediately). */
+    void prepare(Pending &pending);
+
+    /**
+     * Resolve a model once per batch (memoized in flushModels_ until
+     * the flush that serves it completes): tryGet stats the archive
+     * and re-reads its integrity trailer on every call, so neither
+     * submit validation nor the cache probe may pay that per request.
+     * Only successful resolutions are memoized -- a name that fails
+     * keeps being retried, so a model published mid-batch is picked
+     * up.  Returns null (and fills @p status) when the name does not
+     * resolve; executeGroup still re-resolves fresh at execution time.
+     */
+    const Model *resolveForFlush(const std::string &name,
+                                 Status *status = nullptr);
+
+    /** The cache key of @p pending under @p model's stamp. */
+    CacheKey makeKey(const Model &model, const Pending &pending) const;
+
+    /** Lookup + LRU touch; nullptr on miss. */
+    const CacheEntry *cacheFind(const CacheKey &key);
+
+    /** Insert a copy of an executed response, evicting LRU entries
+     *  past the byte budget. */
+    void cacheInsert(const CacheKey &key, const Response &response);
 
     /** Execute one coalesced group of pending requests. */
     void executeGroup(const std::vector<Pending *> &group);
@@ -157,13 +277,24 @@ class Server
     Stats stats_;
 
     // Per-flush scratch, reused across groups and flushes (one
-    // dispatcher thread): row map, per-row streams, the gather/scatter
-    // chunk buffers and the model ops' staging matrices.
+    // dispatcher thread): group slots, row map, per-row streams, the
+    // gather/scatter chunk buffers (float and packed planes) and the
+    // model ops' staging matrices.
+    std::vector<Group> groups_;
+    std::vector<FlushModel> flushModels_;
     std::vector<RowRef> rowMap_;
     std::vector<util::Rng> rngs_;
     linalg::Matrix in_, chunk_;
+    linalg::BitMatrix packedIn_;
     std::vector<int> labelChunk_;
     BatchScratch modelScratch_;
+
+    // Response cache: LRU list (front = most recent) indexed by key.
+    std::list<CacheEntry> cacheLru_;
+    std::unordered_map<CacheKey, std::list<CacheEntry>::iterator,
+                       CacheKeyHash>
+        cacheIndex_;
+    std::size_t cacheBytesUsed_ = 0;
 };
 
 /**

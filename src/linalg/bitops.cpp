@@ -73,6 +73,56 @@ addMaskedRowsTiled(const simd::KernelTable &kt, const Matrix &w,
 
 } // namespace
 
+void
+copyBits(std::uint64_t *dst, std::size_t dstBit,
+         const std::uint64_t *src, std::size_t srcBit, std::size_t count)
+{
+    if (count == 0)
+        return;
+    // Masked read-modify-write of one destination word.
+    const auto blend = [](std::uint64_t &word, std::uint64_t bits,
+                          std::uint64_t mask) {
+        word = (word & ~mask) | (bits & mask);
+    };
+    // Fetch @p n bits (n <= 64) starting at an arbitrary source bit,
+    // right-aligned.  Reads the second word only when the run actually
+    // crosses into it, so the read never strays past the source span.
+    const auto fetch = [&](std::size_t bit, std::size_t n) {
+        const std::size_t word = bit >> 6, shift = bit & 63;
+        std::uint64_t bits = src[word] >> shift;
+        if (shift != 0 && shift + n > 64)
+            bits |= src[word + 1] << (64 - shift);
+        return bits;
+    };
+
+    dst += dstBit >> 6;
+    dstBit &= 63;
+    if (dstBit != 0) {
+        // Head: fill the destination up to its next word boundary.
+        const std::size_t n = std::min(count, 64 - dstBit);
+        const std::uint64_t mask =
+            (n == 64 ? ~0ull : (1ull << n) - 1) << dstBit;
+        blend(*dst, fetch(srcBit, n) << dstBit, mask);
+        srcBit += n;
+        count -= n;
+        ++dst;
+    }
+    if ((srcBit & 63) == 0) {
+        // Both sides word-aligned from here: the fast path the packed
+        // request gather takes -- whole-word copies, one masked tail.
+        const std::uint64_t *from = src + (srcBit >> 6);
+        const std::size_t words = count >> 6;
+        std::copy_n(from, words, dst);
+        if (const std::size_t tail = count & 63)
+            blend(dst[words], from[words], (1ull << tail) - 1);
+        return;
+    }
+    for (; count >= 64; count -= 64, srcBit += 64)
+        *dst++ = fetch(srcBit, 64);
+    if (count)
+        blend(*dst, fetch(srcBit, count), (1ull << count) - 1);
+}
+
 std::size_t
 BitVector::countOnes() const
 {

@@ -20,6 +20,7 @@
 #ifndef ISINGRBM_LINALG_BITS_HPP
 #define ISINGRBM_LINALG_BITS_HPP
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -35,6 +36,19 @@ bitWords(std::size_t bits)
 {
     return (bits + 63) / 64;
 }
+
+/**
+ * Copy @p count bits from bit offset @p srcBit of @p src to bit offset
+ * @p dstBit of @p dst.  Word-aligned offsets (the common case: rows of
+ * a BitMatrix start on word boundaries) take a whole-word copy with a
+ * masked tail; misaligned offsets shift across word boundaries.  Bits
+ * of the destination outside [dstBit, dstBit + count) are preserved,
+ * so a copy into a row whose pad bits are already zero keeps them
+ * zero.  Regions must not overlap.
+ */
+void copyBits(std::uint64_t *dst, std::size_t dstBit,
+              const std::uint64_t *src, std::size_t srcBit,
+              std::size_t count);
 
 /** One packed binary state vector. */
 class BitVector
@@ -167,6 +181,20 @@ class BitMatrix
         for (std::size_t c = 0; c < cols_; ++c)
             w[c >> 6] |=
                 static_cast<std::uint64_t>(src[c] != 0.0f) << (c & 63);
+    }
+
+    /**
+     * Copy row @p srcRow of @p src (same column count) into row @p r:
+     * a whole-word memcpy, no per-bit work.  Rows start on word
+     * boundaries and pad bits are zero in both matrices, so the
+     * invariant is preserved for free -- this is what makes the packed
+     * request gather of the serving path a pure row copy.
+     */
+    void
+    copyRowFrom(std::size_t r, const BitMatrix &src, std::size_t srcRow)
+    {
+        assert(r < rows_ && srcRow < src.rows() && src.cols_ == cols_);
+        std::copy_n(src.row(srcRow), wordsPerRow_, row(r));
     }
 
     /** Unpack row r into dst[0..cols) as 1.0f / 0.0f (branchless). */

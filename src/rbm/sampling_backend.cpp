@@ -219,12 +219,19 @@ SamplingBackend::sampleHiddenBatch(const linalg::Matrix &v,
     ensureShape(h, batch, n);
     ensureShape(ph, batch, n);
     exec::ThreadPool &pool = batchPool() ? *batchPool() : exec::globalPool();
-    exec::parallelFor(pool, batch, [&](std::size_t r) {
+    // Scratch vectors hoisted per chunk (at most one chunk per
+    // worker), not per row: the fan-out path of backends without a
+    // batched kernel -- the analog fabric among them -- must not spend
+    // its serving time in the allocator.
+    exec::parallelForChunks(pool, batch, [&](std::size_t begin,
+                                             std::size_t end) {
         linalg::Vector vr(m), hr, pr;
-        std::copy_n(v.row(r), m, vr.data());
-        sampleHidden(vr, hr, pr, rngs[r]);
-        std::copy_n(hr.data(), n, h.row(r));
-        std::copy_n(pr.data(), n, ph.row(r));
+        for (std::size_t r = begin; r < end; ++r) {
+            std::copy_n(v.row(r), m, vr.data());
+            sampleHidden(vr, hr, pr, rngs[r]);
+            std::copy_n(hr.data(), n, h.row(r));
+            std::copy_n(pr.data(), n, ph.row(r));
+        }
     });
 }
 
@@ -238,12 +245,15 @@ SamplingBackend::sampleVisibleBatch(const linalg::Matrix &h,
     ensureShape(v, batch, m);
     ensureShape(pv, batch, m);
     exec::ThreadPool &pool = batchPool() ? *batchPool() : exec::globalPool();
-    exec::parallelFor(pool, batch, [&](std::size_t r) {
+    exec::parallelForChunks(pool, batch, [&](std::size_t begin,
+                                             std::size_t end) {
         linalg::Vector hr(n), vr, pr;
-        std::copy_n(h.row(r), n, hr.data());
-        sampleVisible(hr, vr, pr, rngs[r]);
-        std::copy_n(vr.data(), m, v.row(r));
-        std::copy_n(pr.data(), m, pv.row(r));
+        for (std::size_t r = begin; r < end; ++r) {
+            std::copy_n(h.row(r), n, hr.data());
+            sampleVisible(hr, vr, pr, rngs[r]);
+            std::copy_n(vr.data(), m, v.row(r));
+            std::copy_n(pr.data(), m, pv.row(r));
+        }
     });
 }
 
@@ -260,15 +270,56 @@ SamplingBackend::annealBatch(int steps, linalg::Matrix &v,
     ensureShape(pv, batch, m);
     ensureShape(ph, batch, n);
     exec::ThreadPool &pool = batchPool() ? *batchPool() : exec::globalPool();
-    exec::parallelFor(pool, batch, [&](std::size_t r) {
+    exec::parallelForChunks(pool, batch, [&](std::size_t begin,
+                                             std::size_t end) {
         linalg::Vector vr, hr(n), pvr, phr;
-        std::copy_n(h.row(r), n, hr.data());
-        anneal(steps, vr, hr, pvr, phr, rngs[r]);
-        std::copy_n(vr.data(), m, v.row(r));
-        std::copy_n(hr.data(), n, h.row(r));
-        std::copy_n(pvr.data(), m, pv.row(r));
-        std::copy_n(phr.data(), n, ph.row(r));
+        for (std::size_t r = begin; r < end; ++r) {
+            hr.resize(n);
+            std::copy_n(h.row(r), n, hr.data());
+            anneal(steps, vr, hr, pvr, phr, rngs[r]);
+            std::copy_n(vr.data(), m, v.row(r));
+            std::copy_n(hr.data(), n, h.row(r));
+            std::copy_n(pvr.data(), m, pv.row(r));
+            std::copy_n(phr.data(), n, ph.row(r));
+        }
     });
+}
+
+void
+SamplingBackend::sampleHiddenBatchPacked(const linalg::BitMatrix &v,
+                                         linalg::BitMatrix &h,
+                                         linalg::Matrix &ph,
+                                         util::Rng *rngs) const
+{
+    const std::size_t batch = v.rows(), m = numVisible(), n = numHidden();
+    assert(v.cols() == m);
+    // Stage through floats: binary states round-trip the pack/unpack
+    // losslessly, so this is the float batched half-sweep exactly --
+    // same kernels, same draws, same bits.
+    linalg::Matrix vf(batch, m), hf;
+    for (std::size_t r = 0; r < batch; ++r)
+        v.unpackRowTo(r, vf.row(r));
+    sampleHiddenBatch(vf, hf, ph, rngs);
+    ensureShape(h, batch, n);
+    for (std::size_t r = 0; r < batch; ++r)
+        h.packRowFrom(r, hf.row(r));
+}
+
+void
+SamplingBackend::sampleVisibleBatchPacked(const linalg::BitMatrix &h,
+                                          linalg::BitMatrix &v,
+                                          linalg::Matrix &pv,
+                                          util::Rng *rngs) const
+{
+    const std::size_t batch = h.rows(), m = numVisible(), n = numHidden();
+    assert(h.cols() == n);
+    linalg::Matrix hf(batch, n), vf;
+    for (std::size_t r = 0; r < batch; ++r)
+        h.unpackRowTo(r, hf.row(r));
+    sampleVisibleBatch(hf, vf, pv, rngs);
+    ensureShape(v, batch, m);
+    for (std::size_t r = 0; r < batch; ++r)
+        v.packRowFrom(r, vf.row(r));
 }
 
 SoftwareGibbsBackend::SoftwareGibbsBackend(const Rbm &model,
@@ -515,6 +566,40 @@ SoftwareGibbsBackend::sampleVisibleBatch(const linalg::Matrix &h,
     ensureShape(v, batch, m);
     for (std::size_t r = 0; r < batch; ++r)
         vb.unpackRowTo(r, v.row(r));
+}
+
+void
+SoftwareGibbsBackend::sampleHiddenBatchPacked(const linalg::BitMatrix &v,
+                                              linalg::BitMatrix &h,
+                                              linalg::Matrix &ph,
+                                              util::Rng *rngs) const
+{
+    if (!kt_) {  // Scalar tier: no packed kernels, take the float route
+        SamplingBackend::sampleHiddenBatchPacked(v, h, ph, rngs);
+        return;
+    }
+    assert(v.cols() == numVisible());
+    // layerBatch probes activity on the packed words and picks dense
+    // tiled vs sparse streamed -- the same decision (same counts, same
+    // threshold) the float entry points make, so the bits match them.
+    linalg::SparseBitView view;
+    layerBatch(model_->weights(), model_->hiddenBias(), v, h, ph, rngs,
+               view);
+}
+
+void
+SoftwareGibbsBackend::sampleVisibleBatchPacked(const linalg::BitMatrix &h,
+                                               linalg::BitMatrix &v,
+                                               linalg::Matrix &pv,
+                                               util::Rng *rngs) const
+{
+    if (!kt_) {
+        SamplingBackend::sampleVisibleBatchPacked(h, v, pv, rngs);
+        return;
+    }
+    assert(h.cols() == numHidden());
+    linalg::SparseBitView view;
+    layerBatch(wT_, model_->visibleBias(), h, v, pv, rngs, view);
 }
 
 void

@@ -154,6 +154,27 @@ class SamplingBackend
                              linalg::Matrix &h, linalg::Matrix &pv,
                              linalg::Matrix &ph, util::Rng *rngs) const;
 
+    /**
+     * Packed-input batched half-sweep: like sampleHiddenBatch, but the
+     * visible rows arrive bit-packed (as the serving path gathers
+     * them) and the sampled hidden bits stay packed in @p h; only the
+     * conditional means @p ph materialize as floats.  Binary states
+     * pack losslessly, so the default -- unpack to a float staging
+     * batch, run the float batched half-sweep, repack the sample --
+     * serves backends without packed kernels (the analog fabric)
+     * unchanged and bit-identically to their float surface.
+     */
+    virtual void sampleHiddenBatchPacked(const linalg::BitMatrix &v,
+                                         linalg::BitMatrix &h,
+                                         linalg::Matrix &ph,
+                                         util::Rng *rngs) const;
+
+    /** Mirror packed half-sweep: packed visible from packed hidden. */
+    virtual void sampleVisibleBatchPacked(const linalg::BitMatrix &h,
+                                          linalg::BitMatrix &v,
+                                          linalg::Matrix &pv,
+                                          util::Rng *rngs) const;
+
   protected:
     /**
      * Pool the batched default implementations fan rows over; nullptr
@@ -243,6 +264,15 @@ class SoftwareGibbsBackend final : public SamplingBackend
     void annealBatch(int steps, linalg::Matrix &v, linalg::Matrix &h,
                      linalg::Matrix &pv, linalg::Matrix &ph,
                      util::Rng *rngs) const override;
+
+    /** Packed input straight into the layerBatch dispatcher: no float
+     *  detour at all on the serving miss path. */
+    void sampleHiddenBatchPacked(const linalg::BitMatrix &v,
+                                 linalg::BitMatrix &h, linalg::Matrix &ph,
+                                 util::Rng *rngs) const override;
+    void sampleVisibleBatchPacked(const linalg::BitMatrix &h,
+                                  linalg::BitMatrix &v, linalg::Matrix &pv,
+                                  util::Rng *rngs) const override;
 
   protected:
     exec::ThreadPool *batchPool() const override { return pool_; }

@@ -294,3 +294,46 @@ run_step(${CLI} serve-loop --registry ${WORK}/prom-reg --model hot
          --out-dir ${WORK}/prom-C)
 run_step(${CMAKE_COMMAND} -E compare_files
          ${WORK}/prom-B/epoch-2.txt ${WORK}/prom-C/epoch-2.txt)
+
+# ---------------------------------------------------------------------
+# Serving-cache legs: serve-bench replays the same deterministic
+# workload twice in one process, so with a cache budget every rep-2
+# request must hit; and the dumped response bytes must be identical
+# across cache on/off x packed/legacy gather (4-way byte-diff canary --
+# the cache and the packed plane move time, never bits).
+execute_process(COMMAND ${CLI} serve-bench --registry ${WORK}
+                --model smoke --op reconstruct --requests 16 --rows 4
+                --reps 2 --cache-bytes 8000000
+                --out ${WORK}/serve-cache-packed.txt
+                RESULT_VARIABLE code
+                OUTPUT_VARIABLE cache_out
+                ERROR_VARIABLE cache_err)
+message(STATUS "cli_smoke: serve-bench cached rep-2 run")
+message(STATUS "${cache_out}")
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "cli_smoke: cached serve-bench failed (${code}): "
+                      "${cache_err}")
+endif()
+if(NOT cache_out MATCHES "cache: 16 hits")
+  message(FATAL_ERROR "cli_smoke: rep 2 of a deterministic workload "
+                      "did not fully hit the response cache")
+endif()
+run_step(${CLI} serve-bench --registry ${WORK} --model smoke
+         --op reconstruct --requests 16 --rows 4 --reps 2
+         --out ${WORK}/serve-nocache-packed.txt)
+run_step(${CLI} serve-bench --registry ${WORK} --model smoke
+         --op reconstruct --requests 16 --rows 4 --reps 2
+         --legacy-gather --out ${WORK}/serve-nocache-legacy.txt)
+run_step(${CLI} serve-bench --registry ${WORK} --model smoke
+         --op reconstruct --requests 16 --rows 4 --reps 2
+         --cache-bytes 8000000 --legacy-gather
+         --out ${WORK}/serve-cache-legacy.txt)
+run_step(${CMAKE_COMMAND} -E compare_files
+         ${WORK}/serve-cache-packed.txt
+         ${WORK}/serve-nocache-packed.txt)
+run_step(${CMAKE_COMMAND} -E compare_files
+         ${WORK}/serve-cache-packed.txt
+         ${WORK}/serve-nocache-legacy.txt)
+run_step(${CMAKE_COMMAND} -E compare_files
+         ${WORK}/serve-cache-packed.txt
+         ${WORK}/serve-cache-legacy.txt)
