@@ -32,6 +32,8 @@
 #include <filesystem>
 #include <functional>
 
+#include <thread>
+
 #include "accel/parallel_bgf.hpp"
 #include "bench_common.hpp"
 #include "engine/server.hpp"
@@ -40,6 +42,8 @@
 #include "hw/multichip.hpp"
 #include "linalg/bitops.hpp"
 #include "linalg/ops.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "data/ratings.hpp"
 #include "rbm/ais.hpp"
 #include "rbm/cd_trainer.hpp"
@@ -932,6 +936,132 @@ printServeCacheBench(bool full, std::vector<benchtool::JsonRecord> &json)
 }
 
 /**
+ * Networked serving sweep: the full socket path (epoll front end +
+ * frame codec + admission control + batched engine) measured with the
+ * open-loop loadgen against an in-process NetServer on an ephemeral
+ * port.  Axes: connection count x request batch size x cache-hit
+ * ratio x admission limit; each cell reports offered/served
+ * throughput and the measured p50/p99/p99.9 completion latency, plus
+ * one deliberately overloaded cell (tiny row budget under a
+ * saturating burst) whose shed rate proves admission control engages
+ * before the server falls over.  Hit cells run one identical warm-up
+ * pass first so the measured pass replays from the response cache.
+ * Emitted separately (BENCH_net.json via --json-net).
+ */
+void
+printNetBench(bool full, std::vector<benchtool::JsonRecord> &json)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "isingrbm_bench_net").string();
+    fs::remove_all(dir);
+    engine::ModelRegistry registry(dir);
+    rbm::Checkpoint ckpt;
+    ckpt.meta.backend = "bench";
+    ckpt.model = kernelModel(784, 500, 17);
+    registry.put("serve", std::move(ckpt));
+
+    const std::size_t requests = full ? 256 : 64;
+    const std::size_t kOpen = 1u << 20;  // effectively unbounded rows
+
+    benchtool::Table table({"conns", "rows", "hit%", "admission",
+                            "req/s", "rows/s", "p50 ms", "p99 ms",
+                            "p99.9 ms", "shed"});
+
+    const auto runCell = [&](std::size_t conns, std::size_t rows,
+                             int hitPct, std::size_t maxPendingRows,
+                             const std::string &cell) {
+        net::NetConfig config;
+        config.maxPendingRows = maxPendingRows;
+        config.server.cacheBytes = 32u << 20;
+        net::NetServer server(registry, config);
+        const std::uint16_t port = server.start();
+        std::thread loop([&] { server.run(); });
+
+        net::LoadGenConfig gen;
+        gen.port = port;
+        gen.model = "serve";
+        gen.op = engine::Op::Reconstruct;
+        gen.requests = requests;
+        gen.rows = rows;
+        gen.steps = 0;
+        gen.seed = 1000;
+        gen.connections = conns;
+        gen.hitPct = hitPct;
+        gen.inputDim = 784;  // skip the Info round trip
+        net::LoadGenReport report;
+        // Hit cells replay an identical corpus, so the warm-up pass
+        // leaves the measured pass ~all cache hits.
+        const int passes = hitPct > 0 ? 2 : 1;
+        for (int pass = 0; pass < passes; ++pass)
+            report = net::runLoadGen(gen);
+        server.requestStop();
+        loop.join();
+        if (!report.error.empty()) {
+            std::fprintf(stderr, "bench net: %s\n",
+                         report.error.c_str());
+            return report;
+        }
+
+        const double shedPct =
+            100.0 * static_cast<double>(report.shed) /
+            static_cast<double>(requests);
+        const auto ms = [&](double q) {
+            return static_cast<double>(report.latencyNs.quantile(q)) /
+                   1e6;
+        };
+        table.addRow({std::to_string(conns), std::to_string(rows),
+                      std::to_string(hitPct),
+                      maxPendingRows >= kOpen
+                          ? std::string("open")
+                          : std::to_string(maxPendingRows),
+                      fmt(report.reqPerSec(), 0),
+                      fmt(report.rowsPerSec(), 0), fmt(ms(0.5), 3),
+                      fmt(ms(0.99), 3), fmt(ms(0.999), 3),
+                      fmt(shedPct, 1) + "%"});
+        json.push_back({cell + "/requests_per_s", report.reqPerSec(),
+                        "req/s"});
+        json.push_back({cell + "/rows_per_s", report.rowsPerSec(),
+                        "rows/s"});
+        json.push_back({cell + "/p50_ms", ms(0.5), "ms"});
+        json.push_back({cell + "/p99_ms", ms(0.99), "ms"});
+        json.push_back({cell + "/p999_ms", ms(0.999), "ms"});
+        json.push_back({cell + "/shed_pct", shedPct, "%"});
+        return report;
+    };
+
+    for (const std::size_t conns : {std::size_t{1}, std::size_t{8}}) {
+        for (const std::size_t rows :
+             {std::size_t{4}, std::size_t{64}}) {
+            net::LoadGenReport miss, hit;
+            for (const int hitPct : {0, 99}) {
+                const std::string cell =
+                    "net/c" + std::to_string(conns) + "_r" +
+                    std::to_string(rows) + "_hit" +
+                    std::to_string(hitPct);
+                const net::LoadGenReport report =
+                    runCell(conns, rows, hitPct, kOpen, cell);
+                (hitPct == 0 ? miss : hit) = report;
+            }
+            if (miss.reqPerSec() > 0)
+                json.push_back({"net/c" + std::to_string(conns) +
+                                    "_r" + std::to_string(rows) +
+                                    "/hit_speedup",
+                                hit.reqPerSec() / miss.reqPerSec(),
+                                "x"});
+        }
+    }
+    // Overload: 8 saturating connections against a 64-row budget.
+    runCell(8, 4, 0, 64, "net/overload_c8_r4_budget64");
+
+    table.print("Networked serving sweep (784x500 RBM reconstruct, " +
+                std::to_string(requests) + " open-loop requests over "
+                "the socket; hit cells measured after one identical "
+                "warm-up pass)");
+    fs::remove_all(dir);
+}
+
+/**
  * Session-layer training throughput: epochs/sec per model family
  * through the unified train::Session runtime (the `isingrbm train`
  * path), on a small shared workload.  Emitted into the BENCH JSON so
@@ -1170,6 +1300,8 @@ main(int argc, char **argv)
         benchtool::flagValue(argc, argv, "--json-sparse");
     const std::string serveJsonPath =
         benchtool::flagValue(argc, argv, "--json-serve");
+    const std::string netJsonPath =
+        benchtool::flagValue(argc, argv, "--json-net");
     const bool full = benchtool::fullScale(argc, argv);
 
     const benchtool::JsonMeta meta = hostMetadata();
@@ -1193,6 +1325,12 @@ main(int argc, char **argv)
     if (!serveJsonPath.empty())
         benchtool::writeBenchJson(serveJsonPath, "bench_scaling_serve",
                                   serveJson, meta);
+
+    std::vector<benchtool::JsonRecord> netJson;
+    printNetBench(full, netJson);
+    if (!netJsonPath.empty())
+        benchtool::writeBenchJson(netJsonPath, "bench_scaling_net",
+                                  netJson, meta);
 
     printMultiChip();
     if (full) {

@@ -38,11 +38,16 @@
 #include "engine/server.hpp"
 #include "eval/classifier.hpp"
 #include "eval/pipelines.hpp"
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "rbm/sampling.hpp"
 #include "rbm/serialize.hpp"
 #include "train/strategies.hpp"
 #include "util/cli.hpp"
+#include "util/histogram.hpp"
 #include "util/logging.hpp"
+#include "util/shutdown.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace ising;
@@ -845,10 +850,16 @@ cmdServeLoop(const util::CliArgs &args)
     if (!outDir.empty())
         std::filesystem::create_directories(outDir);
 
+    // Ctrl-C / SIGTERM finishes the current pass, prints the summary,
+    // and exits cleanly instead of dying mid-write.
+    util::installShutdownHandler();
+
     std::map<int, std::string> byEpoch;
     std::size_t okPasses = 0, failedPasses = 0, mismatches = 0;
     bool reachedEpoch = untilEpoch <= 0;
     for (std::size_t pass = 0; pass < passes; ++pass) {
+        if (util::shutdownRequested())
+            break;
         if (pass > 0 && intervalMs > 0)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(intervalMs));
@@ -931,12 +942,249 @@ cmdServeLoop(const util::CliArgs &args)
                 "%zu promotions, %zu rollbacks\n",
                 stats.rejected, stats.reloadFallbacks, stats.promotions,
                 stats.rollbacks);
+    // An interrupted run drained cleanly: judge only what it proved
+    // (no mismatches), not the pass/epoch goals it never got to.
+    if (util::shutdownRequested()) {
+        std::printf("serve-loop: interrupted, drained cleanly\n");
+        return mismatches == 0 ? 0 : 1;
+    }
     if (untilEpoch > 0 && !reachedEpoch) {
         std::printf("serve-loop: never observed epoch >= %d\n",
                     untilEpoch);
         return 1;
     }
     return okPasses >= 1 && mismatches == 0 ? 0 : 1;
+}
+
+const std::vector<util::FlagHelp> kServeFlags = {
+    {"registry", "dir", "checkpoint directory (required)"},
+    {"port", "P", "TCP port (default 0 = ephemeral; the bound port is "
+                  "printed)"},
+    {"bind", "addr", "listen address (default 127.0.0.1)"},
+    {"port-file", "path", "write the bound port here once listening "
+                          "(harness handshake for --port 0)"},
+    {"cache-bytes", "B", "response-cache budget in bytes (default 0 = "
+                         "cache off)"},
+    {"max-batch", "R", "kernel batch depth / auto-flush row threshold "
+                       "(default 256)"},
+    {"max-pending-rows", "N", "admission budget: rows admitted per "
+                              "event-loop cycle; beyond it requests "
+                              "are shed OVERLOADED (default 4096)"},
+    {"max-connections", "N", "accepted-connection cap (default 256)"},
+    {"idle-timeout-ms", "M", "reap a connection after M ms without "
+                             "traffic (default 30000)"},
+    {"legacy-gather", "", "disable the packed gather plane "
+                          "(bit-identical; byte-diff canary)"},
+    {"sparse-threshold", "X", "sparse kernel crossover activity "
+                              "(default: auto; 0 dense, 1 sparse)"},
+    {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
+                    "(default auto; bit-identical)"},
+};
+
+/**
+ * The networked front end: an epoll listener feeding the batched
+ * engine.  SIGINT/SIGTERM (or a client Shutdown frame) stops
+ * accepting, drains in-flight flushes and queued replies, prints the
+ * stats ledger, and exits 0.
+ */
+int
+cmdServe(const util::CliArgs &args)
+{
+    if (!checkFlags(args, "isingrbm serve --registry DIR [flags]",
+                    kServeFlags))
+        return 0;
+    util::installShutdownHandler();
+    engine::ModelRegistry registry(requireFlag(args, "registry"),
+                                   nullptr, samplingFlags(args));
+    net::NetConfig config;
+    config.bindAddress = args.get("bind", "127.0.0.1");
+    config.port = static_cast<std::uint16_t>(args.getInt("port", 0));
+    config.maxPendingRows = sizeFlag(args, "max-pending-rows", 4096);
+    config.maxConnections = sizeFlag(args, "max-connections", 256);
+    config.idleTimeoutMs =
+        static_cast<int>(args.getInt("idle-timeout-ms", 30000));
+    config.server.maxBatchRows = sizeFlag(args, "max-batch", 256);
+    config.server.cacheBytes = sizeFlag(args, "cache-bytes", 0);
+    config.server.packedGather = !args.has("legacy-gather");
+    config.stopRequested = util::shutdownRequested;
+
+    net::NetServer server(registry, std::move(config));
+    const std::uint16_t port = server.start();
+    std::printf("serving %s on %s port %u (admission %zu rows, "
+                "cache %zu bytes)\n",
+                registry.dir().c_str(), args.get("bind", "127.0.0.1").c_str(),
+                port, sizeFlag(args, "max-pending-rows", 4096),
+                sizeFlag(args, "cache-bytes", 0));
+    std::fflush(stdout);
+
+    // Publish the bound port atomically (write + rename) so a polling
+    // loadgen never reads a half-written file.
+    const std::string portFile = args.get("port-file", "");
+    if (!portFile.empty()) {
+        const std::string tmp = portFile + ".tmp";
+        {
+            std::ofstream file(tmp, std::ios::binary);
+            if (!file)
+                util::fatal("isingrbm: cannot write " + tmp);
+            file << port << '\n';
+        }
+        std::filesystem::rename(tmp, portFile);
+    }
+
+    server.run();
+
+    const net::NetServer::Stats net = server.stats();
+    const engine::Server::Stats stats = server.engine().stats();
+    std::printf("serve: %zu accepted, %zu closed (%zu idle, %zu over "
+                "capacity), %zu frames\n",
+                net.accepted, net.closed, net.idleClosed,
+                net.overCapacity, net.frames);
+    std::printf("  %zu admitted, %zu shed, %zu protocol errors, "
+                "%zu fault drops, %zu fault stalls\n",
+                net.infers, net.shed, net.protocolErrors,
+                net.faultDrops, net.faultStalls);
+    std::printf("  engine: %zu rows in %zu flushes, cache %zu hits / "
+                "%zu misses, flush p50 %.3f ms p99 %.3f ms\n",
+                stats.rows, stats.flushes, stats.cacheHits,
+                stats.cacheMisses,
+                stats.flushLatencyNs.quantile(0.5) / 1e6,
+                stats.flushLatencyNs.quantile(0.99) / 1e6);
+    std::printf("serve: drained, exiting\n");
+    return 0;
+}
+
+const std::vector<util::FlagHelp> kLoadgenFlags = {
+    {"host", "addr", "server address (default 127.0.0.1)"},
+    {"port", "P", "server port (or --port-file)"},
+    {"port-file", "path", "poll this file for the port `serve "
+                          "--port-file` published"},
+    {"model", "id", "model to drive (required)"},
+    {"op", "name", "sample|featurize|classify|reconstruct "
+                   "(default featurize)"},
+    {"requests", "N", "request count (default 64)"},
+    {"rows", "R", "rows (or sample chains) per request (default 4)"},
+    {"steps", "K", "anneal sweeps for sample (default 10)"},
+    {"seed", "S", "corpus seed; serve-bench with the same seed "
+                  "replays identical requests (default 13)"},
+    {"connections", "C", "concurrent connections (default 4)"},
+    {"rate", "R", "offered load in requests/s, Poisson arrivals "
+                  "(default 0 = saturate)"},
+    {"hit-pct", "P", "percent of requests aimed at a small warm set "
+                     "(cache traffic; default 0)"},
+    {"warm", "N", "warm-set size for --hit-pct (default 16)"},
+    {"float-payload", "", "send raw float rows instead of packed bits "
+                          "(bit-identical; byte-diff canary)"},
+    {"out", "path", "dump response bytes (corpus order, hex floats) "
+                    "for byte-diffing against serve-bench --out"},
+    {"shutdown", "", "send a Shutdown frame when done (smoke harness "
+                     "teardown)"},
+};
+
+/**
+ * Open-loop Poisson load generator: drives N connections with the
+ * deterministic probe corpus and reports req/s, rows/s, latency
+ * quantiles and the shed rate.  Exit 0 means every request got a
+ * reply (OVERLOADED sheds included -- zero dropped frames); only
+ * transport errors or non-shed failures exit 1.
+ */
+int
+cmdLoadgen(const util::CliArgs &args)
+{
+    if (!checkFlags(args,
+                    "isingrbm loadgen --model ID --port P [flags]",
+                    kLoadgenFlags))
+        return 0;
+    net::LoadGenConfig config;
+    config.host = args.get("host", "127.0.0.1");
+    config.model = requireFlag(args, "model");
+    config.op = engine::opFromName(args.get("op", "featurize"));
+    config.requests = sizeFlag(args, "requests", 64);
+    config.rows = sizeFlag(args, "rows", 4);
+    config.steps = static_cast<int>(args.getInt("steps", 10));
+    config.seed = args.getInt("seed", 13);
+    config.connections = sizeFlag(args, "connections", 4);
+    config.ratePerSec = args.getDouble("rate", 0);
+    config.hitPct = static_cast<int>(args.getInt("hit-pct", 0));
+    config.warmCount = sizeFlag(args, "warm", 16);
+    config.packedPayload = !args.has("float-payload");
+    const std::string outPath = args.get("out", "");
+    config.keepResponses = !outPath.empty();
+
+    const std::string portFile = args.get("port-file", "");
+    if (!portFile.empty()) {
+        // Handshake: wait for the server to publish its bound port.
+        long port = 0;
+        for (int attempt = 0; attempt < 200 && port == 0; ++attempt) {
+            std::ifstream file(portFile);
+            if (!(file >> port) || port <= 0) {
+                port = 0;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            }
+        }
+        if (port == 0)
+            util::fatal("isingrbm: no port appeared in " + portFile);
+        config.port = static_cast<std::uint16_t>(port);
+    } else {
+        config.port = static_cast<std::uint16_t>(
+            std::stoul(requireFlag(args, "port")));
+    }
+
+    const net::LoadGenReport report = net::runLoadGen(config);
+    if (!report.error.empty())
+        util::fatal("isingrbm: " + report.error);
+
+    const util::Histogram &lat = report.latencyNs;
+    std::printf("loadgen: %zu requests (%zu ok, %zu shed, %zu failed) "
+                "in %.3fs over %zu connection(s)\n",
+                report.sent, report.ok, report.shed, report.failed,
+                report.seconds, config.connections);
+    std::printf("  %.0f req/s, %.0f rows/s, shed rate %.1f%%\n",
+                report.reqPerSec(), report.rowsPerSec(),
+                report.sent
+                    ? 100.0 * static_cast<double>(report.shed) /
+                          static_cast<double>(report.sent)
+                    : 0.0);
+    std::printf("  latency ms: p50 %.3f  p90 %.3f  p99 %.3f  "
+                "p99.9 %.3f  max %.3f\n",
+                lat.quantile(0.50) / 1e6, lat.quantile(0.90) / 1e6,
+                lat.quantile(0.99) / 1e6, lat.quantile(0.999) / 1e6,
+                static_cast<double>(lat.max()) / 1e6);
+
+    if (!outPath.empty()) {
+        // Mirror serve-bench --out exactly: ok responses in corpus
+        // order, hex floats, labels one per line -- the two files
+        // byte-diff when the socket path is bit-identical.
+        std::ofstream file(outPath, std::ios::binary);
+        if (!file)
+            util::fatal("isingrbm: cannot write " + outPath);
+        file << std::hexfloat;
+        for (const net::Response &res : report.responses) {
+            if (res.code != net::kWireOk)
+                util::fatal(std::string("isingrbm: loadgen response "
+                                        "failed: [") +
+                            net::wireCodeName(res.code) + "] " +
+                            res.message);
+            for (std::size_t r = 0; r < res.rows && res.cols; ++r)
+                for (std::size_t c = 0; c < res.cols; ++c)
+                    file << res.floats[r * res.cols + c]
+                         << (c + 1 == res.cols ? '\n' : ' ');
+            for (const std::int32_t label : res.labels)
+                file << label << '\n';
+        }
+    }
+
+    if (args.has("shutdown")) {
+        net::Client client;
+        std::string error;
+        if (client.connect(config.host, config.port, &error)) {
+            net::Request req;
+            req.type = net::FrameType::ShutdownRequest;
+            net::Response ack;
+            client.call(req, ack);
+        }
+    }
+    return report.failed == 0 ? 0 : 1;
 }
 
 const std::vector<util::FlagHelp> kListFlags = {
@@ -1000,6 +1248,10 @@ cmdHelp()
         "  sample       draw fantasy samples from a checkpoint\n"
         "  eval         classifier-head / free-energy accuracy of a "
         "checkpoint\n"
+        "  serve        epoll network front end over the batched "
+        "server (frame protocol)\n"
+        "  loadgen      open-loop Poisson load client: latency "
+        "quantiles, shed rate\n"
         "  serve-bench  drive the batched inference server, report "
         "throughput\n"
         "  serve-loop   probe a model continuously while it is "
@@ -1024,6 +1276,10 @@ main(int argc, char **argv)
         return cmdSample(args);
     if (sub == "eval")
         return cmdEval(args);
+    if (sub == "serve")
+        return cmdServe(args);
+    if (sub == "loadgen")
+        return cmdLoadgen(args);
     if (sub == "serve-bench")
         return cmdServeBench(args);
     if (sub == "serve-loop")

@@ -10,6 +10,7 @@
 #include "linalg/bitops.hpp"
 #include "util/checksum.hpp"
 #include "util/logging.hpp"
+#include "util/stopwatch.hpp"
 
 namespace ising::engine {
 
@@ -89,17 +90,21 @@ Server::submit(Request req)
                        "server: sample request needs count > 0"));
         rows = req.count;
     } else {
-        if (req.input.rows() == 0)
+        const std::size_t inRows =
+            req.packed ? req.packedInput.rows() : req.input.rows();
+        const std::size_t inCols =
+            req.packed ? req.packedInput.cols() : req.input.cols();
+        if (inRows == 0)
             return reject(
                 Status(StatusCode::InvalidArgument,
                        "server: request carries no input rows"));
-        if (req.input.cols() != model->inputDim())
+        if (inCols != model->inputDim())
             return reject(Status(
                 StatusCode::InvalidArgument,
-                util::strcat("server: input width ", req.input.cols(),
+                util::strcat("server: input width ", inCols,
                              " != model '", req.model, "' input dim ",
                              model->inputDim())));
-        rows = req.input.rows();
+        rows = inRows;
     }
 
     Pending pending;
@@ -133,9 +138,9 @@ Server::makeKey(const Model &model, const Pending &pending) const
     std::size_t size = 0;
     std::uint64_t domain = 0x62697473ull;  // "bits"
     if (pending.binaryInput) {
-        bytes = pending.packedInput.row(0);
-        size = pending.packedInput.rows() *
-               pending.packedInput.wordsPerRow() * sizeof(std::uint64_t);
+        const linalg::BitMatrix &bits = inputBits(pending);
+        bytes = bits.row(0);
+        size = bits.rows() * bits.wordsPerRow() * sizeof(std::uint64_t);
     } else {
         bytes = pending.req.input.data();
         size = pending.req.input.size() * sizeof(float);
@@ -202,12 +207,23 @@ Server::resolveForFlush(const std::string &name, Status *status)
     return flushModels_.back().model.get();
 }
 
+const linalg::BitMatrix &
+Server::inputBits(const Pending &pending)
+{
+    return pending.req.packed ? pending.req.packedInput
+                              : pending.packedInput;
+}
+
 void
 Server::prepare(Pending &pending)
 {
     const Request &req = pending.req;
     const bool caching = config_.cacheBytes > 0;
-    if (req.op != Op::Sample && (caching || config_.packedGather)) {
+    if (req.packed) {
+        // Wire-packed rows are binary by construction and already in
+        // canonical packed form: nothing to classify, nothing to pack.
+        pending.binaryInput = true;
+    } else if (req.op != Op::Sample && (caching || config_.packedGather)) {
         // One fused scan classifies the input; binary rows then pack
         // exactly once, feeding both the key hash and the packed
         // gather.
@@ -251,6 +267,7 @@ Server::flush()
     if (pending_.empty())
         return;
     ++stats_.flushes;
+    util::Stopwatch watch;
 
     // Stage 0: pack binary inputs and probe the response cache.  Hits
     // resolve their futures right here -- no gather, no group, no
@@ -298,6 +315,9 @@ Server::flush()
     // Memoized resolutions do not outlive their batch: the next
     // batch's first submit revalidates against the archive again.
     flushModels_.clear();
+
+    flushLatency_.record(
+        static_cast<std::uint64_t>(watch.seconds() * 1e9));
 }
 
 void
@@ -385,9 +405,16 @@ Server::executeGroup(const std::vector<Pending *> &group)
                 }
                 for (std::size_t g = begin; g < end; ++g) {
                     const RowRef &ref = rowMap_[g];
-                    std::copy_n(
-                        group[ref.pending]->req.input.row(ref.row),
-                        inDim, in_.row(g - begin));
+                    const Pending &p = *group[ref.pending];
+                    // Wire-packed requests have no float plane; the
+                    // non-packed execution paths (Classify, legacy
+                    // gather) unpack per gathered row instead.
+                    if (p.req.packed)
+                        p.req.packedInput.unpackRowTo(ref.row,
+                                                      in_.row(g - begin));
+                    else
+                        std::copy_n(p.req.input.row(ref.row), inDim,
+                                    in_.row(g - begin));
                 }
             } else if (packedPlane) {
                 if (packedIn_.rows() != end - begin ||
@@ -398,7 +425,7 @@ Server::executeGroup(const std::vector<Pending *> &group)
                 for (std::size_t g = begin; g < end; ++g) {
                     const RowRef &ref = rowMap_[g];
                     packedIn_.copyRowFrom(
-                        g - begin, group[ref.pending]->packedInput,
+                        g - begin, inputBits(*group[ref.pending]),
                         ref.row);
                 }
             }
@@ -480,11 +507,21 @@ Server::stats() const
     out.reloadFallbacks = registry.reloadFallbacks;
     out.promotions = registry.promotions;
     out.rollbacks = registry.rollbacks;
+    out.flushLatencyNs = flushLatency_;
     return out;
 }
 
 std::vector<Request>
 probeRequests(const Model &model, const std::string &name, Op op,
+              std::size_t requests, std::size_t rows, int steps,
+              std::uint64_t seedBase)
+{
+    return probeRequests(model.inputDim(), name, op, requests, rows,
+                         steps, seedBase);
+}
+
+std::vector<Request>
+probeRequests(std::size_t inputDim, const std::string &name, Op op,
               std::size_t requests, std::size_t rows, int steps,
               std::uint64_t seedBase)
 {
@@ -500,9 +537,9 @@ probeRequests(const Model &model, const std::string &name, Op op,
         if (op == Op::Sample) {
             req.count = rows;
         } else {
-            req.input.reset(rows, model.inputDim());
+            req.input.reset(rows, inputDim);
             for (std::size_t r = 0; r < rows; ++r)
-                for (std::size_t i = 0; i < model.inputDim(); ++i)
+                for (std::size_t i = 0; i < inputDim; ++i)
                     req.input(r, i) = rng.bernoulli(0.5) ? 1.0f : 0.0f;
         }
         out.push_back(std::move(req));

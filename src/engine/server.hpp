@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "engine/registry.hpp"
+#include "util/histogram.hpp"
 
 namespace ising::engine {
 
@@ -79,6 +80,17 @@ struct Request
     std::string model;         ///< registry name
     Op op = Op::Featurize;
     linalg::Matrix input;      ///< data rows (unused for Sample)
+    /**
+     * Pre-packed binary input rows (one unit per bit), the wire-side
+     * alternative to `input`: the net front end decodes packed frames
+     * straight into this plane, so a socket request never round-trips
+     * through floats -- flush feeds the words directly to the packed
+     * gather and the cache-key hash, and only a non-packed execution
+     * path (Classify, legacy float gather) unpacks.  Set `packed` to
+     * make this plane authoritative; `input` is then ignored.
+     */
+    linalg::BitMatrix packedInput;
+    bool packed = false;       ///< packedInput carries the data rows
     std::size_t count = 0;     ///< chains to draw (Sample only)
     int steps = 25;            ///< anneal sweeps (Sample only)
     std::uint64_t seed = 0;    ///< roots this request's per-row streams
@@ -161,6 +173,13 @@ class Server
         std::size_t reloadFallbacks = 0;
         std::size_t promotions = 0;    ///< canary-gated hot-swaps
         std::size_t rollbacks = 0;     ///< promotes that kept the incumbent
+        /**
+         * Wall-clock nanoseconds per flush() that executed work, as a
+         * mergeable log-bucketed distribution: the engine-side half of
+         * the latency story (the net layer adds queueing and socket
+         * time on top).
+         */
+        util::Histogram flushLatencyNs;
     };
 
     /**
@@ -260,6 +279,10 @@ class Server
     /** The cache key of @p pending under @p model's stamp. */
     CacheKey makeKey(const Model &model, const Pending &pending) const;
 
+    /** The packed input plane: the request's own for wire-packed
+     *  requests, the prepare()-packed copy otherwise. */
+    static const linalg::BitMatrix &inputBits(const Pending &pending);
+
     /** Lookup + LRU touch; nullptr on miss. */
     const CacheEntry *cacheFind(const CacheKey &key);
 
@@ -275,6 +298,7 @@ class Server
     std::vector<Pending> pending_;
     std::size_t pendingRows_ = 0;
     Stats stats_;
+    util::Histogram flushLatency_;  ///< ns per executed flush()
 
     // Per-flush scratch, reused across groups and flushes (one
     // dispatcher thread): group slots, row map, per-row streams, the
@@ -305,6 +329,17 @@ class Server
  * serve section so both surfaces measure the same workload shape.
  */
 std::vector<Request> probeRequests(const Model &model,
+                                   const std::string &name, Op op,
+                                   std::size_t requests,
+                                   std::size_t rows, int steps,
+                                   std::uint64_t seedBase);
+
+/**
+ * The same corpus built from the input width alone, so a remote
+ * client (`isingrbm loadgen`) can regenerate byte-identical probe
+ * traffic from an Info frame without loading the model locally.
+ */
+std::vector<Request> probeRequests(std::size_t inputDim,
                                    const std::string &name, Op op,
                                    std::size_t requests,
                                    std::size_t rows, int steps,

@@ -27,6 +27,7 @@ enum class StatusCode {
     DataLoss,            ///< archive torn/corrupt and no fallback
     FailedPrecondition,  ///< incompatible models (canary dim mismatch)
     Internal,            ///< unexpected failure contained to a request
+    Overloaded,          ///< admission control shed the request; retry later
 };
 
 /** Spelling used in logs and CLI diagnostics. */
@@ -40,6 +41,7 @@ statusCodeName(StatusCode code)
       case StatusCode::DataLoss: return "data-loss";
       case StatusCode::FailedPrecondition: return "failed-precondition";
       case StatusCode::Internal: return "internal";
+      case StatusCode::Overloaded: return "overloaded";
     }
     return "?";
 }

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Blocking client implementation.
+ */
+
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ising::net {
+
+bool
+Client::connect(const std::string &host, std::uint16_t port,
+                std::string *error)
+{
+    close();
+    const auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what + ": " + std::strerror(errno);
+        close();
+        return false;
+    };
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return fail("socket");
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (error)
+            *error = "bad host address '" + host + "'";
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0)
+        return fail("connect");
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    reader_ = FrameReader();
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::send(const Request &req)
+{
+    std::string bytes;
+    encodeRequest(req, bytes);
+    return sendBytes(bytes);
+}
+
+bool
+Client::sendBytes(const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+Client::recv(Response &out)
+{
+    std::string body;
+    while (!reader_.next(body)) {
+        if (reader_.overflow())
+            return false;
+        char buf[65536];
+        const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+        if (n == 0)
+            return false;  // EOF
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        reader_.feed(buf, static_cast<std::size_t>(n));
+    }
+    return decodeResponse(body.data(), body.size(), out);
+}
+
+bool
+Client::call(const Request &req, Response &out)
+{
+    return send(req) && recv(out);
+}
+
+} // namespace ising::net

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal blocking client for the frame protocol.
+ *
+ * One connection, synchronous send/recv of whole frames -- the shape
+ * tests and simple tools want.  The loadgen drives its own
+ * non-blocking multi-connection loop (net/loadgen.hpp) but shares the
+ * codec; this client is for everything else: Info lookups, smoke
+ * probes, the Shutdown frame.
+ */
+
+#ifndef ISINGRBM_NET_CLIENT_HPP
+#define ISINGRBM_NET_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace ising::net {
+
+/** Blocking frame-protocol connection. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect (blocking); false with @p error filled on failure. */
+    bool connect(const std::string &host, std::uint16_t port,
+                 std::string *error = nullptr);
+
+    void close();
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Send one whole request frame; false on a socket error. */
+    bool send(const Request &req);
+
+    /** Send pre-encoded frame bytes. */
+    bool sendBytes(const std::string &bytes);
+
+    /** Block until one complete response frame arrives; false on
+     *  EOF, socket error, or a malformed frame. */
+    bool recv(Response &out);
+
+    /** send() + recv(): one synchronous round trip. */
+    bool call(const Request &req, Response &out);
+
+  private:
+    int fd_ = -1;
+    FrameReader reader_;
+};
+
+} // namespace ising::net
+
+#endif // ISINGRBM_NET_CLIENT_HPP

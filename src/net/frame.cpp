@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Frame codec implementation: little-endian put/get helpers, the
+ * request/response encoders and bounds-checked decoders, and the
+ * incremental FrameReader.
+ */
+
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "linalg/bits.hpp"
+
+namespace ising::net {
+
+std::uint8_t
+wireCode(engine::StatusCode code)
+{
+    using engine::StatusCode;
+    switch (code) {
+      case StatusCode::Ok: return kWireOk;
+      case StatusCode::InvalidArgument: return kWireInvalidArgument;
+      case StatusCode::NotFound: return kWireNotFound;
+      case StatusCode::DataLoss: return kWireDataLoss;
+      case StatusCode::FailedPrecondition:
+        return kWireFailedPrecondition;
+      case StatusCode::Internal: return kWireInternal;
+      case StatusCode::Overloaded: return kWireOverloaded;
+    }
+    return kWireInternal;
+}
+
+const char *
+wireCodeName(std::uint8_t code)
+{
+    switch (code) {
+      case kWireOk: return "ok";
+      case kWireInvalidArgument: return "invalid-argument";
+      case kWireNotFound: return "not-found";
+      case kWireDataLoss: return "data-loss";
+      case kWireFailedPrecondition: return "failed-precondition";
+      case kWireInternal: return "internal";
+      case kWireOverloaded: return "overloaded";
+      case kWireBadFrame: return "bad-frame";
+    }
+    return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------- encoding
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    for (int i = 0; i < 2; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** u16 length + bytes; names longer than 64 KiB do not exist here. */
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU16(out, static_cast<std::uint16_t>(s.size()));
+    out.append(s);
+}
+
+void
+putModelInfo(std::string &out, const ModelInfo &info)
+{
+    putStr(out, info.name);
+    putStr(out, info.family);
+    putStr(out, info.backend);
+    putU32(out, static_cast<std::uint32_t>(info.epoch));
+    putU32(out, info.inputDim);
+    putU32(out, info.outputDim);
+}
+
+/** Patch the frame's u32 length prefix once the body is complete. */
+void
+sealFrame(std::string &out, std::size_t lengthAt)
+{
+    const std::uint32_t body =
+        static_cast<std::uint32_t>(out.size() - lengthAt - 4);
+    for (int i = 0; i < 4; ++i)
+        out[lengthAt + static_cast<std::size_t>(i)] =
+            static_cast<char>((body >> (8 * i)) & 0xff);
+}
+
+// ---------------------------------------------------------- decoding
+
+/** Bounds-checked little-endian cursor over one frame body. */
+struct Cursor
+{
+    const unsigned char *p;
+    std::size_t left;
+
+    bool
+    getU8(std::uint8_t &v)
+    {
+        if (left < 1)
+            return false;
+        v = p[0];
+        p += 1;
+        left -= 1;
+        return true;
+    }
+
+    bool
+    getU16(std::uint16_t &v)
+    {
+        if (left < 2)
+            return false;
+        v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+        p += 2;
+        left -= 2;
+        return true;
+    }
+
+    bool
+    getU32(std::uint32_t &v)
+    {
+        if (left < 4)
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+        p += 4;
+        left -= 4;
+        return true;
+    }
+
+    bool
+    getU64(std::uint64_t &v)
+    {
+        if (left < 8)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        p += 8;
+        left -= 8;
+        return true;
+    }
+
+    bool
+    getStr(std::string &s)
+    {
+        std::uint16_t n = 0;
+        if (!getU16(n) || left < n)
+            return false;
+        s.assign(reinterpret_cast<const char *>(p), n);
+        p += n;
+        left -= n;
+        return true;
+    }
+
+    bool
+    getModelInfo(ModelInfo &info)
+    {
+        std::uint32_t epoch = 0;
+        if (!getStr(info.name) || !getStr(info.family) ||
+            !getStr(info.backend) || !getU32(epoch) ||
+            !getU32(info.inputDim) || !getU32(info.outputDim))
+            return false;
+        info.epoch = static_cast<std::int32_t>(epoch);
+        return true;
+    }
+};
+
+} // namespace
+
+void
+encodeRequest(const Request &req, std::string &out)
+{
+    const std::size_t lengthAt = out.size();
+    out.append(4, '\0');
+    putU8(out, static_cast<std::uint8_t>(req.type));
+    switch (req.type) {
+      case FrameType::ListRequest:
+      case FrameType::ShutdownRequest:
+        break;
+      case FrameType::InfoRequest:
+        putStr(out, req.model);
+        break;
+      case FrameType::InferRequest: {
+        putU32(out, req.id);
+        putU8(out, static_cast<std::uint8_t>(req.op));
+        putU8(out, static_cast<std::uint8_t>(req.payload));
+        putStr(out, req.model);
+        putU32(out, static_cast<std::uint32_t>(req.steps));
+        putU64(out, req.seed);
+        putU32(out, req.rows);
+        putU32(out, req.cols);
+        if (req.payload == PayloadKind::Packed) {
+            for (const std::uint64_t w : req.words)
+                putU64(out, w);
+        } else if (req.payload == PayloadKind::Float) {
+            for (const float f : req.floats)
+                putU32(out, std::bit_cast<std::uint32_t>(f));
+        }
+        break;
+      }
+      default:
+        break;  // response types never encode as requests
+    }
+    sealFrame(out, lengthAt);
+}
+
+void
+encodeResponse(const Response &res, std::string &out)
+{
+    const std::size_t lengthAt = out.size();
+    out.append(4, '\0');
+    putU8(out, static_cast<std::uint8_t>(res.type));
+    switch (res.type) {
+      case FrameType::ListResponse:
+      case FrameType::InfoResponse:
+        putU8(out, res.code);
+        putStr(out, res.message);
+        putU16(out, static_cast<std::uint16_t>(res.models.size()));
+        for (const ModelInfo &info : res.models)
+            putModelInfo(out, info);
+        break;
+      case FrameType::InferResponse: {
+        putU32(out, res.id);
+        putU8(out, res.code);
+        putStr(out, res.message);
+        putU32(out, res.rows);
+        putU32(out, res.cols);
+        const std::uint8_t kind = !res.labels.empty() ? 2
+                                  : !res.floats.empty() ? 1
+                                                        : 0;
+        putU8(out, kind);
+        if (kind == 1)
+            for (const float f : res.floats)
+                putU32(out, std::bit_cast<std::uint32_t>(f));
+        else if (kind == 2)
+            for (const std::int32_t label : res.labels)
+                putU32(out, static_cast<std::uint32_t>(label));
+        break;
+      }
+      case FrameType::ShutdownResponse:
+        putU8(out, res.code);
+        break;
+      default:
+        break;  // request types never encode as responses
+    }
+    sealFrame(out, lengthAt);
+}
+
+bool
+decodeRequest(const char *body, std::size_t size, Request &out)
+{
+    Cursor c{reinterpret_cast<const unsigned char *>(body), size};
+    std::uint8_t type = 0;
+    if (!c.getU8(type))
+        return false;
+    out = Request();
+    out.type = static_cast<FrameType>(type);
+    switch (out.type) {
+      case FrameType::ListRequest:
+      case FrameType::ShutdownRequest:
+        return c.left == 0;
+      case FrameType::InfoRequest:
+        return c.getStr(out.model) && c.left == 0;
+      case FrameType::InferRequest: {
+        std::uint8_t op = 0, payload = 0;
+        std::uint32_t steps = 0;
+        if (!c.getU32(out.id) || !c.getU8(op) || !c.getU8(payload) ||
+            !c.getStr(out.model) || !c.getU32(steps) ||
+            !c.getU64(out.seed) || !c.getU32(out.rows) ||
+            !c.getU32(out.cols))
+            return false;
+        if (op > static_cast<std::uint8_t>(engine::Op::Reconstruct) ||
+            payload > static_cast<std::uint8_t>(PayloadKind::Float))
+            return false;
+        out.op = static_cast<engine::Op>(op);
+        out.payload = static_cast<PayloadKind>(payload);
+        out.steps = static_cast<std::int32_t>(steps);
+        if (out.payload == PayloadKind::Packed) {
+            const std::size_t words =
+                static_cast<std::size_t>(out.rows) *
+                linalg::bitWords(out.cols);
+            if (c.left != words * 8)
+                return false;
+            out.words.resize(words);
+            for (std::uint64_t &w : out.words)
+                c.getU64(w);
+        } else if (out.payload == PayloadKind::Float) {
+            const std::size_t floats =
+                static_cast<std::size_t>(out.rows) * out.cols;
+            if (c.left != floats * 4)
+                return false;
+            out.floats.resize(floats);
+            for (float &f : out.floats) {
+                std::uint32_t bits = 0;
+                c.getU32(bits);
+                f = std::bit_cast<float>(bits);
+            }
+        }
+        return c.left == 0;
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+decodeResponse(const char *body, std::size_t size, Response &out)
+{
+    Cursor c{reinterpret_cast<const unsigned char *>(body), size};
+    std::uint8_t type = 0;
+    if (!c.getU8(type))
+        return false;
+    out = Response();
+    out.type = static_cast<FrameType>(type);
+    switch (out.type) {
+      case FrameType::ListResponse:
+      case FrameType::InfoResponse: {
+        std::uint16_t count = 0;
+        if (!c.getU8(out.code) || !c.getStr(out.message) ||
+            !c.getU16(count))
+            return false;
+        out.models.resize(count);
+        for (ModelInfo &info : out.models)
+            if (!c.getModelInfo(info))
+                return false;
+        return c.left == 0;
+      }
+      case FrameType::InferResponse: {
+        std::uint8_t kind = 0;
+        if (!c.getU32(out.id) || !c.getU8(out.code) ||
+            !c.getStr(out.message) || !c.getU32(out.rows) ||
+            !c.getU32(out.cols) || !c.getU8(kind))
+            return false;
+        if (kind == 1) {
+            const std::size_t floats =
+                static_cast<std::size_t>(out.rows) * out.cols;
+            if (c.left != floats * 4)
+                return false;
+            out.floats.resize(floats);
+            for (float &f : out.floats) {
+                std::uint32_t bits = 0;
+                c.getU32(bits);
+                f = std::bit_cast<float>(bits);
+            }
+        } else if (kind == 2) {
+            if (c.left != static_cast<std::size_t>(out.rows) * 4)
+                return false;
+            out.labels.resize(out.rows);
+            for (std::int32_t &label : out.labels) {
+                std::uint32_t bits = 0;
+                c.getU32(bits);
+                label = static_cast<std::int32_t>(bits);
+            }
+        } else if (kind != 0) {
+            return false;
+        }
+        return c.left == 0;
+      }
+      case FrameType::ShutdownResponse:
+        return c.getU8(out.code) && c.left == 0;
+      default:
+        return false;
+    }
+}
+
+void
+FrameReader::feed(const char *data, std::size_t n)
+{
+    if (overflow_)
+        return;
+    // Compact once consumed bytes dominate: amortized O(1) per byte.
+    if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buffer_.append(data, n);
+}
+
+bool
+FrameReader::next(std::string &body)
+{
+    if (overflow_ || buffer_.size() - pos_ < 4)
+        return false;
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(buffer_.data() + pos_);
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    if (length > maxBody_) {
+        overflow_ = true;
+        return false;
+    }
+    if (buffer_.size() - pos_ < 4 + static_cast<std::size_t>(length))
+        return false;
+    body.assign(buffer_, pos_ + 4, length);
+    pos_ += 4 + static_cast<std::size_t>(length);
+    return true;
+}
+
+} // namespace ising::net

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Length-prefixed binary frame protocol for the serving front end.
+ *
+ * Every frame on the wire is a little-endian u32 body length followed
+ * by the body; the body's first byte is the FrameType.  The request
+ * surface mirrors the registry's resource-collection shape: List
+ * enumerates the models with their metadata, Info describes one, Infer
+ * carries one engine::Server request, Shutdown asks the server to
+ * drain and exit (used by tests and the smoke harness).
+ *
+ * An Infer body is: u32 id (echoed in the response so pipelined
+ * replies match up), u8 op, u8 payload kind, model name, i32 anneal
+ * steps, u64 seed, u32 rows, u32 cols, then the payload.  Binary rows
+ * travel *packed* -- rows x bitWords(cols) u64 words, the exact
+ * canonical layout linalg::BitMatrix uses -- so the server lands them
+ * on the packed zero-copy gather path with no float round-trip on the
+ * wire; float rows travel as raw IEEE-754 bytes, so served bytes are
+ * bit-identical to the in-process path for either payload kind.
+ *
+ * Responses carry a wire status code (engine::StatusCode plus
+ * OVERLOADED for admission-control sheds) and the op's output: raw
+ * float rows or i32 labels.
+ *
+ * Encoding and the incremental FrameReader are pure byte-buffer
+ * transforms -- no sockets -- so the protocol round-trips under plain
+ * unit tests (tests/test_net.cpp).
+ */
+
+#ifndef ISINGRBM_NET_FRAME_HPP
+#define ISINGRBM_NET_FRAME_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/model.hpp"
+#include "engine/status.hpp"
+
+namespace ising::net {
+
+/** Upper bound on a frame body; a longer length prefix is treated as
+ *  a protocol error and the connection is closed. */
+constexpr std::size_t kMaxFrameBody = 64u << 20;
+
+/** Body discriminator (first body byte). */
+enum class FrameType : std::uint8_t {
+    ListRequest = 1,
+    InfoRequest = 2,
+    InferRequest = 3,
+    ShutdownRequest = 4,
+    ListResponse = 65,
+    InfoResponse = 66,
+    InferResponse = 67,
+    ShutdownResponse = 68,
+};
+
+/** How an Infer request's rows travel. */
+enum class PayloadKind : std::uint8_t {
+    None = 0,    ///< Sample: no input plane, rows = chain count
+    Packed = 1,  ///< binary rows, one unit per bit (u64 words)
+    Float = 2,   ///< raw IEEE-754 float rows
+};
+
+/** Wire status codes (superset of engine::StatusCode). */
+enum : std::uint8_t {
+    kWireOk = 0,
+    kWireInvalidArgument = 1,
+    kWireNotFound = 2,
+    kWireDataLoss = 3,
+    kWireFailedPrecondition = 4,
+    kWireInternal = 5,
+    kWireOverloaded = 6,
+    kWireBadFrame = 7,
+};
+
+std::uint8_t wireCode(engine::StatusCode code);
+const char *wireCodeName(std::uint8_t code);
+
+/** One model's metadata (List/Info responses). */
+struct ModelInfo
+{
+    std::string name;
+    std::string family;
+    std::string backend;
+    std::int32_t epoch = 0;
+    std::uint32_t inputDim = 0;
+    std::uint32_t outputDim = 0;  ///< Featurize output width
+};
+
+/** Decoded request frame (any request type). */
+struct Request
+{
+    FrameType type = FrameType::InferRequest;
+    std::uint32_t id = 0;          ///< echoed in the Infer response
+    std::string model;             ///< Info + Infer
+    engine::Op op = engine::Op::Featurize;
+    PayloadKind payload = PayloadKind::None;
+    std::int32_t steps = 25;
+    std::uint64_t seed = 0;
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<std::uint64_t> words;  ///< Packed payload
+    std::vector<float> floats;         ///< Float payload
+};
+
+/** Decoded response frame (any response type). */
+struct Response
+{
+    FrameType type = FrameType::InferResponse;
+    std::uint32_t id = 0;
+    std::uint8_t code = kWireOk;
+    std::string message;           ///< non-ok diagnostics
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<float> floats;     ///< output rows (raw bytes)
+    std::vector<std::int32_t> labels;  ///< Classify results
+    std::vector<ModelInfo> models;     ///< List (all) / Info (one)
+};
+
+/** Append @p req as one complete frame (length prefix included). */
+void encodeRequest(const Request &req, std::string &out);
+
+/** Append @p res as one complete frame (length prefix included). */
+void encodeResponse(const Response &res, std::string &out);
+
+/** Decode a frame body; false on malformed bytes (wrong type, short
+ *  fields, payload size mismatch). */
+bool decodeRequest(const char *body, std::size_t size, Request &out);
+bool decodeResponse(const char *body, std::size_t size, Response &out);
+
+/**
+ * Incremental frame assembler: feed() whatever recv() returned, next()
+ * yields complete frame bodies in order.  A length prefix beyond
+ * @p maxBody poisons the stream (overflow(); the connection owner
+ * closes) -- garbage on a fresh connection cannot make the server
+ * buffer unboundedly.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(std::size_t maxBody = kMaxFrameBody)
+        : maxBody_(maxBody)
+    {
+    }
+
+    void feed(const char *data, std::size_t n);
+
+    /** Extract the next complete body into @p body; false when the
+     *  buffer holds no complete frame (or the stream overflowed). */
+    bool next(std::string &body);
+
+    bool overflow() const { return overflow_; }
+    std::size_t buffered() const { return buffer_.size() - pos_; }
+
+  private:
+    std::string buffer_;
+    std::size_t pos_ = 0;
+    std::size_t maxBody_;
+    bool overflow_ = false;
+};
+
+} // namespace ising::net
+
+#endif // ISINGRBM_NET_FRAME_HPP

@@ -81,6 +81,10 @@ FaultInjector::configure(const std::string &spec)
             rule.kind = Kind::FailWrite;
         else if (kindName == "truncate")
             rule.kind = Kind::Truncate;
+        else if (kindName == "netdrop")
+            rule.kind = Kind::NetDrop;
+        else if (kindName == "netstall")
+            rule.kind = Kind::NetStall;
         else
             fatal("fault: unknown rule kind '" + kindName + "' in '" +
                   text + "'");
@@ -184,6 +188,25 @@ FaultInjector::truncateBytes(const std::string &path)
         return rule->bytes;
     }
     return std::nullopt;
+}
+
+FaultInjector::NetFault
+FaultInjector::netFault(const std::string &key)
+{
+    if (!armed())
+        return NetFault::None;
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Drop takes priority; both kinds advance their own hit counters
+    // so one connection can carry independent drop and stall rules.
+    if (match(Kind::NetDrop, key)) {
+        warn("fault: injected connection drop for " + key);
+        return NetFault::Drop;
+    }
+    if (match(Kind::NetStall, key)) {
+        warn("fault: injected connection stall for " + key);
+        return NetFault::Stall;
+    }
+    return NetFault::None;
 }
 
 } // namespace ising::util

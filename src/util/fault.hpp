@@ -22,6 +22,12 @@
  *                                    truncate the temp archive to
  *                                    <bytes> before it is published
  *                                    (a torn-write simulator)
+ *   netdrop:<substr>[@N|@everyK]     close a serving connection whose
+ *                                    key contains substr mid-frame
+ *                                    (a client/kernel reset simulator)
+ *   netstall:<substr>[@N|@everyK]    freeze a serving connection's
+ *                                    writes (a dead-peer simulator;
+ *                                    the idle timeout must reap it)
  *
  * `@N` fires on the Nth matching hit only (default @1); `@everyK`
  * fires on every Kth.  Crash points currently wired:
@@ -75,10 +81,20 @@ class FaultInjector
     /** Bytes to truncate @p path's archive to, when a rule matches. */
     std::optional<std::uint64_t> truncateBytes(const std::string &path);
 
+    /** Socket-path fault decisions for the net server's write path. */
+    enum class NetFault {
+        None,   ///< no rule fired: write normally
+        Drop,   ///< close the connection mid-frame
+        Stall,  ///< stop writing; the peer looks alive but dead
+    };
+
+    /** The fault (if any) to apply to connection @p key this write. */
+    NetFault netFault(const std::string &key);
+
   private:
     FaultInjector();
 
-    enum class Kind { Crash, FailWrite, Truncate };
+    enum class Kind { Crash, FailWrite, Truncate, NetDrop, NetStall };
 
     struct Rule
     {

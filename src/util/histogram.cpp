@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Histogram implementation: bucket mapping and quantile walk.
+ */
+
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ising::util {
+
+std::size_t
+Histogram::bucketOf(std::uint64_t value)
+{
+    // Values below one full octave of sub-buckets are exact.
+    if (value < (1ull << kSubBits))
+        return static_cast<std::size_t>(value);
+    // Otherwise keep the top kSubBits bits after the leading one: the
+    // octave index selects the block, those bits the linear sub-bucket.
+    const int msb = 63 - std::countl_zero(value);
+    const int shift = msb - kSubBits;
+    const std::uint64_t sub = (value >> shift) & ((1ull << kSubBits) - 1);
+    return (static_cast<std::size_t>(msb - kSubBits + 1) << kSubBits) |
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+Histogram::bucketLow(std::size_t bucket)
+{
+    const std::size_t octave = bucket >> kSubBits;
+    const std::uint64_t sub = bucket & ((1ull << kSubBits) - 1);
+    if (octave == 0)
+        return sub;
+    const int shift = static_cast<int>(octave) - 1;
+    return (1ull << (kSubBits + shift)) | (sub << shift);
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    if (counts_.empty())
+        counts_.assign(kBuckets, 0);
+    ++counts_[bucketOf(value)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (!(q > 0.0))
+        return min_;
+    if (q >= 1.0)
+        return max_;
+    // Rank of the requested sample (1-based); walk the cumulative
+    // counts to the bucket holding it.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        cumulative += counts_[b];
+        if (cumulative >= rank)
+            return std::clamp(bucketLow(b), min_, max_);
+    }
+    return max_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (counts_.empty())
+        counts_.assign(kBuckets, 0);
+    for (std::size_t b = 0; b < kBuckets; ++b)
+        counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ull;
+    max_ = 0;
+}
+
+} // namespace ising::util

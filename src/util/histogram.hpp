@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Log-bucketed latency recorder (HDR-histogram style).
+ *
+ * The serving path needs tail quantiles (p99, p99.9) over millions of
+ * nanosecond-scale samples without storing them: Histogram buckets
+ * values logarithmically -- every power-of-two octave is split into
+ * 2^kSubBits linear sub-buckets -- so recording is two shifts and an
+ * increment, memory is a fixed ~15 KB table for the full 64-bit range,
+ * and any quantile is recoverable to within one sub-bucket (a relative
+ * error of at most 1/2^kSubBits, ~3%).  Values below 2^kSubBits land
+ * in exact unit buckets.
+ *
+ * Histograms merge by bucket-wise addition, so per-connection or
+ * per-thread recorders combine into one distribution exactly (merge is
+ * associative and commutative -- enforced by tests/test_histogram.cpp).
+ * Shared by engine::Server::stats() (per-flush latency), the net
+ * server, and the loadgen client.
+ */
+
+#ifndef ISINGRBM_UTIL_HISTOGRAM_HPP
+#define ISINGRBM_UTIL_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ising::util {
+
+/** Fixed-memory log-bucketed recorder of non-negative 64-bit values. */
+class Histogram
+{
+  public:
+    /** Sub-bucket resolution: 2^5 = 32 linear buckets per octave. */
+    static constexpr int kSubBits = 5;
+
+    /** Record one value (typically a latency in nanoseconds). */
+    void record(std::uint64_t value);
+
+    /** Samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all recorded values (saturating semantics not needed:
+     *  2^64 ns is ~585 years of accumulated latency). */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Exact extremes (0 when empty). */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /**
+     * The value at quantile @p q in [0, 1]: the lower bound of the
+     * bucket holding the ceil(q * count)-th smallest sample, clamped
+     * to [min(), max()] (so quantile(0) == min(), quantile(1) == max()
+     * exactly).  Returns 0 when empty; q outside [0, 1] clamps.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Bucket-wise addition of @p other into this. */
+    void merge(const Histogram &other);
+
+    /** Forget everything (buckets keep their capacity). */
+    void clear();
+
+  private:
+    static std::size_t bucketOf(std::uint64_t value);
+    static std::uint64_t bucketLow(std::size_t bucket);
+
+    /** Buckets for the full uint64 range at kSubBits resolution. */
+    static constexpr std::size_t kBuckets =
+        static_cast<std::size_t>(64 - kSubBits + 1) << kSubBits;
+
+    std::vector<std::uint64_t> counts_;  ///< sized lazily on first record
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace ising::util
+
+#endif // ISINGRBM_UTIL_HISTOGRAM_HPP

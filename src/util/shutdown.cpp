@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shutdown latch implementation.
+ */
+
+#include "util/shutdown.hpp"
+
+#include <csignal>
+
+namespace ising::util {
+
+namespace {
+
+volatile std::sig_atomic_t g_requested = 0;
+bool g_installed = false;
+
+extern "C" void
+onShutdownSignal(int)
+{
+    g_requested = 1;
+}
+
+} // namespace
+
+void
+installShutdownHandler()
+{
+    if (g_installed)
+        return;
+    g_installed = true;
+    struct sigaction action = {};
+    action.sa_handler = onShutdownSignal;
+    sigemptyset(&action.sa_mask);
+    // No SA_RESTART: blocked syscalls (epoll_wait, accept, nanosleep)
+    // return EINTR so the serving loop sees the flag promptly.
+    action.sa_flags = 0;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return g_requested != 0;
+}
+
+void
+clearShutdownRequest()
+{
+    g_requested = 0;
+}
+
+} // namespace ising::util

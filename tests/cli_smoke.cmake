@@ -337,3 +337,68 @@ run_step(${CMAKE_COMMAND} -E compare_files
 run_step(${CMAKE_COMMAND} -E compare_files
          ${WORK}/serve-cache-packed.txt
          ${WORK}/serve-cache-legacy.txt)
+
+# ---------------------------------------------------------------------
+# Networked serving legs: a real serve process on an ephemeral port, a
+# seeded loadgen hammering it over 3 connections, and a byte-diff of
+# the socket-served responses against the in-process serve-bench dump
+# of the identical corpus.  The loadgen's --shutdown frame is what
+# stops the server, so both exit codes prove the graceful-drain path.
+execute_process(
+  COMMAND ${CLI} serve --registry ${WORK} --port 0
+          --port-file ${WORK}/net.port --cache-bytes 1048576
+  COMMAND ${CLI} loadgen --port-file ${WORK}/net.port --model smoke
+          --op reconstruct --requests 16 --rows 4 --steps 10 --seed 13
+          --connections 3 --out ${WORK}/net-served.txt --shutdown
+  TIMEOUT 120
+  RESULTS_VARIABLE net_codes
+  OUTPUT_VARIABLE net_out
+  ERROR_VARIABLE net_err)
+message(STATUS "cli_smoke: serve + loadgen over the socket")
+if(net_out)
+  message(STATUS "${net_out}")
+endif()
+foreach(code IN LISTS net_codes)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cli_smoke: serve/loadgen leg failed "
+                        "(exit codes: ${net_codes}): ${net_err}")
+  endif()
+endforeach()
+run_step(${CLI} serve-bench --registry ${WORK} --model smoke
+         --op reconstruct --requests 16 --rows 4 --steps 10 --seed 13
+         --reps 1 --out ${WORK}/net-inproc.txt)
+run_step(${CMAKE_COMMAND} -E compare_files
+         ${WORK}/net-served.txt ${WORK}/net-inproc.txt)
+
+# Overload: a tiny admission budget against a saturating pipelined
+# burst must shed with OVERLOADED replies -- not drop frames, not kill
+# connections, not fail the client -- and still drain to exit 0.
+execute_process(
+  COMMAND ${CLI} serve --registry ${WORK} --port 0
+          --port-file ${WORK}/net-over.port --max-pending-rows 8
+  COMMAND ${CLI} loadgen --port-file ${WORK}/net-over.port
+          --model smoke --op reconstruct --requests 64 --rows 4
+          --steps 10 --seed 13 --connections 2 --shutdown
+  TIMEOUT 120
+  RESULTS_VARIABLE over_codes
+  OUTPUT_VARIABLE over_out
+  ERROR_VARIABLE over_err)
+message(STATUS "cli_smoke: overloaded serve (admission budget 8 rows)")
+if(over_out)
+  message(STATUS "${over_out}")
+endif()
+foreach(code IN LISTS over_codes)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cli_smoke: overload leg failed "
+                        "(exit codes: ${over_codes}): ${over_err}")
+  endif()
+endforeach()
+if(NOT over_out MATCHES "[1-9][0-9]* shed")
+  message(FATAL_ERROR "cli_smoke: 64 pipelined requests against an "
+                      "8-row budget shed nothing -- admission control "
+                      "is not engaging")
+endif()
+if(NOT over_out MATCHES " 0 failed")
+  message(FATAL_ERROR "cli_smoke: overload leg dropped or corrupted "
+                      "frames (non-zero failed count)")
+endif()

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * util::Histogram tests: exact small-value buckets, log-bucket
+ * boundaries, merge associativity, and quantile edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+using ising::util::Histogram;
+using ising::util::Rng;
+
+namespace {
+
+constexpr std::uint64_t kSub = 1ull << Histogram::kSubBits;
+
+} // namespace
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    // Below one octave of sub-buckets every value has its own bucket,
+    // so quantiles are exact order statistics (lower-bound flavor).
+    Histogram h;
+    for (std::uint64_t v = 0; v < kSub; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), kSub);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), kSub - 1);
+    EXPECT_EQ(h.quantile(0.5), kSub / 2 - 1);
+    EXPECT_EQ(h.quantile(1.0), kSub - 1);
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.sum(), kSub * (kSub - 1) / 2);
+}
+
+TEST(Histogram, BucketBoundariesSeparatePowersOfTwo)
+{
+    // 2^k and 2^k - 1 must never share a bucket: record both around
+    // several octaves and check the quantile walk can tell them apart.
+    for (int k = Histogram::kSubBits; k < 62; k += 7) {
+        Histogram h;
+        const std::uint64_t edge = 1ull << k;
+        h.record(edge - 1);
+        h.record(edge);
+        // Two samples, two buckets: the 1/2 quantile must be the lower
+        // bucket's value, the full quantile the upper one's.
+        EXPECT_EQ(h.quantile(0.5), edge - 1) << "k=" << k;
+        EXPECT_EQ(h.quantile(1.0), edge) << "k=" << k;
+    }
+}
+
+TEST(Histogram, RelativeErrorBounded)
+{
+    // A bucket's lower bound is within 1/2^kSubBits of any value it
+    // holds: quantile() of a single sample lands within ~3%.
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t v = rng.next() >> (i % 40);
+        Histogram h;
+        h.record(v);
+        const std::uint64_t q = h.quantile(0.5);
+        EXPECT_LE(q, v);
+        EXPECT_GE(static_cast<double>(q),
+                  static_cast<double>(v) * (1.0 - 1.0 / kSub) - 1.0);
+    }
+}
+
+TEST(Histogram, QuantileEdgeCases)
+{
+    Histogram h;
+    h.record(1000);
+    // Single sample: every quantile is that sample (clamped to
+    // min/max, which are tracked exactly).
+    EXPECT_EQ(h.quantile(-1.0), 1000u);
+    EXPECT_EQ(h.quantile(0.0), 1000u);
+    EXPECT_EQ(h.quantile(0.5), 1000u);
+    EXPECT_EQ(h.quantile(1.0), 1000u);
+    EXPECT_EQ(h.quantile(2.0), 1000u);
+
+    // Heavily skewed: p99 must sit in the tail, not the body.
+    Histogram skew;
+    for (int i = 0; i < 99; ++i)
+        skew.record(10);
+    skew.record(1u << 20);
+    EXPECT_EQ(skew.quantile(0.5), 10u);
+    EXPECT_EQ(skew.quantile(0.99), 10u);   // rank 99 of 100
+    EXPECT_EQ(skew.quantile(0.995), 1u << 20);
+    EXPECT_EQ(skew.quantile(1.0), 1u << 20);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording)
+{
+    Rng rng(42);
+    std::vector<std::uint64_t> values;
+    Histogram parts[3];
+    Histogram whole;
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t v = rng.next() >> (rng.next() % 50);
+        values.push_back(v);
+        parts[i % 3].record(v);
+        whole.record(v);
+    }
+    Histogram merged;
+    merged.merge(parts[0]);
+    merged.merge(parts[1]);
+    merged.merge(parts[2]);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.sum(), whole.sum());
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_EQ(merged.quantile(q), whole.quantile(q)) << "q=" << q;
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative)
+{
+    Rng rng(5);
+    Histogram a, b, c;
+    for (int i = 0; i < 500; ++i) {
+        a.record(rng.next() >> 30);
+        b.record(rng.next() >> 45);
+        c.record(rng.next() >> 10);
+    }
+    // (a + b) + c
+    Histogram left;
+    left.merge(a);
+    left.merge(b);
+    left.merge(c);
+    // a + (b + c), built in a different order
+    Histogram bc;
+    bc.merge(c);
+    bc.merge(b);
+    Histogram right;
+    right.merge(bc);
+    right.merge(a);
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_EQ(left.sum(), right.sum());
+    for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0})
+        EXPECT_EQ(left.quantile(q), right.quantile(q)) << "q=" << q;
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram a;
+    a.record(123);
+    a.record(456);
+    Histogram empty;
+    Histogram merged;
+    merged.merge(a);
+    merged.merge(empty);
+    EXPECT_EQ(merged.count(), 2u);
+    EXPECT_EQ(merged.min(), a.min());
+    EXPECT_EQ(merged.max(), a.max());
+
+    Histogram other;
+    other.merge(empty);
+    EXPECT_EQ(other.count(), 0u);
+    EXPECT_EQ(other.quantile(0.5), 0u);
+}
+
+TEST(Histogram, ClearForgets)
+{
+    Histogram h;
+    h.record(77);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    h.record(5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.quantile(0.5), 5u);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflowBuckets)
+{
+    Histogram h;
+    h.record(~0ull);
+    h.record(1ull << 63);
+    h.record(0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), ~0ull);
+    EXPECT_GE(h.quantile(0.9), 1ull << 63);
+}

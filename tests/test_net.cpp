@@ -1,0 +1,607 @@
+/**
+ * @file
+ * net/ tests: frame-codec round trips, and the epoll front end's
+ * byte-identity, admission-control, fault-isolation and graceful
+ * shutdown contracts, driven over real sockets against a NetServer
+ * running on a second thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "engine/server.hpp"
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "rbm/serialize.hpp"
+#include "util/fault.hpp"
+
+using namespace ising;
+using engine::ModelRegistry;
+using engine::Op;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+rbm::Rbm
+randomRbm(std::size_t m, std::size_t n, std::uint64_t seed)
+{
+    rbm::Rbm model(m, n);
+    util::Rng rng(seed);
+    model.initRandom(rng, 0.5f);
+    return model;
+}
+
+/** Corpus request -> Infer frame with the chosen payload kind. */
+net::Request
+inferFrame(const engine::Request &req, std::uint32_t id,
+           net::PayloadKind kind)
+{
+    net::Request frame;
+    frame.type = net::FrameType::InferRequest;
+    frame.id = id;
+    frame.model = req.model;
+    frame.op = req.op;
+    frame.steps = req.steps;
+    frame.seed = req.seed;
+    if (req.op == Op::Sample) {
+        frame.payload = net::PayloadKind::None;
+        frame.rows = static_cast<std::uint32_t>(req.count);
+        return frame;
+    }
+    frame.rows = static_cast<std::uint32_t>(req.input.rows());
+    frame.cols = static_cast<std::uint32_t>(req.input.cols());
+    frame.payload = kind;
+    if (kind == net::PayloadKind::Packed) {
+        linalg::BitMatrix bits(req.input.rows(), req.input.cols());
+        for (std::size_t r = 0; r < req.input.rows(); ++r)
+            bits.packRowFrom(r, req.input.row(r));
+        frame.words.assign(
+            bits.row(0),
+            bits.row(0) + req.input.rows() * bits.wordsPerRow());
+    } else {
+        frame.floats.assign(req.input.data(),
+                            req.input.data() + req.input.size());
+    }
+    return frame;
+}
+
+/** Expect @p res to carry exactly @p expected's bytes. */
+void
+expectSameBytes(const net::Response &res,
+                const engine::Response &expected)
+{
+    ASSERT_EQ(res.code, net::kWireOk) << res.message;
+    ASSERT_EQ(res.rows, expected.output.rows());
+    ASSERT_EQ(res.cols, expected.output.cols());
+    ASSERT_EQ(res.floats.size(), expected.output.size());
+    if (!res.floats.empty()) {
+        EXPECT_EQ(std::memcmp(res.floats.data(), expected.output.data(),
+                              res.floats.size() * sizeof(float)),
+                  0);
+    }
+    ASSERT_EQ(res.labels.size(), expected.labels.size());
+    for (std::size_t i = 0; i < res.labels.size(); ++i)
+        EXPECT_EQ(res.labels[i], expected.labels[i]);
+}
+
+/** Registry + one ragged model + a NetServer on its own thread. */
+class NetTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("isingrbm_test_net_" + std::to_string(::getpid()) +
+                 "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        fs::remove_all(dir_);
+        registry_ = std::make_unique<ModelRegistry>(dir_);
+        rbm::Checkpoint ckpt;
+        ckpt.model = randomRbm(33, 17, 2);  // ragged on purpose
+        registry_->put("m", std::move(ckpt));
+    }
+
+    void
+    TearDown() override
+    {
+        stopServer();
+        util::FaultInjector::instance().reset();
+        registry_.reset();
+        fs::remove_all(dir_);
+    }
+
+    /** Start the server thread; returns the bound port. */
+    std::uint16_t
+    startServer(net::NetConfig config = {})
+    {
+        server_ = std::make_unique<net::NetServer>(*registry_,
+                                                   std::move(config));
+        const std::uint16_t port = server_->start();
+        thread_ = std::thread([this] { server_->run(); });
+        return port;
+    }
+
+    void
+    stopServer()
+    {
+        if (server_)
+            server_->requestStop();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    /** In-process baseline responses for @p corpus (cache off). */
+    std::vector<engine::Response>
+    baseline(std::vector<engine::Request> corpus)
+    {
+        ModelRegistry fresh(dir_);
+        engine::Server server(fresh);
+        return server.serve(std::move(corpus));
+    }
+
+    std::string dir_;
+    std::unique_ptr<ModelRegistry> registry_;
+    std::unique_ptr<net::NetServer> server_;
+    std::thread thread_;
+};
+
+} // namespace
+
+// ----------------------------------------------------------- codec
+
+TEST(NetFrame, InferRequestRoundTripsBothPayloads)
+{
+    for (const auto kind :
+         {net::PayloadKind::Packed, net::PayloadKind::Float}) {
+        engine::Request req;
+        req.model = "m";
+        req.op = Op::Reconstruct;
+        req.seed = 99;
+        req.input.reset(3, 33);
+        util::Rng rng(5);
+        for (std::size_t r = 0; r < 3; ++r)
+            for (std::size_t c = 0; c < 33; ++c)
+                req.input(r, c) = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+        const net::Request frame = inferFrame(req, 7, kind);
+
+        std::string bytes;
+        net::encodeRequest(frame, bytes);
+        net::FrameReader reader;
+        reader.feed(bytes.data(), bytes.size());
+        std::string body;
+        ASSERT_TRUE(reader.next(body));
+        net::Request back;
+        ASSERT_TRUE(
+            net::decodeRequest(body.data(), body.size(), back));
+        EXPECT_EQ(back.type, net::FrameType::InferRequest);
+        EXPECT_EQ(back.id, 7u);
+        EXPECT_EQ(back.model, "m");
+        EXPECT_EQ(back.op, Op::Reconstruct);
+        EXPECT_EQ(back.payload, kind);
+        EXPECT_EQ(back.seed, 99u);
+        EXPECT_EQ(back.rows, 3u);
+        EXPECT_EQ(back.cols, 33u);
+        EXPECT_EQ(back.words, frame.words);
+        EXPECT_EQ(back.floats, frame.floats);
+        EXPECT_FALSE(reader.next(body));  // exactly one frame
+    }
+}
+
+TEST(NetFrame, ResponseRoundTripsFloatsLabelsAndModels)
+{
+    net::Response res;
+    res.type = net::FrameType::InferResponse;
+    res.id = 3;
+    res.code = net::kWireOverloaded;
+    res.message = "busy";
+    res.rows = 2;
+    res.cols = 2;
+    res.floats = {1.5f, -0.25f, 0.0f, 42.0f};
+    std::string bytes;
+    net::encodeResponse(res, bytes);
+    net::Response back;
+    // Strip the 4-byte length prefix by replaying through a reader.
+    net::FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    std::string body;
+    ASSERT_TRUE(reader.next(body));
+    ASSERT_TRUE(net::decodeResponse(body.data(), body.size(), back));
+    EXPECT_EQ(back.id, 3u);
+    EXPECT_EQ(back.code, net::kWireOverloaded);
+    EXPECT_EQ(back.message, "busy");
+    EXPECT_EQ(back.floats, res.floats);
+
+    net::Response list;
+    list.type = net::FrameType::ListResponse;
+    list.models.push_back({"m", "rbm", "cd", 4, 33, 17});
+    bytes.clear();
+    net::encodeResponse(list, bytes);
+    net::FrameReader reader2;
+    reader2.feed(bytes.data(), bytes.size());
+    ASSERT_TRUE(reader2.next(body));
+    ASSERT_TRUE(net::decodeResponse(body.data(), body.size(), back));
+    ASSERT_EQ(back.models.size(), 1u);
+    EXPECT_EQ(back.models[0].name, "m");
+    EXPECT_EQ(back.models[0].family, "rbm");
+    EXPECT_EQ(back.models[0].epoch, 4);
+    EXPECT_EQ(back.models[0].inputDim, 33u);
+    EXPECT_EQ(back.models[0].outputDim, 17u);
+}
+
+TEST(NetFrame, ReaderAssemblesByteByByte)
+{
+    net::Request frame;
+    frame.type = net::FrameType::InfoRequest;
+    frame.model = "hello";
+    std::string bytes;
+    net::encodeRequest(frame, bytes);
+    net::encodeRequest(frame, bytes);  // two frames back to back
+
+    net::FrameReader reader;
+    std::string body;
+    int frames = 0;
+    for (const char byte : bytes) {
+        reader.feed(&byte, 1);
+        while (reader.next(body)) {
+            ++frames;
+            net::Request back;
+            ASSERT_TRUE(
+                net::decodeRequest(body.data(), body.size(), back));
+            EXPECT_EQ(back.model, "hello");
+        }
+    }
+    EXPECT_EQ(frames, 2);
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(NetFrame, MalformedBodiesAreRejected)
+{
+    net::Request out;
+    // Unknown type byte.
+    const char junk[] = {99};
+    EXPECT_FALSE(net::decodeRequest(junk, sizeof junk, out));
+    // Truncated Infer body.
+    engine::Request req;
+    req.model = "m";
+    req.op = Op::Featurize;
+    req.input.reset(1, 8);
+    std::string bytes;
+    net::encodeRequest(inferFrame(req, 1, net::PayloadKind::Float),
+                       bytes);
+    EXPECT_FALSE(
+        net::decodeRequest(bytes.data() + 4, bytes.size() - 10, out));
+    // Payload size disagreeing with rows x cols.
+    std::string full(bytes.begin() + 4, bytes.end());
+    full.append(4, '\0');
+    EXPECT_FALSE(net::decodeRequest(full.data(), full.size(), out));
+    // Empty body.
+    EXPECT_FALSE(net::decodeRequest(bytes.data(), 0, out));
+}
+
+TEST(NetFrame, OversizedLengthPoisonsTheReader)
+{
+    net::FrameReader reader(1024);
+    const char huge[] = {'\xff', '\xff', '\xff', '\x7f', 'x'};
+    reader.feed(huge, sizeof huge);
+    std::string body;
+    EXPECT_FALSE(reader.next(body));
+    EXPECT_TRUE(reader.overflow());
+    // Once poisoned, further feeds stay dead.
+    reader.feed(huge, sizeof huge);
+    EXPECT_FALSE(reader.next(body));
+}
+
+// ---------------------------------------------------- served bytes
+
+TEST_F(NetTest, SocketBytesMatchInProcessAcrossConnections)
+{
+    net::NetConfig config;
+    config.server.cacheBytes = 1 << 20;  // cache ON over the socket
+    const std::uint16_t port = startServer(std::move(config));
+
+    const auto model = registry_->get("m");
+    std::vector<engine::Request> corpus;
+    for (const Op op : {Op::Reconstruct, Op::Featurize, Op::Sample}) {
+        auto part = engine::probeRequests(*model, "m", op, 6, 3, 4, 21);
+        for (auto &req : part)
+            corpus.push_back(std::move(req));
+    }
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    // Three concurrent connections, round-robin, pipelined; one
+    // speaks floats, two speak packed -- byte-identity must hold for
+    // any interleaving and either payload.
+    for (int round = 0; round < 2; ++round) {  // round 2 = cache hits
+        net::Client clients[3];
+        for (auto &client : clients)
+            ASSERT_TRUE(client.connect("127.0.0.1", port));
+        for (std::size_t q = 0; q < corpus.size(); ++q) {
+            const auto kind = q % 3 == 2 ? net::PayloadKind::Float
+                                         : net::PayloadKind::Packed;
+            ASSERT_TRUE(clients[q % 3].send(inferFrame(
+                corpus[q], static_cast<std::uint32_t>(q), kind)));
+        }
+        std::vector<net::Response> got(corpus.size());
+        for (std::size_t q = 0; q < corpus.size(); ++q) {
+            net::Response res;
+            ASSERT_TRUE(clients[q % 3].recv(res));
+            ASSERT_LT(res.id, got.size());
+            got[res.id] = std::move(res);
+        }
+        for (std::size_t q = 0; q < corpus.size(); ++q)
+            expectSameBytes(got[q], expected[q]);
+    }
+
+    stopServer();
+    const auto stats = server_->engine().stats();
+    EXPECT_GT(stats.cacheHits, 0u);  // round 2 replayed from cache
+    EXPECT_GT(stats.flushLatencyNs.count(), 0u);
+}
+
+TEST_F(NetTest, ListAndInfoDescribeTheRegistry)
+{
+    rbm::Checkpoint second;
+    second.model = randomRbm(12, 5, 9);
+    registry_->put("other", std::move(second));
+    const std::uint16_t port = startServer();
+
+    net::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", port));
+    net::Request list;
+    list.type = net::FrameType::ListRequest;
+    net::Response res;
+    ASSERT_TRUE(client.call(list, res));
+    EXPECT_EQ(res.type, net::FrameType::ListResponse);
+    ASSERT_EQ(res.models.size(), 2u);
+
+    net::Request info;
+    info.type = net::FrameType::InfoRequest;
+    info.model = "other";
+    ASSERT_TRUE(client.call(info, res));
+    EXPECT_EQ(res.code, net::kWireOk);
+    ASSERT_EQ(res.models.size(), 1u);
+    EXPECT_EQ(res.models[0].name, "other");
+    EXPECT_EQ(res.models[0].family, "rbm");
+    EXPECT_EQ(res.models[0].inputDim, 12u);
+    EXPECT_EQ(res.models[0].outputDim, 5u);
+
+    info.model = "missing";
+    ASSERT_TRUE(client.call(info, res));
+    EXPECT_EQ(res.code, net::kWireNotFound);
+}
+
+TEST_F(NetTest, OverloadShedsWithStatusAndKeepsServing)
+{
+    net::NetConfig config;
+    config.maxPendingRows = 4;  // tiny budget: 2 requests of 2 rows
+    const std::uint16_t port = startServer(std::move(config));
+
+    const auto model = registry_->get("m");
+    const auto corpus =
+        engine::probeRequests(*model, "m", Op::Reconstruct, 12, 2, 4, 5);
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    net::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", port));
+    // Pipeline everything: one cycle sees all 12, sheds what does not
+    // fit -- but every request gets a reply (zero dropped frames).
+    for (std::size_t q = 0; q < corpus.size(); ++q)
+        ASSERT_TRUE(client.send(inferFrame(
+            corpus[q], static_cast<std::uint32_t>(q),
+            net::PayloadKind::Packed)));
+    std::size_t ok = 0, shed = 0;
+    for (std::size_t q = 0; q < corpus.size(); ++q) {
+        net::Response res;
+        ASSERT_TRUE(client.recv(res));
+        if (res.code == net::kWireOverloaded) {
+            ++shed;
+        } else {
+            expectSameBytes(res, expected[res.id]);  // admitted = exact
+            ++ok;
+        }
+    }
+    EXPECT_GT(ok, 0u);
+    EXPECT_GT(shed, 0u);
+    EXPECT_EQ(ok + shed, corpus.size());
+
+    // The budget is per cycle, not leaked by sheds: a polite batch
+    // that fits is served in full afterwards.
+    for (std::size_t q = 0; q < 2; ++q) {
+        net::Response res;
+        ASSERT_TRUE(client.call(inferFrame(corpus[q],
+                                           static_cast<std::uint32_t>(q),
+                                           net::PayloadKind::Packed),
+                                res));
+        expectSameBytes(res, expected[q]);
+    }
+
+    stopServer();
+    EXPECT_EQ(server_->stats().shed, shed);
+}
+
+TEST_F(NetTest, NetdropIsolatesTheDroppedConnection)
+{
+    const std::uint16_t port = startServer();
+    const auto model = registry_->get("m");
+    const auto corpus =
+        engine::probeRequests(*model, "m", Op::Reconstruct, 4, 2, 4, 31);
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    // Deterministic accept order: finish a round trip on A before B
+    // connects, so A is conn:1 and B is conn:2.
+    net::Client a, b;
+    ASSERT_TRUE(a.connect("127.0.0.1", port));
+    net::Request list;
+    list.type = net::FrameType::ListRequest;
+    net::Response ignored;
+    ASSERT_TRUE(a.call(list, ignored));
+    ASSERT_TRUE(b.connect("127.0.0.1", port));
+
+    // B's first reply write is chopped mid-frame and the conn closed.
+    util::FaultInjector::instance().configure("netdrop:conn:2@1");
+
+    ASSERT_TRUE(b.send(inferFrame(corpus[1], 1,
+                                  net::PayloadKind::Packed)));
+    ASSERT_TRUE(a.send(inferFrame(corpus[0], 0,
+                                  net::PayloadKind::Packed)));
+    net::Response res;
+    ASSERT_TRUE(a.recv(res));
+    expectSameBytes(res, expected[0]);  // A's bytes unperturbed
+    EXPECT_FALSE(b.recv(res));          // B sees a torn frame + EOF
+
+    // A keeps being served exact bytes after B's demise.
+    ASSERT_TRUE(a.call(inferFrame(corpus[2], 2,
+                                  net::PayloadKind::Packed),
+                       res));
+    expectSameBytes(res, expected[2]);
+
+    stopServer();
+    EXPECT_EQ(server_->stats().faultDrops, 1u);
+}
+
+TEST_F(NetTest, NetstallIsReapedByTheIdleTimeout)
+{
+    net::NetConfig config;
+    config.idleTimeoutMs = 300;
+    const std::uint16_t port = startServer(std::move(config));
+    const auto model = registry_->get("m");
+    const auto corpus =
+        engine::probeRequests(*model, "m", Op::Featurize, 3, 2, 4, 77);
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    net::Client a, b;
+    ASSERT_TRUE(a.connect("127.0.0.1", port));
+    net::Request list;
+    list.type = net::FrameType::ListRequest;
+    net::Response ignored;
+    ASSERT_TRUE(a.call(list, ignored));
+    ASSERT_TRUE(b.connect("127.0.0.1", port));
+
+    util::FaultInjector::instance().configure("netstall:conn:2@1");
+
+    ASSERT_TRUE(b.send(inferFrame(corpus[1], 1,
+                                  net::PayloadKind::Packed)));
+    net::Response res;
+    // A stays fully served while B's replies are frozen...
+    ASSERT_TRUE(a.call(inferFrame(corpus[0], 0,
+                                  net::PayloadKind::Packed),
+                       res));
+    expectSameBytes(res, expected[0]);
+    // ...until the idle timeout reaps the stalled connection.  (A is
+    // idle too while we block here, so it may be reaped as well --
+    // prove continued service with a fresh connection.)
+    EXPECT_FALSE(b.recv(res));
+    net::Client fresh;
+    ASSERT_TRUE(fresh.connect("127.0.0.1", port));
+    ASSERT_TRUE(fresh.call(inferFrame(corpus[2], 2,
+                                      net::PayloadKind::Packed),
+                           res));
+    expectSameBytes(res, expected[2]);
+
+    stopServer();
+    EXPECT_EQ(server_->stats().faultStalls, 1u);
+    EXPECT_GE(server_->stats().idleClosed, 1u);
+}
+
+TEST_F(NetTest, GarbageBytesCloseOnlyTheirConnection)
+{
+    const std::uint16_t port = startServer();
+    net::Client good, bad;
+    ASSERT_TRUE(good.connect("127.0.0.1", port));
+    ASSERT_TRUE(bad.connect("127.0.0.1", port));
+
+    // A response-typed frame is not a valid request.
+    net::Response bogus;
+    bogus.type = net::FrameType::InferResponse;
+    std::string bytes;
+    net::encodeResponse(bogus, bytes);
+    ASSERT_TRUE(bad.sendBytes(bytes));
+    net::Response res;
+    EXPECT_FALSE(bad.recv(res));  // closed without a reply
+
+    net::Request list;
+    list.type = net::FrameType::ListRequest;
+    ASSERT_TRUE(good.call(list, res));  // the good conn is untouched
+    EXPECT_EQ(res.type, net::FrameType::ListResponse);
+
+    stopServer();
+    EXPECT_EQ(server_->stats().protocolErrors, 1u);
+}
+
+TEST_F(NetTest, ShutdownFrameDrainsAndStops)
+{
+    const std::uint16_t port = startServer();
+    const auto model = registry_->get("m");
+    const auto corpus =
+        engine::probeRequests(*model, "m", Op::Reconstruct, 3, 2, 4, 63);
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    net::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", port));
+    // Pipeline work *and* the shutdown: the queued requests must all
+    // be answered before the server exits.
+    for (std::size_t q = 0; q < corpus.size(); ++q)
+        ASSERT_TRUE(client.send(inferFrame(
+            corpus[q], static_cast<std::uint32_t>(q),
+            net::PayloadKind::Packed)));
+    net::Request shutdown;
+    shutdown.type = net::FrameType::ShutdownRequest;
+    ASSERT_TRUE(client.send(shutdown));
+
+    for (std::size_t q = 0; q < corpus.size(); ++q) {
+        net::Response res;
+        ASSERT_TRUE(client.recv(res));
+        expectSameBytes(res, expected[res.id]);
+    }
+    net::Response ack;
+    ASSERT_TRUE(client.recv(ack));
+    EXPECT_EQ(ack.type, net::FrameType::ShutdownResponse);
+    thread_.join();  // run() returns on its own
+    EXPECT_EQ(server_->stats().infers, corpus.size());
+}
+
+TEST_F(NetTest, LoadGenMeasuresAndMatchesBaseline)
+{
+    net::NetConfig config;
+    config.server.cacheBytes = 1 << 20;
+    const std::uint16_t port = startServer(std::move(config));
+
+    net::LoadGenConfig gen;
+    gen.port = port;
+    gen.model = "m";
+    gen.op = Op::Reconstruct;
+    gen.requests = 16;
+    gen.rows = 3;
+    gen.steps = 4;
+    gen.seed = 13;
+    gen.connections = 2;
+    gen.keepResponses = true;
+    const net::LoadGenReport report = net::runLoadGen(gen);
+    ASSERT_TRUE(report.error.empty()) << report.error;
+    EXPECT_EQ(report.ok, gen.requests);
+    EXPECT_EQ(report.shed, 0u);
+    EXPECT_EQ(report.okRows, gen.requests * gen.rows);
+    EXPECT_EQ(report.latencyNs.count(), gen.requests);
+    EXPECT_GT(report.latencyNs.quantile(0.99), 0u);
+
+    // The loadgen corpus is the probeRequests stream: byte-diff the
+    // kept responses against the in-process baseline.
+    const auto model = registry_->get("m");
+    const std::vector<engine::Response> expected = baseline(
+        engine::probeRequests(*model, "m", Op::Reconstruct,
+                              gen.requests, gen.rows, gen.steps,
+                              gen.seed));
+    for (std::size_t q = 0; q < gen.requests; ++q)
+        expectSameBytes(report.responses[q], expected[q]);
+}
