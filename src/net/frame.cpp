@@ -299,21 +299,26 @@ decodeRequest(const char *body, std::size_t size, Request &out)
         out.op = static_cast<engine::Op>(op);
         out.payload = static_cast<PayloadKind>(payload);
         out.steps = static_cast<std::int32_t>(steps);
+        // Size checks divide the remaining bytes instead of
+        // multiplying the client-controlled dims: rows*cols*4 can wrap
+        // to a small value and turn a 20-byte frame into a huge
+        // resize().  c.left is already bounded by maxBody, so a
+        // passing check also bounds the element count.
         if (out.payload == PayloadKind::Packed) {
-            const std::size_t words =
-                static_cast<std::size_t>(out.rows) *
+            const std::uint64_t words =
+                static_cast<std::uint64_t>(out.rows) *
                 linalg::bitWords(out.cols);
-            if (c.left != words * 8)
+            if (c.left % 8 != 0 || c.left / 8 != words)
                 return false;
-            out.words.resize(words);
+            out.words.resize(static_cast<std::size_t>(words));
             for (std::uint64_t &w : out.words)
                 c.getU64(w);
         } else if (out.payload == PayloadKind::Float) {
-            const std::size_t floats =
-                static_cast<std::size_t>(out.rows) * out.cols;
-            if (c.left != floats * 4)
+            const std::uint64_t floats =
+                static_cast<std::uint64_t>(out.rows) * out.cols;
+            if (c.left % 4 != 0 || c.left / 4 != floats)
                 return false;
-            out.floats.resize(floats);
+            out.floats.resize(static_cast<std::size_t>(floats));
             for (float &f : out.floats) {
                 std::uint32_t bits = 0;
                 c.getU32(bits);
@@ -355,19 +360,20 @@ decodeResponse(const char *body, std::size_t size, Response &out)
             !c.getStr(out.message) || !c.getU32(out.rows) ||
             !c.getU32(out.cols) || !c.getU8(kind))
             return false;
+        // Divide, don't multiply: same overflow guard as decodeRequest.
         if (kind == 1) {
-            const std::size_t floats =
-                static_cast<std::size_t>(out.rows) * out.cols;
-            if (c.left != floats * 4)
+            const std::uint64_t floats =
+                static_cast<std::uint64_t>(out.rows) * out.cols;
+            if (c.left % 4 != 0 || c.left / 4 != floats)
                 return false;
-            out.floats.resize(floats);
+            out.floats.resize(static_cast<std::size_t>(floats));
             for (float &f : out.floats) {
                 std::uint32_t bits = 0;
                 c.getU32(bits);
                 f = std::bit_cast<float>(bits);
             }
         } else if (kind == 2) {
-            if (c.left != static_cast<std::size_t>(out.rows) * 4)
+            if (c.left % 4 != 0 || c.left / 4 != out.rows)
                 return false;
             out.labels.resize(out.rows);
             for (std::int32_t &label : out.labels) {

@@ -219,6 +219,7 @@ NetServer::acceptAll(double now)
         conn.id = ++nextConnId_;
         conn.reader = FrameReader(config_.maxFrameBody);
         conn.lastActivity = now;
+        conn.armed = EPOLLIN;
         epoll_event ev = {};
         ev.events = EPOLLIN;
         ev.data.fd = fd;
@@ -347,13 +348,22 @@ NetServer::handleInfer(Conn &conn, Request &req)
     } else if (req.payload == PayloadKind::Packed) {
         // Wire words are already the canonical packed layout: land
         // them row by row in the request's bit plane; flush gathers
-        // them with word copies (the PR-8 zero-copy miss path).
+        // them with word copies (the PR-8 zero-copy miss path).  The
+        // tail word is masked because clients control the pad bits:
+        // BitMatrix documents them zero, and the response cache hashes
+        // raw words, so unmasked pads would split logically identical
+        // inputs into distinct cache keys.
         ereq.packed = true;
         ereq.packedInput.reset(req.rows, req.cols);
         const std::size_t wpr = ereq.packedInput.wordsPerRow();
-        for (std::size_t r = 0; r < req.rows; ++r)
-            std::copy_n(req.words.data() + r * wpr, wpr,
-                        ereq.packedInput.row(r));
+        const std::uint64_t tailMask =
+            (req.cols & 63) ? (1ull << (req.cols & 63)) - 1 : ~0ull;
+        for (std::size_t r = 0; r < req.rows; ++r) {
+            std::uint64_t *dst = ereq.packedInput.row(r);
+            std::copy_n(req.words.data() + r * wpr, wpr, dst);
+            if (wpr > 0)
+                dst[wpr - 1] &= tailMask;
+        }
     } else if (req.payload == PayloadKind::Float) {
         ereq.input.reset(req.rows, req.cols);
         std::copy(req.floats.begin(), req.floats.end(),
@@ -462,9 +472,9 @@ NetServer::drainConn(Conn &conn, double now)
 void
 NetServer::writeConn(Conn &conn, double now)
 {
-    if (conn.stalled)
-        return;  // netstall: the idle timeout reaps it
-    while (conn.outPos < conn.out.size()) {
+    // netstall: never write, but still run the backlog check below so
+    // a frozen connection stops being read once its replies pile up.
+    while (!conn.stalled && conn.outPos < conn.out.size()) {
         const ssize_t n =
             ::send(conn.fd, conn.out.data() + conn.outPos,
                    conn.out.size() - conn.outPos, MSG_NOSIGNAL);
@@ -474,28 +484,48 @@ NetServer::writeConn(Conn &conn, double now)
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            armWrite(conn, true);  // resume on EPOLLOUT
-            return;
+            conn.wantWrite = true;  // resume on EPOLLOUT
+            break;
         }
         if (n < 0 && errno == EINTR)
             continue;
         closeConn(conn.fd);
         return;
     }
-    conn.out.clear();
-    conn.outPos = 0;
-    if (conn.wantWrite)
-        armWrite(conn, false);
+    if (conn.outPos >= conn.out.size()) {
+        conn.out.clear();
+        conn.outPos = 0;
+        conn.wantWrite = false;
+    }
+
+    // Backlog cap: a peer that pipelines requests but does not read
+    // replies stops being read here, so its buffered bytes are
+    // bounded and -- reads no longer refreshing lastActivity -- the
+    // idle reaper collects it if it never drains.
+    const bool over = conn.out.size() - conn.outPos > outCap();
+    if (over && !conn.paused)
+        ++stats_.backpressured;
+    conn.paused = over;
+    syncEvents(conn);
+}
+
+std::size_t
+NetServer::outCap() const
+{
+    return config_.maxConnBacklog != 0 ? config_.maxConnBacklog
+                                       : 2 * config_.maxFrameBody;
 }
 
 void
-NetServer::armWrite(Conn &conn, bool on)
+NetServer::syncEvents(Conn &conn)
 {
-    if (conn.wantWrite == on)
+    const std::uint32_t want = (conn.paused ? 0u : EPOLLIN) |
+                               (conn.wantWrite ? EPOLLOUT : 0u);
+    if (want == conn.armed)
         return;
-    conn.wantWrite = on;
+    conn.armed = want;
     epoll_event ev = {};
-    ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+    ev.events = want;
     ev.data.fd = conn.fd;
     ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }

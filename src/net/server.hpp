@@ -19,7 +19,12 @@
  * maxConnections bounds the fd table; over-limit accepts are closed.
  * Per-connection replies preserve request order, write backpressure is
  * EPOLLOUT-driven with partial-write resumption, and connections idle
- * (or write-stalled) past idleTimeoutMs are reaped.
+ * (or write-stalled) past idleTimeoutMs are reaped.  A connection
+ * whose unsent reply backlog exceeds maxConnBacklog stops being read
+ * (TCP backpressure) until the backlog drains -- a client that
+ * pipelines requests without ever reading responses cannot grow the
+ * output buffer unboundedly, and with its reads paused it goes idle
+ * and is reaped like any other stuck peer.
  *
  * Faults: the write path consults util::FaultInjector with key
  * "conn:<accept-index>" -- netdrop closes the connection mid-frame,
@@ -72,6 +77,16 @@ struct NetConfig
     /** Largest accepted frame body. */
     std::size_t maxFrameBody = kMaxFrameBody;
 
+    /**
+     * Unsent-reply backlog cap per connection (bytes).  Above it the
+     * server stops reading from the connection until the backlog
+     * drains below it, so a peer that pipelines requests without
+     * reading replies is throttled by TCP instead of buffering
+     * without bound (and, no longer being read, idles out if it
+     * never drains).  0 = 2 x maxFrameBody.
+     */
+    std::size_t maxConnBacklog = 0;
+
     /** Extra stop condition polled each cycle (the CLI passes the
      *  SIGINT/SIGTERM latch); may be empty. */
     std::function<bool()> stopRequested;
@@ -118,6 +133,7 @@ class NetServer
         std::size_t shed = 0;           ///< Infer requests shed (OVERLOADED)
         std::size_t protocolErrors = 0; ///< malformed frames (conn closed)
         std::size_t idleClosed = 0;     ///< idle-timeout reaps
+        std::size_t backpressured = 0;  ///< reads paused (backlog cap)
         std::size_t faultDrops = 0;     ///< injected netdrop closes
         std::size_t faultStalls = 0;    ///< injected netstall freezes
     };
@@ -145,8 +161,10 @@ class NetServer
         std::deque<std::shared_ptr<Reply>> slots;
         std::string out;             ///< encoded bytes awaiting write
         std::size_t outPos = 0;      ///< partial-write resume offset
-        bool wantWrite = false;      ///< EPOLLOUT currently armed
+        bool wantWrite = false;      ///< EPOLLOUT wanted
+        bool paused = false;         ///< reads paused (backlog cap)
         bool stalled = false;        ///< netstall: never write again
+        std::uint32_t armed = 0;     ///< epoll events currently armed
         double lastActivity = 0;     ///< loop-clock seconds
     };
 
@@ -166,7 +184,8 @@ class NetServer
     void settleInflight();
     void drainConn(Conn &conn, double now);
     void writeConn(Conn &conn, double now);
-    void armWrite(Conn &conn, bool on);
+    void syncEvents(Conn &conn);
+    std::size_t outCap() const;
     void closeConn(int fd);
     void reapIdle(double now);
     bool stopping() const;

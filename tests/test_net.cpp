@@ -10,6 +10,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <thread>
@@ -289,6 +290,42 @@ TEST(NetFrame, MalformedBodiesAreRejected)
     EXPECT_FALSE(net::decodeRequest(bytes.data(), 0, out));
 }
 
+TEST(NetFrame, HugeDimsDoNotOverflowTheSizeCheck)
+{
+    // rows = cols = 2^31 makes rows*cols*4 wrap to exactly 0 in 64
+    // bits, so a header-only frame used to pass the size check and
+    // drive a 2^62-element resize.  encodeRequest with an empty
+    // payload vector emits precisely that malicious frame.
+    net::Request evil;
+    evil.type = net::FrameType::InferRequest;
+    evil.payload = net::PayloadKind::Float;
+    evil.model = "m";
+    evil.rows = 0x80000000u;
+    evil.cols = 0x80000000u;
+    std::string bytes;
+    net::encodeRequest(evil, bytes);
+    net::Request out;
+    EXPECT_FALSE(
+        net::decodeRequest(bytes.data() + 4, bytes.size() - 4, out));
+
+    // Same wrap in decodeResponse (the client-side check).
+    std::string body;
+    const auto le32 = [&body](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            body.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    };
+    body.push_back(
+        static_cast<char>(net::FrameType::InferResponse));
+    le32(1);                 // id
+    body.push_back('\0');    // code = ok
+    body.append(2, '\0');    // empty message
+    le32(0x80000000u);       // rows
+    le32(0x80000000u);       // cols
+    body.push_back('\x01');  // kind = floats, but no payload bytes
+    net::Response rout;
+    EXPECT_FALSE(net::decodeResponse(body.data(), body.size(), rout));
+}
+
 TEST(NetFrame, OversizedLengthPoisonsTheReader)
 {
     net::FrameReader reader(1024);
@@ -349,6 +386,43 @@ TEST_F(NetTest, SocketBytesMatchInProcessAcrossConnections)
     EXPECT_GT(stats.flushLatencyNs.count(), 0u);
 }
 
+TEST_F(NetTest, PackedPadBitsAreCanonicalized)
+{
+    net::NetConfig config;
+    config.server.cacheBytes = 1 << 20;
+    const std::uint16_t port = startServer(std::move(config));
+
+    const auto model = registry_->get("m");
+    const auto corpus = engine::probeRequests(*model, "m",
+                                              Op::Reconstruct, 1, 2,
+                                              4, 11);
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    // 33 columns leave 31 pad bits per row.  A client is free to send
+    // garbage there; the server must mask it so the engine sees a
+    // BitMatrix with its zero-pad invariant intact and the cache key
+    // is canonical.
+    net::Request clean = inferFrame(corpus[0], 0,
+                                    net::PayloadKind::Packed);
+    net::Request dirty = clean;
+    const std::uint64_t padMask = ~((1ull << (clean.cols % 64)) - 1);
+    for (std::uint64_t &w : dirty.words)
+        w |= padMask;  // wordsPerRow == 1: every word is a tail word
+    ASSERT_NE(dirty.words, clean.words);
+
+    net::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", port));
+    net::Response res;
+    ASSERT_TRUE(client.call(dirty, res));
+    expectSameBytes(res, expected[0]);  // pad bits don't change bytes
+    ASSERT_TRUE(client.call(clean, res));
+    expectSameBytes(res, expected[0]);
+
+    stopServer();
+    // Dirty and clean hashed to the same canonical key.
+    EXPECT_GT(server_->engine().stats().cacheHits, 0u);
+}
+
 TEST_F(NetTest, ListAndInfoDescribeTheRegistry)
 {
     rbm::Checkpoint second;
@@ -394,12 +468,17 @@ TEST_F(NetTest, OverloadShedsWithStatusAndKeepsServing)
 
     net::Client client;
     ASSERT_TRUE(client.connect("127.0.0.1", port));
-    // Pipeline everything: one cycle sees all 12, sheds what does not
-    // fit -- but every request gets a reply (zero dropped frames).
+    // Pipeline everything as ONE write so one cycle sees all 12 and
+    // sheds what does not fit -- but every request gets a reply (zero
+    // dropped frames).  Separate sends can straddle event-loop cycles
+    // that each stay under budget, making the shed count flaky.
+    std::string burst;
     for (std::size_t q = 0; q < corpus.size(); ++q)
-        ASSERT_TRUE(client.send(inferFrame(
-            corpus[q], static_cast<std::uint32_t>(q),
-            net::PayloadKind::Packed)));
+        net::encodeRequest(inferFrame(corpus[q],
+                                      static_cast<std::uint32_t>(q),
+                                      net::PayloadKind::Packed),
+                           burst);
+    ASSERT_TRUE(client.sendBytes(burst));
     std::size_t ok = 0, shed = 0;
     for (std::size_t q = 0; q < corpus.size(); ++q) {
         net::Response res;
@@ -512,6 +591,64 @@ TEST_F(NetTest, NetstallIsReapedByTheIdleTimeout)
     stopServer();
     EXPECT_EQ(server_->stats().faultStalls, 1u);
     EXPECT_GE(server_->stats().idleClosed, 1u);
+}
+
+TEST_F(NetTest, ReplyBacklogPausesReadsAndIsReaped)
+{
+    net::NetConfig config;
+    config.idleTimeoutMs = 300;
+    config.maxConnBacklog = 1;  // any unsent reply trips the cap
+    const std::uint16_t port = startServer(std::move(config));
+    const auto model = registry_->get("m");
+    const auto corpus =
+        engine::probeRequests(*model, "m", Op::Featurize, 8, 2, 4, 19);
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    net::Client a, b;
+    ASSERT_TRUE(a.connect("127.0.0.1", port));
+    net::Request list;
+    list.type = net::FrameType::ListRequest;
+    net::Response ignored;
+    ASSERT_TRUE(a.call(list, ignored));
+    ASSERT_TRUE(b.connect("127.0.0.1", port));
+
+    // Freeze b's writes: its reply backlog now only grows, modelling
+    // a client that pipelines requests but never reads responses.
+    util::FaultInjector::instance().configure("netstall:conn:2@1");
+    ASSERT_TRUE(b.send(inferFrame(corpus[1], 1,
+                                  net::PayloadKind::Packed)));
+    net::Response res;
+    ASSERT_TRUE(a.call(inferFrame(corpus[0], 0,
+                                  net::PayloadKind::Packed),
+                       res));
+    expectSameBytes(res, expected[0]);  // other conns unperturbed
+
+    // Keep sending on b past the idle timeout.  Reads from b are
+    // paused by the backlog cap, so these frames never refresh its
+    // lastActivity (and are never decoded): the reaper still fires.
+    for (int i = 0; i < 6; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        (void)b.send(inferFrame(corpus[static_cast<std::size_t>(2 + i)],
+                                static_cast<std::uint32_t>(2 + i),
+                                net::PayloadKind::Packed));
+    }
+    EXPECT_FALSE(b.recv(res));  // reaped despite the ongoing sends
+
+    net::Client fresh;  // a idled out during the sleeps; prove service
+    ASSERT_TRUE(fresh.connect("127.0.0.1", port));
+    ASSERT_TRUE(fresh.call(inferFrame(corpus[7], 7,
+                                      net::PayloadKind::Packed),
+                           res));
+    expectSameBytes(res, expected[7]);
+
+    stopServer();
+    const auto stats = server_->stats();
+    EXPECT_EQ(stats.faultStalls, 1u);
+    EXPECT_GE(stats.backpressured, 1u);
+    EXPECT_GE(stats.idleClosed, 1u);
+    // b's post-pause frames were never read: only its first Infer and
+    // the two served over a/fresh ever reached the engine.
+    EXPECT_EQ(stats.infers, 3u);
 }
 
 TEST_F(NetTest, GarbageBytesCloseOnlyTheirConnection)
