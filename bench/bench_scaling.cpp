@@ -1058,6 +1058,112 @@ printNetBench(bool full, std::vector<benchtool::JsonRecord> &json)
                 std::to_string(requests) + " open-loop requests over "
                 "the socket; hit cells measured after one identical "
                 "warm-up pass)");
+
+    // Live-canary x deadline sweep: a byte-copy candidate staged
+    // beside the incumbent, the gate in observe-only mode (minShadows
+    // unreachable), so the cells price pure shadow-execution overhead
+    // at each routed fraction -- with and without a per-request
+    // deadline budget riding on every frame.  fraction 0 is the
+    // canary-off baseline the overhead ratios divide by.
+    benchtool::Table canaryTable({"fraction", "deadline ms", "req/s",
+                                  "rows/s", "p50 ms", "p99 ms",
+                                  "expired"});
+    {
+        const std::string cand = dir + "/cand.ckpt";
+        rbm::Checkpoint copy;
+        copy.meta.backend = "bench";
+        copy.model = kernelModel(784, 500, 17);  // incumbent's weights
+        rbm::saveCheckpoint(copy, cand);
+        registry.stageCandidate("serve", cand);
+
+        const auto runCanaryCell = [&](double fraction,
+                                       std::uint32_t deadlineMs,
+                                       const std::string &cell) {
+            net::NetConfig config;
+            config.maxPendingRows = kOpen;
+            if (fraction > 0) {
+                config.server.canary.model = "serve";
+                config.server.canary.fraction = fraction;
+                // Observe-only: the streak can never promote, so every
+                // cell serves the same incumbent.
+                config.server.canary.minShadows = ~std::size_t{0};
+                config.server.canary.maxDivergence = 1e9;
+                config.server.canary.maxLatencyMultiple = 0;
+            }
+            net::NetServer server(registry, config);
+            const std::uint16_t port = server.start();
+            std::thread loop([&] { server.run(); });
+
+            net::LoadGenConfig gen;
+            gen.port = port;
+            gen.model = "serve";
+            gen.op = engine::Op::Reconstruct;
+            gen.requests = requests;
+            gen.rows = 4;
+            gen.steps = 0;
+            gen.seed = 1000;
+            gen.connections = 4;
+            gen.deadlineMs = deadlineMs;
+            gen.inputDim = 784;
+            const net::LoadGenReport report = net::runLoadGen(gen);
+            server.requestStop();
+            loop.join();
+            if (!report.error.empty()) {
+                std::fprintf(stderr, "bench net canary: %s\n",
+                             report.error.c_str());
+                return report;
+            }
+            const auto ms = [&](double q) {
+                return static_cast<double>(
+                           report.latencyNs.quantile(q)) /
+                       1e6;
+            };
+            canaryTable.addRow(
+                {fmt(fraction, 2), std::to_string(deadlineMs),
+                 fmt(report.reqPerSec(), 0),
+                 fmt(report.rowsPerSec(), 0), fmt(ms(0.5), 3),
+                 fmt(ms(0.99), 3),
+                 std::to_string(report.deadlineExpired)});
+            json.push_back({cell + "/requests_per_s",
+                            report.reqPerSec(), "req/s"});
+            json.push_back({cell + "/p50_ms", ms(0.5), "ms"});
+            json.push_back({cell + "/p99_ms", ms(0.99), "ms"});
+            json.push_back(
+                {cell + "/deadline_expired",
+                 static_cast<double>(report.deadlineExpired),
+                 "requests"});
+            return report;
+        };
+
+        net::LoadGenReport off, shadowed;
+        for (const double fraction : {0.0, 0.25, 1.0}) {
+            for (const std::uint32_t deadlineMs : {0u, 50u}) {
+                const std::string cell =
+                    "net/canary_f" +
+                    std::to_string(
+                        static_cast<int>(fraction * 100)) +
+                    "_dl" + std::to_string(deadlineMs);
+                const net::LoadGenReport report =
+                    runCanaryCell(fraction, deadlineMs, cell);
+                if (deadlineMs == 0) {
+                    if (fraction == 0.0)
+                        off = report;
+                    else if (fraction == 1.0)
+                        shadowed = report;
+                }
+            }
+        }
+        if (shadowed.reqPerSec() > 0)
+            json.push_back({"net/canary_f100/overhead",
+                            off.reqPerSec() / shadowed.reqPerSec(),
+                            "x"});
+        registry.clearCandidate("serve");
+    }
+    canaryTable.print(
+        "Live-canary shadow overhead (observe-only gate, byte-copy "
+        "candidate, 4 conns x 4 rows, " + std::to_string(requests) +
+        " open-loop requests; deadline budgets ride the Infer "
+        "frames)");
     fs::remove_all(dir);
 }
 

@@ -13,6 +13,8 @@
  *                        proving online bit-reproducibility
  *   isingrbm promote     canary-gate a candidate checkpoint and
  *                        hot-swap it into a registry on pass
+ *                        (--live drives a running serve --canary
+ *                        process's live-traffic gate instead)
  *   isingrbm list        list a registry's checkpoints (--verify
  *                        round-trips each archive)
  *
@@ -743,26 +745,165 @@ cmdServeBench(const util::CliArgs &args)
 }
 
 const std::vector<util::FlagHelp> kPromoteFlags = {
-    {"registry", "dir", "checkpoint directory (required)"},
-    {"name", "id", "serving name to promote into (required)"},
-    {"candidate", "path", "candidate checkpoint archive (required)"},
+    {"registry", "dir", "checkpoint directory (required unless --live)"},
+    {"name", "id", "serving name to promote into (required unless "
+                   "--live)"},
+    {"candidate", "path", "candidate checkpoint archive (required "
+                          "unless --live)"},
     {"canary-rows", "N", "canary probe batch rows (default 64)"},
     {"canary-seed", "S", "canary probe/reconstruction seed"},
     {"tolerance", "X", "relative canary slack (default 0.05)"},
+    {"live", "", "drive the live-traffic gate of a running `serve "
+                 "--canary` process: poll Health frames until the "
+                 "canary promotes (exit 0), is quarantined at timeout "
+                 "(exit 2), or errors (exit 1)"},
+    {"host", "addr", "serve address for --live (default 127.0.0.1)"},
+    {"port", "P", "serve port for --live (or --port-file)"},
+    {"port-file", "path", "poll this file for the port `serve "
+                          "--port-file` published (--live)"},
+    {"poll-ms", "M", "health poll interval for --live (default 200)"},
+    {"timeout-sec", "S", "give up on --live after S seconds "
+                         "(default 60)"},
     {"sparse-threshold", "X", "sparse kernel crossover activity "
                               "(default: auto; 0 dense, 1 sparse)"},
     {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
                     "(default auto; bit-identical)"},
 };
 
+/** --port, or the --port-file handshake: poll up to 10 s for the port
+ *  a `serve --port-file` process publishes (write + rename, so a
+ *  successful read is never torn). */
+std::uint16_t
+resolvePort(const util::CliArgs &args)
+{
+    const std::string portFile = args.get("port-file", "");
+    if (portFile.empty())
+        return static_cast<std::uint16_t>(
+            std::stoul(requireFlag(args, "port")));
+    long port = 0;
+    for (int attempt = 0; attempt < 200 && port == 0; ++attempt) {
+        std::ifstream file(portFile);
+        if (!(file >> port) || port <= 0) {
+            port = 0;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+    }
+    if (port == 0)
+        util::fatal("isingrbm: no port appeared in " + portFile);
+    return static_cast<std::uint16_t>(port);
+}
+
+/**
+ * promote --live: watch a running `serve --canary` process decide.
+ * The gate itself lives in the server (shadowed live traffic feeds
+ * it); this driver just polls Health frames -- through the
+ * self-healing client, so a mid-poll server restart is survived --
+ * and translates the gate's verdict into the promote exit contract:
+ * 0 promoted, 2 the gate quarantined the candidate (a successful
+ * rollback decision) without promoting before the timeout, 1 error
+ * or no decision.
+ */
+int
+cmdPromoteLive(const util::CliArgs &args)
+{
+    // HealthSnapshot::canaryState values (see net/frame.hpp).
+    constexpr std::uint8_t kQuarantined = 2, kPromoted = 3;
+
+    const std::string host = args.get("host", "127.0.0.1");
+    const std::uint16_t port = resolvePort(args);
+    const long pollMs = std::max(1L, args.getInt("poll-ms", 200));
+    const double timeoutSec = args.getDouble("timeout-sec", 60.0);
+
+    net::Client::RetryPolicy retry;
+    retry.maxAttempts = 5;
+    net::Client client(retry);
+    std::string error;
+    if (!client.connect(host, port, &error))
+        util::fatal("isingrbm: promote --live: cannot reach " + host +
+                    ":" + std::to_string(port) + ": " + error);
+
+    util::Stopwatch sw;
+    net::HealthSnapshot last;
+    std::uint8_t shownState = 0xff;
+    bool everSeen = false, lostServer = false;
+    for (;;) {
+        net::Request req;
+        req.type = net::FrameType::HealthRequest;
+        net::Response res;
+        if (!client.call(req, res) ||
+            res.type != net::FrameType::HealthResponse ||
+            res.code != net::kWireOk) {
+            lostServer = true;
+            break;
+        }
+        last = res.health;
+        everSeen = true;
+        if (last.canaryState != shownState) {
+            std::printf("promote --live: gate %s (shadows %llu, "
+                        "streak %llu, quarantines %llu, last "
+                        "divergence %.6f)\n",
+                        net::canaryStateName(last.canaryState),
+                        static_cast<unsigned long long>(
+                            last.canaryShadows),
+                        static_cast<unsigned long long>(
+                            last.canaryCleanStreak),
+                        static_cast<unsigned long long>(
+                            last.canaryQuarantines),
+                        last.lastDivergence);
+            std::fflush(stdout);
+            shownState = last.canaryState;
+        }
+        if (last.canaryState == kPromoted ||
+            last.canaryPromotions > 0) {
+            std::printf("promote --live: candidate promoted after "
+                        "%llu shadows in %.1fs\n",
+                        static_cast<unsigned long long>(
+                            last.canaryShadows),
+                        sw.seconds());
+            return 0;
+        }
+        if (sw.seconds() >= timeoutSec)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(pollMs));
+    }
+
+    if (lostServer) {
+        util::warn("isingrbm: promote --live: lost the server before "
+                   "the gate decided");
+        return 1;
+    }
+    if (everSeen && (last.canaryState == kQuarantined ||
+                     last.canaryQuarantines > 0)) {
+        std::printf("promote --live: candidate quarantined, not "
+                    "promoted (%llu quarantines, %llu shadows, last "
+                    "divergence %.6f); incumbent keeps serving\n",
+                    static_cast<unsigned long long>(
+                        last.canaryQuarantines),
+                    static_cast<unsigned long long>(
+                        last.canaryShadows),
+                    last.lastDivergence);
+        return 2;
+    }
+    std::printf("promote --live: no gate decision within %.0fs "
+                "(state %s, %llu shadows)\n",
+                timeoutSec, net::canaryStateName(last.canaryState),
+                static_cast<unsigned long long>(last.canaryShadows));
+    return 1;
+}
+
 int
 cmdPromote(const util::CliArgs &args)
 {
     if (!checkFlags(args,
                     "isingrbm promote --registry DIR --name ID "
-                    "--candidate PATH [flags]",
+                    "--candidate PATH [flags]  |  isingrbm promote "
+                    "--live --port P [flags]",
                     kPromoteFlags))
         return 0;
+    if (args.getBool("live", false))
+        return cmdPromoteLive(args);
     engine::ModelRegistry registry(requireFlag(args, "registry"),
                                    nullptr, samplingFlags(args));
     const std::string name = requireFlag(args, "name");
@@ -975,6 +1116,19 @@ const std::vector<util::FlagHelp> kServeFlags = {
                              "traffic (default 30000)"},
     {"legacy-gather", "", "disable the packed gather plane "
                           "(bit-identical; byte-diff canary)"},
+    {"canary", "path", "stage this candidate checkpoint beside the "
+                       "incumbent and shadow live traffic through it "
+                       "(client bytes stay incumbent-served)"},
+    {"canary-model", "id", "serving name the candidate shadows "
+                           "(default: the registry's only model)"},
+    {"canary-fraction", "F", "fraction of live infer traffic shadowed "
+                             "(seeded split; default 0.05)"},
+    {"canary-min-shadows", "N", "clean shadows required before "
+                                "auto-promote (default 32)"},
+    {"canary-max-divergence", "X", "mean-abs divergence tripwire per "
+                                   "shadowed request (default 0.05)"},
+    {"stats-every-ms", "M", "print a one-line serving/canary ledger to "
+                            "stderr every M ms (default 0 = off)"},
     {"sparse-threshold", "X", "sparse kernel crossover activity "
                               "(default: auto; 0 dense, 1 sparse)"},
     {"isa", "tier", "SIMD kernel tier: auto|scalar|generic|avx2|avx512 "
@@ -985,7 +1139,12 @@ const std::vector<util::FlagHelp> kServeFlags = {
  * The networked front end: an epoll listener feeding the batched
  * engine.  SIGINT/SIGTERM (or a client Shutdown frame) stops
  * accepting, drains in-flight flushes and queued replies, prints the
- * stats ledger, and exits 0.
+ * stats ledger, and exits 0.  With --canary, the candidate checkpoint
+ * is staged beside the incumbent and the engine's live gate shadows a
+ * seeded fraction of traffic through it, auto-promoting after enough
+ * clean shadows and quarantining on any breach -- either way, every
+ * client-visible byte keeps coming from the incumbent until an atomic
+ * promote lands.
  */
 int
 cmdServe(const util::CliArgs &args)
@@ -1006,7 +1165,55 @@ cmdServe(const util::CliArgs &args)
     config.server.maxBatchRows = sizeFlag(args, "max-batch", 256);
     config.server.cacheBytes = sizeFlag(args, "cache-bytes", 0);
     config.server.packedGather = !args.has("legacy-gather");
+    config.statsEveryMs =
+        static_cast<int>(args.getInt("stats-every-ms", 0));
     config.stopRequested = util::shutdownRequested;
+
+    // Live canary: stage the candidate *before* the port is published
+    // so a crash-injected stage never strands a handshaking client,
+    // and arm the engine's shadow gate.  A bad candidate (torn bytes,
+    // wrong input dim) is a warn-and-serve-without event, not a fatal:
+    // the incumbent is healthy and the operator can restage.
+    const std::string canaryPath = args.get("canary", "");
+    std::string canaryModel = args.get("canary-model", "");
+    if (!canaryPath.empty()) {
+        if (canaryModel.empty()) {
+            const auto names = registry.names();
+            if (names.size() != 1)
+                util::fatal(util::strcat(
+                    "isingrbm: --canary-model is required when the "
+                    "registry holds ", names.size(),
+                    " models (need exactly 1 to infer the target)"));
+            canaryModel = names.front();
+        }
+        config.server.canary.model = canaryModel;
+        config.server.canary.fraction =
+            args.getDouble("canary-fraction", 0.05);
+        config.server.canary.minShadows =
+            sizeFlag(args, "canary-min-shadows", 32);
+        config.server.canary.maxDivergence =
+            args.getDouble("canary-max-divergence", 0.05);
+        const engine::Status staged =
+            registry.stageCandidate(canaryModel, canaryPath);
+        if (staged.ok())
+            std::fprintf(stderr,
+                         "serve: canary staged %s -> '%s' (fraction "
+                         "%.3f, min shadows %zu, max divergence "
+                         "%.4f)\n",
+                         canaryPath.c_str(), canaryModel.c_str(),
+                         config.server.canary.fraction,
+                         config.server.canary.minShadows,
+                         config.server.canary.maxDivergence);
+        else
+            util::warn("isingrbm: canary stage failed, serving "
+                       "without a candidate: " + staged.toString());
+    } else if (args.has("canary-fraction") ||
+               args.has("canary-min-shadows") ||
+               args.has("canary-max-divergence")) {
+        util::warn("isingrbm: --canary-fraction/--canary-min-shadows/"
+                   "--canary-max-divergence do nothing without "
+                   "--canary CKPT");
+    }
 
     net::NetServer server(registry, std::move(config));
     const std::uint16_t port = server.start();
@@ -1033,23 +1240,46 @@ cmdServe(const util::CliArgs &args)
 
     server.run();
 
+    // The final ledger goes to stderr: in piped harnesses (serve |
+    // loadgen) the downstream exits first, and a stdout write here
+    // would die on SIGPIPE after a clean drain.
     const net::NetServer::Stats net = server.stats();
     const engine::Server::Stats stats = server.engine().stats();
-    std::printf("serve: %zu accepted, %zu closed (%zu idle, %zu over "
-                "capacity), %zu frames\n",
-                net.accepted, net.closed, net.idleClosed,
-                net.overCapacity, net.frames);
-    std::printf("  %zu admitted, %zu shed, %zu protocol errors, "
-                "%zu fault drops, %zu fault stalls\n",
-                net.infers, net.shed, net.protocolErrors,
-                net.faultDrops, net.faultStalls);
-    std::printf("  engine: %zu rows in %zu flushes, cache %zu hits / "
-                "%zu misses, flush p50 %.3f ms p99 %.3f ms\n",
-                stats.rows, stats.flushes, stats.cacheHits,
-                stats.cacheMisses,
-                stats.flushLatencyNs.quantile(0.5) / 1e6,
-                stats.flushLatencyNs.quantile(0.99) / 1e6);
-    std::printf("serve: drained, exiting\n");
+    std::fprintf(stderr,
+                 "serve: %zu accepted, %zu closed (%zu idle, %zu over "
+                 "capacity), %zu frames\n",
+                 net.accepted, net.closed, net.idleClosed,
+                 net.overCapacity, net.frames);
+    std::fprintf(stderr,
+                 "  %zu admitted, %zu shed, %zu protocol errors, "
+                 "%zu fault drops, %zu fault stalls, %zu "
+                 "deadline-expired\n",
+                 net.infers, net.shed, net.protocolErrors,
+                 net.faultDrops, net.faultStalls,
+                 stats.deadlineExpired);
+    std::fprintf(stderr,
+                 "  engine: %zu rows in %zu flushes, cache %zu hits / "
+                 "%zu misses, flush p50 %.3f ms p99 %.3f ms\n",
+                 stats.rows, stats.flushes, stats.cacheHits,
+                 stats.cacheMisses,
+                 stats.flushLatencyNs.quantile(0.5) / 1e6,
+                 stats.flushLatencyNs.quantile(0.99) / 1e6);
+    if (!canaryPath.empty())
+        std::fprintf(stderr,
+                     "  canary: %s, %zu shadows (streak %zu), "
+                     "%zu quarantines (%zu divergence, %zu latency, "
+                     "%zu failure, %zu deadline), %zu promotions, "
+                     "last divergence %.6f\n",
+                     net::canaryStateName(stats.canaryState),
+                     stats.canaryShadows, stats.canaryCleanStreak,
+                     stats.canaryQuarantines,
+                     stats.canaryDivergenceBreaches,
+                     stats.canaryLatencyBreaches,
+                     stats.canaryFailureBreaches,
+                     stats.canaryDeadlineBreaches,
+                     stats.canaryPromotions,
+                     stats.canaryLastDivergence);
+    std::fprintf(stderr, "serve: drained, exiting\n");
     return 0;
 }
 
@@ -1074,6 +1304,10 @@ const std::vector<util::FlagHelp> kLoadgenFlags = {
     {"warm", "N", "warm-set size for --hit-pct (default 16)"},
     {"float-payload", "", "send raw float rows instead of packed bits "
                           "(bit-identical; byte-diff canary)"},
+    {"deadline-ms", "M", "per-request deadline budget carried on every "
+                         "Infer frame; DEADLINE_EXCEEDED replies are "
+                         "counted separately from failures (default 0 "
+                         "= none)"},
     {"out", "path", "dump response bytes (corpus order, hex floats) "
                     "for byte-diffing against serve-bench --out"},
     {"shutdown", "", "send a Shutdown frame when done (smoke harness "
@@ -1107,28 +1341,11 @@ cmdLoadgen(const util::CliArgs &args)
     config.hitPct = static_cast<int>(args.getInt("hit-pct", 0));
     config.warmCount = sizeFlag(args, "warm", 16);
     config.packedPayload = !args.has("float-payload");
+    config.deadlineMs =
+        static_cast<std::uint32_t>(args.getInt("deadline-ms", 0));
     const std::string outPath = args.get("out", "");
     config.keepResponses = !outPath.empty();
-
-    const std::string portFile = args.get("port-file", "");
-    if (!portFile.empty()) {
-        // Handshake: wait for the server to publish its bound port.
-        long port = 0;
-        for (int attempt = 0; attempt < 200 && port == 0; ++attempt) {
-            std::ifstream file(portFile);
-            if (!(file >> port) || port <= 0) {
-                port = 0;
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(50));
-            }
-        }
-        if (port == 0)
-            util::fatal("isingrbm: no port appeared in " + portFile);
-        config.port = static_cast<std::uint16_t>(port);
-    } else {
-        config.port = static_cast<std::uint16_t>(
-            std::stoul(requireFlag(args, "port")));
-    }
+    config.port = resolvePort(args);
 
     const net::LoadGenReport report = net::runLoadGen(config);
     if (!report.error.empty())
@@ -1139,6 +1356,10 @@ cmdLoadgen(const util::CliArgs &args)
                 "in %.3fs over %zu connection(s)\n",
                 report.sent, report.ok, report.shed, report.failed,
                 report.seconds, config.connections);
+    std::printf("  %zu deadline-expired, %zu retries, %zu reconnects "
+                "(self-healed)\n",
+                report.deadlineExpired, report.retries,
+                report.reconnects);
     std::printf("  %.0f req/s, %.0f rows/s, shed rate %.1f%%\n",
                 report.reqPerSec(), report.rowsPerSec(),
                 report.sent
@@ -1257,7 +1478,9 @@ cmdHelp()
         "  serve-loop   probe a model continuously while it is "
         "retrained/promoted\n"
         "  promote      canary-gate a candidate checkpoint, hot-swap "
-        "on pass\n"
+        "on pass (--live: watch a\n"
+        "               running serve --canary process's traffic gate "
+        "decide)\n"
         "  list         list a registry's checkpoints (--verify "
         "round-trips)\n");
     return 0;

@@ -99,6 +99,99 @@ publishArchive(const std::string &sourcePath, const std::string &destPath)
 
 } // namespace
 
+Status
+ModelRegistry::stageCandidate(const std::string &name,
+                              const std::string &candidatePath)
+{
+    const Status valid = validateName(name);
+    if (!valid.ok())
+        return valid;
+    util::FaultInjector::instance().onCrashPoint("canary.stage");
+
+    // Load aside -- never into the serving cache.  A torn candidate is
+    // rejected here, before a single request is shadowed through it.
+    const FileStamp stamp = stampFor(candidatePath);
+    auto loaded = loadModelFile(candidatePath, stamp);
+    if (!loaded.ok())
+        return Status(loaded.status().code(),
+                      "canary: candidate " + candidatePath + ": " +
+                          loaded.status().message());
+    std::shared_ptr<const Model> model = std::move(loaded).value();
+
+    // Shape-gate against the incumbent now: shadowing feeds the
+    // candidate the incumbent's live inputs, so a width mismatch could
+    // only ever breach.  A name with no resolvable incumbent stages
+    // ungated (first publish semantics, like promote()).
+    if (auto current = tryGet(name); current.ok()) {
+        const std::size_t dim = current.value()->inputDim();
+        if (model->inputDim() != dim)
+            return Status(StatusCode::FailedPrecondition,
+                          "canary: candidate input dim " +
+                              std::to_string(model->inputDim()) +
+                              " != incumbent " + std::to_string(dim));
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    candidates_[name] = Candidate{std::move(model), candidatePath, stamp};
+    return Status::okStatus();
+}
+
+Result<PromoteReport>
+ModelRegistry::promoteStaged(const std::string &name)
+{
+    Candidate staged;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = candidates_.find(name);
+        if (it == candidates_.end())
+            return Status(StatusCode::FailedPrecondition,
+                          "canary: no candidate staged for '" + name +
+                              "'");
+        staged = it->second;
+    }
+
+    util::FaultInjector &faults = util::FaultInjector::instance();
+    faults.onCrashPoint("canary.before-promote");
+
+    // The gate shadowed the *staged* model; publish only if the source
+    // archive still holds those bytes.  A continuous trainer may have
+    // overwritten the file since staging -- publishing it would swap
+    // in parameters no shadow ever vetted.
+    if (stampFor(staged.path) != staged.stamp) {
+        clearCandidate(name);
+        return Status(StatusCode::FailedPrecondition,
+                      "canary: candidate " + staged.path +
+                          " changed since staging; restage to promote");
+    }
+
+    ensureDir();
+    const std::string destPath = pathFor(name);
+    std::error_code ec;
+    const bool samePath = fs::equivalent(staged.path, destPath, ec);
+    if (!samePath) {
+        const Status published = publishArchive(staged.path, destPath);
+        if (!published.ok()) {
+            util::warn(published.toString());
+            return published;
+        }
+    }
+
+    // Serve the exact bytes the gate vetted: install the staged model
+    // against the published file's stamp.
+    install(name, std::move(staged.model), stampFor(destPath));
+    clearCandidate(name);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.promotions;
+    }
+    faults.onCrashPoint("canary.after-promote");
+
+    PromoteReport report;
+    report.promoted = true;
+    report.detail = "promoted: live canary gate passed";
+    return report;
+}
+
 Result<PromoteReport>
 ModelRegistry::promote(const std::string &name,
                        const std::string &candidatePath,

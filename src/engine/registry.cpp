@@ -262,6 +262,36 @@ ModelRegistry::evict(const std::string &name)
     cache_.erase(name);
 }
 
+std::shared_ptr<const Model>
+ModelRegistry::candidate(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = candidates_.find(name);
+    return it != candidates_.end() ? it->second.model : nullptr;
+}
+
+std::string
+ModelRegistry::candidatePath(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = candidates_.find(name);
+    return it != candidates_.end() ? it->second.path : std::string();
+}
+
+void
+ModelRegistry::clearCandidate(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    candidates_.erase(name);
+}
+
+void
+ModelRegistry::noteRollback()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rollbacks;
+}
+
 std::size_t
 ModelRegistry::cachedCount() const
 {

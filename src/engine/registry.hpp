@@ -109,6 +109,50 @@ class ModelRegistry
                                   const std::string &candidatePath,
                                   const CanaryConfig &config = {});
 
+    // ------------------------------------------------- live canary
+    // The live-traffic promote path (engine::Server's shadow gate)
+    // needs the candidate loaded *beside* the incumbent: the server
+    // shadows a seeded fraction of live requests through it, and the
+    // gate decides -- promoteStaged() or rollback -- while the
+    // incumbent keeps serving every client-visible byte.
+
+    /**
+     * Load @p candidatePath aside and hold it as @p name's staged
+     * candidate (never into the serving cache).  A torn/unloadable
+     * candidate or an input-dim mismatch against a resolvable
+     * incumbent is rejected here, before any traffic is shadowed.
+     * Restaging replaces the previous candidate.  Defined in
+     * promote.cpp (crash point "canary.stage").
+     */
+    Status stageCandidate(const std::string &name,
+                          const std::string &candidatePath);
+
+    /** The staged candidate model (nullptr when none). */
+    std::shared_ptr<const Model> candidate(const std::string &name) const;
+
+    /** Source path the candidate was staged from (empty when none). */
+    std::string candidatePath(const std::string &name) const;
+
+    /** Drop a staged candidate (gate rollback keeps the incumbent). */
+    void clearCandidate(const std::string &name);
+
+    /**
+     * Publish @p name's staged candidate over the incumbent through
+     * the same atomic tmp -> fsync -> rename -> fsync-dir path as
+     * promote(), then install the already-staged model and clear the
+     * stage.  The gate decision was made by the caller (the live
+     * shadow gate); this is only the swap.  Fails -- incumbent
+     * untouched -- when no candidate is staged or its source archive
+     * changed since staging (a continuous trainer may have overwritten
+     * it).  Defined in promote.cpp (crash points
+     * "canary.before-promote", "promote.before-publish",
+     * "promote.after-publish", "canary.after-promote").
+     */
+    Result<PromoteReport> promoteStaged(const std::string &name);
+
+    /** Count a rollback decided outside promote() (the live gate). */
+    void noteRollback();
+
     /**
      * Persist a checkpoint under @p name (meta.name is stamped) and
      * cache the loaded view.  Returns the cached model.
@@ -174,6 +218,14 @@ class ModelRegistry
         std::string lastError;
     };
 
+    /** A staged live-canary candidate (held beside the incumbent). */
+    struct Candidate
+    {
+        std::shared_ptr<const Model> model;
+        std::string path;  ///< source archive it was staged from
+        FileStamp stamp;   ///< source stamp at staging time
+    };
+
     static FileStamp stampFor(const std::string &path);
 
     /**
@@ -196,6 +248,7 @@ class ModelRegistry
     RegistryConfig config_;
     mutable std::mutex mutex_;
     std::map<std::string, Entry> cache_;
+    std::map<std::string, Candidate> candidates_;
     Stats stats_;
 };
 

@@ -6,6 +6,8 @@
 #include "engine/server.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
 #include "linalg/bitops.hpp"
 #include "util/checksum.hpp"
@@ -51,12 +53,68 @@ Server::Server(ModelRegistry &registry, ServerConfig config)
 {
     if (config_.maxBatchRows == 0)
         util::fatal("server: maxBatchRows must be positive");
+    if (config_.canary.quarantineMinMs < 1)
+        config_.canary.quarantineMinMs = 1;
+    if (config_.canary.quarantineMaxMs < config_.canary.quarantineMinMs)
+        config_.canary.quarantineMaxMs = config_.canary.quarantineMinMs;
 }
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+bool
+canaryShadowSelected(std::uint64_t seed, double fraction)
+{
+    if (fraction <= 0.0)
+        return false;
+    if (fraction >= 1.0)
+        return true;
+    // splitmix64 finalizer: decorrelates the selection bit from the
+    // seed's other life as the per-row Rng stream root, then maps the
+    // top 53 bits to [0, 1).  No state, no clock, no counter -- the
+    // same request shadows (or not) wherever and whenever it arrives.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53 < fraction;
+}
+
+namespace {
+
+/** An already-resolved DeadlineExceeded future (no warn: an expired
+ *  deadline is load pressure, not a malformed request). */
+std::future<Response>
+expireNow(const char *where)
+{
+    std::promise<Response> promise;
+    auto future = promise.get_future();
+    Response response;
+    response.status = Status(StatusCode::DeadlineExceeded,
+                             std::string("server: deadline expired ") +
+                                 where);
+    promise.set_value(std::move(response));
+    return future;
+}
+
+} // namespace
 
 std::future<Response>
 Server::submit(Request req)
 {
     ++stats_.requests;
+    // The deadline outranks everything, even validation: an expired
+    // request is answered before any work is spent on it.
+    if (req.deadlineNs != 0 && steadyNowNs() >= req.deadlineNs) {
+        ++stats_.deadlineExpired;
+        return expireNow("before admission");
+    }
     // Validation failures resolve the future immediately: the bad
     // request never reaches the queue, so it cannot poison the
     // requests it would have been coalesced with.
@@ -269,13 +327,28 @@ Server::flush()
     ++stats_.flushes;
     util::Stopwatch watch;
 
-    // Stage 0: pack binary inputs and probe the response cache.  Hits
+    // Stage 0: re-check deadlines (queueing must not silently eat a
+    // budget that already ran out -- and the check beats even the
+    // cache probe: an expired request gets no bytes, cached or not),
+    // then pack binary inputs and probe the response cache.  Hits
     // resolve their futures right here -- no gather, no group, no
     // kernel -- and whatever survives forms (possibly partial-hit)
     // groups below.  flushModels_ already holds the batch's
     // submit-time resolutions; prepare() reuses them.
-    for (Pending &p : pending_)
+    const std::uint64_t flushNow = steadyNowNs();
+    for (Pending &p : pending_) {
+        if (p.req.deadlineNs != 0 && flushNow >= p.req.deadlineNs) {
+            ++stats_.deadlineExpired;
+            Response response;
+            response.status =
+                Status(StatusCode::DeadlineExceeded,
+                       "server: deadline expired while queued");
+            p.promise.set_value(std::move(response));
+            p.done = true;
+            continue;
+        }
         prepare(p);
+    }
 
     // Stage 1: group by (model, op, steps) into reused flat slots;
     // steps only shapes Sample walks, so other ops coalesce regardless
@@ -477,6 +550,7 @@ Server::executeGroup(const std::vector<Pending *> &group)
     // Contain execution: anything fatal inside the batched kernels
     // (impossible-shape archive that slipped past validation, scratch
     // exhaustion) fails this group's requests instead of the process.
+    util::Stopwatch kernelWatch;
     try {
         util::FatalThrowScope scope;
         runBatches();
@@ -484,7 +558,15 @@ Server::executeGroup(const std::vector<Pending *> &group)
         failGroup(Status(StatusCode::Internal, e.what()));
         return;
     }
+    const auto incumbentNs =
+        static_cast<std::uint64_t>(kernelWatch.seconds() * 1e9);
     stats_.rows += totalRows;
+
+    // Shadow the gate-selected members through the staged candidate
+    // *before* the responses are cached or delivered -- the gate sees
+    // exactly the bytes the clients will -- but strictly read-only:
+    // promotion or quarantine can only affect later flushes.
+    maybeShadow(group, responses, incumbentNs);
 
     // Cache the executed responses, unless the model hot-swapped
     // between the cache probe and this execution (the key would claim
@@ -498,6 +580,214 @@ Server::executeGroup(const std::vector<Pending *> &group)
     }
 }
 
+void
+Server::canaryQuarantine(const std::string &reason)
+{
+    ++stats_.canaryQuarantines;
+    registry_.noteRollback();
+    canaryCleanStreak_ = 0;
+    // Capped exponential backoff, doubling per breach; only restaging
+    // a candidate (a new Server / a new gate) resets the ladder, so a
+    // persistently bad candidate costs asymptotically nothing.
+    canaryBackoffMs_ = canaryBackoffMs_ <= 0
+                           ? config_.canary.quarantineMinMs
+                           : std::min(canaryBackoffMs_ * 2,
+                                      config_.canary.quarantineMaxMs);
+    canaryResumeNs_ =
+        steadyNowNs() +
+        static_cast<std::uint64_t>(canaryBackoffMs_) * 1000000ull;
+    canaryState_ = CanaryState::Quarantined;
+    util::warn("server: canary quarantined (" + reason +
+               "); resume shadowing in " +
+               std::to_string(canaryBackoffMs_) + " ms");
+}
+
+void
+Server::maybeShadow(const std::vector<Pending *> &group,
+                    const std::vector<Response> &responses,
+                    std::uint64_t incumbentNs)
+{
+    const ServerConfig::CanaryGate &gate = config_.canary;
+    if (gate.fraction <= 0.0 || gate.model.empty() ||
+        group.front()->req.model != gate.model)
+        return;
+    const Op op = group.front()->req.op;
+    if (op == Op::Classify)
+        return;  // integer labels carry no graded divergence to gate
+    if (canaryState_ == CanaryState::Promoted)
+        return;
+    if (canaryState_ == CanaryState::Quarantined) {
+        if (steadyNowNs() < canaryResumeNs_)
+            return;
+        // Backoff window over: resume shadowing the staged candidate
+        // from a zero streak (quarantined shadows prove nothing).
+        canaryState_ = CanaryState::Shadowing;
+        canaryCleanStreak_ = 0;
+    }
+    const auto candidate = registry_.candidate(gate.model);
+    if (!candidate) {
+        canaryState_ = CanaryState::Idle;
+        return;
+    }
+    canaryState_ = CanaryState::Shadowing;
+    if (!candidate->supports(op))
+        return;
+
+    // The seeded splitter picks members one by one -- a pure function
+    // of each request's own seed, so the shadow set is identical under
+    // any coalescing, arrival order or batch depth.
+    shadowPicked_.clear();
+    for (std::size_t q = 0; q < group.size(); ++q)
+        if (canaryShadowSelected(group[q]->req.seed, gate.fraction))
+            shadowPicked_.push_back(q);
+    if (shadowPicked_.empty())
+        return;
+
+    // A candidate whose output width drifted from the incumbent's has
+    // nothing comparable to serve: breach immediately.
+    const std::size_t width =
+        responses[shadowPicked_.front()].output.cols();
+    if (candidate->outputDim(op) != width) {
+        ++stats_.canaryFailureBreaches;
+        canaryQuarantine(
+            util::strcat("candidate output dim ",
+                         candidate->outputDim(op), " != incumbent ",
+                         width, " for op ", opName(op)));
+        return;
+    }
+
+    // Re-run the shadowed members through the candidate with fresh
+    // per-row streams -- the exact streams the incumbent used, so any
+    // output difference is the models', never the randomness'.
+    util::Stopwatch shadowWatch;
+    double breachMae = -1.0;
+    try {
+        util::FatalThrowScope scope;
+        const std::size_t inDim = candidate->inputDim();
+        for (const std::size_t q : shadowPicked_) {
+            const Pending &p = *group[q];
+            const std::size_t rows = p.rows;
+            shadowRngs_.clear();
+            shadowRngs_.reserve(rows);
+            for (std::size_t r = 0; r < rows; ++r)
+                shadowRngs_.push_back(
+                    util::Rng::stream(p.req.seed, r));
+            double absSum = 0.0;
+            std::size_t terms = 0;
+            for (std::size_t begin = 0; begin < rows;
+                 begin += config_.maxBatchRows) {
+                const std::size_t end =
+                    std::min(rows, begin + config_.maxBatchRows);
+                if (op != Op::Sample) {
+                    if (shadowIn_.rows() != end - begin ||
+                        shadowIn_.cols() != inDim)
+                        shadowIn_.reset(end - begin, inDim);
+                    for (std::size_t r = begin; r < end; ++r) {
+                        if (p.req.packed)
+                            p.req.packedInput.unpackRowTo(
+                                r, shadowIn_.row(r - begin));
+                        else
+                            std::copy_n(p.req.input.row(r), inDim,
+                                        shadowIn_.row(r - begin));
+                    }
+                }
+                switch (op) {
+                  case Op::Sample:
+                    candidate->sampleRows(p.req.steps, end - begin,
+                                          shadowRngs_.data() + begin,
+                                          shadowChunk_, shadowScratch_);
+                    break;
+                  case Op::Featurize:
+                    candidate->featurizeRows(shadowIn_, shadowChunk_,
+                                             shadowScratch_);
+                    break;
+                  case Op::Reconstruct:
+                    candidate->reconstructRows(
+                        shadowIn_, shadowRngs_.data() + begin,
+                        shadowChunk_, shadowScratch_);
+                    break;
+                  case Op::Classify:
+                    break;  // filtered above
+                }
+                for (std::size_t r = 0; r < shadowChunk_.rows(); ++r) {
+                    const float *cand = shadowChunk_.row(r);
+                    const float *inc =
+                        responses[q].output.row(begin + r);
+                    for (std::size_t c = 0; c < shadowChunk_.cols();
+                         ++c)
+                        absSum += std::fabs(
+                            static_cast<double>(cand[c]) -
+                            static_cast<double>(inc[c]));
+                    terms += shadowChunk_.cols();
+                }
+            }
+            const double mae =
+                terms ? absSum / static_cast<double>(terms) : 0.0;
+            ++stats_.canaryShadows;
+            canaryLastDivergence_ = mae;
+            canaryDivergence_.record(
+                static_cast<std::uint64_t>(mae * 1e9));
+            if (mae > gate.maxDivergence) {
+                breachMae = mae;
+                break;
+            }
+            ++canaryCleanStreak_;
+        }
+    } catch (const util::FatalError &e) {
+        ++stats_.canaryFailureBreaches;
+        canaryQuarantine(std::string("candidate execution failed: ") +
+                         e.what());
+        return;
+    }
+    const auto shadowNs =
+        static_cast<std::uint64_t>(shadowWatch.seconds() * 1e9);
+    shadowLatency_.record(shadowNs);
+
+    if (breachMae >= 0.0) {
+        ++stats_.canaryDivergenceBreaches;
+        canaryQuarantine(util::strcat("divergence ", breachMae,
+                                      " exceeds gate ",
+                                      gate.maxDivergence));
+        return;
+    }
+    if (incumbentNs > 0 && gate.maxLatencyMultiple > 0.0 &&
+        static_cast<double>(shadowNs) >
+            gate.maxLatencyMultiple *
+                static_cast<double>(incumbentNs)) {
+        ++stats_.canaryLatencyBreaches;
+        canaryQuarantine(util::strcat(
+            "shadow cost ", shadowNs, " ns > ", gate.maxLatencyMultiple,
+            "x incumbent ", incumbentNs, " ns"));
+        return;
+    }
+    // Deadline pressure: these members were all unexpired when the
+    // flush started; if one ran out *now*, shadow work is what ate the
+    // budget -- the gate backs off before clients feel it.
+    const std::uint64_t now = steadyNowNs();
+    for (const Pending *p : group)
+        if (p->req.deadlineNs != 0 && now >= p->req.deadlineNs) {
+            ++stats_.canaryDeadlineBreaches;
+            canaryQuarantine(
+                "shadow work crossed a live request's deadline");
+            return;
+        }
+
+    if (gate.autoPromote && canaryCleanStreak_ >= gate.minShadows) {
+        auto promoted = registry_.promoteStaged(gate.model);
+        if (promoted.ok()) {
+            ++stats_.canaryPromotions;
+            canaryState_ = CanaryState::Promoted;
+        } else {
+            // Stale stage (source overwritten) or a publish failure:
+            // the incumbent is untouched either way; back off and let
+            // a restage (or the operator) decide.
+            ++stats_.canaryFailureBreaches;
+            canaryQuarantine("promote failed: " +
+                             promoted.status().toString());
+        }
+    }
+}
+
 Server::Stats
 Server::stats() const
 {
@@ -508,6 +798,11 @@ Server::stats() const
     out.promotions = registry.promotions;
     out.rollbacks = registry.rollbacks;
     out.flushLatencyNs = flushLatency_;
+    out.canaryState = static_cast<std::uint8_t>(canaryState_);
+    out.canaryCleanStreak = canaryCleanStreak_;
+    out.canaryLastDivergence = canaryLastDivergence_;
+    out.canaryDivergenceNano = canaryDivergence_;
+    out.shadowLatencyNs = shadowLatency_;
     return out;
 }
 

@@ -23,6 +23,26 @@
  * dispatcher thread (the server loop); parallelism happens inside the
  * kernel batches.  Responses are delivered through std::future, so
  * consumers may wait from other threads.
+ *
+ * Deadlines: a request may carry an absolute expiry
+ * (Request::deadlineNs); one that is already expired at submit, or
+ * expires while queued, resolves with StatusCode::DeadlineExceeded
+ * before any kernel work -- checked at admission *and* again at flush
+ * so queueing cannot silently eat the budget.
+ *
+ * Live canary (ServerConfig::canary): with a candidate staged in the
+ * registry, a deterministic seeded splitter -- a pure function of the
+ * request seed, so the split reproduces at any arrival interleaving --
+ * routes a configured fraction of executed requests into *shadow*
+ * execution: the candidate re-runs the same rows beside the incumbent,
+ * the outputs are compared, and the divergence/latency land in the
+ * gate state machine.  Client-visible bytes always come from the
+ * incumbent, so served output is bit-identical with the canary on or
+ * off; after minShadows consecutive clean shadows the gate
+ * auto-promotes through ModelRegistry::promoteStaged, and any breach
+ * (divergence, latency multiple, candidate failure, deadline
+ * pressure) quarantines the candidate with capped backoff and rolls
+ * back.
  */
 
 #ifndef ISINGRBM_ENGINE_SERVER_HPP
@@ -72,6 +92,36 @@ struct ServerConfig
      * byte-diff canaries and non-binary inputs.
      */
     bool packedGather = true;
+
+    /**
+     * Live-canary gate knobs (see the file comment).  The gate is off
+     * until `model` names a registry entry with a staged candidate and
+     * `fraction` is positive; it then shadows that fraction of
+     * executed requests and decides promote-or-quarantine.
+     */
+    struct CanaryGate
+    {
+        std::string model;       ///< registry name under canary
+        /** Fraction of executed requests routed into shadow execution
+         *  (0 disables; the split is a pure function of the seed). */
+        double fraction = 0.0;
+        /** Consecutive clean shadows required before auto-promote. */
+        std::size_t minShadows = 32;
+        /** Max mean-absolute divergence (candidate vs incumbent
+         *  output) a shadow may show and still count as clean. */
+        double maxDivergence = 0.05;
+        /** Breach when a group's shadow run costs more than this
+         *  multiple of the incumbent's kernel time (0 disables). */
+        double maxLatencyMultiple = 8.0;
+        /** Quarantine backoff: first breach waits min ms, doubling
+         *  per breach up to max; shadowing resumes after the window. */
+        long quarantineMinMs = 200;
+        long quarantineMaxMs = 5000;
+        /** Promote through ModelRegistry::promoteStaged on a clean
+         *  streak (off = observe-only: gate counters still move). */
+        bool autoPromote = true;
+    };
+    CanaryGate canary;
 };
 
 /** One inference request. */
@@ -94,6 +144,13 @@ struct Request
     std::size_t count = 0;     ///< chains to draw (Sample only)
     int steps = 25;            ///< anneal sweeps (Sample only)
     std::uint64_t seed = 0;    ///< roots this request's per-row streams
+    /**
+     * Absolute steady-clock expiry in nanoseconds (steadyNowNs()'s
+     * domain); 0 means no deadline.  A request already expired at
+     * submit, or expired by the time its flush starts, resolves with
+     * StatusCode::DeadlineExceeded before any kernel work.
+     */
+    std::uint64_t deadlineNs = 0;
 };
 
 /** One inference response. */
@@ -173,6 +230,28 @@ class Server
         std::size_t reloadFallbacks = 0;
         std::size_t promotions = 0;    ///< canary-gated hot-swaps
         std::size_t rollbacks = 0;     ///< promotes that kept the incumbent
+        /** Requests resolved DeadlineExceeded before any kernel work
+         *  (distinct from rejected: the request was well-formed). */
+        std::size_t deadlineExpired = 0;
+        // ---- live canary gate (all zero while the gate is off) ----
+        std::size_t canaryShadows = 0;  ///< shadow executions scored
+        std::size_t canaryDivergenceBreaches = 0;
+        std::size_t canaryLatencyBreaches = 0;
+        std::size_t canaryFailureBreaches = 0;  ///< candidate op failed
+        std::size_t canaryDeadlineBreaches = 0; ///< shadow ate a budget
+        std::size_t canaryQuarantines = 0;  ///< gate trips (-> backoff)
+        std::size_t canaryPromotions = 0;   ///< auto-promotes via gate
+        /** 0 idle, 1 shadowing, 2 quarantined, 3 promoted (matches
+         *  the wire HealthSnapshot encoding). */
+        std::uint8_t canaryState = 0;
+        std::size_t canaryCleanStreak = 0;  ///< consecutive clean shadows
+        double canaryLastDivergence = 0.0;  ///< most recent shadow MAE
+        /** Per-shadow candidate-vs-incumbent MAE in nano-units
+         *  (uint64(mae * 1e9)), as a mergeable distribution. */
+        util::Histogram canaryDivergenceNano;
+        /** Candidate nanoseconds per shadowed group: the latency
+         *  overhead the gate charges against maxLatencyMultiple. */
+        util::Histogram shadowLatencyNs;
         /**
          * Wall-clock nanoseconds per flush() that executed work, as a
          * mergeable log-bucketed distribution: the engine-side half of
@@ -293,12 +372,42 @@ class Server
     /** Execute one coalesced group of pending requests. */
     void executeGroup(const std::vector<Pending *> &group);
 
+    /**
+     * Shadow-execute the gate-selected members of @p group through the
+     * staged candidate and feed the gate state machine.  Reads the
+     * incumbent @p responses strictly read-only -- shadow execution
+     * never touches client-visible bytes or the response cache.
+     * @p incumbentNs is the incumbent's kernel wall time for this
+     * group (the latency-breach baseline).
+     */
+    void maybeShadow(const std::vector<Pending *> &group,
+                     const std::vector<Response> &responses,
+                     std::uint64_t incumbentNs);
+
+    /** Gate breach: quarantine the candidate with capped backoff. */
+    void canaryQuarantine(const std::string &reason);
+
     ModelRegistry &registry_;
     ServerConfig config_;
     std::vector<Pending> pending_;
     std::size_t pendingRows_ = 0;
     Stats stats_;
     util::Histogram flushLatency_;  ///< ns per executed flush()
+
+    // Live-canary gate state (one dispatcher thread, no locking).
+    enum class CanaryState : std::uint8_t {
+        Idle = 0,         ///< no candidate staged (or gate off)
+        Shadowing = 1,    ///< candidate shadowing live traffic
+        Quarantined = 2,  ///< breached; waiting out the backoff window
+        Promoted = 3,     ///< candidate swapped in; gate done
+    };
+    CanaryState canaryState_ = CanaryState::Idle;
+    std::size_t canaryCleanStreak_ = 0;
+    double canaryLastDivergence_ = 0.0;
+    util::Histogram canaryDivergence_;  ///< per-shadow MAE * 1e9
+    util::Histogram shadowLatency_;     ///< candidate ns per group
+    long canaryBackoffMs_ = 0;          ///< 0 until the first breach
+    std::uint64_t canaryResumeNs_ = 0;  ///< quarantine expiry
 
     // Per-flush scratch, reused across groups and flushes (one
     // dispatcher thread): group slots, row map, per-row streams, the
@@ -313,6 +422,15 @@ class Server
     std::vector<int> labelChunk_;
     BatchScratch modelScratch_;
 
+    // Shadow-execution scratch, deliberately separate from the serving
+    // buffers above: the candidate re-derives its own per-row streams
+    // and gathers into its own planes, so shadowing cannot perturb a
+    // single byte of the incumbent path.
+    std::vector<std::size_t> shadowPicked_;
+    std::vector<util::Rng> shadowRngs_;
+    linalg::Matrix shadowIn_, shadowChunk_;
+    BatchScratch shadowScratch_;
+
     // Response cache: LRU list (front = most recent) indexed by key.
     std::list<CacheEntry> cacheLru_;
     std::unordered_map<CacheKey, std::list<CacheEntry>::iterator,
@@ -320,6 +438,18 @@ class Server
         cacheIndex_;
     std::size_t cacheBytesUsed_ = 0;
 };
+
+/** Nanoseconds on the steady clock: Request::deadlineNs's domain. */
+std::uint64_t steadyNowNs();
+
+/**
+ * The live-canary traffic splitter: true when a request carrying
+ * @p seed falls inside the shadowed @p fraction.  A pure function of
+ * the seed (a splitmix64 finalizer mapped to [0, 1)), so the shadow
+ * set is identical at any connection interleaving, coalescing shape
+ * or worker count -- the property the splitter tests pin down.
+ */
+bool canaryShadowSelected(std::uint64_t seed, double fraction);
 
 /**
  * Uniform probe workload for throughput measurement: @p requests

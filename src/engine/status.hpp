@@ -28,6 +28,7 @@ enum class StatusCode {
     FailedPrecondition,  ///< incompatible models (canary dim mismatch)
     Internal,            ///< unexpected failure contained to a request
     Overloaded,          ///< admission control shed the request; retry later
+    DeadlineExceeded,    ///< request deadline expired before execution
 };
 
 /** Spelling used in logs and CLI diagnostics. */
@@ -42,6 +43,7 @@ statusCodeName(StatusCode code)
       case StatusCode::FailedPrecondition: return "failed-precondition";
       case StatusCode::Internal: return "internal";
       case StatusCode::Overloaded: return "overloaded";
+      case StatusCode::DeadlineExceeded: return "deadline-exceeded";
     }
     return "?";
 }

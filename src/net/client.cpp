@@ -13,6 +13,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace ising::net {
 
 bool
@@ -44,6 +48,8 @@ Client::connect(const std::string &host, std::uint16_t port,
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     reader_ = FrameReader();
+    host_ = host;
+    port_ = port;
     return true;
 }
 
@@ -105,7 +111,32 @@ Client::recv(Response &out)
 bool
 Client::call(const Request &req, Response &out)
 {
-    return send(req) && recv(out);
+    std::string bytes;
+    encodeRequest(req, bytes);
+    const int attempts = std::max(1, retry_.maxAttempts);
+    long backoffMs = std::max(1, retry_.backoffMinMs);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            // Heal: the previous try died mid-flight (reset, EPIPE,
+            // EOF inside a frame).  Resending is safe -- the response
+            // is a pure function of the request tuple -- and connect()
+            // resets the reader, so a torn partial frame is discarded.
+            ++retries_;
+            close();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoffMs));
+            backoffMs = std::min(backoffMs * 2,
+                                 static_cast<long>(std::max(
+                                     retry_.backoffMaxMs,
+                                     retry_.backoffMinMs)));
+            if (host_.empty() || !connect(host_, port_))
+                continue;
+            ++reconnects_;
+        }
+        if (connected() && sendBytes(bytes) && recv(out))
+            return true;
+    }
+    return false;
 }
 
 } // namespace ising::net

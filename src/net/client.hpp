@@ -7,6 +7,14 @@
  * non-blocking multi-connection loop (net/loadgen.hpp) but shares the
  * codec; this client is for everything else: Info lookups, smoke
  * probes, the Shutdown frame.
+ *
+ * Self-healing: with a RetryPolicy allowing more than one attempt,
+ * call() survives a severed connection (ECONNRESET, EPIPE, EOF
+ * mid-frame): it reconnects with capped exponential backoff and
+ * resends the in-flight request.  The resend is safe by the serving
+ * contract -- a response is a pure function of the request tuple
+ * (model stamp, op, steps, seed, input bits), so a duplicate
+ * execution returns bit-identical bytes.
  */
 
 #ifndef ISINGRBM_NET_CLIENT_HPP
@@ -23,7 +31,20 @@ namespace ising::net {
 class Client
 {
   public:
+    /** call()'s reconnect-and-resend policy. */
+    struct RetryPolicy
+    {
+        /** Total tries per call(); 1 = never retry (the default, so
+         *  existing single-shot users keep their semantics). */
+        int maxAttempts = 1;
+        /** Backoff before reconnecting, doubling per consecutive
+         *  failure up to the cap. */
+        int backoffMinMs = 50;
+        int backoffMaxMs = 2000;
+    };
+
     Client() = default;
+    explicit Client(RetryPolicy retry) : retry_(retry) {}
     ~Client() { close(); }
 
     Client(const Client &) = delete;
@@ -47,12 +68,29 @@ class Client
      *  EOF, socket error, or a malformed frame. */
     bool recv(Response &out);
 
-    /** send() + recv(): one synchronous round trip. */
+    /**
+     * send() + recv(): one synchronous round trip.  Under a
+     * RetryPolicy with maxAttempts > 1, a send/recv failure closes
+     * the socket, backs off, reconnects to the address connect() was
+     * last given, and resends the request -- counted in retries() /
+     * reconnects() -- until an answer arrives or attempts run out.
+     */
     bool call(const Request &req, Response &out);
+
+    /** call() round trips that had to be resent. */
+    std::size_t retries() const { return retries_; }
+
+    /** Successful mid-call reconnects. */
+    std::size_t reconnects() const { return reconnects_; }
 
   private:
     int fd_ = -1;
     FrameReader reader_;
+    RetryPolicy retry_;
+    std::string host_;        ///< last connect() target (for healing)
+    std::uint16_t port_ = 0;
+    std::size_t retries_ = 0;
+    std::size_t reconnects_ = 0;
 };
 
 } // namespace ising::net

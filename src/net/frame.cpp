@@ -27,6 +27,7 @@ wireCode(engine::StatusCode code)
         return kWireFailedPrecondition;
       case StatusCode::Internal: return kWireInternal;
       case StatusCode::Overloaded: return kWireOverloaded;
+      case StatusCode::DeadlineExceeded: return kWireDeadlineExceeded;
     }
     return kWireInternal;
 }
@@ -43,6 +44,19 @@ wireCodeName(std::uint8_t code)
       case kWireInternal: return "internal";
       case kWireOverloaded: return "overloaded";
       case kWireBadFrame: return "bad-frame";
+      case kWireDeadlineExceeded: return "deadline-exceeded";
+    }
+    return "?";
+}
+
+const char *
+canaryStateName(std::uint8_t state)
+{
+    switch (state) {
+      case 0: return "idle";
+      case 1: return "shadowing";
+      case 2: return "quarantined";
+      case 3: return "promoted";
     }
     return "?";
 }
@@ -200,6 +214,7 @@ encodeRequest(const Request &req, std::string &out)
     switch (req.type) {
       case FrameType::ListRequest:
       case FrameType::ShutdownRequest:
+      case FrameType::HealthRequest:
         break;
       case FrameType::InfoRequest:
         putStr(out, req.model);
@@ -220,6 +235,10 @@ encodeRequest(const Request &req, std::string &out)
             for (const float f : req.floats)
                 putU32(out, std::bit_cast<std::uint32_t>(f));
         }
+        // Optional trailing deadline: appended only when set, so a
+        // deadline-free frame is byte-identical to the older format.
+        if (req.deadlineMs != 0)
+            putU32(out, req.deadlineMs);
         break;
       }
       default:
@@ -264,6 +283,24 @@ encodeResponse(const Response &res, std::string &out)
       case FrameType::ShutdownResponse:
         putU8(out, res.code);
         break;
+      case FrameType::HealthResponse: {
+        putU8(out, res.code);
+        const HealthSnapshot &h = res.health;
+        putU64(out, h.requests);
+        putU64(out, h.rows);
+        putU64(out, h.shed);
+        putU64(out, h.backpressured);
+        putU64(out, h.deadlineExpired);
+        putU64(out, h.canaryShadows);
+        putU64(out, h.canaryCleanStreak);
+        putU64(out, h.canaryQuarantines);
+        putU64(out, h.canaryPromotions);
+        putU64(out, h.rollbacks);
+        putU8(out, h.canaryState);
+        putU64(out, std::bit_cast<std::uint64_t>(h.lastDivergence));
+        putU64(out, std::bit_cast<std::uint64_t>(h.meanDivergence));
+        break;
+      }
       default:
         break;  // request types never encode as responses
     }
@@ -282,6 +319,7 @@ decodeRequest(const char *body, std::size_t size, Request &out)
     switch (out.type) {
       case FrameType::ListRequest:
       case FrameType::ShutdownRequest:
+      case FrameType::HealthRequest:
         return c.left == 0;
       case FrameType::InfoRequest:
         return c.getStr(out.model) && c.left == 0;
@@ -303,12 +341,21 @@ decodeRequest(const char *body, std::size_t size, Request &out)
         // multiplying the client-controlled dims: rows*cols*4 can wrap
         // to a small value and turn a 20-byte frame into a huge
         // resize().  c.left is already bounded by maxBody, so a
-        // passing check also bounds the element count.
+        // passing check also bounds the element count.  The optional
+        // trailing u32 deadline is resolved by exact size: the body
+        // after the payload must be empty or exactly four bytes; any
+        // other trailing length stays a malformed frame.
+        bool hasDeadline = false;
         if (out.payload == PayloadKind::Packed) {
             const std::uint64_t words =
                 static_cast<std::uint64_t>(out.rows) *
                 linalg::bitWords(out.cols);
-            if (c.left % 8 != 0 || c.left / 8 != words)
+            if (c.left % 8 == 4) {
+                hasDeadline = true;
+            } else if (c.left % 8 != 0) {
+                return false;
+            }
+            if ((c.left - (hasDeadline ? 4 : 0)) / 8 != words)
                 return false;
             out.words.resize(static_cast<std::size_t>(words));
             for (std::uint64_t &w : out.words)
@@ -316,7 +363,11 @@ decodeRequest(const char *body, std::size_t size, Request &out)
         } else if (out.payload == PayloadKind::Float) {
             const std::uint64_t floats =
                 static_cast<std::uint64_t>(out.rows) * out.cols;
-            if (c.left % 4 != 0 || c.left / 4 != floats)
+            if (c.left % 4 != 0)
+                return false;
+            if (c.left / 4 == floats + 1)
+                hasDeadline = true;
+            else if (c.left / 4 != floats)
                 return false;
             out.floats.resize(static_cast<std::size_t>(floats));
             for (float &f : out.floats) {
@@ -324,7 +375,15 @@ decodeRequest(const char *body, std::size_t size, Request &out)
                 c.getU32(bits);
                 f = std::bit_cast<float>(bits);
             }
+        } else {
+            hasDeadline = c.left == 4;
         }
+        // The encoder appends the field only when nonzero, so an
+        // explicit zero deadline is a malformed frame -- it keeps
+        // "payload plus four junk bytes" from decoding as legitimate.
+        if (hasDeadline &&
+            (!c.getU32(out.deadlineMs) || out.deadlineMs == 0))
+            return false;
         return c.left == 0;
       }
       default:
@@ -388,6 +447,23 @@ decodeResponse(const char *body, std::size_t size, Response &out)
       }
       case FrameType::ShutdownResponse:
         return c.getU8(out.code) && c.left == 0;
+      case FrameType::HealthResponse: {
+        HealthSnapshot &h = out.health;
+        std::uint64_t last = 0, mean = 0;
+        if (!c.getU8(out.code) || !c.getU64(h.requests) ||
+            !c.getU64(h.rows) || !c.getU64(h.shed) ||
+            !c.getU64(h.backpressured) || !c.getU64(h.deadlineExpired) ||
+            !c.getU64(h.canaryShadows) ||
+            !c.getU64(h.canaryCleanStreak) ||
+            !c.getU64(h.canaryQuarantines) ||
+            !c.getU64(h.canaryPromotions) || !c.getU64(h.rollbacks) ||
+            !c.getU8(h.canaryState) || !c.getU64(last) ||
+            !c.getU64(mean))
+            return false;
+        h.lastDivergence = std::bit_cast<double>(last);
+        h.meanDivergence = std::bit_cast<double>(mean);
+        return c.left == 0;
+      }
       default:
         return false;
     }

@@ -17,6 +17,17 @@
  * on the packed zero-copy gather path with no float round-trip on the
  * wire; float rows travel as raw IEEE-754 bytes, so served bytes are
  * bit-identical to the in-process path for either payload kind.
+ * An Infer body may end with an *optional* trailing u32 deadline_ms
+ * (relative request budget; the server answers DEADLINE_EXCEEDED
+ * without kernel work once it expires).  The field is appended only
+ * when nonzero, so frames from older clients -- which simply end at
+ * the payload -- still decode, and frames with the field are exactly
+ * four bytes longer (any other trailing length stays malformed).
+ *
+ * A Health request (empty body) returns a HealthSnapshot: the serving
+ * counters plus the live-canary gate state, so an operator or the
+ * `promote --live` driver can watch a server without load-bearing
+ * traffic.
  *
  * Responses carry a wire status code (engine::StatusCode plus
  * OVERLOADED for admission-control sheds) and the op's output: raw
@@ -50,10 +61,12 @@ enum class FrameType : std::uint8_t {
     InfoRequest = 2,
     InferRequest = 3,
     ShutdownRequest = 4,
+    HealthRequest = 5,
     ListResponse = 65,
     InfoResponse = 66,
     InferResponse = 67,
     ShutdownResponse = 68,
+    HealthResponse = 69,
 };
 
 /** How an Infer request's rows travel. */
@@ -73,10 +86,36 @@ enum : std::uint8_t {
     kWireInternal = 5,
     kWireOverloaded = 6,
     kWireBadFrame = 7,
+    kWireDeadlineExceeded = 8,
 };
 
 std::uint8_t wireCode(engine::StatusCode code);
 const char *wireCodeName(std::uint8_t code);
+
+/**
+ * Point-in-time serving/canary counters (Health responses).  The
+ * canaryState byte mirrors engine::Server's gate machine: 0 = no
+ * candidate, 1 = shadowing, 2 = quarantined (backoff), 3 = promoted.
+ */
+struct HealthSnapshot
+{
+    std::uint64_t requests = 0;         ///< engine requests submitted
+    std::uint64_t rows = 0;             ///< rows served
+    std::uint64_t shed = 0;             ///< admission sheds (OVERLOADED)
+    std::uint64_t backpressured = 0;    ///< reads paused (backlog cap)
+    std::uint64_t deadlineExpired = 0;  ///< DEADLINE_EXCEEDED answers
+    std::uint64_t canaryShadows = 0;    ///< shadow executions
+    std::uint64_t canaryCleanStreak = 0;  ///< consecutive clean shadows
+    std::uint64_t canaryQuarantines = 0;  ///< gate breaches -> backoff
+    std::uint64_t canaryPromotions = 0;   ///< live auto-promotes
+    std::uint64_t rollbacks = 0;        ///< rollbacks (offline + live)
+    std::uint8_t canaryState = 0;       ///< gate state (see above)
+    double lastDivergence = 0.0;        ///< most recent shadow MAE
+    double meanDivergence = 0.0;        ///< mean shadow MAE so far
+};
+
+/** Log/CLI spelling of a HealthSnapshot::canaryState value. */
+const char *canaryStateName(std::uint8_t state);
 
 /** One model's metadata (List/Info responses). */
 struct ModelInfo
@@ -101,6 +140,9 @@ struct Request
     std::uint64_t seed = 0;
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
+    /** Relative request budget in ms; 0 = no deadline.  Travels as an
+     *  optional trailing field (appended only when nonzero). */
+    std::uint32_t deadlineMs = 0;
     std::vector<std::uint64_t> words;  ///< Packed payload
     std::vector<float> floats;         ///< Float payload
 };
@@ -117,6 +159,7 @@ struct Response
     std::vector<float> floats;     ///< output rows (raw bytes)
     std::vector<std::int32_t> labels;  ///< Classify results
     std::vector<ModelInfo> models;     ///< List (all) / Info (one)
+    HealthSnapshot health;             ///< Health response payload
 };
 
 /** Append @p req as one complete frame (length prefix included). */

@@ -25,14 +25,18 @@ namespace ising::net {
 
 namespace {
 
+/** Reconnect attempts per connection before the run gives up. */
+constexpr int kMaxReconnectAttempts = 10;
+
 /** Encode one corpus request as a complete Infer frame. */
 std::string
 encodeCorpusFrame(const engine::Request &req, std::uint32_t id,
-                  bool packedPayload)
+                  bool packedPayload, std::uint32_t deadlineMs)
 {
     Request frame;
     frame.type = FrameType::InferRequest;
     frame.id = id;
+    frame.deadlineMs = deadlineMs;
     frame.model = req.model;
     frame.op = req.op;
     frame.steps = req.steps;
@@ -72,6 +76,17 @@ struct GenConn
     FrameReader reader;
     std::string out;
     std::size_t outPos = 0;
+    /**
+     * Self-healing state.  Corpus indices assigned to this connection
+     * stay listed until their response arrives, so a reconnect can
+     * rebuild the outgoing buffer and resend them all -- safe because
+     * a response is a pure function of the request tuple, so the
+     * duplicate execution returns bit-identical bytes.
+     */
+    std::vector<std::uint32_t> unanswered;
+    bool down = false;
+    int attempts = 0;        ///< consecutive failed reconnects
+    double reconnectAt = 0;  ///< watch-seconds of the next attempt
 };
 
 } // namespace
@@ -143,7 +158,8 @@ runLoadGen(const LoadGenConfig &config)
         const engine::Request &req =
             hit ? warm[pick.uniformInt(warm.size())] : unique[q];
         frames[q] = encodeCorpusFrame(req, static_cast<std::uint32_t>(q),
-                                      config.packedPayload);
+                                      config.packedPayload,
+                                      config.deadlineMs);
         rowsOf[q] = config.op == engine::Op::Sample ? req.count
                                                     : req.input.rows();
     }
@@ -182,19 +198,71 @@ runLoadGen(const LoadGenConfig &config)
     std::size_t completed = 0;
     std::string body;
     std::vector<pollfd> fds(nConns);
+
+    // A severed connection is healed, not fatal: close, back off, and
+    // let the reconnect pass below rebuild + resend its unanswered
+    // requests.  Anything partially received is discarded (the fresh
+    // FrameReader) and re-asked for.
+    const auto sever = [&](std::size_t c) {
+        GenConn &conn = conns[c];
+        clients[c].close();
+        conn.fd = -1;
+        conn.down = true;
+        conn.out.clear();
+        conn.outPos = 0;
+        conn.reader = FrameReader();
+        const long backoffMs = std::min<long>(
+            50l << std::min(conn.attempts, 5), 2000);
+        conn.reconnectAt = watch.seconds() + backoffMs / 1000.0;
+    };
+
     while (completed < config.requests) {
-        const double now = watch.seconds();
+        double now = watch.seconds();
+
+        // Heal downed connections whose backoff has elapsed.
+        for (std::size_t c = 0; c < nConns; ++c) {
+            GenConn &conn = conns[c];
+            if (!conn.down || now < conn.reconnectAt)
+                continue;
+            std::string error;
+            if (!clients[c].connect(config.host, config.port, &error)) {
+                if (++conn.attempts >= kMaxReconnectAttempts)
+                    return fail("loadgen: reconnect failed after " +
+                                std::to_string(conn.attempts) +
+                                " attempts: " + error);
+                const long backoffMs = std::min<long>(
+                    50l << std::min(conn.attempts, 5), 2000);
+                conn.reconnectAt = now + backoffMs / 1000.0;
+                continue;
+            }
+            conn.fd = clients[c].fd();
+            ::fcntl(conn.fd, F_SETFL,
+                    ::fcntl(conn.fd, F_GETFL, 0) | O_NONBLOCK);
+            conn.down = false;
+            conn.attempts = 0;
+            conn.reader = FrameReader();
+            ++report.reconnects;
+            report.retries += conn.unanswered.size();
+            for (const std::uint32_t id : conn.unanswered)
+                conn.out.append(frames[id]);
+            lastProgress = now;  // healing is progress, not a hang
+        }
 
         // Open loop: every request whose arrival time has passed goes
-        // into its connection's buffer regardless of response state.
+        // into its connection's buffer regardless of response state
+        // (a downed connection just queues it for the resend pass).
         while (next < config.requests && arrival[next] <= now) {
-            conns[next % nConns].out.append(frames[next]);
+            GenConn &conn = conns[next % nConns];
+            conn.unanswered.push_back(
+                static_cast<std::uint32_t>(next));
+            if (!conn.down)
+                conn.out.append(frames[next]);
             ++report.sent;
             ++next;
         }
 
         for (std::size_t c = 0; c < nConns; ++c) {
-            fds[c].fd = conns[c].fd;
+            fds[c].fd = conns[c].down ? -1 : conns[c].fd;
             fds[c].events = static_cast<short>(
                 POLLIN |
                 (conns[c].outPos < conns[c].out.size() ? POLLOUT : 0));
@@ -212,7 +280,10 @@ runLoadGen(const LoadGenConfig &config)
 
         for (std::size_t c = 0; c < nConns; ++c) {
             GenConn &conn = conns[c];
+            if (conn.down)
+                continue;
             if (fds[c].revents & POLLOUT) {
+                bool severed = false;
                 while (conn.outPos < conn.out.size()) {
                     const ssize_t n = ::send(
                         conn.fd, conn.out.data() + conn.outPos,
@@ -226,9 +297,12 @@ runLoadGen(const LoadGenConfig &config)
                         break;
                     if (n < 0 && errno == EINTR)
                         continue;
-                    return fail("loadgen: send failed: " +
-                                std::string(std::strerror(errno)));
+                    sever(c);  // EPIPE/ECONNRESET: heal, don't abort
+                    severed = true;
+                    break;
                 }
+                if (severed)
+                    continue;
                 if (conn.outPos >= conn.out.size()) {
                     conn.out.clear();
                     conn.outPos = 0;
@@ -236,6 +310,7 @@ runLoadGen(const LoadGenConfig &config)
             }
             if (!(fds[c].revents & (POLLIN | POLLHUP | POLLERR)))
                 continue;
+            bool severed = false;
             while (true) {
                 char buf[65536];
                 const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
@@ -244,15 +319,18 @@ runLoadGen(const LoadGenConfig &config)
                                      static_cast<std::size_t>(n));
                     continue;
                 }
-                if (n == 0)
-                    return fail("loadgen: server closed connection "
-                                "mid-run");
+                if (n == 0) {
+                    // Mid-run EOF (server restart, injected netdrop):
+                    // decode what arrived whole, then heal.
+                    severed = true;
+                    break;
+                }
                 if (errno == EAGAIN || errno == EWOULDBLOCK)
                     break;
                 if (errno == EINTR)
                     continue;
-                return fail("loadgen: recv failed: " +
-                            std::string(std::strerror(errno)));
+                severed = true;
+                break;
             }
             const double done = watch.seconds();
             while (conn.reader.next(body)) {
@@ -264,6 +342,8 @@ runLoadGen(const LoadGenConfig &config)
                     return fail("loadgen: unexpected response frame");
                 if (res.code == kWireOverloaded) {
                     ++report.shed;
+                } else if (res.code == kWireDeadlineExceeded) {
+                    ++report.deadlineExpired;
                 } else if (res.code == kWireOk) {
                     ++report.ok;
                     report.okRows += rowsOf[res.id];
@@ -272,6 +352,11 @@ runLoadGen(const LoadGenConfig &config)
                 } else {
                     ++report.failed;
                 }
+                const auto answered =
+                    std::find(conn.unanswered.begin(),
+                              conn.unanswered.end(), res.id);
+                if (answered != conn.unanswered.end())
+                    conn.unanswered.erase(answered);
                 if (config.keepResponses)
                     report.responses[res.id] = std::move(res);
                 ++completed;
@@ -279,6 +364,8 @@ runLoadGen(const LoadGenConfig &config)
             }
             if (conn.reader.overflow())
                 return fail("loadgen: oversized response frame");
+            if (severed)
+                sever(c);
         }
 
         if (watch.seconds() - lastProgress > config.progressTimeoutSec)

@@ -18,6 +18,14 @@
  * the wire.  One thread drives N connections with poll(); latencies
  * land in a util::Histogram (p50/p90/p99/p99.9), sheds are counted
  * separately.
+ *
+ * Self-healing: a connection severed mid-run (server restart,
+ * injected netdrop, reset) does not abort the run.  The generator
+ * reconnects with capped exponential backoff and resends that
+ * connection's unanswered requests -- safe because responses are pure
+ * functions of the request tuple -- and reports the retries and
+ * reconnects instead of an error.  Requests carrying a deadline
+ * budget count DEADLINE_EXCEEDED replies separately from failures.
  */
 
 #ifndef ISINGRBM_NET_LOADGEN_HPP
@@ -52,6 +60,10 @@ struct LoadGenConfig
     int hitPct = 0;
     std::size_t warmCount = 16;  ///< warm-set size for hitPct > 0
     bool packedPayload = true;   ///< binary rows travel packed
+    /** Per-request deadline budget in ms carried on every Infer frame
+     *  (0 = none).  DEADLINE_EXCEEDED replies are counted in
+     *  LoadGenReport::deadlineExpired, separate from failures. */
+    std::uint32_t deadlineMs = 0;
     /** Input width; 0 = ask the server (Info frame) before starting. */
     std::size_t inputDim = 0;
     /** Keep each response (corpus order) for byte-diff dumps. */
@@ -68,6 +80,13 @@ struct LoadGenReport
     std::size_t ok = 0;
     std::size_t shed = 0;     ///< OVERLOADED replies
     std::size_t failed = 0;   ///< non-ok, non-shed replies
+    /** DEADLINE_EXCEEDED replies: the budget ran out, by design --
+     *  neither a success nor a failure. */
+    std::size_t deadlineExpired = 0;
+    /** Requests resent after a severed connection (self-healing). */
+    std::size_t retries = 0;
+    /** Successful mid-run reconnects. */
+    std::size_t reconnects = 0;
     std::size_t okRows = 0;   ///< rows served across ok replies
     double seconds = 0;       ///< first send to last completion
     util::Histogram latencyNs;  ///< ok requests only
@@ -76,9 +95,11 @@ struct LoadGenReport
 
     double reqPerSec() const
     {
-        return seconds > 0 ? static_cast<double>(ok + shed + failed) /
-                                 seconds
-                           : 0;
+        return seconds > 0
+                   ? static_cast<double>(ok + shed + failed +
+                                         deadlineExpired) /
+                         seconds
+                   : 0;
     }
 
     double rowsPerSec() const

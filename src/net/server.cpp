@@ -14,6 +14,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -113,17 +114,25 @@ void
 NetServer::run()
 {
     epoll_event events[kMaxEvents];
+    statsLastAt_ = loopClock().seconds();
+    statsNextAt_ = statsLastAt_ + config_.statsEveryMs / 1000.0;
     while (true) {
         double now = loopClock().seconds();
 
         // Wake at least every 200 ms to poll the stop latch and the
-        // idle deadlines; sooner when a deadline is nearer.
+        // idle deadlines; sooner when a deadline (or the next stats
+        // ledger tick) is nearer.
         int timeoutMs = draining_ ? 10 : 200;
         for (const auto &[fd, conn] : conns_) {
             const double deadline =
                 conn.lastActivity + config_.idleTimeoutMs / 1000.0;
             const int remaining =
                 static_cast<int>((deadline - now) * 1000.0) + 1;
+            timeoutMs = std::clamp(remaining, 0, timeoutMs);
+        }
+        if (config_.statsEveryMs > 0) {
+            const int remaining =
+                static_cast<int>((statsNextAt_ - now) * 1000.0) + 1;
             timeoutMs = std::clamp(remaining, 0, timeoutMs);
         }
 
@@ -174,6 +183,11 @@ NetServer::run()
             drainConn(conn, now);
         }
         reapIdle(now);
+
+        if (config_.statsEveryMs > 0 && now >= statsNextAt_) {
+            logStatsLine(now);
+            statsNextAt_ = now + config_.statsEveryMs / 1000.0;
+        }
 
         if (draining_) {
             const bool drained =
@@ -304,6 +318,16 @@ NetServer::handleFrame(Conn &conn, const std::string &body)
         requestStop();
         return true;
       }
+      case FrameType::HealthRequest: {
+        Response res;
+        res.type = FrameType::HealthResponse;
+        res.health = healthSnapshot();
+        auto reply = std::make_shared<Reply>();
+        encodeResponse(res, reply->bytes);
+        reply->ready = true;
+        conn.slots.push_back(std::move(reply));
+        return true;
+      }
       case FrameType::InferRequest:
         handleInfer(conn, req);
         return true;
@@ -343,6 +367,13 @@ NetServer::handleInfer(Conn &conn, Request &req)
     ereq.op = req.op;
     ereq.steps = req.steps;
     ereq.seed = req.seed;
+    // The relative wire budget becomes absolute here, at admission:
+    // the engine re-checks it at flush, so queueing (or shadow work)
+    // that eats the budget turns into DEADLINE_EXCEEDED, not silence.
+    if (req.deadlineMs != 0)
+        ereq.deadlineNs =
+            engine::steadyNowNs() +
+            static_cast<std::uint64_t>(req.deadlineMs) * 1000000ull;
     if (req.op == engine::Op::Sample) {
         ereq.count = rows;
     } else if (req.payload == PayloadKind::Packed) {
@@ -540,6 +571,55 @@ NetServer::closeConn(int fd)
     ::close(fd);
     conns_.erase(it);
     ++stats_.closed;
+}
+
+HealthSnapshot
+NetServer::healthSnapshot() const
+{
+    const engine::Server::Stats es = engine_.stats();
+    HealthSnapshot h;
+    h.requests = es.requests;
+    h.rows = es.rows;
+    h.shed = stats_.shed;
+    h.backpressured = stats_.backpressured;
+    h.deadlineExpired = es.deadlineExpired;
+    h.canaryShadows = es.canaryShadows;
+    h.canaryCleanStreak = es.canaryCleanStreak;
+    h.canaryQuarantines = es.canaryQuarantines;
+    h.canaryPromotions = es.canaryPromotions;
+    h.rollbacks = es.rollbacks;
+    h.canaryState = es.canaryState;
+    h.lastDivergence = es.canaryLastDivergence;
+    h.meanDivergence = es.canaryDivergenceNano.count() > 0
+                           ? es.canaryDivergenceNano.mean() / 1e9
+                           : 0.0;
+    return h;
+}
+
+void
+NetServer::logStatsLine(double now)
+{
+    const HealthSnapshot h = healthSnapshot();
+    const double dt = now - statsLastAt_;
+    const double rate =
+        dt > 0 ? static_cast<double>(h.requests - statsLastRequests_) / dt
+               : 0.0;
+    statsLastAt_ = now;
+    statsLastRequests_ = static_cast<std::size_t>(h.requests);
+    // One line, stderr: greppable by the smoke harness, and safe in a
+    // pipeline whose stdout reader may already have exited.
+    std::fprintf(stderr,
+                 "serve: %.1f req/s | conns %zu | shed %llu | "
+                 "backpressured %llu | deadline-expired %llu | "
+                 "canary %s shadows=%llu streak=%llu divergence=%.6f\n",
+                 rate, conns_.size(),
+                 static_cast<unsigned long long>(h.shed),
+                 static_cast<unsigned long long>(h.backpressured),
+                 static_cast<unsigned long long>(h.deadlineExpired),
+                 canaryStateName(h.canaryState),
+                 static_cast<unsigned long long>(h.canaryShadows),
+                 static_cast<unsigned long long>(h.canaryCleanStreak),
+                 h.lastDivergence);
 }
 
 void

@@ -87,6 +87,14 @@ struct NetConfig
      */
     std::size_t maxConnBacklog = 0;
 
+    /**
+     * Print a one-line serving/canary ledger to stderr this often
+     * (milliseconds); 0 disables.  The operator's heartbeat:
+     * req/s, sheds, backpressure, deadline expiries and the live
+     * canary gate state without attaching a client.
+     */
+    int statsEveryMs = 0;
+
     /** Extra stop condition polled each cycle (the CLI passes the
      *  SIGINT/SIGTERM latch); may be empty. */
     std::function<bool()> stopRequested;
@@ -143,6 +151,10 @@ class NetServer
     /** The engine broker underneath (stats, tests). */
     engine::Server &engine() { return engine_; }
 
+    /** Point-in-time serving + canary counters (the Health frame's
+     *  payload and the --stats-every-ms ledger's source). */
+    HealthSnapshot healthSnapshot() const;
+
   private:
     /** One reply slot; per-connection slots resolve in FIFO order so
      *  pipelined responses match request order. */
@@ -189,6 +201,7 @@ class NetServer
     void closeConn(int fd);
     void reapIdle(double now);
     bool stopping() const;
+    void logStatsLine(double now);
 
     engine::ModelRegistry &registry_;
     NetConfig config_;
@@ -205,6 +218,11 @@ class NetServer
     bool draining_ = false;
     double drainDeadline_ = 0;
     Stats stats_;
+
+    // --stats-every-ms ledger state (loop-clock seconds).
+    double statsNextAt_ = 0;
+    double statsLastAt_ = 0;
+    std::size_t statsLastRequests_ = 0;
 };
 
 } // namespace ising::net

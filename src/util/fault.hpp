@@ -33,7 +33,11 @@
  * fires on every Kth.  Crash points currently wired:
  * checkpoint.before-write, checkpoint.after-temp-write,
  * checkpoint.before-rename, checkpoint.after-rename,
- * promote.before-publish, promote.after-publish.
+ * promote.before-publish, promote.after-publish, and in the
+ * live-canary promote path: canary.stage (candidate staging),
+ * canary.before-promote (gate passed, nothing published yet) and
+ * canary.after-promote (candidate published and installed) -- the
+ * publish in between also crosses promote.before/after-publish.
  *
  * Everything is a no-op (one relaxed atomic load) when no faults are
  * armed, so production binaries pay nothing.

@@ -1,0 +1,195 @@
+# Live-canary chaos stage (registered as the cli_smoke_canary ctest):
+# a real serve process routes live loadgen traffic into shadow
+# execution against a staged candidate, auto-promotes through the gate,
+# and is byte-diffed against a canary-off run -- then the same pipeline
+# survives a torn candidate and an injected mid-reply connection drop.
+#
+#   cmake -DCLI=<isingrbm binary> -DWORK=<scratch dir>
+#         -P cli_smoke_canary.cmake
+#
+# Every canary-on response must be byte-identical to the canary-off
+# baseline: shadow execution moves time and gate counters, never a
+# client-visible bit.  The candidate is a byte-copy of the incumbent,
+# so the identity also holds *across* the auto-promote.
+#
+# The file doubles as its own concurrent helper: -DMODE=live-driver
+# re-enters it as the downstream COMMAND of an execute_process pipeline
+# beside a live serve process (traffic -> promote --live -> shutdown).
+# Helper output goes through captured execute_process variables and
+# message() (stderr), never bare stdout -- the pipeline's downstream
+# reader may already have exited, and a write to its closed stdin would
+# kill the script with SIGPIPE.
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK)
+  message(FATAL_ERROR "cli_smoke_canary: pass -DCLI=<binary> -DWORK=<dir>")
+endif()
+
+function(run_leg outvar)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  string(JOIN " " pretty ${ARGN})
+  message(STATUS "cli_smoke_canary: ${pretty}")
+  if(out)
+    message(STATUS "${out}")
+  endif()
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cli_smoke_canary: '${pretty}' failed "
+                        "(${code}): ${err}")
+  endif()
+  set(${outvar} "${out}" PARENT_SCOPE)
+endfunction()
+
+# ---------------------------------------------------------------------
+# live-driver mode: runs beside `serve --canary` in the pipeline leg.
+if(DEFINED MODE AND MODE STREQUAL "live-driver")
+  # Enough traffic at fraction 1.0 to clear --canary-min-shadows 4 and
+  # trip the auto-promote while requests are still arriving.
+  run_leg(traffic_out ${CLI} loadgen --port-file ${WORK}/live.port
+          --model live --op reconstruct --requests 16 --rows 4
+          --steps 10 --seed 13 --connections 2 --deadline-ms 5000
+          --out ${WORK}/live-on.txt)
+  # The gate has decided by now; promote --live translates its verdict
+  # to the offline promote exit contract (0 = shipped).
+  run_leg(live_out ${CLI} promote --live --port-file ${WORK}/live.port
+          --poll-ms 50 --timeout-sec 30)
+  if(NOT live_out MATCHES "promoted")
+    message(FATAL_ERROR "cli_smoke_canary: promote --live saw no "
+                        "promotion: ${live_out}")
+  endif()
+  # Post-promote traffic plus the shutdown frame that drains the server.
+  run_leg(post_out ${CLI} loadgen --port-file ${WORK}/live.port
+          --model live --op reconstruct --requests 16 --rows 4
+          --steps 10 --seed 13 --connections 2
+          --out ${WORK}/live-post.txt --shutdown)
+  return()
+endif()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+# Variant of the pipeline runner: two concurrent COMMANDs, both must
+# exit 0; stderr (serve ledger, warnings) is surfaced on failure.
+function(run_pipeline label)
+  cmake_parse_arguments(PIPE "" "" "SERVE;DRIVE" ${ARGN})
+  execute_process(COMMAND ${PIPE_SERVE}
+                  COMMAND ${PIPE_DRIVE}
+                  TIMEOUT 120
+                  RESULTS_VARIABLE codes
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  message(STATUS "cli_smoke_canary: ${label}")
+  if(out)
+    message(STATUS "${out}")
+  endif()
+  foreach(code IN LISTS codes)
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR "cli_smoke_canary: ${label} failed "
+                          "(exit codes: ${codes}): ${err}")
+    endif()
+  endforeach()
+  set(pipeline_out "${out}" PARENT_SCOPE)
+  set(pipeline_err "${err}" PARENT_SCOPE)
+endfunction()
+
+# One tiny incumbent, and a candidate that is its exact byte-copy --
+# divergence is identically zero, so the gate promotes and the served
+# bytes are invariant whichever archive is live.
+run_leg(ignored ${CLI} train --registry ${WORK}/reg --name live
+        --samples 120 --hidden 10 --epochs 1 --k 1)
+run_leg(ignored ${CMAKE_COMMAND} -E copy ${WORK}/reg/live.ckpt
+        ${WORK}/cand.ckpt)
+
+# ---------------------------------------------------------------------
+# Baseline: the identical corpus with the canary off.
+run_pipeline("canary-off baseline"
+  SERVE ${CLI} serve --registry ${WORK}/reg --port 0
+        --port-file ${WORK}/off.port
+  DRIVE ${CLI} loadgen --port-file ${WORK}/off.port --model live
+        --op reconstruct --requests 16 --rows 4 --steps 10 --seed 13
+        --connections 2 --out ${WORK}/live-off.txt --shutdown)
+
+# ---------------------------------------------------------------------
+# Live canary under traffic with deadlines: shadows accumulate, the
+# gate auto-promotes after 4 clean shadows, promote --live watches the
+# whole arc over Health frames, and the served bytes never move.  The
+# generous --deadline-ms also proves a carried deadline does not
+# perturb results (only late requests are answered differently).
+run_pipeline("live canary + promote --live + deadlines"
+  SERVE ${CLI} serve --registry ${WORK}/reg --port 0
+        --port-file ${WORK}/live.port --canary ${WORK}/cand.ckpt
+        --canary-fraction 1.0 --canary-min-shadows 4
+        --stats-every-ms 25
+  DRIVE ${CMAKE_COMMAND} -DCLI=${CLI} -DWORK=${WORK} -DMODE=live-driver
+        -P ${CMAKE_CURRENT_LIST_DIR}/cli_smoke_canary.cmake)
+run_leg(ignored ${CMAKE_COMMAND} -E compare_files
+        ${WORK}/live-off.txt ${WORK}/live-on.txt)
+run_leg(ignored ${CMAKE_COMMAND} -E compare_files
+        ${WORK}/live-off.txt ${WORK}/live-post.txt)
+if(NOT pipeline_err MATCHES "canary: promoted")
+  message(FATAL_ERROR "cli_smoke_canary: serve never reported the "
+                      "gate promoting: ${pipeline_err}")
+endif()
+if(NOT pipeline_err MATCHES "serve: [0-9.]+ req/s")
+  message(FATAL_ERROR "cli_smoke_canary: --stats-every-ms emitted no "
+                      "ledger line: ${pipeline_err}")
+endif()
+
+# ---------------------------------------------------------------------
+# Torn candidate: serving must warn, refuse the stage, and keep serving
+# the incumbent bit-for-bit with the gate idle.
+file(READ ${WORK}/cand.ckpt torn_head LIMIT 200)
+file(WRITE ${WORK}/torn.ckpt "${torn_head}")
+run_pipeline("torn candidate is refused, incumbent serves"
+  SERVE ${CLI} serve --registry ${WORK}/reg --port 0
+        --port-file ${WORK}/torn.port --canary ${WORK}/torn.ckpt
+        --canary-fraction 1.0 --canary-min-shadows 4
+  DRIVE ${CLI} loadgen --port-file ${WORK}/torn.port --model live
+        --op reconstruct --requests 16 --rows 4 --steps 10 --seed 13
+        --connections 2 --out ${WORK}/live-torn.txt --shutdown)
+run_leg(ignored ${CMAKE_COMMAND} -E compare_files
+        ${WORK}/live-off.txt ${WORK}/live-torn.txt)
+if(NOT pipeline_err MATCHES "canary stage failed")
+  message(FATAL_ERROR "cli_smoke_canary: torn candidate staged "
+                      "silently: ${pipeline_err}")
+endif()
+
+# ---------------------------------------------------------------------
+# Injected mid-reply connection drop: the self-healing client must
+# reconnect, resend, and record the same bytes -- zero failures.
+# conn:1 is the loadgen's Info round trip; conn:2 is the first load
+# connection, whose first reply gets chopped mid-frame.
+run_pipeline("netdrop mid-reply, loadgen self-heals"
+  SERVE ${CMAKE_COMMAND} -E env ISINGRBM_FAULTS=netdrop:conn:2@1
+        ${CLI} serve --registry ${WORK}/reg --port 0
+        --port-file ${WORK}/drop.port
+  DRIVE ${CLI} loadgen --port-file ${WORK}/drop.port --model live
+        --op reconstruct --requests 16 --rows 4 --steps 10 --seed 13
+        --connections 2 --out ${WORK}/live-drop.txt --shutdown)
+run_leg(ignored ${CMAKE_COMMAND} -E compare_files
+        ${WORK}/live-off.txt ${WORK}/live-drop.txt)
+if(NOT pipeline_out MATCHES "[1-9][0-9]* reconnects")
+  message(FATAL_ERROR "cli_smoke_canary: injected netdrop produced no "
+                      "reconnect -- the client did not self-heal: "
+                      "${pipeline_out}")
+endif()
+if(NOT pipeline_out MATCHES " 0 failed")
+  message(FATAL_ERROR "cli_smoke_canary: netdrop leg counted failures "
+                      "instead of healing: ${pipeline_out}")
+endif()
+
+# ---------------------------------------------------------------------
+# Tight deadlines under a saturating burst: late requests are answered
+# DEADLINE_EXCEEDED (reported separately), never failed -- and the run
+# still drains cleanly whether or not any budget actually expired.
+run_pipeline("tight per-request deadlines"
+  SERVE ${CLI} serve --registry ${WORK}/reg --port 0
+        --port-file ${WORK}/dl.port
+  DRIVE ${CLI} loadgen --port-file ${WORK}/dl.port --model live
+        --op reconstruct --requests 64 --rows 4 --steps 10 --seed 13
+        --connections 1 --deadline-ms 1 --shutdown)
+if(NOT pipeline_out MATCHES " 0 failed")
+  message(FATAL_ERROR "cli_smoke_canary: expired deadlines were "
+                      "counted as failures: ${pipeline_out}")
+endif()

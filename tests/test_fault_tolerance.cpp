@@ -22,6 +22,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -99,6 +100,14 @@ spit(const std::string &path, const std::string &bytes)
 {
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool
+sameBytes(const linalg::Matrix &a, const linalg::Matrix &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(float)) == 0;
 }
 
 class FaultToleranceTest : public ::testing::Test
@@ -298,6 +307,117 @@ TEST_F(FaultToleranceTest, CrashBeforeRenameLeavesOldArchiveIntact)
     const auto back = rbm::tryLoadCheckpointFile(file);
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(back->meta.epoch, 2);
+}
+
+TEST_F(FaultToleranceTest, LiveCanaryCrashMatrixKeepsArchiveAndBytes)
+{
+    // Kill the server at every crash point of the live-canary path --
+    // staging, the gate's promote decision, and both sides of the
+    // archive publish -- while live traffic flows.  At each instant
+    // the on-disk archive must be either the old complete incumbent or
+    // the new complete candidate (never torn), and a restarted server
+    // must serve the exact baseline bytes.  Fork-style death tests:
+    // each leg builds registry + server (and its worker pool) in the
+    // forked child, so this must run before any test that spawns pool
+    // threads in the parent process.
+    constexpr std::size_t kDim = 6;
+    {
+        ModelRegistry setup(dir_);
+        setup.put("m", makeCkpt(copyRbm(kDim), 1));
+    }
+    const std::string archive = ModelRegistry(dir_).pathFor("m");
+    const std::string before = slurp(archive);
+    // The candidate carries the incumbent's exact weights (epoch 2),
+    // so served bytes are invariant whichever archive survives.
+    const std::string cand = path("cand.ckpt");
+    rbm::saveCheckpoint(makeCkpt(copyRbm(kDim), 2), cand);
+
+    const auto corpus = [] {
+        std::vector<Request> live;
+        for (std::size_t q = 0; q < 8; ++q) {
+            Request req;
+            req.model = "m";
+            req.op = Op::Reconstruct;
+            req.seed = 1000 + q;
+            req.input = engine::canaryProbe(2, kDim, req.seed);
+            live.push_back(std::move(req));
+        }
+        return live;
+    };
+
+    const auto liveLoop = [&](const char *point) {
+        util::FaultInjector::instance().reset();
+        util::FaultInjector::instance().configure(
+            std::string("crash:") + point);
+        ModelRegistry registry(dir_);
+        if (!registry.stageCandidate("m", cand).ok())
+            return;  // only crash:canary.stage dies in here
+        engine::ServerConfig config;
+        config.canary.model = "m";
+        config.canary.fraction = 1.0;
+        config.canary.minShadows = 2;
+        Server server(registry, config);
+        for (Request &req : corpus())
+            server.serve({std::move(req)});
+    };
+
+    // Before the publish instant the incumbent archive must be
+    // byte-for-byte untouched...
+    for (const char *point : {"canary.stage", "canary.before-promote",
+                              "promote.before-publish"}) {
+        EXPECT_EXIT(liveLoop(point),
+                    ::testing::ExitedWithCode(
+                        util::FaultInjector::kCrashExitCode),
+                    "")
+            << point;
+        EXPECT_EQ(slurp(archive), before) << point;
+        const auto back = rbm::tryLoadCheckpointFile(archive);
+        ASSERT_TRUE(back.has_value()) << point;
+        EXPECT_EQ(back->meta.epoch, 1) << point;
+    }
+
+    // ...and after it the new complete archive must be what loads.
+    for (const char *point :
+         {"promote.after-publish", "canary.after-promote"}) {
+        EXPECT_EXIT(liveLoop(point),
+                    ::testing::ExitedWithCode(
+                        util::FaultInjector::kCrashExitCode),
+                    "")
+            << point;
+        const auto back = rbm::tryLoadCheckpointFile(archive);
+        ASSERT_TRUE(back.has_value()) << point;
+        EXPECT_EQ(back->meta.epoch, 2) << point;
+        spit(archive, before);  // rewind for the next leg
+    }
+
+    // All crash legs done (thread-spawning is safe from here on).
+    // The canary-off baseline...
+    std::vector<Response> expected;
+    {
+        ModelRegistry fresh(dir_);
+        Server plain(fresh);
+        expected = plain.serve(corpus());
+    }
+    // ...is exactly what a restarted server serves while the same
+    // live loop runs to completion and promotes.
+    util::FaultInjector::instance().reset();
+    ModelRegistry recovered(dir_);
+    ASSERT_TRUE(recovered.stageCandidate("m", cand).ok());
+    engine::ServerConfig config;
+    config.canary.model = "m";
+    config.canary.fraction = 1.0;
+    config.canary.minShadows = 2;
+    Server server(recovered, config);
+    auto live = corpus();
+    for (std::size_t q = 0; q < live.size(); ++q) {
+        const auto got = server.serve({std::move(live[q])});
+        ASSERT_TRUE(got[0].status.ok()) << got[0].status.toString();
+        EXPECT_TRUE(sameBytes(got[0].output, expected[q].output)) << q;
+    }
+    EXPECT_GE(server.stats().canaryPromotions, 1u);
+    const auto promoted = rbm::tryLoadCheckpointFile(archive);
+    ASSERT_TRUE(promoted.has_value());
+    EXPECT_EQ(promoted->meta.epoch, 2);
 }
 
 TEST_F(FaultToleranceTest, InjectedTruncationProducesARejectedArchive)

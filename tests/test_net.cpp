@@ -742,3 +742,207 @@ TEST_F(NetTest, LoadGenMeasuresAndMatchesBaseline)
     for (std::size_t q = 0; q < gen.requests; ++q)
         expectSameBytes(report.responses[q], expected[q]);
 }
+
+// ----------------------------------------------- deadlines + canary
+
+TEST(NetFrame, DeadlineTravelsAsAnOptionalTrailingField)
+{
+    engine::Request req;
+    req.model = "m";
+    req.op = Op::Featurize;
+    req.seed = 3;
+    req.input.reset(2, 8);
+    net::Request bare = inferFrame(req, 1, net::PayloadKind::Float);
+    net::Request budgeted = bare;
+    budgeted.deadlineMs = 250;
+
+    std::string bareBytes, budgetBytes;
+    net::encodeRequest(bare, bareBytes);
+    net::encodeRequest(budgeted, budgetBytes);
+    // The field is appended only when nonzero, and is exactly 4 bytes.
+    EXPECT_EQ(budgetBytes.size(), bareBytes.size() + 4);
+
+    net::Request back;
+    ASSERT_TRUE(net::decodeRequest(budgetBytes.data() + 4,
+                                   budgetBytes.size() - 4, back));
+    EXPECT_EQ(back.deadlineMs, 250u);
+    ASSERT_TRUE(net::decodeRequest(bareBytes.data() + 4,
+                                   bareBytes.size() - 4, back));
+    EXPECT_EQ(back.deadlineMs, 0u);  // legacy frames still decode
+
+    // Any trailing length other than 0 or 4 stays malformed.
+    std::string torn(budgetBytes.begin() + 4, budgetBytes.end());
+    torn.pop_back();
+    EXPECT_FALSE(net::decodeRequest(torn.data(), torn.size(), back));
+    std::string bloated(bareBytes.begin() + 4, bareBytes.end());
+    bloated.append(2, '\0');
+    EXPECT_FALSE(
+        net::decodeRequest(bloated.data(), bloated.size(), back));
+    // An explicit zero deadline never leaves the encoder, so it is
+    // malformed on the wire too (junk padding must not decode).
+    std::string zeroed(bareBytes.begin() + 4, bareBytes.end());
+    zeroed.append(4, '\0');
+    EXPECT_FALSE(
+        net::decodeRequest(zeroed.data(), zeroed.size(), back));
+}
+
+TEST(NetFrame, HealthSnapshotRoundTripsEveryField)
+{
+    net::Response res;
+    res.type = net::FrameType::HealthResponse;
+    res.health.requests = 101;
+    res.health.rows = 404;
+    res.health.shed = 7;
+    res.health.backpressured = 3;
+    res.health.deadlineExpired = 11;
+    res.health.canaryShadows = 64;
+    res.health.canaryCleanStreak = 32;
+    res.health.canaryQuarantines = 2;
+    res.health.canaryPromotions = 1;
+    res.health.rollbacks = 5;
+    res.health.canaryState = 2;
+    res.health.lastDivergence = 0.125;
+    res.health.meanDivergence = 0.0625;
+
+    std::string bytes;
+    net::encodeResponse(res, bytes);
+    net::FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    std::string body;
+    ASSERT_TRUE(reader.next(body));
+    net::Response back;
+    ASSERT_TRUE(net::decodeResponse(body.data(), body.size(), back));
+    EXPECT_EQ(back.type, net::FrameType::HealthResponse);
+    EXPECT_EQ(back.health.requests, 101u);
+    EXPECT_EQ(back.health.rows, 404u);
+    EXPECT_EQ(back.health.shed, 7u);
+    EXPECT_EQ(back.health.backpressured, 3u);
+    EXPECT_EQ(back.health.deadlineExpired, 11u);
+    EXPECT_EQ(back.health.canaryShadows, 64u);
+    EXPECT_EQ(back.health.canaryCleanStreak, 32u);
+    EXPECT_EQ(back.health.canaryQuarantines, 2u);
+    EXPECT_EQ(back.health.canaryPromotions, 1u);
+    EXPECT_EQ(back.health.rollbacks, 5u);
+    EXPECT_EQ(back.health.canaryState, 2);
+    EXPECT_EQ(back.health.lastDivergence, 0.125);
+    EXPECT_EQ(back.health.meanDivergence, 0.0625);
+    EXPECT_STREQ(net::canaryStateName(2), "quarantined");
+}
+
+TEST_F(NetTest, HealthFrameReportsLiveCounters)
+{
+    const std::uint16_t port = startServer();
+    const auto model = registry_->get("m");
+    const auto corpus =
+        engine::probeRequests(*model, "m", Op::Reconstruct, 2, 2, 4, 3);
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    net::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", port));
+    net::Response res;
+    ASSERT_TRUE(client.call(inferFrame(corpus[0], 0,
+                                       net::PayloadKind::Packed),
+                            res));
+    expectSameBytes(res, expected[0]);
+
+    net::Request health;
+    health.type = net::FrameType::HealthRequest;
+    ASSERT_TRUE(client.call(health, res));
+    EXPECT_EQ(res.type, net::FrameType::HealthResponse);
+    EXPECT_EQ(res.code, net::kWireOk);
+    EXPECT_GE(res.health.requests, 1u);
+    EXPECT_GE(res.health.rows, 2u);
+    EXPECT_EQ(res.health.canaryState, 0);  // no candidate staged
+    EXPECT_EQ(res.health.canaryShadows, 0u);
+}
+
+TEST_F(NetTest, DivergentCanaryNeverPerturbsSocketBytes)
+{
+    // Stage a zero-weight candidate: wildly divergent from the random
+    // incumbent, so the gate must quarantine -- while every byte the
+    // client sees stays identical to the canary-off baseline.
+    rbm::Checkpoint cand;
+    cand.meta.name = "m";
+    cand.meta.backend = "cd";
+    cand.meta.epoch = 2;
+    cand.model = rbm::Rbm(33, 17);
+    const std::string candPath = dir_ + "/candidate.rbm";
+    rbm::saveCheckpoint(cand, candPath);
+    ASSERT_TRUE(registry_->stageCandidate("m", candPath).ok());
+
+    net::NetConfig config;
+    config.server.canary.model = "m";
+    config.server.canary.fraction = 1.0;
+    config.server.canary.minShadows = 1u << 20;  // never promote
+    config.server.canary.maxDivergence = 1e-6;   // always breach
+    config.server.canary.quarantineMinMs = 1;
+    config.server.canary.quarantineMaxMs = 2;
+    const std::uint16_t port = startServer(std::move(config));
+
+    const auto model = registry_->get("m");
+    std::vector<engine::Request> corpus;
+    for (const Op op : {Op::Reconstruct, Op::Featurize}) {
+        auto part = engine::probeRequests(*model, "m", op, 6, 3, 4, 57);
+        for (auto &req : part)
+            corpus.push_back(std::move(req));
+    }
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    net::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", port));
+    for (std::size_t q = 0; q < corpus.size(); ++q) {
+        net::Response res;
+        ASSERT_TRUE(client.call(inferFrame(
+                                    corpus[q],
+                                    static_cast<std::uint32_t>(q),
+                                    net::PayloadKind::Packed),
+                                res));
+        expectSameBytes(res, expected[q]);  // candidate never leaks
+    }
+
+    net::Request health;
+    health.type = net::FrameType::HealthRequest;
+    net::Response res;
+    ASSERT_TRUE(client.call(health, res));
+    EXPECT_GE(res.health.canaryShadows, 1u);
+    EXPECT_GE(res.health.canaryQuarantines, 1u);
+    EXPECT_EQ(res.health.canaryPromotions, 0u);
+    EXPECT_GE(res.health.rollbacks, 1u);
+
+    stopServer();
+    EXPECT_EQ(server_->engine().stats().canaryPromotions, 0u);
+}
+
+TEST_F(NetTest, ClientHealsASeveredConnectionAndResends)
+{
+    const std::uint16_t port = startServer();
+    const auto model = registry_->get("m");
+    const auto corpus =
+        engine::probeRequests(*model, "m", Op::Reconstruct, 2, 2, 4, 91);
+    const std::vector<engine::Response> expected = baseline(corpus);
+
+    // The first connection's first reply is chopped mid-frame and the
+    // socket closed under the client: call() must back off, reconnect,
+    // resend, and hand back the exact bytes as if nothing happened.
+    util::FaultInjector::instance().configure("netdrop:conn:1@1");
+
+    net::Client client(net::Client::RetryPolicy{3, 10, 100});
+    ASSERT_TRUE(client.connect("127.0.0.1", port));
+    net::Response res;
+    ASSERT_TRUE(client.call(inferFrame(corpus[0], 0,
+                                       net::PayloadKind::Packed),
+                            res));
+    expectSameBytes(res, expected[0]);
+    EXPECT_EQ(client.retries(), 1u);
+    EXPECT_EQ(client.reconnects(), 1u);
+
+    // The healed connection keeps working with no further retries.
+    ASSERT_TRUE(client.call(inferFrame(corpus[1], 1,
+                                       net::PayloadKind::Packed),
+                            res));
+    expectSameBytes(res, expected[1]);
+    EXPECT_EQ(client.retries(), 1u);
+
+    stopServer();
+    EXPECT_EQ(server_->stats().faultDrops, 1u);
+}

@@ -490,6 +490,46 @@ TEST_F(ServeCacheTest, GroupSlotsStopGrowingInSteadyState)
     EXPECT_EQ(server.stats().groupResizes, grown);
 }
 
+TEST_F(ServeCacheTest, ShadowExecutionNeverTouchesTheCache)
+{
+    // The live-canary shadow runs the candidate beside the incumbent;
+    // only the incumbent's bytes may land in (or be served from) the
+    // response cache.  A cache hit resolves before grouping, so the
+    // replayed request must not shadow either.
+    ModelRegistry registry(dir_);
+    putRbm(registry, "m", 16);
+    const std::string cand = dir_ + "/cand.rbm";
+    rbm::Checkpoint ckpt;
+    ckpt.meta.backend = "cd";
+    ckpt.meta.epoch = 2;
+    ckpt.model = randomRbm(kDim, 17, 16);  // identical weights
+    rbm::saveCheckpoint(ckpt, cand);
+    ASSERT_TRUE(registry.stageCandidate("m", cand).ok());
+
+    ServerConfig config;
+    config.cacheBytes = 1 << 20;
+    config.canary.model = "m";
+    config.canary.fraction = 1.0;
+    config.canary.minShadows = 1u << 20;  // observe, never promote
+    config.canary.maxDivergence = 1e9;    // never quarantine
+    Server server(registry, config);
+
+    const Request req = makeRequest("m", Op::Reconstruct, 3, 7);
+    const auto first = server.serve({req});
+    ASSERT_TRUE(first[0].status.ok());
+    EXPECT_EQ(server.stats().canaryShadows, 1u);
+    EXPECT_EQ(server.stats().cacheMisses, 1u);
+
+    const auto replay = server.serve({req});
+    ASSERT_TRUE(replay[0].status.ok());
+    EXPECT_TRUE(sameBytes(replay[0].output, first[0].output));
+    EXPECT_EQ(server.stats().cacheHits, 1u);
+    // The hit resolved pre-group: no second shadow, no kernel work.
+    EXPECT_EQ(server.stats().canaryShadows, 1u);
+    EXPECT_EQ(server.stats().canaryQuarantines, 0u);
+    EXPECT_EQ(server.stats().canaryPromotions, 0u);
+}
+
 // ------------------------------------------------- copyBits primitive
 
 TEST(CopyBits, WordAlignedAndMisalignedRuns)
